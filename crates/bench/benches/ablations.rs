@@ -1,0 +1,59 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! DKY strategy (§2.2, ~10% variation), heading information flow (§2.4,
+//! alternative 3 ~3% slower), and the §4.2 concurrency overhead
+//! (sequential vs 1-processor concurrent).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ccm2::Options;
+use ccm2_bench::{seq_virtual_time, sim_compile};
+use ccm2_sema::declare::HeadingMode;
+use ccm2_sema::symtab::DkyStrategy;
+use ccm2_workload::{generate, suite_params};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let m = generate(&suite_params(15));
+
+    for strategy in DkyStrategy::ALL {
+        g.bench_function(format!("dky_{}", strategy.name()), |b| {
+            b.iter(|| {
+                sim_compile(
+                    &m,
+                    8,
+                    Options {
+                        strategy,
+                        ..Options::default()
+                    },
+                )
+            })
+        });
+    }
+
+    for (name, mode) in [
+        ("heading_copy_to_child", HeadingMode::CopyToChild),
+        ("heading_reprocess", HeadingMode::Reprocess),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                sim_compile(
+                    &m,
+                    8,
+                    Options {
+                        heading_mode: mode,
+                        ..Options::default()
+                    },
+                )
+            })
+        });
+    }
+
+    g.bench_function("overhead_seq_baseline", |b| {
+        b.iter(|| seq_virtual_time(&m))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figures 4 & 7 bench: trace collection and WatchTool rendering, plus
+//! the Figure 2 best-case (Synth) compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ccm2::Options;
+use ccm2_bench::{sim_compile, sim_compile_src};
+use ccm2_sched::render_watchtool;
+use ccm2_workload::{generate, suite_params, synth_module, SynthParams};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    let m = generate(&suite_params(12));
+    let run = sim_compile(&m, 8, Options::default());
+    g.bench_function("fig4_render_watchtool", |b| {
+        b.iter(|| render_watchtool(&run.report.trace, 8, 100))
+    });
+
+    let synth = synth_module(SynthParams {
+        procedures: 32,
+        stmts_per_proc: 40,
+    });
+    g.bench_function("fig2_synth_compile_p8", |b| {
+        b.iter(|| sim_compile_src(&synth, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

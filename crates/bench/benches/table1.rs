@@ -1,0 +1,41 @@
+//! Table 1 bench: suite generation and sequential compilation throughput
+//! (the "Seq. Compile Time" column is derived from these code paths).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ccm2_workload::{generate, suite_params};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    g.bench_function("generate_median_module", |b| {
+        b.iter(|| generate(&suite_params(18)))
+    });
+
+    let median = generate(&suite_params(18));
+    g.bench_function("seq_compile_median_module", |b| {
+        b.iter_batched(
+            || (median.source.clone(), median.defs.clone()),
+            |(src, defs)| {
+                let out = ccm2_seq::compile(&src, &defs);
+                assert!(out.is_ok());
+                out
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let small = generate(&suite_params(0));
+    g.bench_function("seq_compile_smallest_module", |b| {
+        b.iter(|| {
+            let out = ccm2_seq::compile(&small.source, &small.defs);
+            assert!(out.is_ok());
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Table 2 bench: concurrent symbol-table search under each DKY strategy
+//! (the mechanism whose statistics Table 2 reports).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ccm2_sema::builtins::BuiltinTable;
+use ccm2_sema::stats::LookupStats;
+use ccm2_sema::symtab::{
+    DkyStrategy, NullWaiter, Resolver, ScopeKind, SymbolEntry, SymbolKind, SymbolTables,
+};
+use ccm2_sema::types::TypeId;
+use ccm2_sema::value::ConstValue;
+use ccm2_support::source::{FileId, Span};
+use ccm2_support::{Interner, NullMeter};
+
+fn build_chain(
+    interner: &Arc<Interner>,
+    depth: usize,
+    entries_per_scope: usize,
+) -> (Arc<SymbolTables>, ccm2_support::ids::ScopeId, Vec<ccm2_support::intern::Symbol>) {
+    let tables = Arc::new(SymbolTables::new());
+    let mut parent = None;
+    let mut innermost = None;
+    let mut names = Vec::new();
+    for d in 0..depth {
+        let kind = if d == 0 {
+            ScopeKind::MainModule
+        } else {
+            ScopeKind::Procedure
+        };
+        let scope = tables.new_scope(kind, interner.intern(&format!("S{d}")), parent, FileId(0));
+        for e in 0..entries_per_scope {
+            let name = interner.intern(&format!("v{d}x{e}"));
+            names.push(name);
+            tables
+                .insert(
+                    scope,
+                    SymbolEntry {
+                        name,
+                        kind: SymbolKind::Const {
+                            value: ConstValue::Int(e as i64),
+                            ty: TypeId::INTEGER,
+                        },
+                        span: Span::default(),
+                    },
+                )
+                .expect("fresh");
+        }
+        tables.mark_complete(scope);
+        parent = Some(scope);
+        innermost = Some(scope);
+    }
+    (tables, innermost.expect("depth >= 1"), names)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_lookup");
+    let interner = Arc::new(Interner::new());
+    let (tables, inner, names) = build_chain(&interner, 6, 32);
+    let builtin_name = interner.intern("TRUE");
+
+    for strategy in DkyStrategy::ALL {
+        let resolver = Resolver::new(
+            Arc::clone(&tables),
+            Arc::new(BuiltinTable::new(&interner)),
+            Arc::new(LookupStats::new()),
+            strategy,
+            Arc::new(NullWaiter),
+            Arc::new(NullMeter),
+        );
+        g.bench_function(format!("chain_search_{}", strategy.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 17) % names.len();
+                resolver.lookup(inner, names[i]).expect("found")
+            })
+        });
+    }
+
+    let resolver = Resolver::new(
+        Arc::clone(&tables),
+        Arc::new(BuiltinTable::new(&interner)),
+        Arc::new(LookupStats::new()),
+        DkyStrategy::Skeptical,
+        Arc::new(NullWaiter),
+        Arc::new(NullMeter),
+    );
+    g.bench_function("builtin_lookup", |b| {
+        b.iter(|| resolver.lookup(inner, builtin_name).expect("builtin"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 3 / Figures 1–3 bench: the simulated-multiprocessor compilation
+//! that produces the speedup data, at 1 and 8 virtual processors, plus
+//! the real threaded executor.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ccm2::{compile_concurrent, Options};
+use ccm2_bench::sim_compile;
+use ccm2_support::Interner;
+use ccm2_workload::{generate, suite_params};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_speedup");
+    g.sample_size(10);
+    let m = generate(&suite_params(12));
+
+    for procs in [1u32, 8] {
+        g.bench_function(format!("sim_compile_p{procs}"), |b| {
+            b.iter(|| sim_compile(&m, procs, Options::default()))
+        });
+    }
+
+    g.bench_function("threaded_compile_w2", |b| {
+        b.iter(|| {
+            let out = compile_concurrent(
+                &m.source,
+                Arc::new(m.defs.clone()),
+                Arc::new(Interner::new()),
+                Options::threads(2),
+            );
+            assert!(out.is_ok());
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `reproduce` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ccm2-bench --bin reproduce -- all
+//! cargo run --release -p ccm2-bench --bin reproduce -- table1 table2
+//! cargo run --release -p ccm2-bench --bin reproduce -- table3 fig1 fig2 fig3
+//! cargo run --release -p ccm2-bench --bin reproduce -- fig4 fig5 fig7
+//! cargo run --release -p ccm2-bench --bin reproduce -- overhead dky headings workcrews
+//! ```
+
+use ccm2_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let all = args.contains(&"all");
+    let want = |name: &str| all || args.contains(&name);
+
+    if want("table1") {
+        println!("{}\n", bench::table1());
+    }
+    if want("table2") {
+        println!("{}\n", bench::table2());
+    }
+    // Table 3 and Figures 1-3 share one expensive measurement.
+    let needs_speedups =
+        want("table3") || want("fig1") || want("fig2") || want("fig3");
+    if needs_speedups {
+        eprintln!("measuring suite speedups (37 modules x 8 processor counts)...");
+        let summary = bench::measure_all();
+        if want("table3") {
+            println!("{}\n", bench::table3(&summary));
+        }
+        if want("fig1") {
+            println!("{}\n", bench::fig1(&summary));
+        }
+        if want("fig2") {
+            println!("{}\n", bench::fig2(&summary));
+        }
+        if want("fig3") {
+            println!("{}\n", bench::fig3(&summary));
+        }
+    }
+    if want("fig4") {
+        println!("{}\n", bench::fig4());
+    }
+    if want("fig5") {
+        println!("{}\n", bench::fig5());
+    }
+    if want("fig7") {
+        println!("{}\n", bench::fig7());
+    }
+    if want("overhead") {
+        println!("{}\n", bench::overhead());
+    }
+    if want("dky") {
+        println!("{}\n", bench::dky_strategies());
+    }
+    if want("headings") {
+        println!("{}\n", bench::heading_alternatives());
+    }
+    if want("workcrews") {
+        println!("{}\n", bench::workcrews());
+    }
+    if want("earlysplit") {
+        println!("{}\n", bench::early_split());
+    }
+}

@@ -1,0 +1,277 @@
+//! M-code: the stack-machine intermediate representation.
+//!
+//! Code is generated *per procedure* into self-contained [`CodeUnit`]s so
+//! that the paper's late merge (§2.1) is a pure concatenation: units refer
+//! to procedures by dotted symbolic name and to module globals by
+//! (module, slot), and all cross-unit resolution happens in
+//! [`crate::merge`]. Because operands are symbolic, a procedure compiles
+//! to the identical unit no matter which compiler (sequential or
+//! concurrent) or task interleaving produced it — the property the
+//! equivalence tests check.
+
+use ccm2_support::intern::Symbol;
+use ccm2_sema::builtins::Builtin;
+
+/// Runtime value layout for frame slots and heap cells: enough structure
+/// to zero-initialize variables and allocate `NEW` cells.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Shape {
+    /// An integer slot.
+    Int,
+    /// A real slot.
+    Real,
+    /// A boolean slot.
+    Bool,
+    /// A character slot.
+    Char,
+    /// A set slot.
+    Set,
+    /// A pointer slot (`NIL`-initialized).
+    Ptr,
+    /// A procedure-value slot.
+    ProcVal,
+    /// A string slot.
+    Str,
+    /// An address slot (VAR parameters).
+    Addr,
+    /// A fixed-size array.
+    Array(Box<Shape>, u32),
+    /// A record with one shape per field.
+    Record(Vec<Shape>),
+}
+
+/// One M-code instruction.
+///
+/// Jump targets are instruction indices within the same unit. `shape`
+/// operands index the owning unit's [`CodeUnit::shapes`] table.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Instr {
+    /// Push an integer literal.
+    PushInt(i64),
+    /// Push a real literal (IEEE bits).
+    PushReal(u64),
+    /// Push a boolean literal.
+    PushBool(bool),
+    /// Push a character literal.
+    PushChar(u8),
+    /// Push a string literal.
+    PushStr(Symbol),
+    /// Push `NIL`.
+    PushNil,
+    /// Push a set literal.
+    PushSet(u64),
+    /// Push a procedure value (resolved at merge).
+    PushProc(Symbol),
+
+    /// Push the address of a frame slot `level_up` static links above the
+    /// current frame.
+    PushAddr {
+        /// Static-link hops (0 = current frame).
+        level_up: u32,
+        /// Slot index.
+        slot: u32,
+    },
+    /// Push the address of a module global.
+    PushGlobalAddr {
+        /// Owning module name.
+        module: Symbol,
+        /// Slot within the module's global area.
+        slot: u32,
+    },
+    /// addr → addr-of-field: replace the address on top with the address
+    /// of record field `0`-based index.
+    AddrField(u32),
+    /// (addr, index-value) → element address, with bounds check against
+    /// `lo..lo+len`.
+    AddrIndex {
+        /// Lowest legal ordinal.
+        lo: i64,
+        /// Number of elements.
+        len: i64,
+    },
+    /// addr → heap address: load the pointer stored at addr and produce
+    /// the address of its cell.
+    AddrDeref,
+    /// addr → value.
+    Load,
+    /// (addr, value) → ∅: store value at addr.
+    Store,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+
+    /// Generic add (ints, reals, sets: union).
+    Add,
+    /// Generic subtract (sets: difference).
+    Sub,
+    /// Generic multiply (sets: intersection).
+    Mul,
+    /// Integer `DIV` (euclidean).
+    DivInt,
+    /// Integer `MOD` (euclidean).
+    ModInt,
+    /// Real `/` (sets: symmetric difference).
+    DivReal,
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean NOT.
+    Not,
+    /// `=`.
+    CmpEq,
+    /// `#`.
+    CmpNe,
+    /// `<`.
+    CmpLt,
+    /// `<=`.
+    CmpLe,
+    /// `>`.
+    CmpGt,
+    /// `>=`.
+    CmpGe,
+    /// (elem, set) → BOOLEAN membership.
+    InSet,
+    /// (set, elem) → set with elem included (set-constructor building).
+    SetIncl,
+    /// (set, lo, hi) → set with `lo..hi` included.
+    SetInclRange,
+
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a boolean; jump if false.
+    JumpIfFalse(u32),
+    /// Pop a boolean; jump if true.
+    JumpIfTrue(u32),
+
+    /// Call a procedure by symbolic name. Arguments are on the stack in
+    /// declaration order (VAR parameters as addresses).
+    Call {
+        /// The callee's dotted code name.
+        target: Symbol,
+        /// Number of arguments.
+        argc: u32,
+        /// Static-link hops from the *caller's* frame to the callee's
+        /// lexical parent frame (`u32::MAX` = no static link, callee is at
+        /// level 1).
+        link_up: u32,
+    },
+    /// Call through a procedure value on top of the stack (arguments
+    /// below it).
+    CallIndirect {
+        /// Number of arguments.
+        argc: u32,
+    },
+    /// Call a builtin.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Number of arguments (builtins are variadic-lite: INC/DEC take
+        /// 1 or 2).
+        argc: u32,
+    },
+    /// Return with no value.
+    Return,
+    /// Pop the return value and return.
+    ReturnValue,
+    /// Terminate the program.
+    Halt,
+
+    /// Pop the address of a pointer variable; allocate a heap cell of the
+    /// given shape (index into [`CodeUnit::shapes`]) and store the pointer.
+    NewCell {
+        /// Shape-table index of the pointee.
+        shape: u32,
+    },
+    /// Pop the address of a pointer variable; free its cell and store NIL.
+    DisposeCell,
+    /// Do nothing (kept so emitted indices stay stable during patching).
+    Nop,
+}
+
+/// The compiled code for one procedure (or one module body).
+#[derive(Clone, PartialEq, Debug)]
+pub struct CodeUnit {
+    /// Dotted code name (`M.P.Q`; the module body is just `M`).
+    pub name: Symbol,
+    /// Static nesting level (module body 0, top-level procedures 1, …).
+    pub level: u32,
+    /// Number of leading frame slots that are parameters.
+    pub param_count: u32,
+    /// Shapes of every frame slot (parameters first, then locals/temps).
+    pub frame: Vec<Shape>,
+    /// Shape table referenced by `NewCell`.
+    pub shapes: Vec<Shape>,
+    /// The instructions.
+    pub code: Vec<Instr>,
+}
+
+impl CodeUnit {
+    /// Creates an empty unit.
+    pub fn new(name: Symbol, level: u32) -> CodeUnit {
+        CodeUnit {
+            name,
+            level,
+            param_count: 0,
+            frame: Vec::new(),
+            shapes: Vec::new(),
+            code: Vec::new(),
+        }
+    }
+
+    /// Interns a shape in the unit's shape table, returning its index.
+    pub fn add_shape(&mut self, shape: Shape) -> u32 {
+        if let Some(ix) = self.shapes.iter().position(|s| *s == shape) {
+            return ix as u32;
+        }
+        self.shapes.push(shape);
+        (self.shapes.len() - 1) as u32
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the unit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_interning_dedups() {
+        let i = ccm2_support::intern::Interner::new();
+        let mut u = CodeUnit::new(i.intern("M.P"), 1);
+        let a = u.add_shape(Shape::Int);
+        let b = u.add_shape(Shape::Real);
+        let c = u.add_shape(Shape::Int);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(u.shapes.len(), 2);
+    }
+
+    #[test]
+    fn empty_unit() {
+        let i = ccm2_support::intern::Interner::new();
+        let u = CodeUnit::new(i.intern("M"), 0);
+        assert!(u.is_empty());
+        assert_eq!(u.len(), 0);
+        assert_eq!(u.param_count, 0);
+    }
+
+    #[test]
+    fn units_with_same_content_are_equal() {
+        let i = ccm2_support::intern::Interner::new();
+        let make = || {
+            let mut u = CodeUnit::new(i.intern("M.P"), 1);
+            u.code.push(Instr::PushInt(1));
+            u.code.push(Instr::ReturnValue);
+            u
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,41 @@
+//! M-code generation and the late-merge object model.
+//!
+//! Implements the back half of the concurrent compiler (Wortman & Junkin,
+//! PLDI 1992):
+//!
+//! * [`ir`] — the per-procedure stack-machine code ([`ir::CodeUnit`]) with
+//!   fully symbolic cross-unit references, which is what makes the paper's
+//!   *late merge by concatenation* (§2.1) possible;
+//! * [`shape`] — runtime layout of types (frame slots, `NEW` cells);
+//! * [`emit`] — the fused *statement analyzer / code generator* task of
+//!   §3: statement semantic analysis (through the concurrent symbol
+//!   tables, so it participates in DKY handling) plus code emission;
+//! * [`merge`] — the merge task: accepts finished units in any order,
+//!   canonicalizes, and produces a [`merge::ModuleImage`].
+//!
+//! # Examples
+//!
+//! Building and merging a unit by hand:
+//!
+//! ```
+//! use ccm2_support::{Interner, NullMeter};
+//! use ccm2_codegen::ir::{CodeUnit, Instr};
+//! use ccm2_codegen::merge::Merger;
+//!
+//! let interner = Interner::new();
+//! let merger = Merger::new(interner.intern("M"));
+//! let mut unit = CodeUnit::new(interner.intern("M"), 0);
+//! unit.code.push(Instr::Halt);
+//! merger.add_unit(unit, &NullMeter);
+//! let image = merger.finish();
+//! assert_eq!(image.instruction_count(), 1);
+//! ```
+
+pub mod emit;
+pub mod ir;
+pub mod merge;
+pub mod shape;
+
+pub use emit::{gen_module_body, gen_procedure, global_shapes};
+pub use ir::{CodeUnit, Instr, Shape};
+pub use merge::{Merger, ModuleImage};

@@ -1,0 +1,940 @@
+//! The concurrent compiler driver.
+//!
+//! Wires the paper's complete task structure (Figure 5) onto a
+//! [`ccm2_sched`] executor:
+//!
+//! ```text
+//!   definition-module stream      implementation stream       procedure stream
+//!   ------------------------      ---------------------       ----------------
+//!   Lexor(def)                    Lexor(main)
+//!   Importer(def)                 Importer(main)
+//!   Parser/DeclAnalyzer(def)      Splitter ───────────────────▶ (streams created)
+//!                                 Parser/DeclAnalyzer(main)    Parser/DeclAnalyzer(proc)
+//!                                 StmtAnalyzer/CodeGen(body)   StmtAnalyzer/CodeGen(proc)
+//!                                             ╲                  ╱
+//!                                              ▼   Merge (concatenation)
+//! ```
+//!
+//! The driver owns the once-only table for definition modules (§3), the
+//! DKY event map (scope completion → scheduler event, §2.3.3), the
+//! per-symbol events of the Optimistic strategy, and the §2.4 heading
+//! events that gate procedure streams.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
+use ccm2_codegen::merge::{Merger, ModuleImage};
+use ccm2_sema::declare::{
+    bind_imports, declare_own_params, DeclareHooks, Declarer, HeadingMode,
+};
+use ccm2_sema::stats::LookupStats;
+use ccm2_sema::symtab::{
+    DkyStrategy, DkyWaiter, ProcSig, ScopeKind, SymbolTables, TableNotifier,
+};
+use ccm2_sema::Sema;
+use ccm2_sched::{
+    run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc,
+    TaskKind, WaitSet,
+};
+use ccm2_support::defs::DefProvider;
+use ccm2_support::diag::{Diagnostic, DiagnosticSink};
+use ccm2_support::ids::{EventId, ScopeId, StreamId};
+use ccm2_support::intern::{Interner, Symbol};
+use ccm2_support::source::{FileId, SourceMap};
+use ccm2_support::work::Work;
+use ccm2_syntax::ast::stmt_count;
+use ccm2_syntax::lexer::Lexer;
+use ccm2_syntax::parser::{parse_definition_from, StreamingImpl, StreamingProc};
+
+use crate::importer::{run_importer, ImportSink};
+use crate::queue::{StreamCursor, TokenQueue};
+use crate::splitter::{run_splitter, StreamFactory};
+
+/// Which executor carries the compilation.
+#[derive(Clone, Debug)]
+pub enum Executor {
+    /// Real OS threads, one worker per assumed processor (the paper's
+    /// deployment).
+    Threads(usize),
+    /// The deterministic virtual-time multiprocessor (used for all
+    /// speedup experiments on this single-CPU host).
+    Sim(SimConfig),
+}
+
+/// Compilation options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// DKY strategy (§2.2). Default: Skeptical, the paper's choice.
+    pub strategy: DkyStrategy,
+    /// Procedure-heading information flow (§2.4). Default: alternative 1.
+    pub heading_mode: HeadingMode,
+    /// Executor.
+    pub executor: Executor,
+    /// Statement count at which a procedure's code-generation task is
+    /// classified *long* (scheduled before short ones, §2.3.4).
+    pub long_proc_threshold: usize,
+    /// Whether the source is split into procedure streams during lexical
+    /// analysis (§2.1 — the paper's *early splitting*). With `false`, the
+    /// splitter is bypassed and procedures are discovered during parsing,
+    /// as in the prior work the paper contrasts against (Vandevoorde's
+    /// scan + "everything else" design): code generation still runs as
+    /// parallel per-procedure tasks, but all parsing and declaration
+    /// analysis is serial. An ablation, not a recommended mode.
+    pub early_split: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            strategy: DkyStrategy::Skeptical,
+            heading_mode: HeadingMode::CopyToChild,
+            executor: Executor::Threads(2),
+            long_proc_threshold: 40,
+            early_split: true,
+        }
+    }
+}
+
+impl Options {
+    /// Options running on the virtual-time simulator with `procs`
+    /// processors and the calibrated Firefly cost model.
+    pub fn sim(procs: u32) -> Options {
+        Options {
+            executor: Executor::Sim(SimConfig::firefly(procs)),
+            ..Options::default()
+        }
+    }
+
+    /// Options running on `n` real worker threads.
+    pub fn threads(n: usize) -> Options {
+        Options {
+            executor: Executor::Threads(n),
+            ..Options::default()
+        }
+    }
+}
+
+/// The result of a concurrent compilation.
+#[derive(Debug)]
+pub struct ConcurrentOutput {
+    /// The merged object image.
+    pub image: Option<ModuleImage>,
+    /// Sorted diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Identifier-lookup statistics (Table 2).
+    pub stats: Arc<LookupStats>,
+    /// The interner (needed to run the image or resolve names).
+    pub interner: Arc<Interner>,
+    /// Source registry (for mapping diagnostics to file names).
+    pub sources: Arc<SourceMap>,
+    /// The executor's report: virtual/wall time, trace, task count.
+    pub report: RunReport,
+    /// Total streams: 1 (main) + imported interfaces + procedures
+    /// (Table 1's "Number of Streams").
+    pub streams: usize,
+    /// Number of procedure streams.
+    pub procedures: usize,
+    /// Definition modules processed (Table 1's "Imported Interfaces").
+    pub imported_interfaces: usize,
+    /// Maximum import nesting depth observed (Table 1).
+    pub import_nesting_depth: usize,
+}
+
+impl ConcurrentOutput {
+    /// Whether compilation succeeded without errors.
+    pub fn is_ok(&self) -> bool {
+        self.image.is_some()
+            && !self
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == ccm2_support::diag::Severity::Error)
+    }
+}
+
+/// Compiles `source` concurrently. See [`Options`] for the knobs; the
+/// object image, diagnostics and statistics are identical across
+/// executors, strategies and worker counts (the equivalence tests check
+/// this against the sequential compiler).
+pub fn compile_concurrent(
+    source: &str,
+    defs: Arc<dyn DefProvider>,
+    interner: Arc<Interner>,
+    options: Options,
+) -> ConcurrentOutput {
+    let source = source.to_string();
+    let executor = options.executor.clone();
+    let driver_cell: Arc<Mutex<Option<Arc<Driver>>>> = Arc::new(Mutex::new(None));
+    let dc = Arc::clone(&driver_cell);
+    let mk = move |env: Arc<dyn ExecEnv>| {
+        let d = Driver::create(env, Arc::clone(&interner), defs, options.clone());
+        d.start(source);
+        *dc.lock() = Some(d);
+    };
+    let report = match executor {
+        Executor::Threads(n) => run_threaded(n, move |sup| {
+            mk(Arc::clone(sup) as Arc<dyn ExecEnv>)
+        }),
+        Executor::Sim(cfg) => run_sim(cfg, move |env| mk(Arc::clone(env) as Arc<dyn ExecEnv>)),
+    };
+    let driver = driver_cell.lock().take().expect("driver created in setup");
+    driver.finish(report)
+}
+
+struct DriverState {
+    def_streams: HashMap<Symbol, ScopeId>,
+    scope_events: HashMap<ScopeId, EventId>,
+    heading_events: HashMap<ScopeId, EventId>,
+    heading_info: HashMap<ScopeId, (Symbol, ProcSig)>,
+    stream_scopes: HashMap<StreamId, ScopeId>,
+    symbol_events: HashMap<(ScopeId, Symbol), EventId>,
+    main_scope: Option<ScopeId>,
+    main_name: Option<Symbol>,
+    next_stream: u32,
+    procedures: usize,
+    max_import_depth: usize,
+}
+
+struct Driver {
+    env: Arc<dyn ExecEnv>,
+    interner: Arc<Interner>,
+    sink: Arc<DiagnosticSink>,
+    sources: Arc<SourceMap>,
+    defs: Arc<dyn DefProvider>,
+    merger: Merger,
+    sema: OnceLock<Arc<Sema>>,
+    strategy: DkyStrategy,
+    heading_mode: HeadingMode,
+    long_threshold: usize,
+    early_split: bool,
+    main_scope_event: EventId,
+    st: Mutex<DriverState>,
+}
+
+impl Driver {
+    fn create(
+        env: Arc<dyn ExecEnv>,
+        interner: Arc<Interner>,
+        defs: Arc<dyn DefProvider>,
+        options: Options,
+    ) -> Arc<Driver> {
+        let sink = Arc::new(DiagnosticSink::new());
+        let main_scope_event = env.new_event_named(EventClass::Handled, "scope(Main)");
+        let placeholder = interner.intern("");
+        let driver = Arc::new(Driver {
+            env: Arc::clone(&env),
+            interner: Arc::clone(&interner),
+            sink: Arc::clone(&sink),
+            sources: Arc::new(SourceMap::new()),
+            defs,
+            merger: Merger::new(placeholder),
+            sema: OnceLock::new(),
+            strategy: options.strategy,
+            heading_mode: options.heading_mode,
+            long_threshold: options.long_proc_threshold,
+            early_split: options.early_split,
+            main_scope_event,
+            st: Mutex::new(DriverState {
+                def_streams: HashMap::new(),
+                scope_events: HashMap::new(),
+                heading_events: HashMap::new(),
+                heading_info: HashMap::new(),
+                stream_scopes: HashMap::new(),
+                symbol_events: HashMap::new(),
+                main_scope: None,
+                main_name: None,
+                next_stream: 0,
+                procedures: 0,
+                max_import_depth: 0,
+            }),
+        });
+        let meter = Arc::new(EnvMeter(Arc::clone(&env)));
+        let sema = Arc::new(Sema::new(
+            interner,
+            sink,
+            options.strategy,
+            Arc::clone(&driver) as Arc<dyn DkyWaiter>,
+            meter,
+        ));
+        sema.tables
+            .set_notifier(Arc::clone(&driver) as Arc<dyn TableNotifier>);
+        driver.sema.set(sema).ok().expect("sema set once");
+        driver
+    }
+
+    fn sema(&self) -> &Arc<Sema> {
+        self.sema.get().expect("sema initialized")
+    }
+
+    fn tables(&self) -> &Arc<SymbolTables> {
+        &self.sema().tables
+    }
+
+    /// Scope-completion event (created eagerly with the scope; the lazy
+    /// path double-checks completion to avoid lost wakeups).
+    fn scope_event(&self, scope: ScopeId) -> EventId {
+        let created = {
+            let mut st = self.st.lock();
+            match st.scope_events.get(&scope) {
+                Some(&e) => return e,
+                None => {
+                    let e = self.env.new_event_named(
+                        EventClass::Handled,
+                        &format!("scope#{}", scope.index()),
+                    );
+                    st.scope_events.insert(scope, e);
+                    e
+                }
+            }
+        };
+        if self.tables().scope(scope).is_complete() {
+            self.env.signal(created);
+        }
+        created
+    }
+
+    // ---- stream construction -------------------------------------------
+
+    fn start(self: &Arc<Self>, source: String) {
+        let file = self.sources.add("Main.mod", source);
+        let lex_q = TokenQueue::named(Arc::clone(&self.env), "lex(Main)");
+        // Lexor(main): never blocks (§2.3.3).
+        {
+            let this = Arc::clone(self);
+            let q = Arc::clone(&lex_q);
+            let file = Arc::clone(&file);
+            let mut t = TaskDesc::new(
+                "lex(Main)",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    let sema = this.sema();
+                    for tok in Lexer::new(&file, &sema.interner, &sema.sink) {
+                        this.env.charge(Work::Lex, 1);
+                        q.push(tok);
+                    }
+                    q.close();
+                }),
+            );
+            t.signals_barriers = true;
+            self.env.spawn(t);
+        }
+        // Importer(main): anticipates interfaces (§3).
+        {
+            let this = Arc::clone(self);
+            let q = Arc::clone(&lex_q);
+            let mut t = TaskDesc::new(
+                "import(Main)",
+                TaskKind::Importer,
+                Box::new(move || {
+                    let cursor = StreamCursor::new(q, Work::Import);
+                    run_importer(&cursor, 1, &DriverHandle(this));
+                }),
+            );
+            t.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: false,
+                any_barrier: true,
+            };
+            self.env.spawn(t);
+        }
+        // Splitter + main module parser. Under the no-early-split
+        // ablation the parser reads the raw token stream directly
+        // (procedures are discovered while parsing, as in pre-paper
+        // designs) and the main scope is created by the parser itself.
+        let parse_q = if self.early_split {
+            let parse_q = TokenQueue::named(Arc::clone(&self.env), "parse(Main)");
+            let this = Arc::clone(self);
+            let q = Arc::clone(&lex_q);
+            let out = Arc::clone(&parse_q);
+            let mut t = TaskDesc::new(
+                "split(Main)",
+                TaskKind::Splitter,
+                Box::new(move || {
+                    let cursor = StreamCursor::new(q, Work::Split);
+                    run_splitter(&cursor, out, &DriverHandle(this));
+                }),
+            );
+            t.signals_barriers = true;
+            t.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: false,
+                any_barrier: true,
+            };
+            self.env.spawn(t);
+            parse_q
+        } else {
+            Arc::clone(&lex_q)
+        };
+        {
+            let this = Arc::clone(self);
+            let mut t = TaskDesc::new(
+                "parse(Main)",
+                TaskKind::ModuleParse,
+                Box::new(move || this.module_parse(parse_q)),
+            );
+            t.signals = vec![self.main_scope_event];
+            t.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: true,
+            };
+            self.env.spawn(t);
+        }
+    }
+
+    /// Once-only creation of a definition-module stream (§3); returns its
+    /// interface scope, or `None` when the provider has no such module
+    /// (the importing parser reports the diagnostic).
+    fn ensure_def_stream(self: &Arc<Self>, name: Symbol, depth: usize) -> Option<ScopeId> {
+        {
+            let mut st = self.st.lock();
+            st.max_import_depth = st.max_import_depth.max(depth);
+            if let Some(&s) = st.def_streams.get(&name) {
+                return Some(s);
+            }
+        }
+        let name_str = self.interner.resolve(name);
+        let text = self.defs.definition_source(&name_str)?;
+        let scope_ev = self
+            .env
+            .new_event_named(EventClass::Handled, &format!("scope({name_str}.def)"));
+        let (scope, file) = {
+            let mut st = self.st.lock();
+            if let Some(&s) = st.def_streams.get(&name) {
+                return Some(s); // raced another task; theirs won
+            }
+            let file = self.sources.add(format!("{name_str}.def"), text);
+            let scope = self
+                .tables()
+                .new_scope(ScopeKind::DefModule, name, None, file.id());
+            st.def_streams.insert(name, scope);
+            st.scope_events.insert(scope, scope_ev);
+            (scope, file)
+        };
+        // Spawn the stream's tasks: Lexor → {Importer, Parser/DeclAnalyzer}.
+        let q = TokenQueue::named(Arc::clone(&self.env), format!("lex({name_str}.def)"));
+        {
+            let this = Arc::clone(self);
+            let q = Arc::clone(&q);
+            let mut t = TaskDesc::new(
+                format!("lex({name_str}.def)"),
+                TaskKind::Lexor,
+                Box::new(move || {
+                    let sema = this.sema();
+                    for tok in Lexer::new(&file, &sema.interner, &sema.sink) {
+                        this.env.charge(Work::Lex, 1);
+                        q.push(tok);
+                    }
+                    q.close();
+                }),
+            );
+            t.signals_barriers = true;
+            self.env.spawn(t);
+        }
+        {
+            let this = Arc::clone(self);
+            let q = Arc::clone(&q);
+            let mut t = TaskDesc::new(
+                format!("import({name_str}.def)"),
+                TaskKind::Importer,
+                Box::new(move || {
+                    let cursor = StreamCursor::new(q, Work::Import);
+                    run_importer(&cursor, depth + 1, &DriverHandle(this));
+                }),
+            );
+            t.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: false,
+                any_barrier: true,
+            };
+            self.env.spawn(t);
+        }
+        {
+            let this = Arc::clone(self);
+            let mut t = TaskDesc::new(
+                format!("defparse({name_str})"),
+                TaskKind::DefModParse,
+                Box::new(move || this.def_parse(name, scope, q, depth)),
+            );
+            t.signals = vec![scope_ev];
+            t.signals_def_scope = true;
+            t.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: true,
+            };
+            self.env.spawn(t);
+        }
+        Some(scope)
+    }
+
+    // ---- task bodies ------------------------------------------------------
+
+    fn def_parse(self: &Arc<Self>, name: Symbol, scope: ScopeId, q: Arc<TokenQueue>, depth: usize) {
+        let sema = Arc::clone(self.sema());
+        let cursor = StreamCursor::new(q, Work::Parse);
+        let parsed = parse_definition_from(&cursor, &sema.interner, &sema.sink);
+        let Some(def) = parsed else {
+            // Malformed interface: complete the (empty) table so DKY
+            // waiters are not stranded.
+            sema.tables.mark_complete(scope);
+            return;
+        };
+        if def.name.name != name {
+            self.sink.report(Diagnostic::error(
+                self.tables().scope(scope).file(),
+                def.name.span,
+                format!(
+                    "definition file for `{}` declares module `{}`",
+                    self.interner.resolve(name),
+                    self.interner.resolve(def.name.name)
+                ),
+            ));
+        }
+        let mapping: HashMap<Symbol, ScopeId> = def
+            .imports
+            .iter()
+            .filter_map(|imp| {
+                let m = imp.module().name;
+                self.ensure_def_stream(m, depth + 1).map(|s| (m, s))
+            })
+            .collect();
+        bind_imports(&sema, scope, &def.imports, &|n| mapping.get(&n).copied());
+        if self.strategy == DkyStrategy::Avoidance {
+            // §2.2: delay semantic analysis until the tables it may search
+            // are complete.
+            for s in mapping.values() {
+                self.wait_scope_complete(*s);
+            }
+        }
+        let hooks = DriverHooks { driver: self };
+        let mut declarer = Declarer::new(&sema, scope, self.heading_mode, &hooks);
+        for decl in &def.decls {
+            declarer.declare(decl);
+        }
+        declarer.finish();
+        self.merger.add_globals(name, global_shapes(&sema, scope));
+        sema.tables.mark_complete(scope);
+    }
+
+    fn module_parse(self: &Arc<Self>, parse_q: Arc<TokenQueue>) {
+        let sema = Arc::clone(self.sema());
+        let cursor = StreamCursor::new(parse_q, Work::Parse);
+        let streaming = StreamingImpl::begin(&cursor, &sema.interner, &sema.sink);
+        let main_scope = self.st.lock().main_scope;
+        let Some(mut streaming) = streaming else {
+            if let Some(s) = main_scope {
+                sema.tables.mark_complete(s);
+            } else {
+                self.env.signal(self.main_scope_event);
+            }
+            return;
+        };
+        let scope = match main_scope {
+            Some(s) => s,
+            None if !self.early_split => {
+                // No splitter ran: the parser creates the main scope.
+                let name = streaming.name();
+                DriverHandle(Arc::clone(self))
+                    .main_module_started(name.name, self.sources.get(ccm2_support::source::FileId(0)).map(|f| f.id()).unwrap_or(ccm2_support::source::FileId(0)))
+            }
+            None => {
+                self.env.signal(self.main_scope_event);
+                return;
+            }
+        };
+        let imports = streaming.imports().to_vec();
+        let mapping: HashMap<Symbol, ScopeId> = imports
+            .iter()
+            .filter_map(|imp| {
+                let m = imp.module().name;
+                self.ensure_def_stream(m, 1).map(|s| (m, s))
+            })
+            .collect();
+        bind_imports(&sema, scope, &imports, &|n| mapping.get(&n).copied());
+        if self.strategy == DkyStrategy::Avoidance {
+            for s in mapping.values() {
+                self.wait_scope_complete(*s);
+            }
+        }
+        // Declarations are analyzed as they are parsed, so each procedure
+        // heading's avoided event fires immediately (§3: fast processing
+        // of declaration parts resolves DKY blockages early).
+        let hooks = DriverHooks { driver: self };
+        let mut declarer = Declarer::new(&sema, scope, self.heading_mode, &hooks);
+        while let Some(decls) = streaming.next_decls() {
+            for decl in &decls {
+                declarer.declare(decl);
+            }
+        }
+        let pending = declarer.finish();
+        // Under the no-early-split ablation, procedure bodies are Local:
+        // declare them here (serially — the ablation's cost) and spawn
+        // their code-generation tasks.
+        self.process_local_procs(pending);
+        // Paper §3: the symbol table is marked complete before the
+        // statement parse tree is built.
+        sema.tables.mark_complete(scope);
+        self.merger
+            .add_globals(streaming.name().name, global_shapes(&sema, scope));
+        let module_name = streaming.name().name;
+        let stmts = streaming.finish();
+        // Module-body statement analysis + code generation task.
+        let weight = stmt_count(&stmts) as u64;
+        let this = Arc::clone(self);
+        let kind = if weight as usize >= self.long_threshold {
+            TaskKind::LongCodeGen
+        } else {
+            TaskKind::ShortCodeGen
+        };
+        let mut t = TaskDesc::new(
+            format!("codegen({})", self.interner.resolve(module_name)),
+            kind,
+            Box::new(move || {
+                let sema = this.sema();
+                let unit = gen_module_body(sema, scope, module_name, &stmts);
+                this.merger.add_unit(unit, sema.meter.as_ref());
+            }),
+        );
+        t.weight = weight;
+        t.may_wait = WaitSet {
+            events: vec![],
+            all_def_scopes: true,
+            any_barrier: false,
+        };
+        self.env.spawn(t);
+    }
+
+    /// Recursively declares Local-bodied procedures (no-early-split
+    /// ablation) and spawns their code-generation tasks.
+    fn process_local_procs(self: &Arc<Self>, pending: Vec<ccm2_sema::declare::PendingProc>) {
+        let sema = Arc::clone(self.sema());
+        let mut queue = pending;
+        while let Some(p) = queue.pop() {
+            let ccm2_syntax::ast::ProcBody::Local(local) = &p.body else {
+                continue; // Remote bodies are handled by their streams.
+            };
+            {
+                let mut st = self.st.lock();
+                st.procedures += 1;
+                st.scope_events.entry(p.scope).or_insert_with(|| {
+                    self.env.new_event_named(
+                        EventClass::Handled,
+                        &format!("scope(local proc #{})", p.scope.index()),
+                    )
+                });
+            }
+            if self.heading_mode == HeadingMode::Reprocess {
+                declare_own_params(&sema, p.scope, &p.heading);
+            }
+            let hooks = DriverHooks { driver: self };
+            let mut declarer = Declarer::new(&sema, p.scope, self.heading_mode, &hooks);
+            for d in &local.decls {
+                declarer.declare(d);
+            }
+            let nested = declarer.finish();
+            sema.tables.mark_complete(p.scope);
+            queue.extend(nested);
+            let stmts = local.body.clone();
+            let weight = stmt_count(&stmts) as u64;
+            let kind = if weight as usize >= self.long_threshold {
+                TaskKind::LongCodeGen
+            } else {
+                TaskKind::ShortCodeGen
+            };
+            let ancestor_events: Vec<EventId> = self
+                .tables()
+                .ancestry(p.scope)
+                .into_iter()
+                .skip(1)
+                .map(|s| self.scope_event(s))
+                .collect();
+            let this = Arc::clone(self);
+            let scope = p.scope;
+            let code_name = p.code_name;
+            let sig = p.sig.clone();
+            let mut t = TaskDesc::new(
+                format!("codegen({})", self.interner.resolve(code_name)),
+                kind,
+                Box::new(move || {
+                    let sema = this.sema();
+                    let unit = gen_procedure(sema, scope, code_name, &sig, &stmts);
+                    this.merger.add_unit(unit, sema.meter.as_ref());
+                }),
+            );
+            t.weight = weight;
+            t.may_wait = WaitSet {
+                events: ancestor_events,
+                all_def_scopes: true,
+                any_barrier: false,
+            };
+            self.env.spawn(t);
+        }
+    }
+
+    fn proc_parse(self: &Arc<Self>, stream: StreamId, scope: ScopeId, q: Arc<TokenQueue>) {
+        let sema = Arc::clone(self.sema());
+        let cursor = StreamCursor::new(q, Work::Parse);
+        let streaming = StreamingProc::begin(&cursor, &sema.interner, &sema.sink);
+        let Some(mut streaming) = streaming else {
+            sema.tables.mark_complete(scope);
+            return;
+        };
+        let info = self.st.lock().heading_info.get(&scope).cloned();
+        let Some((code_name, sig)) = info else {
+            // Heading event fired without info: defensive.
+            sema.tables.mark_complete(scope);
+            return;
+        };
+        if self.heading_mode == HeadingMode::Reprocess {
+            // §2.4 alternative 3: the child re-elaborates its own heading.
+            declare_own_params(&sema, scope, streaming.heading());
+        }
+        // Local declarations are analyzed as parsed (nested procedure
+        // headings fire immediately); the table completes before the
+        // statement parse tree is built (§3).
+        let hooks = DriverHooks { driver: self };
+        let mut declarer = Declarer::new(&sema, scope, self.heading_mode, &hooks);
+        while let Some(decls) = streaming.next_decls() {
+            for decl in &decls {
+                declarer.declare(decl);
+            }
+        }
+        declarer.finish();
+        sema.tables.mark_complete(scope);
+        let stmts = streaming.finish();
+        // Statement analysis + code generation task: long before short.
+        let weight = stmt_count(&stmts) as u64;
+        let kind = if weight as usize >= self.long_threshold {
+            TaskKind::LongCodeGen
+        } else {
+            TaskKind::ShortCodeGen
+        };
+        let ancestor_events: Vec<EventId> = self
+            .tables()
+            .ancestry(scope)
+            .into_iter()
+            .skip(1)
+            .map(|s| self.scope_event(s))
+            .collect();
+        let this = Arc::clone(self);
+        let name_str = self.interner.resolve(code_name);
+        let mut t = TaskDesc::new(
+            format!("codegen({name_str})"),
+            kind,
+            Box::new(move || {
+                let sema = this.sema();
+                let unit = gen_procedure(sema, scope, code_name, &sig, &stmts);
+                this.merger.add_unit(unit, sema.meter.as_ref());
+            }),
+        );
+        t.weight = weight;
+        t.may_wait = WaitSet {
+            events: ancestor_events,
+            all_def_scopes: true,
+            any_barrier: false,
+        };
+        self.env.spawn(t);
+        let _ = stream;
+    }
+
+    // ---- finish -------------------------------------------------------------
+
+    fn finish(self: &Arc<Self>, report: RunReport) -> ConcurrentOutput {
+        let st = self.st.lock();
+        let main_name = st.main_name;
+        let procedures = st.procedures;
+        let imported_interfaces = st.def_streams.len();
+        let import_nesting_depth = st.max_import_depth;
+        drop(st);
+        let image: Option<ModuleImage> = main_name.map(|name| {
+            let mut image = self.merger.finish();
+            image.name = name;
+            image.entry = name;
+            image
+        });
+        let sema = self.sema();
+        ConcurrentOutput {
+            image,
+            diagnostics: self.sink.take(),
+            stats: Arc::clone(sema.stats()),
+            interner: Arc::clone(&self.interner),
+            sources: Arc::clone(&self.sources),
+            report,
+            streams: 1 + imported_interfaces + procedures,
+            procedures,
+            imported_interfaces,
+            import_nesting_depth,
+        }
+    }
+}
+
+// ---- trait wiring ------------------------------------------------------
+
+/// An owning handle: the splitter and importer speak to the driver
+/// through `&dyn` traits, which need an owned `Arc` to spawn tasks.
+struct DriverHandle(Arc<Driver>);
+
+impl ImportSink for DriverHandle {
+    fn import_found(&self, module: Symbol, depth: usize) {
+        self.0.ensure_def_stream(module, depth);
+    }
+}
+
+impl StreamFactory for DriverHandle {
+    fn main_module_started(&self, name: Symbol, file: FileId) -> ScopeId {
+        let scope = self
+            .0
+            .tables()
+            .new_scope(ScopeKind::MainModule, name, None, file);
+        let mut st = self.0.st.lock();
+        st.scope_events.insert(scope, self.0.main_scope_event);
+        st.main_scope = Some(scope);
+        st.main_name = Some(name);
+        scope
+    }
+
+    fn proc_stream(&self, name: Symbol, file: FileId, parent: ScopeId) -> (StreamId, Arc<TokenQueue>) {
+        let this = &self.0;
+        let scope = this
+            .tables()
+            .new_scope(ScopeKind::Procedure, name, Some(parent), file);
+        let name_str = this.interner.resolve(name);
+        let scope_ev = this
+            .env
+            .new_event_named(EventClass::Handled, &format!("scope(proc {name_str})"));
+        let heading_ev = this
+            .env
+            .new_event_named(EventClass::Avoided, &format!("heading({name_str})"));
+        let q = TokenQueue::named(Arc::clone(&this.env), format!("proc({name_str})"));
+        let id = {
+            let mut st = this.st.lock();
+            let id = StreamId(st.next_stream);
+            st.next_stream += 1;
+            st.scope_events.insert(scope, scope_ev);
+            st.heading_events.insert(scope, heading_ev);
+            st.stream_scopes.insert(id, scope);
+            st.procedures += 1;
+            id
+        };
+        // Parser/DeclAnalyzer task for the procedure stream, gated on the
+        // heading event (§2.4 avoided event). Under Avoidance it is also
+        // gated on the parent scope's completion (§2.2).
+        let ancestor_events: Vec<EventId> = this
+            .tables()
+            .ancestry(scope)
+            .into_iter()
+            .skip(1)
+            .map(|s| this.scope_event(s))
+            .collect();
+        let body_q = Arc::clone(&q);
+        let spawn_this = Arc::clone(this);
+        let mut t = TaskDesc::new(
+            format!("procparse({name_str})"),
+            TaskKind::ProcParse,
+            Box::new(move || spawn_this.proc_parse(id, scope, body_q)),
+        );
+        t.prereqs = vec![heading_ev];
+        if this.strategy == DkyStrategy::Avoidance {
+            t.prereqs.push(this.scope_event(parent));
+        }
+        t.signals = vec![scope_ev];
+        t.may_wait = WaitSet {
+            events: ancestor_events,
+            all_def_scopes: true,
+            any_barrier: true,
+        };
+        this.env.spawn(t);
+        (id, q)
+    }
+
+    fn scope_for(&self, stream: StreamId) -> Option<ScopeId> {
+        self.0.st.lock().stream_scopes.get(&stream).copied()
+    }
+}
+
+impl TableNotifier for Driver {
+    fn scope_completed(&self, scope: ScopeId) {
+        let (ev, symbol_evs) = {
+            let st = self.st.lock();
+            let ev = st.scope_events.get(&scope).copied();
+            let evs: Vec<EventId> = st
+                .symbol_events
+                .iter()
+                .filter(|((s, _), _)| *s == scope)
+                .map(|(_, &e)| e)
+                .collect();
+            (ev, evs)
+        };
+        if let Some(e) = ev {
+            self.env.signal(e);
+        }
+        // Optimistic handling: completing a table signals every unsignaled
+        // per-symbol event (the "traverse and signal" sweep of §2.3.3).
+        for e in symbol_evs {
+            self.env.signal(e);
+        }
+    }
+
+    fn symbol_inserted(&self, scope: ScopeId, name: Symbol) {
+        let ev = self.st.lock().symbol_events.get(&(scope, name)).copied();
+        if let Some(e) = ev {
+            self.env.signal(e);
+        }
+    }
+}
+
+impl DkyWaiter for Driver {
+    fn wait_scope_complete(&self, scope: ScopeId) {
+        let ev = self.scope_event(scope);
+        self.env.wait(ev);
+    }
+
+    fn wait_symbol(&self, scope: ScopeId, name: Symbol) {
+        let ev = {
+            let mut st = self.st.lock();
+            *st.symbol_events
+                .entry((scope, name))
+                .or_insert_with(|| self.env.new_event(EventClass::Handled))
+        };
+        // Avoid lost wakeups: the symbol may have arrived (or the table
+        // completed) before the event existed.
+        let table = self.tables().scope(scope);
+        if table.is_complete() || table.get(name).is_some() {
+            self.env.signal(ev);
+        }
+        // Hint: whoever completes the scope also resolves this symbol
+        // event, so "run the resolver" scheduling works for the
+        // dynamically created per-symbol events too.
+        self.env.wait_hinted(ev, Some(self.scope_event(scope)));
+    }
+}
+
+struct DriverHooks<'a> {
+    driver: &'a Arc<Driver>,
+}
+
+impl DeclareHooks for DriverHooks<'_> {
+    fn scope_for_stream(&self, stream: StreamId) -> ScopeId {
+        self.driver
+            .st
+            .lock()
+            .stream_scopes
+            .get(&stream)
+            .copied()
+            .expect("stream registered by splitter")
+    }
+
+    fn heading_done(&self, scope: ScopeId, code_name: Symbol, sig: &ProcSig) {
+        let ev = {
+            let mut st = self.driver.st.lock();
+            st.heading_info.insert(scope, (code_name, sig.clone()));
+            st.heading_events.get(&scope).copied()
+        };
+        if let Some(e) = ev {
+            self.driver.env.signal(e);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The Splitter task: early source splitting (paper §2.1, §3).
+//!
+//! A finite-state recognizer over the main module's token stream. It
+//! relies on reserved words determining program structure: by balancing
+//! the `END`-consuming openers it can find where each `PROCEDURE …
+//! END Name ;` begins and ends *without parsing*. For every procedure it
+//! discovers (at any nesting depth) it:
+//!
+//! 1. creates a new stream via the [`StreamFactory`] (which pre-creates
+//!    the procedure's scope and schedules its tasks);
+//! 2. copies the heading tokens to **both** the enclosing stream and the
+//!    new stream (the enclosing scope must process the heading — §2.4);
+//! 3. diverts the body tokens to the new stream only, leaving a
+//!    [`TokenKind::ProcStub`] marker in the enclosing stream;
+//! 4. recognizes the closing `END Name ;` by depth matching.
+//!
+//! The "small amount of token stream lookahead" the paper mentions (§2.1)
+//! resolves `PROCEDURE` used as a *type* (`TYPE F = PROCEDURE(…)`):
+//! a procedure declaration is recognized only when an identifier follows.
+
+use std::sync::Arc;
+
+use ccm2_support::ids::{ScopeId, StreamId};
+use ccm2_support::intern::Symbol;
+use ccm2_support::source::FileId;
+use ccm2_syntax::token::{Token, TokenKind};
+
+use crate::queue::TokenQueue;
+
+/// Driver-side factory the splitter calls when it discovers structure.
+pub trait StreamFactory: Send + Sync {
+    /// The splitter read the module header: create the main module scope.
+    fn main_module_started(&self, name: Symbol, file: FileId) -> ScopeId;
+    /// The splitter found `PROCEDURE name` nested in `parent` scope:
+    /// create the procedure's stream (scope, queue, tasks).
+    fn proc_stream(
+        &self,
+        name: Symbol,
+        file: FileId,
+        parent: ScopeId,
+    ) -> (StreamId, Arc<TokenQueue>);
+    /// The scope created for `stream` (needed to parent nested
+    /// procedures).
+    fn scope_for(&self, stream: StreamId) -> Option<ScopeId>;
+}
+
+/// A token source the splitter reads from (blocking).
+pub trait SplitInput {
+    /// The `i`-th token, blocking until produced; `None` at end of stream.
+    fn get(&self, i: usize) -> Option<Token>;
+}
+
+impl SplitInput for crate::queue::StreamCursor {
+    fn get(&self, i: usize) -> Option<Token> {
+        ccm2_syntax::parser::TokenSource::get(self, i)
+    }
+}
+
+impl SplitInput for Vec<Token> {
+    fn get(&self, i: usize) -> Option<Token> {
+        self.as_slice().get(i).copied()
+    }
+}
+
+struct Frame {
+    sink: Arc<TokenQueue>,
+    scope: Option<ScopeId>,
+    /// Unclosed END-consuming openers inside this frame.
+    depth: i64,
+    /// Frames above the bottom one are procedure streams (closed when
+    /// their END arrives).
+    is_proc: bool,
+}
+
+/// Statistics about one splitter run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SplitReport {
+    /// Number of procedure streams created.
+    pub procedures: usize,
+    /// Tokens processed.
+    pub tokens: usize,
+}
+
+/// Runs the splitter: consumes `input`, routes tokens to `main_out` and
+/// to procedure streams created through `factory`. Closes every stream it
+/// opened (and `main_out`) before returning.
+pub fn run_splitter(
+    input: &dyn SplitInput,
+    main_out: Arc<TokenQueue>,
+    factory: &dyn StreamFactory,
+) -> SplitReport {
+    let mut report = SplitReport::default();
+    let mut stack: Vec<Frame> = vec![Frame {
+        sink: main_out,
+        scope: None,
+        depth: 0,
+        is_proc: false,
+    }];
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Option<Token> {
+        let t = input.get(*pos);
+        if t.is_some() {
+            *pos += 1;
+        }
+        t
+    };
+
+    while let Some(t) = next(&mut pos) {
+        report.tokens += 1;
+        let top = stack.last_mut().expect("bottom frame always present");
+        match t.kind {
+            TokenKind::Module => {
+                top.depth += 1;
+                top.sink.push(t);
+                // The module name follows (possibly after nothing at all
+                // in malformed input).
+                if let Some(name_tok) = input.get(pos) {
+                    if let TokenKind::Ident(name) = name_tok.kind {
+                        if top.scope.is_none() && stack.len() == 1 {
+                            // Create the scope BEFORE forwarding the name
+                            // token, so downstream tasks always find it.
+                            let scope = factory.main_module_started(name, name_tok.file);
+                            stack.last_mut().expect("frame").scope = Some(scope);
+                        }
+                    }
+                }
+            }
+            k if k.opens_end_block() => {
+                top.depth += 1;
+                top.sink.push(t);
+            }
+            TokenKind::End => {
+                top.depth -= 1;
+                if top.is_proc && top.depth < 0 {
+                    // This END closes the current procedure stream:
+                    // `END Name ;` goes to the procedure stream, which is
+                    // then complete.
+                    top.sink.push(t);
+                    report.tokens += copy_end_name(input, &mut pos, &top.sink);
+                    let frame = stack.pop().expect("proc frame");
+                    frame.sink.close();
+                } else {
+                    top.sink.push(t);
+                }
+            }
+            TokenKind::Procedure => {
+                // Lookahead: declaration only if an identifier follows.
+                let Some(next_tok) = input.get(pos) else {
+                    top.sink.push(t);
+                    continue;
+                };
+                let TokenKind::Ident(name) = next_tok.kind else {
+                    // Procedure *type* — plain pass-through.
+                    top.sink.push(t);
+                    continue;
+                };
+                let Some(parent_scope) = top.scope else {
+                    // PROCEDURE before the module header: malformed; let
+                    // the parser report it.
+                    top.sink.push(t);
+                    continue;
+                };
+                report.procedures += 1;
+                let (stream, proc_q) = factory.proc_stream(name, next_tok.file, parent_scope);
+                // Heading: `PROCEDURE Name … ;` (first `;` at paren depth
+                // 0) — copied to both the enclosing stream and the new
+                // one.
+                let mut heading = vec![t];
+                let mut paren_depth = 0i64;
+                loop {
+                    let Some(ht) = next(&mut pos) else { break };
+                    report.tokens += 1;
+                    heading.push(ht);
+                    match ht.kind {
+                        TokenKind::LParen => paren_depth += 1,
+                        TokenKind::RParen => paren_depth -= 1,
+                        TokenKind::Semi if paren_depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                let top = stack.last_mut().expect("frame");
+                for &ht in &heading {
+                    top.sink.push(ht);
+                }
+                // Stub replaces the body in the enclosing stream (§3:
+                // "stripped of all embedded streams").
+                let stub_span = heading.last().map(|h| h.span).unwrap_or_default();
+                let stub_file = heading.last().map(|h| h.file).unwrap_or(FileId(0));
+                top.sink
+                    .push(Token::new(TokenKind::ProcStub(stream), stub_span, stub_file));
+                top.sink.push(Token::new(TokenKind::Semi, stub_span, stub_file));
+                // The new stream gets the heading then its body tokens.
+                proc_q.extend(heading.iter().copied());
+                let child_scope = factory.scope_for(stream);
+                stack.push(Frame {
+                    sink: proc_q,
+                    scope: child_scope,
+                    depth: 0,
+                    is_proc: true,
+                });
+            }
+            _ => top.sink.push(t),
+        }
+    }
+    // Close every stream (unterminated procedure streams included — their
+    // parsers will report the malformed input).
+    while let Some(frame) = stack.pop() {
+        frame.sink.close();
+    }
+    report
+}
+
+/// After the procedure's END: copy the closing name and semicolon to the
+/// procedure stream. Returns tokens consumed.
+fn copy_end_name(input: &dyn SplitInput, pos: &mut usize, sink: &Arc<TokenQueue>) -> usize {
+    let mut copied = 0;
+    // `END` was already pushed; expect Ident then Semi (copy whatever is
+    // there so the stream parser can report precise errors).
+    for _ in 0..2 {
+        let Some(t) = input.get(*pos) else { break };
+        let stop = !matches!(t.kind, TokenKind::Ident(_) | TokenKind::Semi);
+        if stop {
+            break;
+        }
+        *pos += 1;
+        copied += 1;
+        let is_semi = t.kind == TokenKind::Semi;
+        sink.push(t);
+        if is_semi {
+            break;
+        }
+    }
+    copied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_sched::{run_threaded, ExecEnv};
+    use ccm2_support::intern::Interner;
+    use ccm2_support::source::SourceMap;
+    use ccm2_support::DiagnosticSink;
+    use ccm2_syntax::lexer::lex_file;
+    use parking_lot::Mutex;
+
+    struct TestFactory {
+        env: Arc<dyn ExecEnv>,
+        tables: Arc<ccm2_sema::symtab::SymbolTables>,
+        streams: Mutex<Vec<(StreamId, Symbol, ScopeId, Arc<TokenQueue>)>>,
+        scopes: Mutex<std::collections::HashMap<StreamId, ScopeId>>,
+        next: std::sync::atomic::AtomicU32,
+    }
+
+    impl StreamFactory for TestFactory {
+        fn main_module_started(&self, name: Symbol, file: FileId) -> ScopeId {
+            self.tables
+                .new_scope(ccm2_sema::symtab::ScopeKind::MainModule, name, None, file)
+        }
+        fn proc_stream(
+            &self,
+            name: Symbol,
+            file: FileId,
+            parent: ScopeId,
+        ) -> (StreamId, Arc<TokenQueue>) {
+            let id = StreamId(
+                self.next
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            );
+            let scope = self.tables.new_scope(
+                ccm2_sema::symtab::ScopeKind::Procedure,
+                name,
+                Some(parent),
+                file,
+            );
+            let q = TokenQueue::new(Arc::clone(&self.env));
+            self.streams.lock().push((id, name, scope, Arc::clone(&q)));
+            self.scopes.lock().insert(id, scope);
+            (id, q)
+        }
+        fn scope_for(&self, stream: StreamId) -> Option<ScopeId> {
+            self.scopes.lock().get(&stream).copied()
+        }
+    }
+
+
+
+    fn split_source(src: &str) -> (Vec<TokenKind>, Vec<(String, Vec<TokenKind>)>) {
+        let interner = Arc::new(Interner::new());
+        let out: Arc<Mutex<(Vec<TokenKind>, Vec<(String, Vec<TokenKind>)>)>> =
+            Arc::new(Mutex::new((vec![], vec![])));
+        let out2 = Arc::clone(&out);
+        let interner2 = Arc::clone(&interner);
+        let src = src.to_string();
+        run_threaded(1, move |sup| {
+            let env: Arc<dyn ExecEnv> = Arc::clone(sup) as Arc<dyn ExecEnv>;
+            let map = SourceMap::new();
+            let file = map.add("M.mod", src.clone());
+            let sink = DiagnosticSink::new();
+            let tokens = lex_file(&file, &interner2, &sink);
+            let tables = Arc::new(ccm2_sema::symtab::SymbolTables::new());
+            let factory = Arc::new(TestFactory {
+                env: Arc::clone(&env),
+                tables,
+                streams: Mutex::new(vec![]),
+                scopes: Mutex::new(Default::default()),
+                next: std::sync::atomic::AtomicU32::new(0),
+            });
+            let main_q = TokenQueue::new(Arc::clone(&env));
+            let fac2 = Arc::clone(&factory);
+            let mq2 = Arc::clone(&main_q);
+            sup.spawn(ccm2_sched::task::TaskDesc::new(
+                "split",
+                ccm2_sched::TaskKind::Splitter,
+                Box::new(move || {
+                    run_splitter(&tokens, mq2, fac2.as_ref());
+                }),
+            ));
+            let out3 = Arc::clone(&out2);
+            let fac3 = Arc::clone(&factory);
+            let mq3 = Arc::clone(&main_q);
+            let interner3 = Arc::clone(&interner2);
+            let mut collect = ccm2_sched::task::TaskDesc::new(
+                "collect",
+                ccm2_sched::TaskKind::Merge,
+                Box::new(move || {
+                    let mut main = Vec::new();
+                    let mut i = 0;
+                    while let Some(t) = mq3.get_blocking(i) {
+                        main.push(t.kind);
+                        i += 1;
+                    }
+                    let mut procs = Vec::new();
+                    for (_, name, _, q) in fac3.streams.lock().iter() {
+                        let mut toks = Vec::new();
+                        let mut i = 0;
+                        while let Some(t) = q.get_blocking(i) {
+                            toks.push(t.kind);
+                            i += 1;
+                        }
+                        procs.push((interner3.resolve(*name), toks));
+                    }
+                    *out3.lock() = (main, procs);
+                }),
+            );
+            collect.may_wait = ccm2_sched::WaitSet {
+                events: vec![],
+                all_def_scopes: false,
+                any_barrier: true,
+            };
+            sup.spawn(collect);
+        });
+        let r = out.lock().clone();
+        r
+    }
+
+    #[test]
+    fn no_procedures_passes_through() {
+        let (main, procs) = split_source("MODULE M; VAR x : INTEGER; BEGIN x := 1 END M.");
+        assert!(procs.is_empty());
+        assert_eq!(main.len(), 15);
+        assert!(!main.iter().any(|k| matches!(k, TokenKind::ProcStub(_))));
+    }
+
+    #[test]
+    fn procedure_extracted_with_stub() {
+        let (main, procs) = split_source(
+            "MODULE M; PROCEDURE P(a : INTEGER); BEGIN a := 1 END P; BEGIN END M.",
+        );
+        assert_eq!(procs.len(), 1);
+        let (name, toks) = &procs[0];
+        assert_eq!(name, "P");
+        // Proc stream: PROCEDURE P ( a : INTEGER ) ; BEGIN a := 1 END P ;
+        assert_eq!(toks[0], TokenKind::Procedure);
+        assert_eq!(*toks.last().expect("tokens"), TokenKind::Semi);
+        assert!(toks.contains(&TokenKind::Begin));
+        // Main stream: heading + stub, no BEGIN from the proc body before
+        // the module body.
+        assert!(main.iter().any(|k| matches!(k, TokenKind::ProcStub(_))));
+        let assigns = main.iter().filter(|k| **k == TokenKind::Assign).count();
+        assert_eq!(assigns, 0, "proc body diverted away from main stream");
+        // Heading appears in both streams.
+        assert!(main.contains(&TokenKind::Procedure));
+    }
+
+    #[test]
+    fn nested_procedures_get_own_streams() {
+        let (_, procs) = split_source(
+            "MODULE M; \
+             PROCEDURE Outer; \
+               VAR t : INTEGER; \
+               PROCEDURE Inner(k : INTEGER); BEGIN t := k END Inner; \
+             BEGIN Inner(1) END Outer; \
+             BEGIN END M.",
+        );
+        assert_eq!(procs.len(), 2);
+        let outer = procs.iter().find(|(n, _)| n == "Outer").expect("outer");
+        let inner = procs.iter().find(|(n, _)| n == "Inner").expect("inner");
+        // Outer's stream contains Inner's heading and a stub, not its body.
+        assert!(outer.1.iter().any(|k| matches!(k, TokenKind::ProcStub(_))));
+        assert!(inner.1.contains(&TokenKind::Begin));
+        // Inner body went only to inner's stream.
+        let outer_assigns = outer.1.iter().filter(|k| **k == TokenKind::Assign).count();
+        assert_eq!(outer_assigns, 0);
+    }
+
+    #[test]
+    fn procedure_type_not_split() {
+        let (main, procs) = split_source(
+            "MODULE M; TYPE F = PROCEDURE (INTEGER) : INTEGER; VAR f : F; BEGIN END M.",
+        );
+        assert!(procs.is_empty(), "PROCEDURE as a type must not split");
+        assert!(main.contains(&TokenKind::Procedure));
+    }
+
+    #[test]
+    fn end_matching_through_control_flow() {
+        let (_, procs) = split_source(
+            "MODULE M; \
+             PROCEDURE P; \
+             BEGIN \
+               IF TRUE THEN \
+                 WHILE FALSE DO \
+                   LOOP EXIT END \
+                 END \
+               END; \
+               CASE 1 OF 1 : END; \
+               LOCK m DO END; \
+               TRY EXCEPT END \
+             END P; \
+             BEGIN END M.",
+        );
+        assert_eq!(procs.len(), 1);
+        let toks = &procs[0].1;
+        // Final three tokens are END P ;
+        let n = toks.len();
+        assert_eq!(toks[n - 3], TokenKind::End);
+        assert!(matches!(toks[n - 2], TokenKind::Ident(_)));
+        assert_eq!(toks[n - 1], TokenKind::Semi);
+    }
+
+    #[test]
+    fn record_ends_balanced_in_declarations() {
+        let (_, procs) = split_source(
+            "MODULE M; \
+             PROCEDURE P; \
+               TYPE R = RECORD x : INTEGER END; \
+               VAR r : R; \
+             BEGIN r.x := 1 END P; \
+             BEGIN END M.",
+        );
+        assert_eq!(procs.len(), 1);
+        assert!(procs[0].1.contains(&TokenKind::Record));
+    }
+
+    #[test]
+    fn procedure_with_proc_type_param_splits_once() {
+        let (_, procs) = split_source(
+            "MODULE M; \
+             PROCEDURE Apply(f : PROCEDURE(INTEGER); x : INTEGER); \
+             BEGIN f(x) END Apply; \
+             BEGIN END M.",
+        );
+        assert_eq!(procs.len(), 1, "inner PROCEDURE is a type, not a split");
+        assert_eq!(procs[0].0, "Apply");
+    }
+}

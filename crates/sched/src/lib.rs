@@ -1,0 +1,169 @@
+//! The Supervisors task scheduler (paper §2.3) with two interchangeable
+//! executors.
+//!
+//! * [`threaded`] — real OS-thread workers, one per assumed processor:
+//!   the paper's deployment model.
+//! * [`sim`] — a deterministic virtual-time executor that runs the same
+//!   task bodies on P *simulated* processors, used to reproduce the
+//!   1–8-processor speedup experiments on a single-CPU host (see
+//!   DESIGN.md's substitution table).
+//!
+//! Both implement [`ExecEnv`], so the compiler driver is written once.
+//! Events come in the three classes of §2.3.3 ([`EventClass`]); tasks
+//! carry the §2.3.4 priority classes and the declared signal/wait sets
+//! that drive blocked-worker rescheduling and its anti-deadlock
+//! eligibility rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use ccm2_sched::{run_threaded, ExecEnv, task::{TaskDesc, TaskKind}};
+//!
+//! let hits = Arc::new(AtomicU32::new(0));
+//! let h = Arc::clone(&hits);
+//! run_threaded(2, |sup| {
+//!     sup.spawn(TaskDesc::new(
+//!         "demo",
+//!         TaskKind::Lexor,
+//!         Box::new(move || { h.fetch_add(1, Ordering::Relaxed); }),
+//!     ));
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 1);
+//! ```
+
+pub mod sim;
+pub mod task;
+pub mod threaded;
+pub mod trace;
+
+use ccm2_support::ids::EventId;
+use ccm2_support::work::{Work, WorkMeter};
+
+pub use sim::{run_sim, SimConfig, SimEnv};
+pub use task::{TaskDesc, TaskKind, WaitSet};
+pub use threaded::{run_threaded, ThreadedSupervisor};
+pub use trace::{render_watchtool, Segment, Trace};
+
+/// The three event categories of paper §2.3.3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventClass {
+    /// Must occur before dependent tasks are even assigned to a worker
+    /// (implemented as task prereqs).
+    Avoided,
+    /// Tasks may start and block on it; a blocked worker is rescheduled
+    /// onto other eligible tasks.
+    Handled,
+    /// A handled event whose waiter is *not* rescheduled (token-block
+    /// queues; producers never block, so plain waiting is safe).
+    Barrier,
+}
+
+/// The execution environment seen by compiler tasks: events, task
+/// spawning, blocking, and work charging. Implemented by both executors.
+pub trait ExecEnv: Send + Sync {
+    /// Creates an event of the given class.
+    fn new_event(&self, class: EventClass) -> EventId;
+    /// Creates a labeled event (labels appear in scheduler diagnostics;
+    /// the default discards them).
+    fn new_event_named(&self, class: EventClass, name: &str) -> EventId {
+        let _ = name;
+        self.new_event(class)
+    }
+    /// Signals an event (idempotent).
+    fn signal(&self, event: EventId);
+    /// Whether an event has been signaled.
+    fn is_signaled(&self, event: EventId) -> bool;
+    /// Blocks the calling task until the event occurs, applying the
+    /// §2.3.4 blocked-worker rescheduling rules.
+    fn wait(&self, event: EventId) {
+        self.wait_hinted(event, None);
+    }
+    /// Like [`ExecEnv::wait`], with a hint: the task that signals
+    /// `signaler_hint` will also resolve `event`. Used by the Optimistic
+    /// DKY strategy, whose per-symbol events are created dynamically and
+    /// therefore appear in no task's declared signal set — without the
+    /// hint, the scheduler's "preferentially run the task which will
+    /// resolve the DKY blockage" rule (§2.2) cannot find the resolver,
+    /// and deep import chains can wedge every worker.
+    fn wait_hinted(&self, event: EventId, signaler_hint: Option<EventId>);
+    /// Adds a task to the supervisor's queues.
+    fn spawn(&self, task: TaskDesc);
+    /// Charges work units (advances virtual time under [`sim`]).
+    fn charge(&self, work: Work, units: u64);
+    /// The current time in the executor's units (micros for threads,
+    /// virtual units for the simulator; the simulator returns 0 to task
+    /// code, which must not observe the clock).
+    fn virtual_now(&self) -> u64;
+}
+
+/// Adapts an [`ExecEnv`] to the [`WorkMeter`] interface the semantic
+/// analysis and code generation crates charge through.
+pub struct EnvMeter<E: ExecEnv + ?Sized>(pub std::sync::Arc<E>);
+
+impl<E: ExecEnv + ?Sized> WorkMeter for EnvMeter<E> {
+    fn charge(&self, work: Work, units: u64) {
+        self.0.charge(work, units);
+    }
+}
+
+impl<E: ExecEnv + ?Sized> std::fmt::Debug for EnvMeter<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EnvMeter(..)")
+    }
+}
+
+/// The outcome of a scheduled run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual makespan (simulator only).
+    pub virtual_time: Option<u64>,
+    /// Wall-clock duration in microseconds (threaded executor).
+    pub wall_micros: u64,
+    /// Execution trace (WatchTool input).
+    pub trace: Trace,
+    /// Number of tasks completed.
+    pub tasks_run: usize,
+    /// Total units charged per [`Work`] kind.
+    pub charges: [u64; 10],
+}
+
+impl RunReport {
+    /// The run's duration in its native unit.
+    pub fn duration(&self) -> u64 {
+        self.virtual_time.unwrap_or(self.wall_micros)
+    }
+
+    /// Total charged units across all work kinds.
+    pub fn total_work(&self) -> u64 {
+        self.charges.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn env_meter_forwards() {
+        let report = run_threaded(1, |sup| {
+            let meter = EnvMeter(Arc::clone(sup));
+            meter.charge(Work::Lex, 123);
+        });
+        assert_eq!(report.charges[Work::Lex as usize], 123);
+    }
+
+    #[test]
+    fn run_report_duration_prefers_virtual() {
+        let r = RunReport {
+            virtual_time: Some(42),
+            wall_micros: 7,
+            trace: Trace::default(),
+            tasks_run: 0,
+            charges: [0; 10],
+        };
+        assert_eq!(r.duration(), 42);
+    }
+}

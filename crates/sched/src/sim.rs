@@ -1,0 +1,1152 @@
+//! The virtual-time multiprocessor executor.
+//!
+//! The paper's evaluation sweeps 1–8 Firefly CVax processors; this
+//! reproduction's host has one CPU, so speedup cannot be observed on the
+//! wall clock. This executor runs the *actual* compiler task bodies —
+//! real lexing, real symbol tables, real code generation — but schedules
+//! them on `P` *virtual processors* under exactly the Supervisors rules
+//! of the threaded executor, advancing a virtual clock from the work each
+//! task charges ([`ccm2_support::work::WorkMeter`] units).
+//!
+//! Mechanically, every task runs on its own parked OS thread; a
+//! single-threaded controller resumes exactly one task at a time and
+//! always steps the runnable processor with the smallest local clock, so
+//! shared-state mutations happen in virtual-time order and the whole
+//! simulation is deterministic. The cost model includes the Firefly's
+//! memory-bus saturation (§4.1): each charged unit is inflated by a
+//! contention factor that grows with the number of concurrently busy
+//! processors.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ccm2_support::ids::EventId;
+use ccm2_support::work::Work;
+
+use crate::task::{priority_key, TaskDesc, TaskKind, WaitSet};
+use crate::trace::{Segment, Trace};
+use crate::{EventClass, ExecEnv, RunReport};
+
+/// Configuration for a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of virtual processors (the paper sweeps 1..=8).
+    pub procs: u32,
+    /// Per-unit cost multiplier for each [`Work`] kind (indexed by the
+    /// enum's discriminant order). 1.0 means one charged unit = one
+    /// virtual time unit.
+    pub cost: [f64; 10],
+    /// Memory-bus contention: each unit is multiplied by
+    /// `1 + contention_alpha × (busy − 1)` where `busy` is the number of
+    /// processors executing at charge time (Firefly bus saturation).
+    pub contention_alpha: f64,
+    /// Fixed virtual cost of dispatching a task to a worker (scheduling
+    /// overhead; also what makes the 1-processor concurrent compiler
+    /// slower than the sequential one, §4.2).
+    pub dispatch_cost: u64,
+    /// Whether a worker whose task blocks on a handled event is
+    /// rescheduled onto other eligible tasks (the Supervisors extension
+    /// of WorkCrews, §2.3.2). `false` models plain WorkCrews: blocked
+    /// workers simply wait — an ablation quantifying what the paper's
+    /// extension buys.
+    pub reschedule_blocked: bool,
+}
+
+impl SimConfig {
+    /// A config with unit costs and no contention.
+    pub fn new(procs: u32) -> SimConfig {
+        SimConfig {
+            procs,
+            cost: [1.0; 10],
+            contention_alpha: 0.0,
+            dispatch_cost: 0,
+            reschedule_blocked: true,
+        }
+    }
+
+    /// The calibrated "Firefly-like" model used by the benchmark harness.
+    ///
+    /// Calibration (see EXPERIMENTS.md): the front-end kinds (lex, split,
+    /// import) are cheap relative to semantic analysis and code
+    /// generation, as in real compilers; the contention term models the
+    /// Firefly's memory-bus saturation and fixed processor priorities
+    /// (§4.1), which the paper cites as the cause of sub-linear speedup.
+    /// Cost index order follows [`Work::ALL`]: Lex, Split, Import, Parse,
+    /// DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead.
+    pub fn firefly(procs: u32) -> SimConfig {
+        SimConfig {
+            procs,
+            cost: [0.05, 0.015, 0.01, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0],
+            contention_alpha: 0.03,
+            dispatch_cost: 6,
+            reschedule_blocked: true,
+        }
+    }
+}
+
+/// How many accumulated work units a task buffers before yielding to the
+/// controller. Virtual time advances in lumps of at most this size, which
+/// keeps controller handshakes (two thread switches each) amortized.
+const CHARGE_QUANTUM: u64 = 256;
+
+enum Action {
+    /// Accumulated charge per work kind.
+    Charge([u64; 10]),
+    /// Wait on an event, with an optional co-signaler hint (see
+    /// [`crate::ExecEnv::wait_hinted`]).
+    Wait(EventId, Option<EventId>),
+    Finish,
+}
+
+struct YieldMsg {
+    signals: Vec<EventId>,
+    spawns: Vec<TaskDesc>,
+    action: Action,
+}
+
+struct TaskChannels {
+    resume_tx: SyncSender<()>,
+    yield_rx: Receiver<YieldMsg>,
+}
+
+enum TaskState {
+    NotStarted(crate::task::TaskBody),
+    Running(TaskChannels),
+    Done,
+}
+
+struct SimTask {
+    name: String,
+    kind: TaskKind,
+    signals: Vec<EventId>,
+    signals_def_scope: bool,
+    signals_barriers: bool,
+    may_wait: WaitSet,
+    state: TaskState,
+}
+
+struct EvState {
+    class: EventClass,
+    signaled: bool,
+}
+
+/// State shared between the controller and task threads (only one of
+/// which executes at any instant).
+struct SharedState {
+    events: Vec<EvState>,
+    prestart_spawns: Vec<TaskDesc>,
+    prestart_signals: Vec<EventId>,
+}
+
+/// The simulated execution environment handed to compiler tasks.
+pub struct SimEnv {
+    shared: Mutex<SharedState>,
+}
+
+thread_local! {
+    static SIM_TASK: RefCell<Option<SimTaskCtx>> = const { RefCell::new(None) };
+}
+
+struct SimTaskCtx {
+    yield_tx: SyncSender<YieldMsg>,
+    resume_rx: Receiver<()>,
+    pending_signals: Vec<EventId>,
+    pending_spawns: Vec<TaskDesc>,
+    pending_charge: [u64; 10],
+    pending_total: u64,
+}
+
+impl SimTaskCtx {
+    fn yield_with(&mut self, action: Action) {
+        let msg = YieldMsg {
+            signals: std::mem::take(&mut self.pending_signals),
+            spawns: std::mem::take(&mut self.pending_spawns),
+            action,
+        };
+        self.yield_tx.send(msg).expect("controller alive");
+    }
+
+    /// Yields the buffered charge (if any) and waits to be resumed.
+    fn flush_charge(&mut self) {
+        if self.pending_total == 0 {
+            return;
+        }
+        let lump = std::mem::take(&mut self.pending_charge);
+        self.pending_total = 0;
+        self.yield_with(Action::Charge(lump));
+        self.resume_rx.recv().expect("controller alive");
+    }
+}
+
+impl ExecEnv for SimEnv {
+    fn new_event(&self, class: EventClass) -> EventId {
+        let mut sh = self.shared.lock();
+        let id = EventId(sh.events.len() as u32);
+        sh.events.push(EvState {
+            class,
+            signaled: false,
+        });
+        id
+    }
+
+    fn signal(&self, event: EventId) {
+        self.shared.lock().events[event.index()].signaled = true;
+        let in_task = SIM_TASK.with(|t| {
+            let mut b = t.borrow_mut();
+            if let Some(ctx) = b.as_mut() {
+                ctx.pending_signals.push(event);
+                true
+            } else {
+                false
+            }
+        });
+        if !in_task {
+            self.shared.lock().prestart_signals.push(event);
+        }
+    }
+
+    fn is_signaled(&self, event: EventId) -> bool {
+        self.shared.lock().events[event.index()].signaled
+    }
+
+    fn wait_hinted(&self, event: EventId, signaler_hint: Option<EventId>) {
+        // Flush buffered work (so the wait happens at the right virtual
+        // time), yield a Wait action, then block until resumed (which the
+        // controller does once the event has occurred in virtual time).
+        SIM_TASK.with(|t| {
+            let mut b = t.borrow_mut();
+            let ctx = b.as_mut().expect("wait() outside a simulated task");
+            ctx.flush_charge();
+            ctx.yield_with(Action::Wait(event, signaler_hint));
+        });
+        SIM_TASK.with(|t| {
+            let b = t.borrow();
+            let ctx = b.as_ref().expect("sim task ctx");
+            ctx.resume_rx.recv().expect("controller alive");
+        });
+    }
+
+    fn spawn(&self, task: TaskDesc) {
+        let leftover = SIM_TASK.with(|t| {
+            let mut b = t.borrow_mut();
+            match b.as_mut() {
+                Some(ctx) => {
+                    ctx.pending_spawns.push(task);
+                    None
+                }
+                None => Some(task),
+            }
+        });
+        if let Some(task) = leftover {
+            // Setup-thread spawn (before the controller starts).
+            self.shared.lock().prestart_spawns.push(task);
+        }
+    }
+
+    fn charge(&self, work: Work, units: u64) {
+        if units == 0 {
+            return;
+        }
+        SIM_TASK.with(|t| {
+            let mut b = t.borrow_mut();
+            let Some(ctx) = b.as_mut() else {
+                return; // setup-thread charges don't consume virtual time
+            };
+            ctx.pending_charge[work as usize] += units;
+            ctx.pending_total += units;
+            if ctx.pending_total >= CHARGE_QUANTUM {
+                ctx.flush_charge();
+            }
+        });
+    }
+
+    fn virtual_now(&self) -> u64 {
+        0 // tasks do not observe the clock directly
+    }
+}
+
+struct Proc {
+    clock: u64,
+    current: Option<usize>,
+    /// Suspended tasks (bottom→top) with the event each awaits and the
+    /// co-signaler hint, if any.
+    stack: Vec<(usize, EventId, Option<EventId>)>,
+}
+
+type PrioKey = (usize, std::cmp::Reverse<u64>, u64);
+
+struct PendingEntry {
+    prereqs: Vec<EventId>,
+    key: PrioKey,
+    task_ix: usize,
+}
+
+/// Runs a task graph on `config.procs` virtual processors. `setup`
+/// creates events and spawns the initial tasks, exactly as with
+/// [`crate::threaded::run_threaded`]; the run is fully deterministic for
+/// a deterministic task graph.
+///
+/// # Panics
+///
+/// Panics if the task graph deadlocks (nothing runnable while tasks
+/// remain), mirroring the threaded executor's detector.
+pub fn run_sim(config: SimConfig, setup: impl FnOnce(&Arc<SimEnv>)) -> RunReport {
+    assert!(config.procs >= 1, "need at least one processor");
+    let env = Arc::new(SimEnv {
+        shared: Mutex::new(SharedState {
+            events: Vec::new(),
+            prestart_spawns: Vec::new(),
+            prestart_signals: Vec::new(),
+        }),
+    });
+    setup(&env);
+    Controller::new(Arc::clone(&env), config).run()
+}
+
+/// Spawns a task from outside the simulation (setup phase).
+pub fn spawn_prestart(env: &Arc<SimEnv>, task: TaskDesc) {
+    env.shared.lock().prestart_spawns.push(task);
+}
+
+struct Controller {
+    env: Arc<SimEnv>,
+    config: SimConfig,
+    tasks: Vec<SimTask>,
+    ready: BTreeMap<PrioKey, (usize, u64)>, // key -> (task index, ready_time)
+    pending: Vec<PendingEntry>,
+    /// wake time of each signaled event (indexed by event id; None =
+    /// unsignaled so far as the controller has processed).
+    wake_time: Vec<Option<u64>>,
+    /// tasks blocked on an event: event -> (proc, task) entries.
+    procs: Vec<Proc>,
+    seq: u64,
+    outstanding: usize,
+    trace: Trace,
+    charges: [u64; 10],
+    tasks_run: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Controller {
+    fn new(env: Arc<SimEnv>, config: SimConfig) -> Controller {
+        let procs = (0..config.procs)
+            .map(|_| Proc {
+                clock: 0,
+                current: None,
+                stack: Vec::new(),
+            })
+            .collect();
+        Controller {
+            env,
+            config,
+            tasks: Vec::new(),
+            ready: BTreeMap::new(),
+            pending: Vec::new(),
+            wake_time: Vec::new(),
+            procs,
+            seq: 0,
+            outstanding: 0,
+            trace: Trace::default(),
+            charges: [0; 10],
+            tasks_run: 0,
+            handles: Vec::new(),
+        }
+    }
+
+    fn ensure_wake_len(&mut self) {
+        let n = self.env.shared.lock().events.len();
+        if self.wake_time.len() < n {
+            self.wake_time.resize(n, None);
+        }
+    }
+
+    fn admit(&mut self, desc: TaskDesc, now: u64) {
+        self.ensure_wake_len();
+        self.seq += 1;
+        let key = priority_key(desc.kind, desc.weight, self.seq);
+        let ix = self.tasks.len();
+        self.tasks.push(SimTask {
+            name: desc.name,
+            kind: desc.kind,
+            signals: desc.signals,
+            signals_def_scope: desc.signals_def_scope,
+            signals_barriers: desc.signals_barriers,
+            may_wait: desc.may_wait,
+            state: TaskState::NotStarted(desc.body),
+        });
+        self.outstanding += 1;
+        let unsatisfied: Vec<EventId> = desc
+            .prereqs
+            .iter()
+            .copied()
+            .filter(|e| self.wake_time[e.index()].is_none())
+            .collect();
+        if unsatisfied.is_empty() {
+            let ready_at = desc
+                .prereqs
+                .iter()
+                .filter_map(|e| self.wake_time[e.index()])
+                .fold(now, u64::max);
+            self.ready.insert(key, (ix, ready_at));
+        } else {
+            self.pending.push(PendingEntry {
+                prereqs: unsatisfied,
+                key,
+                task_ix: ix,
+            });
+        }
+    }
+
+    fn process_signal(&mut self, event: EventId, at: u64) {
+        self.ensure_wake_len();
+        if self.wake_time[event.index()].is_some() {
+            return;
+        }
+        self.wake_time[event.index()] = Some(at);
+        // Release avoided-prereq tasks.
+        let mut still = Vec::new();
+        let mut freed = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            p.prereqs.retain(|e| self.wake_time[e.index()].is_none());
+            if p.prereqs.is_empty() {
+                freed.push(p);
+            } else {
+                still.push(p);
+            }
+        }
+        self.pending = still;
+        for p in freed {
+            self.ready.insert(p.key, (p.task_ix, at));
+        }
+    }
+
+    /// Starts or resumes the given task on proc `p`, returning the yield.
+    fn step_task(&mut self, p: usize, task_ix: usize) -> YieldMsg {
+        // Transition NotStarted → Running by launching its thread.
+        if matches!(self.tasks[task_ix].state, TaskState::NotStarted(_)) {
+            let body = match std::mem::replace(&mut self.tasks[task_ix].state, TaskState::Done) {
+                TaskState::NotStarted(b) => b,
+                _ => unreachable!(),
+            };
+            let (resume_tx, resume_rx) = std::sync::mpsc::sync_channel::<()>(0);
+            let (yield_tx, yield_rx) = std::sync::mpsc::sync_channel::<YieldMsg>(0);
+            let name = self.tasks[task_ix].name.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{name}"))
+                .stack_size(8 * 1024 * 1024)
+                .spawn(move || {
+                    // Wait for the first resume before touching anything.
+                    if resume_rx.recv().is_err() {
+                        return;
+                    }
+                    SIM_TASK.with(|t| {
+                        *t.borrow_mut() = Some(SimTaskCtx {
+                            yield_tx: yield_tx.clone(),
+                            resume_rx,
+                            pending_signals: Vec::new(),
+                            pending_spawns: Vec::new(),
+                            pending_charge: [0; 10],
+                            pending_total: 0,
+                        })
+                    });
+                    body();
+                    // Final yields: flush buffered work, then Finish.
+                    SIM_TASK.with(|t| {
+                        let mut b = t.borrow_mut();
+                        let ctx = b.as_mut().expect("sim ctx");
+                        ctx.flush_charge();
+                        let msg = YieldMsg {
+                            signals: std::mem::take(&mut ctx.pending_signals),
+                            spawns: std::mem::take(&mut ctx.pending_spawns),
+                            action: Action::Finish,
+                        };
+                        ctx.yield_tx.send(msg).ok();
+                        *b = None;
+                    });
+                })
+                .expect("spawn sim task thread");
+            self.handles.push(handle);
+            self.tasks[task_ix].state = TaskState::Running(TaskChannels {
+                resume_tx,
+                yield_rx,
+            });
+            // Dispatch overhead.
+            self.procs[p].clock += self.config.dispatch_cost;
+        }
+        let TaskState::Running(ch) = &self.tasks[task_ix].state else {
+            panic!("stepping non-running task");
+        };
+        ch.resume_tx.send(()).expect("task thread alive");
+        ch.yield_rx.recv().expect("task thread alive")
+    }
+
+    fn contention_factor(&self) -> f64 {
+        let busy = self
+            .procs
+            .iter()
+            .filter(|p| p.current.is_some())
+            .count()
+            .max(1);
+        1.0 + self.config.contention_alpha * (busy as f64 - 1.0)
+    }
+
+    /// Picks an eligible ready task for proc `p` blocked (or idle) with
+    /// the given awaited event, honoring the stack rule.
+    fn pick_nested(
+        &mut self,
+        p: usize,
+        awaited: Option<(EventId, Option<EventId>)>,
+    ) -> Option<(usize, u64)> {
+        let mut stack_sigs: Vec<EventId> = Vec::new();
+        let mut stack_def = false;
+        let mut stack_bar = false;
+        for &(t, ..) in &self.procs[p].stack {
+            stack_sigs.extend_from_slice(&self.tasks[t].signals);
+            stack_def |= self.tasks[t].signals_def_scope;
+            stack_bar |= self.tasks[t].signals_barriers;
+        }
+        if self.procs[p].stack.len() >= 32 {
+            return None;
+        }
+        let mut chosen: Option<PrioKey> = None;
+        if let Some((e, hint)) = awaited {
+            for (key, (tix, _)) in self.ready.iter() {
+                if self.tasks[*tix].signals.contains(&e)
+                    || hint.is_some_and(|h| self.tasks[*tix].signals.contains(&h))
+                {
+                    chosen = Some(*key);
+                    break;
+                }
+            }
+        }
+        if chosen.is_none() {
+            for (key, (tix, _)) in self.ready.iter() {
+                if !self.tasks[*tix]
+                    .may_wait
+                    .intersects(&stack_sigs, stack_def, stack_bar)
+                {
+                    chosen = Some(*key);
+                    break;
+                }
+            }
+        }
+        chosen.map(|key| self.ready.remove(&key).expect("chosen"))
+    }
+
+    fn run(mut self) -> RunReport {
+        // Ingest setup-phase spawns and signals at time 0.
+        let (spawns, signals) = {
+            let mut sh = self.env.shared.lock();
+            (
+                std::mem::take(&mut sh.prestart_spawns),
+                std::mem::take(&mut sh.prestart_signals),
+            )
+        };
+        self.ensure_wake_len();
+        for e in signals {
+            self.process_signal(e, 0);
+        }
+        for t in spawns {
+            self.admit(t, 0);
+        }
+
+        loop {
+            // 1. Fill idle processors (ascending index → deterministic).
+            for p in 0..self.procs.len() {
+                if self.procs[p].current.is_some() {
+                    continue;
+                }
+                // Resume a suspended task whose event has occurred.
+                if let Some(&(t, e, hint)) = self.procs[p].stack.last() {
+                    if let Some(wake) = self.wake_time.get(e.index()).copied().flatten() {
+                        self.procs[p].stack.pop();
+                        self.procs[p].clock = self.procs[p].clock.max(wake);
+                        self.procs[p].current = Some(t);
+                        continue;
+                    }
+                    // §2.3.3: barrier waits never reschedule the worker;
+                    // under the WorkCrews ablation, no wait does.
+                    let is_barrier =
+                        self.env.shared.lock().events[e.index()].class == EventClass::Barrier;
+                    if !is_barrier && self.config.reschedule_blocked {
+                        // Try to nest work under the blocked stack.
+                        if let Some((t2, ready_at)) = self.pick_nested(p, Some((e, hint))) {
+                            self.procs[p].clock = self.procs[p].clock.max(ready_at);
+                            self.procs[p].current = Some(t2);
+                        }
+                    }
+                    continue;
+                }
+                // Empty stack: take the best ready task.
+                if let Some((&key, _)) = self.ready.iter().next() {
+                    let (t, ready_at) = self.ready.remove(&key).expect("key");
+                    self.procs[p].clock = self.procs[p].clock.max(ready_at);
+                    self.procs[p].current = Some(t);
+                }
+            }
+
+            // 2. Choose the runnable processor with the smallest clock.
+            let next = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.current.is_some())
+                .min_by_key(|(ix, p)| (p.clock, *ix))
+                .map(|(ix, _)| ix);
+            let Some(p) = next else {
+                if self.outstanding == 0 {
+                    break;
+                }
+                panic!(
+                    "virtual-time deadlock: {} tasks outstanding, none runnable",
+                    self.outstanding
+                );
+            };
+
+            // 3. Step it.
+            let task_ix = self.procs[p].current.expect("runnable");
+            let slice_start = self.procs[p].clock;
+            let msg = self.step_task(p, task_ix);
+
+            // 4. Apply the action.
+            match msg.action {
+                Action::Charge(lump) => {
+                    let factor = self.contention_factor();
+                    let mut scaled = 0f64;
+                    for (kind_ix, units) in lump.iter().enumerate() {
+                        if *units > 0 {
+                            self.charges[kind_ix] += units;
+                            scaled += *units as f64 * self.config.cost[kind_ix];
+                        }
+                    }
+                    let advance = (scaled * factor).ceil() as u64;
+                    self.procs[p].clock += advance.max(1);
+                    self.record_segment(p, task_ix, slice_start);
+                }
+                Action::Wait(e, hint) => {
+                    self.ensure_wake_len();
+                    self.record_segment(p, task_ix, slice_start);
+                    if let Some(wake) = self.wake_time.get(e.index()).copied().flatten() {
+                        // Already occurred: just advance past the wake.
+                        self.procs[p].clock = self.procs[p].clock.max(wake);
+                        // Task stays current; it is blocked in wait() until
+                        // resumed, which happens on its next step.
+                    } else {
+                        // Genuine block: suspend onto the stack.
+                        self.procs[p].stack.push((task_ix, e, hint));
+                        self.procs[p].current = None;
+                    }
+                }
+                Action::Finish => {
+                    self.record_segment(p, task_ix, slice_start);
+                    self.tasks[task_ix].state = TaskState::Done;
+                    self.tasks_run += 1;
+                    self.outstanding -= 1;
+                    // Backstop-signal the task's declared signals.
+                    let at = self.procs[p].clock;
+                    let sigs = self.tasks[task_ix].signals.clone();
+                    for e in sigs {
+                        let already = self.env.shared.lock().events[e.index()].signaled;
+                        if !already {
+                            self.env.shared.lock().events[e.index()].signaled = true;
+                        }
+                        self.process_signal(e, at);
+                    }
+                    self.procs[p].current = None;
+                }
+            }
+
+            // 5. Publish this slice's signals and spawns at the slice-end
+            //    clock.
+            let at = self.procs[p].clock;
+            for e in msg.signals {
+                self.process_signal(e, at);
+            }
+            for t in msg.spawns {
+                self.admit(t, at);
+            }
+        }
+
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let makespan = self.procs.iter().map(|p| p.clock).max().unwrap_or(0);
+        RunReport {
+            virtual_time: Some(makespan),
+            wall_micros: 0,
+            trace: self.trace,
+            tasks_run: self.tasks_run,
+            charges: self.charges,
+        }
+    }
+
+    fn record_segment(&mut self, p: usize, task_ix: usize, start: u64) {
+        let end = self.procs[p].clock;
+        if end <= start {
+            return;
+        }
+        let t = &self.tasks[task_ix];
+        // Merge with a contiguous previous segment of the same task.
+        if let Some(last) = self.trace.segments.last_mut() {
+            if last.proc == p as u32 && last.end == start && last.name == t.name {
+                last.end = end;
+                return;
+            }
+        }
+        self.trace.segments.push(Segment {
+            proc: p as u32,
+            kind: t.kind,
+            name: t.name.clone(),
+            start,
+            end,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn charge_task(
+        env: &Arc<SimEnv>,
+        name: &str,
+        kind: TaskKind,
+        units: u64,
+        counter: Arc<AtomicUsize>,
+    ) -> TaskDesc {
+        let env = Arc::clone(env);
+        TaskDesc::new(
+            name,
+            kind,
+            Box::new(move || {
+                env.charge(Work::CodeGen, units);
+                counter.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+    }
+
+    #[test]
+    fn single_proc_serializes_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let report = run_sim(SimConfig::new(1), |env| {
+            for i in 0..4 {
+                spawn_prestart(
+                    env,
+                    charge_task(env, &format!("t{i}"), TaskKind::ShortCodeGen, 100, Arc::clone(&counter)),
+                );
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(report.virtual_time, Some(400));
+    }
+
+    #[test]
+    fn two_procs_halve_the_makespan() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let report = run_sim(SimConfig::new(2), |env| {
+            for i in 0..4 {
+                spawn_prestart(
+                    env,
+                    charge_task(env, &format!("t{i}"), TaskKind::ShortCodeGen, 100, Arc::clone(&counter)),
+                );
+            }
+        });
+        assert_eq!(report.virtual_time, Some(200));
+    }
+
+    #[test]
+    fn contention_inflates_parallel_work() {
+        let mk = |alpha: f64| {
+            let mut cfg = SimConfig::new(2);
+            cfg.contention_alpha = alpha;
+            run_sim(cfg, |env| {
+                for i in 0..2 {
+                    let env2 = Arc::clone(env);
+                    spawn_prestart(
+                        env,
+                        TaskDesc::new(
+                            format!("t{i}"),
+                            TaskKind::ShortCodeGen,
+                            Box::new(move || env2.charge(Work::CodeGen, 100)),
+                        ),
+                    );
+                }
+            })
+            .virtual_time
+            .expect("sim time")
+        };
+        let free = mk(0.0);
+        let contended = mk(0.5);
+        assert_eq!(free, 100);
+        assert!(contended > free, "{contended} vs {free}");
+    }
+
+    #[test]
+    fn wait_blocks_until_virtual_signal() {
+        // waiter (10 units, then wait) + signaler (500 units, then signal):
+        // waiter finishes right after the signal at t=500.
+        let report = run_sim(SimConfig::new(2), |env| {
+            let e = {
+                let env: &Arc<SimEnv> = env;
+                env.new_event(EventClass::Handled)
+            };
+            let env1 = Arc::clone(env);
+            let mut w = TaskDesc::new(
+                "waiter",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    env1.charge(Work::Parse, 10);
+                    env1.wait(e);
+                    env1.charge(Work::Parse, 10);
+                }),
+            );
+            w.may_wait = WaitSet {
+                events: vec![e],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            spawn_prestart(env, w);
+            let env2 = Arc::clone(env);
+            let mut s = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    env2.charge(Work::CodeGen, 500);
+                    env2.signal(e);
+                }),
+            );
+            s.signals = vec![e];
+            spawn_prestart(env, s);
+        });
+        assert_eq!(report.virtual_time, Some(510));
+    }
+
+    #[test]
+    fn single_proc_nests_signaler_under_waiter() {
+        // With one processor the waiter blocks and the worker must nest
+        // the signaler (Supervisors behavior), not deadlock.
+        let report = run_sim(SimConfig::new(1), |env| {
+            let e = env.new_event(EventClass::Handled);
+            let env1 = Arc::clone(env);
+            let mut w = TaskDesc::new(
+                "waiter",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    env1.charge(Work::Parse, 10);
+                    env1.wait(e);
+                    env1.charge(Work::Parse, 10);
+                }),
+            );
+            w.may_wait = WaitSet {
+                events: vec![e],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            spawn_prestart(env, w);
+            let env2 = Arc::clone(env);
+            let mut s = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    env2.charge(Work::CodeGen, 100);
+                    env2.signal(e);
+                }),
+            );
+            s.signals = vec![e];
+            spawn_prestart(env, s);
+        });
+        assert_eq!(report.virtual_time, Some(120));
+        assert_eq!(report.tasks_run, 2);
+    }
+
+    #[test]
+    fn avoided_prereq_delays_start() {
+        let report = run_sim(SimConfig::new(2), |env| {
+            let gate = env.new_event(EventClass::Avoided);
+            let env1 = Arc::clone(env);
+            let mut gated = TaskDesc::new(
+                "gated",
+                TaskKind::Lexor,
+                Box::new(move || env1.charge(Work::Lex, 10)),
+            );
+            gated.prereqs = vec![gate];
+            spawn_prestart(env, gated);
+            let env2 = Arc::clone(env);
+            let mut opener = TaskDesc::new(
+                "opener",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    env2.charge(Work::CodeGen, 300);
+                    env2.signal(gate);
+                }),
+            );
+            opener.signals = vec![gate];
+            spawn_prestart(env, opener);
+        });
+        // gated starts at 300 on the other processor, ends 310.
+        assert_eq!(report.virtual_time, Some(310));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            run_sim(SimConfig::firefly(4), |env| {
+                let e = env.new_event(EventClass::Handled);
+                for i in 0..20u64 {
+                    let env2 = Arc::clone(env);
+                    let mut t = TaskDesc::new(
+                        format!("t{i}"),
+                        if i % 3 == 0 {
+                            TaskKind::ProcParse
+                        } else {
+                            TaskKind::ShortCodeGen
+                        },
+                        Box::new(move || {
+                            env2.charge(Work::CodeGen, 50 + i * 7);
+                            if i == 11 {
+                                env2.signal(e);
+                            } else if i % 5 == 0 {
+                                env2.wait(e);
+                                env2.charge(Work::CodeGen, 5);
+                            }
+                        }),
+                    );
+                    t.weight = i;
+                    if i == 11 {
+                        t.signals = vec![e];
+                    } else if i % 5 == 0 {
+                        t.may_wait = WaitSet {
+                            events: vec![e],
+                            all_def_scopes: false,
+                            any_barrier: false,
+                        };
+                    }
+                    spawn_prestart(env, t);
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert_eq!(a.trace.segments, b.trace.segments);
+    }
+
+    #[test]
+    fn tasks_spawning_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let report = run_sim(SimConfig::new(3), |env| {
+            let env2 = Arc::clone(env);
+            let c = Arc::clone(&counter);
+            spawn_prestart(
+                env,
+                TaskDesc::new(
+                    "root",
+                    TaskKind::Lexor,
+                    Box::new(move || {
+                        env2.charge(Work::Lex, 10);
+                        for i in 0..5 {
+                            let c2 = Arc::clone(&c);
+                            let env3 = Arc::clone(&env2);
+                            env2.spawn(TaskDesc::new(
+                                format!("child{i}"),
+                                TaskKind::ShortCodeGen,
+                                Box::new(move || {
+                                    env3.charge(Work::CodeGen, 100);
+                                    c2.fetch_add(1, Ordering::Relaxed);
+                                }),
+                            ));
+                        }
+                    }),
+                ),
+            );
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+        // 10 units of root, then 5×100 across 3 procs: 2+2+1 → 210.
+        assert_eq!(report.virtual_time, Some(210));
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::task::{TaskDesc, TaskKind, WaitSet};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// With rescheduling on (Supervisors), a single processor nests the
+    /// signaler under the blocked waiter; with it off (plain WorkCrews),
+    /// the same graph deadlocks — the §2.3.2 distinction in miniature.
+    #[test]
+    #[should_panic(expected = "virtual-time deadlock")]
+    fn workcrews_mode_deadlocks_where_supervisors_nests() {
+        let mut cfg = SimConfig::new(1);
+        cfg.reschedule_blocked = false;
+        run_sim(cfg, |env| {
+            let e = env.new_event(EventClass::Handled);
+            let env1 = Arc::clone(env);
+            let mut w = TaskDesc::new(
+                "waiter",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    env1.charge(Work::Parse, 10);
+                    env1.wait(e);
+                }),
+            );
+            w.may_wait = WaitSet {
+                events: vec![e],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            spawn_prestart(env, w);
+            let env2 = Arc::clone(env);
+            let mut s = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || env2.signal(e)),
+            );
+            s.signals = vec![e];
+            spawn_prestart(env, s);
+        });
+    }
+
+    /// Same graph with two processors: WorkCrews works (the second
+    /// processor runs the signaler), just without nesting.
+    #[test]
+    fn workcrews_mode_works_with_enough_processors() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut cfg = SimConfig::new(2);
+        cfg.reschedule_blocked = false;
+        let d = Arc::clone(&done);
+        let report = run_sim(cfg, move |env| {
+            let e = env.new_event(EventClass::Handled);
+            let env1 = Arc::clone(env);
+            let d1 = Arc::clone(&d);
+            let mut w = TaskDesc::new(
+                "waiter",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    env1.charge(Work::Parse, 10);
+                    env1.wait(e);
+                    d1.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            w.may_wait = WaitSet {
+                events: vec![e],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            spawn_prestart(env, w);
+            let env2 = Arc::clone(env);
+            let d2 = Arc::clone(&d);
+            let mut s = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    env2.charge(Work::CodeGen, 100);
+                    env2.signal(e);
+                    d2.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            s.signals = vec![e];
+            spawn_prestart(env, s);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        assert_eq!(report.tasks_run, 2);
+    }
+
+    /// Barrier waits never nest even under Supervisors: the worker parks
+    /// and the other processor makes progress.
+    #[test]
+    fn barrier_waits_do_not_nest() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        run_sim(SimConfig::new(2), move |env| {
+            let barrier = env.new_event(EventClass::Barrier);
+            let env1 = Arc::clone(env);
+            let o1 = Arc::clone(&o);
+            let mut consumer = TaskDesc::new(
+                "consumer",
+                TaskKind::Splitter,
+                Box::new(move || {
+                    env1.charge(Work::Split, 5);
+                    env1.wait(barrier);
+                    o1.lock().push("consumer-after-barrier");
+                }),
+            );
+            consumer.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: false,
+                any_barrier: true,
+            };
+            spawn_prestart(env, consumer);
+            let env2 = Arc::clone(env);
+            let o2 = Arc::clone(&o);
+            let mut producer = TaskDesc::new(
+                "producer",
+                TaskKind::ShortCodeGen, // lower priority than consumer
+                Box::new(move || {
+                    env2.charge(Work::CodeGen, 500);
+                    o2.lock().push("producer-signals");
+                    env2.signal(barrier);
+                }),
+            );
+            producer.signals = vec![barrier];
+            producer.signals_barriers = true;
+            spawn_prestart(env, producer);
+        });
+        assert_eq!(
+            *order.lock(),
+            vec!["producer-signals", "consumer-after-barrier"]
+        );
+    }
+
+    /// The hint mechanism works in the simulator too.
+    #[test]
+    fn sim_hint_finds_undeclared_signaler() {
+        let mut cfg = SimConfig::new(1);
+        cfg.reschedule_blocked = true;
+        let report = run_sim(cfg, |env| {
+            let dynamic_ev = env.new_event(EventClass::Handled);
+            let scope_ev = env.new_event(EventClass::Handled);
+            let env1 = Arc::clone(env);
+            let mut w = TaskDesc::new(
+                "waiter",
+                TaskKind::DefModParse,
+                Box::new(move || {
+                    env1.charge(Work::DeclAnalyze, 10);
+                    env1.wait_hinted(dynamic_ev, Some(scope_ev));
+                }),
+            );
+            w.signals_def_scope = true;
+            w.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: false,
+            };
+            spawn_prestart(env, w);
+            let env2 = Arc::clone(env);
+            let mut resolver = TaskDesc::new(
+                "resolver",
+                TaskKind::DefModParse,
+                Box::new(move || {
+                    env2.charge(Work::DeclAnalyze, 20);
+                    env2.signal(dynamic_ev);
+                    env2.signal(scope_ev);
+                }),
+            );
+            resolver.signals = vec![scope_ev];
+            resolver.signals_def_scope = true;
+            resolver.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: false,
+            };
+            spawn_prestart(env, resolver);
+        });
+        assert_eq!(report.tasks_run, 2);
+    }
+}

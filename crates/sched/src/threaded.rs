@@ -1,0 +1,873 @@
+//! The threaded Supervisors executor (paper §2.3.2–§2.3.4).
+//!
+//! One OS-thread *worker* per (assumed) processor; a shared *supervisor*
+//! structure holds the priority queues and event states. The defining
+//! behaviors of the paper are all here:
+//!
+//! * **Avoided events** keep a task off the ready queues until they have
+//!   occurred (it is never assigned just to block immediately).
+//! * **Handled events**: a worker whose task blocks does not idle — it
+//!   nests another task on its own stack, preferring the task that will
+//!   signal the awaited event, and restricted by the stack-eligibility
+//!   rule (a nested task must not be able to wait on an event that only a
+//!   task suspended beneath it can signal).
+//! * **Barrier events** (token-block queues): the worker simply parks —
+//!   safe because token consumers only start after their producer Lexor
+//!   began, and Lexor tasks never block.
+//! * The ready "queue" is a single ordered structure searched in the
+//!   §2.3.4 kind order, with long code-generation tasks before short ones.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use ccm2_support::ids::EventId;
+use ccm2_support::work::Work;
+
+use crate::task::{priority_key, TaskDesc, TaskKind, WaitSet};
+use crate::trace::{Segment, Trace};
+use crate::{EventClass, ExecEnv, RunReport};
+
+type PrioKey = (usize, std::cmp::Reverse<u64>, u64);
+
+struct ReadyTask {
+    name: String,
+    kind: TaskKind,
+    signals: Vec<EventId>,
+    signals_def_scope: bool,
+    signals_barriers: bool,
+    may_wait: WaitSet,
+    body: crate::task::TaskBody,
+}
+
+struct PendingTask {
+    prereqs: Vec<EventId>,
+    key: PrioKey,
+    task: ReadyTask,
+}
+
+struct EventState {
+    class: EventClass,
+    signaled: bool,
+    name: String,
+}
+
+struct SupState {
+    ready: BTreeMap<PrioKey, ReadyTask>,
+    pending: Vec<PendingTask>,
+    events: Vec<EventState>,
+    seq: u64,
+    outstanding: usize,
+    parked: usize,
+    done: bool,
+    deadlocked: bool,
+    /// worker index -> (task names on its stack, awaited event) for
+    /// workers currently parked inside wait() (diagnostics only).
+    blocked: std::collections::HashMap<u32, (Vec<String>, EventId)>,
+}
+
+/// The threaded Supervisors executor.
+pub struct ThreadedSupervisor {
+    state: Mutex<SupState>,
+    cv: Condvar,
+    workers: usize,
+    start: Instant,
+    trace: Mutex<Trace>,
+    charges: [AtomicU64; 10],
+    tasks_run: AtomicU64,
+}
+
+thread_local! {
+    /// Per-worker context: index and the stack of suspended tasks'
+    /// signal sets (for the eligibility rule).
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+struct WorkerCtx {
+    index: u32,
+    /// (name, signals, signals_def_scope, signals_barriers) of every task
+    /// on this worker's stack (bottom to top, including the currently
+    /// running one).
+    stack: Vec<(String, Vec<EventId>, bool, bool)>,
+}
+
+impl ThreadedSupervisor {
+    fn new(workers: usize) -> ThreadedSupervisor {
+        ThreadedSupervisor {
+            state: Mutex::new(SupState {
+                ready: BTreeMap::new(),
+                pending: Vec::new(),
+                events: Vec::new(),
+                seq: 0,
+                outstanding: 0,
+                parked: 0,
+                done: false,
+                deadlocked: false,
+                blocked: std::collections::HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            workers,
+            start: Instant::now(),
+            trace: Mutex::new(Trace::default()),
+            charges: Default::default(),
+            tasks_run: AtomicU64::new(0),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: u32) {
+        WORKER.with(|w| {
+            *w.borrow_mut() = Some(WorkerCtx {
+                index,
+                stack: Vec::new(),
+            })
+        });
+        loop {
+            let task = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.done || st.deadlocked {
+                        return;
+                    }
+                    if let Some((&key, _)) = st.ready.iter().next() {
+                        break st.ready.remove(&key).expect("just seen");
+                    }
+                    if st.outstanding == 0 && st.pending.is_empty() {
+                        st.done = true;
+                        self.cv.notify_all();
+                        return;
+                    }
+                    st.parked += 1;
+                    self.cv.wait(&mut st);
+                    st.parked -= 1;
+                }
+            };
+            self.run_task(task);
+        }
+    }
+
+    fn run_task(self: &Arc<Self>, task: ReadyTask) {
+        let (name, kind) = (task.name.clone(), task.kind);
+        let signals = task.signals.clone();
+        let sds = task.signals_def_scope;
+        let sbar = task.signals_barriers;
+        WORKER.with(|w| {
+            if let Some(ctx) = w.borrow_mut().as_mut() {
+                ctx.stack.push((name.clone(), signals.clone(), sds, sbar));
+            }
+        });
+        let seg_start = self.now();
+        (task.body)();
+        let seg_end = self.now();
+        let proc = WORKER.with(|w| {
+            let mut b = w.borrow_mut();
+            let ctx = b.as_mut().expect("worker ctx");
+            ctx.stack.pop();
+            ctx.index
+        });
+        self.trace.lock().segments.push(Segment {
+            proc,
+            kind,
+            name,
+            start: seg_start,
+            end: seg_end,
+        });
+        self.tasks_run.fetch_add(1, Ordering::Relaxed);
+        // Backstop: auto-signal the task's declared signals so a forgotten
+        // explicit signal cannot deadlock the run.
+        let mut st = self.state.lock();
+        for e in &signals {
+            if !st.events[e.index()].signaled {
+                Self::signal_locked(&mut st, *e);
+            }
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 && st.ready.is_empty() && st.pending.is_empty() {
+            st.done = true;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn signal_locked(st: &mut SupState, event: EventId) {
+        st.events[event.index()].signaled = true;
+        let mut moved = Vec::new();
+        let mut keep = Vec::new();
+        for p in std::mem::take(&mut st.pending) {
+            if p.prereqs.iter().all(|e| st.events[e.index()].signaled) {
+                moved.push(p);
+            } else {
+                keep.push(p);
+            }
+        }
+        st.pending = keep;
+        for p in moved {
+            st.ready.insert(p.key, p.task);
+        }
+    }
+
+    /// Pops the best ready task this worker may nest while blocked on
+    /// `awaited` (prefers the task that signals `awaited` or the hint).
+    fn pop_eligible(
+        &self,
+        st: &mut SupState,
+        awaited: EventId,
+        hint: Option<EventId>,
+    ) -> Option<ReadyTask> {
+        let stack_signals: (Vec<EventId>, bool, bool) = WORKER.with(|w| {
+            let b = w.borrow();
+            let ctx = b.as_ref().expect("worker ctx");
+            if ctx.stack.len() >= 32 {
+                // Nesting cap: fall back to parking rather than risking
+                // stack exhaustion.
+                return (vec![EventId(u32::MAX)], true, true);
+            }
+            let mut evs = Vec::new();
+            let mut def = false;
+            let mut bar = false;
+            for (_, sigs, d, b2) in &ctx.stack {
+                evs.extend_from_slice(sigs);
+                def |= d;
+                bar |= b2;
+            }
+            (evs, def, bar)
+        });
+        if stack_signals.0.first() == Some(&EventId(u32::MAX)) {
+            return None;
+        }
+        // Preference 1: the signaler of the awaited event (or of the
+        // hinted co-resolving event).
+        let mut chosen: Option<PrioKey> = None;
+        for (key, t) in st.ready.iter() {
+            if t.signals.contains(&awaited)
+                || hint.is_some_and(|h| t.signals.contains(&h))
+            {
+                chosen = Some(*key);
+                break;
+            }
+        }
+        // Preference 2: any task whose wait-set cannot reach our stack.
+        if chosen.is_none() {
+            for (key, t) in st.ready.iter() {
+                if !t
+                    .may_wait
+                    .intersects(&stack_signals.0, stack_signals.1, stack_signals.2)
+                {
+                    chosen = Some(*key);
+                    break;
+                }
+            }
+        }
+        chosen.map(|key| st.ready.remove(&key).expect("chosen key"))
+    }
+}
+
+impl ExecEnv for ThreadedSupervisor {
+    fn new_event(&self, class: EventClass) -> EventId {
+        self.new_event_named(class, "")
+    }
+
+    fn new_event_named(&self, class: EventClass, name: &str) -> EventId {
+        let mut st = self.state.lock();
+        let id = EventId(st.events.len() as u32);
+        st.events.push(EventState {
+            class,
+            signaled: false,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    fn signal(&self, event: EventId) {
+        let mut st = self.state.lock();
+        if !st.events[event.index()].signaled {
+            Self::signal_locked(&mut st, event);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn is_signaled(&self, event: EventId) -> bool {
+        self.state.lock().events[event.index()].signaled
+    }
+
+    fn wait_hinted(&self, event: EventId, signaler_hint: Option<EventId>) {
+        // Fast path.
+        {
+            let st = self.state.lock();
+            if st.events[event.index()].signaled {
+                return;
+            }
+        }
+        let sup = WORKER.with(|w| w.borrow().is_some());
+        if !sup {
+            // Called from outside a worker (e.g. the initialization
+            // thread, §2.3.2): plain blocking wait.
+            let mut st = self.state.lock();
+            while !st.events[event.index()].signaled && !st.deadlocked {
+                self.cv.wait(&mut st);
+            }
+            return;
+        }
+        loop {
+            let mut st = self.state.lock();
+            if st.events[event.index()].signaled || st.deadlocked {
+                return;
+            }
+            let class = st.events[event.index()].class;
+            let nested = if class == EventClass::Barrier {
+                // §2.3.3: barrier waits never reschedule the worker.
+                None
+            } else {
+                self.pop_eligible(&mut st, event, signaler_hint)
+            };
+            match nested {
+                Some(task) => {
+                    drop(st);
+                    // Recursion bounded by the eligibility rule + depth cap.
+                    let this = ARC_SELF
+                        .with(|a| a.borrow().clone())
+                        .expect("wait() with nesting requires a worker thread");
+                    this.run_task(task);
+                }
+                None => {
+                    let (wix, stack_names) = WORKER.with(|w| {
+                        let b = w.borrow();
+                        let ctx = b.as_ref().expect("worker ctx");
+                        (
+                            ctx.index,
+                            ctx.stack.iter().map(|(n, ..)| n.clone()).collect::<Vec<_>>(),
+                        )
+                    });
+                    st.blocked.insert(wix, (stack_names, event));
+                    st.parked += 1;
+                    // Deadlock iff every worker is parked, nothing is
+                    // runnable, and no parked worker's awaited event has
+                    // been signaled (a signaled one is merely mid-wakeup:
+                    // notified but not yet re-holding the lock).
+                    let truly_stuck = st.parked == self.workers
+                        && st.ready.is_empty()
+                        && st
+                            .blocked
+                            .values()
+                            .all(|(_, e)| !st.events[e.index()].signaled);
+                    if truly_stuck {
+                        // Every worker is parked with nothing runnable:
+                        // a genuine scheduling deadlock. Surface loudly.
+                        st.deadlocked = true;
+                        st.parked -= 1;
+                        let outstanding = st.outstanding;
+                        let blocked: Vec<(u32, Vec<String>, String)> = st
+                            .blocked
+                            .iter()
+                            .map(|(&w, (names, e))| {
+                                (
+                                    w,
+                                    names.clone(),
+                                    format!("{e:?} ({})", st.events[e.index()].name),
+                                )
+                            })
+                            .collect();
+                        let awaited =
+                            format!("{event:?} ({})", st.events[event.index()].name);
+                        let pending: Vec<(String, Vec<String>)> = st
+                            .pending
+                            .iter()
+                            .map(|p| {
+                                (
+                                    p.task.name.clone(),
+                                    p.prereqs
+                                        .iter()
+                                        .map(|e| {
+                                            format!(
+                                                "{e:?} ({})",
+                                                st.events[e.index()].name
+                                            )
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect();
+                        drop(st);
+                        self.cv.notify_all();
+                        panic!(
+                            "supervisor deadlock: all workers blocked \
+                             (this worker on {awaited}); {outstanding} tasks \
+                             outstanding; other blocked workers: {blocked:?}; \
+                             pending (gated) tasks: {pending:?}"
+                        );
+                    }
+                    self.cv.wait(&mut st);
+                    st.parked -= 1;
+                    let wix = WORKER.with(|w| {
+                        w.borrow().as_ref().map(|c| c.index)
+                    });
+                    if let Some(wix) = wix {
+                        st.blocked.remove(&wix);
+                    }
+                }
+            }
+        }
+    }
+
+    fn spawn(&self, task: TaskDesc) {
+        let mut st = self.state.lock();
+        st.seq += 1;
+        st.outstanding += 1;
+        let key = priority_key(task.kind, task.weight, st.seq);
+        let ready = ReadyTask {
+            name: task.name,
+            kind: task.kind,
+            signals: task.signals,
+            signals_def_scope: task.signals_def_scope,
+            signals_barriers: task.signals_barriers,
+            may_wait: task.may_wait,
+            body: task.body,
+        };
+        let unsatisfied: Vec<EventId> = task
+            .prereqs
+            .iter()
+            .copied()
+            .filter(|e| !st.events[e.index()].signaled)
+            .collect();
+        if unsatisfied.is_empty() {
+            st.ready.insert(key, ready);
+        } else {
+            st.pending.push(PendingTask {
+                prereqs: unsatisfied,
+                key,
+                task: ready,
+            });
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn charge(&self, work: Work, units: u64) {
+        self.charges[work as usize].fetch_add(units, Ordering::Relaxed);
+    }
+
+    fn virtual_now(&self) -> u64 {
+        self.now()
+    }
+}
+
+thread_local! {
+    static ARC_SELF: RefCell<Option<Arc<ThreadedSupervisor>>> = const { RefCell::new(None) };
+}
+
+/// Runs a task graph on `workers` OS threads. `setup` creates events and
+/// spawns the initial tasks (the paper's compiler-initialization thread,
+/// which then blocks while the workers perform the compilation).
+///
+/// Returns when every task has completed.
+///
+/// # Panics
+///
+/// Panics (in a worker) if the task graph deadlocks — all workers blocked
+/// with nothing runnable. Correct compiler task graphs never do; the
+/// scheduler tests exercise the detector directly.
+pub fn run_threaded(
+    workers: usize,
+    setup: impl FnOnce(&Arc<ThreadedSupervisor>),
+) -> RunReport {
+    assert!(workers >= 1, "need at least one worker");
+    let sup = Arc::new(ThreadedSupervisor::new(workers));
+    setup(&sup);
+    let mut handles = Vec::new();
+    for ix in 0..workers {
+        let sup = Arc::clone(&sup);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ccm2-worker-{ix}"))
+                .stack_size(16 * 1024 * 1024)
+                .spawn(move || {
+                    ARC_SELF.with(|a| *a.borrow_mut() = Some(Arc::clone(&sup)));
+                    sup.worker_loop(ix as u32);
+                    ARC_SELF.with(|a| *a.borrow_mut() = None);
+                })
+                .expect("spawn worker"),
+        );
+    }
+    let mut panicked = false;
+    for h in handles {
+        if h.join().is_err() {
+            panicked = true;
+        }
+    }
+    if panicked {
+        panic!("a compiler worker panicked (see stderr)");
+    }
+    let trace = sup.trace.lock().clone();
+    let mut charges = [0u64; 10];
+    for (ix, c) in sup.charges.iter().enumerate() {
+        charges[ix] = c.load(Ordering::Relaxed);
+    }
+    RunReport {
+        virtual_time: None,
+        wall_micros: sup.now(),
+        trace,
+        tasks_run: sup.tasks_run.load(Ordering::Relaxed) as usize,
+        charges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_simple_tasks_to_completion() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let report = run_threaded(2, |sup| {
+            for i in 0..10 {
+                let c = Arc::clone(&counter);
+                sup.spawn(TaskDesc::new(
+                    format!("t{i}"),
+                    TaskKind::ShortCodeGen,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ));
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(report.tasks_run, 10);
+        assert_eq!(report.trace.segments.len(), 10);
+    }
+
+    #[test]
+    fn avoided_events_gate_tasks() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            let gate = sup.new_event(EventClass::Avoided);
+            let o1 = Arc::clone(&order);
+            let mut gated = TaskDesc::new(
+                "gated",
+                TaskKind::Lexor, // highest priority, but gated
+                Box::new(move || o1.lock().push("gated")),
+            );
+            gated.prereqs = vec![gate];
+            sup.spawn(gated);
+            let o2 = Arc::clone(&order);
+            let sup2 = Arc::clone(sup);
+            let mut opener = TaskDesc::new(
+                "opener",
+                TaskKind::ShortCodeGen, // lowest priority, but runnable
+                Box::new(move || {
+                    o2.lock().push("opener");
+                    sup2.signal(gate);
+                }),
+            );
+            opener.signals = vec![gate];
+            sup.spawn(opener);
+        });
+        assert_eq!(*order.lock(), vec!["opener", "gated"]);
+    }
+
+    #[test]
+    fn blocked_worker_runs_the_signaler() {
+        // One worker: task A waits on e; the signaler task must be nested
+        // on A's stack (otherwise: deadlock panic).
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            let e = sup.new_event(EventClass::Handled);
+            let o1 = Arc::clone(&order);
+            let sup1 = Arc::clone(sup);
+            sup.spawn(TaskDesc::new(
+                "waiter",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    o1.lock().push("waiter-pre");
+                    sup1.wait(e);
+                    o1.lock().push("waiter-post");
+                }),
+            ));
+            let o2 = Arc::clone(&order);
+            let sup2 = Arc::clone(sup);
+            let mut signaler = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    o2.lock().push("signaler");
+                    sup2.signal(e);
+                }),
+            );
+            signaler.signals = vec![e];
+            sup.spawn(signaler);
+        });
+        assert_eq!(
+            *order.lock(),
+            vec!["waiter-pre", "signaler", "waiter-post"]
+        );
+    }
+
+    #[test]
+    fn eligibility_rule_blocks_unsafe_nesting() {
+        // Worker runs A (signals e1, waits on e2). Candidate B may wait on
+        // e1 → ineligible; candidate C (signals e2) is the signaler →
+        // nested. Run with 1 worker so nesting is forced.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            let e1 = sup.new_event(EventClass::Handled);
+            let e2 = sup.new_event(EventClass::Handled);
+            let o = Arc::clone(&order);
+            let supa = Arc::clone(sup);
+            let mut a = TaskDesc::new(
+                "A",
+                TaskKind::Lexor,
+                Box::new(move || {
+                    o.lock().push("A-pre");
+                    supa.wait(e2);
+                    o.lock().push("A-post");
+                    supa.signal(e1);
+                }),
+            );
+            a.signals = vec![e1];
+            sup.spawn(a);
+            let o = Arc::clone(&order);
+            let mut b = TaskDesc::new(
+                "B",
+                TaskKind::Splitter, // better priority than C
+                Box::new(move || o.lock().push("B")),
+            );
+            b.may_wait = WaitSet {
+                events: vec![e1],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            sup.spawn(b);
+            let o = Arc::clone(&order);
+            let supc = Arc::clone(sup);
+            let mut c = TaskDesc::new(
+                "C",
+                TaskKind::ShortCodeGen,
+                Box::new(move || {
+                    o.lock().push("C");
+                    supc.signal(e2);
+                }),
+            );
+            c.signals = vec![e2];
+            sup.spawn(c);
+        });
+        let got = order.lock().clone();
+        assert_eq!(got[0], "A-pre");
+        assert_eq!(got[1], "C", "signaler nested, not the unsafe B");
+        assert_eq!(got[2], "A-post");
+    }
+
+    #[test]
+    fn priority_order_respected_single_worker() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            // Spawn in reverse priority; with one worker they must run in
+            // §2.3.4 order once the queue is populated. Spawn from a
+            // gating task so all are queued before any runs.
+            let gate = sup.new_event(EventClass::Avoided);
+            for (name, kind) in [
+                ("codegen-short", TaskKind::ShortCodeGen),
+                ("codegen-long", TaskKind::LongCodeGen),
+                ("procparse", TaskKind::ProcParse),
+                ("lexor", TaskKind::Lexor),
+            ] {
+                let o = Arc::clone(&order);
+                let mut t = TaskDesc::new(
+                    name,
+                    kind,
+                    Box::new(move || o.lock().push(name)),
+                );
+                t.prereqs = vec![gate];
+                sup.spawn(t);
+            }
+            let sup2 = Arc::clone(sup);
+            let mut opener =
+                TaskDesc::new("open", TaskKind::Merge, Box::new(move || sup2.signal(gate)));
+            opener.signals = vec![gate];
+            sup.spawn(opener);
+        });
+        assert_eq!(
+            *order.lock(),
+            vec!["lexor", "procparse", "codegen-long", "codegen-short"]
+        );
+    }
+
+    #[test]
+    fn heavier_codegen_first() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            let gate = sup.new_event(EventClass::Avoided);
+            for (name, w) in [("small", 5u64), ("large", 500), ("medium", 50)] {
+                let o = Arc::clone(&order);
+                let mut t = TaskDesc::new(
+                    name,
+                    TaskKind::LongCodeGen,
+                    Box::new(move || o.lock().push(name)),
+                );
+                t.weight = w;
+                t.prereqs = vec![gate];
+                sup.spawn(t);
+            }
+            let sup2 = Arc::clone(sup);
+            let mut opener =
+                TaskDesc::new("open", TaskKind::Merge, Box::new(move || sup2.signal(gate)));
+            opener.signals = vec![gate];
+            sup.spawn(opener);
+        });
+        assert_eq!(*order.lock(), vec!["large", "medium", "small"]);
+    }
+
+    #[test]
+    fn many_tasks_many_workers_stress() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let report = run_threaded(4, |sup| {
+            let e = sup.new_event(EventClass::Handled);
+            for i in 0..200 {
+                let c = Arc::clone(&counter);
+                let sup2 = Arc::clone(sup);
+                let is_signaler = i == 150;
+                let mut t = TaskDesc::new(
+                    format!("t{i}"),
+                    if i % 2 == 0 {
+                        TaskKind::ProcParse
+                    } else {
+                        TaskKind::ShortCodeGen
+                    },
+                    Box::new(move || {
+                        if is_signaler {
+                            sup2.signal(e);
+                        } else if i % 17 == 0 {
+                            sup2.wait(e);
+                        }
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                if is_signaler {
+                    t.signals = vec![e];
+                }
+                sup.spawn(t);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(report.tasks_run, 200);
+    }
+}
+
+#[cfg(test)]
+mod hint_tests {
+    use super::*;
+    use crate::task::{TaskDesc, TaskKind, WaitSet};
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+    /// Regression: a worker blocked on a *dynamically created* event (one
+    /// appearing in no task's declared signals — the Optimistic DKY
+    /// per-symbol events) must still find its resolver through the
+    /// signaler hint; without the hint, conservative eligibility would
+    /// wedge a single worker forever.
+    #[test]
+    fn hint_breaks_conservative_eligibility_stall() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        run_threaded(1, |sup| {
+            let scope_done = sup.new_event_named(EventClass::Handled, "scope");
+            let symbol_ev = sup.new_event_named(EventClass::Handled, "symbol");
+            // Waiter: blocks on symbol_ev with hint scope_done.
+            let o = Arc::clone(&order);
+            let sup1 = Arc::clone(sup);
+            let mut waiter = TaskDesc::new(
+                "waiter",
+                TaskKind::DefModParse,
+                Box::new(move || {
+                    o.lock().push("waiter-pre");
+                    sup1.wait_hinted(symbol_ev, Some(scope_done));
+                    o.lock().push("waiter-post");
+                }),
+            );
+            waiter.signals_def_scope = true;
+            waiter.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: false,
+            };
+            sup.spawn(waiter);
+            // Resolver: a def-parse-like task (all_def_scopes wait set →
+            // ineligible under the plain rule vs the suspended waiter,
+            // which signals_def_scope) that signals both events.
+            let o = Arc::clone(&order);
+            let sup2 = Arc::clone(sup);
+            let mut resolver = TaskDesc::new(
+                "resolver",
+                TaskKind::DefModParse,
+                Box::new(move || {
+                    o.lock().push("resolver");
+                    sup2.signal(symbol_ev);
+                    sup2.signal(scope_done);
+                }),
+            );
+            resolver.signals = vec![scope_done];
+            resolver.signals_def_scope = true;
+            resolver.may_wait = WaitSet {
+                events: vec![],
+                all_def_scopes: true,
+                any_barrier: false,
+            };
+            sup.spawn(resolver);
+        });
+        assert_eq!(
+            *order.lock(),
+            vec!["waiter-pre", "resolver", "waiter-post"]
+        );
+    }
+
+    /// Regression: the deadlock detector must not fire while another
+    /// parked worker's awaited event has already been signaled (it is
+    /// merely mid-wakeup). Exercised by hammering a two-worker
+    /// producer/consumer pattern that previously tripped the detector.
+    #[test]
+    fn no_false_deadlock_under_signal_wakeup_races() {
+        for _ in 0..200 {
+            let done = Arc::new(AtomicUsize::new(0));
+            run_threaded(2, |sup| {
+                let e1 = sup.new_event(EventClass::Handled);
+                let e2 = sup.new_event(EventClass::Handled);
+                for (ix, (my, other)) in [(e1, e2), (e2, e1)].into_iter().enumerate() {
+                    let sup2 = Arc::clone(sup);
+                    let d = Arc::clone(&done);
+                    let mut t = TaskDesc::new(
+                        format!("pingpong{ix}"),
+                        TaskKind::ProcParse,
+                        Box::new(move || {
+                            sup2.signal(my);
+                            sup2.wait(other);
+                            d.fetch_add(1, AtomicOrdering::Relaxed);
+                        }),
+                    );
+                    t.signals = vec![my];
+                    t.may_wait = WaitSet {
+                        events: vec![other],
+                        all_def_scopes: false,
+                        any_barrier: false,
+                    };
+                    sup.spawn(t);
+                }
+            });
+            assert_eq!(done.load(AtomicOrdering::Relaxed), 2);
+        }
+    }
+
+    #[test]
+    fn event_labels_survive() {
+        run_threaded(1, |sup| {
+            let e = sup.new_event_named(EventClass::Avoided, "my-label");
+            assert!(!sup.is_signaled(e));
+            sup.signal(e);
+            assert!(sup.is_signaled(e));
+        });
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution traces for the WatchTool figures.
+//!
+//! Figures 4 and 7 of the paper are *WatchTool snapshots*: processor
+//! activity (vertical) against time (horizontal), shaded by task kind.
+//! Both executors record a [`Segment`] for every contiguous stretch of a
+//! task running on a processor; [`render_watchtool`] draws the ASCII
+//! equivalent.
+
+use crate::task::TaskKind;
+
+/// One contiguous execution of (part of) a task on a processor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Processor (worker) index.
+    pub proc: u32,
+    /// The task's kind (determines shading).
+    pub kind: TaskKind,
+    /// The task's display name.
+    pub name: String,
+    /// Start time (virtual units in the simulator, microseconds under the
+    /// threaded executor).
+    pub start: u64,
+    /// End time.
+    pub end: u64,
+}
+
+/// A whole run's trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All recorded segments.
+    pub segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Total busy time per processor.
+    pub fn busy_per_proc(&self, procs: u32) -> Vec<u64> {
+        let mut busy = vec![0u64; procs as usize];
+        for s in &self.segments {
+            if (s.proc as usize) < busy.len() {
+                busy[s.proc as usize] += s.end - s.start;
+            }
+        }
+        busy
+    }
+
+    /// The latest end time (the makespan).
+    pub fn makespan(&self) -> u64 {
+        self.segments.iter().map(|s| s.end).max().unwrap_or(0)
+    }
+
+    /// Overall utilization in [0, 1]: busy time / (procs × makespan).
+    pub fn utilization(&self, procs: u32) -> f64 {
+        let span = self.makespan();
+        if span == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_per_proc(procs).iter().sum();
+        busy as f64 / (span as f64 * procs as f64)
+    }
+}
+
+/// The shading characters per task kind, darkest for codegen — matching
+/// the paper's description of Figure 7 ("dark gray bars at the left are
+/// lexical analysis … darker gray bars on the right are statement
+/// analysis / code generation").
+fn shade(kind: TaskKind) -> char {
+    match kind {
+        TaskKind::Lexor => 'L',
+        TaskKind::Splitter => 'S',
+        TaskKind::Importer => 'i',
+        TaskKind::DefModParse => 'd',
+        TaskKind::ModuleParse => 'm',
+        TaskKind::ProcParse => 'p',
+        TaskKind::LongCodeGen => '#',
+        TaskKind::ShortCodeGen => '#',
+        TaskKind::Merge => 'g',
+    }
+}
+
+/// Renders a trace as an ASCII WatchTool snapshot: one row per processor,
+/// `width` columns of time, task-kind shading, `.` for idle.
+pub fn render_watchtool(trace: &Trace, procs: u32, width: usize) -> String {
+    let span = trace.makespan().max(1);
+    let mut rows = vec![vec!['.'; width]; procs as usize];
+    for s in &trace.segments {
+        if s.proc as usize >= rows.len() {
+            continue;
+        }
+        let c0 = (s.start as u128 * width as u128 / span as u128) as usize;
+        let c1 = ((s.end as u128 * width as u128).div_ceil(span as u128) as usize).min(width);
+        for c in c0..c1.max(c0 + 1).min(width) {
+            rows[s.proc as usize][c] = shade(s.kind);
+        }
+    }
+    let mut out = String::new();
+    for (p, row) in rows.iter().enumerate() {
+        out.push_str(&format!("P{p} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "    time 0..{span} ({} segments)  legend: L=lex S=split i=import d=defparse m=modparse p=procparse #=codegen g=merge .=idle\n",
+        trace.segments.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(proc: u32, kind: TaskKind, start: u64, end: u64) -> Segment {
+        Segment {
+            proc,
+            kind,
+            name: String::from("t"),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn busy_and_makespan() {
+        let t = Trace {
+            segments: vec![
+                seg(0, TaskKind::Lexor, 0, 10),
+                seg(1, TaskKind::ShortCodeGen, 5, 25),
+                seg(0, TaskKind::ShortCodeGen, 12, 20),
+            ],
+        };
+        assert_eq!(t.makespan(), 25);
+        assert_eq!(t.busy_per_proc(2), vec![18, 20]);
+        let u = t.utilization(2);
+        assert!((u - 38.0 / 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watchtool_renders_rows() {
+        let t = Trace {
+            segments: vec![seg(0, TaskKind::Lexor, 0, 50), seg(1, TaskKind::ShortCodeGen, 50, 100)],
+        };
+        let art = render_watchtool(&t, 2, 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("P0 |LLLLLLLLLL"));
+        assert!(lines[1].contains('#'));
+        assert!(lines[1].starts_with("P1 |.........."));
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let t = Trace::default();
+        let art = render_watchtool(&t, 1, 10);
+        assert!(art.starts_with("P0 |..........|"));
+        assert_eq!(t.utilization(4), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Compile-time constant values.
+//!
+//! Constant expressions appear in `CONST` declarations, subrange and array
+//! bounds, case labels and `FOR` steps; they are evaluated during
+//! declaration analysis (see [`crate::consteval`]) and stored in symbol
+//! table entries.
+
+use ccm2_support::intern::Symbol;
+
+/// A compile-time constant.
+///
+/// Reals are stored as IEEE bit patterns so the type can be `Eq`/`Hash`
+/// (object-code equivalence tests compare entries structurally). Sets are
+/// 64-bit masks; set base ordinals are restricted to `0..=63`, which this
+/// reproduction documents as a limit (the paper's compiler targeted a
+/// 32-bit Vax word with the same flavor of restriction).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstValue {
+    /// An integer (also used for ordinals of enumerations and chars in
+    /// ordinal contexts).
+    Int(i64),
+    /// A real number, as IEEE-754 bits.
+    Real(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A character.
+    Char(u8),
+    /// A string literal.
+    Str(Symbol),
+    /// A set as a 64-bit mask.
+    Set(u64),
+    /// The `NIL` pointer.
+    Nil,
+}
+
+impl ConstValue {
+    /// The ordinal of this value, if it is ordinal-like.
+    pub fn ordinal(&self) -> Option<i64> {
+        match *self {
+            ConstValue::Int(v) => Some(v),
+            ConstValue::Bool(b) => Some(b as i64),
+            ConstValue::Char(c) => Some(c as i64),
+            _ => None,
+        }
+    }
+
+    /// The real value, also accepting integers (implicit widening inside
+    /// constant expressions mirrors `FLOAT`).
+    pub fn as_real(&self) -> Option<f64> {
+        match *self {
+            ConstValue::Real(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Wraps an `f64`.
+    pub fn from_real(v: f64) -> ConstValue {
+        ConstValue::Real(v.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals() {
+        assert_eq!(ConstValue::Int(7).ordinal(), Some(7));
+        assert_eq!(ConstValue::Bool(true).ordinal(), Some(1));
+        assert_eq!(ConstValue::Char(b'A').ordinal(), Some(65));
+        assert_eq!(ConstValue::from_real(1.0).ordinal(), None);
+        assert_eq!(ConstValue::Nil.ordinal(), None);
+    }
+
+    #[test]
+    fn real_round_trip() {
+        let v = ConstValue::from_real(2.5);
+        assert_eq!(v.as_real(), Some(2.5));
+        assert_eq!(ConstValue::Int(1).as_real(), None);
+    }
+}

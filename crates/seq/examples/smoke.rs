@@ -1,0 +1,58 @@
+//! Compile-and-run smoke test over the sequential pipeline: factorial,
+//! records/WITH, pointers/NEW with nested procedures and uplevel access,
+//! CASE/sets/enums. Asserts exact program output.
+//!
+//! ```text
+//! cargo run -p ccm2-seq --example smoke
+//! ```
+
+use ccm2_seq::{compile, DefLibrary};
+use ccm2_vm::Vm;
+fn run(src: &str) -> String {
+    let out = compile(src, &DefLibrary::new());
+    if !out.is_ok() { panic!("compile failed: {:?}", out.diagnostics); }
+    let img = out.image.unwrap();
+    Vm::new(out.interner).run(&img).expect("vm run")
+}
+fn main() {
+    // factorial with FOR + function calls
+    let out = run("MODULE F; VAR i, f : INTEGER; \
+        PROCEDURE Fact(n : INTEGER) : INTEGER; \
+        BEGIN IF n <= 1 THEN RETURN 1 ELSE RETURN n * Fact(n - 1) END END Fact; \
+        BEGIN FOR i := 1 TO 5 DO WriteInt(Fact(i), 4) END; WriteLn END F.");
+    assert_eq!(out, "   1   2   6  24 120\n", "got {:?}", out);
+    // records, WITH, arrays, while
+    let out = run("MODULE R; TYPE Pt = RECORD x, y : INTEGER END; \
+        VAR a : ARRAY [1..3] OF Pt; i : INTEGER; s : INTEGER; \
+        BEGIN \
+          FOR i := 1 TO 3 DO WITH a[i] DO x := i; y := i * i END END; \
+          s := 0; i := 1; \
+          WHILE i <= 3 DO s := s + a[i].x + a[i].y; INC(i) END; \
+          WriteInt(s, 0); WriteLn \
+        END R.");
+    assert_eq!(out.trim(), "20", "1+1+2+4+3+9 = 20, got {:?}", out);
+    // pointers, NEW, nested procedures with uplevel access, VAR params
+    let out = run("MODULE P; TYPE L = POINTER TO Node; Node = RECORD v : INTEGER; next : L END; \
+        VAR head : L; total : INTEGER; \
+        PROCEDURE Push(VAR lst : L; val : INTEGER); VAR n : L; \
+        BEGIN NEW(n); n^.v := val; n^.next := lst; lst := n END Push; \
+        PROCEDURE Sum(lst : L) : INTEGER; \
+          VAR acc : INTEGER; \
+          PROCEDURE Add(k : INTEGER); BEGIN acc := acc + k END Add; \
+        BEGIN acc := 0; WHILE lst # NIL DO Add(lst^.v); lst := lst^.next END; RETURN acc END Sum; \
+        BEGIN Push(head, 10); Push(head, 20); Push(head, 12); total := Sum(head); WriteInt(total, 0) END P.");
+    assert_eq!(out.trim(), "42", "got {:?}", out);
+    // CASE, sets, enums, REPEAT, CHAR
+    let out = run("MODULE C; TYPE Color = (red, green, blue); \
+        VAR c : Color; s : BITSET; n : INTEGER; ch : CHAR; \
+        BEGIN \
+          c := green; n := 0; \
+          CASE c OF red : n := 1 | green, blue : n := 2 END; \
+          s := {1, 3..4}; IF 3 IN s THEN INC(n, 10) END; \
+          ch := 'a'; REPEAT ch := CAP(ch); UNTIL ch = 'A'; \
+          IF ch = 'A' THEN INC(n, 100) END; \
+          WriteInt(n, 0) \
+        END C.");
+    assert_eq!(out.trim(), "112", "got {:?}", out);
+    println!("SMOKE OK");
+}

@@ -1,0 +1,84 @@
+//! Definition-module source providers.
+//!
+//! A compilation unit is a module `M` represented by `M.def` and `M.mod`
+//! (paper §3); the compiler resolves imported interfaces by name. In the
+//! paper's environment this was the file system; in this reproduction the
+//! benchmark workloads are generated in memory, so the lookup is a trait.
+
+use std::collections::HashMap;
+
+/// Provides definition-module sources by module name.
+pub trait DefProvider: Send + Sync {
+    /// Returns the text of `M.def` for module `name`, if it exists.
+    fn definition_source(&self, name: &str) -> Option<String>;
+}
+
+/// A simple in-memory [`DefProvider`].
+///
+/// # Examples
+///
+/// ```
+/// use ccm2_support::defs::{DefLibrary, DefProvider};
+/// let mut lib = DefLibrary::new();
+/// lib.insert("IO", "DEFINITION MODULE IO; END IO.");
+/// assert!(lib.definition_source("IO").is_some());
+/// assert!(lib.definition_source("Nope").is_none());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DefLibrary {
+    defs: HashMap<String, String>,
+}
+
+impl DefLibrary {
+    /// Creates an empty library.
+    pub fn new() -> DefLibrary {
+        DefLibrary::default()
+    }
+
+    /// Adds (or replaces) a definition module's source.
+    pub fn insert(&mut self, name: impl Into<String>, source: impl Into<String>) {
+        self.defs.insert(name.into(), source.into());
+    }
+
+    /// Iterates over `(name, source)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.defs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of definition modules.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+impl DefProvider for DefLibrary {
+    fn definition_source(&self, name: &str) -> Option<String> {
+        self.defs.get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut lib = DefLibrary::new();
+        assert!(lib.is_empty());
+        lib.insert("A", "DEFINITION MODULE A; END A.");
+        assert_eq!(lib.len(), 1);
+        assert!(lib.definition_source("A").expect("exists").contains("MODULE A"));
+    }
+
+    #[test]
+    fn provider_is_object_safe() {
+        let lib = DefLibrary::new();
+        let p: &dyn DefProvider = &lib;
+        assert!(p.definition_source("missing").is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Structured diagnostics and a thread-safe sink.
+//!
+//! Compiler tasks run concurrently, so diagnostics are accumulated in a
+//! [`DiagnosticSink`] (internally locked) and sorted deterministically at
+//! the end of compilation — the concurrent and sequential compilers must
+//! report the *same* errors in the *same* order for the equivalence tests
+//! to hold.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::source::{FileId, Span};
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational note.
+    Note,
+    /// A questionable construct; compilation continues.
+    Warning,
+    /// A language violation; compilation output is suppressed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported problem, tied to a file and span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// File the problem was found in.
+    pub file: FileId,
+    /// Byte range of the offending construct.
+    pub span: Span,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(file: FileId, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            file,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(file: FileId, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            file,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: file#{} @{}: {}",
+            self.severity, self.file.0, self.span, self.message
+        )
+    }
+}
+
+/// Thread-safe accumulator for diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use ccm2_support::diag::{Diagnostic, DiagnosticSink};
+/// use ccm2_support::source::{FileId, Span};
+///
+/// let sink = DiagnosticSink::new();
+/// sink.report(Diagnostic::error(FileId(0), Span::new(0, 1), "undeclared identifier"));
+/// assert!(sink.has_errors());
+/// assert_eq!(sink.take().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DiagnosticSink {
+    diags: Mutex<Vec<Diagnostic>>,
+}
+
+impl DiagnosticSink {
+    /// Creates an empty sink.
+    pub fn new() -> DiagnosticSink {
+        DiagnosticSink::default()
+    }
+
+    /// Records one diagnostic.
+    pub fn report(&self, d: Diagnostic) {
+        self.diags.lock().expect("sink poisoned").push(d);
+    }
+
+    /// Returns `true` if at least one [`Severity::Error`] was reported.
+    pub fn has_errors(&self) -> bool {
+        self.diags
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics recorded so far.
+    pub fn len(&self) -> usize {
+        self.diags.lock().expect("sink poisoned").len()
+    }
+
+    /// Returns `true` if nothing has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains all diagnostics, sorted deterministically by
+    /// (file, span start, span end, severity, message).
+    ///
+    /// Sorting makes the output independent of task interleaving, which is
+    /// what lets tests compare concurrent and sequential compilations.
+    pub fn take(&self) -> Vec<Diagnostic> {
+        let mut v = std::mem::take(&mut *self.diags.lock().expect("sink poisoned"));
+        v.sort_by(|a, b| {
+            (a.file, a.span.lo, a.span.hi, a.severity, &a.message).cmp(&(
+                b.file,
+                b.span.lo,
+                b.span.hi,
+                b.severity,
+                &b.message,
+            ))
+        });
+        v
+    }
+
+    /// Clones the current diagnostics (sorted), leaving the sink intact.
+    pub fn snapshot(&self) -> Vec<Diagnostic> {
+        let mut v = self.diags.lock().expect("sink poisoned").clone();
+        v.sort_by(|a, b| {
+            (a.file, a.span.lo, a.span.hi, a.severity, &a.message).cmp(&(
+                b.file,
+                b.span.lo,
+                b.span.hi,
+                b.severity,
+                &b.message,
+            ))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_and_sorts() {
+        let sink = DiagnosticSink::new();
+        sink.report(Diagnostic::error(FileId(1), Span::new(5, 6), "b"));
+        sink.report(Diagnostic::error(FileId(0), Span::new(9, 10), "a"));
+        sink.report(Diagnostic::warning(FileId(0), Span::new(1, 2), "w"));
+        let all = sink.take();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].message, "w");
+        assert_eq!(all[1].message, "a");
+        assert_eq!(all[2].message, "b");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let sink = DiagnosticSink::new();
+        sink.report(Diagnostic::warning(FileId(0), Span::new(0, 0), "meh"));
+        assert!(!sink.has_errors());
+        sink.report(Diagnostic::error(FileId(0), Span::new(0, 0), "bad"));
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn snapshot_preserves_contents() {
+        let sink = DiagnosticSink::new();
+        sink.report(Diagnostic::error(FileId(0), Span::new(0, 1), "x"));
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d = Diagnostic::error(FileId(2), Span::new(3, 4), "oops");
+        let text = format!("{d}");
+        assert!(text.contains("error"));
+        assert!(text.contains("oops"));
+    }
+}

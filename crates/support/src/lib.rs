@@ -1,0 +1,40 @@
+//! Support utilities shared by every crate in the `ccm2` workspace.
+//!
+//! This crate is deliberately dependency-free. It provides:
+//!
+//! * [`intern`] — a thread-safe string interner producing copyable
+//!   [`intern::Symbol`] handles, used for every identifier the compiler
+//!   touches (concurrent symbol-table search compares interned handles,
+//!   never strings);
+//! * [`source`] — source text management: [`source::SourceFile`],
+//!   byte-offset [`source::Span`]s and line/column resolution;
+//! * [`diag`] — structured diagnostics ([`diag::Diagnostic`]) and a
+//!   thread-safe [`diag::DiagnosticSink`] so concurrently running compiler
+//!   tasks can report errors without interleaving;
+//! * [`ids`] — small strongly-typed index newtypes and a typed id
+//!   generator used for streams, scopes, tasks and events.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccm2_support::intern::Interner;
+//!
+//! let interner = Interner::new();
+//! let a = interner.intern("WriteInt");
+//! let b = interner.intern("WriteInt");
+//! assert_eq!(a, b);
+//! assert_eq!(interner.resolve(a), "WriteInt");
+//! ```
+
+pub mod defs;
+pub mod diag;
+pub mod ids;
+pub mod intern;
+pub mod source;
+pub mod work;
+
+pub use defs::{DefLibrary, DefProvider};
+pub use diag::{Diagnostic, DiagnosticSink, Severity};
+pub use intern::{Interner, Symbol};
+pub use source::{LineCol, SourceFile, SourceMap, Span};
+pub use work::{NullMeter, Work, WorkMeter};

@@ -1,0 +1,701 @@
+//! Abstract syntax for Modula-2+ modules, declarations, statements and
+//! expressions.
+//!
+//! Two aspects are specific to the *concurrent* compiler:
+//!
+//! * a procedure body may be [`ProcBody::Remote`] — the splitter diverted
+//!   its tokens to another stream and left a stub; the parent scope still
+//!   sees (and semantically processes) the heading, which is exactly the
+//!   §2.4 "alternative 1" information flow;
+//! * qualified names `A.b` are parsed as field selection on a name and
+//!   disambiguated during semantic analysis, which is where the paper's
+//!   *qualified identifier* lookup statistics (Table 2) are collected.
+
+use ccm2_support::ids::StreamId;
+use ccm2_support::intern::Symbol;
+use ccm2_support::source::Span;
+
+/// An identifier with its source span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ident {
+    /// Interned name.
+    pub name: Symbol,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+/// One import declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Import {
+    /// `IMPORT A, B;` — one entry per module named.
+    Whole {
+        /// The imported module.
+        module: Ident,
+    },
+    /// `FROM A IMPORT x, y;`
+    From {
+        /// The module exporting the names.
+        module: Ident,
+        /// The unqualified names made visible.
+        names: Vec<Ident>,
+    },
+}
+
+impl Import {
+    /// The module this import refers to.
+    pub fn module(&self) -> Ident {
+        match self {
+            Import::Whole { module } | Import::From { module, .. } => *module,
+        }
+    }
+}
+
+/// A definition module (`M.def`): the interface between a module and its
+/// clients.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DefinitionModule {
+    /// Module name.
+    pub name: Ident,
+    /// Imports (directly nested imports drive the import tree of §4.4).
+    pub imports: Vec<Import>,
+    /// `EXPORT QUALIFIED` list (PIM2 compatibility; may be empty).
+    pub exports: Vec<Ident>,
+    /// Interface declarations (constants, types, variables, procedure
+    /// headings).
+    pub decls: Vec<Decl>,
+}
+
+/// An implementation module (`M.mod`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ImplementationModule {
+    /// Module name.
+    pub name: Ident,
+    /// Imports.
+    pub imports: Vec<Import>,
+    /// Module-level declarations.
+    pub decls: Vec<Decl>,
+    /// Module body statements (may be empty).
+    pub body: Vec<Stmt>,
+    /// Span of the whole module.
+    pub span: Span,
+}
+
+/// One declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Decl {
+    /// `CONST name = expr;`
+    Const {
+        /// Declared name.
+        name: Ident,
+        /// Constant value expression.
+        value: Expr,
+    },
+    /// `TYPE name = type;` (in definition modules, `TYPE name;` declares an
+    /// opaque type, represented with `ty: None`).
+    Type {
+        /// Declared name.
+        name: Ident,
+        /// The right-hand side; `None` for opaque types.
+        ty: Option<TypeExpr>,
+    },
+    /// `VAR a, b : T;`
+    Var {
+        /// Declared names.
+        names: Vec<Ident>,
+        /// Their common type.
+        ty: TypeExpr,
+    },
+    /// A procedure declaration (full, remote-bodied, or heading-only).
+    Procedure(ProcDecl),
+}
+
+impl Decl {
+    /// The names this declaration introduces, in source order.
+    pub fn declared_names(&self) -> Vec<Ident> {
+        match self {
+            Decl::Const { name, .. } | Decl::Type { name, .. } => vec![*name],
+            Decl::Var { names, .. } => names.clone(),
+            Decl::Procedure(p) => vec![p.heading.name],
+        }
+    }
+}
+
+/// A procedure heading: name, formal parameters, optional return type.
+///
+/// This is the §2.4 shared information: the parent scope uses it to check
+/// calls, the child scope to access parameters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcHeading {
+    /// Procedure name.
+    pub name: Ident,
+    /// Formal parameter sections.
+    pub params: Vec<FormalParam>,
+    /// Return type for function procedures.
+    pub ret: Option<TypeExpr>,
+    /// Span of the heading.
+    pub span: Span,
+}
+
+impl ProcHeading {
+    /// Total number of formal parameter *names* (a section `a, b: T`
+    /// counts as two).
+    pub fn param_count(&self) -> usize {
+        self.params.iter().map(|p| p.names.len()).sum()
+    }
+}
+
+/// One formal parameter section `VAR a, b : T`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FormalParam {
+    /// `true` for `VAR` (reference) parameters.
+    pub is_var: bool,
+    /// Names in this section.
+    pub names: Vec<Ident>,
+    /// The section's type.
+    pub ty: TypeExpr,
+}
+
+/// Where a procedure's body lives.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProcBody {
+    /// The body is right here (sequential compiler, or a definition parsed
+    /// from an unsplit stream).
+    Local(Box<ProcLocal>),
+    /// The splitter diverted the body to the stream with this id; the
+    /// parent sees only the heading (paper §3).
+    Remote(StreamId),
+    /// Heading only — definition-module procedure declarations.
+    HeadingOnly,
+}
+
+/// Local declarations and statements of a procedure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcLocal {
+    /// Nested declarations (may contain nested procedures).
+    pub decls: Vec<Decl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A full procedure declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcDecl {
+    /// The heading.
+    pub heading: ProcHeading,
+    /// The body (local, remote, or absent).
+    pub body: ProcBody,
+}
+
+/// A type expression with its span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TypeExpr {
+    /// The structural kind.
+    pub kind: TypeExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Structural kinds of type expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TypeExprKind {
+    /// A (possibly qualified) type name: `T` or `M.T`.
+    Named {
+        /// Qualifying module, if any.
+        module: Option<Ident>,
+        /// The type name.
+        name: Ident,
+    },
+    /// `ARRAY index OF elem`.
+    Array {
+        /// Index type (subrange or ordinal type name).
+        index: Box<TypeExpr>,
+        /// Element type.
+        elem: Box<TypeExpr>,
+    },
+    /// Open array formal type `ARRAY OF T`.
+    OpenArray {
+        /// Element type.
+        elem: Box<TypeExpr>,
+    },
+    /// `RECORD fields END`.
+    Record {
+        /// Field sections.
+        fields: Vec<FieldSection>,
+    },
+    /// `POINTER TO T`.
+    Pointer {
+        /// Pointee type.
+        to: Box<TypeExpr>,
+    },
+    /// `SET OF T`.
+    Set {
+        /// Base ordinal type.
+        of: Box<TypeExpr>,
+    },
+    /// `(red, green, blue)`.
+    Enumeration {
+        /// Enumeration constants in declaration order.
+        members: Vec<Ident>,
+    },
+    /// `[lo .. hi]`.
+    Subrange {
+        /// Lower bound (constant expression).
+        lo: Box<Expr>,
+        /// Upper bound (constant expression).
+        hi: Box<Expr>,
+    },
+    /// `PROCEDURE (params) : ret`.
+    ProcType {
+        /// Parameter types with their VAR-ness.
+        params: Vec<(bool, Box<TypeExpr>)>,
+        /// Optional return type.
+        ret: Option<Box<TypeExpr>>,
+    },
+}
+
+/// One record field section `a, b : T`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldSection {
+    /// Field names.
+    pub names: Vec<Ident>,
+    /// Their type.
+    pub ty: TypeExpr,
+}
+
+/// A statement with its span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stmt {
+    /// The statement kind.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement kinds (Modula-2 plus the Modula-2+ `LOCK`/`TRY`/`RAISE`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum StmtKind {
+    /// `lhs := rhs`.
+    Assign {
+        /// Target designator.
+        lhs: Expr,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// A procedure call used as a statement.
+    Call {
+        /// The call expression (an [`ExprKind::Call`] or a bare
+        /// designator for parameterless procedures).
+        call: Expr,
+    },
+    /// `IF … THEN … ELSIF … ELSE … END`.
+    If {
+        /// `(condition, body)` for the IF and each ELSIF, in order.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The ELSE body, if present.
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// `WHILE cond DO body END`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `REPEAT body UNTIL cond`.
+    Repeat {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Termination condition.
+        until: Expr,
+    },
+    /// `FOR v := from TO to BY by DO body END`.
+    For {
+        /// Control variable.
+        var: Ident,
+        /// Initial value.
+        from: Expr,
+        /// Final value.
+        to: Expr,
+        /// Step (constant); `None` means 1.
+        by: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `LOOP body END`.
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `EXIT`.
+    Exit,
+    /// `CASE e OF arms ELSE … END`.
+    Case {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// Case arms.
+        arms: Vec<CaseArm>,
+        /// ELSE body, if present.
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// `WITH designator DO body END` — opens a field scope (the paper's
+    /// Table 2 has a dedicated "WITH" scope row).
+    With {
+        /// The record designator.
+        designator: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `RETURN [expr]`.
+    Return(Option<Expr>),
+    /// Modula-2+ `LOCK designator DO body END`.
+    LockStmt {
+        /// The mutex designator.
+        designator: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Modula-2+ `TRY body EXCEPT handler FINALLY cleanup END`.
+    TryStmt {
+        /// Protected body.
+        body: Vec<Stmt>,
+        /// Exception handler, if present.
+        except: Option<Vec<Stmt>>,
+        /// Finalization body, if present.
+        finally: Option<Vec<Stmt>>,
+    },
+    /// Modula-2+ `RAISE [expr]`.
+    Raise(Option<Expr>),
+    /// The empty statement (stray `;`).
+    Empty,
+}
+
+/// One arm of a CASE statement.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CaseArm {
+    /// The labels selecting this arm.
+    pub labels: Vec<CaseLabel>,
+    /// The arm's body.
+    pub body: Vec<Stmt>,
+}
+
+/// A case label: a single constant or a constant range.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CaseLabel {
+    /// `c :`
+    Single(Expr),
+    /// `lo .. hi :`
+    Range(Expr, Expr),
+}
+
+/// An expression with its span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal (IEEE bits).
+    RealLit(u64),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal.
+    StrLit(Symbol),
+    /// A simple name. Resolution (local, outer scope, imported module,
+    /// builtin) happens in sema.
+    Name(Ident),
+    /// `base.field` — either record field selection or a qualified name
+    /// `Module.ident`; sema disambiguates.
+    Field {
+        /// The selected-from expression.
+        base: Box<Expr>,
+        /// The field or member name.
+        field: Ident,
+    },
+    /// `base[e1, e2]` — array indexing (multi-index sugar for nested
+    /// arrays).
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// Index expressions.
+        indices: Vec<Expr>,
+    },
+    /// `base^` — pointer dereference.
+    Deref {
+        /// The pointer expression.
+        base: Box<Expr>,
+    },
+    /// `callee(args)` — procedure/function call or type conversion.
+    Call {
+        /// The called designator.
+        callee: Box<Expr>,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Set constructor `{1, 3..5}` or `BITSET{…}`.
+    SetCons {
+        /// Optional set type name.
+        of_type: Option<Ident>,
+        /// Elements.
+        elems: Vec<SetElem>,
+    },
+}
+
+/// An element of a set constructor.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetElem {
+    /// A single member.
+    Single(Expr),
+    /// An inclusive range of members.
+    Range(Expr, Expr),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Identity `+`.
+    Pos,
+    /// Boolean negation `NOT` / `~`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+` (numeric add or set union).
+    Add,
+    /// `-` (numeric subtract or set difference).
+    Sub,
+    /// `*` (numeric multiply or set intersection).
+    Mul,
+    /// `/` (real divide or symmetric set difference).
+    RealDiv,
+    /// `DIV`.
+    IntDiv,
+    /// `MOD`.
+    Modulo,
+    /// `AND` / `&` (short-circuit).
+    And,
+    /// `OR` (short-circuit).
+    Or,
+    /// `=`.
+    Eq,
+    /// `#` / `<>`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `IN` (set membership).
+    In,
+}
+
+impl Expr {
+    /// Counts the nodes of this expression tree — used by the virtual-time
+    /// cost model (work is charged per node analyzed/generated).
+    pub fn node_count(&self) -> usize {
+        1 + match &self.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::RealLit(_)
+            | ExprKind::CharLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::Name(_) => 0,
+            ExprKind::Field { base, .. } | ExprKind::Deref { base } => base.node_count(),
+            ExprKind::Index { base, indices } => {
+                base.node_count() + indices.iter().map(Expr::node_count).sum::<usize>()
+            }
+            ExprKind::Call { callee, args } => {
+                callee.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
+            }
+            ExprKind::Unary { operand, .. } => operand.node_count(),
+            ExprKind::Binary { lhs, rhs, .. } => lhs.node_count() + rhs.node_count(),
+            ExprKind::SetCons { elems, .. } => elems
+                .iter()
+                .map(|e| match e {
+                    SetElem::Single(x) => x.node_count(),
+                    SetElem::Range(a, b) => a.node_count() + b.node_count(),
+                })
+                .sum(),
+        }
+    }
+}
+
+/// Counts statements recursively (used by the workload generator's
+/// "long procedure first" classification and by the cost model).
+pub fn stmt_count(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| {
+            1 + match &s.kind {
+                StmtKind::If { arms, else_body } => {
+                    arms.iter().map(|(_, b)| stmt_count(b)).sum::<usize>()
+                        + else_body.as_deref().map_or(0, stmt_count)
+                }
+                StmtKind::While { body, .. }
+                | StmtKind::Loop { body }
+                | StmtKind::For { body, .. }
+                | StmtKind::With { body, .. }
+                | StmtKind::LockStmt { body, .. } => stmt_count(body),
+                StmtKind::Repeat { body, .. } => stmt_count(body),
+                StmtKind::Case {
+                    arms, else_body, ..
+                } => {
+                    arms.iter().map(|a| stmt_count(&a.body)).sum::<usize>()
+                        + else_body.as_deref().map_or(0, stmt_count)
+                }
+                StmtKind::TryStmt {
+                    body,
+                    except,
+                    finally,
+                } => {
+                    stmt_count(body)
+                        + except.as_deref().map_or(0, stmt_count)
+                        + finally.as_deref().map_or(0, stmt_count)
+                }
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(n: u32) -> Ident {
+        Ident {
+            name: Symbol::from_index(n as usize),
+            span: Span::default(),
+        }
+    }
+
+    fn name_expr(n: u32) -> Expr {
+        Expr {
+            kind: ExprKind::Name(ident(n)),
+            span: Span::default(),
+        }
+    }
+
+    #[test]
+    fn declared_names_cover_all_decl_kinds() {
+        let c = Decl::Const {
+            name: ident(1),
+            value: name_expr(2),
+        };
+        assert_eq!(c.declared_names().len(), 1);
+        let v = Decl::Var {
+            names: vec![ident(1), ident(2)],
+            ty: TypeExpr {
+                kind: TypeExprKind::Named {
+                    module: None,
+                    name: ident(3),
+                },
+                span: Span::default(),
+            },
+        };
+        assert_eq!(v.declared_names().len(), 2);
+    }
+
+    #[test]
+    fn node_count_counts_subtrees() {
+        let e = Expr {
+            kind: ExprKind::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(name_expr(0)),
+                rhs: Box::new(Expr {
+                    kind: ExprKind::Call {
+                        callee: Box::new(name_expr(1)),
+                        args: vec![name_expr(2), name_expr(3)],
+                    },
+                    span: Span::default(),
+                }),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(e.node_count(), 6);
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let inner = Stmt {
+            kind: StmtKind::Exit,
+            span: Span::default(),
+        };
+        let s = Stmt {
+            kind: StmtKind::While {
+                cond: name_expr(0),
+                body: vec![inner.clone(), inner],
+            },
+            span: Span::default(),
+        };
+        assert_eq!(stmt_count(&[s]), 3);
+    }
+
+    #[test]
+    fn import_module_accessor() {
+        let w = Import::Whole { module: ident(5) };
+        let f = Import::From {
+            module: ident(6),
+            names: vec![ident(7)],
+        };
+        assert_eq!(w.module().name, Symbol::from_index(5));
+        assert_eq!(f.module().name, Symbol::from_index(6));
+    }
+
+    #[test]
+    fn heading_param_count_sums_sections() {
+        let ty = TypeExpr {
+            kind: TypeExprKind::Named {
+                module: None,
+                name: ident(9),
+            },
+            span: Span::default(),
+        };
+        let h = ProcHeading {
+            name: ident(0),
+            params: vec![
+                FormalParam {
+                    is_var: false,
+                    names: vec![ident(1), ident(2)],
+                    ty: ty.clone(),
+                },
+                FormalParam {
+                    is_var: true,
+                    names: vec![ident(3)],
+                    ty,
+                },
+            ],
+            ret: None,
+            span: Span::default(),
+        };
+        assert_eq!(h.param_count(), 3);
+    }
+}

@@ -1,0 +1,534 @@
+//! The Modula-2+ lexer.
+//!
+//! The lexer is a plain iterator over [`Token`]s; in the concurrent
+//! compiler it runs as a *Lexor task* that fills fixed-size token blocks
+//! whose completion events are the barrier events of paper §2.3.3 (the
+//! blocking queue itself lives in the `ccm2` core crate — this module is
+//! pure tokenization and is shared with the sequential compiler).
+//!
+//! Lexical syntax implemented (PIM Modula-2 plus Modula-2+ words):
+//!
+//! * nested `(* ... *)` comments;
+//! * identifiers `[A-Za-z][A-Za-z0-9]*`, with reserved words recognized
+//!   case-sensitively;
+//! * integer literals: decimal `123`, octal `17B`, octal char `101C`
+//!   (lexes to a [`TokenKind::CharLit`]), hexadecimal `0FFH`;
+//! * real literals `1.5`, `2.0E+3`;
+//! * string literals in single or double quotes (single line);
+//! * the operator/delimiter set, with `<>` lexing to the same token as `#`.
+
+use ccm2_support::diag::{Diagnostic, DiagnosticSink};
+use ccm2_support::intern::Interner;
+use ccm2_support::source::{FileId, SourceFile, Span};
+
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a source file's text.
+///
+/// # Examples
+///
+/// ```
+/// use ccm2_support::{Interner, SourceMap, DiagnosticSink};
+/// use ccm2_syntax::lexer::Lexer;
+/// use ccm2_syntax::token::TokenKind;
+///
+/// let interner = Interner::new();
+/// let map = SourceMap::new();
+/// let file = map.add("x.mod", "VAR x : INTEGER;");
+/// let sink = DiagnosticSink::new();
+/// let kinds: Vec<TokenKind> = Lexer::new(&file, &interner, &sink).map(|t| t.kind).collect();
+/// assert_eq!(kinds[0], TokenKind::Var);
+/// assert_eq!(kinds.last(), Some(&TokenKind::Semi));
+/// ```
+pub struct Lexer<'a> {
+    text: &'a [u8],
+    pos: usize,
+    file: FileId,
+    interner: &'a Interner,
+    sink: &'a DiagnosticSink,
+    done: bool,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `file`'s text.
+    pub fn new(file: &'a SourceFile, interner: &'a Interner, sink: &'a DiagnosticSink) -> Lexer<'a> {
+        Lexer {
+            text: file.text().as_bytes(),
+            pos: 0,
+            file: file.id(),
+            interner,
+            sink,
+            done: false,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.text.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'('), Some(b'*')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'*'), Some(b')')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                self.sink.report(Diagnostic::error(
+                                    self.file,
+                                    Span::new(start, self.pos as u32),
+                                    "unterminated comment",
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii identifier");
+        TokenKind::reserved(word).unwrap_or_else(|| TokenKind::Ident(self.interner.intern(word)))
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let start = self.pos;
+        // Consume digits plus hex letters; decide the base by the suffix.
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || (b'A'..=b'F').contains(&b)) {
+            self.pos += 1;
+        }
+        // Real literal: digits '.' digits [E [sign] digits]. Careful: `..`
+        // after a number is a range, not a decimal point.
+        if self.peek() == Some(b'.') && self.peek2() != Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'E') {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            let s = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii number");
+            return match s.parse::<f64>() {
+                Ok(v) => TokenKind::Real(v.to_bits()),
+                Err(_) => {
+                    self.sink.report(Diagnostic::error(
+                        self.file,
+                        Span::new(start as u32, self.pos as u32),
+                        format!("malformed real literal `{s}`"),
+                    ));
+                    TokenKind::Real(0f64.to_bits())
+                }
+            };
+        }
+        let body = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii number");
+        // Suffix determines the base: `H` = hex; otherwise a trailing `B`
+        // (octal) or `C` (octal char) was already consumed by the digit
+        // scan above, since B and C are valid hex letters.
+        let (base, digits, is_char) = if self.peek() == Some(b'H') {
+            self.pos += 1;
+            (16, body, false)
+        } else if let Some(digits) = body.strip_suffix('B') {
+            (8, digits, false)
+        } else if let Some(digits) = body.strip_suffix('C') {
+            (8, digits, true)
+        } else {
+            (10, body, false)
+        };
+        match i64::from_str_radix(digits, base) {
+            Ok(v) if is_char => {
+                if (0..=255).contains(&v) {
+                    TokenKind::CharLit(v as u8)
+                } else {
+                    self.sink.report(Diagnostic::error(
+                        self.file,
+                        Span::new(start as u32, self.pos as u32),
+                        format!("character code {v} out of range"),
+                    ));
+                    TokenKind::CharLit(0)
+                }
+            }
+            Ok(v) => TokenKind::Int(v),
+            Err(_) => {
+                self.sink.report(Diagnostic::error(
+                    self.file,
+                    Span::new(start as u32, self.pos as u32),
+                    format!("malformed integer literal `{digits}` (base {base})"),
+                ));
+                TokenKind::Int(0)
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8) -> TokenKind {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => break,
+                Some(b'\n') | None => {
+                    self.sink.report(Diagnostic::error(
+                        self.file,
+                        Span::new(start as u32, self.pos as u32),
+                        "unterminated string literal",
+                    ));
+                    break;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let body = std::str::from_utf8(&self.text[body_start..self.pos]).unwrap_or("");
+        if self.peek() == Some(quote) {
+            self.pos += 1;
+        }
+        // A single-character string in quotes is a CHAR literal in Modula-2
+        // when used in char context; we keep it as Str and let sema adapt,
+        // except for the canonical single-char case which becomes CharLit.
+        if body.len() == 1 {
+            TokenKind::CharLit(body.as_bytes()[0])
+        } else {
+            TokenKind::Str(self.interner.intern(body))
+        }
+    }
+}
+
+impl<'a> Iterator for Lexer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        if self.done {
+            return None;
+        }
+        self.skip_trivia();
+        let start = self.pos as u32;
+        let Some(b) = self.peek() else {
+            self.done = true;
+            return None;
+        };
+        use TokenKind::*;
+        let kind = match b {
+            b'A'..=b'Z' | b'a'..=b'z' => self.lex_ident(),
+            b'0'..=b'9' => self.lex_number(),
+            b'\'' | b'"' => self.lex_string(b),
+            b'+' => {
+                self.pos += 1;
+                Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                Star
+            }
+            b'/' => {
+                self.pos += 1;
+                Slash
+            }
+            b'&' => {
+                self.pos += 1;
+                Amp
+            }
+            b'=' => {
+                self.pos += 1;
+                Eq
+            }
+            b'#' => {
+                self.pos += 1;
+                Neq
+            }
+            b'~' => {
+                self.pos += 1;
+                Tilde
+            }
+            b'^' => {
+                self.pos += 1;
+                Caret
+            }
+            b',' => {
+                self.pos += 1;
+                Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Semi
+            }
+            b'|' => {
+                self.pos += 1;
+                Bar
+            }
+            b'(' => {
+                self.pos += 1;
+                LParen
+            }
+            b')' => {
+                self.pos += 1;
+                RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                RBrace
+            }
+            b':' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Assign
+                } else {
+                    Colon
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Le
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Neq
+                    }
+                    _ => Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'.' => {
+                self.pos += 1;
+                if self.peek() == Some(b'.') {
+                    self.pos += 1;
+                    DotDot
+                } else {
+                    Dot
+                }
+            }
+            other => {
+                self.bump();
+                self.sink.report(Diagnostic::error(
+                    self.file,
+                    Span::new(start, self.pos as u32),
+                    format!("unexpected character `{}`", other as char),
+                ));
+                return self.next();
+            }
+        };
+        Some(Token::new(kind, Span::new(start, self.pos as u32), self.file))
+    }
+}
+
+/// Lexes an entire file into a vector of tokens (no trailing `Eof` token —
+/// the parser treats slice exhaustion as end of input).
+pub fn lex_file(file: &SourceFile, interner: &Interner, sink: &DiagnosticSink) -> Vec<Token> {
+    Lexer::new(file, interner, sink).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_support::source::SourceMap;
+
+    fn kinds(src: &str) -> (Vec<TokenKind>, DiagnosticSink) {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("t.mod", src);
+        let sink = DiagnosticSink::new();
+        let toks = lex_file(&file, &interner, &sink);
+        (toks.into_iter().map(|t| t.kind).collect(), sink)
+    }
+
+    #[test]
+    fn reserved_vs_identifier() {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("t.mod", "MODULE Module modulE");
+        let sink = DiagnosticSink::new();
+        let toks = lex_file(&file, &interner, &sink);
+        assert_eq!(toks[0].kind, TokenKind::Module);
+        assert!(matches!(toks[1].kind, TokenKind::Ident(_)));
+        assert!(matches!(toks[2].kind, TokenKind::Ident(_)));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn integer_bases() {
+        let (k, sink) = kinds("10 17B 0FFH 101C");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(10),
+                TokenKind::Int(0o17),
+                TokenKind::Int(0xFF),
+                TokenKind::CharLit(0o101),
+            ]
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn real_literals() {
+        let (k, sink) = kinds("1.5 2.0E+3 7.25E-1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Real(1.5f64.to_bits()),
+                TokenKind::Real(2000.0f64.to_bits()),
+                TokenKind::Real(0.725f64.to_bits()),
+            ]
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn range_after_number_is_not_a_real() {
+        let (k, _) = kinds("1..10");
+        assert_eq!(
+            k,
+            vec![TokenKind::Int(1), TokenKind::DotDot, TokenKind::Int(10)]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("t.mod", "\"hello\" 'x' ''");
+        let sink = DiagnosticSink::new();
+        let toks = lex_file(&file, &interner, &sink);
+        match toks[0].kind {
+            TokenKind::Str(s) => assert_eq!(interner.resolve(s), "hello"),
+            other => panic!("expected string, got {other:?}"),
+        }
+        assert_eq!(toks[1].kind, TokenKind::CharLit(b'x'));
+        assert!(matches!(toks[2].kind, TokenKind::Str(_)), "empty string stays Str");
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let (k, _) = kinds(":= <= >= <> .. # < >");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Assign,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Neq,
+                TokenKind::DotDot,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments_skipped() {
+        let (k, sink) = kinds("BEGIN (* outer (* inner *) still outer *) END");
+        assert_eq!(k, vec![TokenKind::Begin, TokenKind::End]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn unterminated_comment_reports() {
+        let (_, sink) = kinds("(* never closed");
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn unterminated_string_reports() {
+        let (_, sink) = kinds("\"oops\nVAR");
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn unexpected_character_reports_and_continues() {
+        let (k, sink) = kinds("VAR ? x");
+        assert!(sink.has_errors());
+        assert_eq!(k.len(), 2, "lexing continues past the bad character");
+        assert_eq!(k[0], TokenKind::Var);
+    }
+
+    #[test]
+    fn spans_tile_the_nontrivia_input() {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let src = "IF a1 >= 10 THEN x := 'c' END;";
+        let file = map.add("t.mod", src);
+        let sink = DiagnosticSink::new();
+        let toks = lex_file(&file, &interner, &sink);
+        for w in toks.windows(2) {
+            assert!(w[0].span.hi <= w[1].span.lo, "tokens out of order");
+        }
+        for t in &toks {
+            assert!(t.span.len() > 0);
+            assert!(t.span.hi as usize <= src.len());
+        }
+    }
+
+    #[test]
+    fn empty_input_lexes_to_nothing() {
+        let (k, sink) = kinds("");
+        assert!(k.is_empty());
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,1819 @@
+//! Recursive-descent parser for Modula-2+.
+//!
+//! The parser operates on *token slices*, not text, because in the
+//! concurrent compiler the tokens of one stream arrive from the splitter
+//! (main module, procedures) or from a dedicated Lexor task (definition
+//! modules). Three entry points correspond to the three stream kinds of
+//! paper §2.1:
+//!
+//! * [`parse_definition`] — a definition-module stream;
+//! * [`parse_implementation`] — the main-module stream (which, in the
+//!   concurrent compiler, contains [`TokenKind::ProcStub`] markers where
+//!   procedure bodies were diverted);
+//! * [`parse_procedure`] — one procedure stream.
+//!
+//! Grammar follows PIM Modula-2 with the Modula-2+ statement extensions
+//! (`LOCK`, `TRY`/`EXCEPT`/`FINALLY`, `RAISE`). Local (nested) modules and
+//! `FORWARD` declarations are not supported; the paper likewise ignores
+//! rare forms (§3, footnote 3).
+
+use ccm2_support::diag::{Diagnostic, DiagnosticSink};
+use ccm2_support::intern::Interner;
+use ccm2_support::source::{FileId, Span};
+
+use crate::ast::*;
+use crate::token::{Token, TokenKind};
+
+/// A source of tokens addressed by index.
+///
+/// The sequential compiler parses plain slices; the concurrent compiler
+/// parses *live streams*: its implementation blocks on the token-block
+/// barrier events of paper §2.3.3 until the requested token has been
+/// produced, which is how parsing overlaps lexical analysis and
+/// splitting.
+pub trait TokenSource {
+    /// Returns the `i`-th token, or `None` once the stream has ended
+    /// before `i`. May block (stream implementations).
+    fn get(&self, i: usize) -> Option<Token>;
+}
+
+impl TokenSource for &[Token] {
+    fn get(&self, i: usize) -> Option<Token> {
+        <[Token]>::get(self, i).copied()
+    }
+}
+
+impl TokenSource for Vec<Token> {
+    fn get(&self, i: usize) -> Option<Token> {
+        self.as_slice().get(i).copied()
+    }
+}
+
+/// Parses a definition module from its complete token stream.
+///
+/// Returns `None` (after reporting diagnostics) if the module header is
+/// unusable; partial parses with recoverable errors still return a module.
+pub fn parse_definition(
+    tokens: &[Token],
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<DefinitionModule> {
+    Parser::new(&tokens, interner, sink).definition_module()
+}
+
+/// Streaming variant of [`parse_definition`] over any [`TokenSource`].
+pub fn parse_definition_from(
+    source: &dyn TokenSource,
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<DefinitionModule> {
+    Parser::new(source, interner, sink).definition_module()
+}
+
+/// Parses an implementation (or program) module from a token stream.
+///
+/// The stream may contain [`TokenKind::ProcStub`] markers left by the
+/// splitter; the resulting [`ProcDecl`]s then have [`ProcBody::Remote`]
+/// bodies.
+pub fn parse_implementation(
+    tokens: &[Token],
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<ImplementationModule> {
+    Parser::new(&tokens, interner, sink).implementation_module()
+}
+
+/// Streaming variant of [`parse_implementation`] over any [`TokenSource`].
+pub fn parse_implementation_from(
+    source: &dyn TokenSource,
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<ImplementationModule> {
+    Parser::new(source, interner, sink).implementation_module()
+}
+
+/// Parses one full procedure declaration (`PROCEDURE … END name ;`), the
+/// content of a procedure stream.
+pub fn parse_procedure(
+    tokens: &[Token],
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<ProcDecl> {
+    let mut p = Parser::new(&tokens, interner, sink);
+    p.expect(TokenKind::Procedure)?;
+    p.procedure_rest()
+}
+
+/// Streaming variant of [`parse_procedure`] over any [`TokenSource`].
+pub fn parse_procedure_from(
+    source: &dyn TokenSource,
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<ProcDecl> {
+    let mut p = Parser::new(source, interner, sink);
+    p.expect(TokenKind::Procedure)?;
+    p.procedure_rest()
+}
+
+/// Parses a standalone (constant) expression — used by constant-evaluation
+/// tests and tools.
+pub fn parse_const_expr(
+    tokens: &[Token],
+    interner: &Interner,
+    sink: &DiagnosticSink,
+) -> Option<Expr> {
+    Parser::new(&tokens, interner, sink).expression()
+}
+
+struct Parser<'a> {
+    tokens: &'a dyn TokenSource,
+    pos: usize,
+    interner: &'a Interner,
+    sink: &'a DiagnosticSink,
+    file: FileId,
+    file_known: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(
+        tokens: &'a dyn TokenSource,
+        interner: &'a Interner,
+        sink: &'a DiagnosticSink,
+    ) -> Parser<'a> {
+        Parser {
+            tokens,
+            pos: 0,
+            interner,
+            sink,
+            file: FileId(0),
+            file_known: false,
+        }
+    }
+
+    // ----- primitives ---------------------------------------------------
+
+    fn observe_file(&mut self, t: Option<Token>) {
+        if !self.file_known {
+            if let Some(t) = t {
+                self.file = t.file;
+                self.file_known = true;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> TokenKind {
+        let t = self.tokens.get(self.pos);
+        self.observe_file(t);
+        t.map(|t| t.kind).unwrap_or(TokenKind::Eof)
+    }
+
+    fn peek2(&mut self) -> TokenKind {
+        let t = self.tokens.get(self.pos + 1);
+        t.map(|t| t.kind).unwrap_or(TokenKind::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| {
+                self.tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map(|t| Span::point(t.span.hi))
+                    .unwrap_or_default()
+            })
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.peek();
+        if k != TokenKind::Eof {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn at(&mut self, kind: TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) {
+        self.sink
+            .report(Diagnostic::error(self.file, self.span(), msg));
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Option<()> {
+        if self.eat(kind) {
+            Some(())
+        } else {
+            let found = self.peek();
+            self.error(format!("expected `{kind}`, found `{found}`"));
+            None
+        }
+    }
+
+    fn ident(&mut self) -> Option<Ident> {
+        match self.peek() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Some(Ident { name, span })
+            }
+            other => {
+                self.error(format!("expected identifier, found `{other}`"));
+                None
+            }
+        }
+    }
+
+    fn ident_list(&mut self) -> Vec<Ident> {
+        let mut ids = Vec::new();
+        loop {
+            match self.ident() {
+                Some(id) => ids.push(id),
+                None => break,
+            }
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        ids
+    }
+
+    /// Skips tokens until one of `sync` (or Eof), for error recovery.
+    fn synchronize(&mut self, sync: &[TokenKind]) {
+        while !self.at(TokenKind::Eof) && !sync.contains(&self.peek()) {
+            self.bump();
+        }
+    }
+
+    // ----- modules -------------------------------------------------------
+
+    fn imports(&mut self) -> Vec<Import> {
+        let mut imports = Vec::new();
+        loop {
+            if self.eat(TokenKind::From) {
+                let Some(module) = self.ident() else {
+                    self.synchronize(&[TokenKind::Semi]);
+                    self.eat(TokenKind::Semi);
+                    continue;
+                };
+                if self.expect(TokenKind::Import).is_none() {
+                    self.synchronize(&[TokenKind::Semi]);
+                    self.eat(TokenKind::Semi);
+                    continue;
+                }
+                let names = self.ident_list();
+                self.expect(TokenKind::Semi);
+                imports.push(Import::From { module, names });
+            } else if self.eat(TokenKind::Import) {
+                let modules = self.ident_list();
+                self.expect(TokenKind::Semi);
+                for module in modules {
+                    imports.push(Import::Whole { module });
+                }
+            } else {
+                break;
+            }
+        }
+        imports
+    }
+
+    fn definition_module(&mut self) -> Option<DefinitionModule> {
+        self.expect(TokenKind::Definition)?;
+        self.expect(TokenKind::Module)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Semi)?;
+        let imports = self.imports();
+        let mut exports = Vec::new();
+        if self.eat(TokenKind::Export) {
+            self.eat(TokenKind::Qualified);
+            exports = self.ident_list();
+            self.expect(TokenKind::Semi);
+        }
+        let mut decls = Vec::new();
+        while !matches!(self.peek(), TokenKind::End | TokenKind::Eof) {
+            let before = self.pos;
+            self.declaration(true, &mut decls);
+            if self.pos == before {
+                let found = self.peek();
+                self.error(format!("unexpected `{found}` in definition module"));
+                self.bump();
+            }
+        }
+        self.expect(TokenKind::End);
+        if let Some(end_name) = self.ident() {
+            if end_name.name != name.name {
+                self.sink.report(Diagnostic::error(
+                    self.file,
+                    end_name.span,
+                    format!(
+                        "module ends with `{}` but is named `{}`",
+                        self.interner.resolve(end_name.name),
+                        self.interner.resolve(name.name)
+                    ),
+                ));
+            }
+        }
+        self.expect(TokenKind::Dot);
+        Some(DefinitionModule {
+            name,
+            imports,
+            exports,
+            decls,
+        })
+    }
+
+    fn implementation_module(&mut self) -> Option<ImplementationModule> {
+        let lo = self.span();
+        self.eat(TokenKind::Implementation);
+        self.expect(TokenKind::Module)?;
+        let name = self.ident()?;
+        // Optional module priority `[const]` — parsed and discarded.
+        if self.eat(TokenKind::LBracket) {
+            let _ = self.expression();
+            self.expect(TokenKind::RBracket);
+        }
+        self.expect(TokenKind::Semi)?;
+        let imports = self.imports();
+        let mut decls = Vec::new();
+        self.declarations(&mut decls);
+        let mut body = Vec::new();
+        if self.eat(TokenKind::Begin) {
+            body = self.statement_sequence(&[TokenKind::End]);
+        }
+        self.expect(TokenKind::End);
+        if let Some(end_name) = self.ident() {
+            if end_name.name != name.name {
+                self.sink.report(Diagnostic::error(
+                    self.file,
+                    end_name.span,
+                    format!(
+                        "module ends with `{}` but is named `{}`",
+                        self.interner.resolve(end_name.name),
+                        self.interner.resolve(name.name)
+                    ),
+                ));
+            }
+        }
+        self.expect(TokenKind::Dot);
+        let span = lo.to(self.prev_span());
+        Some(ImplementationModule {
+            name,
+            imports,
+            decls,
+            body,
+            span,
+        })
+    }
+
+    // ----- declarations --------------------------------------------------
+
+    fn declarations(&mut self, out: &mut Vec<Decl>) {
+        loop {
+            let before = self.pos;
+            self.declaration(false, out);
+            if self.pos == before {
+                break;
+            }
+        }
+    }
+
+    /// Parses one declaration group (CONST/TYPE/VAR section or PROCEDURE).
+    /// `heading_only` is true inside definition modules.
+    fn declaration(&mut self, heading_only: bool, out: &mut Vec<Decl>) {
+        match self.peek() {
+            TokenKind::Const => {
+                self.bump();
+                while let TokenKind::Ident(_) = self.peek() {
+                    let Some(name) = self.ident() else { break };
+                    if self.expect(TokenKind::Eq).is_none() {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                        continue;
+                    }
+                    let Some(value) = self.expression() else {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                        continue;
+                    };
+                    self.expect(TokenKind::Semi);
+                    out.push(Decl::Const { name, value });
+                }
+            }
+            TokenKind::Type => {
+                self.bump();
+                while let TokenKind::Ident(_) = self.peek() {
+                    let Some(name) = self.ident() else { break };
+                    if self.eat(TokenKind::Semi) {
+                        // Opaque type declaration `TYPE T;`
+                        out.push(Decl::Type { name, ty: None });
+                        continue;
+                    }
+                    if self.expect(TokenKind::Eq).is_none() {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                        continue;
+                    }
+                    let ty = self.type_expr();
+                    self.expect(TokenKind::Semi);
+                    out.push(Decl::Type { name, ty });
+                }
+            }
+            TokenKind::Var => {
+                self.bump();
+                while let TokenKind::Ident(_) = self.peek() {
+                    let names = self.ident_list();
+                    if self.expect(TokenKind::Colon).is_none() {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                        continue;
+                    }
+                    let Some(ty) = self.type_expr() else {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                        continue;
+                    };
+                    self.expect(TokenKind::Semi);
+                    out.push(Decl::Var { names, ty });
+                }
+            }
+            TokenKind::Procedure => {
+                self.bump();
+                if heading_only {
+                    if let Some(heading) = self.proc_heading() {
+                        self.expect(TokenKind::Semi);
+                        out.push(Decl::Procedure(ProcDecl {
+                            heading,
+                            body: ProcBody::HeadingOnly,
+                        }));
+                    } else {
+                        self.synchronize(&[TokenKind::Semi]);
+                        self.eat(TokenKind::Semi);
+                    }
+                } else if let Some(proc) = self.procedure_rest() {
+                    out.push(Decl::Procedure(proc));
+                } else {
+                    self.synchronize(&[
+                        TokenKind::Semi,
+                        TokenKind::Const,
+                        TokenKind::Type,
+                        TokenKind::Var,
+                        TokenKind::Procedure,
+                        TokenKind::Begin,
+                        TokenKind::End,
+                    ]);
+                    self.eat(TokenKind::Semi);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn proc_heading(&mut self) -> Option<ProcHeading> {
+        let lo = self.prev_span();
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(TokenKind::LParen) {
+            if !self.at(TokenKind::RParen) {
+                loop {
+                    let is_var = self.eat(TokenKind::Var);
+                    let names = self.ident_list();
+                    self.expect(TokenKind::Colon)?;
+                    let ty = self.type_expr()?;
+                    params.push(FormalParam { is_var, names, ty });
+                    if !self.eat(TokenKind::Semi) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let ret = if self.eat(TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let span = lo.to(self.prev_span());
+        Some(ProcHeading {
+            name,
+            params,
+            ret,
+            span,
+        })
+    }
+
+    /// Parses everything after the `PROCEDURE` reserved word: heading,
+    /// then a local body, a splitter stub, or (heading-only) nothing.
+    fn procedure_rest(&mut self) -> Option<ProcDecl> {
+        let heading = self.proc_heading()?;
+        self.expect(TokenKind::Semi)?;
+        // The splitter may have replaced the body with a stub.
+        if let TokenKind::ProcStub(stream) = self.peek() {
+            self.bump();
+            self.expect(TokenKind::Semi);
+            return Some(ProcDecl {
+                heading,
+                body: ProcBody::Remote(stream),
+            });
+        }
+        let mut decls = Vec::new();
+        self.declarations(&mut decls);
+        let mut body = Vec::new();
+        if self.eat(TokenKind::Begin) {
+            body = self.statement_sequence(&[TokenKind::End]);
+        }
+        self.expect(TokenKind::End)?;
+        if let Some(end_name) = self.ident() {
+            if end_name.name != heading.name.name {
+                self.sink.report(Diagnostic::error(
+                    self.file,
+                    end_name.span,
+                    format!(
+                        "procedure ends with `{}` but is named `{}`",
+                        self.interner.resolve(end_name.name),
+                        self.interner.resolve(heading.name.name)
+                    ),
+                ));
+            }
+        }
+        self.expect(TokenKind::Semi);
+        Some(ProcDecl {
+            heading,
+            body: ProcBody::Local(Box::new(ProcLocal { decls, body })),
+        })
+    }
+
+    // ----- types ----------------------------------------------------------
+
+    fn type_expr(&mut self) -> Option<TypeExpr> {
+        let lo = self.span();
+        let kind = match self.peek() {
+            TokenKind::Ident(_) => {
+                let first = self.ident()?;
+                if self.at(TokenKind::Dot) && matches!(self.peek2(), TokenKind::Ident(_)) {
+                    self.bump();
+                    let name = self.ident()?;
+                    TypeExprKind::Named {
+                        module: Some(first),
+                        name,
+                    }
+                } else {
+                    TypeExprKind::Named {
+                        module: None,
+                        name: first,
+                    }
+                }
+            }
+            TokenKind::Array => {
+                self.bump();
+                if self.eat(TokenKind::Of) {
+                    let elem = Box::new(self.type_expr()?);
+                    TypeExprKind::OpenArray { elem }
+                } else {
+                    let index = Box::new(self.type_expr()?);
+                    // Multi-dimensional sugar: ARRAY a, b OF t.
+                    if self.eat(TokenKind::Comma) {
+                        let rest_lo = self.span();
+                        let mut indices = vec![self.type_expr()?];
+                        while self.eat(TokenKind::Comma) {
+                            indices.push(self.type_expr()?);
+                        }
+                        self.expect(TokenKind::Of)?;
+                        let mut elem = self.type_expr()?;
+                        while let Some(ix) = indices.pop() {
+                            elem = TypeExpr {
+                                span: rest_lo.to(elem.span),
+                                kind: TypeExprKind::Array {
+                                    index: Box::new(ix),
+                                    elem: Box::new(elem),
+                                },
+                            };
+                        }
+                        TypeExprKind::Array {
+                            index,
+                            elem: Box::new(elem),
+                        }
+                    } else {
+                        self.expect(TokenKind::Of)?;
+                        let elem = Box::new(self.type_expr()?);
+                        TypeExprKind::Array { index, elem }
+                    }
+                }
+            }
+            TokenKind::Record => {
+                self.bump();
+                let mut fields = Vec::new();
+                while let TokenKind::Ident(_) = self.peek() {
+                    let names = self.ident_list();
+                    self.expect(TokenKind::Colon)?;
+                    let ty = self.type_expr()?;
+                    fields.push(FieldSection { names, ty });
+                    if !self.eat(TokenKind::Semi) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::End)?;
+                TypeExprKind::Record { fields }
+            }
+            TokenKind::Pointer => {
+                self.bump();
+                self.expect(TokenKind::To)?;
+                let to = Box::new(self.type_expr()?);
+                TypeExprKind::Pointer { to }
+            }
+            TokenKind::Set => {
+                self.bump();
+                self.expect(TokenKind::Of)?;
+                let of = Box::new(self.type_expr()?);
+                TypeExprKind::Set { of }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let members = self.ident_list();
+                self.expect(TokenKind::RParen)?;
+                TypeExprKind::Enumeration { members }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let lo_e = Box::new(self.expression()?);
+                self.expect(TokenKind::DotDot)?;
+                let hi_e = Box::new(self.expression()?);
+                self.expect(TokenKind::RBracket)?;
+                TypeExprKind::Subrange { lo: lo_e, hi: hi_e }
+            }
+            TokenKind::Procedure => {
+                self.bump();
+                let mut params = Vec::new();
+                if self.eat(TokenKind::LParen) {
+                    if !self.at(TokenKind::RParen) {
+                        loop {
+                            let is_var = self.eat(TokenKind::Var);
+                            let ty = Box::new(self.type_expr()?);
+                            params.push((is_var, ty));
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                let ret = if self.eat(TokenKind::Colon) {
+                    Some(Box::new(self.type_expr()?))
+                } else {
+                    None
+                };
+                TypeExprKind::ProcType { params, ret }
+            }
+            other => {
+                self.error(format!("expected type, found `{other}`"));
+                return None;
+            }
+        };
+        Some(TypeExpr {
+            kind,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    /// Parses a statement sequence; stops (without consuming) at any of
+    /// `terminators` or Eof.
+    fn statement_sequence(&mut self, terminators: &[TokenKind]) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.at(TokenKind::Eof) || terminators.contains(&self.peek()) {
+                break;
+            }
+            if self.eat(TokenKind::Semi) {
+                continue; // empty statement
+            }
+            let before = self.pos;
+            if let Some(s) = self.statement() {
+                stmts.push(s);
+            }
+            if self.pos == before {
+                let found = self.peek();
+                self.error(format!("unexpected `{found}` in statement sequence"));
+                self.bump();
+            }
+            if !self.eat(TokenKind::Semi) {
+                if self.at(TokenKind::Eof) || terminators.contains(&self.peek()) {
+                    break;
+                }
+                // Missing semicolon: report and continue (recovery).
+                let found = self.peek();
+                self.error(format!("expected `;`, found `{found}`"));
+            }
+        }
+        stmts
+    }
+
+    fn statement(&mut self) -> Option<Stmt> {
+        let lo = self.span();
+        let kind = match self.peek() {
+            TokenKind::Ident(_) => {
+                let target = self.designator()?;
+                if self.eat(TokenKind::Assign) {
+                    let rhs = self.expression()?;
+                    StmtKind::Assign { lhs: target, rhs }
+                } else {
+                    StmtKind::Call { call: target }
+                }
+            }
+            TokenKind::If => {
+                self.bump();
+                let mut arms = Vec::new();
+                let cond = self.expression()?;
+                self.expect(TokenKind::Then)?;
+                let body =
+                    self.statement_sequence(&[TokenKind::Elsif, TokenKind::Else, TokenKind::End]);
+                arms.push((cond, body));
+                while self.eat(TokenKind::Elsif) {
+                    let c = self.expression()?;
+                    self.expect(TokenKind::Then)?;
+                    let b = self.statement_sequence(&[
+                        TokenKind::Elsif,
+                        TokenKind::Else,
+                        TokenKind::End,
+                    ]);
+                    arms.push((c, b));
+                }
+                let else_body = if self.eat(TokenKind::Else) {
+                    Some(self.statement_sequence(&[TokenKind::End]))
+                } else {
+                    None
+                };
+                self.expect(TokenKind::End)?;
+                StmtKind::If { arms, else_body }
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expression()?;
+                self.expect(TokenKind::Do)?;
+                let body = self.statement_sequence(&[TokenKind::End]);
+                self.expect(TokenKind::End)?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::Repeat => {
+                self.bump();
+                let body = self.statement_sequence(&[TokenKind::Until]);
+                self.expect(TokenKind::Until)?;
+                let until = self.expression()?;
+                StmtKind::Repeat { body, until }
+            }
+            TokenKind::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let from = self.expression()?;
+                self.expect(TokenKind::To)?;
+                let to = self.expression()?;
+                let by = if self.eat(TokenKind::By) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Do)?;
+                let body = self.statement_sequence(&[TokenKind::End]);
+                self.expect(TokenKind::End)?;
+                StmtKind::For {
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                }
+            }
+            TokenKind::Loop => {
+                self.bump();
+                let body = self.statement_sequence(&[TokenKind::End]);
+                self.expect(TokenKind::End)?;
+                StmtKind::Loop { body }
+            }
+            TokenKind::Exit => {
+                self.bump();
+                StmtKind::Exit
+            }
+            TokenKind::Case => {
+                self.bump();
+                let scrutinee = self.expression()?;
+                self.expect(TokenKind::Of)?;
+                let mut arms = Vec::new();
+                loop {
+                    // Arms are separated by `|`; an arm may be empty.
+                    if matches!(self.peek(), TokenKind::Else | TokenKind::End) {
+                        break;
+                    }
+                    if self.eat(TokenKind::Bar) {
+                        continue;
+                    }
+                    let mut labels = Vec::new();
+                    loop {
+                        let e = self.expression()?;
+                        if self.eat(TokenKind::DotDot) {
+                            let hi = self.expression()?;
+                            labels.push(CaseLabel::Range(e, hi));
+                        } else {
+                            labels.push(CaseLabel::Single(e));
+                        }
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Colon)?;
+                    let body = self.statement_sequence(&[
+                        TokenKind::Bar,
+                        TokenKind::Else,
+                        TokenKind::End,
+                    ]);
+                    arms.push(CaseArm { labels, body });
+                }
+                let else_body = if self.eat(TokenKind::Else) {
+                    Some(self.statement_sequence(&[TokenKind::End]))
+                } else {
+                    None
+                };
+                self.expect(TokenKind::End)?;
+                StmtKind::Case {
+                    scrutinee,
+                    arms,
+                    else_body,
+                }
+            }
+            TokenKind::With => {
+                self.bump();
+                let designator = self.designator()?;
+                self.expect(TokenKind::Do)?;
+                let body = self.statement_sequence(&[TokenKind::End]);
+                self.expect(TokenKind::End)?;
+                StmtKind::With { designator, body }
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if matches!(
+                    self.peek(),
+                    TokenKind::Semi
+                        | TokenKind::End
+                        | TokenKind::Else
+                        | TokenKind::Elsif
+                        | TokenKind::Until
+                        | TokenKind::Bar
+                        | TokenKind::Except
+                        | TokenKind::Finally
+                        | TokenKind::Eof
+                ) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                StmtKind::Return(value)
+            }
+            TokenKind::Lock => {
+                self.bump();
+                let designator = self.designator()?;
+                self.expect(TokenKind::Do)?;
+                let body = self.statement_sequence(&[TokenKind::End]);
+                self.expect(TokenKind::End)?;
+                StmtKind::LockStmt { designator, body }
+            }
+            TokenKind::Try => {
+                self.bump();
+                let body = self.statement_sequence(&[
+                    TokenKind::Except,
+                    TokenKind::Finally,
+                    TokenKind::End,
+                ]);
+                let except = if self.eat(TokenKind::Except) {
+                    Some(self.statement_sequence(&[TokenKind::Finally, TokenKind::End]))
+                } else {
+                    None
+                };
+                let finally = if self.eat(TokenKind::Finally) {
+                    Some(self.statement_sequence(&[TokenKind::End]))
+                } else {
+                    None
+                };
+                self.expect(TokenKind::End)?;
+                StmtKind::TryStmt {
+                    body,
+                    except,
+                    finally,
+                }
+            }
+            TokenKind::Raise => {
+                self.bump();
+                let value = if matches!(
+                    self.peek(),
+                    TokenKind::Semi | TokenKind::End | TokenKind::Eof
+                ) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                StmtKind::Raise(value)
+            }
+            other => {
+                self.error(format!("expected statement, found `{other}`"));
+                return None;
+            }
+        };
+        Some(Stmt {
+            kind,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expression(&mut self) -> Option<Expr> {
+        let lo = self.span();
+        let lhs = self.simple_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Neq => BinOp::Neq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::In => BinOp::In,
+            _ => return Some(lhs),
+        };
+        self.bump();
+        let rhs = self.simple_expr()?;
+        Some(Expr {
+            span: lo.to(self.prev_span()),
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        })
+    }
+
+    fn simple_expr(&mut self) -> Option<Expr> {
+        let lo = self.span();
+        let mut expr = match self.peek() {
+            TokenKind::Plus => {
+                self.bump();
+                let operand = self.term()?;
+                Expr {
+                    span: lo.to(self.prev_span()),
+                    kind: ExprKind::Unary {
+                        op: UnOp::Pos,
+                        operand: Box::new(operand),
+                    },
+                }
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.term()?;
+                Expr {
+                    span: lo.to(self.prev_span()),
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                }
+            }
+            _ => self.term()?,
+        };
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Or => BinOp::Or,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            expr = Expr {
+                span: lo.to(self.prev_span()),
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(expr),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Some(expr)
+    }
+
+    fn term(&mut self) -> Option<Expr> {
+        let lo = self.span();
+        let mut expr = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::RealDiv,
+                TokenKind::Div => BinOp::IntDiv,
+                TokenKind::Mod => BinOp::Modulo,
+                TokenKind::And | TokenKind::Amp => BinOp::And,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            expr = Expr {
+                span: lo.to(self.prev_span()),
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(expr),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Some(expr)
+    }
+
+    fn factor(&mut self) -> Option<Expr> {
+        let lo = self.span();
+        let expr = match self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::IntLit(v),
+                    span: lo,
+                }
+            }
+            TokenKind::Real(bits) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::RealLit(bits),
+                    span: lo,
+                }
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::CharLit(c),
+                    span: lo,
+                }
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::StrLit(s),
+                    span: lo,
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                inner
+            }
+            TokenKind::Not | TokenKind::Tilde => {
+                self.bump();
+                let operand = self.factor()?;
+                Expr {
+                    span: lo.to(self.prev_span()),
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(operand),
+                    },
+                }
+            }
+            TokenKind::LBrace => {
+                // Untyped set constructor `{…}` (BITSET).
+                self.set_constructor(None, lo)?
+            }
+            TokenKind::Ident(_) => {
+                // `T{…}` is a typed set constructor; anything else is a
+                // designator (possibly with calls).
+                if let TokenKind::Ident(_) = self.peek() {
+                    if self.peek2() == TokenKind::LBrace {
+                        let name = self.ident()?;
+                        let brace_lo = self.span();
+                        return self.set_constructor(Some(name), brace_lo.to(lo));
+                    }
+                }
+                self.designator()?
+            }
+            other => {
+                self.error(format!("expected expression, found `{other}`"));
+                return None;
+            }
+        };
+        Some(expr)
+    }
+
+    fn set_constructor(&mut self, of_type: Option<Ident>, lo: Span) -> Option<Expr> {
+        self.expect(TokenKind::LBrace)?;
+        let mut elems = Vec::new();
+        if !self.at(TokenKind::RBrace) {
+            loop {
+                let e = self.expression()?;
+                if self.eat(TokenKind::DotDot) {
+                    let hi = self.expression()?;
+                    elems.push(SetElem::Range(e, hi));
+                } else {
+                    elems.push(SetElem::Single(e));
+                }
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        Some(Expr {
+            span: lo.to(self.prev_span()),
+            kind: ExprKind::SetCons { of_type, elems },
+        })
+    }
+
+    /// Parses a designator with postfix selectors and calls:
+    /// `ident { .field | [exprs] | ^ | (args) }`.
+    fn designator(&mut self) -> Option<Expr> {
+        let lo = self.span();
+        let first = self.ident()?;
+        let mut expr = Expr {
+            kind: ExprKind::Name(first),
+            span: lo,
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    expr = Expr {
+                        span: lo.to(self.prev_span()),
+                        kind: ExprKind::Field {
+                            base: Box::new(expr),
+                            field,
+                        },
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let mut indices = vec![self.expression()?];
+                    while self.eat(TokenKind::Comma) {
+                        indices.push(self.expression()?);
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                    expr = Expr {
+                        span: lo.to(self.prev_span()),
+                        kind: ExprKind::Index {
+                            base: Box::new(expr),
+                            indices,
+                        },
+                    };
+                }
+                TokenKind::Caret => {
+                    self.bump();
+                    expr = Expr {
+                        span: lo.to(self.prev_span()),
+                        kind: ExprKind::Deref {
+                            base: Box::new(expr),
+                        },
+                    };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    expr = Expr {
+                        span: lo.to(self.prev_span()),
+                        kind: ExprKind::Call {
+                            callee: Box::new(expr),
+                            args,
+                        },
+                    };
+                }
+                _ => break,
+            }
+        }
+        Some(expr)
+    }
+}
+
+// ----- streaming (incremental) parsing --------------------------------
+//
+// The concurrent compiler's fused Parser/DeclAnalyzer tasks (paper §3)
+// must *interleave* parsing with declaration analysis: a procedure
+// heading's symbol-table entry is created — and the procedure stream's
+// avoided event fired — the moment the heading is parsed, not when the
+// whole module has been. These drivers expose the grammar in stages.
+
+/// Incremental parser for an implementation (or program) module.
+///
+/// Stages: [`StreamingImpl::begin`] (header + imports) →
+/// repeated [`StreamingImpl::next_decls`] → [`StreamingImpl::finish`]
+/// (body + trailer).
+pub struct StreamingImpl<'a> {
+    p: Parser<'a>,
+    name: Ident,
+    imports: Vec<Import>,
+}
+
+impl<'a> StreamingImpl<'a> {
+    /// Parses the module header and import section.
+    pub fn begin(
+        source: &'a dyn TokenSource,
+        interner: &'a Interner,
+        sink: &'a DiagnosticSink,
+    ) -> Option<StreamingImpl<'a>> {
+        let mut p = Parser::new(source, interner, sink);
+        p.eat(TokenKind::Implementation);
+        p.expect(TokenKind::Module)?;
+        let name = p.ident()?;
+        if p.eat(TokenKind::LBracket) {
+            let _ = p.expression();
+            p.expect(TokenKind::RBracket);
+        }
+        p.expect(TokenKind::Semi)?;
+        let imports = p.imports();
+        Some(StreamingImpl { p, name, imports })
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> Ident {
+        self.name
+    }
+
+    /// The parsed import list.
+    pub fn imports(&self) -> &[Import] {
+        &self.imports
+    }
+
+    /// Parses the next declaration group (one CONST/TYPE/VAR section or
+    /// one PROCEDURE); `None` once the body (or module end) is reached.
+    pub fn next_decls(&mut self) -> Option<Vec<Decl>> {
+        loop {
+            match self.p.peek() {
+                TokenKind::Begin | TokenKind::End | TokenKind::Eof => return None,
+                _ => {
+                    let mut out = Vec::new();
+                    let before = self.p.pos;
+                    self.p.declaration(false, &mut out);
+                    if !out.is_empty() {
+                        return Some(out);
+                    }
+                    if self.p.pos == before {
+                        let found = self.p.peek();
+                        self.p
+                            .error(format!("unexpected `{found}` in declarations"));
+                        self.p.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the optional module body and the `END name .` trailer.
+    pub fn finish(mut self) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        if self.p.eat(TokenKind::Begin) {
+            body = self.p.statement_sequence(&[TokenKind::End]);
+        }
+        self.p.expect(TokenKind::End);
+        if let Some(end_name) = self.p.ident() {
+            if end_name.name != self.name.name {
+                self.p.sink.report(Diagnostic::error(
+                    self.p.file,
+                    end_name.span,
+                    format!(
+                        "module ends with `{}` but is named `{}`",
+                        self.p.interner.resolve(end_name.name),
+                        self.p.interner.resolve(self.name.name)
+                    ),
+                ));
+            }
+        }
+        self.p.expect(TokenKind::Dot);
+        body
+    }
+}
+
+/// Incremental parser for one procedure stream
+/// (`PROCEDURE … END name ;`).
+pub struct StreamingProc<'a> {
+    p: Parser<'a>,
+    heading: ProcHeading,
+}
+
+impl<'a> StreamingProc<'a> {
+    /// Parses `PROCEDURE` and the heading.
+    pub fn begin(
+        source: &'a dyn TokenSource,
+        interner: &'a Interner,
+        sink: &'a DiagnosticSink,
+    ) -> Option<StreamingProc<'a>> {
+        let mut p = Parser::new(source, interner, sink);
+        p.expect(TokenKind::Procedure)?;
+        let heading = p.proc_heading()?;
+        p.expect(TokenKind::Semi)?;
+        Some(StreamingProc { p, heading })
+    }
+
+    /// The parsed heading.
+    pub fn heading(&self) -> &ProcHeading {
+        &self.heading
+    }
+
+    /// Parses the next local declaration group; `None` at the body.
+    pub fn next_decls(&mut self) -> Option<Vec<Decl>> {
+        loop {
+            match self.p.peek() {
+                TokenKind::Begin | TokenKind::End | TokenKind::Eof => return None,
+                _ => {
+                    let mut out = Vec::new();
+                    let before = self.p.pos;
+                    self.p.declaration(false, &mut out);
+                    if !out.is_empty() {
+                        return Some(out);
+                    }
+                    if self.p.pos == before {
+                        let found = self.p.peek();
+                        self.p
+                            .error(format!("unexpected `{found}` in declarations"));
+                        self.p.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the body and the `END name ;` trailer; returns the
+    /// statements.
+    pub fn finish(mut self) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        if self.p.eat(TokenKind::Begin) {
+            body = self.p.statement_sequence(&[TokenKind::End]);
+        }
+        if self.p.expect(TokenKind::End).is_some() {
+            if let Some(end_name) = self.p.ident() {
+                if end_name.name != self.heading.name.name {
+                    self.p.sink.report(Diagnostic::error(
+                        self.p.file,
+                        end_name.span,
+                        format!(
+                            "procedure ends with `{}` but is named `{}`",
+                            self.p.interner.resolve(end_name.name),
+                            self.p.interner.resolve(self.heading.name.name)
+                        ),
+                    ));
+                }
+            }
+            self.p.eat(TokenKind::Semi);
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+    use ccm2_support::source::SourceMap;
+
+    fn parse_impl(src: &str) -> (Option<ImplementationModule>, DiagnosticSink, Interner) {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("M.mod", src);
+        let sink = DiagnosticSink::new();
+        let tokens = lex_file(&file, &interner, &sink);
+        let m = parse_implementation(&tokens, &interner, &sink);
+        (m, sink, interner)
+    }
+
+    fn parse_def(src: &str) -> (Option<DefinitionModule>, DiagnosticSink, Interner) {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("M.def", src);
+        let sink = DiagnosticSink::new();
+        let tokens = lex_file(&file, &interner, &sink);
+        let m = parse_definition(&tokens, &interner, &sink);
+        (m, sink, interner)
+    }
+
+    #[test]
+    fn minimal_implementation_module() {
+        let (m, sink, i) = parse_impl("IMPLEMENTATION MODULE M; BEGIN END M.");
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(i.resolve(m.name.name), "M");
+        assert!(m.body.is_empty());
+    }
+
+    #[test]
+    fn program_module_without_implementation_keyword() {
+        let (m, sink, _) = parse_impl("MODULE Main; BEGIN END Main.");
+        assert!(m.is_some());
+        assert!(!sink.has_errors());
+    }
+
+    #[test]
+    fn imports_both_forms() {
+        let (m, sink, i) = parse_impl(
+            "IMPLEMENTATION MODULE M; IMPORT A, B; FROM C IMPORT x, y; END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors());
+        assert_eq!(m.imports.len(), 3);
+        assert_eq!(i.resolve(m.imports[0].module().name), "A");
+        assert_eq!(i.resolve(m.imports[2].module().name), "C");
+        match &m.imports[2] {
+            Import::From { names, .. } => assert_eq!(names.len(), 2),
+            _ => panic!("expected FROM import"),
+        }
+    }
+
+    #[test]
+    fn const_type_var_sections() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M;\
+             CONST n = 10; pi = 3.14;\
+             TYPE Vec = ARRAY [1..n] OF REAL; P = POINTER TO Vec;\
+             Color = (red, green, blue); Flags = SET OF Color;\
+             R = RECORD x, y : REAL; tag : Color END;\
+             F = PROCEDURE (INTEGER, VAR REAL) : BOOLEAN;\
+             VAR a, b : INTEGER; v : Vec;\
+             BEGIN END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(m.decls.len(), 2 + 6 + 2);
+    }
+
+    #[test]
+    fn full_procedure_with_nesting() {
+        let (m, sink, i) = parse_impl(
+            "IMPLEMENTATION MODULE M;\
+             PROCEDURE Outer(a : INTEGER; VAR b : REAL) : INTEGER;\
+               VAR t : INTEGER;\
+               PROCEDURE Inner() : INTEGER;\
+               BEGIN RETURN 1 END Inner;\
+             BEGIN RETURN Inner() + a END Outer;\
+             BEGIN END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        let Decl::Procedure(p) = &m.decls[0] else {
+            panic!("expected procedure")
+        };
+        assert_eq!(i.resolve(p.heading.name.name), "Outer");
+        assert_eq!(p.heading.param_count(), 2);
+        assert!(p.heading.ret.is_some());
+        let ProcBody::Local(local) = &p.body else {
+            panic!("expected local body")
+        };
+        assert_eq!(local.decls.len(), 2, "VAR t and Inner");
+    }
+
+    #[test]
+    fn all_statement_forms_parse() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; \
+             VAR i, n : INTEGER; done : BOOLEAN; r : RECORD f : INTEGER END; mu : INTEGER; \
+             BEGIN \
+               i := 0; \
+               IF i = 0 THEN n := 1 ELSIF i > 2 THEN n := 2 ELSE n := 3 END; \
+               WHILE i < 10 DO i := i + 1 END; \
+               REPEAT i := i - 1 UNTIL i <= 0; \
+               FOR i := 1 TO 10 BY 2 DO n := n + i END; \
+               LOOP EXIT END; \
+               CASE i OF 1 : n := 1 | 2, 3 : n := 2 | 4..6 : n := 3 ELSE n := 0 END; \
+               WITH r DO f := 1 END; \
+               LOCK mu DO n := 0 END; \
+               TRY n := 1 EXCEPT n := 2 FINALLY n := 3 END; \
+               RAISE; \
+               RETURN \
+             END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(m.body.len(), 12);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; VAR a, b, c, d : INTEGER; p : BOOLEAN;\
+             BEGIN a := b + c * d; p := (a < b) OR (c >= d) AND NOT p END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors());
+        let StmtKind::Assign { rhs, .. } = &m.body[0].kind else {
+            panic!("expected assign")
+        };
+        // b + (c * d): top is Add.
+        let ExprKind::Binary { op, rhs: mul, .. } = &rhs.kind else {
+            panic!("expected binary")
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(
+            mul.kind,
+            ExprKind::Binary { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn designators_and_calls() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M;\
+             VAR a : ARRAY [0..9] OF INTEGER; p : POINTER TO INTEGER;\
+             BEGIN a[1] := p^; IO.WriteInt(a[2], 4); Proc() END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(m.body.len(), 3);
+        let StmtKind::Call { call } = &m.body[1].kind else {
+            panic!("expected call")
+        };
+        let ExprKind::Call { callee, args } = &call.kind else {
+            panic!("expected call expr")
+        };
+        assert_eq!(args.len(), 2);
+        assert!(matches!(callee.kind, ExprKind::Field { .. }));
+    }
+
+    #[test]
+    fn set_constructors() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; TYPE S = SET OF [0..15]; VAR s : S; t : BITSET;\
+             BEGIN s := S{1, 3..5}; t := {0, 2} END M.",
+        );
+        assert!(m.is_some());
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+    }
+
+    #[test]
+    fn definition_module_headings() {
+        let (d, sink, i) = parse_def(
+            "DEFINITION MODULE Text;\
+             FROM Streams IMPORT Stream;\
+             EXPORT QUALIFIED Open, Close, MaxLen;\
+             CONST MaxLen = 128;\
+             TYPE T; Mode = (readOnly, writeOnly);\
+             PROCEDURE Open(name : ARRAY OF CHAR; m : Mode) : T;\
+             PROCEDURE Close(VAR t : T);\
+             END Text.",
+        );
+        let d = d.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(i.resolve(d.name.name), "Text");
+        assert_eq!(d.exports.len(), 3);
+        assert_eq!(d.decls.len(), 5, "MaxLen, T, Mode, Open, Close");
+        let Decl::Procedure(p) = &d.decls[3] else {
+            panic!()
+        };
+        assert!(matches!(p.body, ProcBody::HeadingOnly));
+        let Decl::Type { ty, .. } = &d.decls[1] else {
+            panic!()
+        };
+        assert!(ty.is_none(), "opaque type");
+    }
+
+    #[test]
+    fn procedure_stream_parses_standalone() {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add(
+            "p.frag",
+            "PROCEDURE Add(a, b : INTEGER) : INTEGER; BEGIN RETURN a + b END Add;",
+        );
+        let sink = DiagnosticSink::new();
+        let tokens = lex_file(&file, &interner, &sink);
+        let p = parse_procedure(&tokens, &interner, &sink).expect("parses");
+        assert!(!sink.has_errors());
+        assert_eq!(interner.resolve(p.heading.name.name), "Add");
+    }
+
+    #[test]
+    fn proc_stub_produces_remote_body() {
+        use ccm2_support::ids::StreamId;
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add(
+            "m.frag",
+            "IMPLEMENTATION MODULE M; PROCEDURE P(x : INTEGER); BEGIN END M.",
+        );
+        let sink = DiagnosticSink::new();
+        let mut tokens = lex_file(&file, &interner, &sink);
+        // Splice a stub after the heading's `;` the way the splitter does:
+        // find the first `;` after the param list close paren.
+        let semi_idx = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TokenKind::Semi)
+            .map(|(ix, _)| ix)
+            .nth(1)
+            .expect("heading semicolon");
+        let file_id = tokens[semi_idx].file;
+        let at = tokens[semi_idx].span;
+        tokens.insert(
+            semi_idx + 1,
+            Token::new(TokenKind::ProcStub(StreamId(7)), at, file_id),
+        );
+        tokens.insert(semi_idx + 2, Token::new(TokenKind::Semi, at, file_id));
+        let m = parse_implementation(&tokens, &interner, &sink).expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        let Decl::Procedure(p) = &m.decls[0] else {
+            panic!()
+        };
+        assert_eq!(p.body, ProcBody::Remote(StreamId(7)));
+    }
+
+    #[test]
+    fn mismatched_end_name_reports() {
+        let (_, sink, _) = parse_impl("IMPLEMENTATION MODULE M; BEGIN END Wrong.");
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn missing_semicolon_recovers() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; VAR a : INTEGER; BEGIN a := 1 a := 2 END M.",
+        );
+        assert!(sink.has_errors());
+        let m = m.expect("still produces a module");
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn garbage_declaration_recovers() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; CONST bad = ; good = 2; BEGIN END M.",
+        );
+        assert!(sink.has_errors());
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn multidim_array_sugar() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; VAR g : ARRAY [0..3], [0..4] OF INTEGER; BEGIN END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        let Decl::Var { ty, .. } = &m.decls[0] else {
+            panic!()
+        };
+        let TypeExprKind::Array { elem, .. } = &ty.kind else {
+            panic!("outer array")
+        };
+        assert!(matches!(elem.kind, TypeExprKind::Array { .. }), "inner array");
+    }
+
+    #[test]
+    fn module_priority_is_accepted() {
+        let (m, sink, _) = parse_impl("MODULE M [4]; BEGIN END M.");
+        assert!(m.is_some());
+        assert!(!sink.has_errors());
+    }
+
+    #[test]
+    fn qualified_type_name() {
+        let (m, sink, _) = parse_impl(
+            "IMPLEMENTATION MODULE M; IMPORT Lists; VAR l : Lists.List; BEGIN END M.",
+        );
+        let m = m.expect("parses");
+        assert!(!sink.has_errors());
+        let Decl::Var { ty, .. } = &m.decls[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            ty.kind,
+            TypeExprKind::Named {
+                module: Some(_),
+                ..
+            }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::lexer::lex_file;
+    use ccm2_support::source::SourceMap;
+
+    fn tokens(src: &str) -> (Vec<Token>, Interner, DiagnosticSink) {
+        let interner = Interner::new();
+        let map = SourceMap::new();
+        let file = map.add("s.mod", src);
+        let sink = DiagnosticSink::new();
+        let toks = lex_file(&file, &interner, &sink);
+        (toks, interner, sink)
+    }
+
+    #[test]
+    fn streaming_impl_stages() {
+        let (toks, interner, sink) = tokens(
+            "IMPLEMENTATION MODULE M; IMPORT A; \
+             CONST k = 1; c2 = 2; \
+             VAR v : INTEGER; \
+             PROCEDURE P; BEGIN END P; \
+             BEGIN v := k END M.",
+        );
+        let src: &[Token] = &toks;
+        let mut s = StreamingImpl::begin(&src, &interner, &sink).expect("begins");
+        assert_eq!(interner.resolve(s.name().name), "M");
+        assert_eq!(s.imports().len(), 1);
+        // Group 1: the CONST section (two items).
+        let g1 = s.next_decls().expect("const section");
+        assert_eq!(g1.len(), 2);
+        assert!(matches!(g1[0], Decl::Const { .. }));
+        // Group 2: VAR.
+        let g2 = s.next_decls().expect("var section");
+        assert!(matches!(g2[0], Decl::Var { .. }));
+        // Group 3: the procedure (exactly one per call).
+        let g3 = s.next_decls().expect("procedure");
+        assert_eq!(g3.len(), 1);
+        assert!(matches!(g3[0], Decl::Procedure(_)));
+        assert!(s.next_decls().is_none(), "BEGIN reached");
+        let body = s.finish();
+        assert_eq!(body.len(), 1);
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+    }
+
+    #[test]
+    fn streaming_impl_without_body() {
+        let (toks, interner, sink) = tokens("MODULE M; VAR v : INTEGER; END M.");
+        let src: &[Token] = &toks;
+        let mut s = StreamingImpl::begin(&src, &interner, &sink).expect("begins");
+        assert!(s.next_decls().is_some());
+        assert!(s.next_decls().is_none());
+        assert!(s.finish().is_empty());
+        assert!(!sink.has_errors());
+    }
+
+    #[test]
+    fn streaming_proc_stages() {
+        let (toks, interner, sink) = tokens(
+            "PROCEDURE Outer(a : INTEGER) : INTEGER; \
+             VAR t : INTEGER; \
+             BEGIN t := a; RETURN t END Outer;",
+        );
+        let src: &[Token] = &toks;
+        let mut s = StreamingProc::begin(&src, &interner, &sink).expect("begins");
+        assert_eq!(interner.resolve(s.heading().name.name), "Outer");
+        assert_eq!(s.heading().param_count(), 1);
+        assert!(s.heading().ret.is_some());
+        assert!(s.next_decls().is_some(), "VAR t");
+        assert!(s.next_decls().is_none());
+        let body = s.finish();
+        assert_eq!(body.len(), 2);
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+    }
+
+    #[test]
+    fn streaming_proc_end_name_mismatch_reports() {
+        let (toks, interner, sink) =
+            tokens("PROCEDURE P; BEGIN END Wrong;");
+        let src: &[Token] = &toks;
+        let s = StreamingProc::begin(&src, &interner, &sink).expect("begins");
+        let _ = {
+            let mut s = s;
+            while s.next_decls().is_some() {}
+            s.finish()
+        };
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn streaming_matches_batch_parse() {
+        let src_text = "IMPLEMENTATION MODULE M; \
+             CONST a = 1; \
+             TYPE T = ARRAY [0..a] OF INTEGER; \
+             VAR v : T; \
+             PROCEDURE P(x : INTEGER); BEGIN v[0] := x END P; \
+             BEGIN P(a) END M.";
+        let (toks, interner, sink) = tokens(src_text);
+        let batch = parse_implementation(&toks, &interner, &sink).expect("batch");
+        let src: &[Token] = &toks;
+        let mut s = StreamingImpl::begin(&src, &interner, &sink).expect("begins");
+        let mut decls = Vec::new();
+        while let Some(g) = s.next_decls() {
+            decls.extend(g);
+        }
+        let body = s.finish();
+        assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        assert_eq!(decls, batch.decls);
+        assert_eq!(body, batch.body);
+    }
+}

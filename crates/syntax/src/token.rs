@@ -1,0 +1,470 @@
+//! The Modula-2+ token model.
+//!
+//! Reserved words (not keywords — paper §1 is explicit that reserved words
+//! must determine program structure for early splitting to be possible) are
+//! enumerated as distinct [`TokenKind`] variants. The table includes the
+//! Modula-2 core plus the Modula-2+ extensions `LOCK`, `TRY`, `EXCEPT`,
+//! `FINALLY` and `RAISE`.
+
+use ccm2_support::ids::StreamId;
+use ccm2_support::intern::Symbol;
+use ccm2_support::source::{FileId, Span};
+use std::fmt;
+
+/// The kind (and payload) of one lexical token.
+///
+/// All payloads are `Copy`: identifiers and strings carry interned
+/// [`Symbol`]s, reals carry their IEEE bit pattern (so the type can be
+/// `Eq`/`Hash`, which the splitter's once-only table and the property tests
+/// rely on).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TokenKind {
+    // ----- payload-carrying tokens -----
+    /// An identifier.
+    Ident(Symbol),
+    /// An integer literal (decimal, `0..7`+`B` octal, or hex+`H`).
+    Int(i64),
+    /// A real literal, stored as IEEE-754 bits.
+    Real(u64),
+    /// A string literal (contents interned, quotes stripped).
+    Str(Symbol),
+    /// A single-character literal.
+    CharLit(u8),
+    /// Marker left by the splitter in a parent stream where a procedure
+    /// body was diverted to the stream with the given id (paper §3: the
+    /// main module body is "stripped of all embedded streams").
+    ProcStub(StreamId),
+
+    // ----- reserved words (Modula-2) -----
+    /// `AND`
+    And,
+    /// `ARRAY`
+    Array,
+    /// `BEGIN`
+    Begin,
+    /// `BY`
+    By,
+    /// `CASE`
+    Case,
+    /// `CONST`
+    Const,
+    /// `DEFINITION`
+    Definition,
+    /// `DIV`
+    Div,
+    /// `DO`
+    Do,
+    /// `ELSE`
+    Else,
+    /// `ELSIF`
+    Elsif,
+    /// `END`
+    End,
+    /// `EXIT`
+    Exit,
+    /// `EXPORT`
+    Export,
+    /// `FOR`
+    For,
+    /// `FROM`
+    From,
+    /// `IF`
+    If,
+    /// `IMPLEMENTATION`
+    Implementation,
+    /// `IMPORT`
+    Import,
+    /// `IN`
+    In,
+    /// `LOOP`
+    Loop,
+    /// `MOD`
+    Mod,
+    /// `MODULE`
+    Module,
+    /// `NOT`
+    Not,
+    /// `OF`
+    Of,
+    /// `OR`
+    Or,
+    /// `POINTER`
+    Pointer,
+    /// `PROCEDURE`
+    Procedure,
+    /// `QUALIFIED`
+    Qualified,
+    /// `RECORD`
+    Record,
+    /// `REPEAT`
+    Repeat,
+    /// `RETURN`
+    Return,
+    /// `SET`
+    Set,
+    /// `THEN`
+    Then,
+    /// `TO`
+    To,
+    /// `TYPE`
+    Type,
+    /// `UNTIL`
+    Until,
+    /// `VAR`
+    Var,
+    /// `WHILE`
+    While,
+    /// `WITH`
+    With,
+
+    // ----- reserved words (Modula-2+ extensions) -----
+    /// `LOCK` (Modula-2+ mutual exclusion statement)
+    Lock,
+    /// `TRY` (Modula-2+ exception handling)
+    Try,
+    /// `EXCEPT`
+    Except,
+    /// `FINALLY`
+    Finally,
+    /// `RAISE`
+    Raise,
+
+    // ----- operators and delimiters -----
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `:=`
+    Assign,
+    /// `&` (synonym for `AND`)
+    Amp,
+    /// `=`
+    Eq,
+    /// `#` (not-equal; `<>` lexes to the same token)
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` (synonym for `NOT`)
+    Tilde,
+    /// `^`
+    Caret,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `|`
+    Bar,
+    /// End of the token stream.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up a reserved word; returns `None` for ordinary identifiers.
+    pub fn reserved(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "AND" => And,
+            "ARRAY" => Array,
+            "BEGIN" => Begin,
+            "BY" => By,
+            "CASE" => Case,
+            "CONST" => Const,
+            "DEFINITION" => Definition,
+            "DIV" => Div,
+            "DO" => Do,
+            "ELSE" => Else,
+            "ELSIF" => Elsif,
+            "END" => End,
+            "EXIT" => Exit,
+            "EXPORT" => Export,
+            "FOR" => For,
+            "FROM" => From,
+            "IF" => If,
+            "IMPLEMENTATION" => Implementation,
+            "IMPORT" => Import,
+            "IN" => In,
+            "LOOP" => Loop,
+            "MOD" => Mod,
+            "MODULE" => Module,
+            "NOT" => Not,
+            "OF" => Of,
+            "OR" => Or,
+            "POINTER" => Pointer,
+            "PROCEDURE" => Procedure,
+            "QUALIFIED" => Qualified,
+            "RECORD" => Record,
+            "REPEAT" => Repeat,
+            "RETURN" => Return,
+            "SET" => Set,
+            "THEN" => Then,
+            "TO" => To,
+            "TYPE" => Type,
+            "UNTIL" => Until,
+            "VAR" => Var,
+            "WHILE" => While,
+            "WITH" => With,
+            "LOCK" => Lock,
+            "TRY" => Try,
+            "EXCEPT" => Except,
+            "FINALLY" => Finally,
+            "RAISE" => Raise,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` for reserved-word tokens.
+    pub fn is_reserved_word(&self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            And | Array
+                | Begin
+                | By
+                | Case
+                | Const
+                | Definition
+                | Div
+                | Do
+                | Else
+                | Elsif
+                | End
+                | Exit
+                | Export
+                | For
+                | From
+                | If
+                | Implementation
+                | Import
+                | In
+                | Loop
+                | Mod
+                | Module
+                | Not
+                | Of
+                | Or
+                | Pointer
+                | Procedure
+                | Qualified
+                | Record
+                | Repeat
+                | Return
+                | Set
+                | Then
+                | To
+                | Type
+                | Until
+                | Var
+                | While
+                | With
+                | Lock
+                | Try
+                | Except
+                | Finally
+                | Raise
+        )
+    }
+
+    /// Reserved words that open a construct terminated by `END`.
+    ///
+    /// This is the heart of the splitter's finite-state recognizer: to find
+    /// where a procedure ends it must balance every `END`-consuming opener.
+    /// (`REPEAT` closes with `UNTIL`, not `END`, so it is absent; `BEGIN`
+    /// does not open its own `END` — it belongs to the enclosing
+    /// procedure/module.)
+    pub fn opens_end_block(&self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            If | Case | While | For | With | Loop | Record | Lock | Try | Module
+        )
+    }
+
+    /// A short human-readable rendering for diagnostics.
+    pub fn describe(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident(_) => "identifier",
+            Int(_) => "integer literal",
+            Real(_) => "real literal",
+            Str(_) => "string literal",
+            CharLit(_) => "character literal",
+            ProcStub(_) => "<procedure stub>",
+            And => "AND",
+            Array => "ARRAY",
+            Begin => "BEGIN",
+            By => "BY",
+            Case => "CASE",
+            Const => "CONST",
+            Definition => "DEFINITION",
+            Div => "DIV",
+            Do => "DO",
+            Else => "ELSE",
+            Elsif => "ELSIF",
+            End => "END",
+            Exit => "EXIT",
+            Export => "EXPORT",
+            For => "FOR",
+            From => "FROM",
+            If => "IF",
+            Implementation => "IMPLEMENTATION",
+            Import => "IMPORT",
+            In => "IN",
+            Loop => "LOOP",
+            Mod => "MOD",
+            Module => "MODULE",
+            Not => "NOT",
+            Of => "OF",
+            Or => "OR",
+            Pointer => "POINTER",
+            Procedure => "PROCEDURE",
+            Qualified => "QUALIFIED",
+            Record => "RECORD",
+            Repeat => "REPEAT",
+            Return => "RETURN",
+            Set => "SET",
+            Then => "THEN",
+            To => "TO",
+            Type => "TYPE",
+            Until => "UNTIL",
+            Var => "VAR",
+            While => "WHILE",
+            With => "WITH",
+            Lock => "LOCK",
+            Try => "TRY",
+            Except => "EXCEPT",
+            Finally => "FINALLY",
+            Raise => "RAISE",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Assign => ":=",
+            Amp => "&",
+            Eq => "=",
+            Neq => "#",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Tilde => "~",
+            Caret => "^",
+            Dot => ".",
+            DotDot => "..",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Bar => "|",
+            Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// One lexical token: kind plus provenance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte range within `file`.
+    pub span: Span,
+    /// The file the token was lexed from.
+    pub file: FileId,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span, file: FileId) -> Token {
+        Token { kind, span, file }
+    }
+
+    /// Returns the identifier symbol if this is an `Ident` token.
+    pub fn ident(&self) -> Option<Symbol> {
+        match self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_word_lookup() {
+        assert_eq!(TokenKind::reserved("MODULE"), Some(TokenKind::Module));
+        assert_eq!(TokenKind::reserved("LOCK"), Some(TokenKind::Lock));
+        assert_eq!(TokenKind::reserved("module"), None, "case-sensitive");
+        assert_eq!(TokenKind::reserved("Foo"), None);
+    }
+
+    #[test]
+    fn reserved_words_classified() {
+        assert!(TokenKind::Procedure.is_reserved_word());
+        assert!(!TokenKind::Plus.is_reserved_word());
+        assert!(!TokenKind::Ident(Symbol::from_index(0)).is_reserved_word());
+    }
+
+    #[test]
+    fn end_block_openers() {
+        assert!(TokenKind::If.opens_end_block());
+        assert!(TokenKind::Record.opens_end_block());
+        assert!(TokenKind::Lock.opens_end_block());
+        assert!(!TokenKind::Repeat.opens_end_block(), "REPEAT ends with UNTIL");
+        assert!(!TokenKind::Begin.opens_end_block());
+        assert!(!TokenKind::Procedure.opens_end_block(), "handled separately");
+    }
+
+    #[test]
+    fn every_reserved_word_round_trips_through_describe() {
+        for word in [
+            "AND", "ARRAY", "BEGIN", "BY", "CASE", "CONST", "DEFINITION", "DIV", "DO", "ELSE",
+            "ELSIF", "END", "EXIT", "EXPORT", "FOR", "FROM", "IF", "IMPLEMENTATION", "IMPORT",
+            "IN", "LOOP", "MOD", "MODULE", "NOT", "OF", "OR", "POINTER", "PROCEDURE", "QUALIFIED",
+            "RECORD", "REPEAT", "RETURN", "SET", "THEN", "TO", "TYPE", "UNTIL", "VAR", "WHILE",
+            "WITH", "LOCK", "TRY", "EXCEPT", "FINALLY", "RAISE",
+        ] {
+            let kind = TokenKind::reserved(word).expect("is reserved");
+            assert_eq!(kind.describe(), word);
+        }
+    }
+}

@@ -1,0 +1,1154 @@
+//! A stack-machine interpreter for merged M-code images.
+//!
+//! The paper's compiler produced Vax object code; this reproduction
+//! produces M-code (see [`ccm2_codegen::ir`]) and this crate executes it.
+//! Its purpose in the reproduction is *verification*: end-to-end tests
+//! compile Modula-2+ programs with both the sequential and the concurrent
+//! compiler and check that the merged images not only match structurally
+//! but also *run* and produce the expected output.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccm2_support::{Interner, NullMeter};
+//! use ccm2_codegen::ir::{CodeUnit, Instr};
+//! use ccm2_codegen::merge::Merger;
+//! use ccm2_vm::Vm;
+//! use std::sync::Arc;
+//!
+//! let interner = Arc::new(Interner::new());
+//! let m = interner.intern("M");
+//! let merger = Merger::new(m);
+//! let mut unit = CodeUnit::new(m, 0);
+//! unit.code.push(Instr::PushInt(42));
+//! unit.code.push(Instr::PushInt(4));
+//! unit.code.push(Instr::CallBuiltin { builtin: ccm2_sema::builtins::Builtin::WriteInt, argc: 2 });
+//! unit.code.push(Instr::Halt);
+//! merger.add_unit(unit, &NullMeter);
+//! let image = merger.finish();
+//! let mut vm = Vm::new(Arc::clone(&interner));
+//! let out = vm.run(&image).expect("runs");
+//! assert_eq!(out.trim(), "42");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ccm2_codegen::ir::{CodeUnit, Instr, Shape};
+use ccm2_codegen::merge::ModuleImage;
+use ccm2_sema::builtins::Builtin;
+use ccm2_support::intern::{Interner, Symbol};
+
+/// A runtime value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Integer / ordinal.
+    Int(i64),
+    /// Real.
+    Real(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Character.
+    Char(u8),
+    /// Set (64-bit mask).
+    Set(u64),
+    /// String.
+    Str(Symbol),
+    /// NIL or an allocated heap cell.
+    Pointer(Option<usize>),
+    /// A procedure value.
+    ProcRef(Symbol),
+    /// An address (VAR parameters, WITH temps).
+    Addr(Address),
+    /// An array.
+    Array(Vec<Value>),
+    /// A record.
+    Record(Vec<Value>),
+}
+
+impl Value {
+    fn default_of(shape: &Shape) -> Value {
+        match shape {
+            Shape::Int => Value::Int(0),
+            Shape::Real => Value::Real(0.0),
+            Shape::Bool => Value::Bool(false),
+            Shape::Char => Value::Char(0),
+            Shape::Set => Value::Set(0),
+            Shape::Ptr | Shape::ProcVal | Shape::Addr => Value::Pointer(None),
+            Shape::Str => Value::Str(Symbol::from_index(0)),
+            Shape::Array(elem, len) => {
+                Value::Array((0..*len).map(|_| Value::default_of(elem)).collect())
+            }
+            Shape::Record(fields) => {
+                Value::Record(fields.iter().map(Value::default_of).collect())
+            }
+        }
+    }
+
+    fn as_int(&self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Char(c) => Ok(*c as i64),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(VmError::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, VmError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(VmError::new(format!("expected boolean, got {other:?}"))),
+        }
+    }
+}
+
+/// Where an address points: a global slot, a frame slot, or a heap cell —
+/// plus a selection path of field/element steps.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Address {
+    base: Base,
+    path: Vec<usize>,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Base {
+    Global { area: usize, slot: usize },
+    Frame { frame: usize, slot: usize },
+    Heap { cell: usize },
+}
+
+/// A runtime error (bounds violation, NIL dereference, missing procedure,
+/// step-budget exhaustion…).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VmError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl VmError {
+    fn new(message: impl Into<String>) -> VmError {
+        VmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+struct Frame {
+    slots: Vec<Value>,
+    static_link: Option<usize>,
+    unit: usize,
+    pc: usize,
+    stack_base: usize,
+}
+
+/// The interpreter.
+pub struct Vm {
+    interner: Arc<Interner>,
+    /// Maximum instructions executed before aborting (guards tests
+    /// against generated infinite loops).
+    pub step_budget: u64,
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vm(step_budget = {})", self.step_budget)
+    }
+}
+
+impl Vm {
+    /// Creates a VM resolving strings through `interner`.
+    pub fn new(interner: Arc<Interner>) -> Vm {
+        Vm {
+            interner,
+            step_budget: 50_000_000,
+        }
+    }
+
+    /// Runs the image's entry unit (the module body) to completion and
+    /// returns everything the program wrote.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime fault: NIL dereference, index
+    /// out of bounds, call to an unlinked external procedure, or step
+    /// budget exhaustion.
+    pub fn run(&mut self, image: &ModuleImage) -> Result<String, VmError> {
+        let entry = image
+            .unit_index(image.entry)
+            .ok_or_else(|| VmError::new("image has no entry unit"))?;
+        let mut st = State {
+            image,
+            interner: &self.interner,
+            globals: image
+                .globals
+                .iter()
+                .map(|g| g.slots.iter().map(Value::default_of).collect())
+                .collect(),
+            global_index: image
+                .globals
+                .iter()
+                .enumerate()
+                .map(|(ix, g)| (g.module, ix))
+                .collect(),
+            heap: Vec::new(),
+            frames: Vec::new(),
+            stack: Vec::new(),
+            output: String::new(),
+            steps: 0,
+            budget: self.step_budget,
+        };
+        st.push_frame(entry, None, 0)?;
+        st.exec()?;
+        Ok(st.output)
+    }
+}
+
+struct State<'a> {
+    image: &'a ModuleImage,
+    interner: &'a Interner,
+    globals: Vec<Vec<Value>>,
+    global_index: HashMap<Symbol, usize>,
+    heap: Vec<Option<Value>>,
+    frames: Vec<Frame>,
+    stack: Vec<Value>,
+    output: String,
+    steps: u64,
+    budget: u64,
+}
+
+impl<'a> State<'a> {
+    fn unit(&self, ix: usize) -> &'a CodeUnit {
+        &self.image.units[ix]
+    }
+
+    fn push_frame(
+        &mut self,
+        unit_ix: usize,
+        static_link: Option<usize>,
+        argc: usize,
+    ) -> Result<(), VmError> {
+        let unit = self.unit(unit_ix);
+        if argc != unit.param_count as usize {
+            return Err(VmError::new(format!(
+                "call to {} with {argc} args, expected {}",
+                self.interner.resolve(unit.name),
+                unit.param_count
+            )));
+        }
+        let mut slots: Vec<Value> = unit.frame.iter().map(Value::default_of).collect();
+        // Arguments were pushed left to right; pop right to left.
+        for slot in (0..argc).rev() {
+            let v = self
+                .stack
+                .pop()
+                .ok_or_else(|| VmError::new("stack underflow passing arguments"))?;
+            slots[slot] = v;
+        }
+        self.frames.push(Frame {
+            slots,
+            static_link,
+            unit: unit_ix,
+            pc: 0,
+            stack_base: self.stack.len(),
+        });
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<Value, VmError> {
+        self.stack
+            .pop()
+            .ok_or_else(|| VmError::new("operand stack underflow"))
+    }
+
+    fn pop_addr(&mut self) -> Result<Address, VmError> {
+        match self.pop()? {
+            Value::Addr(a) => Ok(a),
+            other => Err(VmError::new(format!("expected address, got {other:?}"))),
+        }
+    }
+
+    fn frame_up(&self, hops: u32) -> Result<usize, VmError> {
+        let mut ix = self.frames.len() - 1;
+        for _ in 0..hops {
+            ix = self.frames[ix]
+                .static_link
+                .ok_or_else(|| VmError::new("static link chain exhausted"))?;
+        }
+        Ok(ix)
+    }
+
+    fn read(&self, addr: &Address) -> Result<Value, VmError> {
+        let mut v: &Value = match &addr.base {
+            Base::Global { area, slot } => self.globals[*area]
+                .get(*slot)
+                .ok_or_else(|| VmError::new("global slot out of range"))?,
+            Base::Frame { frame, slot } => self.frames[*frame]
+                .slots
+                .get(*slot)
+                .ok_or_else(|| VmError::new("frame slot out of range"))?,
+            Base::Heap { cell } => self.heap[*cell]
+                .as_ref()
+                .ok_or_else(|| VmError::new("use of disposed heap cell"))?,
+        };
+        for &step in &addr.path {
+            v = match v {
+                Value::Array(elems) => elems
+                    .get(step)
+                    .ok_or_else(|| VmError::new("array index out of bounds"))?,
+                Value::Record(fields) => fields
+                    .get(step)
+                    .ok_or_else(|| VmError::new("record field out of range"))?,
+                other => return Err(VmError::new(format!("path into scalar {other:?}"))),
+            };
+        }
+        Ok(v.clone())
+    }
+
+    fn write(&mut self, addr: &Address, value: Value) -> Result<(), VmError> {
+        let root: &mut Value = match &addr.base {
+            Base::Global { area, slot } => self.globals[*area]
+                .get_mut(*slot)
+                .ok_or_else(|| VmError::new("global slot out of range"))?,
+            Base::Frame { frame, slot } => self.frames[*frame]
+                .slots
+                .get_mut(*slot)
+                .ok_or_else(|| VmError::new("frame slot out of range"))?,
+            Base::Heap { cell } => self.heap[*cell]
+                .as_mut()
+                .ok_or_else(|| VmError::new("use of disposed heap cell"))?,
+        };
+        let mut v = root;
+        for &step in &addr.path {
+            v = match v {
+                Value::Array(elems) => elems
+                    .get_mut(step)
+                    .ok_or_else(|| VmError::new("array index out of bounds"))?,
+                Value::Record(fields) => fields
+                    .get_mut(step)
+                    .ok_or_else(|| VmError::new("record field out of range"))?,
+                other => return Err(VmError::new(format!("path into scalar {other:?}"))),
+            };
+        }
+        *v = value;
+        Ok(())
+    }
+
+    fn exec(&mut self) -> Result<(), VmError> {
+        'outer: while let Some(frame) = self.frames.last() {
+            let unit_ix = frame.unit;
+            let unit = self.unit(unit_ix);
+            let pc = frame.pc;
+            if pc >= unit.code.len() {
+                // Fell off the unit: implicit return.
+                self.frames.pop();
+                continue;
+            }
+            self.steps += 1;
+            if self.steps > self.budget {
+                return Err(VmError::new("step budget exhausted"));
+            }
+            self.frames.last_mut().expect("frame").pc = pc + 1;
+            let ins = &unit.code[pc];
+            match ins {
+                Instr::PushInt(v) => self.stack.push(Value::Int(*v)),
+                Instr::PushReal(bits) => self.stack.push(Value::Real(f64::from_bits(*bits))),
+                Instr::PushBool(b) => self.stack.push(Value::Bool(*b)),
+                Instr::PushChar(c) => self.stack.push(Value::Char(*c)),
+                Instr::PushStr(s) => self.stack.push(Value::Str(*s)),
+                Instr::PushNil => self.stack.push(Value::Pointer(None)),
+                Instr::PushSet(m) => self.stack.push(Value::Set(*m)),
+                Instr::PushProc(name) => self.stack.push(Value::ProcRef(*name)),
+                Instr::PushAddr { level_up, slot } => {
+                    let frame = self.frame_up(*level_up)?;
+                    self.stack.push(Value::Addr(Address {
+                        base: Base::Frame {
+                            frame,
+                            slot: *slot as usize,
+                        },
+                        path: Vec::new(),
+                    }));
+                }
+                Instr::PushGlobalAddr { module, slot } => {
+                    let area = *self.global_index.get(module).ok_or_else(|| {
+                        VmError::new(format!(
+                            "unknown global area `{}`",
+                            self.interner.resolve(*module)
+                        ))
+                    })?;
+                    self.stack.push(Value::Addr(Address {
+                        base: Base::Global {
+                            area,
+                            slot: *slot as usize,
+                        },
+                        path: Vec::new(),
+                    }));
+                }
+                Instr::AddrField(ix) => {
+                    let mut a = self.pop_addr()?;
+                    a.path.push(*ix as usize);
+                    self.stack.push(Value::Addr(a));
+                }
+                Instr::AddrIndex { lo, len } => {
+                    let ix = self.pop()?.as_int()?;
+                    let mut a = self.pop_addr()?;
+                    if *len >= 0 && (ix < *lo || ix >= lo + len) {
+                        return Err(VmError::new(format!(
+                            "index {ix} out of bounds {lo}..{}",
+                            lo + len - 1
+                        )));
+                    }
+                    if ix < *lo {
+                        return Err(VmError::new(format!("index {ix} below lower bound {lo}")));
+                    }
+                    a.path.push((ix - lo) as usize);
+                    self.stack.push(Value::Addr(a));
+                }
+                Instr::AddrDeref => {
+                    let a = self.pop_addr()?;
+                    match self.read(&a)? {
+                        Value::Pointer(Some(cell)) => self.stack.push(Value::Addr(Address {
+                            base: Base::Heap { cell },
+                            path: Vec::new(),
+                        })),
+                        Value::Pointer(None) => return Err(VmError::new("NIL dereference")),
+                        Value::Addr(inner) => self.stack.push(Value::Addr(inner)),
+                        other => {
+                            return Err(VmError::new(format!(
+                                "dereferencing non-pointer {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Instr::Load => {
+                    let a = self.pop_addr()?;
+                    let v = self.read(&a)?;
+                    self.stack.push(v);
+                }
+                Instr::Store => {
+                    let v = self.pop()?;
+                    let a = self.pop_addr()?;
+                    self.write(&a, v)?;
+                }
+                Instr::Dup => {
+                    let v = self.pop()?;
+                    self.stack.push(v.clone());
+                    self.stack.push(v);
+                }
+                Instr::Pop => {
+                    let _ = self.pop()?;
+                }
+                Instr::Add | Instr::Sub | Instr::Mul | Instr::DivReal => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    let r = match (&a, &b) {
+                        (Value::Int(x), Value::Int(y)) => match ins {
+                            Instr::Add => Value::Int(x.wrapping_add(*y)),
+                            Instr::Sub => Value::Int(x.wrapping_sub(*y)),
+                            Instr::Mul => Value::Int(x.wrapping_mul(*y)),
+                            _ => return Err(VmError::new("`/` on integers")),
+                        },
+                        (Value::Char(x), Value::Int(y)) | (Value::Int(y), Value::Char(x)) => {
+                            // CHAR arithmetic via FOR-loop stepping.
+                            let n = match ins {
+                                Instr::Add => *x as i64 + y,
+                                Instr::Sub => *x as i64 - y,
+                                _ => return Err(VmError::new("char arithmetic")),
+                            };
+                            if !(0..=255).contains(&n) {
+                                return Err(VmError::new("CHAR arithmetic out of range"));
+                            }
+                            Value::Char(n as u8)
+                        }
+                        (Value::Real(x), Value::Real(y)) => match ins {
+                            Instr::Add => Value::Real(x + y),
+                            Instr::Sub => Value::Real(x - y),
+                            Instr::Mul => Value::Real(x * y),
+                            _ => {
+                                if *y == 0.0 {
+                                    return Err(VmError::new("real division by zero"));
+                                }
+                                Value::Real(x / y)
+                            }
+                        },
+                        (Value::Set(x), Value::Set(y)) => match ins {
+                            Instr::Add => Value::Set(x | y),
+                            Instr::Sub => Value::Set(x & !y),
+                            Instr::Mul => Value::Set(x & y),
+                            _ => Value::Set(x ^ y),
+                        },
+                        _ => {
+                            return Err(VmError::new(format!(
+                                "type error in arithmetic: {a:?} vs {b:?}"
+                            )))
+                        }
+                    };
+                    self.stack.push(r);
+                }
+                Instr::DivInt | Instr::ModInt => {
+                    let b = self.pop()?.as_int()?;
+                    let a = self.pop()?.as_int()?;
+                    if b == 0 {
+                        return Err(VmError::new("integer division by zero"));
+                    }
+                    self.stack.push(Value::Int(if matches!(ins, Instr::DivInt) {
+                        a.div_euclid(b)
+                    } else {
+                        a.rem_euclid(b)
+                    }));
+                }
+                Instr::Neg => {
+                    let v = self.pop()?;
+                    let r = match v {
+                        Value::Int(x) => Value::Int(x.wrapping_neg()),
+                        Value::Real(x) => Value::Real(-x),
+                        other => return Err(VmError::new(format!("negating {other:?}"))),
+                    };
+                    self.stack.push(r);
+                }
+                Instr::Not => {
+                    let v = self.pop()?.as_bool()?;
+                    self.stack.push(Value::Bool(!v));
+                }
+                Instr::CmpEq | Instr::CmpNe | Instr::CmpLt | Instr::CmpLe | Instr::CmpGt
+                | Instr::CmpGe => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    let ord = compare(&a, &b)?;
+                    let r = match ins {
+                        Instr::CmpEq => ord == std::cmp::Ordering::Equal,
+                        Instr::CmpNe => ord != std::cmp::Ordering::Equal,
+                        Instr::CmpLt => ord == std::cmp::Ordering::Less,
+                        Instr::CmpLe => ord != std::cmp::Ordering::Greater,
+                        Instr::CmpGt => ord == std::cmp::Ordering::Greater,
+                        _ => ord != std::cmp::Ordering::Less,
+                    };
+                    self.stack.push(Value::Bool(r));
+                }
+                Instr::InSet => {
+                    let s = match self.pop()? {
+                        Value::Set(m) => m,
+                        other => return Err(VmError::new(format!("IN on non-set {other:?}"))),
+                    };
+                    let e = self.pop()?.as_int()?;
+                    self.stack
+                        .push(Value::Bool((0..64).contains(&e) && (s >> e) & 1 == 1));
+                }
+                Instr::SetIncl => {
+                    let e = self.pop()?.as_int()?;
+                    let s = match self.pop()? {
+                        Value::Set(m) => m,
+                        other => return Err(VmError::new(format!("INCL on non-set {other:?}"))),
+                    };
+                    if !(0..64).contains(&e) {
+                        return Err(VmError::new("set element out of range"));
+                    }
+                    self.stack.push(Value::Set(s | (1 << e)));
+                }
+                Instr::SetInclRange => {
+                    let hi = self.pop()?.as_int()?;
+                    let lo = self.pop()?.as_int()?;
+                    let s = match self.pop()? {
+                        Value::Set(m) => m,
+                        other => return Err(VmError::new(format!("range on non-set {other:?}"))),
+                    };
+                    if !(0..64).contains(&lo) || !(0..64).contains(&hi) {
+                        return Err(VmError::new("set range out of bounds"));
+                    }
+                    let mut m = s;
+                    let mut k = lo;
+                    while k <= hi {
+                        m |= 1 << k;
+                        k += 1;
+                    }
+                    self.stack.push(Value::Set(m));
+                }
+                Instr::Jump(t) => {
+                    self.frames.last_mut().expect("frame").pc = *t as usize;
+                }
+                Instr::JumpIfFalse(t) => {
+                    if !self.pop()?.as_bool()? {
+                        self.frames.last_mut().expect("frame").pc = *t as usize;
+                    }
+                }
+                Instr::JumpIfTrue(t) => {
+                    if self.pop()?.as_bool()? {
+                        self.frames.last_mut().expect("frame").pc = *t as usize;
+                    }
+                }
+                Instr::Call {
+                    target,
+                    argc,
+                    link_up,
+                } => {
+                    let callee = self.image.unit_index(*target).ok_or_else(|| {
+                        VmError::new(format!(
+                            "call to unlinked external procedure `{}`",
+                            self.interner.resolve(*target)
+                        ))
+                    })?;
+                    let link = if *link_up == u32::MAX {
+                        None
+                    } else {
+                        Some(self.frame_up(*link_up)?)
+                    };
+                    self.push_frame(callee, link, *argc as usize)?;
+                }
+                Instr::CallIndirect { argc } => {
+                    let target = match self.pop()? {
+                        Value::ProcRef(name) => name,
+                        Value::Pointer(None) => {
+                            return Err(VmError::new("call through NIL procedure value"))
+                        }
+                        other => {
+                            return Err(VmError::new(format!(
+                                "call through non-procedure {other:?}"
+                            )))
+                        }
+                    };
+                    let callee = self.image.unit_index(target).ok_or_else(|| {
+                        VmError::new(format!(
+                            "call to unlinked external procedure `{}`",
+                            self.interner.resolve(target)
+                        ))
+                    })?;
+                    self.push_frame(callee, None, *argc as usize)?;
+                }
+                Instr::CallBuiltin { builtin, argc } => {
+                    self.builtin(*builtin, *argc as usize)?;
+                }
+                Instr::Return => {
+                    let f = self.frames.pop().expect("frame");
+                    self.stack.truncate(f.stack_base);
+                }
+                Instr::ReturnValue => {
+                    let v = self.pop()?;
+                    let f = self.frames.pop().expect("frame");
+                    self.stack.truncate(f.stack_base);
+                    self.stack.push(v);
+                }
+                Instr::Halt => break 'outer,
+                Instr::NewCell { shape } => {
+                    let a = self.pop_addr()?;
+                    let shape = &unit.shapes[*shape as usize];
+                    let cell = self.heap.len();
+                    self.heap.push(Some(Value::default_of(shape)));
+                    self.write(&a, Value::Pointer(Some(cell)))?;
+                }
+                Instr::DisposeCell => {
+                    let a = self.pop_addr()?;
+                    match self.read(&a)? {
+                        Value::Pointer(Some(cell)) => {
+                            self.heap[cell] = None;
+                            self.write(&a, Value::Pointer(None))?;
+                        }
+                        Value::Pointer(None) => return Err(VmError::new("DISPOSE of NIL")),
+                        other => {
+                            return Err(VmError::new(format!("DISPOSE of non-pointer {other:?}")))
+                        }
+                    }
+                }
+                Instr::Nop => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn builtin(&mut self, b: Builtin, argc: usize) -> Result<(), VmError> {
+        use Builtin::*;
+        match b {
+            WriteLn => self.output.push('\n'),
+            WriteInt | WriteCard => {
+                let w = self.pop()?.as_int()?;
+                let v = self.pop()?.as_int()?;
+                let s = format!("{v}");
+                let pad = (w as usize).saturating_sub(s.len());
+                self.output.push_str(&" ".repeat(pad));
+                self.output.push_str(&s);
+            }
+            WriteReal => {
+                let w = self.pop()?.as_int()?;
+                let v = match self.pop()? {
+                    Value::Real(r) => r,
+                    other => return Err(VmError::new(format!("WriteReal of {other:?}"))),
+                };
+                let s = format!("{v:.6}");
+                let pad = (w as usize).saturating_sub(s.len());
+                self.output.push_str(&" ".repeat(pad));
+                self.output.push_str(&s);
+            }
+            WriteChar => match self.pop()? {
+                Value::Char(c) => self.output.push(c as char),
+                other => return Err(VmError::new(format!("WriteChar of {other:?}"))),
+            },
+            WriteString => match self.pop()? {
+                Value::Str(s) => self.output.push_str(&self.interner.resolve(s)),
+                Value::Char(c) => self.output.push(c as char),
+                Value::Array(elems) => {
+                    for e in elems {
+                        match e {
+                            Value::Char(0) => break,
+                            Value::Char(c) => self.output.push(c as char),
+                            other => {
+                                return Err(VmError::new(format!(
+                                    "WriteString of non-char array element {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                other => return Err(VmError::new(format!("WriteString of {other:?}"))),
+            },
+            Inc | Dec => {
+                let amount = if argc == 2 { self.pop()?.as_int()? } else { 1 };
+                let a = self.pop_addr()?;
+                let cur = self.read(&a)?;
+                let next = match cur {
+                    Value::Int(v) => Value::Int(if b == Inc { v + amount } else { v - amount }),
+                    Value::Char(c) => {
+                        let n = if b == Inc {
+                            c as i64 + amount
+                        } else {
+                            c as i64 - amount
+                        };
+                        if !(0..=255).contains(&n) {
+                            return Err(VmError::new("CHAR INC/DEC out of range"));
+                        }
+                        Value::Char(n as u8)
+                    }
+                    other => return Err(VmError::new(format!("INC/DEC of {other:?}"))),
+                };
+                self.write(&a, next)?;
+            }
+            Incl | Excl => {
+                let e = self.pop()?.as_int()?;
+                let a = self.pop_addr()?;
+                let cur = match self.read(&a)? {
+                    Value::Set(m) => m,
+                    other => return Err(VmError::new(format!("INCL/EXCL of {other:?}"))),
+                };
+                if !(0..64).contains(&e) {
+                    return Err(VmError::new("set element out of range"));
+                }
+                let next = if b == Incl {
+                    cur | (1 << e)
+                } else {
+                    cur & !(1 << e)
+                };
+                self.write(&a, Value::Set(next))?;
+            }
+            Abs => {
+                let v = self.pop()?;
+                let r = match v {
+                    Value::Int(x) => Value::Int(x.abs()),
+                    Value::Real(x) => Value::Real(x.abs()),
+                    other => return Err(VmError::new(format!("ABS of {other:?}"))),
+                };
+                self.stack.push(r);
+            }
+            Cap => match self.pop()? {
+                Value::Char(c) => self.stack.push(Value::Char(c.to_ascii_uppercase())),
+                other => return Err(VmError::new(format!("CAP of {other:?}"))),
+            },
+            Chr => {
+                let v = self.pop()?.as_int()?;
+                if !(0..=255).contains(&v) {
+                    return Err(VmError::new("CHR out of range"));
+                }
+                self.stack.push(Value::Char(v as u8));
+            }
+            Ord => {
+                let v = self.pop()?.as_int()?;
+                self.stack.push(Value::Int(v));
+            }
+            Odd => {
+                let v = self.pop()?.as_int()?;
+                self.stack.push(Value::Bool(v.rem_euclid(2) == 1));
+            }
+            Trunc => {
+                let v = match self.pop()? {
+                    Value::Real(r) => r,
+                    other => return Err(VmError::new(format!("TRUNC of {other:?}"))),
+                };
+                self.stack.push(Value::Int(v as i64));
+            }
+            Float => {
+                let v = self.pop()?.as_int()?;
+                self.stack.push(Value::Real(v as f64));
+            }
+            High => match self.pop()? {
+                Value::Array(elems) => self.stack.push(Value::Int(elems.len() as i64 - 1)),
+                Value::Str(s) => self
+                    .stack
+                    .push(Value::Int(self.interner.resolve(s).len() as i64 - 1)),
+                other => return Err(VmError::new(format!("HIGH of {other:?}"))),
+            },
+            Sin | Cos | Sqrt | Exp | Ln => {
+                let v = match self.pop()? {
+                    Value::Real(r) => r,
+                    Value::Int(i) => i as f64,
+                    other => return Err(VmError::new(format!("math builtin of {other:?}"))),
+                };
+                let r = match b {
+                    Sin => v.sin(),
+                    Cos => v.cos(),
+                    Sqrt => {
+                        if v < 0.0 {
+                            return Err(VmError::new("sqrt of negative"));
+                        }
+                        v.sqrt()
+                    }
+                    Exp => v.exp(),
+                    _ => {
+                        if v <= 0.0 {
+                            return Err(VmError::new("ln of non-positive"));
+                        }
+                        v.ln()
+                    }
+                };
+                self.stack.push(Value::Real(r));
+            }
+            Min | Max | Val | New | Dispose | Halt => {
+                return Err(VmError::new(format!(
+                    "builtin {b:?} should have been compiled away"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, VmError> {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Int(x), Value::Char(y)) => x.cmp(&(*y as i64)),
+        (Value::Char(x), Value::Int(y)) => (*x as i64).cmp(y),
+        (Value::Char(x), Value::Char(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Real(x), Value::Real(y)) => x
+            .partial_cmp(y)
+            .ok_or_else(|| VmError::new("NaN comparison"))?,
+        (Value::Set(x), Value::Set(y)) => {
+            if x == y {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        (Value::Str(x), Value::Str(y)) => {
+            if x == y {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        (Value::Pointer(x), Value::Pointer(y)) => {
+            if x == y {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        (Value::ProcRef(x), Value::ProcRef(y)) => {
+            if x == y {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        _ => {
+            return Err(VmError::new(format!(
+                "incomparable values {a:?} vs {b:?}"
+            )))
+        }
+    };
+    Ok(ord)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_codegen::merge::Merger;
+    use ccm2_support::work::NullMeter;
+
+    fn run_unit(code: Vec<Instr>, frame: Vec<Shape>, shapes: Vec<Shape>) -> Result<String, VmError> {
+        let interner = Arc::new(Interner::new());
+        let m = interner.intern("M");
+        let merger = Merger::new(m);
+        let mut unit = CodeUnit::new(m, 0);
+        unit.frame = frame;
+        unit.shapes = shapes;
+        unit.code = code;
+        merger.add_unit(unit, &NullMeter);
+        let image = merger.finish();
+        Vm::new(interner).run(&image)
+    }
+
+    #[test]
+    fn arithmetic_and_write() {
+        let out = run_unit(
+            vec![
+                Instr::PushInt(6),
+                Instr::PushInt(7),
+                Instr::Mul,
+                Instr::PushInt(1),
+                Instr::CallBuiltin {
+                    builtin: Builtin::WriteInt,
+                    argc: 2,
+                },
+                Instr::Halt,
+            ],
+            vec![],
+            vec![],
+        )
+        .expect("runs");
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn store_load_frame_slot() {
+        let out = run_unit(
+            vec![
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
+                Instr::PushInt(5),
+                Instr::Store,
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
+                Instr::Load,
+                Instr::PushInt(0),
+                Instr::CallBuiltin {
+                    builtin: Builtin::WriteInt,
+                    argc: 2,
+                },
+                Instr::Halt,
+            ],
+            vec![Shape::Int],
+            vec![],
+        )
+        .expect("runs");
+        assert_eq!(out, "5");
+    }
+
+    #[test]
+    fn heap_new_write_read_dispose() {
+        let out = run_unit(
+            vec![
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::NewCell { shape: 0 },
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::AddrDeref,
+                Instr::PushInt(9),
+                Instr::Store,
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::AddrDeref,
+                Instr::Load,
+                Instr::PushInt(0),
+                Instr::CallBuiltin {
+                    builtin: Builtin::WriteInt,
+                    argc: 2,
+                },
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::DisposeCell,
+                Instr::Halt,
+            ],
+            vec![Shape::Ptr],
+            vec![Shape::Int],
+        )
+        .expect("runs");
+        assert_eq!(out, "9");
+    }
+
+    #[test]
+    fn nil_dereference_errors() {
+        let err = run_unit(
+            vec![
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::AddrDeref,
+                Instr::Halt,
+            ],
+            vec![Shape::Ptr],
+            vec![],
+        )
+        .expect_err("NIL deref");
+        assert!(err.message.contains("NIL"));
+    }
+
+    #[test]
+    fn unlinked_external_call_errors() {
+        let interner = Arc::new(Interner::new());
+        let m = interner.intern("M");
+        let ext = interner.intern("Lib.DoThing");
+        let merger = Merger::new(m);
+        let mut unit = CodeUnit::new(m, 0);
+        unit.code = vec![Instr::Call {
+            target: ext,
+            argc: 0,
+            link_up: u32::MAX,
+        }];
+        merger.add_unit(unit, &NullMeter);
+        let image = merger.finish();
+        let err = Vm::new(interner).run(&image).expect_err("unlinked");
+        assert!(err.message.contains("unlinked"));
+    }
+
+    #[test]
+    fn step_budget_guards_infinite_loops() {
+        let interner = Arc::new(Interner::new());
+        let m = interner.intern("M");
+        let merger = Merger::new(m);
+        let mut unit = CodeUnit::new(m, 0);
+        unit.code = vec![Instr::Jump(0)];
+        merger.add_unit(unit, &NullMeter);
+        let image = merger.finish();
+        let mut vm = Vm::new(interner);
+        vm.step_budget = 10_000;
+        let err = vm.run(&image).expect_err("budget");
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn set_instructions() {
+        let out = run_unit(
+            vec![
+                Instr::PushSet(0),
+                Instr::PushInt(1),
+                Instr::SetIncl,
+                Instr::PushInt(3),
+                Instr::PushInt(5),
+                Instr::SetInclRange,
+                Instr::PushSet(0b101010),
+                Instr::Mul, // intersection: {1,3,4,5} ∩ {1,3,5} = {1,3,5}
+                Instr::PushSet(0b101010),
+                Instr::CmpEq,
+                Instr::JumpIfFalse(13),
+                Instr::PushInt(1),
+                Instr::Jump(14),
+                Instr::PushInt(0),
+                Instr::PushInt(0),
+                Instr::CallBuiltin {
+                    builtin: Builtin::WriteInt,
+                    argc: 2,
+                },
+                Instr::Halt,
+            ],
+            vec![],
+            vec![],
+        )
+        .expect("runs");
+        assert_eq!(out, "1");
+    }
+
+    #[test]
+    fn bounds_check_fires() {
+        let err = run_unit(
+            vec![
+                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushInt(10),
+                Instr::AddrIndex { lo: 0, len: 5 },
+                Instr::Load,
+                Instr::Halt,
+            ],
+            vec![Shape::Array(Box::new(Shape::Int), 5)],
+            vec![],
+        )
+        .expect_err("oob");
+        assert!(err.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn procedure_call_with_return_value() {
+        let interner = Arc::new(Interner::new());
+        let m = interner.intern("M");
+        let padd = interner.intern("M.Add");
+        let merger = Merger::new(m);
+        let mut add = CodeUnit::new(padd, 1);
+        add.param_count = 2;
+        add.frame = vec![Shape::Int, Shape::Int];
+        add.code = vec![
+            Instr::PushAddr { level_up: 0, slot: 0 },
+            Instr::Load,
+            Instr::PushAddr { level_up: 0, slot: 1 },
+            Instr::Load,
+            Instr::Add,
+            Instr::ReturnValue,
+        ];
+        merger.add_unit(add, &NullMeter);
+        let mut body = CodeUnit::new(m, 0);
+        body.code = vec![
+            Instr::PushInt(20),
+            Instr::PushInt(22),
+            Instr::Call {
+                target: padd,
+                argc: 2,
+                link_up: u32::MAX,
+            },
+            Instr::PushInt(0),
+            Instr::CallBuiltin {
+                builtin: Builtin::WriteInt,
+                argc: 2,
+            },
+            Instr::Halt,
+        ];
+        merger.add_unit(body, &NullMeter);
+        let image = merger.finish();
+        let out = Vm::new(interner).run(&image).expect("runs");
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn var_param_through_address() {
+        // M.SetTo7(VAR x): x := 7, called with global M[0].
+        let interner = Arc::new(Interner::new());
+        let m = interner.intern("M");
+        let pset = interner.intern("M.SetTo7");
+        let merger = Merger::new(m);
+        merger.add_globals(m, vec![Shape::Int]);
+        let mut setp = CodeUnit::new(pset, 1);
+        setp.param_count = 1;
+        setp.frame = vec![Shape::Addr];
+        setp.code = vec![
+            // slot 0 holds the caller's address; load it, store 7.
+            Instr::PushAddr { level_up: 0, slot: 0 },
+            Instr::Load,
+            Instr::PushInt(7),
+            Instr::Store,
+            Instr::Return,
+        ];
+        merger.add_unit(setp, &NullMeter);
+        let mut body = CodeUnit::new(m, 0);
+        body.code = vec![
+            Instr::PushGlobalAddr { module: m, slot: 0 },
+            Instr::Call {
+                target: pset,
+                argc: 1,
+                link_up: u32::MAX,
+            },
+            Instr::PushGlobalAddr { module: m, slot: 0 },
+            Instr::Load,
+            Instr::PushInt(0),
+            Instr::CallBuiltin {
+                builtin: Builtin::WriteInt,
+                argc: 2,
+            },
+            Instr::Halt,
+        ];
+        merger.add_unit(body, &NullMeter);
+        let image = merger.finish();
+        let out = Vm::new(interner).run(&image).expect("runs");
+        assert_eq!(out, "7");
+    }
+}

@@ -1,0 +1,30 @@
+//! Workloads for evaluating the concurrent Modula-2+ compiler.
+//!
+//! The paper evaluated on 37 programs from the (proprietary) DEC SRC
+//! Modula-2+ library plus a mechanically generated best-case module,
+//! `Synth.mod`. This crate regenerates both, seeded and deterministic:
+//!
+//! * [`gen`] — the parameterized program generator (shape-controlled,
+//!   always semantically valid);
+//! * [`suite`] — the 37-program suite matching Table 1's gross
+//!   characteristics;
+//! * [`synth`] — `Synth.mod`, the no-DKY, ample-parallelism best case of
+//!   §4.2 (Figure 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use ccm2_workload::{generate, GenParams};
+//!
+//! let m = generate(&GenParams::small("Demo", 1));
+//! assert!(m.source.contains("IMPLEMENTATION MODULE Demo"));
+//! assert_eq!(m.defs.len(), 4);
+//! ```
+
+pub mod gen;
+pub mod suite;
+pub mod synth;
+
+pub use gen::{generate, GenParams, GeneratedModule};
+pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};
+pub use synth::{synth_module, SynthParams};

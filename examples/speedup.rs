@@ -1,0 +1,49 @@
+//! Speedup sweep: compile one module on 1..=8 simulated processors and
+//! print the self-relative speedup curve (paper Figure 1 for a single
+//! program).
+//!
+//! ```text
+//! cargo run --release --example speedup [suite-index 0..36 | synth]
+//! ```
+
+use std::sync::Arc;
+
+use ccm2_repro::prelude::*;
+use ccm2_workload::{suite_params, synth_module, SynthParams};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "25".to_string());
+    let (name, source, defs) = if arg == "synth" {
+        (
+            "Synth".to_string(),
+            synth_module(SynthParams::default()),
+            DefLibrary::new(),
+        )
+    } else {
+        let index: usize = arg.parse().unwrap_or(25).min(36);
+        let m = ccm2_workload::generate(&suite_params(index));
+        (m.name.clone(), m.source.clone(), m.defs.clone())
+    };
+
+    println!("module {name}: sweeping 1..=8 virtual processors\n");
+    let mut t1 = 0u64;
+    println!("  N |  virtual time | speedup");
+    println!("----+---------------+--------");
+    for procs in 1..=8u32 {
+        let out = compile_concurrent(
+            &source,
+            Arc::new(defs.clone()),
+            Arc::new(Interner::new()),
+            Options {
+                executor: ccm2::Executor::Sim(SimConfig::firefly(procs)),
+                ..Options::default()
+            },
+        );
+        assert!(out.is_ok(), "{:#?}", &out.diagnostics[..out.diagnostics.len().min(5)]);
+        let t = out.report.virtual_time.expect("sim");
+        if procs == 1 {
+            t1 = t;
+        }
+        println!("  {procs} | {t:>13} | {:>6.2}", t1 as f64 / t as f64);
+    }
+}

@@ -1,0 +1,47 @@
+//! WatchTool: compile a generated module on the 8-processor virtual-time
+//! simulator and render the processor-activity snapshot (paper Figures 4
+//! and 7).
+//!
+//! ```text
+//! cargo run --release --example watchtool [suite-index 0..36]
+//! ```
+
+use std::sync::Arc;
+
+use ccm2_repro::prelude::*;
+use ccm2_sched::render_watchtool;
+use ccm2_workload::suite_params;
+
+fn main() {
+    let index: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25)
+        .min(36);
+    let module = ccm2_workload::generate(&suite_params(index));
+    println!(
+        "compiling {} ({} bytes, {} procedures, {} interfaces) on 8 virtual processors...\n",
+        module.name,
+        module.size_bytes(),
+        module.params.procedures,
+        module.params.interfaces
+    );
+    let out = compile_concurrent(
+        &module.source,
+        Arc::new(module.defs.clone()),
+        Arc::new(Interner::new()),
+        Options {
+            executor: ccm2::Executor::Sim(SimConfig::firefly(8)),
+            ..Options::default()
+        },
+    );
+    assert!(out.is_ok(), "{:#?}", &out.diagnostics[..out.diagnostics.len().min(5)]);
+    println!("{}", render_watchtool(&out.report.trace, 8, 120));
+    println!(
+        "virtual time: {} units   utilization: {:.0}%   tasks: {}   streams: {}",
+        out.report.virtual_time.expect("sim"),
+        out.report.trace.utilization(8) * 100.0,
+        out.report.tasks_run,
+        out.streams,
+    );
+}

@@ -1,0 +1,186 @@
+//! Error reporting: erroneous programs must produce the *same*
+//! diagnostics (file, span, severity, message) from the concurrent
+//! compiler as from the sequential one, regardless of task interleaving —
+//! and compilation must degrade gracefully, never hang or panic.
+
+use std::sync::Arc;
+
+use ccm2::{compile_concurrent, Options};
+use ccm2_support::defs::DefLibrary;
+use ccm2_support::diag::Diagnostic;
+use ccm2_support::source::SourceMap;
+use ccm2_support::{Interner, NullMeter};
+
+fn normalize(diags: &[Diagnostic], sources: &SourceMap) -> Vec<String> {
+    let mut v: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let name = sources
+                .get(d.file)
+                .map(|f| f.name().to_string())
+                .unwrap_or_default();
+            format!("{name}:{}..{} {} {}", d.span.lo, d.span.hi, d.severity, d.message)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn check(src: &str, defs: &DefLibrary, expect_contains: &[&str]) {
+    let interner = Arc::new(Interner::new());
+    let seq = ccm2_seq::compile_with(
+        src,
+        defs,
+        Arc::clone(&interner),
+        Arc::new(NullMeter),
+        ccm2_sema::declare::HeadingMode::CopyToChild,
+    );
+    let conc = compile_concurrent(
+        src,
+        Arc::new(defs.clone()),
+        Arc::clone(&interner),
+        Options::threads(2),
+    );
+    let a = normalize(&seq.diagnostics, &seq.sources);
+    let b = normalize(&conc.diagnostics, &conc.sources);
+    assert_eq!(a, b, "diagnostics differ for:\n{src}");
+    for needle in expect_contains {
+        assert!(
+            a.iter().any(|d| d.contains(needle)),
+            "expected a diagnostic containing {needle:?}, got {a:#?}"
+        );
+    }
+}
+
+#[test]
+fn undeclared_identifier() {
+    check(
+        "MODULE M; BEGIN mystery := 1 END M.",
+        &DefLibrary::new(),
+        &["undeclared identifier `mystery`"],
+    );
+}
+
+#[test]
+fn assignment_type_mismatch() {
+    check(
+        "MODULE M; VAR b : BOOLEAN; BEGIN b := 42 END M.",
+        &DefLibrary::new(),
+        &["assignment type mismatch"],
+    );
+}
+
+#[test]
+fn redeclaration_in_scope() {
+    check(
+        "MODULE M; CONST x = 1; VAR x : INTEGER; BEGIN END M.",
+        &DefLibrary::new(),
+        &["already declared"],
+    );
+}
+
+#[test]
+fn missing_definition_module() {
+    check(
+        "MODULE M; IMPORT Ghost; BEGIN END M.",
+        &DefLibrary::new(),
+        &["cannot find definition module `Ghost`"],
+    );
+}
+
+#[test]
+fn unexported_qualified_name() {
+    let mut lib = DefLibrary::new();
+    lib.insert("Lib", "DEFINITION MODULE Lib; CONST k = 1; END Lib.");
+    check(
+        "MODULE M; IMPORT Lib; VAR x : INTEGER; BEGIN x := Lib.absent END M.",
+        &lib,
+        &["not exported"],
+    );
+}
+
+#[test]
+fn wrong_argument_count() {
+    check(
+        "MODULE M; \
+         PROCEDURE P(a, b : INTEGER); BEGIN END P; \
+         BEGIN P(1) END M.",
+        &DefLibrary::new(),
+        &["expected 2 arguments, found 1"],
+    );
+}
+
+#[test]
+fn var_argument_must_be_designator() {
+    check(
+        "MODULE M; \
+         PROCEDURE P(VAR x : INTEGER); BEGIN END P; \
+         BEGIN P(3) END M.",
+        &DefLibrary::new(),
+        &["not a designator"],
+    );
+}
+
+#[test]
+fn errors_in_procedure_bodies_report_identically() {
+    // Errors inside procedure streams flow through concurrently compiled
+    // tasks; spans and messages must still match the sequential pass.
+    check(
+        "MODULE M; \
+         PROCEDURE A; VAR t : INTEGER; BEGIN t := missingOne END A; \
+         PROCEDURE B; VAR s : BOOLEAN; BEGIN s := 7 END B; \
+         BEGIN END M.",
+        &DefLibrary::new(),
+        &["undeclared identifier `missingOne`", "assignment type mismatch"],
+    );
+}
+
+#[test]
+fn error_in_imported_interface() {
+    let mut lib = DefLibrary::new();
+    lib.insert(
+        "Broken",
+        "DEFINITION MODULE Broken; CONST bad = nonsuch + 1; END Broken.",
+    );
+    check(
+        "MODULE M; IMPORT Broken; BEGIN END M.",
+        &lib,
+        &["undeclared identifier `nonsuch`"],
+    );
+}
+
+#[test]
+fn syntax_error_recovery_matches() {
+    check(
+        "MODULE M; VAR a : INTEGER; BEGIN a := 1 a := 2 END M.",
+        &DefLibrary::new(),
+        &["expected `;`"],
+    );
+}
+
+#[test]
+fn set_element_out_of_range() {
+    check(
+        "MODULE M; CONST S = {70}; BEGIN END M.",
+        &DefLibrary::new(),
+        &["set element out of range"],
+    );
+}
+
+#[test]
+fn division_by_zero_in_constant() {
+    check(
+        "MODULE M; CONST K = 1 DIV 0; BEGIN END M.",
+        &DefLibrary::new(),
+        &["division by zero in constant expression"],
+    );
+}
+
+#[test]
+fn undeclared_pointer_target() {
+    check(
+        "MODULE M; TYPE P = POINTER TO Ghost; BEGIN END M.",
+        &DefLibrary::new(),
+        &["undeclared pointer target type `Ghost`"],
+    );
+}

