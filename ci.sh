@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full workspace test suite.
+# No network access is required — all dependencies are path deps inside
+# the repository (see compat/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "CI OK"

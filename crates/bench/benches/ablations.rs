@@ -49,9 +49,7 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
 
-    g.bench_function("overhead_seq_baseline", |b| {
-        b.iter(|| seq_virtual_time(&m))
-    });
+    g.bench_function("overhead_seq_baseline", |b| b.iter(|| seq_virtual_time(&m)));
     g.finish();
 }
 

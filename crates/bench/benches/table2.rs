@@ -19,7 +19,11 @@ fn build_chain(
     interner: &Arc<Interner>,
     depth: usize,
     entries_per_scope: usize,
-) -> (Arc<SymbolTables>, ccm2_support::ids::ScopeId, Vec<ccm2_support::intern::Symbol>) {
+) -> (
+    Arc<SymbolTables>,
+    ccm2_support::ids::ScopeId,
+    Vec<ccm2_support::intern::Symbol>,
+) {
     let tables = Arc::new(SymbolTables::new());
     let mut parent = None;
     let mut innermost = None;

@@ -6,6 +6,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- table3 fig1 fig2 fig3
 //! cargo run --release -p ccm2-bench --bin reproduce -- fig4 fig5 fig7
 //! cargo run --release -p ccm2-bench --bin reproduce -- overhead dky headings workcrews
+//! cargo run --release -p ccm2-bench --bin reproduce -- analyze
 //! ```
 
 use ccm2_bench as bench;
@@ -27,8 +28,7 @@ fn main() {
         println!("{}\n", bench::table2());
     }
     // Table 3 and Figures 1-3 share one expensive measurement.
-    let needs_speedups =
-        want("table3") || want("fig1") || want("fig2") || want("fig3");
+    let needs_speedups = want("table3") || want("fig1") || want("fig2") || want("fig3");
     if needs_speedups {
         eprintln!("measuring suite speedups (37 modules x 8 processor counts)...");
         let summary = bench::measure_all();
@@ -68,5 +68,8 @@ fn main() {
     }
     if want("earlysplit") {
         println!("{}\n", bench::early_split());
+    }
+    if want("analyze") {
+        println!("{}\n", bench::analyze());
     }
 }

@@ -15,10 +15,10 @@
 use std::sync::Arc;
 
 use ccm2::{compile_concurrent, ConcurrentOutput, Executor, Options};
+use ccm2_sched::{render_watchtool, SimConfig};
 use ccm2_sema::declare::HeadingMode;
 use ccm2_sema::stats::LookupStats;
 use ccm2_sema::symtab::DkyStrategy;
-use ccm2_sched::{render_watchtool, SimConfig};
 use ccm2_support::defs::DefLibrary;
 use ccm2_support::work::{CountingMeter, Work};
 use ccm2_support::Interner;
@@ -246,7 +246,10 @@ pub fn table2() -> String {
     for (label, n, pct) in total.simple_rows() {
         out.push_str(&format!("{label:<33}| {n:>8} | {pct:>5.2}\n"));
     }
-    out.push_str(&format!("total simple lookups: {}\n\n", total.simple_total()));
+    out.push_str(&format!(
+        "total simple lookups: {}\n\n",
+        total.simple_total()
+    ));
     out.push_str("Qualified identifiers:\n");
     out.push_str("Found when  completeness |   number |     %\n");
     out.push_str("-------------------------+----------+------\n");
@@ -354,12 +357,7 @@ pub fn fig1(s: &SpeedupSummary) -> String {
                 "min",
                 PROCS
                     .iter()
-                    .map(|&p| {
-                        s.rows
-                            .iter()
-                            .map(|r| r.speedup(p))
-                            .fold(f64::MAX, f64::min)
-                    })
+                    .map(|&p| s.rows.iter().map(|r| r.speedup(p)).fold(f64::MAX, f64::min))
                     .collect(),
             ),
             (
@@ -634,54 +632,6 @@ pub fn heading_alternatives() -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quartiles_partition_everything() {
-        let rows: Vec<SpeedupRow> = (0..37)
-            .map(|i| SpeedupRow {
-                name: format!("m{i}"),
-                t: vec![1000 - i as u64, 600],
-            })
-            .collect();
-        let q = quartiles(&rows);
-        assert_eq!(q.iter().map(Vec::len).sum::<usize>(), 37);
-        assert_eq!(q[0].len(), 10);
-        assert_eq!(q[3].len(), 9);
-        // Q1 holds the fastest (smallest t1) rows.
-        assert!(q[0].contains(&36));
-    }
-
-    #[test]
-    fn speedup_row_math() {
-        let r = SpeedupRow {
-            name: "x".into(),
-            t: vec![1000, 500, 250],
-        };
-        assert!((r.speedup(2) - 2.0).abs() < 1e-9);
-        assert!((r.speedup(3) - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn fig5_mentions_all_stream_kinds() {
-        let f = fig5();
-        assert!(f.contains("Lexor"));
-        assert!(f.contains("Splitter"));
-        assert!(f.contains("Importer"));
-        assert!(f.contains("StmtAnalyzer/CodeGen"));
-    }
-
-    #[test]
-    fn small_module_sim_and_seq_agree_on_success() {
-        let m = ccm2_workload::generate(&ccm2_workload::GenParams::small("BenchSmoke", 9));
-        let conc = sim_compile(&m, 2, Options::default());
-        assert!(conc.is_ok());
-        assert!(seq_virtual_time(&m) > 0);
-    }
-}
-
 /// §2.3.2 ablation: Supervisors (blocked workers are rescheduled onto
 /// eligible tasks) versus plain WorkCrews (blocked workers just wait).
 /// The paper extended WorkCrews precisely because compiler tasks block;
@@ -735,6 +685,152 @@ pub fn workcrews() -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Static analysis: lint counts and analysis-phase speedup
+// ---------------------------------------------------------------------
+
+/// The lint categories `ccm2-analysis` emits, with the message substring
+/// that identifies each (used only for report bucketing).
+pub const LINT_CATEGORIES: [(&str, &str); 6] = [
+    ("use-before-init", "before initialization"),
+    ("unreachable", "unreachable code after"),
+    ("unused-local", "unused local declaration"),
+    ("unused-import", "unused import"),
+    ("nested-re-lock", "nested re-LOCK"),
+    ("lock-re-entry", "may re-enter the locking module"),
+];
+
+/// The elapsed span covered by `Analyze` tasks in a sim trace: last end
+/// minus first start. Total analysis *work* is constant across processor
+/// counts; the span shrinks as the per-procedure lint passes overlap.
+pub fn analysis_span(trace: &ccm2_sched::Trace) -> u64 {
+    let mut lo = u64::MAX;
+    let mut hi = 0;
+    for s in &trace.segments {
+        if s.kind == ccm2_sched::TaskKind::Analyze {
+            lo = lo.min(s.start);
+            hi = hi.max(s.end);
+        }
+    }
+    hi.saturating_sub(lo.min(hi))
+}
+
+/// Regenerates the static-analysis report: per-category lint counts over
+/// the lint-seeded 37-module suite (sequential reference vs the
+/// concurrent compiler), and the analysis-phase speedup on 1–8 simulated
+/// processors.
+pub fn analyze() -> String {
+    let suite: Vec<GeneratedModule> = (0..ccm2_workload::SUITE_SIZE)
+        .map(|i| {
+            let mut p = ccm2_workload::suite_params(i);
+            p.lint_seeds = true;
+            ccm2_workload::generate(&p)
+        })
+        .collect();
+    let mut out =
+        String::from("Static analysis over the 37-module suite (lint-seeded variant)\n\n");
+
+    // Lint counts: sequential reference, then the concurrent compiler on
+    // 8 simulated processors — the totals must agree.
+    let mut seq_counts = [0usize; LINT_CATEGORIES.len()];
+    let mut conc_counts = [0usize; LINT_CATEGORIES.len()];
+    let mut seq_total = 0usize;
+    let mut conc_total = 0usize;
+    for m in &suite {
+        let seq = ccm2_seq::compile_full(
+            &m.source,
+            &m.defs,
+            Arc::new(Interner::new()),
+            Arc::new(ccm2_support::work::NullMeter),
+            HeadingMode::CopyToChild,
+            true,
+        );
+        assert!(
+            seq.is_ok(),
+            "{}: {:?}",
+            m.name,
+            &seq.diagnostics[..3.min(seq.diagnostics.len())]
+        );
+        let conc = sim_compile(
+            m,
+            8,
+            Options {
+                analyze: true,
+                ..Options::default()
+            },
+        );
+        for (diags, counts, total) in [
+            (&seq.diagnostics, &mut seq_counts, &mut seq_total),
+            (&conc.diagnostics, &mut conc_counts, &mut conc_total),
+        ] {
+            for d in diags.iter() {
+                for (ix, (_, needle)) in LINT_CATEGORIES.iter().enumerate() {
+                    if d.message.contains(needle) {
+                        counts[ix] += 1;
+                        *total += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("Lint category     | sequential | concurrent(8)\n");
+    out.push_str("------------------+------------+--------------\n");
+    for (ix, (label, _)) in LINT_CATEGORIES.iter().enumerate() {
+        out.push_str(&format!(
+            "{label:<18}| {:>10} | {:>13}\n",
+            seq_counts[ix], conc_counts[ix]
+        ));
+    }
+    out.push_str(&format!(
+        "total             | {seq_total:>10} | {conc_total:>13}  ({})\n\n",
+        if seq_counts == conc_counts {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    ));
+
+    // Analysis-phase speedup: elapsed Analyze span summed over the suite,
+    // per processor count.
+    let spans: Vec<u64> = PROCS
+        .iter()
+        .map(|&p| {
+            suite
+                .iter()
+                .map(|m| {
+                    analysis_span(
+                        &sim_compile(
+                            m,
+                            p,
+                            Options {
+                                analyze: true,
+                                ..Options::default()
+                            },
+                        )
+                        .report
+                        .trace,
+                    )
+                })
+                .sum()
+        })
+        .collect();
+    out.push_str("Analysis-phase elapsed span (suite total, virtual units)\n");
+    out.push_str("  N |        span |  speedup\n");
+    out.push_str("----+-------------+---------\n");
+    for (ix, &p) in PROCS.iter().enumerate() {
+        out.push_str(&format!(
+            "  {p} | {:>11} | {:>7.2}\n",
+            spans[ix],
+            spans[0] as f64 / spans[ix] as f64
+        ));
+    }
+    out.push_str(
+        "(per-procedure lint passes run as Supervisors tasks and overlap on\n\
+         multiple processors; the span at N=8 must beat N=1)\n",
+    );
+    out
+}
+
 /// §2.1 ablation: *early* splitting (during lexical analysis, the paper's
 /// contribution) versus splitting at parse time (prior designs — all
 /// parsing and declaration analysis serialized, code generation still
@@ -779,4 +875,72 @@ pub fn early_split() -> String {
          compare Vandevoorde's 2.5–3.3x on large programs)\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_partition_everything() {
+        let rows: Vec<SpeedupRow> = (0..37)
+            .map(|i| SpeedupRow {
+                name: format!("m{i}"),
+                t: vec![1000 - i as u64, 600],
+            })
+            .collect();
+        let q = quartiles(&rows);
+        assert_eq!(q.iter().map(Vec::len).sum::<usize>(), 37);
+        assert_eq!(q[0].len(), 10);
+        assert_eq!(q[3].len(), 9);
+        // Q1 holds the fastest (smallest t1) rows.
+        assert!(q[0].contains(&36));
+    }
+
+    #[test]
+    fn speedup_row_math() {
+        let r = SpeedupRow {
+            name: "x".into(),
+            t: vec![1000, 500, 250],
+        };
+        assert!((r.speedup(2) - 2.0).abs() < 1e-9);
+        assert!((r.speedup(3) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig5_mentions_all_stream_kinds() {
+        let f = fig5();
+        assert!(f.contains("Lexor"));
+        assert!(f.contains("Splitter"));
+        assert!(f.contains("Importer"));
+        assert!(f.contains("StmtAnalyzer/CodeGen"));
+    }
+
+    #[test]
+    fn analysis_phase_parallelizes() {
+        // A lint-seeded mid-size module: per-procedure Analyze tasks must
+        // overlap on 8 processors, shrinking the phase's elapsed span.
+        let mut p = ccm2_workload::suite_params(24);
+        p.lint_seeds = true;
+        let m = ccm2_workload::generate(&p);
+        let opts = Options {
+            analyze: true,
+            ..Options::default()
+        };
+        let span1 = analysis_span(&sim_compile(&m, 1, opts.clone()).report.trace);
+        let span8 = analysis_span(&sim_compile(&m, 8, opts).report.trace);
+        assert!(span1 > 0, "no Analyze segments in the trace");
+        assert!(
+            (span8 as f64) < span1 as f64,
+            "analysis span did not shrink: P=1 {span1}, P=8 {span8}"
+        );
+    }
+
+    #[test]
+    fn small_module_sim_and_seq_agree_on_success() {
+        let m = ccm2_workload::generate(&ccm2_workload::GenParams::small("BenchSmoke", 9));
+        let conc = sim_compile(&m, 2, Options::default());
+        assert!(conc.is_ok());
+        assert!(seq_virtual_time(&m) > 0);
+    }
 }

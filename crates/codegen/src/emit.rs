@@ -60,7 +60,12 @@ pub fn gen_procedure(
 
 /// Generates the module-body code unit. Module-level variables live in
 /// the global area, so the unit's frame holds only compiler temporaries.
-pub fn gen_module_body(sema: &Sema, scope: ScopeId, module_name: Symbol, body: &[Stmt]) -> CodeUnit {
+pub fn gen_module_body(
+    sema: &Sema,
+    scope: ScopeId,
+    module_name: Symbol,
+    body: &[Stmt],
+) -> CodeUnit {
     let mut e = Emitter::new(sema, scope, module_name, 0, None);
     e.stmts(body);
     e.emit(Instr::Halt);
@@ -75,9 +80,7 @@ pub fn global_shapes(sema: &Sema, scope: ScopeId) -> Vec<Shape> {
         .entries_sorted()
         .into_iter()
         .filter_map(|e| match e.kind {
-            SymbolKind::Var(v) if v.module.is_some() => {
-                Some((v.slot, shape_of(&sema.types, v.ty)))
-            }
+            SymbolKind::Var(v) if v.module.is_some() => Some((v.slot, shape_of(&sema.types, v.ty))),
             _ => None,
         })
         .collect();
@@ -319,11 +322,7 @@ impl<'a> Emitter<'a> {
                             ) {
                                 self.error(ix_expr.span, "index type mismatch");
                             }
-                            let (lo, hi) = self
-                                .sema
-                                .types
-                                .ordinal_bounds(index)
-                                .unwrap_or((0, -1));
+                            let (lo, hi) = self.sema.types.ordinal_bounds(index).unwrap_or((0, -1));
                             self.emit(Instr::AddrIndex {
                                 lo,
                                 len: hi - lo + 1,
@@ -375,12 +374,16 @@ impl<'a> Emitter<'a> {
         field: ccm2_syntax::ast::Ident,
         span: Span,
     ) -> TypeId {
-        match self.sema.resolver.lookup_qualified(module_scope, field.name) {
+        match self
+            .sema
+            .resolver
+            .lookup_qualified(module_scope, field.name)
+        {
             Some(entry) => match entry.kind {
                 SymbolKind::Var(v) => {
-                    let module = v.module.unwrap_or_else(|| {
-                        self.sema.tables.scope(module_scope).name()
-                    });
+                    let module = v
+                        .module
+                        .unwrap_or_else(|| self.sema.tables.scope(module_scope).name());
                     self.emit(Instr::PushGlobalAddr {
                         module,
                         slot: v.slot,
@@ -550,7 +553,11 @@ impl<'a> Emitter<'a> {
         field: ccm2_syntax::ast::Ident,
         span: Span,
     ) -> TypeId {
-        match self.sema.resolver.lookup_qualified(module_scope, field.name) {
+        match self
+            .sema
+            .resolver
+            .lookup_qualified(module_scope, field.name)
+        {
             Some(entry) => match &entry.kind {
                 SymbolKind::Const { value, ty } => {
                     self.push_const(*value);
@@ -672,8 +679,9 @@ impl<'a> Emitter<'a> {
                 TypeId::INTEGER
             }
             BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                if !types.same_type(lt, rt)
-                    && !(types.assignable(lt, rt) || types.assignable(rt, lt))
+                if !(types.same_type(lt, rt)
+                    || types.assignable(lt, rt)
+                    || types.assignable(rt, lt))
                 {
                     self.error(span, "incomparable operand types");
                 }
@@ -708,7 +716,12 @@ impl<'a> Emitter<'a> {
         }
     }
 
-    fn set_cons(&mut self, of_type: &Option<ccm2_syntax::ast::Ident>, elems: &[SetElem], span: Span) -> TypeId {
+    fn set_cons(
+        &mut self,
+        of_type: &Option<ccm2_syntax::ast::Ident>,
+        elems: &[SetElem],
+        span: Span,
+    ) -> TypeId {
         let set_ty = match of_type {
             None => TypeId::BITSET,
             Some(id) => match self.resolve(id.name) {
@@ -765,14 +778,14 @@ impl<'a> Emitter<'a> {
         match &callee.kind {
             ExprKind::Name(id) => match self.resolve(id.name) {
                 Some(LookupResult::Builtin(BuiltinDef::Proc(b))) => {
-                    return self.builtin_call(b, args, span, as_stmt);
+                    self.builtin_call(b, args, span, as_stmt)
                 }
                 Some(LookupResult::Entry(entry)) => match &entry.kind {
                     SymbolKind::Proc(p) => {
                         let sig = p.sig.clone();
                         let code_name = p.code_name;
                         let level = p.level;
-                        return self.direct_call(code_name, level, &sig, args, span, as_stmt);
+                        self.direct_call(code_name, level, &sig, args, span, as_stmt)
                     }
                     SymbolKind::Var(v) => {
                         let vt = self.sema.types.strip_subrange(v.ty);
@@ -780,11 +793,11 @@ impl<'a> Emitter<'a> {
                             return self.indirect_call(callee, &params, ret, args, span, as_stmt);
                         }
                         self.error(span, "called variable is not a procedure value");
-                        return TypeId::ERROR;
+                        TypeId::ERROR
                     }
                     _ => {
                         self.error(span, "name is not callable");
-                        return TypeId::ERROR;
+                        TypeId::ERROR
                     }
                 },
                 _ => {
@@ -795,7 +808,7 @@ impl<'a> Emitter<'a> {
                             self.sema.interner.resolve(id.name)
                         ),
                     );
-                    return TypeId::ERROR;
+                    TypeId::ERROR
                 }
             },
             ExprKind::Field { base, field } => {
@@ -838,9 +851,7 @@ impl<'a> Emitter<'a> {
 
     fn check_ret_position(&mut self, ret: Option<TypeId>, span: Span, as_stmt: bool) {
         match (ret, as_stmt) {
-            (Some(_), true) => {
-                self.error(span, "function result ignored (call used as statement)")
-            }
+            (Some(_), true) => self.error(span, "function result ignored (call used as statement)"),
             (None, false) => self.error(span, "proper procedure used in an expression"),
             _ => {}
         }
@@ -1015,8 +1026,10 @@ impl<'a> Emitter<'a> {
                 };
                 let st = self.designator_addr(set);
                 let ss = self.sema.types.strip_subrange(st);
-                if !matches!(self.sema.types.get(ss), Type::Bitset | Type::Set { .. } | Type::Error)
-                {
+                if !matches!(
+                    self.sema.types.get(ss),
+                    Type::Bitset | Type::Set { .. } | Type::Error
+                ) {
                     self.error(set.span, "INCL/EXCL need a set variable");
                 }
                 let et = self.expr(elem);
@@ -1039,10 +1052,11 @@ impl<'a> Emitter<'a> {
                     kind: ExprKind::Call {
                         callee: Box::new(Expr {
                             kind: ExprKind::Name(ccm2_syntax::ast::Ident {
-                                name: self
-                                    .sema
-                                    .interner
-                                    .intern(if b == Min { "MIN" } else { "MAX" }),
+                                name: self.sema.interner.intern(if b == Min {
+                                    "MIN"
+                                } else {
+                                    "MAX"
+                                }),
                                 span,
                             }),
                             span,
@@ -1546,20 +1560,28 @@ mod tests {
         let file = map.add("M.mod", src);
         let tokens = lex_file(&file, &interner, &sink);
         let module = parse_implementation(&tokens, &interner, &sink).expect("parses");
-        let scope = sema.tables.new_scope(
-            ScopeKind::MainModule,
-            module.name.name,
-            None,
-            FileId(0),
-        );
+        let scope = sema
+            .tables
+            .new_scope(ScopeKind::MainModule, module.name.name, None, FileId(0));
         let hooks = LocalHooks::new(&sema);
-        let mut queue = declare_decls(&sema, scope, &module.decls, HeadingMode::CopyToChild, &hooks);
+        let mut queue = declare_decls(
+            &sema,
+            scope,
+            &module.decls,
+            HeadingMode::CopyToChild,
+            &hooks,
+        );
         sema.tables.mark_complete(scope);
         let mut all = Vec::new();
         while let Some(p) = queue.pop() {
             if let ccm2_syntax::ast::ProcBody::Local(local) = &p.body {
-                let nested =
-                    declare_decls(&sema, p.scope, &local.decls, HeadingMode::CopyToChild, &hooks);
+                let nested = declare_decls(
+                    &sema,
+                    p.scope,
+                    &local.decls,
+                    HeadingMode::CopyToChild,
+                    &hooks,
+                );
                 sema.tables.mark_complete(p.scope);
                 queue.extend(nested);
                 all.push((p.clone(), local.body.clone()));
@@ -1569,7 +1591,12 @@ mod tests {
         for (p, body) in &all {
             units.push(gen_procedure(&sema, p.scope, p.code_name, &p.sig, body));
         }
-        units.push(gen_module_body(&sema, scope, module.name.name, &module.body));
+        units.push(gen_module_body(
+            &sema,
+            scope,
+            module.name.name,
+            &module.body,
+        ));
         (units, sema, sink)
     }
 
@@ -1592,9 +1619,8 @@ mod tests {
 
     #[test]
     fn short_circuit_and_uses_jumps() {
-        let (units, sema, sink) = emit_module(
-            "MODULE M; VAR p, q, r : BOOLEAN; BEGIN r := p AND q END M.",
-        );
+        let (units, sema, sink) =
+            emit_module("MODULE M; VAR p, q, r : BOOLEAN; BEGIN r := p AND q END M.");
         assert!(!sink.has_errors());
         let u = body_unit(&units, &sema, "M");
         assert!(
@@ -1608,9 +1634,8 @@ mod tests {
 
     #[test]
     fn while_loop_shape() {
-        let (units, sema, sink) = emit_module(
-            "MODULE M; VAR i : INTEGER; BEGIN WHILE i > 0 DO i := i - 1 END END M.",
-        );
+        let (units, sema, sink) =
+            emit_module("MODULE M; VAR i : INTEGER; BEGIN WHILE i > 0 DO i := i - 1 END END M.");
         assert!(!sink.has_errors());
         let u = body_unit(&units, &sema, "M");
         // A backward jump must exist (loop), plus a forward conditional.
@@ -1635,7 +1660,7 @@ mod tests {
         assert_eq!(u.level, 1);
         assert_eq!(u.frame.len(), 2);
         assert!(u.code.iter().any(|i| matches!(i, Instr::ReturnValue)));
-        assert!(u.code.iter().any(|i| *i == Instr::Add));
+        assert!(u.code.contains(&Instr::Add));
     }
 
     #[test]
@@ -1717,9 +1742,8 @@ mod tests {
 
     #[test]
     fn downward_for_uses_cmpge() {
-        let (units, sema, sink) = emit_module(
-            "MODULE M; VAR i : INTEGER; BEGIN FOR i := 10 TO 1 BY -1 DO END END M.",
-        );
+        let (units, sema, sink) =
+            emit_module("MODULE M; VAR i : INTEGER; BEGIN FOR i := 10 TO 1 BY -1 DO END END M.");
         assert!(!sink.has_errors());
         let u = body_unit(&units, &sema, "M");
         assert!(u.code.iter().any(|i| matches!(i, Instr::CmpGe)));
@@ -1762,8 +1786,13 @@ mod tests {
         // Field accesses go through the temp: PushAddr{0,0}, Load,
         // AddrField.
         let pattern = u.code.windows(3).any(|w| {
-            matches!(w[0], Instr::PushAddr { level_up: 0, slot: 0 })
-                && matches!(w[1], Instr::Load)
+            matches!(
+                w[0],
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0
+                }
+            ) && matches!(w[1], Instr::Load)
                 && matches!(w[2], Instr::AddrField(_))
         });
         assert!(pattern, "{:?}", u.code);
@@ -1785,9 +1814,8 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        let (_, _, sink) = emit_module(
-            "MODULE M; VAR b : BOOLEAN; i : INTEGER; BEGIN b := i END M.",
-        );
+        let (_, _, sink) =
+            emit_module("MODULE M; VAR b : BOOLEAN; i : INTEGER; BEGIN b := i END M.");
         assert!(sink.has_errors());
         assert!(sink
             .snapshot()
@@ -1797,9 +1825,7 @@ mod tests {
 
     #[test]
     fn condition_must_be_boolean() {
-        let (_, _, sink) = emit_module(
-            "MODULE M; VAR i : INTEGER; BEGIN IF i THEN END END M.",
-        );
+        let (_, _, sink) = emit_module("MODULE M; VAR i : INTEGER; BEGIN IF i THEN END END M.");
         assert!(sink.has_errors());
         assert!(sink
             .snapshot()
@@ -1833,9 +1859,8 @@ mod tests {
 
     #[test]
     fn global_shapes_follow_slot_order() {
-        let (_, sema, sink) = emit_module(
-            "MODULE M; VAR a : INTEGER; b : REAL; c : BOOLEAN; BEGIN END M.",
-        );
+        let (_, sema, sink) =
+            emit_module("MODULE M; VAR a : INTEGER; b : REAL; c : BOOLEAN; BEGIN END M.");
         assert!(!sink.has_errors());
         // Scope 0 is the module scope created by emit_module.
         let shapes = global_shapes(&sema, ccm2_support::ids::ScopeId(0));

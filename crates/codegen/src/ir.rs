@@ -9,8 +9,8 @@
 //! concurrent) or task interleaving produced it — the property the
 //! equivalence tests check.
 
-use ccm2_support::intern::Symbol;
 use ccm2_sema::builtins::Builtin;
+use ccm2_support::intern::Symbol;
 
 /// Runtime value layout for frame slots and heap cells: enough structure
 /// to zero-initialize variables and allocate `NEW` cells.

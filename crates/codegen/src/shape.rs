@@ -68,10 +68,7 @@ mod tests {
         });
         assert_eq!(
             shape_of(&s, rec),
-            Shape::Record(vec![
-                Shape::Real,
-                Shape::Array(Box::new(Shape::Char), 5)
-            ])
+            Shape::Record(vec![Shape::Real, Shape::Array(Box::new(Shape::Char), 5)])
         );
     }
 
@@ -91,7 +88,9 @@ mod tests {
         let s = TypeStore::new();
         let i = ccm2_support::intern::Interner::new();
         let p = s.add(Type::Pointer { to: TypeId::REAL });
-        let o = s.add(Type::Opaque { name: i.intern("T") });
+        let o = s.add(Type::Opaque {
+            name: i.intern("T"),
+        });
         assert_eq!(shape_of(&s, p), Shape::Ptr);
         assert_eq!(shape_of(&s, o), Shape::Ptr);
     }

@@ -1,8 +1,8 @@
-use std::sync::Arc;
 use ccm2::{compile_concurrent, Options};
 use ccm2_support::defs::DefLibrary;
 use ccm2_support::Interner;
 use ccm2_vm::Vm;
+use std::sync::Arc;
 
 fn main() {
     let mut lib = DefLibrary::new();
@@ -24,12 +24,23 @@ fn main() {
         END Big.";
     let interner = Arc::new(Interner::new());
     // Sequential oracle
-    let seq = ccm2_seq::compile_with(src, &lib, Arc::clone(&interner), Arc::new(ccm2_support::NullMeter), ccm2_sema::declare::HeadingMode::CopyToChild);
+    let seq = ccm2_seq::compile_with(
+        src,
+        &lib,
+        Arc::clone(&interner),
+        Arc::new(ccm2_support::NullMeter),
+        ccm2_sema::declare::HeadingMode::CopyToChild,
+    );
     assert!(seq.is_ok(), "seq: {:?}", seq.diagnostics);
     let seq_img = seq.image.unwrap();
     // Concurrent: threads
     for workers in [1usize, 2, 4] {
-        let out = compile_concurrent(src, Arc::new(lib.clone()), Arc::clone(&interner), Options::threads(workers));
+        let out = compile_concurrent(
+            src,
+            Arc::new(lib.clone()),
+            Arc::clone(&interner),
+            Options::threads(workers),
+        );
         assert!(out.is_ok(), "conc({workers}): {:?}", out.diagnostics);
         let img = out.image.unwrap();
         assert_eq!(img, seq_img, "image mismatch with {workers} workers");
@@ -39,15 +50,34 @@ fn main() {
     // Concurrent: sim, sweep processors, must also be deterministic
     let mut times = vec![];
     for procs in [1u32, 2, 4, 8] {
-        let out = compile_concurrent(src, Arc::new(lib.clone()), Arc::clone(&interner), Options::sim(procs));
+        let out = compile_concurrent(
+            src,
+            Arc::new(lib.clone()),
+            Arc::clone(&interner),
+            Options::sim(procs),
+        );
         assert!(out.is_ok(), "sim({procs}): {:?}", out.diagnostics);
-        assert_eq!(out.image.unwrap(), seq_img, "sim image mismatch at {procs} procs");
+        assert_eq!(
+            out.image.unwrap(),
+            seq_img,
+            "sim image mismatch at {procs} procs"
+        );
         times.push(out.report.virtual_time.unwrap());
     }
     println!("virtual times 1/2/4/8 procs: {:?}", times);
-    println!("speedups: {:?}", times.iter().map(|t| times[0] as f64 / *t as f64).collect::<Vec<_>>());
+    println!(
+        "speedups: {:?}",
+        times
+            .iter()
+            .map(|t| times[0] as f64 / *t as f64)
+            .collect::<Vec<_>>()
+    );
     // Run the compiled program
     let out = Vm::new(interner).run(&seq_img).expect("runs");
-    assert_eq!(out.trim(), "110", "Sum(10)=55 + Fib(10)=55 = 110, got {out:?}");
+    assert_eq!(
+        out.trim(),
+        "110",
+        "Sum(10)=55 + Fib(10)=55 = 110, got {out:?}"
+    );
     println!("EQUIV SMOKE OK");
 }

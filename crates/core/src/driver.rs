@@ -27,25 +27,21 @@ use parking_lot::Mutex;
 
 use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
 use ccm2_codegen::merge::{Merger, ModuleImage};
-use ccm2_sema::declare::{
-    bind_imports, declare_own_params, DeclareHooks, Declarer, HeadingMode,
-};
-use ccm2_sema::stats::LookupStats;
-use ccm2_sema::symtab::{
-    DkyStrategy, DkyWaiter, ProcSig, ScopeKind, SymbolTables, TableNotifier,
-};
-use ccm2_sema::Sema;
 use ccm2_sched::{
-    run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc,
-    TaskKind, WaitSet,
+    run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc, TaskKind,
+    WaitSet,
 };
+use ccm2_sema::declare::{bind_imports, declare_own_params, DeclareHooks, Declarer, HeadingMode};
+use ccm2_sema::stats::LookupStats;
+use ccm2_sema::symtab::{DkyStrategy, DkyWaiter, ProcSig, ScopeKind, SymbolTables, TableNotifier};
+use ccm2_sema::Sema;
 use ccm2_support::defs::DefProvider;
 use ccm2_support::diag::{Diagnostic, DiagnosticSink};
 use ccm2_support::ids::{EventId, ScopeId, StreamId};
 use ccm2_support::intern::{Interner, Symbol};
-use ccm2_support::source::{FileId, SourceMap};
+use ccm2_support::source::{FileId, SourceMap, Span};
 use ccm2_support::work::Work;
-use ccm2_syntax::ast::stmt_count;
+use ccm2_syntax::ast::{stmt_count, Decl, Import, Stmt};
 use ccm2_syntax::lexer::Lexer;
 use ccm2_syntax::parser::{parse_definition_from, StreamingImpl, StreamingProc};
 
@@ -84,6 +80,11 @@ pub struct Options {
     /// parallel per-procedure tasks, but all parsing and declaration
     /// analysis is serial. An ablation, not a recommended mode.
     pub early_split: bool,
+    /// Run the source-level dataflow lints ([`ccm2_analysis`]) as
+    /// per-unit `Analyze` tasks. Off by default; the lint diagnostics
+    /// are byte-identical to the sequential compiler's
+    /// (`ccm2_seq::compile_full` with `analyze = true`).
+    pub analyze: bool,
 }
 
 impl Default for Options {
@@ -94,6 +95,7 @@ impl Default for Options {
             executor: Executor::Threads(2),
             long_proc_threshold: 40,
             early_split: true,
+            analyze: false,
         }
     }
 }
@@ -166,6 +168,7 @@ pub fn compile_concurrent(
 ) -> ConcurrentOutput {
     let source = source.to_string();
     let executor = options.executor.clone();
+    let interner_out = Arc::clone(&interner);
     let driver_cell: Arc<Mutex<Option<Arc<Driver>>>> = Arc::new(Mutex::new(None));
     let dc = Arc::clone(&driver_cell);
     let mk = move |env: Arc<dyn ExecEnv>| {
@@ -174,13 +177,32 @@ pub fn compile_concurrent(
         *dc.lock() = Some(d);
     };
     let report = match executor {
-        Executor::Threads(n) => run_threaded(n, move |sup| {
-            mk(Arc::clone(sup) as Arc<dyn ExecEnv>)
-        }),
+        Executor::Threads(n) => run_threaded(n, move |sup| mk(Arc::clone(sup) as Arc<dyn ExecEnv>)),
         Executor::Sim(cfg) => run_sim(cfg, move |env| mk(Arc::clone(env) as Arc<dyn ExecEnv>)),
     };
-    let driver = driver_cell.lock().take().expect("driver created in setup");
-    driver.finish(report)
+    let taken = driver_cell.lock().take();
+    match taken {
+        Some(driver) => driver.finish(report),
+        // An executor that returns without having run its setup closure
+        // violates the ExecEnv contract; hand the caller a diagnosable
+        // failure rather than unwinding through their stack.
+        None => ConcurrentOutput {
+            image: None,
+            diagnostics: vec![Diagnostic::error(
+                FileId(0),
+                Span { lo: 0, hi: 0 },
+                "internal error: executor finished without running compiler setup",
+            )],
+            stats: Arc::new(LookupStats::new()),
+            interner: interner_out,
+            sources: Arc::new(SourceMap::new()),
+            report,
+            streams: 0,
+            procedures: 0,
+            imported_interfaces: 0,
+            import_nesting_depth: 0,
+        },
+    }
 }
 
 struct DriverState {
@@ -192,6 +214,7 @@ struct DriverState {
     symbol_events: HashMap<(ScopeId, Symbol), EventId>,
     main_scope: Option<ScopeId>,
     main_name: Option<Symbol>,
+    main_imports: Option<(FileId, Vec<Import>)>,
     next_stream: u32,
     procedures: usize,
     max_import_depth: usize,
@@ -209,6 +232,8 @@ struct Driver {
     heading_mode: HeadingMode,
     long_threshold: usize,
     early_split: bool,
+    analyze: bool,
+    hub: ccm2_analysis::AnalysisHub,
     main_scope_event: EventId,
     st: Mutex<DriverState>,
 }
@@ -235,6 +260,8 @@ impl Driver {
             heading_mode: options.heading_mode,
             long_threshold: options.long_proc_threshold,
             early_split: options.early_split,
+            analyze: options.analyze,
+            hub: ccm2_analysis::AnalysisHub::new(),
             main_scope_event,
             st: Mutex::new(DriverState {
                 def_streams: HashMap::new(),
@@ -245,6 +272,7 @@ impl Driver {
                 symbol_events: HashMap::new(),
                 main_scope: None,
                 main_name: None,
+                main_imports: None,
                 next_stream: 0,
                 procedures: 0,
                 max_import_depth: 0,
@@ -260,7 +288,7 @@ impl Driver {
         ));
         sema.tables
             .set_notifier(Arc::clone(&driver) as Arc<dyn TableNotifier>);
-        driver.sema.set(sema).ok().expect("sema set once");
+        assert!(driver.sema.set(sema).is_ok(), "sema set once");
         driver
     }
 
@@ -280,10 +308,9 @@ impl Driver {
             match st.scope_events.get(&scope) {
                 Some(&e) => return e,
                 None => {
-                    let e = self.env.new_event_named(
-                        EventClass::Handled,
-                        &format!("scope#{}", scope.index()),
-                    );
+                    let e = self
+                        .env
+                        .new_event_named(EventClass::Handled, &format!("scope#{}", scope.index()));
                     st.scope_events.insert(scope, e);
                     e
                 }
@@ -470,6 +497,41 @@ impl Driver {
         Some(scope)
     }
 
+    /// Spawns one per-unit `Analyze` task (§2.3.4 priority: after
+    /// statement analysis, before code generation). Analysis tasks are
+    /// pure AST walks: no prereqs and an empty wait-set, so they are
+    /// always stack-eligible for blocked workers.
+    fn spawn_analyze(
+        self: &Arc<Self>,
+        label: String,
+        file: FileId,
+        kind: ccm2_analysis::UnitKind,
+        decls: Vec<Decl>,
+        stmts: Vec<Stmt>,
+    ) {
+        let weight = stmt_count(&stmts) as u64;
+        let this = Arc::clone(self);
+        let mut t = TaskDesc::new(
+            label,
+            TaskKind::Analyze,
+            Box::new(move || {
+                let sema = this.sema();
+                let ua = ccm2_analysis::analyze_unit(
+                    &sema.interner,
+                    file,
+                    kind,
+                    &decls,
+                    &stmts,
+                    &sema.sink,
+                );
+                this.env.charge(Work::Analyze, ua.work);
+                this.hub.absorb(ua.used);
+            }),
+        );
+        t.weight = weight;
+        self.env.spawn(t);
+    }
+
     // ---- task bodies ------------------------------------------------------
 
     fn def_parse(self: &Arc<Self>, name: Symbol, scope: ScopeId, q: Arc<TokenQueue>, depth: usize) {
@@ -537,8 +599,13 @@ impl Driver {
             None if !self.early_split => {
                 // No splitter ran: the parser creates the main scope.
                 let name = streaming.name();
-                DriverHandle(Arc::clone(self))
-                    .main_module_started(name.name, self.sources.get(ccm2_support::source::FileId(0)).map(|f| f.id()).unwrap_or(ccm2_support::source::FileId(0)))
+                DriverHandle(Arc::clone(self)).main_module_started(
+                    name.name,
+                    self.sources
+                        .get(ccm2_support::source::FileId(0))
+                        .map(|f| f.id())
+                        .unwrap_or(ccm2_support::source::FileId(0)),
+                )
             }
             None => {
                 self.env.signal(self.main_scope_event);
@@ -564,9 +631,13 @@ impl Driver {
         // of declaration parts resolves DKY blockages early).
         let hooks = DriverHooks { driver: self };
         let mut declarer = Declarer::new(&sema, scope, self.heading_mode, &hooks);
+        let mut unit_decls: Vec<Decl> = Vec::new();
         while let Some(decls) = streaming.next_decls() {
             for decl in &decls {
                 declarer.declare(decl);
+            }
+            if self.analyze {
+                unit_decls.extend(decls);
             }
         }
         let pending = declarer.finish();
@@ -581,6 +652,19 @@ impl Driver {
             .add_globals(streaming.name().name, global_shapes(&sema, scope));
         let module_name = streaming.name().name;
         let stmts = streaming.finish();
+        // Analysis of the module unit (its own decls + body); the
+        // unused-import check runs in `finish`, over every unit's union.
+        if self.analyze {
+            let file = self.tables().scope(scope).file();
+            self.st.lock().main_imports = Some((file, imports.clone()));
+            self.spawn_analyze(
+                format!("analyze({})", self.interner.resolve(module_name)),
+                file,
+                ccm2_analysis::UnitKind::Module,
+                unit_decls,
+                stmts.clone(),
+            );
+        }
         // Module-body statement analysis + code generation task.
         let weight = stmt_count(&stmts) as u64;
         let this = Arc::clone(self);
@@ -638,6 +722,16 @@ impl Driver {
             sema.tables.mark_complete(p.scope);
             queue.extend(nested);
             let stmts = local.body.clone();
+            if self.analyze {
+                let file = self.tables().scope(p.scope).file();
+                self.spawn_analyze(
+                    format!("analyze({})", self.interner.resolve(p.code_name)),
+                    file,
+                    ccm2_analysis::UnitKind::Procedure,
+                    local.decls.clone(),
+                    stmts.clone(),
+                );
+            }
             let weight = stmt_count(&stmts) as u64;
             let kind = if weight as usize >= self.long_threshold {
                 TaskKind::LongCodeGen
@@ -697,9 +791,13 @@ impl Driver {
         // statement parse tree is built (§3).
         let hooks = DriverHooks { driver: self };
         let mut declarer = Declarer::new(&sema, scope, self.heading_mode, &hooks);
+        let mut unit_decls: Vec<Decl> = Vec::new();
         while let Some(decls) = streaming.next_decls() {
             for decl in &decls {
                 declarer.declare(decl);
+            }
+            if self.analyze {
+                unit_decls.extend(decls);
             }
         }
         declarer.finish();
@@ -721,6 +819,16 @@ impl Driver {
             .collect();
         let this = Arc::clone(self);
         let name_str = self.interner.resolve(code_name);
+        if self.analyze {
+            let file = self.tables().scope(scope).file();
+            self.spawn_analyze(
+                format!("analyze({name_str})"),
+                file,
+                ccm2_analysis::UnitKind::Procedure,
+                unit_decls,
+                stmts.clone(),
+            );
+        }
         let mut t = TaskDesc::new(
             format!("codegen({name_str})"),
             kind,
@@ -743,12 +851,27 @@ impl Driver {
     // ---- finish -------------------------------------------------------------
 
     fn finish(self: &Arc<Self>, report: RunReport) -> ConcurrentOutput {
-        let st = self.st.lock();
+        let mut st = self.st.lock();
         let main_name = st.main_name;
         let procedures = st.procedures;
         let imported_interfaces = st.def_streams.len();
         let import_nesting_depth = st.max_import_depth;
+        let main_imports = st.main_imports.take();
         drop(st);
+        // Unused-import lint: every Analyze task has completed (the run
+        // is over), so the hub holds the full used-name union.
+        if self.analyze {
+            if let Some((file, imports)) = main_imports {
+                let used = self.hub.take_used();
+                ccm2_analysis::check_unused_imports(
+                    &self.interner,
+                    file,
+                    &imports,
+                    &used,
+                    &self.sink,
+                );
+            }
+        }
         let image: Option<ModuleImage> = main_name.map(|name| {
             let mut image = self.merger.finish();
             image.name = name;
@@ -796,7 +919,12 @@ impl StreamFactory for DriverHandle {
         scope
     }
 
-    fn proc_stream(&self, name: Symbol, file: FileId, parent: ScopeId) -> (StreamId, Arc<TokenQueue>) {
+    fn proc_stream(
+        &self,
+        name: Symbol,
+        file: FileId,
+        parent: ScopeId,
+    ) -> (StreamId, Arc<TokenQueue>) {
         let this = &self.0;
         let scope = this
             .tables()
@@ -918,13 +1046,29 @@ struct DriverHooks<'a> {
 
 impl DeclareHooks for DriverHooks<'_> {
     fn scope_for_stream(&self, stream: StreamId) -> ScopeId {
-        self.driver
-            .st
-            .lock()
-            .stream_scopes
-            .get(&stream)
-            .copied()
-            .expect("stream registered by splitter")
+        if let Some(&scope) = self.driver.st.lock().stream_scopes.get(&stream) {
+            return scope;
+        }
+        // A token stream with no registered scope is a splitter bug, but
+        // the worker can survive it: report an internal error and park
+        // the stream's declarations in a detached scope. The scope is
+        // memoized so repeated calls stay consistent.
+        self.driver.sink.report(Diagnostic::error(
+            FileId(0),
+            Span { lo: 0, hi: 0 },
+            format!(
+                "internal error: token stream {} has no registered scope",
+                stream.0
+            ),
+        ));
+        let scope = self.driver.tables().new_scope(
+            ScopeKind::Procedure,
+            self.driver.interner.intern("<unregistered-stream>"),
+            None,
+            FileId(0),
+        );
+        self.driver.st.lock().stream_scopes.insert(stream, scope);
+        scope
     }
 
     fn heading_done(&self, scope: ScopeId, code_name: Symbol, sig: &ProcSig) {

@@ -28,8 +28,7 @@ pub trait ImportSink: Send + Sync {
 pub fn run_importer(input: &dyn SplitInput, depth: usize, sink: &dyn ImportSink) -> usize {
     let mut pos = 0usize;
     let mut inspected = 0usize;
-    loop {
-        let Some(t) = input.get(pos) else { break };
+    while let Some(t) = input.get(pos) {
         pos += 1;
         inspected += 1;
         match t.kind {
@@ -61,8 +60,7 @@ pub fn run_importer(input: &dyn SplitInput, depth: usize, sink: &dyn ImportSink)
                         Some(TokenKind::Ident(_))
                     );
                 if !prev_is_ident {
-                    loop {
-                        let Some(n) = input.get(pos) else { break };
+                    while let Some(n) = input.get(pos) {
                         pos += 1;
                         inspected += 1;
                         match n.kind {
@@ -143,9 +141,7 @@ mod tests {
 
     #[test]
     fn mixed_imports() {
-        let found = scan(
-            "DEFINITION MODULE M; IMPORT X; FROM Y IMPORT a; IMPORT Z; END M.",
-        );
+        let found = scan("DEFINITION MODULE M; IMPORT X; FROM Y IMPORT a; IMPORT Z; END M.");
         assert_eq!(
             found,
             vec![

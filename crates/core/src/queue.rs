@@ -282,7 +282,9 @@ mod tests {
             q.close();
             assert!(q.is_closed());
             assert_eq!(
-                q.try_get(BLOCK_SIZE).expect("sealed by close").map(|t| t.kind),
+                q.try_get(BLOCK_SIZE)
+                    .expect("sealed by close")
+                    .map(|t| t.kind),
                 Some(TokenKind::Int(99))
             );
             assert_eq!(q.try_get(BLOCK_SIZE + 1), Ok(None), "past the end");

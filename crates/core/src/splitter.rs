@@ -167,8 +167,7 @@ pub fn run_splitter(
                 // one.
                 let mut heading = vec![t];
                 let mut paren_depth = 0i64;
-                loop {
-                    let Some(ht) = next(&mut pos) else { break };
+                while let Some(ht) = next(&mut pos) {
                     report.tokens += 1;
                     heading.push(ht);
                     match ht.kind {
@@ -186,9 +185,13 @@ pub fn run_splitter(
                 // "stripped of all embedded streams").
                 let stub_span = heading.last().map(|h| h.span).unwrap_or_default();
                 let stub_file = heading.last().map(|h| h.file).unwrap_or(FileId(0));
+                top.sink.push(Token::new(
+                    TokenKind::ProcStub(stream),
+                    stub_span,
+                    stub_file,
+                ));
                 top.sink
-                    .push(Token::new(TokenKind::ProcStub(stream), stub_span, stub_file));
-                top.sink.push(Token::new(TokenKind::Semi, stub_span, stub_file));
+                    .push(Token::new(TokenKind::Semi, stub_span, stub_file));
                 // The new stream gets the heading then its body tokens.
                 proc_q.extend(heading.iter().copied());
                 let child_scope = factory.scope_for(stream);
@@ -243,10 +246,12 @@ mod tests {
     use ccm2_syntax::lexer::lex_file;
     use parking_lot::Mutex;
 
+    type StreamRecord = (StreamId, Symbol, ScopeId, Arc<TokenQueue>);
+
     struct TestFactory {
         env: Arc<dyn ExecEnv>,
         tables: Arc<ccm2_sema::symtab::SymbolTables>,
-        streams: Mutex<Vec<(StreamId, Symbol, ScopeId, Arc<TokenQueue>)>>,
+        streams: Mutex<Vec<StreamRecord>>,
         scopes: Mutex<std::collections::HashMap<StreamId, ScopeId>>,
         next: std::sync::atomic::AtomicU32,
     }
@@ -262,10 +267,7 @@ mod tests {
             file: FileId,
             parent: ScopeId,
         ) -> (StreamId, Arc<TokenQueue>) {
-            let id = StreamId(
-                self.next
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            );
+            let id = StreamId(self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
             let scope = self.tables.new_scope(
                 ccm2_sema::symtab::ScopeKind::Procedure,
                 name,
@@ -282,12 +284,11 @@ mod tests {
         }
     }
 
+    type SplitResult = (Vec<TokenKind>, Vec<(String, Vec<TokenKind>)>);
 
-
-    fn split_source(src: &str) -> (Vec<TokenKind>, Vec<(String, Vec<TokenKind>)>) {
+    fn split_source(src: &str) -> SplitResult {
         let interner = Arc::new(Interner::new());
-        let out: Arc<Mutex<(Vec<TokenKind>, Vec<(String, Vec<TokenKind>)>)>> =
-            Arc::new(Mutex::new((vec![], vec![])));
+        let out: Arc<Mutex<SplitResult>> = Arc::new(Mutex::new((vec![], vec![])));
         let out2 = Arc::clone(&out);
         let interner2 = Arc::clone(&interner);
         let src = src.to_string();
@@ -363,9 +364,8 @@ mod tests {
 
     #[test]
     fn procedure_extracted_with_stub() {
-        let (main, procs) = split_source(
-            "MODULE M; PROCEDURE P(a : INTEGER); BEGIN a := 1 END P; BEGIN END M.",
-        );
+        let (main, procs) =
+            split_source("MODULE M; PROCEDURE P(a : INTEGER); BEGIN a := 1 END P; BEGIN END M.");
         assert_eq!(procs.len(), 1);
         let (name, toks) = &procs[0];
         assert_eq!(name, "P");

@@ -41,7 +41,12 @@ impl StreamFactory for CollectFactory {
         self.tables
             .new_scope(ScopeKind::MainModule, name, None, file)
     }
-    fn proc_stream(&self, name: Symbol, file: FileId, parent: ScopeId) -> (StreamId, Arc<TokenQueue>) {
+    fn proc_stream(
+        &self,
+        name: Symbol,
+        file: FileId,
+        parent: ScopeId,
+    ) -> (StreamId, Arc<TokenQueue>) {
         let id = StreamId(self.next.fetch_add(1, Ordering::Relaxed));
         let scope = self
             .tables
@@ -66,11 +71,16 @@ fn drain(q: &TokenQueue) -> Vec<TokenKind> {
     out
 }
 
+type SplitStreams = (
+    Vec<TokenKind>,
+    HashMap<StreamId, Vec<TokenKind>>,
+    Vec<TokenKind>,
+);
+
 /// Splits `src`, returning (main stream kinds, proc stream kinds by id).
-fn split(src: &str) -> (Vec<TokenKind>, HashMap<StreamId, Vec<TokenKind>>, Vec<TokenKind>) {
+fn split(src: &str) -> SplitStreams {
     let interner = Arc::new(Interner::new());
-    let result: Arc<Mutex<(Vec<TokenKind>, HashMap<StreamId, Vec<TokenKind>>, Vec<TokenKind>)>> =
-        Arc::new(Mutex::new((vec![], HashMap::new(), vec![])));
+    let result: Arc<Mutex<SplitStreams>> = Arc::new(Mutex::new((vec![], HashMap::new(), vec![])));
     let r2 = Arc::clone(&result);
     let src = src.to_string();
     run_threaded(1, move |sup| {
@@ -247,6 +257,7 @@ fn reconstructs_generated_modules() {
             import_depth: 0,
             stmts_per_proc: 14,
             nested_ratio: 0.3,
+            lint_seeds: false,
         });
         assert_reconstructs(&m.source);
     }
@@ -262,6 +273,7 @@ fn reconstructs_large_generated_module() {
         import_depth: 0,
         stmts_per_proc: 25,
         nested_ratio: 0.2,
+        lint_seeds: false,
     });
     assert_reconstructs(&m.source);
 }

@@ -37,6 +37,7 @@ pub mod sim;
 pub mod task;
 pub mod threaded;
 pub mod trace;
+pub mod wfg;
 
 use ccm2_support::ids::EventId;
 use ccm2_support::work::{Work, WorkMeter};
@@ -45,6 +46,7 @@ pub use sim::{run_sim, SimConfig, SimEnv};
 pub use task::{TaskDesc, TaskKind, WaitSet};
 pub use threaded::{run_threaded, ThreadedSupervisor};
 pub use trace::{render_watchtool, Segment, Trace};
+pub use wfg::WaitForGraph;
 
 /// The three event categories of paper §2.3.3.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -126,7 +128,7 @@ pub struct RunReport {
     /// Number of tasks completed.
     pub tasks_run: usize,
     /// Total units charged per [`Work`] kind.
-    pub charges: [u64; 10],
+    pub charges: [u64; Work::COUNT],
 }
 
 impl RunReport {
@@ -162,7 +164,7 @@ mod tests {
             wall_micros: 7,
             trace: Trace::default(),
             tasks_run: 0,
-            charges: [0; 10],
+            charges: [0; Work::COUNT],
         };
         assert_eq!(r.duration(), 42);
     }

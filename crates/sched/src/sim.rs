@@ -39,7 +39,7 @@ pub struct SimConfig {
     /// Per-unit cost multiplier for each [`Work`] kind (indexed by the
     /// enum's discriminant order). 1.0 means one charged unit = one
     /// virtual time unit.
-    pub cost: [f64; 10],
+    pub cost: [f64; Work::COUNT],
     /// Memory-bus contention: each unit is multiplied by
     /// `1 + contention_alpha × (busy − 1)` where `busy` is the number of
     /// processors executing at charge time (Firefly bus saturation).
@@ -61,7 +61,7 @@ impl SimConfig {
     pub fn new(procs: u32) -> SimConfig {
         SimConfig {
             procs,
-            cost: [1.0; 10],
+            cost: [1.0; Work::COUNT],
             contention_alpha: 0.0,
             dispatch_cost: 0,
             reschedule_blocked: true,
@@ -76,11 +76,12 @@ impl SimConfig {
     /// Firefly's memory-bus saturation and fixed processor priorities
     /// (§4.1), which the paper cites as the cause of sub-linear speedup.
     /// Cost index order follows [`Work::ALL`]: Lex, Split, Import, Parse,
-    /// DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead.
+    /// DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead,
+    /// Analyze.
     pub fn firefly(procs: u32) -> SimConfig {
         SimConfig {
             procs,
-            cost: [0.05, 0.015, 0.01, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0],
+            cost: [0.05, 0.015, 0.01, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2],
             contention_alpha: 0.03,
             dispatch_cost: 6,
             reschedule_blocked: true,
@@ -95,7 +96,7 @@ const CHARGE_QUANTUM: u64 = 256;
 
 enum Action {
     /// Accumulated charge per work kind.
-    Charge([u64; 10]),
+    Charge([u64; Work::COUNT]),
     /// Wait on an event, with an optional co-signaler hint (see
     /// [`crate::ExecEnv::wait_hinted`]).
     Wait(EventId, Option<EventId>),
@@ -132,6 +133,8 @@ struct SimTask {
 struct EvState {
     class: EventClass,
     signaled: bool,
+    /// Display name for deadlock diagnostics (empty → `event#N`).
+    name: String,
 }
 
 /// State shared between the controller and task threads (only one of
@@ -156,7 +159,7 @@ struct SimTaskCtx {
     resume_rx: Receiver<()>,
     pending_signals: Vec<EventId>,
     pending_spawns: Vec<TaskDesc>,
-    pending_charge: [u64; 10],
+    pending_charge: [u64; Work::COUNT],
     pending_total: u64,
 }
 
@@ -184,11 +187,16 @@ impl SimTaskCtx {
 
 impl ExecEnv for SimEnv {
     fn new_event(&self, class: EventClass) -> EventId {
+        self.new_event_named(class, "")
+    }
+
+    fn new_event_named(&self, class: EventClass, name: &str) -> EventId {
         let mut sh = self.shared.lock();
         let id = EventId(sh.events.len() as u32);
         sh.events.push(EvState {
             class,
             signaled: false,
+            name: name.to_string(),
         });
         id
     }
@@ -326,7 +334,7 @@ struct Controller {
     seq: u64,
     outstanding: usize,
     trace: Trace,
-    charges: [u64; 10],
+    charges: [u64; Work::COUNT],
     tasks_run: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -351,7 +359,7 @@ impl Controller {
             seq: 0,
             outstanding: 0,
             trace: Trace::default(),
-            charges: [0; 10],
+            charges: [0; Work::COUNT],
             tasks_run: 0,
             handles: Vec::new(),
         }
@@ -449,7 +457,7 @@ impl Controller {
                             resume_rx,
                             pending_signals: Vec::new(),
                             pending_spawns: Vec::new(),
-                            pending_charge: [0; 10],
+                            pending_charge: [0; Work::COUNT],
                             pending_total: 0,
                         })
                     });
@@ -601,10 +609,7 @@ impl Controller {
                 if self.outstanding == 0 {
                     break;
                 }
-                panic!(
-                    "virtual-time deadlock: {} tasks outstanding, none runnable",
-                    self.outstanding
-                );
+                panic!("virtual-time deadlock: {}", self.deadlock_report());
             };
 
             // 3. Step it.
@@ -684,6 +689,52 @@ impl Controller {
         }
     }
 
+    /// Renders the wait-for graph of the wedged state: suspended tasks
+    /// (with their awaited event and co-signaler hint), gated pending
+    /// tasks, and every unfinished task's declared signals. Names the
+    /// cycle when one exists; otherwise lists the blocked tasks (a
+    /// scheduling wedge — e.g. runnable resolvers that no processor is
+    /// eligible to take).
+    fn deadlock_report(&self) -> String {
+        let mut g = crate::wfg::WaitForGraph::new();
+        {
+            let sh = self.env.shared.lock();
+            for (ix, ev) in sh.events.iter().enumerate() {
+                g.name_event(EventId(ix as u32), &ev.name);
+            }
+        }
+        for proc in &self.procs {
+            for &(t, e, hint) in &proc.stack {
+                let mut awaits = vec![e];
+                if let Some(h) = hint {
+                    awaits.push(h);
+                }
+                g.add_waiter(self.tasks[t].name.clone(), awaits);
+            }
+        }
+        for pend in &self.pending {
+            g.add_waiter(self.tasks[pend.task_ix].name.clone(), pend.prereqs.clone());
+        }
+        for task in &self.tasks {
+            if !matches!(task.state, TaskState::Done) {
+                for &e in &task.signals {
+                    g.add_signaler(e, task.name.clone());
+                }
+            }
+        }
+        match g.find_cycle() {
+            Some(cycle) => format!(
+                "{} tasks outstanding, none runnable; wait-for cycle: {cycle}",
+                self.outstanding
+            ),
+            None => format!(
+                "{} tasks outstanding, none runnable; no wait-for cycle (scheduling wedge); blocked: {}",
+                self.outstanding,
+                g.describe_waiters()
+            ),
+        }
+    }
+
     fn record_segment(&mut self, p: usize, task_ix: usize, start: u64) {
         let end = self.procs[p].clock;
         if end <= start {
@@ -737,7 +788,13 @@ mod tests {
             for i in 0..4 {
                 spawn_prestart(
                     env,
-                    charge_task(env, &format!("t{i}"), TaskKind::ShortCodeGen, 100, Arc::clone(&counter)),
+                    charge_task(
+                        env,
+                        &format!("t{i}"),
+                        TaskKind::ShortCodeGen,
+                        100,
+                        Arc::clone(&counter),
+                    ),
                 );
             }
         });
@@ -752,7 +809,13 @@ mod tests {
             for i in 0..4 {
                 spawn_prestart(
                     env,
-                    charge_task(env, &format!("t{i}"), TaskKind::ShortCodeGen, 100, Arc::clone(&counter)),
+                    charge_task(
+                        env,
+                        &format!("t{i}"),
+                        TaskKind::ShortCodeGen,
+                        100,
+                        Arc::clone(&counter),
+                    ),
                 );
             }
         });
@@ -1102,6 +1165,48 @@ mod ablation_tests {
             *order.lock(),
             vec!["producer-signals", "consumer-after-barrier"]
         );
+    }
+
+    /// An injected event cycle is reported as a *named* wait-for cycle:
+    /// the simulator is deterministic, so the whole rendering is exact.
+    #[test]
+    #[should_panic(expected = "wait-for cycle: A -[needs-B]-> B -[needs-A]-> A")]
+    fn injected_event_cycle_is_named_in_the_panic() {
+        run_sim(SimConfig::new(2), |env| {
+            let ea = env.new_event_named(EventClass::Handled, "needs-A");
+            let eb = env.new_event_named(EventClass::Handled, "needs-B");
+            for (name, my, other) in [("A", ea, eb), ("B", eb, ea)] {
+                let env2 = Arc::clone(env);
+                let mut t = TaskDesc::new(
+                    name,
+                    TaskKind::ProcParse,
+                    Box::new(move || {
+                        env2.wait(other);
+                        env2.signal(my);
+                    }),
+                );
+                t.signals = vec![my];
+                t.may_wait = WaitSet {
+                    events: vec![other],
+                    all_def_scopes: false,
+                    any_barrier: false,
+                };
+                spawn_prestart(env, t);
+            }
+        });
+    }
+
+    /// A gated task whose avoided prereq nobody signals: no cycle, but
+    /// the wedge report names the blocked task and the event it awaits.
+    #[test]
+    #[should_panic(expected = "gated awaits [never-signaled]")]
+    fn unsignaled_gate_names_the_blocked_task() {
+        run_sim(SimConfig::new(1), |env| {
+            let gate = env.new_event_named(EventClass::Avoided, "never-signaled");
+            let mut t = TaskDesc::new("gated", TaskKind::Lexor, Box::new(|| {}));
+            t.prereqs = vec![gate];
+            spawn_prestart(env, t);
+        });
     }
 
     /// The hint mechanism works in the simulator too.

@@ -30,9 +30,12 @@ pub enum TaskKind {
     ModuleParse,
     /// 6. Procedure parser / declarations-analyzer tasks.
     ProcParse,
-    /// 7. Long procedure statement-analyzer / code-generator tasks.
+    /// 7. Source-level dataflow-analysis (lint) tasks: between statement
+    ///    analysis and code generation in the §2.3.4 queue order.
+    Analyze,
+    /// 8. Long procedure statement-analyzer / code-generator tasks.
     LongCodeGen,
-    /// 8. Short procedure statement-analyzer / code-generator tasks.
+    /// 9. Short procedure statement-analyzer / code-generator tasks.
     ShortCodeGen,
     /// The merge task (tiny; lowest priority).
     Merge,
@@ -40,13 +43,14 @@ pub enum TaskKind {
 
 impl TaskKind {
     /// All kinds in priority order.
-    pub const ALL: [TaskKind; 9] = [
+    pub const ALL: [TaskKind; 10] = [
         TaskKind::Lexor,
         TaskKind::Splitter,
         TaskKind::Importer,
         TaskKind::DefModParse,
         TaskKind::ModuleParse,
         TaskKind::ProcParse,
+        TaskKind::Analyze,
         TaskKind::LongCodeGen,
         TaskKind::ShortCodeGen,
         TaskKind::Merge,
@@ -54,7 +58,10 @@ impl TaskKind {
 
     /// Queue rank (0 = highest priority).
     pub fn rank(&self) -> usize {
-        Self::ALL.iter().position(|k| k == self).expect("known kind")
+        Self::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("known kind")
     }
 
     /// Short label for traces (WatchTool rendering).
@@ -66,6 +73,7 @@ impl TaskKind {
             TaskKind::DefModParse => "defparse",
             TaskKind::ModuleParse => "modparse",
             TaskKind::ProcParse => "procparse",
+            TaskKind::Analyze => "analyze",
             TaskKind::LongCodeGen => "codegen+",
             TaskKind::ShortCodeGen => "codegen",
             TaskKind::Merge => "merge",
@@ -181,7 +189,8 @@ mod tests {
         assert!(TaskKind::Importer.rank() < TaskKind::DefModParse.rank());
         assert!(TaskKind::DefModParse.rank() < TaskKind::ModuleParse.rank());
         assert!(TaskKind::ModuleParse.rank() < TaskKind::ProcParse.rank());
-        assert!(TaskKind::ProcParse.rank() < TaskKind::LongCodeGen.rank());
+        assert!(TaskKind::ProcParse.rank() < TaskKind::Analyze.rank());
+        assert!(TaskKind::Analyze.rank() < TaskKind::LongCodeGen.rank());
         assert!(TaskKind::LongCodeGen.rank() < TaskKind::ShortCodeGen.rank());
     }
 

@@ -56,6 +56,16 @@ struct EventState {
     name: String,
 }
 
+/// One task suspended inside `wait()`: what it awaits (plus the
+/// co-signaler hint, if any) and what it declared it would signal.
+/// Feeds the wait-for-graph deadlock diagnosis.
+struct WaitFrame {
+    task: String,
+    awaited: EventId,
+    hint: Option<EventId>,
+    signals: Vec<EventId>,
+}
+
 struct SupState {
     ready: BTreeMap<PrioKey, ReadyTask>,
     pending: Vec<PendingTask>,
@@ -65,9 +75,12 @@ struct SupState {
     parked: usize,
     done: bool,
     deadlocked: bool,
-    /// worker index -> (task names on its stack, awaited event) for
-    /// workers currently parked inside wait() (diagnostics only).
-    blocked: std::collections::HashMap<u32, (Vec<String>, EventId)>,
+    /// worker index -> awaited event for workers currently parked inside
+    /// wait() (the mid-wakeup guard of the deadlock check).
+    blocked: std::collections::HashMap<u32, EventId>,
+    /// worker index -> every wait() the worker currently has open
+    /// (bottom to top: nested tasks stack further frames).
+    wait_frames: std::collections::HashMap<u32, Vec<WaitFrame>>,
 }
 
 /// The threaded Supervisors executor.
@@ -77,7 +90,7 @@ pub struct ThreadedSupervisor {
     workers: usize,
     start: Instant,
     trace: Mutex<Trace>,
-    charges: [AtomicU64; 10],
+    charges: [AtomicU64; Work::COUNT],
     tasks_run: AtomicU64,
 }
 
@@ -108,6 +121,7 @@ impl ThreadedSupervisor {
                 done: false,
                 deadlocked: false,
                 blocked: std::collections::HashMap::new(),
+                wait_frames: std::collections::HashMap::new(),
             }),
             cv: Condvar::new(),
             workers,
@@ -145,6 +159,21 @@ impl ThreadedSupervisor {
                         return;
                     }
                     st.parked += 1;
+                    // Tasks remain but there is nothing to run: if every
+                    // other worker is parked too, this would previously
+                    // hang silently (only the wait() park path checked).
+                    if let Some(report) = self.check_deadlock_locked(&st) {
+                        st.deadlocked = true;
+                        st.parked -= 1;
+                        let outstanding = st.outstanding;
+                        drop(st);
+                        self.cv.notify_all();
+                        panic!(
+                            "supervisor deadlock: all workers blocked (this \
+                             worker idle); {outstanding} tasks outstanding; \
+                             {report}"
+                        );
+                    }
                     self.cv.wait(&mut st);
                     st.parked -= 1;
                 }
@@ -213,6 +242,58 @@ impl ThreadedSupervisor {
         }
     }
 
+    /// Decides — with the caller already counted in `st.parked` — whether
+    /// the run is wedged: every worker parked, nothing runnable, and no
+    /// parked worker's awaited event signaled (a signaled one is merely
+    /// mid-wakeup: notified but not yet re-holding the lock). Returns the
+    /// wait-for-graph diagnosis when it is. Assumes the paper's model
+    /// that only tasks signal events once the run has started.
+    fn check_deadlock_locked(&self, st: &SupState) -> Option<String> {
+        let stuck = st.parked == self.workers
+            && st.ready.is_empty()
+            && st.outstanding > 0
+            && st.blocked.values().all(|e| !st.events[e.index()].signaled);
+        if !stuck {
+            return None;
+        }
+        let mut g = crate::wfg::WaitForGraph::new();
+        for (ix, ev) in st.events.iter().enumerate() {
+            g.name_event(EventId(ix as u32), &ev.name);
+        }
+        let mut workers: Vec<&u32> = st.wait_frames.keys().collect();
+        workers.sort();
+        for wix in workers {
+            for f in &st.wait_frames[wix] {
+                let mut awaits = vec![f.awaited];
+                if let Some(h) = f.hint {
+                    awaits.push(h);
+                }
+                g.add_waiter(f.task.clone(), awaits);
+                for &e in &f.signals {
+                    g.add_signaler(e, f.task.clone());
+                }
+            }
+        }
+        for p in &st.pending {
+            g.add_waiter(p.task.name.clone(), p.prereqs.clone());
+            for &e in &p.task.signals {
+                g.add_signaler(e, p.task.name.clone());
+            }
+        }
+        for t in st.ready.values() {
+            for &e in &t.signals {
+                g.add_signaler(e, t.name.clone());
+            }
+        }
+        Some(match g.find_cycle() {
+            Some(cycle) => format!("wait-for cycle: {cycle}"),
+            None => format!(
+                "no wait-for cycle (scheduling wedge); blocked: {}",
+                g.describe_waiters()
+            ),
+        })
+    }
+
     /// Pops the best ready task this worker may nest while blocked on
     /// `awaited` (prefers the task that signals `awaited` or the hint).
     fn pop_eligible(
@@ -246,9 +327,7 @@ impl ThreadedSupervisor {
         // hinted co-resolving event).
         let mut chosen: Option<PrioKey> = None;
         for (key, t) in st.ready.iter() {
-            if t.signals.contains(&awaited)
-                || hint.is_some_and(|h| t.signals.contains(&h))
-            {
+            if t.signals.contains(&awaited) || hint.is_some_and(|h| t.signals.contains(&h)) {
                 chosen = Some(*key);
                 break;
             }
@@ -316,9 +395,34 @@ impl ExecEnv for ThreadedSupervisor {
             }
             return;
         }
+        // Record this wait in the worker's frame stack (wait-for-graph
+        // input): the current task is the top of the worker's task stack.
+        let (wix, task_name, task_signals) = WORKER.with(|w| {
+            let b = w.borrow();
+            let ctx = b.as_ref().expect("worker ctx");
+            let (name, sigs) = match ctx.stack.last() {
+                Some((n, s, ..)) => (n.clone(), s.clone()),
+                None => ("<worker>".to_string(), Vec::new()),
+            };
+            (ctx.index, name, sigs)
+        });
+        self.state
+            .lock()
+            .wait_frames
+            .entry(wix)
+            .or_default()
+            .push(WaitFrame {
+                task: task_name,
+                awaited: event,
+                hint: signaler_hint,
+                signals: task_signals,
+            });
         loop {
             let mut st = self.state.lock();
             if st.events[event.index()].signaled || st.deadlocked {
+                if let Some(frames) = st.wait_frames.get_mut(&wix) {
+                    frames.pop();
+                }
                 return;
             }
             let class = st.events[event.index()].class;
@@ -338,80 +442,26 @@ impl ExecEnv for ThreadedSupervisor {
                     this.run_task(task);
                 }
                 None => {
-                    let (wix, stack_names) = WORKER.with(|w| {
-                        let b = w.borrow();
-                        let ctx = b.as_ref().expect("worker ctx");
-                        (
-                            ctx.index,
-                            ctx.stack.iter().map(|(n, ..)| n.clone()).collect::<Vec<_>>(),
-                        )
-                    });
-                    st.blocked.insert(wix, (stack_names, event));
+                    st.blocked.insert(wix, event);
                     st.parked += 1;
-                    // Deadlock iff every worker is parked, nothing is
-                    // runnable, and no parked worker's awaited event has
-                    // been signaled (a signaled one is merely mid-wakeup:
-                    // notified but not yet re-holding the lock).
-                    let truly_stuck = st.parked == self.workers
-                        && st.ready.is_empty()
-                        && st
-                            .blocked
-                            .values()
-                            .all(|(_, e)| !st.events[e.index()].signaled);
-                    if truly_stuck {
+                    if let Some(report) = self.check_deadlock_locked(&st) {
                         // Every worker is parked with nothing runnable:
                         // a genuine scheduling deadlock. Surface loudly.
                         st.deadlocked = true;
                         st.parked -= 1;
                         let outstanding = st.outstanding;
-                        let blocked: Vec<(u32, Vec<String>, String)> = st
-                            .blocked
-                            .iter()
-                            .map(|(&w, (names, e))| {
-                                (
-                                    w,
-                                    names.clone(),
-                                    format!("{e:?} ({})", st.events[e.index()].name),
-                                )
-                            })
-                            .collect();
-                        let awaited =
-                            format!("{event:?} ({})", st.events[event.index()].name);
-                        let pending: Vec<(String, Vec<String>)> = st
-                            .pending
-                            .iter()
-                            .map(|p| {
-                                (
-                                    p.task.name.clone(),
-                                    p.prereqs
-                                        .iter()
-                                        .map(|e| {
-                                            format!(
-                                                "{e:?} ({})",
-                                                st.events[e.index()].name
-                                            )
-                                        })
-                                        .collect(),
-                                )
-                            })
-                            .collect();
+                        let awaited = format!("{event:?} ({})", st.events[event.index()].name);
                         drop(st);
                         self.cv.notify_all();
                         panic!(
                             "supervisor deadlock: all workers blocked \
                              (this worker on {awaited}); {outstanding} tasks \
-                             outstanding; other blocked workers: {blocked:?}; \
-                             pending (gated) tasks: {pending:?}"
+                             outstanding; {report}"
                         );
                     }
                     self.cv.wait(&mut st);
                     st.parked -= 1;
-                    let wix = WORKER.with(|w| {
-                        w.borrow().as_ref().map(|c| c.index)
-                    });
-                    if let Some(wix) = wix {
-                        st.blocked.remove(&wix);
-                    }
+                    st.blocked.remove(&wix);
                 }
             }
         }
@@ -471,13 +521,13 @@ thread_local! {
 ///
 /// # Panics
 ///
-/// Panics (in a worker) if the task graph deadlocks — all workers blocked
-/// with nothing runnable. Correct compiler task graphs never do; the
-/// scheduler tests exercise the detector directly.
-pub fn run_threaded(
-    workers: usize,
-    setup: impl FnOnce(&Arc<ThreadedSupervisor>),
-) -> RunReport {
+/// Panics if the task graph deadlocks — all workers blocked or idle with
+/// nothing runnable. The detecting worker builds a wait-for graph
+/// ([`crate::wfg`]) and the panic names the cycle when one exists; the
+/// payload is re-raised on the calling thread. Correct compiler task
+/// graphs never deadlock; the scheduler tests exercise the detector
+/// directly.
+pub fn run_threaded(workers: usize, setup: impl FnOnce(&Arc<ThreadedSupervisor>)) -> RunReport {
     assert!(workers >= 1, "need at least one worker");
     let sup = Arc::new(ThreadedSupervisor::new(workers));
     setup(&sup);
@@ -496,17 +546,19 @@ pub fn run_threaded(
                 .expect("spawn worker"),
         );
     }
-    let mut panicked = false;
+    let mut panic_payload = None;
     for h in handles {
-        if h.join().is_err() {
-            panicked = true;
+        if let Err(payload) = h.join() {
+            panic_payload.get_or_insert(payload);
         }
     }
-    if panicked {
-        panic!("a compiler worker panicked (see stderr)");
+    if let Some(payload) = panic_payload {
+        // Re-raise with the worker's own payload so the deadlock
+        // diagnosis (or compiler bug) reaches the caller verbatim.
+        std::panic::resume_unwind(payload);
     }
     let trace = sup.trace.lock().clone();
-    let mut charges = [0u64; 10];
+    let mut charges = [0u64; Work::COUNT];
     for (ix, c) in sup.charges.iter().enumerate() {
         charges[ix] = c.load(Ordering::Relaxed);
     }
@@ -604,10 +656,7 @@ mod tests {
             signaler.signals = vec![e];
             sup.spawn(signaler);
         });
-        assert_eq!(
-            *order.lock(),
-            vec!["waiter-pre", "signaler", "waiter-post"]
-        );
+        assert_eq!(*order.lock(), vec!["waiter-pre", "signaler", "waiter-post"]);
     }
 
     #[test]
@@ -679,11 +728,7 @@ mod tests {
                 ("lexor", TaskKind::Lexor),
             ] {
                 let o = Arc::clone(&order);
-                let mut t = TaskDesc::new(
-                    name,
-                    kind,
-                    Box::new(move || o.lock().push(name)),
-                );
+                let mut t = TaskDesc::new(name, kind, Box::new(move || o.lock().push(name)));
                 t.prereqs = vec![gate];
                 sup.spawn(t);
             }
@@ -819,10 +864,7 @@ mod hint_tests {
             };
             sup.spawn(resolver);
         });
-        assert_eq!(
-            *order.lock(),
-            vec!["waiter-pre", "resolver", "waiter-post"]
-        );
+        assert_eq!(*order.lock(), vec!["waiter-pre", "resolver", "waiter-post"]);
     }
 
     /// Regression: the deadlock detector must not fire while another
@@ -859,6 +901,50 @@ mod hint_tests {
             });
             assert_eq!(done.load(AtomicOrdering::Relaxed), 2);
         }
+    }
+
+    /// Injected event cycle — A awaits what only B signals and vice
+    /// versa: diagnosed with a named wait-for cycle instead of hanging,
+    /// and the diagnosis propagates to the `run_threaded` caller.
+    #[test]
+    #[should_panic(expected = "wait-for cycle")]
+    fn injected_event_cycle_is_diagnosed_not_hung() {
+        run_threaded(2, |sup| {
+            let ea = sup.new_event_named(EventClass::Handled, "needs-A");
+            let eb = sup.new_event_named(EventClass::Handled, "needs-B");
+            for (name, my, other) in [("A", ea, eb), ("B", eb, ea)] {
+                let sup2 = Arc::clone(sup);
+                let mut t = TaskDesc::new(
+                    name,
+                    TaskKind::ProcParse,
+                    Box::new(move || {
+                        sup2.wait(other);
+                        sup2.signal(my);
+                    }),
+                );
+                t.signals = vec![my];
+                t.may_wait = WaitSet {
+                    events: vec![other],
+                    all_def_scopes: false,
+                    any_barrier: false,
+                };
+                sup.spawn(t);
+            }
+        });
+    }
+
+    /// A task gated on an avoided event that no live task signals used
+    /// to park every worker silently — the idle-park path had no
+    /// detector at all.
+    #[test]
+    #[should_panic(expected = "supervisor deadlock")]
+    fn unsignaled_gate_is_diagnosed_not_hung() {
+        run_threaded(2, |sup| {
+            let gate = sup.new_event_named(EventClass::Avoided, "never-signaled");
+            let mut t = TaskDesc::new("gated", TaskKind::Lexor, Box::new(|| {}));
+            t.prereqs = vec![gate];
+            sup.spawn(t);
+        });
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn shade(kind: TaskKind) -> char {
         TaskKind::DefModParse => 'd',
         TaskKind::ModuleParse => 'm',
         TaskKind::ProcParse => 'p',
+        TaskKind::Analyze => 'a',
         TaskKind::LongCodeGen => '#',
         TaskKind::ShortCodeGen => '#',
         TaskKind::Merge => 'g',
@@ -88,8 +89,9 @@ pub fn render_watchtool(trace: &Trace, procs: u32, width: usize) -> String {
         }
         let c0 = (s.start as u128 * width as u128 / span as u128) as usize;
         let c1 = ((s.end as u128 * width as u128).div_ceil(span as u128) as usize).min(width);
-        for c in c0..c1.max(c0 + 1).min(width) {
-            rows[s.proc as usize][c] = shade(s.kind);
+        let hi = c1.max(c0 + 1).min(width);
+        for cell in &mut rows[s.proc as usize][c0..hi] {
+            *cell = shade(s.kind);
         }
     }
     let mut out = String::new();
@@ -99,7 +101,7 @@ pub fn render_watchtool(trace: &Trace, procs: u32, width: usize) -> String {
         out.push_str("|\n");
     }
     out.push_str(&format!(
-        "    time 0..{span} ({} segments)  legend: L=lex S=split i=import d=defparse m=modparse p=procparse #=codegen g=merge .=idle\n",
+        "    time 0..{span} ({} segments)  legend: L=lex S=split i=import d=defparse m=modparse p=procparse a=analyze #=codegen g=merge .=idle\n",
         trace.segments.len()
     ));
     out
@@ -137,7 +139,10 @@ mod tests {
     #[test]
     fn watchtool_renders_rows() {
         let t = Trace {
-            segments: vec![seg(0, TaskKind::Lexor, 0, 50), seg(1, TaskKind::ShortCodeGen, 50, 100)],
+            segments: vec![
+                seg(0, TaskKind::Lexor, 0, 50),
+                seg(1, TaskKind::ShortCodeGen, 50, 100),
+            ],
         };
         let art = render_watchtool(&t, 2, 20);
         let lines: Vec<&str> = art.lines().collect();

@@ -1,0 +1,243 @@
+//! Wait-for-graph deadlock diagnosis.
+//!
+//! When an executor's runnable queue drains while blocked tasks remain,
+//! the run would hang (threaded) or stall forever at a fixed virtual
+//! time (simulator). Both executors instead build a *wait-for graph* —
+//! blocked task → awaited event → declared signaler — and, when the
+//! graph contains a cycle, panic with the cycle spelled out:
+//!
+//! ```text
+//! procparse(P) -[heading(Q)]-> procparse(Q) -[scope#3]-> procparse(P)
+//! ```
+//!
+//! Nodes are the *blocked* tasks (suspended mid-`wait`, or gated on
+//! unsatisfied avoided prereqs). An edge `A -[e]-> B` means A awaits
+//! event `e` and B is a blocked task that declared it would signal `e`
+//! (or its co-signaler hint, see [`crate::ExecEnv::wait_hinted`]).
+//! Signalers that are still runnable are *not* nodes: they can make
+//! progress, so a path through them is a scheduling wedge rather than a
+//! true cycle — the no-cycle case, which the executors report with the
+//! full blocked list instead.
+//!
+//! Everything is insertion-ordered, so the reported cycle is
+//! deterministic for a deterministic task graph.
+
+use std::collections::HashMap;
+
+use ccm2_support::ids::EventId;
+
+/// One blocked task and the events it awaits.
+struct Waiter {
+    task: String,
+    awaits: Vec<EventId>,
+}
+
+/// A wait-for graph under construction. Add every blocked task with
+/// [`WaitForGraph::add_waiter`], every live declared signal with
+/// [`WaitForGraph::add_signaler`], then ask for [`WaitForGraph::find_cycle`].
+#[derive(Default)]
+pub struct WaitForGraph {
+    waiters: Vec<Waiter>,
+    /// (event, name of a live task that declared signaling it).
+    signalers: Vec<(EventId, String)>,
+    /// Display names for events (empty/missing → `event#N`).
+    names: HashMap<EventId, String>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> WaitForGraph {
+        WaitForGraph::default()
+    }
+
+    /// Records a blocked task. `awaits` lists the events whose signaling
+    /// would unblock it: the awaited event (plus its co-signaler hint)
+    /// for a suspended task, the unsatisfied prereqs for a gated one.
+    pub fn add_waiter(&mut self, task: impl Into<String>, awaits: Vec<EventId>) {
+        self.waiters.push(Waiter {
+            task: task.into(),
+            awaits,
+        });
+    }
+
+    /// Records that the (unfinished) task `task` declared it will signal
+    /// `event`.
+    pub fn add_signaler(&mut self, event: EventId, task: impl Into<String>) {
+        self.signalers.push((event, task.into()));
+    }
+
+    /// Records an event's display name.
+    pub fn name_event(&mut self, event: EventId, name: &str) {
+        if !name.is_empty() {
+            self.names.insert(event, name.to_string());
+        }
+    }
+
+    fn event_label(&self, e: EventId) -> String {
+        match self.names.get(&e) {
+            Some(n) => n.clone(),
+            None => format!("event#{}", e.0),
+        }
+    }
+
+    /// Searches for a cycle among the blocked tasks and renders it as
+    /// `A -[e1]-> B -[e2]-> A`. Returns `None` when the blocked tasks
+    /// form no cycle (e.g. an eligibility wedge with runnable resolvers,
+    /// or a wait on an event no live task signals).
+    pub fn find_cycle(&self) -> Option<String> {
+        let index: HashMap<&str, usize> = self
+            .waiters
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.task.as_str(), i))
+            .collect();
+        // Adjacency in insertion order: waiter i --(event)--> waiter j.
+        let mut adj: Vec<Vec<(EventId, usize)>> = vec![Vec::new(); self.waiters.len()];
+        for (i, w) in self.waiters.iter().enumerate() {
+            for &e in &w.awaits {
+                for (ev, signaler) in &self.signalers {
+                    if *ev == e {
+                        if let Some(&j) = index.get(signaler.as_str()) {
+                            if !adj[i].contains(&(e, j)) {
+                                adj[i].push((e, j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Iterative DFS with an explicit path, white/gray/black coloring.
+        let n = self.waiters.len();
+        let mut color = vec![0u8; n];
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            // Path entries: (node, edge label that led here, next edge ix).
+            let mut path: Vec<(usize, Option<EventId>, usize)> = vec![(start, None, 0)];
+            color[start] = 1;
+            while let Some(&mut (node, _, ref mut edge_ix)) = path.last_mut() {
+                if *edge_ix >= adj[node].len() {
+                    color[node] = 2;
+                    path.pop();
+                    continue;
+                }
+                let (via, next) = adj[node][*edge_ix];
+                *edge_ix += 1;
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        path.push((next, Some(via), 0));
+                    }
+                    1 => {
+                        // Found a cycle: from `next`'s position in the
+                        // path around to `node`, closing with `via`.
+                        let from = path
+                            .iter()
+                            .position(|&(nd, ..)| nd == next)
+                            .expect("gray node is on the path");
+                        let mut out = String::new();
+                        for (k, &(nd, ..)) in path.iter().enumerate().skip(from) {
+                            if k > from {
+                                let (_, via_k, _) = path[k];
+                                out.push_str(&format!(
+                                    " -[{}]-> ",
+                                    self.event_label(via_k.expect("non-root has an edge"))
+                                ));
+                            }
+                            out.push_str(&self.waiters[nd].task);
+                        }
+                        out.push_str(&format!(
+                            " -[{}]-> {}",
+                            self.event_label(via),
+                            self.waiters[next].task
+                        ));
+                        return Some(out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// One-line summary of every blocked task and what it awaits, for
+    /// the no-cycle deadlock report.
+    pub fn describe_waiters(&self) -> String {
+        self.waiters
+            .iter()
+            .map(|w| {
+                let evs: Vec<String> = w.awaits.iter().map(|&e| self.event_label(e)).collect();
+                format!("{} awaits [{}]", w.task, evs.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_task_cycle_is_found_and_named() {
+        let mut g = WaitForGraph::new();
+        g.add_waiter("A", vec![EventId(1)]);
+        g.add_waiter("B", vec![EventId(2)]);
+        g.add_signaler(EventId(1), "B");
+        g.add_signaler(EventId(2), "A");
+        g.name_event(EventId(1), "scope(B)");
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle, "A -[scope(B)]-> B -[event#2]-> A");
+    }
+
+    #[test]
+    fn self_cycle_is_found() {
+        let mut g = WaitForGraph::new();
+        g.add_waiter("A", vec![EventId(7)]);
+        g.add_signaler(EventId(7), "A");
+        assert_eq!(g.find_cycle().expect("cycle"), "A -[event#7]-> A");
+    }
+
+    #[test]
+    fn chain_without_cycle_is_none() {
+        let mut g = WaitForGraph::new();
+        g.add_waiter("A", vec![EventId(1)]);
+        g.add_waiter("B", vec![EventId(2)]);
+        // B's awaited event is signaled by a runnable task: no node.
+        g.add_signaler(EventId(1), "B");
+        g.add_signaler(EventId(2), "runnable-resolver");
+        assert!(g.find_cycle().is_none());
+        assert!(g.describe_waiters().contains("A awaits [event#1]"));
+    }
+
+    #[test]
+    fn three_task_cycle_reached_through_a_tail() {
+        // T -> A -> B -> C -> A: the cycle excludes the tail T.
+        let mut g = WaitForGraph::new();
+        g.add_waiter("T", vec![EventId(10)]);
+        g.add_waiter("A", vec![EventId(1)]);
+        g.add_waiter("B", vec![EventId(2)]);
+        g.add_waiter("C", vec![EventId(3)]);
+        g.add_signaler(EventId(10), "A");
+        g.add_signaler(EventId(1), "B");
+        g.add_signaler(EventId(2), "C");
+        g.add_signaler(EventId(3), "A");
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle, "A -[event#1]-> B -[event#2]-> C -[event#3]-> A");
+    }
+
+    #[test]
+    fn gated_task_with_multiple_prereqs_can_close_the_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_waiter("gated", vec![EventId(1), EventId(2)]);
+        g.add_waiter("waiter", vec![EventId(3)]);
+        g.add_signaler(EventId(2), "waiter");
+        g.add_signaler(EventId(3), "gated");
+        let cycle = g.find_cycle().expect("cycle");
+        assert!(
+            cycle.contains("gated") && cycle.contains("waiter"),
+            "{cycle}"
+        );
+    }
+}

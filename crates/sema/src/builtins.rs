@@ -220,14 +220,20 @@ mod tests {
             t.lookup(i.intern("NIL")),
             Some(BuiltinDef::Const(ConstValue::Nil, TypeId::NILTYPE))
         );
-        assert_eq!(t.lookup(i.intern("REAL")), Some(BuiltinDef::Type(TypeId::REAL)));
+        assert_eq!(
+            t.lookup(i.intern("REAL")),
+            Some(BuiltinDef::Type(TypeId::REAL))
+        );
     }
 
     #[test]
     fn paper_examples_sin_and_sqrt_are_builtin() {
         let i = Interner::new();
         let t = BuiltinTable::new(&i);
-        assert_eq!(t.lookup(i.intern("sin")), Some(BuiltinDef::Proc(Builtin::Sin)));
+        assert_eq!(
+            t.lookup(i.intern("sin")),
+            Some(BuiltinDef::Proc(Builtin::Sin))
+        );
         assert_eq!(
             t.lookup(i.intern("sqrt")),
             Some(BuiltinDef::Proc(Builtin::Sqrt))

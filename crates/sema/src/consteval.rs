@@ -48,9 +48,7 @@ impl<'a> Evaluator<'a> {
             ExprKind::Name(id) => match self.sema.resolver.lookup(self.scope, id.name) {
                 Some(LookupResult::Entry(e)) => self.entry_value(&e, expr.span),
                 Some(LookupResult::Builtin(BuiltinDef::Const(v, ty))) => Some((v, ty)),
-                Some(LookupResult::Builtin(_)) => {
-                    self.err(expr.span, "builtin is not a constant")
-                }
+                Some(LookupResult::Builtin(_)) => self.err(expr.span, "builtin is not a constant"),
                 None => self.err(
                     expr.span,
                     format!(
@@ -147,16 +145,17 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn entry_value(&self, e: &crate::symtab::SymbolEntry, span: Span) -> Option<(ConstValue, TypeId)> {
+    fn entry_value(
+        &self,
+        e: &crate::symtab::SymbolEntry,
+        span: Span,
+    ) -> Option<(ConstValue, TypeId)> {
         match &e.kind {
             SymbolKind::Const { value, ty } => Some((*value, *ty)),
             SymbolKind::EnumConst { ty, value } => Some((ConstValue::Int(*value), *ty)),
             _ => self.err(
                 span,
-                format!(
-                    "`{}` is not a constant",
-                    self.sema.interner.resolve(e.name)
-                ),
+                format!("`{}` is not a constant", self.sema.interner.resolve(e.name)),
             ),
         }
     }
@@ -218,7 +217,10 @@ impl<'a> Evaluator<'a> {
                 let Some(o) = a.ordinal() else {
                     return self.err(span, "IN requires an ordinal");
                 };
-                (Bool((0..64).contains(&o) && (y >> o) & 1 == 1), TypeId::BOOLEAN)
+                (
+                    Bool((0..64).contains(&o) && (y >> o) & 1 == 1),
+                    TypeId::BOOLEAN,
+                )
             }
             (BinOp::Eq, _, _) => (Bool(a == b), TypeId::BOOLEAN),
             (BinOp::Neq, _, _) => (Bool(a != b), TypeId::BOOLEAN),
@@ -317,9 +319,7 @@ impl<'a> Evaluator<'a> {
                 ConstValue::Int(v.as_real().expect("real") as i64),
                 TypeId::CARDINAL,
             ),
-            (Builtin::Float, ConstValue::Int(x)) => {
-                (ConstValue::from_real(x as f64), TypeId::REAL)
-            }
+            (Builtin::Float, ConstValue::Int(x)) => (ConstValue::from_real(x as f64), TypeId::REAL),
             _ => return self.err(span, "builtin not usable in constant expression"),
         };
         Some(out)
@@ -399,10 +399,7 @@ mod tests {
     #[test]
     fn sets() {
         let (v, _) = eval_src("{1, 3..5}");
-        assert_eq!(
-            v,
-            Some((ConstValue::Set(0b111010), TypeId::BITSET))
-        );
+        assert_eq!(v, Some((ConstValue::Set(0b111010), TypeId::BITSET)));
         let (v, _) = eval_src("3 IN {1, 3}");
         assert_eq!(v.map(|x| x.0), Some(ConstValue::Bool(true)));
     }

@@ -70,12 +70,7 @@ pub trait DeclareHooks {
     /// parent scope (the child's avoided event, §2.4). Receives the
     /// elaborated signature and code name so the child stream's
     /// code-generation task can use them without re-elaborating.
-    fn heading_done(
-        &self,
-        scope: ScopeId,
-        code_name: ccm2_support::intern::Symbol,
-        sig: &ProcSig,
-    );
+    fn heading_done(&self, scope: ScopeId, code_name: ccm2_support::intern::Symbol, sig: &ProcSig);
 }
 
 /// Hooks for sequential compilation: child scopes are created on demand
@@ -183,10 +178,7 @@ pub fn elaborate_type(
                     ),
                     None => err(
                         name.span,
-                        format!(
-                            "undeclared type `{}`",
-                            sema.interner.resolve(name.name)
-                        ),
+                        format!("undeclared type `{}`", sema.interner.resolve(name.name)),
                     ),
                 }
             }
@@ -212,10 +204,7 @@ pub fn elaborate_type(
                         sema.sink.report(Diagnostic::error(
                             file,
                             n.span,
-                            format!(
-                                "duplicate record field `{}`",
-                                sema.interner.resolve(n.name)
-                            ),
+                            format!("duplicate record field `{}`", sema.interner.resolve(n.name)),
                         ));
                         continue;
                     }
@@ -354,17 +343,16 @@ fn report_redeclaration(
     sema.sink.report(Diagnostic::error(
         file,
         span,
-        format!("`{}` is already declared in this scope", sema.interner.resolve(name)),
+        format!(
+            "`{}` is already declared in this scope",
+            sema.interner.resolve(name)
+        ),
     ));
 }
 
 /// Elaborates a procedure heading in `resolve_scope` (the parent), giving
 /// its signature.
-pub fn elaborate_heading(
-    sema: &Sema,
-    resolve_scope: ScopeId,
-    heading: &ProcHeading,
-) -> ProcSig {
+pub fn elaborate_heading(sema: &Sema, resolve_scope: ScopeId, heading: &ProcHeading) -> ProcSig {
     let mut forward = ForwardRefs::default();
     let mut params = Vec::new();
     for section in &heading.params {
@@ -441,7 +429,8 @@ pub fn declare_params_into(
 pub fn declare_own_params(sema: &Sema, proc_scope: ScopeId, heading: &ProcHeading) -> ProcSig {
     // Resolving from the child's chain visits parent scopes — identical
     // results, duplicated effort (the paper measured ~3%).
-    sema.meter.charge(Work::DeclAnalyze, 1 + heading.param_count() as u64);
+    sema.meter
+        .charge(Work::DeclAnalyze, 1 + heading.param_count() as u64);
     declare_params_into(sema, proc_scope, proc_scope, heading)
 }
 
@@ -774,9 +763,8 @@ mod tests {
 
     #[test]
     fn enumeration_members_enter_scope() {
-        let (sema, scope, decls, sink) = setup(
-            "IMPLEMENTATION MODULE M; TYPE Color = (red, green, blue); BEGIN END M.",
-        );
+        let (sema, scope, decls, sink) =
+            setup("IMPLEMENTATION MODULE M; TYPE Color = (red, green, blue); BEGIN END M.");
         let hooks = LocalHooks::new(&sema);
         declare_decls(&sema, scope, &decls, HeadingMode::CopyToChild, &hooks);
         sema.tables.mark_complete(scope);
@@ -810,9 +798,8 @@ mod tests {
 
     #[test]
     fn never_declared_forward_pointer_reports() {
-        let (sema, scope, decls, sink) = setup(
-            "IMPLEMENTATION MODULE M; TYPE P = POINTER TO Ghost; BEGIN END M.",
-        );
+        let (sema, scope, decls, sink) =
+            setup("IMPLEMENTATION MODULE M; TYPE P = POINTER TO Ghost; BEGIN END M.");
         // `Ghost` is not in the forward set (no TYPE Ghost), so this is an
         // undeclared-type error rather than a patch failure.
         let hooks = LocalHooks::new(&sema);
@@ -860,7 +847,10 @@ mod tests {
         let pending = declare_decls(&sema, scope, &decls, HeadingMode::Reprocess, &hooks);
         assert!(!sink.has_errors());
         let p = &pending[0];
-        assert!(sema.tables.scope(p.scope).is_empty(), "child empty before reprocess");
+        assert!(
+            sema.tables.scope(p.scope).is_empty(),
+            "child empty before reprocess"
+        );
         // Child side re-elaborates (alternative 3).
         let sig = declare_own_params(&sema, p.scope, &p.heading);
         assert_eq!(sig, p.sig);
@@ -883,8 +873,13 @@ mod tests {
         let ccm2_syntax::ast::ProcBody::Local(local) = &outer.body else {
             panic!()
         };
-        let inner_pending =
-            declare_decls(&sema, outer.scope, &local.decls, HeadingMode::CopyToChild, &hooks);
+        let inner_pending = declare_decls(
+            &sema,
+            outer.scope,
+            &local.decls,
+            HeadingMode::CopyToChild,
+            &hooks,
+        );
         assert_eq!(
             sema.interner.resolve(inner_pending[0].code_name),
             "M.Outer.Inner"
@@ -894,9 +889,8 @@ mod tests {
 
     #[test]
     fn redeclaration_reports_error() {
-        let (sema, scope, decls, sink) = setup(
-            "IMPLEMENTATION MODULE M; CONST x = 1; VAR x : INTEGER; BEGIN END M.",
-        );
+        let (sema, scope, decls, sink) =
+            setup("IMPLEMENTATION MODULE M; CONST x = 1; VAR x : INTEGER; BEGIN END M.");
         let hooks = LocalHooks::new(&sema);
         declare_decls(&sema, scope, &decls, HeadingMode::CopyToChild, &hooks);
         assert!(sink.has_errors());
@@ -904,9 +898,8 @@ mod tests {
 
     #[test]
     fn set_of_out_of_range_base_reports() {
-        let (sema, scope, decls, sink) = setup(
-            "IMPLEMENTATION MODULE M; TYPE S = SET OF [0..100]; BEGIN END M.",
-        );
+        let (sema, scope, decls, sink) =
+            setup("IMPLEMENTATION MODULE M; TYPE S = SET OF [0..100]; BEGIN END M.");
         let hooks = LocalHooks::new(&sema);
         declare_decls(&sema, scope, &decls, HeadingMode::CopyToChild, &hooks);
         assert!(sink.has_errors());
@@ -916,7 +909,13 @@ mod tests {
     fn opaque_types_from_definition_modules() {
         let (sema, scope, _, _) = setup("IMPLEMENTATION MODULE M; BEGIN END M.");
         let name = sema.interner.intern("T");
-        let decls = vec![Decl::Type { name: ccm2_syntax::ast::Ident { name, span: Span::default() }, ty: None }];
+        let decls = vec![Decl::Type {
+            name: ccm2_syntax::ast::Ident {
+                name,
+                span: Span::default(),
+            },
+            ty: None,
+        }];
         let hooks = LocalHooks::new(&sema);
         declare_decls(&sema, scope, &decls, HeadingMode::CopyToChild, &hooks);
         let SymbolKind::TypeName { ty } = lookup_kind(&sema, scope, "T") else {

@@ -187,12 +187,13 @@ impl LookupStats {
                 }
             }
         }
-        self.simple_never
-            .fetch_add(other.simple_never.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.simple_never.fetch_add(
+            other.simple_never.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         for (fw_i, fw) in other.qualified.iter().enumerate() {
             for (cp_i, c) in fw.iter().enumerate() {
-                self.qualified[fw_i][cp_i]
-                    .fetch_add(c.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.qualified[fw_i][cp_i].fetch_add(c.load(Ordering::Relaxed), Ordering::Relaxed);
             }
         }
         self.qualified_never.fetch_add(
@@ -280,7 +281,11 @@ impl LookupStats {
         }
         let never = self.simple_never();
         if never > 0 {
-            rows.push(("Never      --      --".to_string(), never, never as f64 * 100.0 / total));
+            rows.push((
+                "Never      --      --".to_string(),
+                never,
+                never as f64 * 100.0 / total,
+            ));
         }
         rows
     }
@@ -314,7 +319,11 @@ impl LookupStats {
         }
         let never = self.qualified_never.load(Ordering::Relaxed);
         if never > 0 {
-            rows.push(("Never      --".to_string(), never, never as f64 * 100.0 / total));
+            rows.push((
+                "Never      --".to_string(),
+                never,
+                never as f64 * 100.0 / total,
+            ));
         }
         rows
     }

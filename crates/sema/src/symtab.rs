@@ -596,7 +596,12 @@ impl Resolver {
         //    building it, and statement tasks only run once it's complete).
         let s = self.search_table(origin, name, false);
         if let Some(entry) = s.entry {
-            return self.finish_simple(entry, FoundWhen::FirstTry, ScopeClass::SelfScope, s.initial);
+            return self.finish_simple(
+                entry,
+                FoundWhen::FirstTry,
+                ScopeClass::SelfScope,
+                s.initial,
+            );
         }
         // 2. Builtins, treated as if declared local to every scope.
         if let Some(def) = self.builtins.lookup(name) {
@@ -638,11 +643,7 @@ impl Resolver {
             // The real search happens in the exporting scope: Table 2
             // classifies these under scope "other".
             let (resolved, comp, after_dky) = self.resolve_alias(from_scope, name);
-            let when = if after_dky {
-                FoundWhen::AfterDky
-            } else {
-                when
-            };
+            let when = if after_dky { FoundWhen::AfterDky } else { when };
             return match resolved {
                 Some(e) => {
                     self.stats.record_simple(when, ScopeClass::Other, comp);
@@ -846,7 +847,6 @@ mod tests {
         // the concurrent producer.
         struct CompletingWaiter {
             tables: Arc<SymbolTables>,
-            scope: ScopeId,
             entry: SymbolEntry,
         }
         impl DkyWaiter for CompletingWaiter {
@@ -865,11 +865,15 @@ mod tests {
         let tables = Arc::new(SymbolTables::new());
         let g = interner.intern("late");
         let m = tables.new_scope(ScopeKind::MainModule, interner.intern("M"), None, FileId(0));
-        let p = tables.new_scope(ScopeKind::Procedure, interner.intern("P"), Some(m), FileId(0));
+        let p = tables.new_scope(
+            ScopeKind::Procedure,
+            interner.intern("P"),
+            Some(m),
+            FileId(0),
+        );
         tables.mark_complete(p);
         let waiter = CompletingWaiter {
             tables: Arc::clone(&tables),
-            scope: m,
             entry: const_entry(g, 5),
         };
         let stats = Arc::new(LookupStats::new());
@@ -913,7 +917,12 @@ mod tests {
         let tables = Arc::new(SymbolTables::new());
         let g = interner.intern("g");
         let m = tables.new_scope(ScopeKind::MainModule, interner.intern("M"), None, FileId(0));
-        let p = tables.new_scope(ScopeKind::Procedure, interner.intern("P"), Some(m), FileId(0));
+        let p = tables.new_scope(
+            ScopeKind::Procedure,
+            interner.intern("P"),
+            Some(m),
+            FileId(0),
+        );
         tables.mark_complete(p);
         tables.insert(m, const_entry(g, 2)).expect("fresh");
         let waiter = Arc::new(CountingWaiter::default());
@@ -1059,7 +1068,12 @@ mod classification_tests {
         let interner = Arc::new(Interner::new());
         let tables = Arc::new(SymbolTables::new());
         let x = interner.intern("x");
-        let def = tables.new_scope(ScopeKind::DefModule, interner.intern("Lib"), None, FileId(0));
+        let def = tables.new_scope(
+            ScopeKind::DefModule,
+            interner.intern("Lib"),
+            None,
+            FileId(0),
+        );
         // Incomplete def scope: qualified skeptical search misses, waits,
         // and the waiter completes the table with the entry present.
         tables.insert(def, entry(x)).expect("fresh");
@@ -1099,7 +1113,12 @@ mod classification_tests {
         let interner = Arc::new(Interner::new());
         let tables = Arc::new(SymbolTables::new());
         let m = tables.new_scope(ScopeKind::MainModule, interner.intern("M"), None, FileId(0));
-        let p = tables.new_scope(ScopeKind::Procedure, interner.intern("P"), Some(m), FileId(0));
+        let p = tables.new_scope(
+            ScopeKind::Procedure,
+            interner.intern("P"),
+            Some(m),
+            FileId(0),
+        );
         tables.mark_complete(p);
         let late = interner.intern("late");
         let stats = Arc::new(LookupStats::new());
@@ -1134,7 +1153,12 @@ mod classification_tests {
         let interner = Arc::new(Interner::new());
         let tables = Arc::new(SymbolTables::new());
         let m = tables.new_scope(ScopeKind::MainModule, interner.intern("M"), None, FileId(0));
-        let p = tables.new_scope(ScopeKind::Procedure, interner.intern("P"), Some(m), FileId(0));
+        let p = tables.new_scope(
+            ScopeKind::Procedure,
+            interner.intern("P"),
+            Some(m),
+            FileId(0),
+        );
         tables.mark_complete(p);
         let ghost = interner.intern("ghost");
         let stats = Arc::new(LookupStats::new());
@@ -1162,7 +1186,12 @@ mod classification_tests {
         let interner = Arc::new(Interner::new());
         let tables = Arc::new(SymbolTables::new());
         let m = tables.new_scope(ScopeKind::MainModule, interner.intern("M"), None, FileId(0));
-        let p = tables.new_scope(ScopeKind::Procedure, interner.intern("P"), Some(m), FileId(0));
+        let p = tables.new_scope(
+            ScopeKind::Procedure,
+            interner.intern("P"),
+            Some(m),
+            FileId(0),
+        );
         tables.mark_complete(p);
         let g = interner.intern("g");
         tables.insert(m, entry(g)).expect("fresh");

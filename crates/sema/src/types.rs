@@ -282,16 +282,20 @@ impl TypeStore {
             (Type::Array { elem, .. }, Type::StringLit) => {
                 self.strip_subrange(*elem) == TypeId::CHAR
             }
-            (Type::OpenArray { elem }, Type::Array { elem: se, .. }) => {
-                self.same_type(*elem, *se)
-            }
+            (Type::OpenArray { elem }, Type::Array { elem: se, .. }) => self.same_type(*elem, *se),
             (Type::OpenArray { elem }, Type::StringLit) => {
                 self.strip_subrange(*elem) == TypeId::CHAR
             }
             // Structural tolerance for procedure values.
             (
-                Type::Proc { params: dp, ret: dr },
-                Type::Proc { params: sp, ret: sr },
+                Type::Proc {
+                    params: dp,
+                    ret: dr,
+                },
+                Type::Proc {
+                    params: sp,
+                    ret: sr,
+                },
             ) => {
                 dp.len() == sp.len()
                     && dp

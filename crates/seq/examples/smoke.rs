@@ -10,7 +10,9 @@ use ccm2_seq::{compile, DefLibrary};
 use ccm2_vm::Vm;
 fn run(src: &str) -> String {
     let out = compile(src, &DefLibrary::new());
-    if !out.is_ok() { panic!("compile failed: {:?}", out.diagnostics); }
+    if !out.is_ok() {
+        panic!("compile failed: {:?}", out.diagnostics);
+    }
     let img = out.image.unwrap();
     Vm::new(out.interner).run(&img).expect("vm run")
 }

@@ -104,6 +104,23 @@ pub fn compile_with(
     meter: Arc<dyn WorkMeter>,
     heading_mode: HeadingMode,
 ) -> CompileOutput {
+    compile_full(main_source, defs, interner, meter, heading_mode, false)
+}
+
+/// [`compile_with`], plus the opt-in analysis phase: when `analyze` is
+/// set, the [`ccm2_analysis`] dataflow lints run in phase order (after
+/// declaration analysis, before code generation) over the module unit
+/// and every procedure unit, and the unused-import check runs over the
+/// union of the units' used-name sets. The concurrent driver runs the
+/// identical passes as `Analyze` tasks; diagnostics are byte-identical.
+pub fn compile_full(
+    main_source: &str,
+    defs: &dyn DefProvider,
+    interner: Arc<Interner>,
+    meter: Arc<dyn WorkMeter>,
+    heading_mode: HeadingMode,
+    analyze: bool,
+) -> CompileOutput {
     let sink = Arc::new(DiagnosticSink::new());
     let sema = Sema::new(
         Arc::clone(&interner),
@@ -183,6 +200,41 @@ pub fn compile_with(
         all_procs.push(p);
     }
 
+    // ---- analysis phase (opt-in dataflow lints) --------------------------
+    if analyze {
+        let ua = ccm2_analysis::analyze_unit(
+            &interner,
+            main_file.id(),
+            ccm2_analysis::UnitKind::Module,
+            &module.decls,
+            &module.body,
+            &sink,
+        );
+        meter.charge(Work::Analyze, ua.work);
+        let mut used = ua.used;
+        for p in &all_procs {
+            if let ProcBody::Local(local) = &p.body {
+                let ua = ccm2_analysis::analyze_unit(
+                    &interner,
+                    main_file.id(),
+                    ccm2_analysis::UnitKind::Procedure,
+                    &local.decls,
+                    &local.body,
+                    &sink,
+                );
+                meter.charge(Work::Analyze, ua.work);
+                used.extend(ua.used);
+            }
+        }
+        ccm2_analysis::check_unused_imports(
+            &interner,
+            main_file.id(),
+            &module.imports,
+            &used,
+            &sink,
+        );
+    }
+
     // ---- code generation + merge -----------------------------------------
     let merger = Merger::new(module.name.name);
     merger.add_globals(module.name.name, global_shapes(&sema, main_scope));
@@ -218,12 +270,7 @@ impl DeclareHooks for SeqHooks {
     fn scope_for_stream(&self, stream: ccm2_support::ids::StreamId) -> ScopeId {
         unreachable!("sequential compilation produced a remote body for {stream}");
     }
-    fn heading_done(
-        &self,
-        _scope: ScopeId,
-        _code_name: Symbol,
-        _sig: &ccm2_sema::symtab::ProcSig,
-    ) {
+    fn heading_done(&self, _scope: ScopeId, _code_name: Symbol, _sig: &ccm2_sema::symtab::ProcSig) {
     }
 }
 

@@ -72,7 +72,10 @@ mod tests {
         assert!(lib.is_empty());
         lib.insert("A", "DEFINITION MODULE A; END A.");
         assert_eq!(lib.len(), 1);
-        assert!(lib.definition_source("A").expect("exists").contains("MODULE A"));
+        assert!(lib
+            .definition_source("A")
+            .expect("exists")
+            .contains("MODULE A"));
     }
 
     #[test]

@@ -134,13 +134,8 @@ impl DiagnosticSink {
     pub fn take(&self) -> Vec<Diagnostic> {
         let mut v = std::mem::take(&mut *self.diags.lock().expect("sink poisoned"));
         v.sort_by(|a, b| {
-            (a.file, a.span.lo, a.span.hi, a.severity, &a.message).cmp(&(
-                b.file,
-                b.span.lo,
-                b.span.hi,
-                b.severity,
-                &b.message,
-            ))
+            (a.file, a.span.lo, a.span.hi, a.severity, &a.message)
+                .cmp(&(b.file, b.span.lo, b.span.hi, b.severity, &b.message))
         });
         v
     }
@@ -149,13 +144,8 @@ impl DiagnosticSink {
     pub fn snapshot(&self) -> Vec<Diagnostic> {
         let mut v = self.diags.lock().expect("sink poisoned").clone();
         v.sort_by(|a, b| {
-            (a.file, a.span.lo, a.span.hi, a.severity, &a.message).cmp(&(
-                b.file,
-                b.span.lo,
-                b.span.hi,
-                b.severity,
-                &b.message,
-            ))
+            (a.file, a.span.lo, a.span.hi, a.severity, &a.message)
+                .cmp(&(b.file, b.span.lo, b.span.hi, b.severity, &b.message))
         });
         v
     }

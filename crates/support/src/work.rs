@@ -33,6 +33,8 @@ pub enum Work {
     Merge,
     /// Fixed task startup/teardown overhead.
     TaskOverhead,
+    /// Source-level dataflow analysis (per AST node walked by the lints).
+    Analyze,
 }
 
 impl Work {
@@ -48,7 +50,11 @@ impl Work {
         Work::CodeGen,
         Work::Merge,
         Work::TaskOverhead,
+        Work::Analyze,
     ];
+
+    /// Number of work kinds (sizes the fixed charge/cost arrays).
+    pub const COUNT: usize = Work::ALL.len();
 }
 
 /// A sink for work charges.

@@ -51,7 +51,11 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `file`'s text.
-    pub fn new(file: &'a SourceFile, interner: &'a Interner, sink: &'a DiagnosticSink) -> Lexer<'a> {
+    pub fn new(
+        file: &'a SourceFile,
+        interner: &'a Interner,
+        sink: &'a DiagnosticSink,
+    ) -> Lexer<'a> {
         Lexer {
             text: file.text().as_bytes(),
             pos: 0,
@@ -373,7 +377,11 @@ impl<'a> Iterator for Lexer<'a> {
                 return self.next();
             }
         };
-        Some(Token::new(kind, Span::new(start, self.pos as u32), self.file))
+        Some(Token::new(
+            kind,
+            Span::new(start, self.pos as u32),
+            self.file,
+        ))
     }
 }
 
@@ -460,7 +468,10 @@ mod tests {
             other => panic!("expected string, got {other:?}"),
         }
         assert_eq!(toks[1].kind, TokenKind::CharLit(b'x'));
-        assert!(matches!(toks[2].kind, TokenKind::Str(_)), "empty string stays Str");
+        assert!(
+            matches!(toks[2].kind, TokenKind::Str(_)),
+            "empty string stays Str"
+        );
     }
 
     #[test]
@@ -520,7 +531,7 @@ mod tests {
             assert!(w[0].span.hi <= w[1].span.lo, "tokens out of order");
         }
         for t in &toks {
-            assert!(t.span.len() > 0);
+            assert!(!t.span.is_empty());
             assert!(t.span.hi as usize <= src.len());
         }
     }

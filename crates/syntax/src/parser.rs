@@ -243,11 +243,8 @@ impl<'a> Parser<'a> {
 
     fn ident_list(&mut self) -> Vec<Ident> {
         let mut ids = Vec::new();
-        loop {
-            match self.ident() {
-                Some(id) => ids.push(id),
-                None => break,
-            }
+        while let Some(id) = self.ident() {
+            ids.push(id);
             if !self.eat(TokenKind::Comma) {
                 break;
             }
@@ -838,11 +835,8 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect(TokenKind::Colon)?;
-                    let body = self.statement_sequence(&[
-                        TokenKind::Bar,
-                        TokenKind::Else,
-                        TokenKind::End,
-                    ]);
+                    let body =
+                        self.statement_sequence(&[TokenKind::Bar, TokenKind::Else, TokenKind::End]);
                     arms.push(CaseArm { labels, body });
                 }
                 let else_body = if self.eat(TokenKind::Else) {
@@ -1428,9 +1422,8 @@ mod tests {
 
     #[test]
     fn imports_both_forms() {
-        let (m, sink, i) = parse_impl(
-            "IMPLEMENTATION MODULE M; IMPORT A, B; FROM C IMPORT x, y; END M.",
-        );
+        let (m, sink, i) =
+            parse_impl("IMPLEMENTATION MODULE M; IMPORT A, B; FROM C IMPORT x, y; END M.");
         let m = m.expect("parses");
         assert!(!sink.has_errors());
         assert_eq!(m.imports.len(), 3);
@@ -1525,10 +1518,7 @@ mod tests {
             panic!("expected binary")
         };
         assert_eq!(*op, BinOp::Add);
-        assert!(matches!(
-            mul.kind,
-            ExprKind::Binary { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(mul.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -1646,9 +1636,8 @@ mod tests {
 
     #[test]
     fn missing_semicolon_recovers() {
-        let (m, sink, _) = parse_impl(
-            "IMPLEMENTATION MODULE M; VAR a : INTEGER; BEGIN a := 1 a := 2 END M.",
-        );
+        let (m, sink, _) =
+            parse_impl("IMPLEMENTATION MODULE M; VAR a : INTEGER; BEGIN a := 1 a := 2 END M.");
         assert!(sink.has_errors());
         let m = m.expect("still produces a module");
         assert_eq!(m.body.len(), 2);
@@ -1656,9 +1645,8 @@ mod tests {
 
     #[test]
     fn garbage_declaration_recovers() {
-        let (m, sink, _) = parse_impl(
-            "IMPLEMENTATION MODULE M; CONST bad = ; good = 2; BEGIN END M.",
-        );
+        let (m, sink, _) =
+            parse_impl("IMPLEMENTATION MODULE M; CONST bad = ; good = 2; BEGIN END M.");
         assert!(sink.has_errors());
         assert!(m.is_some());
     }
@@ -1676,7 +1664,10 @@ mod tests {
         let TypeExprKind::Array { elem, .. } = &ty.kind else {
             panic!("outer array")
         };
-        assert!(matches!(elem.kind, TypeExprKind::Array { .. }), "inner array");
+        assert!(
+            matches!(elem.kind, TypeExprKind::Array { .. }),
+            "inner array"
+        );
     }
 
     #[test]
@@ -1688,9 +1679,8 @@ mod tests {
 
     #[test]
     fn qualified_type_name() {
-        let (m, sink, _) = parse_impl(
-            "IMPLEMENTATION MODULE M; IMPORT Lists; VAR l : Lists.List; BEGIN END M.",
-        );
+        let (m, sink, _) =
+            parse_impl("IMPLEMENTATION MODULE M; IMPORT Lists; VAR l : Lists.List; BEGIN END M.");
         let m = m.expect("parses");
         assert!(!sink.has_errors());
         let Decl::Var { ty, .. } = &m.decls[0] else {
@@ -1783,8 +1773,7 @@ mod streaming_tests {
 
     #[test]
     fn streaming_proc_end_name_mismatch_reports() {
-        let (toks, interner, sink) =
-            tokens("PROCEDURE P; BEGIN END Wrong;");
+        let (toks, interner, sink) = tokens("PROCEDURE P; BEGIN END Wrong;");
         let src: &[Token] = &toks;
         let s = StreamingProc::begin(&src, &interner, &sink).expect("begins");
         let _ = {

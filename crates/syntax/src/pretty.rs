@@ -193,9 +193,7 @@ impl<'a> Printer<'a> {
                 if !params.is_empty() || ret.is_some() {
                     let ps: Vec<String> = params
                         .iter()
-                        .map(|(v, t)| {
-                            format!("{}{}", if *v { "VAR " } else { "" }, self.ty(t))
-                        })
+                        .map(|(v, t)| format!("{}{}", if *v { "VAR " } else { "" }, self.ty(t)))
                         .collect();
                     s.push_str(&format!("({})", ps.join(", ")));
                 }
@@ -273,10 +271,7 @@ impl<'a> Printer<'a> {
                     .as_ref()
                     .map(|b| format!(" BY {}", self.expr(b)))
                     .unwrap_or_default();
-                self.line(&format!(
-                    "FOR {} := {f} TO {t}{by_txt} DO",
-                    self.id(*var)
-                ));
+                self.line(&format!("FOR {} := {f} TO {t}{by_txt} DO", self.id(*var)));
                 self.indent += 1;
                 self.stmts(body);
                 self.indent -= 1;
@@ -400,7 +395,7 @@ impl<'a> Printer<'a> {
                         format!("'{ch}'")
                     }
                 } else {
-                    format!("{}C", u32::from(*c) | 0o0) // octal char
+                    format!("{}C", u32::from(*c)) // numeric char literal
                 }
             }
             ExprKind::StrLit(s) => {
@@ -488,7 +483,11 @@ mod tests {
         let t2 = lex_file(&f2, &interner, &sink);
         let m2 = parse_implementation(&t2, &interner, &sink)
             .unwrap_or_else(|| panic!("reparse failed for:\n{printed}"));
-        assert!(!sink.has_errors(), "printed:\n{printed}\n{:?}", sink.snapshot());
+        assert!(
+            !sink.has_errors(),
+            "printed:\n{printed}\n{:?}",
+            sink.snapshot()
+        );
         // Compare via a second print (spans differ; text must agree).
         let printed2 = print_implementation(&m2, &interner);
         assert_eq!(printed, printed2, "print not a fixed point");

@@ -449,19 +449,65 @@ mod tests {
         assert!(TokenKind::If.opens_end_block());
         assert!(TokenKind::Record.opens_end_block());
         assert!(TokenKind::Lock.opens_end_block());
-        assert!(!TokenKind::Repeat.opens_end_block(), "REPEAT ends with UNTIL");
+        assert!(
+            !TokenKind::Repeat.opens_end_block(),
+            "REPEAT ends with UNTIL"
+        );
         assert!(!TokenKind::Begin.opens_end_block());
-        assert!(!TokenKind::Procedure.opens_end_block(), "handled separately");
+        assert!(
+            !TokenKind::Procedure.opens_end_block(),
+            "handled separately"
+        );
     }
 
     #[test]
     fn every_reserved_word_round_trips_through_describe() {
         for word in [
-            "AND", "ARRAY", "BEGIN", "BY", "CASE", "CONST", "DEFINITION", "DIV", "DO", "ELSE",
-            "ELSIF", "END", "EXIT", "EXPORT", "FOR", "FROM", "IF", "IMPLEMENTATION", "IMPORT",
-            "IN", "LOOP", "MOD", "MODULE", "NOT", "OF", "OR", "POINTER", "PROCEDURE", "QUALIFIED",
-            "RECORD", "REPEAT", "RETURN", "SET", "THEN", "TO", "TYPE", "UNTIL", "VAR", "WHILE",
-            "WITH", "LOCK", "TRY", "EXCEPT", "FINALLY", "RAISE",
+            "AND",
+            "ARRAY",
+            "BEGIN",
+            "BY",
+            "CASE",
+            "CONST",
+            "DEFINITION",
+            "DIV",
+            "DO",
+            "ELSE",
+            "ELSIF",
+            "END",
+            "EXIT",
+            "EXPORT",
+            "FOR",
+            "FROM",
+            "IF",
+            "IMPLEMENTATION",
+            "IMPORT",
+            "IN",
+            "LOOP",
+            "MOD",
+            "MODULE",
+            "NOT",
+            "OF",
+            "OR",
+            "POINTER",
+            "PROCEDURE",
+            "QUALIFIED",
+            "RECORD",
+            "REPEAT",
+            "RETURN",
+            "SET",
+            "THEN",
+            "TO",
+            "TYPE",
+            "UNTIL",
+            "VAR",
+            "WHILE",
+            "WITH",
+            "LOCK",
+            "TRY",
+            "EXCEPT",
+            "FINALLY",
+            "RAISE",
         ] {
             let kind = TokenKind::reserved(word).expect("is reserved");
             assert_eq!(kind.describe(), word);

@@ -80,9 +80,7 @@ impl Value {
             Shape::Array(elem, len) => {
                 Value::Array((0..*len).map(|_| Value::default_of(elem)).collect())
             }
-            Shape::Record(fields) => {
-                Value::Record(fields.iter().map(Value::default_of).collect())
-            }
+            Shape::Record(fields) => Value::Record(fields.iter().map(Value::default_of).collect()),
         }
     }
 
@@ -518,7 +516,11 @@ impl<'a> State<'a> {
                     let v = self.pop()?.as_bool()?;
                     self.stack.push(Value::Bool(!v));
                 }
-                Instr::CmpEq | Instr::CmpNe | Instr::CmpLt | Instr::CmpLe | Instr::CmpGt
+                Instr::CmpEq
+                | Instr::CmpNe
+                | Instr::CmpLt
+                | Instr::CmpLe
+                | Instr::CmpGt
                 | Instr::CmpGe => {
                     let b = self.pop()?;
                     let a = self.pop()?;
@@ -865,11 +867,7 @@ fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, VmError> {
                 Ordering::Less
             }
         }
-        _ => {
-            return Err(VmError::new(format!(
-                "incomparable values {a:?} vs {b:?}"
-            )))
-        }
+        _ => return Err(VmError::new(format!("incomparable values {a:?} vs {b:?}"))),
     };
     Ok(ord)
 }
@@ -880,7 +878,11 @@ mod tests {
     use ccm2_codegen::merge::Merger;
     use ccm2_support::work::NullMeter;
 
-    fn run_unit(code: Vec<Instr>, frame: Vec<Shape>, shapes: Vec<Shape>) -> Result<String, VmError> {
+    fn run_unit(
+        code: Vec<Instr>,
+        frame: Vec<Shape>,
+        shapes: Vec<Shape>,
+    ) -> Result<String, VmError> {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
         let merger = Merger::new(m);
@@ -947,13 +949,22 @@ mod tests {
     fn heap_new_write_read_dispose() {
         let out = run_unit(
             vec![
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::NewCell { shape: 0 },
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::AddrDeref,
                 Instr::PushInt(9),
                 Instr::Store,
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::AddrDeref,
                 Instr::Load,
                 Instr::PushInt(0),
@@ -961,7 +972,10 @@ mod tests {
                     builtin: Builtin::WriteInt,
                     argc: 2,
                 },
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::DisposeCell,
                 Instr::Halt,
             ],
@@ -976,7 +990,10 @@ mod tests {
     fn nil_dereference_errors() {
         let err = run_unit(
             vec![
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::AddrDeref,
                 Instr::Halt,
             ],
@@ -1056,7 +1073,10 @@ mod tests {
     fn bounds_check_fires() {
         let err = run_unit(
             vec![
-                Instr::PushAddr { level_up: 0, slot: 0 },
+                Instr::PushAddr {
+                    level_up: 0,
+                    slot: 0,
+                },
                 Instr::PushInt(10),
                 Instr::AddrIndex { lo: 0, len: 5 },
                 Instr::Load,
@@ -1079,9 +1099,15 @@ mod tests {
         add.param_count = 2;
         add.frame = vec![Shape::Int, Shape::Int];
         add.code = vec![
-            Instr::PushAddr { level_up: 0, slot: 0 },
+            Instr::PushAddr {
+                level_up: 0,
+                slot: 0,
+            },
             Instr::Load,
-            Instr::PushAddr { level_up: 0, slot: 1 },
+            Instr::PushAddr {
+                level_up: 0,
+                slot: 1,
+            },
             Instr::Load,
             Instr::Add,
             Instr::ReturnValue,
@@ -1122,7 +1148,10 @@ mod tests {
         setp.frame = vec![Shape::Addr];
         setp.code = vec![
             // slot 0 holds the caller's address; load it, store 7.
-            Instr::PushAddr { level_up: 0, slot: 0 },
+            Instr::PushAddr {
+                level_up: 0,
+                slot: 0,
+            },
             Instr::Load,
             Instr::PushInt(7),
             Instr::Store,

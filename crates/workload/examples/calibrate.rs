@@ -7,34 +7,70 @@
 //! cargo run --release -p ccm2-workload --example calibrate
 //! ```
 
-use std::sync::Arc;
 use ccm2::{compile_concurrent, Executor, Options};
 use ccm2_sched::SimConfig;
+use std::sync::Arc;
 
-fn run(src: &str, defs: &ccm2_support::DefLibrary, procs: u32, cost: [f64;10], alpha: f64, dispatch: u64) -> u64 {
+fn run(
+    src: &str,
+    defs: &ccm2_support::DefLibrary,
+    procs: u32,
+    cost: [f64; 11],
+    alpha: f64,
+    dispatch: u64,
+) -> u64 {
     let mut cfg = SimConfig::new(procs);
-    cfg.cost = cost; cfg.contention_alpha = alpha; cfg.dispatch_cost = dispatch;
-    let out = compile_concurrent(src, Arc::new(defs.clone()), Arc::new(ccm2_support::Interner::new()),
-        Options { executor: Executor::Sim(cfg), ..Options::default() });
-    assert!(out.is_ok(), "{:?}", &out.diagnostics[..out.diagnostics.len().min(3)]);
+    cfg.cost = cost;
+    cfg.contention_alpha = alpha;
+    cfg.dispatch_cost = dispatch;
+    let out = compile_concurrent(
+        src,
+        Arc::new(defs.clone()),
+        Arc::new(ccm2_support::Interner::new()),
+        Options {
+            executor: Executor::Sim(cfg),
+            ..Options::default()
+        },
+    );
+    assert!(
+        out.is_ok(),
+        "{:?}",
+        &out.diagnostics[..out.diagnostics.len().min(3)]
+    );
     out.report.virtual_time.unwrap()
 }
 
 fn main() {
-    // cost order: Lex, Split, Import, Parse, DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead
-    let cost = [0.05, 0.04, 0.03, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0];
-    let alpha = 0.03; let dispatch = 40;
+    // cost order: Lex, Split, Import, Parse, DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead, Analyze
+    let cost = [0.05, 0.04, 0.03, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2];
+    let alpha = 0.03;
+    let dispatch = 40;
     let synth = ccm2_workload::synth_module(ccm2_workload::SynthParams::default());
     let empty = ccm2_support::DefLibrary::new();
-    for (name, src, defs) in [("synth", synth.clone(), empty.clone())] {
-        let t1 = run(&src, &defs, 1, cost, alpha, dispatch);
-        let s: Vec<String> = (2..=8).map(|p| format!("{:.2}", t1 as f64 / run(&src, &defs, p, cost, alpha, dispatch) as f64)).collect();
-        println!("{name}: t1={t1} speedups 2..8 = {}", s.join(" "));
+    {
+        let t1 = run(&synth, &empty, 1, cost, alpha, dispatch);
+        let s: Vec<String> = (2..=8)
+            .map(|p| {
+                format!(
+                    "{:.2}",
+                    t1 as f64 / run(&synth, &empty, p, cost, alpha, dispatch) as f64
+                )
+            })
+            .collect();
+        println!("synth: t1={t1} speedups 2..8 = {}", s.join(" "));
     }
     for i in [5usize, 18, 30, 36] {
         let m = ccm2_workload::generate(&ccm2_workload::suite_params(i));
         let t1 = run(&m.source, &m.defs, 1, cost, alpha, dispatch);
-        let s: Vec<String> = [2,4,8].iter().map(|&p| format!("{:.2}", t1 as f64 / run(&m.source, &m.defs, p, cost, alpha, dispatch) as f64)).collect();
+        let s: Vec<String> = [2, 4, 8]
+            .iter()
+            .map(|&p| {
+                format!(
+                    "{:.2}",
+                    t1 as f64 / run(&m.source, &m.defs, p, cost, alpha, dispatch) as f64
+                )
+            })
+            .collect();
         println!("suite{i}: t1={t1} speedups@2/4/8 = {}", s.join(" "));
     }
 }

@@ -6,22 +6,32 @@
 //! cargo run --release -p ccm2-workload --example synthtrace
 //! ```
 
-use std::sync::Arc;
 use ccm2::{compile_concurrent, Executor, Options};
 use ccm2_sched::SimConfig;
+use std::sync::Arc;
 fn main() {
     let synth = ccm2_workload::synth_module(ccm2_workload::SynthParams::default());
     let mut cfg = SimConfig::new(8);
-    cfg.cost = [0.2, 0.15, 0.1, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0];
-    cfg.contention_alpha = 0.035; cfg.dispatch_cost = 40;
-    let out = compile_concurrent(&synth, Arc::new(ccm2_support::DefLibrary::new()), Arc::new(ccm2_support::Interner::new()),
-        Options { executor: Executor::Sim(cfg), ..Options::default() });
+    cfg.cost = [0.2, 0.15, 0.1, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2];
+    cfg.contention_alpha = 0.035;
+    cfg.dispatch_cost = 40;
+    let out = compile_concurrent(
+        &synth,
+        Arc::new(ccm2_support::DefLibrary::new()),
+        Arc::new(ccm2_support::Interner::new()),
+        Options {
+            executor: Executor::Sim(cfg),
+            ..Options::default()
+        },
+    );
     let trace = &out.report.trace;
     println!("{}", ccm2_sched::render_watchtool(trace, 8, 110));
     println!("utilization: {:.2}", trace.utilization(8));
     println!("charges: {:?}", out.report.charges);
     // busiest task kinds by total time
     let mut by_kind = std::collections::BTreeMap::new();
-    for s in &trace.segments { *by_kind.entry(format!("{:?}", s.kind)).or_insert(0u64) += s.end - s.start; }
+    for s in &trace.segments {
+        *by_kind.entry(format!("{:?}", s.kind)).or_insert(0u64) += s.end - s.start;
+    }
     println!("time by kind: {:#?}", by_kind);
 }

@@ -6,20 +6,57 @@
 //! cargo run --release -p ccm2-workload --example timing
 //! ```
 
-use std::time::Instant;
 use std::sync::Arc;
+use std::time::Instant;
 fn main() {
     let m = ccm2_workload::generate(&ccm2_workload::suite_params(36));
-    println!("largest module: {} bytes, {} procs, {} ifaces", m.size_bytes(), m.params.procedures, m.params.interfaces);
+    println!(
+        "largest module: {} bytes, {} procs, {} ifaces",
+        m.size_bytes(),
+        m.params.procedures,
+        m.params.interfaces
+    );
     let t = Instant::now();
     let out = ccm2_seq::compile(&m.source, &m.defs);
-    println!("seq compile: {:?} ok={} units={}", t.elapsed(), out.is_ok(), out.image.as_ref().map(|i| i.units.len()).unwrap_or(0));
-    assert!(out.is_ok(), "{:?}", &out.diagnostics[..out.diagnostics.len().min(3)]);
+    println!(
+        "seq compile: {:?} ok={} units={}",
+        t.elapsed(),
+        out.is_ok(),
+        out.image.as_ref().map(|i| i.units.len()).unwrap_or(0)
+    );
+    assert!(
+        out.is_ok(),
+        "{:?}",
+        &out.diagnostics[..out.diagnostics.len().min(3)]
+    );
     let t = Instant::now();
-    let conc = ccm2::compile_concurrent(&m.source, Arc::new(m.defs.clone()), Arc::new(ccm2_support::Interner::new()), ccm2::Options::sim(8));
-    println!("sim(8) compile: {:?} ok={} vtime={:?} tasks={}", t.elapsed(), conc.is_ok(), conc.report.virtual_time, conc.report.tasks_run);
+    let conc = ccm2::compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(ccm2_support::Interner::new()),
+        ccm2::Options::sim(8),
+    );
+    println!(
+        "sim(8) compile: {:?} ok={} vtime={:?} tasks={}",
+        t.elapsed(),
+        conc.is_ok(),
+        conc.report.virtual_time,
+        conc.report.tasks_run
+    );
     let t = Instant::now();
-    let conc1 = ccm2::compile_concurrent(&m.source, Arc::new(m.defs.clone()), Arc::new(ccm2_support::Interner::new()), ccm2::Options::sim(1));
-    println!("sim(1) compile: {:?} vtime={:?}", t.elapsed(), conc1.report.virtual_time);
-    println!("speedup 8 vs 1: {:.2}", conc1.report.virtual_time.unwrap() as f64 / conc.report.virtual_time.unwrap() as f64);
+    let conc1 = ccm2::compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(ccm2_support::Interner::new()),
+        ccm2::Options::sim(1),
+    );
+    println!(
+        "sim(1) compile: {:?} vtime={:?}",
+        t.elapsed(),
+        conc1.report.virtual_time
+    );
+    println!(
+        "speedup 8 vs 1: {:.2}",
+        conc1.report.virtual_time.unwrap() as f64 / conc.report.virtual_time.unwrap() as f64
+    );
 }

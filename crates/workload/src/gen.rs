@@ -34,6 +34,12 @@ pub struct GenParams {
     pub stmts_per_proc: usize,
     /// Fraction of procedures nested inside another procedure.
     pub nested_ratio: f64,
+    /// Seed lint-triggering shapes (unused locals, statements after
+    /// RETURN, possible use-before-init, unused imports, nested re-LOCK).
+    /// The module still compiles cleanly — lint findings are warnings —
+    /// so these exercise the `ccm2-analysis` passes without perturbing
+    /// the object image.
+    pub lint_seeds: bool,
 }
 
 impl GenParams {
@@ -47,6 +53,7 @@ impl GenParams {
             import_depth: 2,
             stmts_per_proc: 12,
             nested_ratio: 0.15,
+            lint_seeds: false,
         }
     }
 }
@@ -75,6 +82,7 @@ struct DefInfo {
     name: String,
     consts: Vec<String>,
     procs: Vec<String>,
+    vars: Vec<String>,
 }
 
 /// Generates a module from shape parameters. Deterministic per seed.
@@ -89,7 +97,9 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
     // the import graph is a tree of the requested depth (§4.4: the
     // definition modules form a tree).
     let n_defs = params.interfaces;
-    let depth = params.import_depth.clamp(usize::from(n_defs > 0), n_defs.max(1));
+    let depth = params
+        .import_depth
+        .clamp(usize::from(n_defs > 0), n_defs.max(1));
     for k in 0..n_defs {
         let name = format!("{}Lib{}", params.name, k);
         let imports: Vec<usize> = if k + 1 < depth {
@@ -134,8 +144,10 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
             text.push_str(&format!("CONST {cname} = {};\n", rng.gen_range(1..1000)));
             consts.push(cname);
         }
+        let mut vars = Vec::new();
         for j in 0..n_vars {
             text.push_str(&format!("VAR V{k}x{j} : INTEGER;\n"));
+            vars.push(format!("V{k}x{j}"));
         }
         // An exported record type: procedure headings in the importing
         // module reference these, so heading elaboration performs
@@ -145,9 +157,7 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
         let mut procs = Vec::new();
         for j in 0..n_procs {
             let pname = format!("P{k}x{j}");
-            text.push_str(&format!(
-                "PROCEDURE {pname}(x : INTEGER) : INTEGER;\n"
-            ));
+            text.push_str(&format!("PROCEDURE {pname}(x : INTEGER) : INTEGER;\n"));
             procs.push(pname);
         }
         text.push_str(&format!("END {name}.\n"));
@@ -156,6 +166,7 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
             name,
             consts,
             procs,
+            vars,
         });
     }
 
@@ -165,11 +176,7 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
     // another def (tree roots) — plus FROM-imports for a couple of names.
     let mut direct: Vec<usize> = Vec::new();
     for k in 0..n_defs {
-        let imported_by_other = (0..n_defs).any(|o| {
-            o != k
-                && ((o + 1 == k && o + 1 < depth)
-                    || (o >= depth && o + 1 == k))
-        });
+        let imported_by_other = (0..n_defs).any(|o| o + 1 == k && (o + 1 < depth || o >= depth));
         if !imported_by_other {
             direct.push(k);
         }
@@ -188,6 +195,15 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
             src.push_str(&format!("IMPORT {};\n", info.name));
             whole_imports.push(k);
         }
+    }
+    if params.lint_seeds {
+        // An interface imported and never referenced (unused-import lint).
+        let uname = format!("{}LibU", params.name);
+        defs.insert(
+            uname.clone(),
+            format!("DEFINITION MODULE {uname};\nCONST UC0 = 1;\nEND {uname}.\n"),
+        );
+        src.push_str(&format!("IMPORT {uname};\n"));
     }
     src.push_str("CONST Scale = 3;\n");
     src.push_str("TYPE Rec = RECORD a, b : INTEGER END;\n");
@@ -237,6 +253,7 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
         declared_procs: Vec::new(),
         stmts_per_proc: params.stmts_per_proc,
         module_consts_declared: 0,
+        lint_seeds: params.lint_seeds,
     };
     let mut nested_left = n_nested;
     for i in 0..n_top {
@@ -299,7 +316,10 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
     let body_stmts = params.procedures * 2;
     for j in 0..body_stmts {
         match j % 4 {
-            0 => src.push_str(&format!("  gTotal := gTotal + MC{} ;\n", j % n_module_consts)),
+            0 => src.push_str(&format!(
+                "  gTotal := gTotal + MC{} ;\n",
+                j % n_module_consts
+            )),
             1 => src.push_str(&format!("  mv{} := gTotal MOD 97;\n", j % n_module_vars)),
             2 => src.push_str("  IF gTotal > 1000 THEN gTotal := gTotal DIV 2 END;\n"),
             _ => src.push_str("  INC(gCount);\n"),
@@ -329,9 +349,23 @@ struct ProcGen<'a> {
     /// generated (bodies may reference those — outward lookups that can
     /// hit the still-incomplete module table).
     module_consts_declared: usize,
+    /// Inject lint-triggering shapes into some procedures.
+    lint_seeds: bool,
 }
 
 impl ProcGen<'_> {
+    /// The first whole-imported interface exposing both a variable (the
+    /// mutex stand-in) and a procedure — the re-entry lint seed target.
+    fn reentry_target(&self) -> Option<(String, String, String)> {
+        self.whole_imports
+            .iter()
+            .map(|&k| &self.infos[k])
+            .find_map(|d| match (d.vars.first(), d.procs.first()) {
+                (Some(v), Some(p)) => Some((d.name.clone(), v.clone(), p.clone())),
+                _ => None,
+            })
+    }
+
     /// An integer-valued atom: literal, param, local, global, imported
     /// constant (qualified or FROM), earlier procedure call, or builtin.
     fn int_atom(&mut self, locals: &[String]) -> String {
@@ -357,7 +391,11 @@ impl ProcGen<'_> {
                     if d.consts.is_empty() {
                         "5".to_string()
                     } else {
-                        format!("{}.{}", d.name, d.consts[self.rng.gen_range(0..d.consts.len())])
+                        format!(
+                            "{}.{}",
+                            d.name,
+                            d.consts[self.rng.gen_range(0..d.consts.len())]
+                        )
                     }
                 }
             }
@@ -395,8 +433,7 @@ impl ProcGen<'_> {
                 if self.declared_procs.is_empty() {
                     "1".to_string()
                 } else {
-                    let p = &self.declared_procs
-                        [self.rng.gen_range(0..self.declared_procs.len())];
+                    let p = &self.declared_procs[self.rng.gen_range(0..self.declared_procs.len())];
                     format!(
                         "{p}({}, {})",
                         locals[self.rng.gen_range(0..locals.len())],
@@ -497,6 +534,17 @@ impl ProcGen<'_> {
                 "PROCEDURE {name}(p0, p1 : INTEGER) : INTEGER;\nVAR l0, l1, l2 : INTEGER;\n"
             ),
         };
+        let seed_dead = self.lint_seeds && index.is_multiple_of(3);
+        let seed_uninit = self.lint_seeds && index % 5 == 2;
+        let seed_unreachable = self.lint_seeds && index % 4 == 1;
+        let seed_relock = self.lint_seeds && index % 5 == 3;
+        let seed_reentry = self.lint_seeds && index % 5 == 4;
+        if seed_dead {
+            text.push_str(&format!("VAR dead{index} : INTEGER;\n"));
+        }
+        if seed_uninit {
+            text.push_str("VAR u0 : INTEGER;\n");
+        }
         let locals: Vec<String> = ["p0", "p1", "l0", "l1", "l2"]
             .iter()
             .map(|s| s.to_string())
@@ -520,6 +568,21 @@ impl ProcGen<'_> {
         if rec_param.is_some() {
             text.push_str("  l0 := l0 + r.f0 - r.f1;\n");
         }
+        if seed_uninit {
+            // Assigned on one branch only, then read: possible use before
+            // initialization.
+            text.push_str("  IF p0 > 0 THEN u0 := 1 END;\n  l1 := l1 + u0;\n");
+        }
+        if seed_relock {
+            text.push_str("  LOCK gRec DO LOCK gRec DO l2 := l2 + 1 END END;\n");
+        }
+        if seed_reentry {
+            // Hold an interface-owned mutex across a call back into the
+            // same interface (the LOCK-discipline re-entry lint).
+            if let Some((lib, v, p)) = self.reentry_target() {
+                text.push_str(&format!("  LOCK {lib}.{v} DO l0 := {lib}.{p}(l0) END;\n"));
+            }
+        }
         let jitter = self.rng.gen_range(0..=(self.stmts_per_proc / 2).max(1));
         let n_stmts = (self.stmts_per_proc / 2 + jitter).max(2);
         let mut body = String::new();
@@ -530,7 +593,13 @@ impl ProcGen<'_> {
         for n in 0..nest {
             text.push_str(&format!("  l2 := l2 + {name}N{n}(l0);\n"));
         }
-        text.push_str(&format!("  RETURN l0 + l1 + l2\nEND {name};\n\n"));
+        if seed_unreachable {
+            text.push_str(&format!(
+                "  RETURN l0 + l1 + l2;\n  l0 := 0\nEND {name};\n\n"
+            ));
+        } else {
+            text.push_str(&format!("  RETURN l0 + l1 + l2\nEND {name};\n\n"));
+        }
         if rec_param.is_none() {
             // Only two-argument procedures are registered as callable by
             // later code (call sites pass two integers).
@@ -578,12 +647,17 @@ mod tests {
             import_depth: 4,
             stmts_per_proc: 8,
             nested_ratio: 0.0,
+            lint_seeds: false,
         };
         let m = generate(&params);
         let out = compile(&m.source, &m.defs);
         assert!(out.is_ok(), "{:#?}", out.diagnostics);
         assert_eq!(out.imported_interfaces, 6);
-        assert!(out.import_nesting_depth >= 3, "depth {}", out.import_nesting_depth);
+        assert!(
+            out.import_nesting_depth >= 3,
+            "depth {}",
+            out.import_nesting_depth
+        );
     }
 
     #[test]
@@ -596,12 +670,53 @@ mod tests {
             import_depth: 0,
             stmts_per_proc: 6,
             nested_ratio: 0.4,
+            lint_seeds: false,
         };
         let m = generate(&params);
         assert!(m.source.contains("N0("), "has nested procedures");
         let out = compile(&m.source, &m.defs);
         assert!(out.is_ok(), "{:#?}", out.diagnostics);
         assert_eq!(out.procedures, 10);
+    }
+
+    #[test]
+    fn lint_seeded_modules_compile_and_trigger_every_lint() {
+        let params = GenParams {
+            lint_seeds: true,
+            procedures: 12,
+            interfaces: 3,
+            import_depth: 2,
+            ..GenParams::small("LintSeed", 21)
+        };
+        let m = generate(&params);
+        let out = ccm2_seq::compile_full(
+            &m.source,
+            &m.defs,
+            std::sync::Arc::new(ccm2_support::Interner::new()),
+            std::sync::Arc::new(ccm2_support::work::NullMeter),
+            ccm2_sema::declare::HeadingMode::CopyToChild,
+            true,
+        );
+        assert!(
+            out.is_ok(),
+            "lint seeds must stay compile-clean: {:#?}\nsource:\n{}",
+            out.diagnostics,
+            m.source
+        );
+        let msgs: Vec<String> = out.diagnostics.iter().map(|d| d.message.clone()).collect();
+        for needle in [
+            "unused local declaration",
+            "unreachable code after RETURN",
+            "before initialization",
+            "unused import",
+            "nested re-LOCK",
+        ] {
+            assert!(
+                msgs.iter().any(|m| m.contains(needle)),
+                "no `{needle}` finding among {msgs:#?}\nsource:\n{}",
+                m.source
+            );
+        }
     }
 
     #[test]

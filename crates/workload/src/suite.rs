@@ -44,13 +44,16 @@ pub fn suite_params(i: usize) -> GenParams {
         import_depth,
         stmts_per_proc,
         nested_ratio: 0.12,
+        lint_seeds: false,
     }
 }
 
 /// Generates the whole suite (37 modules). This is deterministic and
 /// takes a few hundred milliseconds.
 pub fn generate_suite() -> Vec<GeneratedModule> {
-    (0..SUITE_SIZE).map(|i| generate(&suite_params(i))).collect()
+    (0..SUITE_SIZE)
+        .map(|i| generate(&suite_params(i)))
+        .collect()
 }
 
 /// Gross characteristics of a generated suite (Table 1's columns,
@@ -108,16 +111,28 @@ mod tests {
         // (median 17), depth 1..12 (median 5), streams 15..315 (median 37).
         assert_eq!(s.procedures.0, 2);
         assert_eq!(s.procedures.2, 221);
-        assert!((8..=30).contains(&s.procedures.1), "median procs {}", s.procedures.1);
+        assert!(
+            (8..=30).contains(&s.procedures.1),
+            "median procs {}",
+            s.procedures.1
+        );
         assert_eq!(s.interfaces.0, 4);
         assert_eq!(s.interfaces.2, 133);
-        assert!((10..=28).contains(&s.interfaces.1), "median ifaces {}", s.interfaces.1);
+        assert!(
+            (10..=28).contains(&s.interfaces.1),
+            "median ifaces {}",
+            s.interfaces.1
+        );
         assert_eq!(s.depth.0, 1);
         assert_eq!(s.depth.2, 12);
         assert!((3..=7).contains(&s.depth.1), "median depth {}", s.depth.1);
         assert!(s.streams.0 >= 7, "min streams {}", s.streams.0);
         assert!(s.streams.2 >= 250, "max streams {}", s.streams.2);
-        assert!((25..=60).contains(&s.streams.1), "median streams {}", s.streams.1);
+        assert!(
+            (25..=60).contains(&s.streams.1),
+            "median streams {}",
+            s.streams.1
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ fn main() {
                 ..Options::default()
             },
         );
-        assert!(out.is_ok(), "{:#?}", &out.diagnostics[..out.diagnostics.len().min(5)]);
+        assert!(
+            out.is_ok(),
+            "{:#?}",
+            &out.diagnostics[..out.diagnostics.len().min(5)]
+        );
         // Compare canonical disassembly (symbols differ across interners).
         let listing = out
             .image

@@ -53,7 +53,10 @@ fn main() {
     );
     assert!(out.is_ok(), "diagnostics: {:#?}", out.diagnostics);
 
-    println!("streams: {} (1 main + {} procedures)", out.streams, out.procedures);
+    println!(
+        "streams: {} (1 main + {} procedures)",
+        out.streams, out.procedures
+    );
     println!("tasks run: {}\n", out.report.tasks_run);
 
     let image = out.image.expect("compiled image");

@@ -39,7 +39,11 @@ fn main() {
                 ..Options::default()
             },
         );
-        assert!(out.is_ok(), "{:#?}", &out.diagnostics[..out.diagnostics.len().min(5)]);
+        assert!(
+            out.is_ok(),
+            "{:#?}",
+            &out.diagnostics[..out.diagnostics.len().min(5)]
+        );
         let t = out.report.virtual_time.expect("sim");
         if procs == 1 {
             t1 = t;

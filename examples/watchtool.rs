@@ -35,7 +35,11 @@ fn main() {
             ..Options::default()
         },
     );
-    assert!(out.is_ok(), "{:#?}", &out.diagnostics[..out.diagnostics.len().min(5)]);
+    assert!(
+        out.is_ok(),
+        "{:#?}",
+        &out.diagnostics[..out.diagnostics.len().min(5)]
+    );
     println!("{}", render_watchtool(&out.report.trace, 8, 120));
     println!(
         "virtual time: {} units   utilization: {:.0}%   tasks: {}   streams: {}",

@@ -79,10 +79,17 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workers" => {
-                args.workers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--sim" => {
-                args.sim = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                args.sim = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--seq" => args.seq = true,
             "--strategy" => {
@@ -188,7 +195,10 @@ fn main() -> ExitCode {
         println!("{}", render_watchtool(&out.report.trace, procs, 110));
     }
     if args.stats {
-        println!("simple identifier lookups ({} total):", out.stats.simple_total());
+        println!(
+            "simple identifier lookups ({} total):",
+            out.stats.simple_total()
+        );
         for (label, n, pct) in out.stats.simple_rows() {
             println!("  {label:<33} {n:>8}  {pct:>5.2}%");
         }

@@ -19,7 +19,10 @@ fn normalize(diags: &[Diagnostic], sources: &SourceMap) -> Vec<String> {
                 .get(d.file)
                 .map(|f| f.name().to_string())
                 .unwrap_or_default();
-            format!("{name}:{}..{} {} {}", d.span.lo, d.span.hi, d.severity, d.message)
+            format!(
+                "{name}:{}..{} {} {}",
+                d.span.lo, d.span.hi, d.severity, d.message
+            )
         })
         .collect();
     v.sort();
@@ -131,7 +134,10 @@ fn errors_in_procedure_bodies_report_identically() {
          PROCEDURE B; VAR s : BOOLEAN; BEGIN s := 7 END B; \
          BEGIN END M.",
         &DefLibrary::new(),
-        &["undeclared identifier `missingOne`", "assignment type mismatch"],
+        &[
+            "undeclared identifier `missingOne`",
+            "assignment type mismatch",
+        ],
     );
 }
 

@@ -85,6 +85,7 @@ fn modules_under_test() -> Vec<(String, DefLibrary)> {
         import_depth: 6,
         stmts_per_proc: 18,
         nested_ratio: 0.25,
+        lint_seeds: false,
     });
     out.push((big.source, big.defs));
     out
@@ -94,7 +95,12 @@ fn modules_under_test() -> Vec<(String, DefLibrary)> {
 fn concurrent_equals_sequential_across_worker_counts() {
     for (src, defs) in modules_under_test() {
         for workers in [1usize, 2, 4] {
-            assert_equivalent(&src, &defs, Options::threads(workers), &format!("w{workers}"));
+            assert_equivalent(
+                &src,
+                &defs,
+                Options::threads(workers),
+                &format!("w{workers}"),
+            );
         }
     }
 }
@@ -169,6 +175,74 @@ fn both_heading_modes_produce_identical_output() {
         HeadingMode::Reprocess,
     );
     assert_eq!(a.image, b.image);
+}
+
+#[test]
+fn lint_findings_identical_between_compilers_under_all_strategies() {
+    for (i, (src, defs)) in modules_under_test().into_iter().enumerate() {
+        let interner = Arc::new(Interner::new());
+        let seq = ccm2_seq::compile_full(
+            &src,
+            &defs,
+            Arc::clone(&interner),
+            Arc::new(NullMeter),
+            HeadingMode::CopyToChild,
+            true,
+        );
+        let reference = normalize(&seq.diagnostics, &seq.sources);
+        for strategy in DkyStrategy::ALL {
+            let conc = compile_concurrent(
+                &src,
+                Arc::new(defs.clone()),
+                Arc::clone(&interner),
+                Options {
+                    strategy,
+                    analyze: true,
+                    executor: Executor::Sim(SimConfig::firefly(4)),
+                    ..Options::default()
+                },
+            );
+            assert_eq!(
+                reference,
+                normalize(&conc.diagnostics, &conc.sources),
+                "module {i}, sim, {}",
+                strategy.name()
+            );
+        }
+        let threaded = compile_concurrent(
+            &src,
+            Arc::new(defs.clone()),
+            Arc::clone(&interner),
+            Options {
+                analyze: true,
+                ..Options::threads(4)
+            },
+        );
+        assert_eq!(
+            reference,
+            normalize(&threaded.diagnostics, &threaded.sources),
+            "module {i}, threaded"
+        );
+        // The no-early-split ablation routes every unit through
+        // process_local_procs instead of procedure streams: the unit
+        // inventory (and so the findings) must not change.
+        let nosplit = compile_concurrent(
+            &src,
+            Arc::new(defs.clone()),
+            Arc::clone(&interner),
+            Options {
+                analyze: true,
+                early_split: false,
+                executor: Executor::Sim(SimConfig::firefly(4)),
+                ..Options::default()
+            },
+        );
+        assert_eq!(
+            reference,
+            normalize(&nosplit.diagnostics, &nosplit.sources),
+            "module {i}, no-early-split"
+        );
+    }
 }
 
 #[test]

@@ -80,6 +80,7 @@ proptest! {
             import_depth: interfaces.clamp(usize::from(interfaces > 0), 3),
             stmts_per_proc: stmts,
             nested_ratio: nested as f64 / 100.0,
+            lint_seeds: false,
         };
         let m = generate(&params);
         let interner = Arc::new(Interner::new());
@@ -220,11 +221,98 @@ proptest! {
     }
 }
 
+/// Normalizes diagnostics for cross-compiler comparison (the compilers
+/// register files in different orders, so FileIds differ while names
+/// agree).
+fn normalize_diags(
+    diags: &[ccm2_support::diag::Diagnostic],
+    sources: &ccm2_support::SourceMap,
+) -> Vec<(String, u32, u32, String)> {
+    let mut v: Vec<(String, u32, u32, String)> = diags
+        .iter()
+        .map(|d| {
+            (
+                sources
+                    .get(d.file)
+                    .map(|f| f.name().to_string())
+                    .unwrap_or_else(|| format!("file#{}", d.file.0)),
+                d.span.lo,
+                d.span.hi,
+                format!("{}: {}", d.severity, d.message),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         ..ProptestConfig::default()
     })]
+
+    #[test]
+    fn lint_findings_deterministic_and_strategy_independent(
+        seed in 0u64..2000,
+        procedures in 2usize..10,
+        interfaces in 1usize..4,
+    ) {
+        use ccm2::Executor;
+        use ccm2_sched::SimConfig;
+        use ccm2_sema::symtab::DkyStrategy;
+
+        let m = generate(&GenParams {
+            name: "Lint".into(),
+            seed,
+            procedures,
+            interfaces,
+            import_depth: 1,
+            stmts_per_proc: 8,
+            nested_ratio: 0.2,
+            lint_seeds: true,
+        });
+        let run_seq = || {
+            ccm2_seq::compile_full(
+                &m.source,
+                &m.defs,
+                Arc::new(Interner::new()),
+                Arc::new(NullMeter),
+                ccm2_sema::declare::HeadingMode::CopyToChild,
+                true,
+            )
+        };
+        let seq_a = run_seq();
+        let seq_b = run_seq();
+        prop_assert!(seq_a.is_ok(), "{:?}", seq_a.diagnostics);
+        let reference = normalize_diags(&seq_a.diagnostics, &seq_a.sources);
+        // Deterministic across runs...
+        prop_assert_eq!(
+            &reference,
+            &normalize_diags(&seq_b.diagnostics, &seq_b.sources)
+        );
+        // ...and identical under the concurrent compiler for every DKY
+        // strategy.
+        for strategy in DkyStrategy::ALL {
+            let conc = compile_concurrent(
+                &m.source,
+                Arc::new(m.defs.clone()),
+                Arc::new(Interner::new()),
+                Options {
+                    strategy,
+                    analyze: true,
+                    executor: Executor::Sim(SimConfig::firefly(3)),
+                    ..Options::default()
+                },
+            );
+            prop_assert_eq!(
+                &reference,
+                &normalize_diags(&conc.diagnostics, &conc.sources),
+                "strategy {}",
+                strategy.name()
+            );
+        }
+    }
 
     #[test]
     fn pretty_print_roundtrips_generated_modules(
@@ -244,6 +332,7 @@ proptest! {
             import_depth: 1,
             stmts_per_proc: stmts,
             nested_ratio: 0.2,
+            lint_seeds: false,
         });
         let interner = Interner::new();
         let map = ccm2_support::SourceMap::new();

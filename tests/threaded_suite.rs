@@ -22,7 +22,11 @@ fn medium_suite_entries_compile_on_four_workers() {
             Arc::new(NullMeter),
             HeadingMode::CopyToChild,
         );
-        assert!(seq.is_ok(), "{index}: {:?}", &seq.diagnostics[..3.min(seq.diagnostics.len())]);
+        assert!(
+            seq.is_ok(),
+            "{index}: {:?}",
+            &seq.diagnostics[..3.min(seq.diagnostics.len())]
+        );
         let conc = compile_concurrent(
             &m.source,
             Arc::new(m.defs.clone()),
@@ -86,6 +90,7 @@ fn single_worker_handles_deep_nesting_chains() {
         import_depth: 10,
         stmts_per_proc: 10,
         nested_ratio: 0.2,
+        lint_seeds: false,
     });
     let out = compile_concurrent(
         &m.source,
@@ -93,7 +98,11 @@ fn single_worker_handles_deep_nesting_chains() {
         Arc::new(Interner::new()),
         Options::threads(1),
     );
-    assert!(out.is_ok(), "{:?}", &out.diagnostics[..3.min(out.diagnostics.len())]);
+    assert!(
+        out.is_ok(),
+        "{:?}",
+        &out.diagnostics[..3.min(out.diagnostics.len())]
+    );
     assert_eq!(out.imported_interfaces, 10);
 }
 
