@@ -14,4 +14,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== incremental cache: warm/cold equivalence =="
+cargo test -q --test incremental
+cargo test -q --test properties warm_cache_compiles_are_invisible
+
+echo "== incremental cache: format-version bump guard =="
+# Any change to the on-disk entry encoding must bump FORMAT_VERSION, and
+# every bump must come with a mismatch-invalidation test for the new
+# version (old entries must degrade to misses, not decode wrongly).
+ver=$(grep -o 'FORMAT_VERSION: u32 = [0-9]*' crates/incr/src/entry.rs | grep -o '[0-9]*$')
+if ! grep -q "version_${ver}_mismatch_invalidates" crates/incr/src/entry.rs; then
+  echo "FORMAT_VERSION is ${ver} but crates/incr/src/entry.rs has no" >&2
+  echo "version_${ver}_mismatch_invalidates test — add one for the new version." >&2
+  exit 1
+fi
+
 echo "CI OK"

@@ -7,6 +7,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- fig4 fig5 fig7
 //! cargo run --release -p ccm2-bench --bin reproduce -- overhead dky headings workcrews
 //! cargo run --release -p ccm2-bench --bin reproduce -- analyze
+//! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! ```
 
 use ccm2_bench as bench;
@@ -71,5 +72,8 @@ fn main() {
     }
     if want("analyze") {
         println!("{}\n", bench::analyze());
+    }
+    if want("incr") {
+        println!("{}\n", bench::incr());
     }
 }

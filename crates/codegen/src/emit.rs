@@ -167,9 +167,17 @@ impl<'a> Emitter<'a> {
     }
 
     fn patch_jump(&mut self, at: usize, target: u32) {
-        match &mut self.unit.code[at] {
-            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => *t = target,
-            other => panic!("patching non-jump {other:?}"),
+        match self.unit.code.get_mut(at) {
+            Some(Instr::Jump(t)) | Some(Instr::JumpIfFalse(t)) | Some(Instr::JumpIfTrue(t)) => {
+                *t = target
+            }
+            other => {
+                // An emitter bug, not a user error — but a diagnostic (and
+                // a suppressed image) beats tearing down the whole
+                // concurrent compile from one codegen task.
+                let what = format!("internal error: patching non-jump instruction {other:?}");
+                self.error(Span { lo: 0, hi: 0 }, what);
+            }
         }
     }
 
@@ -1273,9 +1281,13 @@ impl<'a> Emitter<'a> {
                 self.stmts(body);
                 self.emit(Instr::Jump(top));
                 let end = self.here();
-                let exits = self.loop_exits.pop().expect("loop stack");
-                for j in exits {
-                    self.patch_jump(j, end);
+                match self.loop_exits.pop() {
+                    Some(exits) => {
+                        for j in exits {
+                            self.patch_jump(j, end);
+                        }
+                    }
+                    None => self.error(s.span, "internal error: unbalanced LOOP nesting"),
                 }
             }
             StmtKind::Exit => {

@@ -18,12 +18,13 @@
 //! Building and merging a unit by hand:
 //!
 //! ```
+//! use std::sync::Arc;
 //! use ccm2_support::{Interner, NullMeter};
 //! use ccm2_codegen::ir::{CodeUnit, Instr};
 //! use ccm2_codegen::merge::Merger;
 //!
-//! let interner = Interner::new();
-//! let merger = Merger::new(interner.intern("M"));
+//! let interner = Arc::new(Interner::new());
+//! let merger = Merger::new(interner.intern("M"), Arc::clone(&interner));
 //! let mut unit = CodeUnit::new(interner.intern("M"), 0);
 //! unit.code.push(Instr::Halt);
 //! merger.add_unit(unit, &NullMeter);

@@ -8,6 +8,7 @@
 //! the property the merge-order property tests exercise.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -32,28 +33,27 @@ pub struct GlobalArea {
 pub struct ModuleImage {
     /// The compiled module's name.
     pub name: Symbol,
-    /// All code units, sorted by code name.
+    /// All code units, sorted by *resolved* code name (stable run-to-run
+    /// regardless of interning order — cache equivalence depends on it).
     pub units: Vec<CodeUnit>,
-    /// Global areas, sorted by module name.
+    /// Global areas, sorted by resolved module name.
     pub globals: Vec<GlobalArea>,
     /// Name of the entry (module body) unit.
     pub entry: Symbol,
 }
 
 impl ModuleImage {
-    /// Finds a unit by its dotted code name.
+    /// Finds a unit by its dotted code name. Units are sorted by resolved
+    /// name string, which symbol handles cannot binary-search, so this is
+    /// a linear scan of symbol equality — fine for lookups outside hot
+    /// loops (the VM builds its own dispatch map).
     pub fn unit(&self, name: Symbol) -> Option<&CodeUnit> {
-        self.units
-            .binary_search_by_key(&name.index(), |u| u.name.index())
-            .ok()
-            .map(|ix| &self.units[ix])
+        self.units.iter().find(|u| u.name == name)
     }
 
     /// Index of a unit by name (for call dispatch tables).
     pub fn unit_index(&self, name: Symbol) -> Option<usize> {
-        self.units
-            .binary_search_by_key(&name.index(), |u| u.name.index())
-            .ok()
+        self.units.iter().position(|u| u.name == name)
     }
 
     /// Index of a global area by module name.
@@ -91,15 +91,19 @@ impl ModuleImage {
 #[derive(Debug)]
 pub struct Merger {
     name: Symbol,
+    interner: Arc<Interner>,
     units: Mutex<Vec<CodeUnit>>,
     globals: Mutex<HashMap<Symbol, Vec<Shape>>>,
 }
 
 impl Merger {
-    /// Creates a merger for the module `name`.
-    pub fn new(name: Symbol) -> Merger {
+    /// Creates a merger for the module `name`. The interner resolves unit
+    /// names at [`Merger::finish`] so the canonical order is the *name
+    /// string* order, independent of symbol-interning order.
+    pub fn new(name: Symbol, interner: Arc<Interner>) -> Merger {
         Merger {
             name,
+            interner,
             units: Mutex::new(Vec::new()),
             globals: Mutex::new(HashMap::new()),
         }
@@ -121,15 +125,18 @@ impl Merger {
         self.units.lock().len()
     }
 
-    /// Produces the canonical module image.
+    /// Produces the canonical module image. Sort keys are resolved name
+    /// strings: symbol indices depend on interning order, which differs
+    /// between runs (and between a warm cache run and a cold one), while
+    /// the names themselves do not.
     pub fn finish(&self) -> ModuleImage {
         let mut units = std::mem::take(&mut *self.units.lock());
-        units.sort_by_key(|u| u.name.index());
+        units.sort_by_key(|u| self.interner.resolve(u.name));
         let mut globals: Vec<GlobalArea> = std::mem::take(&mut *self.globals.lock())
             .into_iter()
             .map(|(module, slots)| GlobalArea { module, slots })
             .collect();
-        globals.sort_by_key(|g| g.module.index());
+        globals.sort_by_key(|g| self.interner.resolve(g.module));
         ModuleImage {
             name: self.name,
             units,
@@ -153,23 +160,44 @@ mod tests {
 
     #[test]
     fn merge_is_order_insensitive() {
-        let i = Interner::new();
+        let i = Arc::new(Interner::new());
         let m = i.intern("M");
-        let a = Merger::new(m);
+        let a = Merger::new(m, Arc::clone(&i));
         a.add_unit(unit(&i, "M.X"), &NullMeter);
         a.add_unit(unit(&i, "M"), &NullMeter);
         a.add_unit(unit(&i, "M.A"), &NullMeter);
-        let b = Merger::new(m);
+        let b = Merger::new(m, Arc::clone(&i));
         b.add_unit(unit(&i, "M.A"), &NullMeter);
         b.add_unit(unit(&i, "M.X"), &NullMeter);
         b.add_unit(unit(&i, "M"), &NullMeter);
-        assert_eq!(a.finish(), b.finish());
+        let image = a.finish();
+        assert_eq!(image, b.finish());
+        // Canonical order is the *name string* order.
+        let names: Vec<String> = image.units.iter().map(|u| i.resolve(u.name)).collect();
+        assert_eq!(names, vec!["M", "M.A", "M.X"]);
+    }
+
+    #[test]
+    fn unit_order_is_independent_of_interning_order() {
+        // Intern the *late-sorting* name first so symbol-index order and
+        // name order disagree; the image must follow name order (a warm
+        // cache run interns names in a different order than a cold one).
+        let i = Arc::new(Interner::new());
+        let m = Merger::new(i.intern("M"), Arc::clone(&i));
+        m.add_unit(unit(&i, "M.Zed"), &NullMeter);
+        m.add_unit(unit(&i, "M.Alpha"), &NullMeter);
+        m.add_unit(unit(&i, "M"), &NullMeter);
+        assert!(i.intern("M.Zed").index() < i.intern("M.Alpha").index());
+        let img = m.finish();
+        let names: Vec<String> = img.units.iter().map(|u| i.resolve(u.name)).collect();
+        assert_eq!(names, vec!["M", "M.Alpha", "M.Zed"]);
+        assert_eq!(img.unit_index(i.intern("M.Zed")), Some(2));
     }
 
     #[test]
     fn image_lookup_by_name() {
-        let i = Interner::new();
-        let m = Merger::new(i.intern("M"));
+        let i = Arc::new(Interner::new());
+        let m = Merger::new(i.intern("M"), Arc::clone(&i));
         m.add_unit(unit(&i, "M.P"), &NullMeter);
         m.add_unit(unit(&i, "M"), &NullMeter);
         let img = m.finish();
@@ -180,23 +208,22 @@ mod tests {
 
     #[test]
     fn globals_sorted_by_module() {
-        let i = Interner::new();
-        let m = Merger::new(i.intern("M"));
+        let i = Arc::new(Interner::new());
+        let m = Merger::new(i.intern("M"), Arc::clone(&i));
         m.add_globals(i.intern("Zeta"), vec![Shape::Int]);
         m.add_globals(i.intern("Alpha"), vec![Shape::Real, Shape::Bool]);
         let img = m.finish();
-        // Sorted by symbol index = interning order here; check retrieval
-        // rather than order.
+        // Sorted by resolved module name, not interning order.
         let zi = img.global_index(i.intern("Zeta")).expect("zeta");
         let ai = img.global_index(i.intern("Alpha")).expect("alpha");
-        assert_ne!(zi, ai);
+        assert_eq!((ai, zi), (0, 1));
         assert_eq!(img.globals[ai].slots.len(), 2);
     }
 
     #[test]
     fn disassembly_mentions_units() {
-        let i = Interner::new();
-        let m = Merger::new(i.intern("M"));
+        let i = Arc::new(Interner::new());
+        let m = Merger::new(i.intern("M"), Arc::clone(&i));
         m.add_unit(unit(&i, "M"), &NullMeter);
         let img = m.finish();
         let dis = img.disassemble(&i);

@@ -20,13 +20,17 @@
 //! per-symbol events of the Optimistic strategy, and the §2.4 heading
 //! events that gate procedure streams.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
 use ccm2_codegen::merge::{Merger, ModuleImage};
+use ccm2_incr::{
+    decode_entry, encode_entry, environment_fp, fingerprint_streams, ArtifactStore, CacheEntryData,
+    CachedDiag, Carve, IncrStats, StreamNode, FORMAT_VERSION,
+};
 use ccm2_sched::{
     run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc, TaskKind,
     WaitSet,
@@ -36,7 +40,8 @@ use ccm2_sema::stats::LookupStats;
 use ccm2_sema::symtab::{DkyStrategy, DkyWaiter, ProcSig, ScopeKind, SymbolTables, TableNotifier};
 use ccm2_sema::Sema;
 use ccm2_support::defs::DefProvider;
-use ccm2_support::diag::{Diagnostic, DiagnosticSink};
+use ccm2_support::diag::{Diagnostic, DiagnosticSink, Severity};
+use ccm2_support::hash::Fp128;
 use ccm2_support::ids::{EventId, ScopeId, StreamId};
 use ccm2_support::intern::{Interner, Symbol};
 use ccm2_support::source::{FileId, SourceMap, Span};
@@ -85,6 +90,16 @@ pub struct Options {
     /// are byte-identical to the sequential compiler's
     /// (`ccm2_seq::compile_full` with `analyze = true`).
     pub analyze: bool,
+    /// Content-addressed incremental compilation. When set, every
+    /// procedure stream whose fingerprint matches a store entry is
+    /// *respliced*: its Parser/DeclAnalyzer and StmtAnalyzer/CodeGen
+    /// tasks are replaced by one cheap `CacheSplice` task feeding the
+    /// cached unit into the merge and replaying its diagnostics. Only
+    /// active with `early_split` and `HeadingMode::CopyToChild`, and
+    /// only when the [`DefProvider`] can enumerate its library (the
+    /// environment fingerprint must cover every interface); otherwise
+    /// the compile silently runs cold.
+    pub incremental: Option<Arc<dyn ArtifactStore>>,
 }
 
 impl Default for Options {
@@ -96,6 +111,7 @@ impl Default for Options {
             long_proc_threshold: 40,
             early_split: true,
             analyze: false,
+            incremental: None,
         }
     }
 }
@@ -143,6 +159,9 @@ pub struct ConcurrentOutput {
     pub imported_interfaces: usize,
     /// Maximum import nesting depth observed (Table 1).
     pub import_nesting_depth: usize,
+    /// Incremental-cache counters; `Some` iff the compile ran with an
+    /// active [`Options::incremental`] store.
+    pub incr: Option<IncrStats>,
 }
 
 impl ConcurrentOutput {
@@ -201,8 +220,46 @@ pub fn compile_concurrent(
             procedures: 0,
             imported_interfaces: 0,
             import_nesting_depth: 0,
+            incr: None,
         },
     }
+}
+
+/// Active incremental-compilation state (gating already applied).
+struct IncrInner {
+    store: Arc<dyn ArtifactStore>,
+    /// Digest of everything outside the main source that affects output:
+    /// format version, configuration, every definition module's text.
+    env_fp: Fp128,
+    /// Signaled once hit/miss decisions exist (the module parser waits on
+    /// it before choosing between live codegen and a module-body splice).
+    ready: EventId,
+}
+
+/// A procedure stream whose task spawning is deferred until the splitter
+/// has carved the whole module and fingerprints can be computed.
+struct PendingStream {
+    stream: StreamId,
+    scope: ScopeId,
+    parent: ScopeId,
+    name: Symbol,
+    queue: Arc<TokenQueue>,
+}
+
+/// Per-stream hit/miss decision, kept so `finish` can record entries for
+/// the streams that compiled live (under the fingerprints computed *this*
+/// run) without re-deriving carves.
+struct ProcDecision {
+    fp: Fp128,
+    /// `Some` = respliced from the cache; `None` = compiled live.
+    entry: Option<Arc<CacheEntryData>>,
+    carve: Carve,
+}
+
+struct Decisions {
+    module_fp: Fp128,
+    module_entry: Option<Arc<CacheEntryData>>,
+    procs: HashMap<ScopeId, ProcDecision>,
 }
 
 struct DriverState {
@@ -218,6 +275,15 @@ struct DriverState {
     next_stream: u32,
     procedures: usize,
     max_import_depth: usize,
+    /// Carve ranges reported by the splitter (incremental mode only).
+    carves: HashMap<ScopeId, Carve>,
+    /// Streams awaiting a hit/miss decision at `split_eof`.
+    pending_procs: Vec<PendingStream>,
+    decisions: Option<Arc<Decisions>>,
+    /// Per-scope used-name sets captured from `Analyze` tasks, for
+    /// recording cache entries.
+    used_sets: HashMap<ScopeId, HashSet<Symbol>>,
+    incr_stats: IncrStats,
 }
 
 struct Driver {
@@ -235,6 +301,7 @@ struct Driver {
     analyze: bool,
     hub: ccm2_analysis::AnalysisHub,
     main_scope_event: EventId,
+    incr: Option<IncrInner>,
     st: Mutex<DriverState>,
 }
 
@@ -248,13 +315,30 @@ impl Driver {
         let sink = Arc::new(DiagnosticSink::new());
         let main_scope_event = env.new_event_named(EventClass::Handled, "scope(Main)");
         let placeholder = interner.intern("");
+        // Incremental gating: carves come from the splitter, fingerprints
+        // assume heading tokens are copied to the child (not re-elaborated
+        // into different diagnostics), and the environment digest must see
+        // the whole interface library.
+        let incr = options.incremental.as_ref().and_then(|store| {
+            if !options.early_split || options.heading_mode != HeadingMode::CopyToChild {
+                return None;
+            }
+            let library = defs.all_definitions()?;
+            // Heading-mode tag 0 = CopyToChild, the only mode gated in.
+            let env_fp = environment_fp(FORMAT_VERSION, options.analyze, 0, &library);
+            Some(IncrInner {
+                store: Arc::clone(store),
+                env_fp,
+                ready: env.new_event_named(EventClass::Handled, "incr(decisions)"),
+            })
+        });
         let driver = Arc::new(Driver {
             env: Arc::clone(&env),
             interner: Arc::clone(&interner),
             sink: Arc::clone(&sink),
             sources: Arc::new(SourceMap::new()),
             defs,
-            merger: Merger::new(placeholder),
+            merger: Merger::new(placeholder, Arc::clone(&interner)),
             sema: OnceLock::new(),
             strategy: options.strategy,
             heading_mode: options.heading_mode,
@@ -263,6 +347,7 @@ impl Driver {
             analyze: options.analyze,
             hub: ccm2_analysis::AnalysisHub::new(),
             main_scope_event,
+            incr,
             st: Mutex::new(DriverState {
                 def_streams: HashMap::new(),
                 scope_events: HashMap::new(),
@@ -276,6 +361,11 @@ impl Driver {
                 next_stream: 0,
                 procedures: 0,
                 max_import_depth: 0,
+                carves: HashMap::new(),
+                pending_procs: Vec::new(),
+                decisions: None,
+                used_sets: HashMap::new(),
+                incr_stats: IncrStats::default(),
             }),
         });
         let meter = Arc::new(EnvMeter(Arc::clone(&env)));
@@ -403,7 +493,14 @@ impl Driver {
             );
             t.signals = vec![self.main_scope_event];
             t.may_wait = WaitSet {
-                events: vec![],
+                // Under incremental compilation the parser also waits for
+                // the splitter's hit/miss decisions before spawning the
+                // module-body task.
+                events: self
+                    .incr
+                    .as_ref()
+                    .map(|i| vec![i.ready])
+                    .unwrap_or_default(),
                 all_def_scopes: true,
                 any_barrier: true,
             };
@@ -508,6 +605,7 @@ impl Driver {
         kind: ccm2_analysis::UnitKind,
         decls: Vec<Decl>,
         stmts: Vec<Stmt>,
+        scope: Option<ScopeId>,
     ) {
         let weight = stmt_count(&stmts) as u64;
         let this = Arc::clone(self);
@@ -525,6 +623,13 @@ impl Driver {
                     &sema.sink,
                 );
                 this.env.charge(Work::Analyze, ua.work);
+                if let Some(scope) = scope {
+                    if this.incr.is_some() {
+                        // Cache entries must carry the per-unit used-name
+                        // set (a spliced unit can't re-run its analysis).
+                        this.st.lock().used_sets.insert(scope, ua.used.clone());
+                    }
+                }
                 this.hub.absorb(ua.used);
             }),
         );
@@ -663,11 +768,40 @@ impl Driver {
                 ccm2_analysis::UnitKind::Module,
                 unit_decls,
                 stmts.clone(),
+                None,
             );
         }
-        // Module-body statement analysis + code generation task.
+        // Module-body statement analysis + code generation task — or a
+        // splice of the cached module unit. The splitter has carved every
+        // stream by the time the main token queue closes, so waiting on
+        // `ready` here cannot block for long (and never cyclically: the
+        // splitter reads only from the lexer).
+        let module_entry = match &self.incr {
+            Some(incr) => {
+                self.env.wait(incr.ready);
+                let st = self.st.lock();
+                st.decisions.as_ref().and_then(|d| d.module_entry.clone())
+            }
+            None => None,
+        };
         let weight = stmt_count(&stmts) as u64;
         let this = Arc::clone(self);
+        if let Some(entry) = module_entry {
+            let mut t = TaskDesc::new(
+                format!("splice({})", self.interner.resolve(module_name)),
+                TaskKind::CacheSplice,
+                Box::new(move || {
+                    let sema = this.sema();
+                    this.env
+                        .charge(Work::Splice, 1 + entry.unit.code.len() as u64 / 64);
+                    this.merger
+                        .add_unit(entry.unit.clone(), sema.meter.as_ref());
+                }),
+            );
+            t.weight = weight;
+            self.env.spawn(t);
+            return;
+        }
         let kind = if weight as usize >= self.long_threshold {
             TaskKind::LongCodeGen
         } else {
@@ -730,6 +864,7 @@ impl Driver {
                     ccm2_analysis::UnitKind::Procedure,
                     local.decls.clone(),
                     stmts.clone(),
+                    Some(p.scope),
                 );
             }
             let weight = stmt_count(&stmts) as u64;
@@ -827,6 +962,7 @@ impl Driver {
                 ccm2_analysis::UnitKind::Procedure,
                 unit_decls,
                 stmts.clone(),
+                Some(scope),
             );
         }
         let mut t = TaskDesc::new(
@@ -848,6 +984,348 @@ impl Driver {
         let _ = stream;
     }
 
+    // ---- incremental compilation -------------------------------------------
+
+    /// Parser/DeclAnalyzer task for a procedure stream, gated on the
+    /// heading event (§2.4 avoided event). Under Avoidance it is also
+    /// gated on the parent scope's completion (§2.2). Called directly
+    /// from `proc_stream`, or from `incr_split_eof` for cache misses.
+    fn spawn_proc_parse(
+        self: &Arc<Self>,
+        id: StreamId,
+        scope: ScopeId,
+        parent: ScopeId,
+        name: Symbol,
+        q: Arc<TokenQueue>,
+    ) {
+        let name_str = self.interner.resolve(name);
+        let (scope_ev, heading_ev) = {
+            let st = self.st.lock();
+            (
+                st.scope_events.get(&scope).copied(),
+                st.heading_events.get(&scope).copied(),
+            )
+        };
+        let ancestor_events: Vec<EventId> = self
+            .tables()
+            .ancestry(scope)
+            .into_iter()
+            .skip(1)
+            .map(|s| self.scope_event(s))
+            .collect();
+        let body_q = Arc::clone(&q);
+        let spawn_this = Arc::clone(self);
+        let mut t = TaskDesc::new(
+            format!("procparse({name_str})"),
+            TaskKind::ProcParse,
+            Box::new(move || spawn_this.proc_parse(id, scope, body_q)),
+        );
+        t.prereqs = heading_ev.into_iter().collect();
+        if self.strategy == DkyStrategy::Avoidance {
+            t.prereqs.push(self.scope_event(parent));
+        }
+        t.signals = scope_ev.into_iter().collect();
+        t.may_wait = WaitSet {
+            events: ancestor_events,
+            all_def_scopes: true,
+            any_barrier: true,
+        };
+        self.env.spawn(t);
+    }
+
+    /// The splitter carved every stream: fingerprint them, decide hit or
+    /// miss per stream, then spawn each deferred task as either a
+    /// `CacheSplice` or a normal `ProcParse`. A hit is spliced only when
+    /// every nested stream inside it also hit — a recompiled inner
+    /// procedure needs its enclosing scopes declared live.
+    fn incr_split_eof(self: &Arc<Self>) {
+        let Some(incr) = &self.incr else { return };
+        let (pending, carves) = {
+            let mut st = self.st.lock();
+            (
+                std::mem::take(&mut st.pending_procs),
+                std::mem::take(&mut st.carves),
+            )
+        };
+        let source_text = self
+            .sources
+            .get(FileId(0))
+            .map(|f| f.text().to_string())
+            .unwrap_or_default();
+        // Missing carves would make the context digests unsound (they
+        // describe which child bodies to exclude); degrade the whole
+        // compile to cold rather than risk a wrong splice.
+        let complete = pending.iter().all(|p| carves.contains_key(&p.scope));
+        let index_of: HashMap<ScopeId, usize> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.scope, i))
+            .collect();
+        let nodes: Vec<StreamNode> = pending
+            .iter()
+            .map(|p| StreamNode {
+                carve: carves.get(&p.scope).copied().unwrap_or(Carve {
+                    lo: 0,
+                    heading_hi: 0,
+                    hi: 0,
+                }),
+                parent: index_of.get(&p.parent).copied(),
+            })
+            .collect();
+        let fps = fingerprint_streams(&source_text, &nodes, incr.env_fp);
+        let mut stats = IncrStats {
+            units: pending.len() + 1,
+            ..IncrStats::default()
+        };
+        let mut load = |fp: Fp128, what: &str| -> Option<Arc<CacheEntryData>> {
+            if !complete {
+                return None;
+            }
+            let bytes = incr.store.load(fp)?;
+            match decode_entry(&bytes, &self.interner) {
+                Ok(entry) => Some(Arc::new(entry)),
+                Err(e) => {
+                    stats.bad_entries += 1;
+                    self.sink.report(Diagnostic {
+                        severity: Severity::Note,
+                        file: FileId(0),
+                        span: Span { lo: 0, hi: 0 },
+                        message: format!("incremental cache entry for `{what}` ignored: {e}"),
+                    });
+                    None
+                }
+            }
+        };
+        let entries: Vec<Option<Arc<CacheEntryData>>> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| load(fps.streams[i], &self.interner.resolve(p.name)))
+            .collect();
+        let module_entry = {
+            let st = self.st.lock();
+            let main = st.main_name;
+            drop(st);
+            main.and_then(|m| load(fps.module, &self.interner.resolve(m)))
+        };
+        // Splice closure, bottom-up (children always follow their lexical
+        // parent in discovery order, so a reverse scan sees them first).
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); pending.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                children[p].push(i);
+            }
+        }
+        let mut spliced = vec![false; pending.len()];
+        for i in (0..pending.len()).rev() {
+            spliced[i] = entries[i].is_some() && children[i].iter().all(|&c| spliced[c]);
+        }
+        stats.hits = entries.iter().flatten().count() + usize::from(module_entry.is_some());
+        stats.spliced =
+            spliced.iter().filter(|s| **s).count() + usize::from(module_entry.is_some());
+        stats.recompiled = stats.units - stats.spliced;
+        let procs: HashMap<ScopeId, ProcDecision> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    p.scope,
+                    ProcDecision {
+                        fp: fps.streams[i],
+                        entry: spliced[i].then(|| entries[i].clone()).flatten(),
+                        carve: nodes[i].carve,
+                    },
+                )
+            })
+            .collect();
+        let scope_of: Vec<ScopeId> = pending.iter().map(|p| p.scope).collect();
+        {
+            let mut st = self.st.lock();
+            st.decisions = Some(Arc::new(Decisions {
+                module_fp: fps.module,
+                module_entry,
+                procs,
+            }));
+            st.incr_stats = stats;
+        }
+        // The module parser may now choose between live codegen and a
+        // module-body splice.
+        self.env.signal(incr.ready);
+        for (i, p) in pending.into_iter().enumerate() {
+            if spliced[i] {
+                let entry = entries[i].clone().expect("spliced implies entry");
+                let child_scopes: Vec<ScopeId> = children[i].iter().map(|&c| scope_of[c]).collect();
+                self.spawn_splice(p.scope, p.name, entry, nodes[i].carve, child_scopes);
+            } else {
+                self.spawn_proc_parse(p.stream, p.scope, p.parent, p.name, p.queue);
+            }
+        }
+    }
+
+    /// Spawns the `CacheSplice` task replacing a hit stream's ProcParse
+    /// and CodeGen tasks. Like ProcParse it is gated on the stream's §2.4
+    /// heading event: the enclosing declarer copies parameters into this
+    /// scope (CopyToChild), so the scope may only be marked complete after
+    /// that copy. Beyond the prereq it never waits, so it is always
+    /// stack-eligible.
+    fn spawn_splice(
+        self: &Arc<Self>,
+        scope: ScopeId,
+        name: Symbol,
+        entry: Arc<CacheEntryData>,
+        carve: Carve,
+        child_scopes: Vec<ScopeId>,
+    ) {
+        let (heading_ev, scope_ev, child_evs) = {
+            let st = self.st.lock();
+            let child_evs: Vec<EventId> = child_scopes
+                .iter()
+                .filter_map(|s| st.heading_events.get(s).copied())
+                .collect();
+            (
+                st.heading_events.get(&scope).copied(),
+                st.scope_events.get(&scope).copied(),
+                child_evs,
+            )
+        };
+        let this = Arc::clone(self);
+        let weight = entry.unit.code.len() as u64;
+        let body_evs = child_evs.clone();
+        let mut t = TaskDesc::new(
+            format!("splice({})", self.interner.resolve(name)),
+            TaskKind::CacheSplice,
+            Box::new(move || this.splice_proc(scope, entry, carve, body_evs)),
+        );
+        t.weight = weight;
+        t.prereqs = heading_ev.into_iter().collect();
+        t.signals = scope_ev.into_iter().chain(child_evs).collect();
+        self.env.spawn(t);
+    }
+
+    /// Task body of a procedure-stream splice: completes the (empty)
+    /// scope table, releases nested spliced streams' heading gates,
+    /// replays the stream's recorded diagnostics rebased onto this run's
+    /// carve, feeds the cached used-name set to the lint hub, and merges
+    /// the cached unit.
+    fn splice_proc(
+        self: &Arc<Self>,
+        scope: ScopeId,
+        entry: Arc<CacheEntryData>,
+        carve: Carve,
+        child_heading_evs: Vec<EventId>,
+    ) {
+        let sema = self.sema();
+        self.env
+            .charge(Work::Splice, 1 + entry.unit.code.len() as u64 / 64);
+        // Completing the scope fires its completion event and frees any
+        // DKY waiter. Spliced scopes are only ever searched by their own
+        // descendants, and those are spliced too (closure rule), so the
+        // emptiness of the table is unobservable.
+        sema.tables.mark_complete(scope);
+        // Nested spliced streams would otherwise never see their §2.4
+        // heading event: nobody parses this stream's text.
+        for e in child_heading_evs {
+            self.env.signal(e);
+        }
+        for d in &entry.diags {
+            sema.sink.report(Diagnostic {
+                severity: d.severity,
+                file: FileId(0),
+                span: Span {
+                    lo: carve.lo + d.rel_lo,
+                    hi: carve.lo + d.rel_hi,
+                },
+                message: d.message.clone(),
+            });
+        }
+        if self.analyze {
+            let used: HashSet<Symbol> =
+                entry.used.iter().map(|u| sema.interner.intern(u)).collect();
+            self.hub.absorb(used);
+        }
+        self.merger
+            .add_unit(entry.unit.clone(), sema.meter.as_ref());
+    }
+
+    /// After a clean compile, record a cache entry for every unit that
+    /// compiled live, under the fingerprints computed at `split_eof`.
+    /// Diagnostics are attributed to the innermost stream whose *body*
+    /// contains them (a nested heading belongs to its enclosing stream,
+    /// which declares it); module-level diagnostics are always re-emitted
+    /// live and are never recorded.
+    #[allow(clippy::too_many_arguments)] // one-shot call from `finish`
+    fn record_entries(
+        &self,
+        incr: &IncrInner,
+        dec: &Decisions,
+        image: &ModuleImage,
+        diagnostics: &[Diagnostic],
+        code_names: &HashMap<ScopeId, Symbol>,
+        used_sets: &HashMap<ScopeId, HashSet<Symbol>>,
+        main_name: Option<Symbol>,
+    ) {
+        let mut per_scope: HashMap<ScopeId, Vec<CachedDiag>> = HashMap::new();
+        for d in diagnostics {
+            if d.file != FileId(0) {
+                continue;
+            }
+            let owner = dec
+                .procs
+                .iter()
+                .filter(|(_, pd)| pd.carve.body_contains(d.span.lo))
+                .min_by_key(|(_, pd)| pd.carve.hi - pd.carve.lo)
+                .map(|(s, pd)| (*s, pd.carve));
+            if let Some((scope, carve)) = owner {
+                per_scope.entry(scope).or_default().push(CachedDiag {
+                    severity: d.severity,
+                    rel_lo: d.span.lo - carve.lo,
+                    rel_hi: d.span.hi.saturating_sub(carve.lo),
+                    message: d.message.clone(),
+                });
+            }
+        }
+        for (scope, pd) in &dec.procs {
+            if pd.entry.is_some() {
+                continue; // respliced: the store already has it
+            }
+            let Some(&name) = code_names.get(scope) else {
+                continue;
+            };
+            let Some(unit) = image.unit(name) else {
+                continue;
+            };
+            let diags = per_scope.remove(scope).unwrap_or_default();
+            let findings = diags.len() as u32;
+            let mut used: Vec<String> = used_sets
+                .get(scope)
+                .map(|s| s.iter().map(|sym| self.interner.resolve(*sym)).collect())
+                .unwrap_or_default();
+            used.sort();
+            used.dedup();
+            let data = CacheEntryData {
+                unit: unit.clone(),
+                diags,
+                used,
+                findings,
+            };
+            incr.store
+                .store(pd.fp, &encode_entry(&data, &self.interner));
+        }
+        if dec.module_entry.is_none() {
+            if let Some(unit) = main_name.and_then(|m| image.unit(m)) {
+                // The module unit carries no diagnostics: everything at
+                // module level is re-emitted by the live module parse.
+                let data = CacheEntryData {
+                    unit: unit.clone(),
+                    diags: vec![],
+                    used: vec![],
+                    findings: 0,
+                };
+                incr.store
+                    .store(dec.module_fp, &encode_entry(&data, &self.interner));
+            }
+        }
+    }
+
     // ---- finish -------------------------------------------------------------
 
     fn finish(self: &Arc<Self>, report: RunReport) -> ConcurrentOutput {
@@ -857,6 +1335,14 @@ impl Driver {
         let imported_interfaces = st.def_streams.len();
         let import_nesting_depth = st.max_import_depth;
         let main_imports = st.main_imports.take();
+        let decisions = st.decisions.take();
+        let code_names: HashMap<ScopeId, Symbol> = st
+            .heading_info
+            .iter()
+            .map(|(s, (name, _))| (*s, *name))
+            .collect();
+        let used_sets = std::mem::take(&mut st.used_sets);
+        let incr_stats = st.incr_stats;
         drop(st);
         // Unused-import lint: every Analyze task has completed (the run
         // is over), so the hub holds the full used-name union.
@@ -878,10 +1364,28 @@ impl Driver {
             image.entry = name;
             image
         });
+        let diagnostics = self.sink.take();
+        // Record cache entries for the units that compiled live — but
+        // only from an error-free compile, so a hit never replays the
+        // artifacts of a failed one.
+        if let (Some(incr), Some(dec), Some(image)) = (&self.incr, &decisions, &image) {
+            let clean = !diagnostics.iter().any(|d| d.severity == Severity::Error);
+            if clean {
+                self.record_entries(
+                    incr,
+                    dec,
+                    image,
+                    &diagnostics,
+                    &code_names,
+                    &used_sets,
+                    main_name,
+                );
+            }
+        }
         let sema = self.sema();
         ConcurrentOutput {
             image,
-            diagnostics: self.sink.take(),
+            diagnostics,
             stats: Arc::clone(sema.stats()),
             interner: Arc::clone(&self.interner),
             sources: Arc::clone(&self.sources),
@@ -890,6 +1394,7 @@ impl Driver {
             procedures,
             imported_interfaces,
             import_nesting_depth,
+            incr: self.incr.as_ref().map(|_| incr_stats),
         }
     }
 }
@@ -947,39 +1452,46 @@ impl StreamFactory for DriverHandle {
             st.procedures += 1;
             id
         };
-        // Parser/DeclAnalyzer task for the procedure stream, gated on the
-        // heading event (§2.4 avoided event). Under Avoidance it is also
-        // gated on the parent scope's completion (§2.2).
-        let ancestor_events: Vec<EventId> = this
-            .tables()
-            .ancestry(scope)
-            .into_iter()
-            .skip(1)
-            .map(|s| this.scope_event(s))
-            .collect();
-        let body_q = Arc::clone(&q);
-        let spawn_this = Arc::clone(this);
-        let mut t = TaskDesc::new(
-            format!("procparse({name_str})"),
-            TaskKind::ProcParse,
-            Box::new(move || spawn_this.proc_parse(id, scope, body_q)),
-        );
-        t.prereqs = vec![heading_ev];
-        if this.strategy == DkyStrategy::Avoidance {
-            t.prereqs.push(this.scope_event(parent));
+        if this.incr.is_some() {
+            // Incremental mode: task spawning is deferred to `split_eof`,
+            // when the full carve set exists and each stream can be
+            // fingerprinted as a cache hit (splice) or miss (parse).
+            this.st.lock().pending_procs.push(PendingStream {
+                stream: id,
+                scope,
+                parent,
+                name,
+                queue: Arc::clone(&q),
+            });
+        } else {
+            this.spawn_proc_parse(id, scope, parent, name, Arc::clone(&q));
         }
-        t.signals = vec![scope_ev];
-        t.may_wait = WaitSet {
-            events: ancestor_events,
-            all_def_scopes: true,
-            any_barrier: true,
-        };
-        this.env.spawn(t);
         (id, q)
     }
 
     fn scope_for(&self, stream: StreamId) -> Option<ScopeId> {
         self.0.st.lock().stream_scopes.get(&stream).copied()
+    }
+
+    fn stream_carved(&self, stream: StreamId, heading: Span, full: Span) {
+        if self.0.incr.is_none() {
+            return;
+        }
+        let mut st = self.0.st.lock();
+        if let Some(&scope) = st.stream_scopes.get(&stream) {
+            st.carves.insert(
+                scope,
+                Carve {
+                    lo: full.lo,
+                    heading_hi: heading.hi,
+                    hi: full.hi,
+                },
+            );
+        }
+    }
+
+    fn split_eof(&self) {
+        self.0.incr_split_eof();
     }
 }
 

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use ccm2_support::ids::{ScopeId, StreamId};
 use ccm2_support::intern::Symbol;
-use ccm2_support::source::FileId;
+use ccm2_support::source::{FileId, Span};
 use ccm2_syntax::token::{Token, TokenKind};
 
 use crate::queue::TokenQueue;
@@ -42,6 +42,16 @@ pub trait StreamFactory: Send + Sync {
     /// The scope created for `stream` (needed to parent nested
     /// procedures).
     fn scope_for(&self, stream: StreamId) -> Option<ScopeId>;
+    /// The splitter finished carving `stream` out of the main module's
+    /// text: `heading` covers `PROCEDURE … ;` and `full` the whole
+    /// declaration through `END Name ;`. Called once per stream, before
+    /// [`StreamFactory::split_eof`]. Default: ignore.
+    fn stream_carved(&self, _stream: StreamId, _heading: Span, _full: Span) {}
+    /// All streams have been carved and reported; the main stream is
+    /// still open. Incremental drivers use this to decide hit/miss per
+    /// stream before any deferred per-procedure work starts. Default:
+    /// ignore.
+    fn split_eof(&self) {}
 }
 
 /// A token source the splitter reads from (blocking).
@@ -70,6 +80,23 @@ struct Frame {
     /// Frames above the bottom one are procedure streams (closed when
     /// their END arrives).
     is_proc: bool,
+    /// The stream this frame feeds (`None` for the main frame).
+    stream: Option<StreamId>,
+    /// Source range of `PROCEDURE … ;` for proc frames.
+    heading: Span,
+    /// Grows to cover every token routed into this frame.
+    hi: u32,
+}
+
+impl Frame {
+    /// Report the carved extent to the factory, then close the sink.
+    fn carve_and_close(self, factory: &dyn StreamFactory) {
+        if let Some(stream) = self.stream {
+            let full = Span::new(self.heading.lo, self.hi.max(self.heading.hi));
+            factory.stream_carved(stream, self.heading, full);
+        }
+        self.sink.close();
+    }
 }
 
 /// Statistics about one splitter run.
@@ -95,6 +122,9 @@ pub fn run_splitter(
         scope: None,
         depth: 0,
         is_proc: false,
+        stream: None,
+        heading: Span::default(),
+        hi: 0,
     }];
     let mut pos = 0usize;
     let next = |pos: &mut usize| -> Option<Token> {
@@ -108,6 +138,7 @@ pub fn run_splitter(
     while let Some(t) = next(&mut pos) {
         report.tokens += 1;
         let top = stack.last_mut().expect("bottom frame always present");
+        top.hi = top.hi.max(t.span.hi);
         match t.kind {
             TokenKind::Module => {
                 top.depth += 1;
@@ -136,9 +167,11 @@ pub fn run_splitter(
                     // `END Name ;` goes to the procedure stream, which is
                     // then complete.
                     top.sink.push(t);
-                    report.tokens += copy_end_name(input, &mut pos, &top.sink);
-                    let frame = stack.pop().expect("proc frame");
-                    frame.sink.close();
+                    let (copied, tail_hi) = copy_end_name(input, &mut pos, &top.sink);
+                    report.tokens += copied;
+                    let mut frame = stack.pop().expect("proc frame");
+                    frame.hi = frame.hi.max(tail_hi);
+                    frame.carve_and_close(factory);
                 } else {
                     top.sink.push(t);
                 }
@@ -195,28 +228,45 @@ pub fn run_splitter(
                 // The new stream gets the heading then its body tokens.
                 proc_q.extend(heading.iter().copied());
                 let child_scope = factory.scope_for(stream);
+                let heading_span = Span::new(
+                    t.span.lo,
+                    heading.last().map(|h| h.span.hi).unwrap_or(t.span.hi),
+                );
                 stack.push(Frame {
                     sink: proc_q,
                     scope: child_scope,
                     depth: 0,
                     is_proc: true,
+                    stream: Some(stream),
+                    heading: heading_span,
+                    hi: heading_span.hi,
                 });
             }
             _ => top.sink.push(t),
         }
     }
-    // Close every stream (unterminated procedure streams included — their
-    // parsers will report the malformed input).
-    while let Some(frame) = stack.pop() {
-        frame.sink.close();
+    // Close every procedure stream (unterminated ones included — their
+    // parsers will report the malformed input) and report its carve, let
+    // the factory act on the complete carve set, then close the main
+    // stream last so hit/miss decisions exist before the module parser
+    // can finish.
+    while stack.len() > 1 {
+        let frame = stack.pop().expect("proc frame");
+        frame.carve_and_close(factory);
+    }
+    factory.split_eof();
+    if let Some(main) = stack.pop() {
+        main.sink.close();
     }
     report
 }
 
 /// After the procedure's END: copy the closing name and semicolon to the
-/// procedure stream. Returns tokens consumed.
-fn copy_end_name(input: &dyn SplitInput, pos: &mut usize, sink: &Arc<TokenQueue>) -> usize {
+/// procedure stream. Returns tokens consumed and the highest byte offset
+/// copied (so the carve extends through `END Name ;`).
+fn copy_end_name(input: &dyn SplitInput, pos: &mut usize, sink: &Arc<TokenQueue>) -> (usize, u32) {
     let mut copied = 0;
+    let mut hi = 0;
     // `END` was already pushed; expect Ident then Semi (copy whatever is
     // there so the stream parser can report precise errors).
     for _ in 0..2 {
@@ -227,13 +277,14 @@ fn copy_end_name(input: &dyn SplitInput, pos: &mut usize, sink: &Arc<TokenQueue>
         }
         *pos += 1;
         copied += 1;
+        hi = hi.max(t.span.hi);
         let is_semi = t.kind == TokenKind::Semi;
         sink.push(t);
         if is_semi {
             break;
         }
     }
-    copied
+    (copied, hi)
 }
 
 #[cfg(test)]

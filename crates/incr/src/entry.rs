@@ -1,0 +1,730 @@
+//! Versioned, checksummed, interner-independent cache-entry encoding.
+//!
+//! [`ccm2_support::Symbol`]s are run-local indices, so an on-disk entry
+//! must never contain one: every symbol is written as its resolved string
+//! and re-interned into the *current* run's interner at decode time.
+//! Layout (all integers little-endian, strings length-prefixed UTF-8):
+//!
+//! ```text
+//! magic "CCM2INCR" · version u32 · payload · checksum Fp128
+//! ```
+//!
+//! The trailing checksum covers everything before it, so a truncated or
+//! bit-flipped file fails [`decode_entry`] before any field is trusted;
+//! the driver degrades such entries to cache misses. Bump
+//! [`FORMAT_VERSION`] whenever the payload layout changes — old entries
+//! then fail with [`DecodeError::Version`] instead of misdecoding, and
+//! `ci.sh` insists on a `version_<N>_…` invalidation test matching the
+//! constant.
+
+use ccm2_codegen::ir::{CodeUnit, Instr, Shape};
+use ccm2_codegen::merge::ModuleImage;
+use ccm2_sema::builtins::Builtin;
+use ccm2_support::hash::Fp128;
+use ccm2_support::{Interner, Severity, Symbol};
+
+/// On-disk format version. See the module docs before touching this.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"CCM2INCR";
+
+/// A diagnostic recorded for replay, with spans relative to the stream's
+/// carve start (offsets shift between edits; content does not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedDiag {
+    /// Severity class.
+    pub severity: Severity,
+    /// `span.lo - carve.lo` at record time.
+    pub rel_lo: u32,
+    /// `span.hi - carve.lo` at record time.
+    pub rel_hi: u32,
+    /// The message, verbatim.
+    pub message: String,
+}
+
+/// Everything a cache hit must reproduce for one stream: the code unit,
+/// the diagnostics its tasks would have reported, and the lint data (the
+/// unit's used-name set feeds the whole-module unused-import check, and
+/// `findings` keeps lint counts exact in reports).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntryData {
+    /// The compiled unit.
+    pub unit: CodeUnit,
+    /// Diagnostics to replay, carve-relative.
+    pub diags: Vec<CachedDiag>,
+    /// Resolved names the unit's analysis marked as used (sorted).
+    pub used: Vec<String>,
+    /// Lint findings the unit's analysis reported.
+    pub findings: u32,
+}
+
+/// Why an entry failed to decode. All variants are handled identically by
+/// the driver (degrade to a miss + note); they are distinguished for
+/// tests and the corruption diagnostic's message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Shorter than magic + version + checksum.
+    TooShort,
+    /// Magic bytes absent — not a cache entry at all.
+    BadMagic,
+    /// Written by a different format version.
+    Version {
+        /// The version found in the entry.
+        found: u32,
+    },
+    /// Checksum mismatch: truncated or bit-flipped payload.
+    Checksum,
+    /// Structurally invalid payload (should be unreachable once the
+    /// checksum passes, but decoding stays total anyway).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "entry too short"),
+            DecodeError::BadMagic => write!(f, "bad magic"),
+            DecodeError::Version { found } => {
+                write!(f, "format version {found} (expected {FORMAT_VERSION})")
+            }
+            DecodeError::Checksum => write!(f, "checksum mismatch"),
+            DecodeError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn sym(&mut self, s: Symbol, interner: &Interner) {
+        self.str(&interner.resolve(s));
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(DecodeError::Malformed("length"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed("utf-8 string"))
+    }
+    fn sym(&mut self, interner: &Interner) -> Result<Symbol, DecodeError> {
+        Ok(interner.intern(&self.str()?))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn write_shape(w: &mut Writer, shape: &Shape) {
+    match shape {
+        Shape::Int => w.u8(0),
+        Shape::Real => w.u8(1),
+        Shape::Bool => w.u8(2),
+        Shape::Char => w.u8(3),
+        Shape::Set => w.u8(4),
+        Shape::Ptr => w.u8(5),
+        Shape::ProcVal => w.u8(6),
+        Shape::Str => w.u8(7),
+        Shape::Addr => w.u8(8),
+        Shape::Array(elem, len) => {
+            w.u8(9);
+            write_shape(w, elem);
+            w.u32(*len);
+        }
+        Shape::Record(fields) => {
+            w.u8(10);
+            w.u32(fields.len() as u32);
+            for f in fields {
+                write_shape(w, f);
+            }
+        }
+    }
+}
+
+fn read_shape(r: &mut Reader<'_>, depth: u32) -> Result<Shape, DecodeError> {
+    if depth > 64 {
+        return Err(DecodeError::Malformed("shape nesting"));
+    }
+    Ok(match r.u8()? {
+        0 => Shape::Int,
+        1 => Shape::Real,
+        2 => Shape::Bool,
+        3 => Shape::Char,
+        4 => Shape::Set,
+        5 => Shape::Ptr,
+        6 => Shape::ProcVal,
+        7 => Shape::Str,
+        8 => Shape::Addr,
+        9 => {
+            let elem = read_shape(r, depth + 1)?;
+            Shape::Array(Box::new(elem), r.u32()?)
+        }
+        10 => {
+            let n = r.u32()?;
+            let mut fields = Vec::new();
+            for _ in 0..n {
+                fields.push(read_shape(r, depth + 1)?);
+            }
+            Shape::Record(fields)
+        }
+        _ => return Err(DecodeError::Malformed("shape tag")),
+    })
+}
+
+fn builtin_name(b: Builtin) -> &'static str {
+    Builtin::ALL
+        .iter()
+        .find(|(_, known)| *known == b)
+        .map(|(name, _)| *name)
+        .unwrap_or("?")
+}
+
+fn builtin_by_name(name: &str) -> Option<Builtin> {
+    Builtin::ALL
+        .iter()
+        .find(|(known, _)| *known == name)
+        .map(|(_, b)| *b)
+}
+
+fn write_instr(w: &mut Writer, instr: &Instr, interner: &Interner) {
+    match instr {
+        Instr::PushInt(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        Instr::PushReal(bits) => {
+            w.u8(1);
+            w.u64(*bits);
+        }
+        Instr::PushBool(v) => {
+            w.u8(2);
+            w.u8(u8::from(*v));
+        }
+        Instr::PushChar(c) => {
+            w.u8(3);
+            w.u8(*c);
+        }
+        Instr::PushStr(s) => {
+            w.u8(4);
+            w.sym(*s, interner);
+        }
+        Instr::PushNil => w.u8(5),
+        Instr::PushSet(bits) => {
+            w.u8(6);
+            w.u64(*bits);
+        }
+        Instr::PushProc(s) => {
+            w.u8(7);
+            w.sym(*s, interner);
+        }
+        Instr::PushAddr { level_up, slot } => {
+            w.u8(8);
+            w.u32(*level_up);
+            w.u32(*slot);
+        }
+        Instr::PushGlobalAddr { module, slot } => {
+            w.u8(9);
+            w.sym(*module, interner);
+            w.u32(*slot);
+        }
+        Instr::AddrField(ix) => {
+            w.u8(10);
+            w.u32(*ix);
+        }
+        Instr::AddrIndex { lo, len } => {
+            w.u8(11);
+            w.i64(*lo);
+            w.i64(*len);
+        }
+        Instr::AddrDeref => w.u8(12),
+        Instr::Load => w.u8(13),
+        Instr::Store => w.u8(14),
+        Instr::Dup => w.u8(15),
+        Instr::Pop => w.u8(16),
+        Instr::Add => w.u8(17),
+        Instr::Sub => w.u8(18),
+        Instr::Mul => w.u8(19),
+        Instr::DivInt => w.u8(20),
+        Instr::ModInt => w.u8(21),
+        Instr::DivReal => w.u8(22),
+        Instr::Neg => w.u8(23),
+        Instr::Not => w.u8(24),
+        Instr::CmpEq => w.u8(25),
+        Instr::CmpNe => w.u8(26),
+        Instr::CmpLt => w.u8(27),
+        Instr::CmpLe => w.u8(28),
+        Instr::CmpGt => w.u8(29),
+        Instr::CmpGe => w.u8(30),
+        Instr::InSet => w.u8(31),
+        Instr::SetIncl => w.u8(32),
+        Instr::SetInclRange => w.u8(33),
+        Instr::Jump(t) => {
+            w.u8(34);
+            w.u32(*t);
+        }
+        Instr::JumpIfFalse(t) => {
+            w.u8(35);
+            w.u32(*t);
+        }
+        Instr::JumpIfTrue(t) => {
+            w.u8(36);
+            w.u32(*t);
+        }
+        Instr::Call {
+            target,
+            argc,
+            link_up,
+        } => {
+            w.u8(37);
+            w.sym(*target, interner);
+            w.u32(*argc);
+            w.u32(*link_up);
+        }
+        Instr::CallIndirect { argc } => {
+            w.u8(38);
+            w.u32(*argc);
+        }
+        Instr::CallBuiltin { builtin, argc } => {
+            w.u8(39);
+            w.str(builtin_name(*builtin));
+            w.u32(*argc);
+        }
+        Instr::Return => w.u8(40),
+        Instr::ReturnValue => w.u8(41),
+        Instr::Halt => w.u8(42),
+        Instr::NewCell { shape } => {
+            w.u8(43);
+            w.u32(*shape);
+        }
+        Instr::DisposeCell => w.u8(44),
+        Instr::Nop => w.u8(45),
+    }
+}
+
+fn read_instr(r: &mut Reader<'_>, interner: &Interner) -> Result<Instr, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Instr::PushInt(r.i64()?),
+        1 => Instr::PushReal(r.u64()?),
+        2 => Instr::PushBool(r.u8()? != 0),
+        3 => Instr::PushChar(r.u8()?),
+        4 => Instr::PushStr(r.sym(interner)?),
+        5 => Instr::PushNil,
+        6 => Instr::PushSet(r.u64()?),
+        7 => Instr::PushProc(r.sym(interner)?),
+        8 => Instr::PushAddr {
+            level_up: r.u32()?,
+            slot: r.u32()?,
+        },
+        9 => Instr::PushGlobalAddr {
+            module: r.sym(interner)?,
+            slot: r.u32()?,
+        },
+        10 => Instr::AddrField(r.u32()?),
+        11 => Instr::AddrIndex {
+            lo: r.i64()?,
+            len: r.i64()?,
+        },
+        12 => Instr::AddrDeref,
+        13 => Instr::Load,
+        14 => Instr::Store,
+        15 => Instr::Dup,
+        16 => Instr::Pop,
+        17 => Instr::Add,
+        18 => Instr::Sub,
+        19 => Instr::Mul,
+        20 => Instr::DivInt,
+        21 => Instr::ModInt,
+        22 => Instr::DivReal,
+        23 => Instr::Neg,
+        24 => Instr::Not,
+        25 => Instr::CmpEq,
+        26 => Instr::CmpNe,
+        27 => Instr::CmpLt,
+        28 => Instr::CmpLe,
+        29 => Instr::CmpGt,
+        30 => Instr::CmpGe,
+        31 => Instr::InSet,
+        32 => Instr::SetIncl,
+        33 => Instr::SetInclRange,
+        34 => Instr::Jump(r.u32()?),
+        35 => Instr::JumpIfFalse(r.u32()?),
+        36 => Instr::JumpIfTrue(r.u32()?),
+        37 => Instr::Call {
+            target: r.sym(interner)?,
+            argc: r.u32()?,
+            link_up: r.u32()?,
+        },
+        38 => Instr::CallIndirect { argc: r.u32()? },
+        39 => {
+            let name = r.str()?;
+            let builtin = builtin_by_name(&name).ok_or(DecodeError::Malformed("builtin name"))?;
+            Instr::CallBuiltin {
+                builtin,
+                argc: r.u32()?,
+            }
+        }
+        40 => Instr::Return,
+        41 => Instr::ReturnValue,
+        42 => Instr::Halt,
+        43 => Instr::NewCell { shape: r.u32()? },
+        44 => Instr::DisposeCell,
+        45 => Instr::Nop,
+        _ => return Err(DecodeError::Malformed("instruction tag")),
+    })
+}
+
+fn write_unit(w: &mut Writer, unit: &CodeUnit, interner: &Interner) {
+    w.sym(unit.name, interner);
+    w.u32(unit.level);
+    w.u32(unit.param_count);
+    w.u32(unit.frame.len() as u32);
+    for s in &unit.frame {
+        write_shape(w, s);
+    }
+    w.u32(unit.shapes.len() as u32);
+    for s in &unit.shapes {
+        write_shape(w, s);
+    }
+    w.u32(unit.code.len() as u32);
+    for i in &unit.code {
+        write_instr(w, i, interner);
+    }
+}
+
+fn read_unit(r: &mut Reader<'_>, interner: &Interner) -> Result<CodeUnit, DecodeError> {
+    let name = r.sym(interner)?;
+    let level = r.u32()?;
+    let param_count = r.u32()?;
+    let read_shapes = |r: &mut Reader<'_>| -> Result<Vec<Shape>, DecodeError> {
+        let n = r.u32()?;
+        let mut v = Vec::new();
+        for _ in 0..n {
+            v.push(read_shape(r, 0)?);
+        }
+        Ok(v)
+    };
+    let frame = read_shapes(r)?;
+    let shapes = read_shapes(r)?;
+    let n = r.u32()?;
+    let mut code = Vec::new();
+    for _ in 0..n {
+        code.push(read_instr(r, interner)?);
+    }
+    Ok(CodeUnit {
+        name,
+        level,
+        param_count,
+        frame,
+        shapes,
+        code,
+    })
+}
+
+/// Serializes a cache entry (see the module docs for the layout).
+pub fn encode_entry(entry: &CacheEntryData, interner: &Interner) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(FORMAT_VERSION);
+    write_unit(&mut w, &entry.unit, interner);
+    w.u32(entry.diags.len() as u32);
+    for d in &entry.diags {
+        w.u8(match d.severity {
+            Severity::Note => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        });
+        w.u32(d.rel_lo);
+        w.u32(d.rel_hi);
+        w.str(&d.message);
+    }
+    w.u32(entry.used.len() as u32);
+    for name in &entry.used {
+        w.str(name);
+    }
+    w.u32(entry.findings);
+    let checksum = Fp128::of(&w.buf);
+    w.u64(checksum.hi);
+    w.u64(checksum.lo);
+    w.buf
+}
+
+/// Deserializes a cache entry, validating magic, version and checksum
+/// before trusting any field. Symbols are interned into `interner`.
+pub fn decode_entry(bytes: &[u8], interner: &Interner) -> Result<CacheEntryData, DecodeError> {
+    if bytes.len() < MAGIC.len() + 4 + 16 {
+        return Err(DecodeError::TooShort);
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 16);
+    let stored = Fp128 {
+        hi: u64::from_le_bytes(checksum_bytes[..8].try_into().unwrap()),
+        lo: u64::from_le_bytes(checksum_bytes[8..].try_into().unwrap()),
+    };
+    if &body[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if Fp128::of(body) != stored {
+        return Err(DecodeError::Checksum);
+    }
+    let mut r = Reader {
+        buf: body,
+        pos: MAGIC.len(),
+    };
+    let found = r.u32()?;
+    if found != FORMAT_VERSION {
+        return Err(DecodeError::Version { found });
+    }
+    let unit = read_unit(&mut r, interner)?;
+    let n = r.u32()?;
+    let mut diags = Vec::new();
+    for _ in 0..n {
+        let severity = match r.u8()? {
+            0 => Severity::Note,
+            1 => Severity::Warning,
+            2 => Severity::Error,
+            _ => return Err(DecodeError::Malformed("severity")),
+        };
+        diags.push(CachedDiag {
+            severity,
+            rel_lo: r.u32()?,
+            rel_hi: r.u32()?,
+            message: r.str()?,
+        });
+    }
+    let n = r.u32()?;
+    let mut used = Vec::new();
+    for _ in 0..n {
+        used.push(r.str()?);
+    }
+    let findings = r.u32()?;
+    if !r.done() {
+        return Err(DecodeError::Malformed("trailing bytes"));
+    }
+    Ok(CacheEntryData {
+        unit,
+        diags,
+        used,
+        findings,
+    })
+}
+
+/// Encodes a whole [`ModuleImage`] with the same interner-independent
+/// conventions as cache entries. Two images encode to the same bytes iff
+/// they are semantically identical, regardless of which interner (or
+/// symbol-registration order) produced them — the basis of the
+/// warm-vs-cold byte-identity tests.
+pub fn encode_image(image: &ModuleImage, interner: &Interner) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.sym(image.name, interner);
+    w.sym(image.entry, interner);
+    w.u32(image.units.len() as u32);
+    for unit in &image.units {
+        write_unit(&mut w, unit, interner);
+    }
+    w.u32(image.globals.len() as u32);
+    for g in &image.globals {
+        w.sym(g.module, interner);
+        w.u32(g.slots.len() as u32);
+        for s in &g.slots {
+            write_shape(&mut w, s);
+        }
+    }
+    w.buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(interner: &Interner) -> CacheEntryData {
+        let name = interner.intern("M.P");
+        let callee = interner.intern("M.Q");
+        let unit = CodeUnit {
+            name,
+            level: 1,
+            param_count: 2,
+            frame: vec![
+                Shape::Int,
+                Shape::Addr,
+                Shape::Array(Box::new(Shape::Record(vec![Shape::Int, Shape::Real])), 4),
+            ],
+            shapes: vec![Shape::Record(vec![Shape::Ptr])],
+            code: vec![
+                Instr::PushInt(-7),
+                Instr::PushStr(interner.intern("hello")),
+                Instr::PushGlobalAddr {
+                    module: interner.intern("Lib0"),
+                    slot: 3,
+                },
+                Instr::Call {
+                    target: callee,
+                    argc: 2,
+                    link_up: u32::MAX,
+                },
+                Instr::CallBuiltin {
+                    builtin: Builtin::WriteLn,
+                    argc: 0,
+                },
+                Instr::NewCell { shape: 0 },
+                Instr::ReturnValue,
+            ],
+        };
+        CacheEntryData {
+            unit,
+            diags: vec![CachedDiag {
+                severity: Severity::Warning,
+                rel_lo: 10,
+                rel_hi: 14,
+                message: "local variable `l9` is never used".into(),
+            }],
+            used: vec!["Lib0".into(), "Q".into()],
+            findings: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_through_a_fresh_interner() {
+        let a = Interner::new();
+        let entry = sample_entry(&a);
+        let bytes = encode_entry(&entry, &a);
+
+        // Decode into a *different* interner whose indices cannot match.
+        let b = Interner::new();
+        b.intern("decoy0");
+        b.intern("decoy1");
+        let back = decode_entry(&bytes, &b).expect("round trip");
+        assert_eq!(back.diags, entry.diags);
+        assert_eq!(back.used, entry.used);
+        assert_eq!(back.findings, entry.findings);
+        assert_eq!(b.resolve(back.unit.name), "M.P");
+        assert_eq!(back.unit.frame, entry.unit.frame);
+        assert_eq!(back.unit.code.len(), entry.unit.code.len());
+        match &back.unit.code[3] {
+            Instr::Call {
+                target,
+                argc,
+                link_up,
+            } => {
+                assert_eq!(b.resolve(*target), "M.Q");
+                assert_eq!((*argc, *link_up), (2, u32::MAX));
+            }
+            other => panic!("expected Call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let interner = Interner::new();
+        let bytes = encode_entry(&sample_entry(&interner), &interner);
+        assert!(decode_entry(&bytes, &interner).is_ok());
+
+        // Flip every single byte in turn: nothing may decode successfully,
+        // and (more importantly) nothing may panic.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_entry(&bad, &interner).is_err(),
+                "byte {i} flip went undetected"
+            );
+        }
+        // Truncations at every length.
+        for n in 0..bytes.len() {
+            assert!(decode_entry(&bytes[..n], &interner).is_err());
+        }
+        assert_eq!(decode_entry(b"", &interner), Err(DecodeError::TooShort));
+    }
+
+    #[test]
+    fn version_1_mismatch_invalidates_entry() {
+        // Forge an otherwise-valid entry claiming a future format version:
+        // the checksum is recomputed so only the version check can reject
+        // it. This test's name is pinned to FORMAT_VERSION by ci.sh —
+        // bumping the constant without writing the new version's
+        // invalidation/migration test fails CI.
+        assert_eq!(FORMAT_VERSION, 1, "rename this test when bumping");
+        let interner = Interner::new();
+        let bytes = encode_entry(&sample_entry(&interner), &interner);
+        let mut forged = bytes[..bytes.len() - 16].to_vec();
+        forged[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let checksum = Fp128::of(&forged);
+        forged.extend_from_slice(&checksum.hi.to_le_bytes());
+        forged.extend_from_slice(&checksum.lo.to_le_bytes());
+        assert_eq!(
+            decode_entry(&forged, &interner),
+            Err(DecodeError::Version {
+                found: FORMAT_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn image_encoding_is_interner_independent() {
+        let a = Interner::new();
+        let entry = sample_entry(&a);
+        let image_a = ModuleImage {
+            name: a.intern("M"),
+            units: vec![entry.unit.clone()],
+            globals: vec![],
+            entry: a.intern("M"),
+        };
+        let enc_a = encode_image(&image_a, &a);
+
+        let b = Interner::new();
+        b.intern("shift");
+        b.intern("the");
+        b.intern("indices");
+        let rebuilt = decode_entry(&encode_entry(&entry, &a), &b).expect("decode");
+        let image_b = ModuleImage {
+            name: b.intern("M"),
+            units: vec![rebuilt.unit],
+            globals: vec![],
+            entry: b.intern("M"),
+        };
+        assert_eq!(enc_a, encode_image(&image_b, &b));
+    }
+}

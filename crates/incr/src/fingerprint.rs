@@ -1,0 +1,302 @@
+//! Stream fingerprints: pure content hashing of a stream's inputs.
+//!
+//! A procedure stream's compilation result is a function of
+//!
+//! 1. its own source slice (the token range the Splitter carves for it,
+//!    heading and nested children included);
+//! 2. the declarations visible from every *enclosing* scope — what the
+//!    DKY machinery can look up while the stream compiles;
+//! 3. the interfaces of the imported definition modules; and
+//! 4. the codegen-relevant configuration.
+//!
+//! The fingerprint is built from chained digests so that (2) costs one
+//! hash of the enclosing text rather than a semantic analysis:
+//!
+//! ```text
+//! ctxv(main) = H(env ‖ ctxdig(main))
+//! ctxv(S)    = H(ctxv(parent(S)) ‖ ctxdig(S))
+//! fp(S)      = H(ctxv(parent(S)) ‖ H(slice(S)))
+//! fp(module) = H(ctxv(main) ‖ "module-body")
+//! ```
+//!
+//! where `ctxdig(S)` hashes `S`'s slice with every **direct child's body
+//! excluded but its heading kept**. Keeping headings in the enclosing
+//! context means editing a sibling's *signature* (which changes call-site
+//! code) invalidates the siblings, while editing only a sibling's *body*
+//! does not. `env` folds in every definition module's source text — a
+//! deliberately conservative superset of any unit's actual imports — plus
+//! the format version and the configuration bits that change generated
+//! code or diagnostics.
+//!
+//! Because digests hash byte *content*, never absolute offsets,
+//! lengthening an earlier procedure's body shifts every later stream's
+//! spans without changing their fingerprints; cached diagnostics are
+//! stored span-relative to the carve start and rebased on replay.
+
+use ccm2_support::hash::{Fp128, StableHasher};
+
+/// Byte ranges of one carved procedure stream within the main source:
+/// `lo..heading_hi` is the heading (through its closing `;`),
+/// `lo..hi` the full slice including nested procedures and the final
+/// `END Name;`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Carve {
+    /// Start of the `PROCEDURE` keyword.
+    pub lo: u32,
+    /// End of the heading's closing semicolon.
+    pub heading_hi: u32,
+    /// End of the stream's final token.
+    pub hi: u32,
+}
+
+impl Carve {
+    /// Whether `offset` falls inside this stream's *body* (after the
+    /// heading, within the slice) — used to attribute diagnostics to the
+    /// innermost enclosing stream.
+    pub fn body_contains(&self, offset: u32) -> bool {
+        offset >= self.heading_hi && offset < self.hi
+    }
+}
+
+/// One stream node handed to [`fingerprint_streams`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamNode {
+    /// The stream's carve ranges.
+    pub carve: Carve,
+    /// Index (into the same slice) of the lexically enclosing stream;
+    /// `None` for procedures directly inside the module body.
+    pub parent: Option<usize>,
+}
+
+/// The output of [`fingerprint_streams`].
+#[derive(Clone, Debug)]
+pub struct Fingerprints {
+    /// Fingerprint of the module-body code unit.
+    pub module: Fp128,
+    /// Per-stream fingerprints, parallel to the input slice.
+    pub streams: Vec<Fp128>,
+}
+
+/// Digests the environment every fingerprint is chained from: the store
+/// format version, the configuration bits that alter generated code or
+/// diagnostics, and the full (sorted) definition-module library.
+pub fn environment_fp(
+    format_version: u32,
+    analyze: bool,
+    heading_mode_tag: u8,
+    defs: &[(String, String)],
+) -> Fp128 {
+    let mut h = StableHasher::new();
+    h.write_u32(format_version);
+    h.write(&[u8::from(analyze), heading_mode_tag]);
+    h.write_u64(defs.len() as u64);
+    for (name, source) in defs {
+        h.write_str(name);
+        h.write_str(source);
+    }
+    h.finish()
+}
+
+/// Hashes `bytes[lo..hi]` with each direct child's body range excluded
+/// (headings kept — see the module docs). Malformed ranges degrade by
+/// clamping, which can only *include* more bytes, i.e. over-invalidate.
+fn context_digest(bytes: &[u8], lo: u32, hi: u32, children: &[Carve]) -> Fp128 {
+    let len = bytes.len() as u32;
+    let hi = hi.min(len);
+    let mut h = StableHasher::new();
+    let mut pos = lo.min(hi);
+    for child in children {
+        let keep_to = child.heading_hi.clamp(pos, hi);
+        h.write_str(std::str::from_utf8(&bytes[pos as usize..keep_to as usize]).unwrap_or(""));
+        pos = child.hi.clamp(keep_to, hi);
+    }
+    h.write_str(std::str::from_utf8(&bytes[pos as usize..hi as usize]).unwrap_or(""));
+    h.finish()
+}
+
+/// Computes the module-body fingerprint and one fingerprint per stream
+/// node, given the main source and the environment digest.
+pub fn fingerprint_streams(source: &str, nodes: &[StreamNode], env: Fp128) -> Fingerprints {
+    let bytes = source.as_bytes();
+    let len = bytes.len() as u32;
+
+    // Direct children of each node (and of the module root), in
+    // source order so digests are position-independent but stable.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match n.parent {
+            Some(p) if p < nodes.len() => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+    let by_lo = |list: &mut Vec<usize>| list.sort_by_key(|&i| nodes[i].carve.lo);
+    for list in &mut children {
+        by_lo(list);
+    }
+    by_lo(&mut roots);
+
+    let child_carves =
+        |list: &[usize]| -> Vec<Carve> { list.iter().map(|&i| nodes[i].carve).collect() };
+
+    // ctxv(main): environment chained with the module-level context.
+    let mut h = StableHasher::new();
+    h.write_fp(env);
+    h.write_fp(context_digest(bytes, 0, len, &child_carves(&roots)));
+    let ctxv_main = h.finish();
+
+    let mut module = StableHasher::new();
+    module.write_fp(ctxv_main);
+    module.write_str("module-body");
+    let module = module.finish();
+
+    // Walk top-down: each node's fp and ctxv need only the parent's ctxv.
+    let mut fps = vec![module; nodes.len()];
+    let mut stack: Vec<(usize, Fp128)> = roots.iter().map(|&i| (i, ctxv_main)).collect();
+    while let Some((i, parent_ctxv)) = stack.pop() {
+        let carve = nodes[i].carve;
+        let hi = carve.hi.min(len);
+        let lo = carve.lo.min(hi);
+        let selfdig = Fp128::of(&bytes[lo as usize..hi as usize]);
+
+        let mut h = StableHasher::new();
+        h.write_fp(parent_ctxv);
+        h.write_fp(selfdig);
+        fps[i] = h.finish();
+
+        let mut h = StableHasher::new();
+        h.write_fp(parent_ctxv);
+        h.write_fp(context_digest(bytes, lo, hi, &child_carves(&children[i])));
+        let ctxv = h.finish();
+        for &c in &children[i] {
+            stack.push((c, ctxv));
+        }
+    }
+
+    Fingerprints {
+        module,
+        streams: fps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENV: Fp128 = Fp128 { hi: 1, lo: 2 };
+
+    /// Locates procedure `name`'s carve in `src`: `PROCEDURE name` up to
+    /// `END name;`, with the heading ending at the first semicolon.
+    fn node(src: &str, name: &str, parent: Option<usize>) -> StreamNode {
+        let lo = src
+            .find(&format!("PROCEDURE {name}"))
+            .expect("heading present");
+        let heading_hi = lo + src[lo..].find(';').expect("heading semi") + 1;
+        let end = format!("END {name};");
+        let hi = src.find(&end).expect("end present") + end.len();
+        StreamNode {
+            carve: Carve {
+                lo: lo as u32,
+                heading_hi: heading_hi as u32,
+                hi: hi as u32,
+            },
+            parent,
+        }
+    }
+
+    const SRC_A: &str = "MODULE M;\n\
+         PROCEDURE P(); BEGIN x := 1; END P;\n\
+         PROCEDURE Q(); BEGIN y := 2; END Q;\n\
+         BEGIN END M.";
+
+    fn nodes_of(src: &str) -> Vec<StreamNode> {
+        vec![node(src, "P", None), node(src, "Q", None)]
+    }
+
+    #[test]
+    fn sibling_body_edit_leaves_sibling_and_module_unchanged() {
+        let edited = SRC_A.replace("y := 2", "y := 99");
+        let a = fingerprint_streams(SRC_A, &nodes_of(SRC_A), ENV);
+        let b = fingerprint_streams(&edited, &nodes_of(&edited), ENV);
+        assert_eq!(a.streams[0], b.streams[0], "P untouched by Q's body edit");
+        assert_ne!(a.streams[1], b.streams[1], "Q itself changed");
+        assert_eq!(a.module, b.module, "module body untouched");
+    }
+
+    #[test]
+    fn sibling_heading_edit_invalidates_everything_at_that_level() {
+        let edited = SRC_A.replace("PROCEDURE Q();", "PROCEDURE Q(n : INTEGER);");
+        let a = fingerprint_streams(SRC_A, &nodes_of(SRC_A), ENV);
+        let b = fingerprint_streams(&edited, &nodes_of(&edited), ENV);
+        assert_ne!(a.streams[0], b.streams[0], "P sees Q's new signature");
+        assert_ne!(a.streams[1], b.streams[1]);
+        assert_ne!(a.module, b.module, "module body can call Q");
+    }
+
+    #[test]
+    fn offset_shift_does_not_invalidate() {
+        // Lengthening P's body shifts Q's byte offsets; Q's fingerprint
+        // must not notice (digests hash content, never positions).
+        let shifted = SRC_A.replace("x := 1", "x := 100000 + 200000");
+        let a = fingerprint_streams(SRC_A, &nodes_of(SRC_A), ENV);
+        let b = fingerprint_streams(&shifted, &nodes_of(&shifted), ENV);
+        assert!(
+            nodes_of(&shifted)[1].carve.lo > nodes_of(SRC_A)[1].carve.lo,
+            "Q really did move"
+        );
+        assert_ne!(a.streams[0], b.streams[0], "P changed");
+        assert_eq!(a.streams[1], b.streams[1], "Q's shift is invisible");
+        assert_eq!(a.module, b.module, "body edits stay out of module ctx");
+    }
+
+    #[test]
+    fn nested_child_edit_invalidates_ancestors_not_uncles() {
+        const INNER: &str = "PROCEDURE Inner(); BEGIN a := 1; END Inner;";
+        let p_whole = format!("PROCEDURE P();\n{INNER}\nBEGIN x := 1; END P;");
+        let src =
+            format!("MODULE M;\n{p_whole}\nPROCEDURE Q(); BEGIN y := 2; END Q;\nBEGIN END M.");
+        let nodes = |s: &str| {
+            vec![
+                node(s, "P", None),
+                node(s, "Inner", Some(0)),
+                node(s, "Q", None),
+            ]
+        };
+        let edited = src.replace("a := 1", "a := 42");
+        let a = fingerprint_streams(&src, &nodes(&src), ENV);
+        let b = fingerprint_streams(&edited, &nodes(&edited), ENV);
+        assert_ne!(a.streams[1], b.streams[1], "inner changed");
+        assert_ne!(
+            a.streams[0], b.streams[0],
+            "parent slice contains inner's body"
+        );
+        assert_eq!(a.streams[2], b.streams[2], "uncle Q unaffected");
+        assert_eq!(a.module, b.module, "module context keeps only headings");
+    }
+
+    #[test]
+    fn environment_changes_invalidate_all() {
+        let nodes = nodes_of(SRC_A);
+        let a = fingerprint_streams(SRC_A, &nodes, ENV);
+        let b = fingerprint_streams(SRC_A, &nodes, Fp128 { hi: 1, lo: 3 });
+        assert_ne!(a.module, b.module);
+        assert_ne!(a.streams[0], b.streams[0]);
+    }
+
+    #[test]
+    fn environment_fp_covers_defs_and_config() {
+        let defs = vec![(
+            "IO".to_string(),
+            "DEFINITION MODULE IO; END IO.".to_string(),
+        )];
+        let base = environment_fp(1, false, 0, &defs);
+        assert_ne!(base, environment_fp(2, false, 0, &defs), "version");
+        assert_ne!(base, environment_fp(1, true, 0, &defs), "analyze flag");
+        assert_ne!(base, environment_fp(1, false, 1, &defs), "heading mode");
+        let edited = vec![(
+            "IO".to_string(),
+            "DEFINITION MODULE IO; CONST N = 1; END IO.".to_string(),
+        )];
+        assert_ne!(base, environment_fp(1, false, 0, &edited), "interface edit");
+    }
+}

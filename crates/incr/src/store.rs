@@ -1,0 +1,190 @@
+//! Artifact stores: fingerprint → encoded-entry byte maps.
+//!
+//! The store deals only in opaque byte blobs — validation (magic,
+//! version, checksum) happens in [`crate::entry::decode_entry`], so a
+//! store never has to trust its own contents. Stores are best-effort: a
+//! failed write loses a future hit, never correctness.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccm2_support::hash::Fp128;
+use parking_lot::Mutex;
+
+/// A persistent (or test-scoped) map from stream fingerprints to encoded
+/// cache entries.
+pub trait ArtifactStore: Send + Sync + std::fmt::Debug {
+    /// Loads the entry stored under `fp`, if any.
+    fn load(&self, fp: Fp128) -> Option<Vec<u8>>;
+    /// Stores (or replaces) the entry under `fp`. Best-effort.
+    fn store(&self, fp: Fp128, bytes: &[u8]);
+}
+
+/// An in-memory store for tests and simulation runs.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<Fp128, Vec<u8>>>,
+    loads: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Number of entries currently stored.
+    pub fn entry_count(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `(loads, stores)` performed so far (test observability).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (
+            self.loads.load(Ordering::Relaxed),
+            self.stores.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Corrupts the entry under `fp` by XOR-flipping one payload byte —
+    /// used by corruption-tolerance tests.
+    pub fn corrupt(&self, fp: Fp128, byte_index: usize) -> bool {
+        let mut map = self.map.lock();
+        match map.get_mut(&fp) {
+            Some(bytes) if byte_index < bytes.len() => {
+                bytes[byte_index] ^= 0x55;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All stored fingerprints (test observability).
+    pub fn fingerprints(&self) -> Vec<Fp128> {
+        let mut v: Vec<Fp128> = self.map.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl ArtifactStore for MemStore {
+    fn load(&self, fp: Fp128) -> Option<Vec<u8>> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().get(&fp).cloned()
+    }
+
+    fn store(&self, fp: Fp128, bytes: &[u8]) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(fp, bytes.to_vec());
+    }
+}
+
+/// A file-per-entry on-disk store: `<dir>/<fp hex>.bin`.
+///
+/// Writes go through a temporary file in the same directory followed by a
+/// rename, so a crash mid-write leaves either the old entry or none — a
+/// torn write can only surface as a missing or checksum-failing entry,
+/// both of which degrade to a miss.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    tmp_seq: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, fp: Fp128) -> PathBuf {
+        self.dir.join(format!("{}.bin", fp.to_hex()))
+    }
+
+    /// Number of `.bin` entries on disk (test/report observability).
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl ArtifactStore for DiskStore {
+    fn load(&self, fp: Fp128) -> Option<Vec<u8>> {
+        std::fs::read(self.entry_path(fp)).ok()
+    }
+
+    fn store(&self, fp: Fp128, bytes: &[u8]) {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{}.{}.{seq}.tmp", fp.to_hex(), std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data().ok();
+            std::fs::rename(&tmp, self.entry_path(fp))
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fp128 {
+        Fp128 { hi: n, lo: !n }
+    }
+
+    #[test]
+    fn mem_store_round_trip_and_corruption_hook() {
+        let s = MemStore::new();
+        assert_eq!(s.load(fp(1)), None);
+        s.store(fp(1), b"abc");
+        assert_eq!(s.load(fp(1)).as_deref(), Some(&b"abc"[..]));
+        assert_eq!(s.entry_count(), 1);
+        assert!(s.corrupt(fp(1), 0));
+        assert_ne!(s.load(fp(1)).as_deref(), Some(&b"abc"[..]));
+        assert!(!s.corrupt(fp(2), 0), "missing entry not corruptible");
+        let (loads, stores) = s.op_counts();
+        assert_eq!((loads, stores), (3, 1));
+    }
+
+    #[test]
+    fn disk_store_round_trip_and_hex_naming() {
+        let dir = std::env::temp_dir().join(format!("ccm2-incr-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskStore::new(&dir).expect("create store dir");
+        assert_eq!(s.load(fp(7)), None);
+        s.store(fp(7), b"payload");
+        assert_eq!(s.load(fp(7)).as_deref(), Some(&b"payload"[..]));
+        assert_eq!(s.entry_count(), 1);
+        // Entries are addressable by fingerprint hex, so a second store
+        // handle (a later compiler run) sees them.
+        let again = DiskStore::new(&dir).expect("reopen");
+        assert_eq!(again.load(fp(7)).as_deref(), Some(&b"payload"[..]));
+        s.store(fp(7), b"replaced");
+        assert_eq!(again.load(fp(7)).as_deref(), Some(&b"replaced"[..]));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -77,11 +77,13 @@ impl SimConfig {
     /// (§4.1), which the paper cites as the cause of sub-linear speedup.
     /// Cost index order follows [`Work::ALL`]: Lex, Split, Import, Parse,
     /// DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead,
-    /// Analyze.
+    /// Analyze, Splice.
     pub fn firefly(procs: u32) -> SimConfig {
         SimConfig {
             procs,
-            cost: [0.05, 0.015, 0.01, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2],
+            cost: [
+                0.05, 0.015, 0.01, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2, 0.5,
+            ],
             contention_alpha: 0.03,
             dispatch_cost: 6,
             reschedule_blocked: true,

@@ -22,6 +22,12 @@ pub enum TaskKind {
     Lexor,
     /// 2. The splitter task.
     Splitter,
+    /// Cache-splice tasks: an incremental-cache hit replaces a stream's
+    /// parse + codegen tasks with one cheap splice feeding the cached
+    /// unit into the merge. High priority (just below the splitter) so
+    /// the scope-completion events it signals unblock DKY waiters as
+    /// early as possible.
+    CacheSplice,
     /// 3. Importer tasks.
     Importer,
     /// 4. Definition-module parser / declarations-analyzer tasks.
@@ -43,9 +49,10 @@ pub enum TaskKind {
 
 impl TaskKind {
     /// All kinds in priority order.
-    pub const ALL: [TaskKind; 10] = [
+    pub const ALL: [TaskKind; 11] = [
         TaskKind::Lexor,
         TaskKind::Splitter,
+        TaskKind::CacheSplice,
         TaskKind::Importer,
         TaskKind::DefModParse,
         TaskKind::ModuleParse,
@@ -69,6 +76,7 @@ impl TaskKind {
         match self {
             TaskKind::Lexor => "lex",
             TaskKind::Splitter => "split",
+            TaskKind::CacheSplice => "splice",
             TaskKind::Importer => "import",
             TaskKind::DefModParse => "defparse",
             TaskKind::ModuleParse => "modparse",
@@ -185,7 +193,8 @@ mod tests {
     #[test]
     fn kind_ranks_follow_paper_order() {
         assert!(TaskKind::Lexor.rank() < TaskKind::Splitter.rank());
-        assert!(TaskKind::Splitter.rank() < TaskKind::Importer.rank());
+        assert!(TaskKind::Splitter.rank() < TaskKind::CacheSplice.rank());
+        assert!(TaskKind::CacheSplice.rank() < TaskKind::Importer.rank());
         assert!(TaskKind::Importer.rank() < TaskKind::DefModParse.rank());
         assert!(TaskKind::DefModParse.rank() < TaskKind::ModuleParse.rank());
         assert!(TaskKind::ModuleParse.rank() < TaskKind::ProcParse.rank());

@@ -67,6 +67,7 @@ fn shade(kind: TaskKind) -> char {
     match kind {
         TaskKind::Lexor => 'L',
         TaskKind::Splitter => 'S',
+        TaskKind::CacheSplice => 'c',
         TaskKind::Importer => 'i',
         TaskKind::DefModParse => 'd',
         TaskKind::ModuleParse => 'm',

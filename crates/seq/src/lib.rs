@@ -236,7 +236,7 @@ pub fn compile_full(
     }
 
     // ---- code generation + merge -----------------------------------------
-    let merger = Merger::new(module.name.name);
+    let merger = Merger::new(module.name.name, Arc::clone(&interner));
     merger.add_globals(module.name.name, global_shapes(&sema, main_scope));
     for (&name, &scope) in &def_scopes {
         merger.add_globals(name, global_shapes(&sema, scope));

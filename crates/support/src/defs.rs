@@ -11,6 +11,16 @@ use std::collections::HashMap;
 pub trait DefProvider: Send + Sync {
     /// Returns the text of `M.def` for module `name`, if it exists.
     fn definition_source(&self, name: &str) -> Option<String>;
+
+    /// Enumerates *every* definition module as sorted `(name, source)`
+    /// pairs, when the provider can. The incremental-compilation cache
+    /// folds this into its environment fingerprint (a conservative
+    /// superset of any unit's imports); providers that cannot enumerate
+    /// (the default) disable incremental reuse rather than risk a stale
+    /// interface going unnoticed.
+    fn all_definitions(&self) -> Option<Vec<(String, String)>> {
+        None
+    }
 }
 
 /// A simple in-memory [`DefProvider`].
@@ -60,6 +70,16 @@ impl DefProvider for DefLibrary {
     fn definition_source(&self, name: &str) -> Option<String> {
         self.defs.get(name).cloned()
     }
+
+    fn all_definitions(&self) -> Option<Vec<(String, String)>> {
+        let mut all: Vec<(String, String)> = self
+            .defs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        all.sort();
+        Some(all)
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +103,24 @@ mod tests {
         let lib = DefLibrary::new();
         let p: &dyn DefProvider = &lib;
         assert!(p.definition_source("missing").is_none());
+    }
+
+    #[test]
+    fn all_definitions_is_sorted() {
+        let mut lib = DefLibrary::new();
+        lib.insert("Zed", "DEFINITION MODULE Zed; END Zed.");
+        lib.insert("Alpha", "DEFINITION MODULE Alpha; END Alpha.");
+        let all = lib.all_definitions().expect("library can enumerate");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "Alpha");
+        assert_eq!(all[1].0, "Zed");
+
+        struct Opaque;
+        impl DefProvider for Opaque {
+            fn definition_source(&self, _name: &str) -> Option<String> {
+                None
+            }
+        }
+        assert!(Opaque.all_definitions().is_none(), "default is None");
     }
 }

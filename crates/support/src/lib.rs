@@ -28,6 +28,7 @@
 
 pub mod defs;
 pub mod diag;
+pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod source;
@@ -35,6 +36,7 @@ pub mod work;
 
 pub use defs::{DefLibrary, DefProvider};
 pub use diag::{Diagnostic, DiagnosticSink, Severity};
+pub use hash::{Fp128, StableHasher};
 pub use intern::{Interner, Symbol};
 pub use source::{LineCol, SourceFile, SourceMap, Span};
 pub use work::{NullMeter, Work, WorkMeter};

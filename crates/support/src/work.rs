@@ -35,6 +35,9 @@ pub enum Work {
     TaskOverhead,
     /// Source-level dataflow analysis (per AST node walked by the lints).
     Analyze,
+    /// Splicing a cached code unit into the merge (per unit, plus a small
+    /// per-instruction decode share) when the incremental cache hits.
+    Splice,
 }
 
 impl Work {
@@ -51,6 +54,7 @@ impl Work {
         Work::Merge,
         Work::TaskOverhead,
         Work::Analyze,
+        Work::Splice,
     ];
 
     /// Number of work kinds (sizes the fixed charge/cost arrays).

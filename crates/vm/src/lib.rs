@@ -18,7 +18,7 @@
 //!
 //! let interner = Arc::new(Interner::new());
 //! let m = interner.intern("M");
-//! let merger = Merger::new(m);
+//! let merger = Merger::new(m, Arc::clone(&interner));
 //! let mut unit = CodeUnit::new(m, 0);
 //! unit.code.push(Instr::PushInt(42));
 //! unit.code.push(Instr::PushInt(4));
@@ -197,6 +197,12 @@ impl Vm {
                 .enumerate()
                 .map(|(ix, g)| (g.module, ix))
                 .collect(),
+            unit_index: image
+                .units
+                .iter()
+                .enumerate()
+                .map(|(ix, u)| (u.name, ix))
+                .collect(),
             heap: Vec::new(),
             frames: Vec::new(),
             stack: Vec::new(),
@@ -215,6 +221,9 @@ struct State<'a> {
     interner: &'a Interner,
     globals: Vec<Vec<Value>>,
     global_index: HashMap<Symbol, usize>,
+    // Call dispatch by unit name: image units are sorted by name string,
+    // so per-call symbol lookups get a map instead of a linear scan.
+    unit_index: HashMap<Symbol, usize>,
     heap: Vec<Option<Value>>,
     frames: Vec<Frame>,
     stack: Vec<Value>,
@@ -591,7 +600,7 @@ impl<'a> State<'a> {
                     argc,
                     link_up,
                 } => {
-                    let callee = self.image.unit_index(*target).ok_or_else(|| {
+                    let callee = self.unit_index.get(target).copied().ok_or_else(|| {
                         VmError::new(format!(
                             "call to unlinked external procedure `{}`",
                             self.interner.resolve(*target)
@@ -616,7 +625,7 @@ impl<'a> State<'a> {
                             )))
                         }
                     };
-                    let callee = self.image.unit_index(target).ok_or_else(|| {
+                    let callee = self.unit_index.get(&target).copied().ok_or_else(|| {
                         VmError::new(format!(
                             "call to unlinked external procedure `{}`",
                             self.interner.resolve(target)
@@ -885,7 +894,7 @@ mod tests {
     ) -> Result<String, VmError> {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
-        let merger = Merger::new(m);
+        let merger = Merger::new(m, Arc::clone(&interner));
         let mut unit = CodeUnit::new(m, 0);
         unit.frame = frame;
         unit.shapes = shapes;
@@ -1009,7 +1018,7 @@ mod tests {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
         let ext = interner.intern("Lib.DoThing");
-        let merger = Merger::new(m);
+        let merger = Merger::new(m, Arc::clone(&interner));
         let mut unit = CodeUnit::new(m, 0);
         unit.code = vec![Instr::Call {
             target: ext,
@@ -1026,7 +1035,7 @@ mod tests {
     fn step_budget_guards_infinite_loops() {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
-        let merger = Merger::new(m);
+        let merger = Merger::new(m, Arc::clone(&interner));
         let mut unit = CodeUnit::new(m, 0);
         unit.code = vec![Instr::Jump(0)];
         merger.add_unit(unit, &NullMeter);
@@ -1094,7 +1103,7 @@ mod tests {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
         let padd = interner.intern("M.Add");
-        let merger = Merger::new(m);
+        let merger = Merger::new(m, Arc::clone(&interner));
         let mut add = CodeUnit::new(padd, 1);
         add.param_count = 2;
         add.frame = vec![Shape::Int, Shape::Int];
@@ -1141,7 +1150,7 @@ mod tests {
         let interner = Arc::new(Interner::new());
         let m = interner.intern("M");
         let pset = interner.intern("M.SetTo7");
-        let merger = Merger::new(m);
+        let merger = Merger::new(m, Arc::clone(&interner));
         merger.add_globals(m, vec![Shape::Int]);
         let mut setp = CodeUnit::new(pset, 1);
         setp.param_count = 1;

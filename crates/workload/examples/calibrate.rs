@@ -15,7 +15,7 @@ fn run(
     src: &str,
     defs: &ccm2_support::DefLibrary,
     procs: u32,
-    cost: [f64; 11],
+    cost: [f64; 12],
     alpha: f64,
     dispatch: u64,
 ) -> u64 {
@@ -41,8 +41,10 @@ fn run(
 }
 
 fn main() {
-    // cost order: Lex, Split, Import, Parse, DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead, Analyze
-    let cost = [0.05, 0.04, 0.03, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2];
+    // cost order: Lex, Split, Import, Parse, DeclAnalyze, Lookup, StmtAnalyze, CodeGen, Merge, TaskOverhead, Analyze, Splice
+    let cost = [
+        0.05, 0.04, 0.03, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2, 0.5,
+    ];
     let alpha = 0.03;
     let dispatch = 40;
     let synth = ccm2_workload::synth_module(ccm2_workload::SynthParams::default());

@@ -12,7 +12,7 @@ use std::sync::Arc;
 fn main() {
     let synth = ccm2_workload::synth_module(ccm2_workload::SynthParams::default());
     let mut cfg = SimConfig::new(8);
-    cfg.cost = [0.2, 0.15, 0.1, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2];
+    cfg.cost = [0.2, 0.15, 0.1, 0.5, 2.0, 1.5, 1.5, 1.0, 0.5, 1.0, 1.2, 0.5];
     cfg.contention_alpha = 0.035;
     cfg.dispatch_cost = 40;
     let out = compile_concurrent(

@@ -1,0 +1,204 @@
+//! Edit scenarios: mechanical, semantically safe mutations of generated
+//! modules, used to evaluate the incremental compilation cache.
+//!
+//! Real incremental builds are dominated by two edit classes:
+//!
+//! * **procedure-body edits** — change code inside one procedure; every
+//!   other stream's inputs are untouched, so a content-addressed cache
+//!   should resplice all of them;
+//! * **interface edits** — change an imported definition module; the
+//!   environment fingerprint covers the whole interface library, so
+//!   *every* cached unit of every importing module must be invalidated.
+//!
+//! The mutations anchor on the fixed textual skeleton `gen` emits (every
+//! procedure body starts with the same three assignments), so they stay
+//! compilable and deterministic without reparsing.
+
+use crate::gen::GeneratedModule;
+use ccm2_support::defs::DefLibrary;
+
+/// One mechanical edit applied to a [`GeneratedModule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Append one assignment at the top of `Proc{index}`'s body. The
+    /// procedure's own stream changes; siblings, nested procedures and
+    /// the module-level text do not.
+    ProcBody {
+        /// The `Proc{index}` to edit.
+        index: usize,
+        /// Folded into the inserted statement, so distinct seeds produce
+        /// distinct bodies (and distinct fingerprints).
+        seed: u64,
+    },
+    /// Insert a new exported constant into the named definition module,
+    /// after its header and import section (Modula-2 requires imports
+    /// before declarations). Invalidates every unit of every importing
+    /// module (the environment digest covers the full library).
+    Interface {
+        /// Definition-module name (e.g. `"M12Lib0"`).
+        def: String,
+        /// Distinguishes repeated edits to the same interface.
+        tag: u64,
+    },
+}
+
+/// Applies `edits` to a copy of `module`, returning the edited module.
+/// Edits whose anchor is absent (no such procedure or interface) are
+/// skipped — callers can detect that by comparing sources.
+pub fn apply_edits(module: &GeneratedModule, edits: &[EditOp]) -> GeneratedModule {
+    let mut out = module.clone();
+    for edit in edits {
+        match edit {
+            EditOp::ProcBody { index, seed } => {
+                out.source = edit_proc_body(&out.source, *index, *seed);
+            }
+            EditOp::Interface { def, tag } => {
+                out.defs = edit_interface(&out.defs, def, *tag);
+            }
+        }
+    }
+    out
+}
+
+/// The first `k` procedures of `module`, as body edits (the standard
+/// "developer touched k procedures" scenario).
+pub fn body_edits(k: usize, seed: u64) -> Vec<EditOp> {
+    (0..k)
+        .map(|index| EditOp::ProcBody { index, seed })
+        .collect()
+}
+
+/// Every procedure body in `gen`-produced text opens with this exact
+/// prologue; the edit inserts right after it.
+const BODY_ANCHOR: &str = "BEGIN\n  l0 := p0 + p1; l1 := 1; l2 := 0;\n";
+
+fn edit_proc_body(source: &str, index: usize, seed: u64) -> String {
+    let heading = format!("PROCEDURE Proc{index}(");
+    let Some(at) = source.find(&heading) else {
+        return source.to_string();
+    };
+    // The first body prologue after the heading belongs to this procedure
+    // (nested procedures use a differently indented prologue).
+    let Some(body) = source[at..].find(BODY_ANCHOR) else {
+        return source.to_string();
+    };
+    let insert_at = at + body + BODY_ANCHOR.len();
+    let mut edited = source.to_string();
+    edited.insert_str(insert_at, &format!("  l0 := l0 + {};\n", seed % 9973));
+    edited
+}
+
+fn edit_interface(defs: &DefLibrary, target: &str, tag: u64) -> DefLibrary {
+    let mut out = DefLibrary::new();
+    for (name, text) in defs.iter() {
+        if name == target {
+            out.insert(name, insert_interface_const(text, tag));
+        } else {
+            out.insert(name, text);
+        }
+    }
+    out
+}
+
+/// Returns `text` with `CONST EditN{tag} = {tag};` inserted after the
+/// module header line and any `IMPORT`/`FROM` lines — declarations may
+/// not precede imports in Modula-2.
+fn insert_interface_const(text: &str, tag: u64) -> String {
+    let mut at = text.find('\n').map(|i| i + 1).unwrap_or(text.len());
+    while at < text.len() {
+        let line_end = text[at..]
+            .find('\n')
+            .map(|i| at + i + 1)
+            .unwrap_or(text.len());
+        let line = text[at..line_end].trim_start();
+        if line.starts_with("IMPORT") || line.starts_with("FROM") {
+            at = line_end;
+        } else {
+            break;
+        }
+    }
+    let mut t = text.to_string();
+    t.insert_str(at, &format!("CONST EditN{tag} = {tag};\n"));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+    use ccm2_seq::compile;
+    use ccm2_support::defs::DefProvider;
+
+    #[test]
+    fn proc_body_edit_changes_only_that_procedure() {
+        let m = generate(&GenParams::small("EditMe", 9));
+        let e = apply_edits(&m, &body_edits(1, 4242));
+        assert_ne!(m.source, e.source);
+        // Everything before Proc0's body is untouched.
+        let at = m.source.find("PROCEDURE Proc0(").expect("has Proc0");
+        assert_eq!(&m.source[..at], &e.source[..at]);
+        // Still compiles cleanly.
+        let out = compile(&e.source, &e.defs);
+        assert!(out.is_ok(), "{:#?}", out.diagnostics);
+    }
+
+    #[test]
+    fn interface_edit_changes_one_def() {
+        // Every def in the library must stay compilable after the edit —
+        // including defs with an import section (the inserted CONST has
+        // to land after it, not before).
+        let m = generate(&GenParams::small("IfEdit", 10));
+        let targets: Vec<String> = m.defs.iter().map(|(n, _)| n.to_string()).collect();
+        assert!(!targets.is_empty(), "has defs");
+        for target in &targets {
+            let e = apply_edits(
+                &m,
+                &[EditOp::Interface {
+                    def: target.clone(),
+                    tag: 7,
+                }],
+            );
+            assert_eq!(m.source, e.source);
+            let before = m.defs.definition_source(target).expect("def");
+            let after = e.defs.definition_source(target).expect("def");
+            assert_ne!(before, after);
+            assert!(after.contains("CONST EditN7 = 7;"));
+            let out = compile(&e.source, &e.defs);
+            assert!(out.is_ok(), "{target}: {:#?}", out.diagnostics);
+        }
+    }
+
+    #[test]
+    fn missing_anchor_is_a_no_op() {
+        let m = generate(&GenParams::small("NoSuch", 11));
+        let e = apply_edits(
+            &m,
+            &[
+                EditOp::ProcBody {
+                    index: 9999,
+                    seed: 1,
+                },
+                EditOp::Interface {
+                    def: "NotALib".into(),
+                    tag: 1,
+                },
+            ],
+        );
+        assert_eq!(m.source, e.source);
+        assert_eq!(
+            m.defs.all_definitions(),
+            e.defs.all_definitions(),
+            "untouched library"
+        );
+    }
+
+    #[test]
+    fn edits_are_deterministic() {
+        let m = generate(&GenParams::small("DetEdit", 12));
+        let a = apply_edits(&m, &body_edits(2, 5));
+        let b = apply_edits(&m, &body_edits(2, 5));
+        assert_eq!(a.source, b.source);
+        let c = apply_edits(&m, &body_edits(2, 6));
+        assert_ne!(a.source, c.source);
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`suite`] — the 37-program suite matching Table 1's gross
 //!   characteristics;
 //! * [`synth`] — `Synth.mod`, the no-DKY, ample-parallelism best case of
-//!   §4.2 (Figure 2).
+//!   §4.2 (Figure 2);
+//! * [`edit`] — mechanical edit scenarios (k procedure bodies, one
+//!   interface) for evaluating the incremental compilation cache.
 //!
 //! # Examples
 //!
@@ -21,10 +23,12 @@
 //! assert_eq!(m.defs.len(), 4);
 //! ```
 
+pub mod edit;
 pub mod gen;
 pub mod suite;
 pub mod synth;
 
+pub use edit::{apply_edits, body_edits, EditOp};
 pub use gen::{generate, GenParams, GeneratedModule};
 pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};
 pub use synth::{synth_module, SynthParams};

@@ -1,0 +1,226 @@
+//! End-to-end tests of the content-addressed incremental compilation
+//! cache: warm recompiles must splice cached units without changing the
+//! compiler's observable output, and damaged or stale cache state must
+//! degrade to a plain cold compile — never to a wrong image or a panic.
+
+use std::sync::Arc;
+
+use ccm2::{compile_concurrent, ConcurrentOutput, Options};
+use ccm2_incr::{ArtifactStore, DiskStore, IncrStats, MemStore};
+use ccm2_support::diag::Severity;
+use ccm2_support::Interner;
+use ccm2_workload::{
+    apply_edits, body_edits, generate, suite_params, GenParams, GeneratedModule, SUITE_SIZE,
+};
+
+fn compile(
+    m: &GeneratedModule,
+    store: Option<Arc<dyn ArtifactStore>>,
+    analyze: bool,
+    threads: usize,
+) -> ConcurrentOutput {
+    compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(Interner::new()),
+        Options {
+            analyze,
+            incremental: store,
+            ..Options::threads(threads)
+        },
+    )
+}
+
+/// Interner-independent (image bytes, rendered diagnostics) pair.
+fn comparable(out: &ConcurrentOutput) -> (Option<Vec<u8>>, Vec<String>) {
+    ccm2_incr::comparable_output(
+        out.image.as_ref(),
+        &out.diagnostics,
+        &out.sources,
+        &out.interner,
+    )
+}
+
+#[test]
+fn warm_identical_compile_splices_every_unit() {
+    let m = generate(&GenParams::small("WarmAll", 31));
+    let store = Arc::new(MemStore::new());
+    let cold = compile(&m, Some(store.clone()), true, 4);
+    assert!(
+        cold.is_ok(),
+        "{:?}",
+        &cold.diagnostics[..3.min(cold.diagnostics.len())]
+    );
+    let cold_stats = cold.incr.expect("incremental was active");
+    assert_eq!(cold_stats.units, cold.procedures + 1, "procs + module body");
+    assert_eq!(cold_stats.spliced, 0, "empty store cannot hit");
+    assert!(store.entry_count() > 0, "cold run populates the store");
+
+    let warm = compile(&m, Some(store.clone()), true, 4);
+    assert!(warm.is_ok());
+    let warm_stats = warm.incr.expect("incremental was active");
+    assert_eq!(warm_stats.units, cold_stats.units);
+    assert_eq!(warm_stats.spliced, warm_stats.units, "all units resplice");
+    assert_eq!(warm_stats.recompiled, 0);
+    assert_eq!(warm_stats.bad_entries, 0);
+    assert_eq!(comparable(&cold), comparable(&warm), "warm == cold output");
+}
+
+#[test]
+fn procedure_body_edit_recompiles_only_the_touched_stream() {
+    let m = generate(&GenParams {
+        name: "OneEdit".into(),
+        seed: 44,
+        procedures: 12,
+        interfaces: 4,
+        import_depth: 2,
+        stmts_per_proc: 14,
+        nested_ratio: 0.0, // flat: the edited stream has no children
+        lint_seeds: true,
+    });
+    let store = Arc::new(MemStore::new());
+    let cold = compile(&m, Some(store.clone()), true, 4);
+    assert!(cold.is_ok());
+
+    let edited = apply_edits(&m, &body_edits(1, 4242));
+    assert_ne!(m.source, edited.source, "edit must land");
+    let warm = compile(&edited, Some(store.clone()), true, 4);
+    assert!(warm.is_ok());
+    let stats = warm.incr.expect("incremental was active");
+    assert_eq!(stats.units, 13, "12 procedures + module body");
+    assert_eq!(stats.recompiled, 1, "only Proc0 was touched");
+    assert_eq!(stats.spliced, 12, "siblings and module body resplice");
+
+    // A from-scratch compile of the edited source is the ground truth.
+    let reference = compile(&edited, None, true, 4);
+    assert_eq!(reference.incr, None, "no store, no counters");
+    assert_eq!(comparable(&warm), comparable(&reference));
+}
+
+#[test]
+fn interface_edit_invalidates_everything() {
+    let m = generate(&GenParams::small("IfaceInval", 52));
+    let store = Arc::new(MemStore::new());
+    let cold = compile(&m, Some(store.clone()), false, 2);
+    assert!(cold.is_ok());
+
+    let (lib, _) = m.defs.iter().next().expect("has interfaces");
+    let edited = apply_edits(
+        &m,
+        &[ccm2_workload::EditOp::Interface {
+            def: lib.to_string(),
+            tag: 9,
+        }],
+    );
+    let warm = compile(&edited, Some(store.clone()), false, 2);
+    assert!(warm.is_ok());
+    let stats = warm.incr.expect("incremental was active");
+    assert_eq!(
+        stats.spliced, 0,
+        "environment digest covers the interface library"
+    );
+    let reference = compile(&edited, None, false, 2);
+    assert_eq!(comparable(&warm), comparable(&reference));
+}
+
+#[test]
+fn suite_hit_rate_after_one_procedure_edit_is_at_least_95_percent() {
+    let store = Arc::new(MemStore::new());
+    let modules: Vec<GeneratedModule> = (0..SUITE_SIZE)
+        .map(|i| generate(&suite_params(i)))
+        .collect();
+    for m in &modules {
+        let cold = compile(m, Some(store.clone()), false, 4);
+        assert!(
+            cold.is_ok(),
+            "{}: {:?}",
+            m.source.len(),
+            &cold.diagnostics[..3.min(cold.diagnostics.len())]
+        );
+    }
+
+    // The developer edits one procedure in one module, then rebuilds the
+    // whole suite.
+    let edited_index = 17;
+    let edited = apply_edits(&modules[edited_index], &body_edits(1, 0xED17));
+    assert_ne!(modules[edited_index].source, edited.source);
+
+    let mut total = IncrStats::default();
+    let mut edited_out = None;
+    for (i, m) in modules.iter().enumerate() {
+        let target = if i == edited_index { &edited } else { m };
+        let warm = compile(target, Some(store.clone()), false, 4);
+        assert!(warm.is_ok(), "module {i}");
+        total.absorb(warm.incr.expect("incremental was active"));
+        if i == edited_index {
+            edited_out = Some(warm);
+        }
+    }
+    assert!(
+        total.hit_rate() >= 0.95,
+        "suite-wide warm hit rate {:.3} below 0.95 ({total:?})",
+        total.hit_rate()
+    );
+    assert_eq!(total.bad_entries, 0);
+
+    // The edited module's warm output matches a from-scratch compile.
+    let reference = compile(&edited, None, false, 4);
+    assert_eq!(
+        comparable(&edited_out.expect("edited ran")),
+        comparable(&reference)
+    );
+}
+
+#[test]
+fn corrupt_entries_degrade_to_misses_with_a_note() {
+    let m = generate(&GenParams::small("Corrupt", 63));
+    let store = Arc::new(MemStore::new());
+    let cold = compile(&m, Some(store.clone()), true, 2);
+    assert!(cold.is_ok());
+    let cold_cmp = comparable(&cold);
+
+    for fp in store.fingerprints() {
+        assert!(store.corrupt(fp, 12), "flip a payload byte");
+    }
+    let warm = compile(&m, Some(store.clone()), true, 2);
+    assert!(warm.is_ok(), "corruption must never break the compile");
+    let stats = warm.incr.expect("incremental was active");
+    assert_eq!(stats.spliced, 0, "nothing decodable, nothing spliced");
+    assert!(stats.bad_entries >= stats.units, "every entry was damaged");
+    assert!(
+        warm.diagnostics.iter().any(|d| {
+            d.severity == Severity::Note && d.message.contains("incremental cache entry")
+        }),
+        "degradation is reported, got {:?}",
+        warm.diagnostics
+    );
+    // Image identical to the cold compile; only the cache notes differ.
+    assert_eq!(comparable(&warm).0, cold_cmp.0);
+
+    // The warm run re-recorded good entries over the damaged ones, so a
+    // third run splices everything again.
+    let third = compile(&m, Some(store.clone()), true, 2);
+    let stats3 = third.incr.expect("incremental was active");
+    assert_eq!(stats3.spliced, stats3.units);
+    assert_eq!(comparable(&third), cold_cmp);
+}
+
+#[test]
+fn disk_store_survives_a_process_restart() {
+    let dir = std::env::temp_dir().join(format!("ccm2-incr-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = generate(&GenParams::small("DiskWarm", 74));
+
+    let cold_store: Arc<dyn ArtifactStore> = Arc::new(DiskStore::new(&dir).expect("create"));
+    let cold = compile(&m, Some(cold_store), false, 2);
+    assert!(cold.is_ok());
+
+    // A fresh handle on the same directory models a new compiler process.
+    let warm_store: Arc<dyn ArtifactStore> = Arc::new(DiskStore::new(&dir).expect("reopen"));
+    let warm = compile(&m, Some(warm_store), false, 2);
+    assert!(warm.is_ok());
+    let stats = warm.incr.expect("incremental was active");
+    assert_eq!(stats.spliced, stats.units, "on-disk entries survive");
+    assert_eq!(comparable(&cold), comparable(&warm));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

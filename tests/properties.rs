@@ -166,7 +166,7 @@ proptest! {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
 
-        let interner = Interner::new();
+        let interner = Arc::new(Interner::new());
         let names: Vec<_> = (0..12).map(|i| interner.intern(&format!("M.P{i}"))).collect();
         let make_units = || -> Vec<CodeUnit> {
             names
@@ -180,11 +180,11 @@ proptest! {
                 })
                 .collect()
         };
-        let a = Merger::new(interner.intern("M"));
+        let a = Merger::new(interner.intern("M"), Arc::clone(&interner));
         for u in make_units() {
             a.add_unit(u, &NullMeter);
         }
-        let b = Merger::new(interner.intern("M"));
+        let b = Merger::new(interner.intern("M"), Arc::clone(&interner));
         let mut shuffled = make_units();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(perm_seed);
         shuffled.shuffle(&mut rng);
@@ -357,5 +357,114 @@ proptest! {
         let m = generate(&ccm2_workload::suite_params(ix));
         let out = ccm2_seq::compile(&m.source, &m.defs);
         prop_assert!(out.is_ok(), "suite[{ix}]: {:?}", &out.diagnostics[..out.diagnostics.len().min(3)]);
+    }
+}
+
+// The incremental cache must be observationally invisible: a warm
+// compile of an edited module — under every DKY strategy and both
+// executors — produces the byte-identical object image, the same
+// diagnostics and the same lint findings as a cold compile of the same
+// source. The store is populated once (pre-edit, Skeptical, threads), so
+// cross-strategy and cross-executor splices are also exercised.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 5,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn warm_cache_compiles_are_invisible(
+        seed in 0u64..3000,
+        procedures in 2usize..9,
+        edit_count in 1usize..3,
+    ) {
+        use ccm2::Executor;
+        use ccm2_incr::{encode_image, ArtifactStore, MemStore};
+        use ccm2_sched::SimConfig;
+        use ccm2_sema::symtab::DkyStrategy;
+        use ccm2_workload::{apply_edits, body_edits};
+
+        let base = generate(&GenParams {
+            name: "Incr".into(),
+            seed,
+            procedures,
+            interfaces: 2,
+            import_depth: 1,
+            stmts_per_proc: 10,
+            nested_ratio: 0.2,
+            lint_seeds: true,
+        });
+        let edited = apply_edits(&base, &body_edits(edit_count, seed ^ 0xE11));
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemStore::new());
+        let cold = compile_concurrent(
+            &base.source,
+            Arc::new(base.defs.clone()),
+            Arc::new(Interner::new()),
+            Options {
+                analyze: true,
+                incremental: Some(Arc::clone(&store)),
+                ..Options::threads(2)
+            },
+        );
+        prop_assert!(cold.is_ok(), "{:?}", cold.diagnostics);
+        // Ground truth: the edited source, compiled with no cache at all.
+        let reference = compile_concurrent(
+            &edited.source,
+            Arc::new(edited.defs.clone()),
+            Arc::new(Interner::new()),
+            Options {
+                analyze: true,
+                ..Options::threads(2)
+            },
+        );
+        prop_assert!(reference.is_ok(), "{:?}", reference.diagnostics);
+        let want_image = encode_image(reference.image.as_ref().expect("image"), &reference.interner);
+        let want_diags = normalize_diags(&reference.diagnostics, &reference.sources);
+        let mut first_warm = true;
+        for strategy in DkyStrategy::ALL {
+            for threads in [false, true] {
+                let executor = if threads {
+                    Executor::Threads(2)
+                } else {
+                    Executor::Sim(SimConfig::firefly(2))
+                };
+                let warm = compile_concurrent(
+                    &edited.source,
+                    Arc::new(edited.defs.clone()),
+                    Arc::new(Interner::new()),
+                    Options {
+                        strategy,
+                        analyze: true,
+                        executor,
+                        incremental: Some(Arc::clone(&store)),
+                        ..Options::default()
+                    },
+                );
+                let label = format!("{}/{}", strategy.name(), if threads { "threads" } else { "sim" });
+                prop_assert!(warm.is_ok(), "{label}: {:?}", warm.diagnostics);
+                let stats = warm.incr.expect("incremental was active");
+                prop_assert!(stats.spliced > 0, "{label}: nothing spliced ({stats:?})");
+                // The first warm run recompiles the edited streams; it
+                // also re-records them, so every later run hits fully.
+                if first_warm {
+                    prop_assert!(stats.recompiled >= edit_count, "{label}: {stats:?}");
+                    first_warm = false;
+                } else {
+                    prop_assert_eq!(stats.recompiled, 0, "{} after re-record", label);
+                }
+                prop_assert_eq!(
+                    encode_image(warm.image.as_ref().expect("image"), &warm.interner),
+                    want_image.clone(),
+                    "{} image diverged",
+                    label
+                );
+                prop_assert_eq!(
+                    normalize_diags(&warm.diagnostics, &warm.sources),
+                    want_diags.clone(),
+                    "{} diagnostics diverged",
+                    label
+                );
+            }
+        }
     }
 }
