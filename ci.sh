@@ -18,6 +18,16 @@ echo "== incremental cache: warm/cold equivalence =="
 cargo test -q --test incremental
 cargo test -q --test properties warm_cache_compiles_are_invisible
 
+echo "== compile service: bounded soak (seeded, zero lost, dedup floor) =="
+# The soak drives the seeded many-client load through ccm2-serve with a
+# deliberately tight queue and store budget: every request must get a
+# response (shed ones via the retry protocol), identical in-flight
+# requests must dedupe above a floor, and the shared store must never
+# exceed its byte budget. The stress test adds eviction-pressure
+# byte-equivalence against direct compiles.
+cargo test -q -p ccm2-serve --test soak
+cargo test -q -p ccm2-serve --test stress
+
 echo "== incremental cache: format-version bump guard =="
 # Any change to the on-disk entry encoding must bump FORMAT_VERSION, and
 # every bump must come with a mismatch-invalidation test for the new

@@ -8,6 +8,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- overhead dky headings workcrews
 //! cargo run --release -p ccm2-bench --bin reproduce -- analyze
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
+//! cargo run --release -p ccm2-bench --bin reproduce -- serve
 //! ```
 
 use ccm2_bench as bench;
@@ -75,5 +76,8 @@ fn main() {
     }
     if want("incr") {
         println!("{}\n", bench::incr());
+    }
+    if want("serve") {
+        println!("{}\n", bench::serve());
     }
 }

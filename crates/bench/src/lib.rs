@@ -505,8 +505,12 @@ pub fn fig5() -> String {
      \n\
      All streams feed the Merge step (concatenation of per-procedure code\n\
      units, any order). 2-5 tasks per stream, as in the paper.\n\
-     Priority order (2.3.4): Lexor > Splitter > Importer > DefModParse >\n\
-     ModuleParse > ProcParse > LongCodeGen > ShortCodeGen > Merge.\n"
+     Priority order (2.3.4, extended): Lexor > Splitter > CacheSplice >\n\
+     Importer > DefModParse > ModuleParse > ProcParse > Analyze >\n\
+     LongCodeGen > ShortCodeGen > Merge. CacheSplice (warm incremental\n\
+     runs) outranks everything that follows the split so cached units\n\
+     land before live parsing competes for workers; Analyze slots between\n\
+     parsing and code generation.\n"
         .to_string()
 }
 
@@ -933,6 +937,192 @@ pub fn incr() -> String {
     out
 }
 
+/// The `reproduce -- serve` experiment: drives the `ccm2-serve` compile
+/// service with the seeded many-client load and reports throughput,
+/// single-flight dedup ratio, shared-store hit rate and eviction
+/// behaviour. Also proves service outputs byte-identical to standalone
+/// compiles under all 4 DKY strategies × both executors.
+pub fn serve() -> String {
+    serve_with(
+        &ccm2_workload::ServeLoadParams::default(),
+        ccm2_serve::ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            store_budget: 8 * 1024,
+            paused: false,
+        },
+    )
+}
+
+/// [`serve`] with explicit load parameters and service configuration
+/// (tests use a smaller load).
+pub fn serve_with(
+    load: &ccm2_workload::ServeLoadParams,
+    config: ccm2_serve::ServeConfig,
+) -> String {
+    use ccm2_serve::{CompileRequest, CompileService, ExecChoice, Response};
+    use ccm2_workload::serve_load;
+    use std::collections::HashMap;
+
+    let mut out =
+        String::from("Compile service (ccm2-serve): seeded many-client edit/rebuild load\n");
+    out.push_str(&format!(
+        "  load: projects={} clients={} events={} edit every {} (interface every {}th edit), seed {:#x}\n",
+        load.projects, load.clients, load.events, load.edit_every, load.interface_every, load.seed
+    ));
+    out.push_str(&format!(
+        "  service: workers={} queue_capacity={} store_budget={} B\n\n",
+        config.workers, config.queue_capacity, config.store_budget
+    ));
+
+    // Part 1 — equivalence matrix: every DKY strategy x both executors,
+    // served outcome vs a standalone compile_concurrent of the same
+    // request (no service, no shared store).
+    let probe = ccm2_workload::generate(&ccm2_workload::GenParams::small("ServeEq", 0xE9));
+    let execs = [ExecChoice::Sim(4), ExecChoice::Threads(2)];
+    out.push_str("equivalence: served output vs standalone compile\n");
+    let svc = CompileService::start(config);
+    for strategy in DkyStrategy::ALL {
+        for exec in execs {
+            let req = CompileRequest {
+                client: 0,
+                module: probe.name.clone(),
+                source: probe.source.clone(),
+                defs: Arc::new(probe.defs.clone()),
+                strategy,
+                exec,
+                analyze: false,
+            };
+            let served = svc.submit(req.clone()).ticket().expect("admitted").wait();
+            let standalone = standalone_compile(&req);
+            assert_eq!(
+                (served.object.clone(), served.diagnostics.clone()),
+                standalone,
+                "served != standalone for {} / {}",
+                strategy.name(),
+                exec.name()
+            );
+            out.push_str(&format!(
+                "  {:<11} x {:<10} : identical ({} B object)\n",
+                strategy.name(),
+                exec.name(),
+                served.object.as_ref().map(Vec::len).unwrap_or(0)
+            ));
+        }
+    }
+    drop(svc);
+
+    // Part 2 — the seeded load, fresh service. Shed requests are
+    // resubmitted in the next wave (the client back-off protocol).
+    let events = serve_load(load);
+    let svc = CompileService::start(config);
+    let mk_request = |e: &ccm2_workload::ServeEvent| CompileRequest {
+        client: e.client,
+        module: e.module.name.clone(),
+        source: e.module.source.clone(),
+        defs: Arc::new(e.module.defs.clone()),
+        strategy: DkyStrategy::Skeptical,
+        exec: ExecChoice::Sim(4),
+        analyze: false,
+    };
+
+    // Expected bytes per unique (project, revision), from standalone
+    // compiles — every served response must match.
+    let mut expected: HashMap<ccm2_support::hash::Fp128, (Option<Vec<u8>>, Vec<String>)> =
+        HashMap::new();
+    for e in &events {
+        let req = mk_request(e);
+        expected
+            .entry(req.fingerprint())
+            .or_insert_with(|| standalone_compile(&req));
+    }
+
+    let started = std::time::Instant::now();
+    let mut pending: Vec<CompileRequest> = events.iter().map(mk_request).collect();
+    let mut waves = 0usize;
+    let mut served = 0usize;
+    let mut mismatches = 0usize;
+    while !pending.is_empty() {
+        waves += 1;
+        assert!(waves <= 1 + events.len(), "shed requests must drain");
+        let batch = std::mem::take(&mut pending);
+        let requests = batch.clone();
+        for (req, resp) in requests.into_iter().zip(svc.serve_batch(batch)) {
+            match resp {
+                Response::Done(outcome) => {
+                    served += 1;
+                    assert!(outcome.ok, "{:?}", outcome.diagnostics);
+                    let want = &expected[&req.fingerprint()];
+                    if (outcome.object.clone(), outcome.diagnostics.clone()) != *want {
+                        mismatches += 1;
+                    }
+                }
+                Response::Retry => pending.push(req),
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(mismatches, 0, "served bytes must match standalone compiles");
+
+    let stats = svc.stats();
+    let store = svc.store().stats();
+    assert_eq!(served, events.len(), "no request lost");
+    assert!(store.peak_bytes <= store.budget, "budget invariant");
+    out.push_str(&format!(
+        "\nload: {} events served in {} waves, 0 lost, 0 mismatched vs standalone\n",
+        served, waves
+    ));
+    out.push_str(&format!(
+        "throughput: {:.1} requests/s ({} ms total, wall)\n",
+        served as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed.as_millis()
+    ));
+    out.push_str(&format!(
+        "single-flight: {} compiles served {} requests; dedup ratio {:.1}% (joined {}, shed {})\n",
+        stats.compiled,
+        served,
+        100.0 * stats.dedup_ratio(),
+        stats.joined,
+        stats.shed
+    ));
+    out.push_str(&format!(
+        "store: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} evictions\n",
+        store.hits,
+        store.misses,
+        100.0 * store.hit_rate(),
+        store.insertions,
+        store.evictions
+    ));
+    out.push_str(&format!(
+        "       occupancy {} B, peak {} B of {} B budget (never exceeded)\n",
+        store.bytes_in_use, store.peak_bytes, store.budget
+    ));
+    out
+}
+
+/// A standalone (serviceless, storeless) compile of `req`, in the same
+/// comparable encoding the service reports.
+fn standalone_compile(req: &ccm2_serve::CompileRequest) -> (Option<Vec<u8>>, Vec<String>) {
+    let out = compile_concurrent(
+        &req.source,
+        Arc::clone(&req.defs) as Arc<dyn ccm2_support::defs::DefProvider>,
+        Arc::new(Interner::new()),
+        Options {
+            strategy: req.strategy,
+            executor: req.exec.to_executor(),
+            analyze: req.analyze,
+            incremental: None,
+            ..Options::default()
+        },
+    );
+    ccm2_incr::comparable_output(
+        out.image.as_ref(),
+        &out.diagnostics,
+        &out.sources,
+        &out.interner,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,6 +1160,30 @@ mod tests {
         assert!(f.contains("Splitter"));
         assert!(f.contains("Importer"));
         assert!(f.contains("StmtAnalyzer/CodeGen"));
+        assert!(f.contains("CacheSplice"), "priority line covers splices");
+    }
+
+    #[test]
+    fn serve_report_holds_its_invariants() {
+        // serve_with asserts internally: byte-equivalence with
+        // standalone compiles (matrix and per-event), no lost requests,
+        // and the store budget invariant. A small load keeps this test
+        // cheap; `reproduce -- serve` runs the full default.
+        let report = serve_with(
+            &ccm2_workload::ServeLoadParams {
+                events: 12,
+                ..ccm2_workload::ServeLoadParams::default()
+            },
+            ccm2_serve::ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                store_budget: 8 * 1024,
+                paused: false,
+            },
+        );
+        assert!(report.contains("dedup ratio"));
+        assert!(report.contains("never exceeded"));
+        assert!(report.contains("0 lost, 0 mismatched"));
     }
 
     #[test]

@@ -28,8 +28,8 @@ use parking_lot::Mutex;
 use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
 use ccm2_codegen::merge::{Merger, ModuleImage};
 use ccm2_incr::{
-    decode_entry, encode_entry, environment_fp, fingerprint_streams, ArtifactStore, CacheEntryData,
-    CachedDiag, Carve, IncrStats, StreamNode, FORMAT_VERSION,
+    decode_entry, encode_entry, environment_fp, fingerprint_streams, import_closure, ArtifactStore,
+    CacheEntryData, CachedDiag, Carve, IncrStats, StreamNode, FORMAT_VERSION,
 };
 use ccm2_sched::{
     run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc, TaskKind,
@@ -228,9 +228,15 @@ pub fn compile_concurrent(
 /// Active incremental-compilation state (gating already applied).
 struct IncrInner {
     store: Arc<dyn ArtifactStore>,
+    /// The enumerated definition library, kept so the environment digest
+    /// can be restricted to the interfaces the main source transitively
+    /// imports once that source is known (in `start`).
+    library: Vec<(String, String)>,
     /// Digest of everything outside the main source that affects output:
-    /// format version, configuration, every definition module's text.
-    env_fp: Fp128,
+    /// format version, configuration, and the interfaces the module can
+    /// reach (per-import precision — an unrelated `.def` edit must not
+    /// invalidate this module's units). Set once in `start`.
+    env_fp: OnceLock<Fp128>,
     /// Signaled once hit/miss decisions exist (the module parser waits on
     /// it before choosing between live codegen and a module-body splice).
     ready: EventId,
@@ -324,11 +330,10 @@ impl Driver {
                 return None;
             }
             let library = defs.all_definitions()?;
-            // Heading-mode tag 0 = CopyToChild, the only mode gated in.
-            let env_fp = environment_fp(FORMAT_VERSION, options.analyze, 0, &library);
             Some(IncrInner {
                 store: Arc::clone(store),
-                env_fp,
+                library,
+                env_fp: OnceLock::new(),
                 ready: env.new_event_named(EventClass::Handled, "incr(decisions)"),
             })
         });
@@ -415,6 +420,16 @@ impl Driver {
     // ---- stream construction -------------------------------------------
 
     fn start(self: &Arc<Self>, source: String) {
+        // Per-import environment precision: digest only the interfaces
+        // this source can transitively reach, so touching an unrelated
+        // `.def` leaves every unit of this module warm. Computed before
+        // any task is spawned — `incr_split_eof` runs on a worker.
+        if let Some(incr) = &self.incr {
+            let reachable = import_closure(&source, &incr.library);
+            // Heading-mode tag 0 = CopyToChild, the only mode gated in.
+            let env_fp = environment_fp(FORMAT_VERSION, self.analyze, 0, &reachable);
+            incr.env_fp.set(env_fp).expect("start runs once");
+        }
         let file = self.sources.add("Main.mod", source);
         let lex_q = TokenQueue::named(Arc::clone(&self.env), "lex(Main)");
         // Lexor(main): never blocks (§2.3.3).
@@ -1072,7 +1087,8 @@ impl Driver {
                 parent: index_of.get(&p.parent).copied(),
             })
             .collect();
-        let fps = fingerprint_streams(&source_text, &nodes, incr.env_fp);
+        let env_fp = *incr.env_fp.get().expect("set in start");
+        let fps = fingerprint_streams(&source_text, &nodes, env_fp);
         let mut stats = IncrStats {
             units: pending.len() + 1,
             ..IncrStats::default()

@@ -77,9 +77,112 @@ pub struct Fingerprints {
     pub streams: Vec<Fp128>,
 }
 
+/// Placeholder source hashed for an imported definition module the
+/// provider cannot supply. Folding the *absence* into the digest means a
+/// module compiled while an interface was missing never shares
+/// fingerprints with one compiled after the interface (re)appeared.
+pub const MISSING_DEF_SOURCE: &str = "\u{1}<missing definition module>\u{1}";
+
+/// Extracts the module names a source text imports: `IMPORT A, B;` and
+/// `FROM C IMPORT x;` at any position. The scan is token-oriented but
+/// deliberately ignores comment/string context, so a name mentioned in a
+/// comment can only *add* a module to the set — over-inclusion merely
+/// widens invalidation, while missing a real import could let a stale
+/// interface go unnoticed.
+pub fn import_names(source: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut words = Vec::new(); // (word, byte offset just past it)
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                i += 1;
+            }
+            words.push((&source[start..i], i));
+        } else {
+            i += 1;
+        }
+    }
+    let mut w = 0;
+    while w < words.len() {
+        match words[w].0 {
+            "FROM" => {
+                if let Some(&(name, _)) = words.get(w + 1) {
+                    names.push(name.to_string());
+                }
+                w += 2;
+                // Skip the `IMPORT x, y;` symbol list — those are
+                // identifiers inside the named module, not modules.
+                if let Some(&("IMPORT", after)) = words.get(w) {
+                    let list_end = source[after..]
+                        .find(';')
+                        .map(|at| after + at)
+                        .unwrap_or(source.len());
+                    w += 1;
+                    while w < words.len() && words[w].1 <= list_end {
+                        w += 1;
+                    }
+                }
+            }
+            "IMPORT" => {
+                // A plain import: every identifier up to the `;` is a
+                // module name.
+                let list_end = source[words[w].1..]
+                    .find(';')
+                    .map(|at| words[w].1 + at)
+                    .unwrap_or(source.len());
+                w += 1;
+                while w < words.len() && words[w].1 <= list_end {
+                    names.push(words[w].0.to_string());
+                    w += 1;
+                }
+            }
+            _ => w += 1,
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The transitive import closure of `main_source` over `library`,
+/// returned as sorted `(name, source)` pairs ready for
+/// [`environment_fp`]. Interfaces the library lacks appear with
+/// [`MISSING_DEF_SOURCE`] so their absence is part of the digest. This is
+/// what makes the environment digest *per-import precise*: a definition
+/// module no compiled unit can reach does not contribute, so editing it
+/// leaves every cached unit of this module valid.
+pub fn import_closure(main_source: &str, library: &[(String, String)]) -> Vec<(String, String)> {
+    let by_name: std::collections::HashMap<&str, &str> = library
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let mut seen = std::collections::BTreeMap::<String, String>::new();
+    let mut frontier = import_names(main_source);
+    while let Some(name) = frontier.pop() {
+        if seen.contains_key(&name) {
+            continue;
+        }
+        match by_name.get(name.as_str()) {
+            Some(&src) => {
+                frontier.extend(import_names(src));
+                seen.insert(name, src.to_string());
+            }
+            None => {
+                seen.insert(name, MISSING_DEF_SOURCE.to_string());
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
 /// Digests the environment every fingerprint is chained from: the store
 /// format version, the configuration bits that alter generated code or
-/// diagnostics, and the full (sorted) definition-module library.
+/// diagnostics, and the (sorted) definition-module interfaces the
+/// compiled module can transitively reach (see [`import_closure`]).
 pub fn environment_fp(
     format_version: u32,
     analyze: bool,
@@ -281,6 +384,53 @@ mod tests {
         let b = fingerprint_streams(SRC_A, &nodes, Fp128 { hi: 1, lo: 3 });
         assert_ne!(a.module, b.module);
         assert_ne!(a.streams[0], b.streams[0]);
+    }
+
+    #[test]
+    fn import_scan_finds_both_forms_and_skips_symbol_lists() {
+        let src = "IMPLEMENTATION MODULE M;\n\
+             IMPORT A, B;\n\
+             FROM C IMPORT x, y;\n\
+             IMPORT D;\n\
+             PROCEDURE P(); BEGIN x := A.f; END P;\nBEGIN END M.";
+        assert_eq!(import_names(src), vec!["A", "B", "C", "D"]);
+        assert_eq!(import_names("MODULE N; BEGIN END N."), Vec::<String>::new());
+    }
+
+    #[test]
+    fn import_closure_is_transitive_and_marks_missing() {
+        let lib = vec![
+            (
+                "A".to_string(),
+                "DEFINITION MODULE A; IMPORT B; END A.".to_string(),
+            ),
+            ("B".to_string(), "DEFINITION MODULE B; END B.".to_string()),
+            (
+                "Unrelated".to_string(),
+                "DEFINITION MODULE Unrelated; END Unrelated.".to_string(),
+            ),
+        ];
+        let closure = import_closure("MODULE M; IMPORT A, Ghost; BEGIN END M.", &lib);
+        let names: Vec<&str> = closure.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "Ghost"], "transitive, no Unrelated");
+        let ghost = closure.iter().find(|(n, _)| n == "Ghost").expect("ghost");
+        assert_eq!(ghost.1, MISSING_DEF_SOURCE);
+        // Editing the unreachable interface does not change the digest;
+        // editing a reachable one does.
+        let mut edited = lib.clone();
+        edited[2].1 = "DEFINITION MODULE Unrelated; CONST N = 1; END Unrelated.".to_string();
+        let closure2 = import_closure("MODULE M; IMPORT A, Ghost; BEGIN END M.", &edited);
+        assert_eq!(
+            environment_fp(1, false, 0, &closure),
+            environment_fp(1, false, 0, &closure2)
+        );
+        let mut edited_b = lib.clone();
+        edited_b[1].1 = "DEFINITION MODULE B; CONST N = 1; END B.".to_string();
+        let closure3 = import_closure("MODULE M; IMPORT A, Ghost; BEGIN END M.", &edited_b);
+        assert_ne!(
+            environment_fp(1, false, 0, &closure),
+            environment_fp(1, false, 0, &closure3)
+        );
     }
 
     #[test]

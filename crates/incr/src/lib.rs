@@ -39,8 +39,11 @@ pub use entry::{
     decode_entry, encode_entry, encode_image, CacheEntryData, CachedDiag, DecodeError,
     FORMAT_VERSION,
 };
-pub use fingerprint::{environment_fp, fingerprint_streams, Carve, Fingerprints, StreamNode};
-pub use store::{ArtifactStore, DiskStore, MemStore};
+pub use fingerprint::{
+    environment_fp, fingerprint_streams, import_closure, import_names, Carve, Fingerprints,
+    StreamNode, MISSING_DEF_SOURCE,
+};
+pub use store::{Admission, ArtifactStore, ByteBudgetLru, DiskStore, MemStore};
 
 /// Counters describing what the incremental cache did during one
 /// concurrent compile (attached to `ConcurrentOutput`).

@@ -22,6 +22,138 @@ pub trait ArtifactStore: Send + Sync + std::fmt::Debug {
     fn store(&self, fp: Fp128, bytes: &[u8]);
 }
 
+/// A byte-budgeted least-recently-used index over fingerprinted entries.
+///
+/// The index tracks *sizes and recency only* — payloads live with the
+/// caller (a `HashMap` in `ccm2-serve`'s `SharedStore`, files on disk in
+/// [`DiskStore`]). Admission is strict: the tracked total never exceeds
+/// the budget, not even transiently, because [`ByteBudgetLru::admit`]
+/// reports what must be evicted *before* the new entry is accounted.
+/// Recency ticks are a monotonic counter, so eviction order is
+/// deterministic for a deterministic access sequence.
+#[derive(Debug)]
+pub struct ByteBudgetLru {
+    budget: u64,
+    total: u64,
+    tick: u64,
+    evictions: u64,
+    entries: HashMap<Fp128, (u64, u64)>, // fp -> (bytes, last-use tick)
+}
+
+impl ByteBudgetLru {
+    /// Creates an empty index with the given byte budget.
+    pub fn new(budget: u64) -> ByteBudgetLru {
+        ByteBudgetLru {
+            budget,
+            total: 0,
+            tick: 0,
+            evictions: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently accounted to live entries (always ≤ budget).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `fp` is tracked.
+    pub fn contains(&self, fp: Fp128) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// Marks `fp` most-recently-used (a load hit). No-op when untracked.
+    pub fn touch(&mut self, fp: Fp128) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.1 = tick;
+        }
+    }
+
+    /// Admits an entry of `bytes` under `fp`, replacing any previous
+    /// entry for the same fingerprint. The caller must evict the
+    /// returned fingerprints' payloads; when `accepted` is false the
+    /// entry alone exceeds the whole budget and must not be stored (a
+    /// stale previous payload under the same fingerprint is still listed
+    /// for eviction).
+    pub fn admit(&mut self, fp: Fp128, bytes: u64) -> Admission {
+        if bytes > self.budget {
+            // An oversize replacement still drops the stale previous entry.
+            let evict = match self.entries.remove(&fp) {
+                Some((old, _)) => {
+                    self.total -= old;
+                    vec![fp]
+                }
+                None => Vec::new(),
+            };
+            return Admission {
+                accepted: false,
+                evict,
+            };
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.entries.remove(&fp) {
+            self.total -= old;
+        }
+        let mut evict = Vec::new();
+        while self.total + bytes > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, tick))| tick)
+                .map(|(&fp, _)| fp)
+                .expect("total > 0 implies a victim exists");
+            let (sz, _) = self.entries.remove(&victim).expect("victim tracked");
+            self.total -= sz;
+            self.evictions += 1;
+            evict.push(victim);
+        }
+        self.entries.insert(fp, (bytes, self.tick));
+        self.total += bytes;
+        Admission {
+            accepted: true,
+            evict,
+        }
+    }
+
+    /// Untracks `fp` (the caller already removed the payload).
+    pub fn remove(&mut self, fp: Fp128) {
+        if let Some((bytes, _)) = self.entries.remove(&fp) {
+            self.total -= bytes;
+        }
+    }
+}
+
+/// The outcome of [`ByteBudgetLru::admit`].
+#[derive(Debug)]
+pub struct Admission {
+    /// Whether the entry may be stored at all (false = oversize).
+    pub accepted: bool,
+    /// Fingerprints whose payloads the caller must evict.
+    pub evict: Vec<Fp128>,
+}
+
 /// An in-memory store for tests and simulation runs.
 #[derive(Debug, Default)]
 pub struct MemStore {
@@ -88,26 +220,110 @@ impl ArtifactStore for MemStore {
 /// rename, so a crash mid-write leaves either the old entry or none — a
 /// torn write can only surface as a missing or checksum-failing entry,
 /// both of which degrade to a miss.
+///
+/// The store is size-bounded: entries beyond the byte budget are evicted
+/// least-recently-used (recency is tracked in memory per handle and
+/// seeded from file modification times on open, oldest first), so a
+/// long-lived service cannot fill the disk. [`DiskStore::new`] applies
+/// [`DiskStore::DEFAULT_BUDGET`]; use [`DiskStore::with_budget`] to pick
+/// the bound, or [`DiskStore::unbounded`] for the pre-eviction behaviour
+/// (test fixtures, externally garbage-collected directories).
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
     tmp_seq: AtomicU64,
+    /// `None` = unbounded (explicitly requested).
+    lru: Option<Mutex<ByteBudgetLru>>,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Default byte budget applied by [`DiskStore::new`]: 256 MiB, far
+    /// above any single build's working set but a hard ceiling for a
+    /// long-lived service's cache directory.
+    pub const DEFAULT_BUDGET: u64 = 256 * 1024 * 1024;
+
+    /// Opens (creating if needed) a store rooted at `dir`, bounded by
+    /// [`DiskStore::DEFAULT_BUDGET`].
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        DiskStore::with_budget(dir, DiskStore::DEFAULT_BUDGET)
+    }
+
+    /// Opens a store bounded by `budget` bytes. Existing entries are
+    /// indexed oldest-first (by modification time, then name, so the
+    /// seeding order is deterministic) and evicted immediately if they
+    /// already exceed the budget.
+    pub fn with_budget(dir: impl Into<PathBuf>, budget: u64) -> std::io::Result<DiskStore> {
+        let store = DiskStore::open(dir, Some(budget))?;
+        store.seed_lru();
+        Ok(store)
+    }
+
+    /// Opens a store with no size bound. Growth is then the caller's
+    /// problem; prefer [`DiskStore::with_budget`] for anything long-lived.
+    pub fn unbounded(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        DiskStore::open(dir, None)
+    }
+
+    fn open(dir: impl Into<PathBuf>, budget: Option<u64>) -> std::io::Result<DiskStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(DiskStore {
             dir,
             tmp_seq: AtomicU64::new(0),
+            lru: budget.map(|b| Mutex::new(ByteBudgetLru::new(b))),
         })
+    }
+
+    /// Indexes pre-existing entries into the LRU, oldest first, evicting
+    /// whatever no longer fits.
+    fn seed_lru(&self) {
+        let Some(lru) = &self.lru else { return };
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut found: Vec<(std::time::SystemTime, String, Fp128, u64)> = rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                let fp = Fp128::from_hex(name.strip_suffix(".bin")?)?;
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((mtime, name, fp, meta.len()))
+            })
+            .collect();
+        found.sort();
+        let mut lru = lru.lock();
+        for (_, _, fp, len) in found {
+            let admission = lru.admit(fp, len);
+            let mut evict = admission.evict;
+            if !admission.accepted {
+                evict.push(fp);
+            }
+            for victim in evict {
+                let _ = std::fs::remove_file(self.entry_path(victim));
+            }
+        }
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.lru.as_ref().map(|l| l.lock().budget())
+    }
+
+    /// Bytes currently accounted to tracked entries (`None` = unbounded
+    /// store, which does not track sizes).
+    pub fn bytes_in_use(&self) -> Option<u64> {
+        self.lru.as_ref().map(|l| l.lock().total())
+    }
+
+    /// Evictions performed by this handle.
+    pub fn evictions(&self) -> u64 {
+        self.lru.as_ref().map_or(0, |l| l.lock().evictions())
     }
 
     fn entry_path(&self, fp: Fp128) -> PathBuf {
@@ -128,10 +344,45 @@ impl DiskStore {
 
 impl ArtifactStore for DiskStore {
     fn load(&self, fp: Fp128) -> Option<Vec<u8>> {
-        std::fs::read(self.entry_path(fp)).ok()
+        let bytes = std::fs::read(self.entry_path(fp)).ok()?;
+        if let Some(lru) = &self.lru {
+            let mut lru = lru.lock();
+            if lru.contains(fp) {
+                lru.touch(fp);
+            } else {
+                // Another handle (or process) wrote it; adopt it so the
+                // budget keeps covering everything in the directory.
+                let admission = lru.admit(fp, bytes.len() as u64);
+                let mut evict = admission.evict;
+                if !admission.accepted {
+                    evict.push(fp);
+                }
+                for victim in evict {
+                    if victim != fp {
+                        let _ = std::fs::remove_file(self.entry_path(victim));
+                    }
+                }
+                if !admission.accepted {
+                    let _ = std::fs::remove_file(self.entry_path(fp));
+                }
+            }
+        }
+        Some(bytes)
     }
 
     fn store(&self, fp: Fp128, bytes: &[u8]) {
+        // Decide admission before touching the filesystem so the
+        // directory never transiently exceeds the budget.
+        if let Some(lru) = &self.lru {
+            let admission = lru.lock().admit(fp, bytes.len() as u64);
+            for victim in admission.evict.iter().filter(|&&v| v != fp) {
+                let _ = std::fs::remove_file(self.entry_path(*victim));
+            }
+            if !admission.accepted {
+                let _ = std::fs::remove_file(self.entry_path(fp));
+                return;
+            }
+        }
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
@@ -144,6 +395,9 @@ impl ArtifactStore for DiskStore {
         };
         if write().is_err() {
             let _ = std::fs::remove_file(&tmp);
+            if let Some(lru) = &self.lru {
+                lru.lock().remove(fp);
+            }
         }
     }
 }
@@ -168,6 +422,85 @@ mod tests {
         assert!(!s.corrupt(fp(2), 0), "missing entry not corruptible");
         let (loads, stores) = s.op_counts();
         assert_eq!((loads, stores), (3, 1));
+    }
+
+    #[test]
+    fn lru_admission_never_exceeds_budget() {
+        let mut lru = ByteBudgetLru::new(100);
+        assert!(lru.admit(fp(1), 40).accepted);
+        assert!(lru.admit(fp(2), 40).accepted);
+        assert_eq!(lru.total(), 80);
+        // Touch 1 so 2 becomes the LRU victim.
+        lru.touch(fp(1));
+        let a = lru.admit(fp(3), 40);
+        assert!(a.accepted);
+        assert_eq!(a.evict, vec![fp(2)]);
+        assert!(lru.total() <= lru.budget());
+        assert_eq!(lru.evictions(), 1);
+        assert!(lru.contains(fp(1)) && lru.contains(fp(3)));
+        // Replacing an entry re-accounts its size instead of leaking it.
+        assert!(lru.admit(fp(1), 60).accepted);
+        assert!(lru.total() <= 100);
+    }
+
+    #[test]
+    fn lru_rejects_oversize_and_drops_stale_twin() {
+        let mut lru = ByteBudgetLru::new(50);
+        assert!(lru.admit(fp(1), 20).accepted);
+        let a = lru.admit(fp(1), 500);
+        assert!(!a.accepted);
+        assert_eq!(a.evict, vec![fp(1)], "stale payload must go");
+        assert_eq!(lru.total(), 0);
+        assert!(!lru.admit(fp(2), 51).accepted);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn disk_store_evicts_lru_within_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-incr-budget-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let payload = vec![0xAB; 100];
+        let s = DiskStore::with_budget(&dir, 250).expect("create");
+        s.store(fp(1), &payload);
+        s.store(fp(2), &payload);
+        assert_eq!(s.entry_count(), 2);
+        s.load(fp(1)); // 1 becomes MRU; 2 is the next victim
+        s.store(fp(3), &payload);
+        assert_eq!(s.entry_count(), 2, "one entry evicted");
+        assert!(s.load(fp(2)).is_none(), "victim was the LRU entry");
+        assert!(s.load(fp(1)).is_some() && s.load(fp(3)).is_some());
+        assert!(s.bytes_in_use().expect("bounded") <= 250);
+        assert_eq!(s.evictions(), 1);
+        // Oversize entries are rejected, not stored.
+        s.store(fp(4), &vec![0u8; 300]);
+        assert!(s.load(fp(4)).is_none());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn disk_store_reopen_seeds_index_and_enforces_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-incr-reseed-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let s = DiskStore::unbounded(&dir).expect("create");
+            for i in 0..6u64 {
+                s.store(fp(i), &[i as u8; 100]);
+            }
+            assert_eq!(s.entry_count(), 6);
+        }
+        // Reopening with a budget trims the directory to fit.
+        let s = DiskStore::with_budget(&dir, 250).expect("reopen");
+        assert!(s.entry_count() <= 2, "seeded index evicted the overflow");
+        assert!(s.bytes_in_use().expect("bounded") <= 250);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

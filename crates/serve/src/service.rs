@@ -1,0 +1,546 @@
+//! [`CompileService`] — a bounded worker pool with single-flight
+//! deduplication and admission control.
+//!
+//! Life of a request:
+//!
+//! 1. [`submit`](CompileService::submit) computes the request
+//!    fingerprint and checks the in-flight table. An identical request
+//!    already queued or compiling? The new one *joins* it — no queue
+//!    slot, no second compile; both callers get the same
+//!    [`CompileOutcome`] when it lands (single-flight).
+//! 2. Otherwise the bounded queue admits it, or — when full — the
+//!    service *sheds* it with [`Submission::Shed`] so load never grows
+//!    an unbounded backlog. Shedding is the client's signal to back off
+//!    and resubmit.
+//! 3. A worker pops the request (still listed in-flight, so latecomers
+//!    keep joining during the compile), runs
+//!    [`ccm2::compile_concurrent`] against the shared artifact store,
+//!    then removes the in-flight entry and fans the outcome out to
+//!    every joined ticket.
+//!
+//! Two identical requests submitted *after* the first one completed do
+//! compile again — but against a warm [`SharedStore`], so the second
+//! run is all `CacheSplice` tasks. Single-flight removes duplicate
+//! work in the window where the cache cannot (the first compile has not
+//! stored its units yet).
+//!
+//! [`pause`](CompileService::pause)/[`resume`](CompileService::resume)
+//! freeze the workers between requests; tests use this to build
+//! deterministic in-flight pile-ups and assert the exactly-once
+//! compile counter.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ccm2::compile_concurrent;
+use ccm2_incr::{comparable_output, ArtifactStore};
+use ccm2_support::hash::Fp128;
+use ccm2_support::Interner;
+use parking_lot::{Condvar, Mutex};
+
+use crate::request::{CompileOutcome, CompileRequest, Response};
+use crate::store::SharedStore;
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads running compiles. Each compile may itself use a
+    /// multi-worker executor, so total parallelism is the product.
+    pub workers: usize,
+    /// Maximum *queued* (admitted, not yet started) requests. Joining
+    /// an in-flight request never consumes a slot.
+    pub queue_capacity: usize,
+    /// Byte budget for the shared artifact store.
+    pub store_budget: u64,
+    /// Start with the workers paused (deterministic tests).
+    pub paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            store_budget: 8 * 1024 * 1024,
+            paused: false,
+        }
+    }
+}
+
+/// Lifetime counters for a [`CompileService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests that joined an identical in-flight request.
+    pub joined: u64,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Compiles actually run (the single-flight invariant:
+    /// `compiled == accepted` once the queue drains, regardless of how
+    /// many requests joined).
+    pub compiled: u64,
+    /// Compiles that panicked (outcome degraded to an error report).
+    pub panicked: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of served (non-shed) requests that rode along on
+    /// another request's compile: `joined / (accepted + joined)`.
+    pub fn dedup_ratio(&self) -> f64 {
+        let served = self.accepted + self.joined;
+        if served == 0 {
+            0.0
+        } else {
+            self.joined as f64 / served as f64
+        }
+    }
+}
+
+/// A claim on a future [`CompileOutcome`].
+#[derive(Clone, Debug)]
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+}
+
+#[derive(Debug)]
+struct TicketShared {
+    slot: Mutex<Option<Arc<CompileOutcome>>>,
+    done: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            shared: Arc::new(TicketShared {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Blocks until the outcome is available.
+    pub fn wait(&self) -> Arc<CompileOutcome> {
+        let mut slot = self.shared.slot.lock();
+        while slot.is_none() {
+            self.shared.done.wait(&mut slot);
+        }
+        Arc::clone(slot.as_ref().expect("loop exits only when filled"))
+    }
+
+    /// The outcome, if it has already landed.
+    pub fn try_get(&self) -> Option<Arc<CompileOutcome>> {
+        self.shared.slot.lock().clone()
+    }
+}
+
+/// What [`CompileService::submit`] did with a request.
+#[derive(Clone, Debug)]
+pub enum Submission {
+    /// Admitted to the queue; a worker will compile it.
+    Queued(Ticket),
+    /// Joined an identical in-flight request (single-flight).
+    Joined(Ticket),
+    /// Shed: the queue was full. Back off and resubmit.
+    Shed,
+}
+
+impl Submission {
+    /// The ticket, unless the request was shed.
+    pub fn ticket(&self) -> Option<&Ticket> {
+        match self {
+            Submission::Queued(t) | Submission::Joined(t) => Some(t),
+            Submission::Shed => None,
+        }
+    }
+
+    /// Whether the request was shed at admission.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Submission::Shed)
+    }
+}
+
+struct InFlight {
+    req: CompileRequest,
+    tickets: Vec<Arc<TicketShared>>,
+}
+
+struct State {
+    queue: VecDeque<Fp128>,
+    inflight: HashMap<Fp128, InFlight>,
+    paused: bool,
+    shutdown: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    store: Arc<SharedStore>,
+    queue_capacity: usize,
+}
+
+/// A long-lived compile service; see the module docs for the request
+/// life cycle. Dropping the service drains the queue (every admitted
+/// request still gets its outcome) and joins the workers.
+pub struct CompileService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Starts the worker pool.
+    pub fn start(config: ServeConfig) -> CompileService {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                paused: config.paused,
+                shutdown: false,
+                stats: ServiceStats::default(),
+            }),
+            work: Condvar::new(),
+            store: Arc::new(SharedStore::new(config.store_budget)),
+            queue_capacity: config.queue_capacity.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccm2-serve-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        CompileService { shared, workers }
+    }
+
+    /// The shared artifact store (for stats or pre-warming).
+    pub fn store(&self) -> &Arc<SharedStore> {
+        &self.shared.store
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.state.lock().stats
+    }
+
+    /// Submits one request; never blocks on compilation.
+    pub fn submit(&self, req: CompileRequest) -> Submission {
+        let fp = req.fingerprint();
+        let mut state = self.shared.state.lock();
+        state.stats.submitted += 1;
+        if let Some(fl) = state.inflight.get_mut(&fp) {
+            let ticket = Ticket::new();
+            fl.tickets.push(Arc::clone(&ticket.shared));
+            state.stats.joined += 1;
+            return Submission::Joined(ticket);
+        }
+        if state.queue.len() >= self.shared.queue_capacity {
+            state.stats.shed += 1;
+            return Submission::Shed;
+        }
+        let ticket = Ticket::new();
+        state.inflight.insert(
+            fp,
+            InFlight {
+                req,
+                tickets: vec![Arc::clone(&ticket.shared)],
+            },
+        );
+        state.queue.push_back(fp);
+        state.stats.accepted += 1;
+        drop(state);
+        self.shared.work.notify_one();
+        Submission::Queued(ticket)
+    }
+
+    /// Submits a whole batch first (maximizing single-flight overlap),
+    /// then waits for every non-shed outcome. Shed requests come back
+    /// as [`Response::Retry`] in their original positions.
+    pub fn serve_batch(&self, requests: Vec<CompileRequest>) -> Vec<Response> {
+        let submissions: Vec<Submission> = requests.into_iter().map(|r| self.submit(r)).collect();
+        submissions
+            .iter()
+            .map(|s| match s.ticket() {
+                Some(t) => Response::Done(t.wait()),
+                None => Response::Retry,
+            })
+            .collect()
+    }
+
+    /// Freezes the workers after their current compile. Submissions
+    /// (and joins) are still accepted while paused.
+    pub fn pause(&self) {
+        self.shared.state.lock().paused = true;
+    }
+
+    /// Unfreezes the workers.
+    pub fn resume(&self) {
+        self.shared.state.lock().paused = false;
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+            // A paused service still owes outcomes for everything it
+            // admitted; unfreeze so the drain can happen.
+            state.paused = false;
+        }
+        self.shared.work.notify_all();
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (fp, req) = {
+            let mut state = shared.state.lock();
+            let fp = loop {
+                if state.shutdown && state.queue.is_empty() {
+                    return;
+                }
+                if !state.paused {
+                    if let Some(fp) = state.queue.pop_front() {
+                        break fp;
+                    }
+                }
+                shared.work.wait(&mut state);
+            };
+            let req = state
+                .inflight
+                .get(&fp)
+                .expect("queued fp is in-flight until fulfilled")
+                .req
+                .clone();
+            (fp, req)
+        };
+
+        let store: Arc<dyn ArtifactStore> = Arc::clone(&shared.store) as Arc<dyn ArtifactStore>;
+        let result = catch_unwind(AssertUnwindSafe(|| run_one(fp, &req, store)));
+        let (outcome, panicked) = match result {
+            Ok(outcome) => (outcome, false),
+            Err(payload) => (panic_outcome(fp, &payload), true),
+        };
+        let outcome = Arc::new(outcome);
+
+        let tickets = {
+            let mut state = shared.state.lock();
+            state.stats.compiled += 1;
+            if panicked {
+                state.stats.panicked += 1;
+            }
+            state
+                .inflight
+                .remove(&fp)
+                .expect("fulfilled exactly once")
+                .tickets
+        };
+        for ticket in tickets {
+            *ticket.slot.lock() = Some(Arc::clone(&outcome));
+            ticket.done.notify_all();
+        }
+    }
+}
+
+fn run_one(fp: Fp128, req: &CompileRequest, store: Arc<dyn ArtifactStore>) -> CompileOutcome {
+    let out = compile_concurrent(
+        &req.source,
+        Arc::clone(&req.defs) as Arc<dyn ccm2_support::defs::DefProvider>,
+        Arc::new(Interner::new()),
+        req.options(store),
+    );
+    let (object, diagnostics) = comparable_output(
+        out.image.as_ref(),
+        &out.diagnostics,
+        &out.sources,
+        &out.interner,
+    );
+    CompileOutcome {
+        request_fp: fp,
+        ok: out.is_ok(),
+        object,
+        diagnostics,
+        incr: out.incr,
+        virtual_cost: out.report.virtual_time,
+        wall_micros: out.report.wall_micros,
+        streams: out.streams,
+    }
+}
+
+fn panic_outcome(fp: Fp128, payload: &(dyn std::any::Any + Send)) -> CompileOutcome {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    CompileOutcome {
+        request_fp: fp,
+        ok: false,
+        object: None,
+        diagnostics: vec![format!("internal error: compile panicked: {msg}")],
+        incr: None,
+        virtual_cost: None,
+        wall_micros: 0,
+        streams: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_support::defs::DefLibrary;
+
+    fn req(client: u64, name: &str, body: &str) -> CompileRequest {
+        CompileRequest::new(
+            client,
+            name,
+            format!("MODULE {name}; {body} END {name}."),
+            Arc::new(DefLibrary::new()),
+        )
+    }
+
+    #[test]
+    fn serves_a_simple_request() {
+        let svc = CompileService::start(ServeConfig::default());
+        let sub = svc.submit(req(1, "Hello", "VAR x: INTEGER; BEGIN x := 1;"));
+        let out = sub.ticket().expect("admitted").wait();
+        assert!(out.ok, "{:?}", out.diagnostics);
+        assert!(out.object.is_some());
+        assert_eq!(svc.stats().compiled, 1);
+    }
+
+    #[test]
+    fn identical_concurrent_requests_compile_exactly_once() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            ..ServeConfig::default()
+        });
+        let subs: Vec<Submission> = (0..5)
+            .map(|client| svc.submit(req(client, "Dup", "BEGIN")))
+            .collect();
+        assert!(matches!(subs[0], Submission::Queued(_)));
+        assert_eq!(
+            subs.iter()
+                .filter(|s| matches!(s, Submission::Joined(_)))
+                .count(),
+            4,
+            "later identical requests join the first"
+        );
+        svc.resume();
+        let outs: Vec<Arc<CompileOutcome>> = subs
+            .iter()
+            .map(|s| s.ticket().expect("kept").wait())
+            .collect();
+        for out in &outs {
+            assert!(Arc::ptr_eq(out, &outs[0]), "one outcome, fanned out");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.compiled, 1, "single-flight: exactly one compile");
+        assert_eq!(stats.joined, 4);
+        assert!((stats.dedup_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(
+            svc.submit(req(1, "A", "BEGIN")),
+            Submission::Queued(_)
+        ));
+        // Identical request joins even though the queue is full…
+        assert!(matches!(
+            svc.submit(req(2, "A", "BEGIN")),
+            Submission::Joined(_)
+        ));
+        // …but a *different* request is shed.
+        let shed = svc.submit(req(3, "B", "BEGIN"));
+        assert!(shed.is_shed());
+        assert!(shed.ticket().is_none());
+        assert_eq!(svc.stats().shed, 1);
+        svc.resume();
+    }
+
+    #[test]
+    fn batch_api_reports_retry_in_position() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let batch = vec![
+            req(1, "P", "BEGIN"),
+            req(2, "Q", "BEGIN"),
+            req(3, "R", "BEGIN"), // shed: capacity 2
+            req(4, "P", "BEGIN"), // joins P
+        ];
+        // Resume from another thread once the batch is in — serve_batch
+        // blocks on the outcomes.
+        let svc = Arc::new(svc);
+        let resumer = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                svc.resume();
+            })
+        };
+        let responses = svc.serve_batch(batch);
+        resumer.join().expect("resumer");
+        assert!(matches!(responses[0], Response::Done(_)));
+        assert!(matches!(responses[1], Response::Done(_)));
+        assert!(matches!(responses[2], Response::Retry));
+        assert!(matches!(responses[3], Response::Done(_)));
+        assert_eq!(svc.stats().compiled, 2);
+    }
+
+    #[test]
+    fn drop_drains_admitted_requests() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            ..ServeConfig::default()
+        });
+        let t1 = svc
+            .submit(req(1, "DrainA", "BEGIN"))
+            .ticket()
+            .expect("kept")
+            .clone();
+        let t2 = svc
+            .submit(req(2, "DrainB", "BEGIN"))
+            .ticket()
+            .expect("kept")
+            .clone();
+        drop(svc); // never resumed — Drop must drain anyway
+        assert!(t1.wait().ok);
+        assert!(t2.wait().ok);
+    }
+
+    #[test]
+    fn second_wave_hits_the_warm_store() {
+        let svc = CompileService::start(ServeConfig::default());
+        let r = req(
+            1,
+            "Warm",
+            "PROCEDURE P; BEGIN END P; PROCEDURE Q; BEGIN END Q; BEGIN P; Q;",
+        );
+        let cold = svc.submit(r.clone()).ticket().expect("kept").wait();
+        let warm = svc.submit(r).ticket().expect("kept").wait();
+        assert_eq!(cold.object, warm.object, "byte-identical");
+        let warm_incr = warm.incr.expect("incremental active");
+        assert_eq!(warm_incr.spliced, warm_incr.units, "all units spliced");
+        assert!(svc.store().stats().hits > 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! [`SharedStore`] — the service-wide artifact cache.
+//!
+//! One instance is shared by every compile the service runs, so a unit
+//! compiled for one client's request is a `CacheSplice` hit for every
+//! later request that reaches the same stream fingerprint — across
+//! clients, projects, DKY strategies and executors (the cache key is
+//! content-addressed and the cached object code is
+//! strategy/executor-independent, see the equivalence tests).
+//!
+//! Unlike [`MemStore`](ccm2_incr::MemStore) (unbounded, test-scoped),
+//! `SharedStore` is built for a long-lived multi-tenant process: it
+//! enforces a byte budget with strict LRU admission (the tracked total
+//! never exceeds the budget, not even transiently) and counts hits,
+//! misses, insertions, evictions and oversize rejections so the service
+//! can report cache behaviour per batch.
+
+use std::collections::HashMap;
+
+use ccm2_incr::{ArtifactStore, ByteBudgetLru};
+use ccm2_support::hash::Fp128;
+use parking_lot::Mutex;
+
+/// A snapshot of a [`SharedStore`]'s counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Configured byte budget.
+    pub budget: u64,
+    /// Bytes currently held.
+    pub bytes_in_use: u64,
+    /// High-water mark of `bytes_in_use` over the store's lifetime.
+    /// The budget invariant is `peak_bytes <= budget`.
+    pub peak_bytes: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// `load` calls that found an entry.
+    pub hits: u64,
+    /// `load` calls that found nothing.
+    pub misses: u64,
+    /// `store` calls that were admitted (including replacements).
+    pub insertions: u64,
+    /// Entries evicted to make room for admitted ones.
+    pub evictions: u64,
+    /// `store` calls rejected because the entry alone exceeds the budget.
+    pub oversize_rejections: u64,
+}
+
+impl StoreStats {
+    /// Hits as a fraction of lookups (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<Fp128, Vec<u8>>,
+    lru: ByteBudgetLru,
+    peak_bytes: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    oversize_rejections: u64,
+}
+
+/// A byte-budgeted, LRU-evicting, instrumented [`ArtifactStore`] meant
+/// to be shared (behind an `Arc`) by every compile a service runs.
+///
+/// All state sits under one mutex so the map, the LRU index and the
+/// counters can never disagree; entries are small (hundreds of bytes to
+/// a few KiB) and `load`/`store` only clone byte vectors under the lock,
+/// so contention stays negligible next to compilation itself.
+#[derive(Debug)]
+pub struct SharedStore {
+    inner: Mutex<Inner>,
+}
+
+impl SharedStore {
+    /// Creates a store holding at most `budget` bytes of entries.
+    pub fn new(budget: u64) -> SharedStore {
+        SharedStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: ByteBudgetLru::new(budget),
+                peak_bytes: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                oversize_rejections: 0,
+            }),
+        }
+    }
+
+    /// Snapshot of counters and occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            budget: inner.lru.budget(),
+            bytes_in_use: inner.lru.total(),
+            peak_bytes: inner.peak_bytes,
+            entries: inner.map.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.lru.evictions(),
+            oversize_rejections: inner.oversize_rejections,
+        }
+    }
+}
+
+impl ArtifactStore for SharedStore {
+    fn load(&self, fp: Fp128) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(&fp).cloned() {
+            Some(bytes) => {
+                inner.hits += 1;
+                inner.lru.touch(fp);
+                Some(bytes)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&self, fp: Fp128, bytes: &[u8]) {
+        let mut inner = self.inner.lock();
+        let admission = inner.lru.admit(fp, bytes.len() as u64);
+        for victim in &admission.evict {
+            inner.map.remove(victim);
+        }
+        if admission.accepted {
+            inner.map.insert(fp, bytes.to_vec());
+            inner.insertions += 1;
+        } else {
+            inner.oversize_rejections += 1;
+        }
+        inner.peak_bytes = inner.peak_bytes.max(inner.lru.total());
+        debug_assert_eq!(inner.map.len(), inner.lru.len());
+        debug_assert!(inner.peak_bytes <= inner.lru.budget());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fp128 {
+        Fp128 { hi: n, lo: !n }
+    }
+
+    #[test]
+    fn hit_miss_and_insertion_counters() {
+        let s = SharedStore::new(1024);
+        assert!(s.load(fp(1)).is_none());
+        s.store(fp(1), b"abc");
+        assert_eq!(s.load(fp(1)).as_deref(), Some(&b"abc"[..]));
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.insertions), (1, 1, 1));
+        assert_eq!(st.bytes_in_use, 3);
+        assert!((st.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_lru_entry_goes_first() {
+        let s = SharedStore::new(10);
+        s.store(fp(1), &[1; 4]);
+        s.store(fp(2), &[2; 4]);
+        s.load(fp(1)); // fp(2) is now least recently used
+        s.store(fp(3), &[3; 4]);
+        let st = s.stats();
+        assert!(st.peak_bytes <= st.budget, "{st:?}");
+        assert_eq!(st.evictions, 1);
+        assert!(s.load(fp(2)).is_none(), "LRU victim evicted");
+        assert!(s.load(fp(1)).is_some() && s.load(fp(3)).is_some());
+    }
+
+    #[test]
+    fn oversize_entries_are_rejected_not_admitted() {
+        let s = SharedStore::new(8);
+        s.store(fp(7), &[0; 64]);
+        let st = s.stats();
+        assert_eq!(st.oversize_rejections, 1);
+        assert_eq!(st.bytes_in_use, 0);
+        assert!(s.load(fp(7)).is_none());
+    }
+
+    #[test]
+    fn replacement_reaccounts_bytes() {
+        let s = SharedStore::new(10);
+        s.store(fp(1), &[1; 8]);
+        s.store(fp(1), &[9; 2]);
+        let st = s.stats();
+        assert_eq!(st.bytes_in_use, 2);
+        assert_eq!(st.entries, 1);
+        assert_eq!(s.load(fp(1)).map(|b| b.len()), Some(2));
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`synth`] — `Synth.mod`, the no-DKY, ample-parallelism best case of
 //!   §4.2 (Figure 2);
 //! * [`edit`] — mechanical edit scenarios (k procedure bodies, one
-//!   interface) for evaluating the incremental compilation cache.
+//!   interface) for evaluating the incremental compilation cache;
+//! * [`serve_load`] — a seeded many-client event stream (projects,
+//!   revisions, edits) for driving the `ccm2-serve` compile service.
 //!
 //! # Examples
 //!
@@ -25,10 +27,12 @@
 
 pub mod edit;
 pub mod gen;
+pub mod serve_load;
 pub mod suite;
 pub mod synth;
 
 pub use edit::{apply_edits, body_edits, EditOp};
 pub use gen::{generate, GenParams, GeneratedModule};
+pub use serve_load::{serve_load, ServeEvent, ServeLoadParams};
 pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};
 pub use synth::{synth_module, SynthParams};

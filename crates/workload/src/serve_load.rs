@@ -1,0 +1,217 @@
+//! Seeded many-client load for the `ccm2-serve` compile service.
+//!
+//! The scenario is a build farm fronting a team: a handful of
+//! *projects* (generated modules), each at some *revision*, and many
+//! *clients* repeatedly asking for a build of whatever revision their
+//! project is at. Edits happen at the **project** level — a revision
+//! bump rewrites the project's source (a procedure-body edit, or
+//! occasionally an interface edit) for *everyone* — so clients of the
+//! same project at the same revision submit byte-identical requests.
+//! That is exactly the traffic a service can exploit:
+//!
+//! * concurrent identical requests → single-flight deduplication;
+//! * a new revision sharing most streams with the old one → warm
+//!   `CacheSplice` hits from the shared artifact store;
+//! * many projects cycling through a size-bounded store → LRU eviction
+//!   pressure.
+//!
+//! Everything is derived from one seed; the same parameters always
+//! produce the same event list.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edit::{apply_edits, EditOp};
+use crate::gen::{generate, GenParams, GeneratedModule};
+use ccm2_support::defs::DefProvider as _;
+
+/// Shape of one serve-load run.
+#[derive(Clone, Debug)]
+pub struct ServeLoadParams {
+    /// Master seed; everything else is derived from it.
+    pub seed: u64,
+    /// Distinct projects (generated modules).
+    pub projects: usize,
+    /// Distinct clients issuing requests.
+    pub clients: usize,
+    /// Total compile-request events.
+    pub events: usize,
+    /// A project-revision bump lands every this-many events (0 = never;
+    /// every request then hits the same sources).
+    pub edit_every: usize,
+    /// Every this-many-th revision bump edits an imported interface
+    /// instead of a procedure body (0 = bodies only). Interface edits
+    /// invalidate every unit of the project, body edits only one.
+    pub interface_every: usize,
+}
+
+impl Default for ServeLoadParams {
+    fn default() -> ServeLoadParams {
+        ServeLoadParams {
+            seed: 0xCC42,
+            projects: 4,
+            clients: 8,
+            events: 48,
+            edit_every: 6,
+            interface_every: 4,
+        }
+    }
+}
+
+/// One compile-request event: `client` asks for a build of `project`
+/// at `revision`.
+#[derive(Clone, Debug)]
+pub struct ServeEvent {
+    /// Position in the event stream (0-based).
+    pub seq: usize,
+    /// Issuing client.
+    pub client: u64,
+    /// Project index in `0..params.projects`.
+    pub project: usize,
+    /// The project's revision counter at this event (bumped by edits).
+    pub revision: u64,
+    /// The project's sources at that revision.
+    pub module: GeneratedModule,
+}
+
+/// Generates the seeded event list. Deterministic: same parameters,
+/// same events (including every module's exact source text).
+pub fn serve_load(params: &ServeLoadParams) -> Vec<ServeEvent> {
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x5e27_e10a);
+    let projects = params.projects.max(1);
+    let clients = params.clients.max(1);
+
+    // Project sources differ in name and seed, so their streams have
+    // disjoint fingerprints in the shared store.
+    let mut current: Vec<(u64, GeneratedModule)> = (0..projects)
+        .map(|p| {
+            let gp = GenParams::small(&format!("Proj{p}"), params.seed.wrapping_add(p as u64));
+            (0, generate(&gp))
+        })
+        .collect();
+
+    let mut edits_done: u64 = 0;
+    (0..params.events)
+        .map(|seq| {
+            if params.edit_every > 0 && seq > 0 && seq % params.edit_every == 0 {
+                // Bump a random project's revision for everyone.
+                let p = rng.gen_range(0..projects);
+                let (rev, module) = &mut current[p];
+                let edit = if params.interface_every > 0
+                    && edits_done % params.interface_every as u64
+                        == params.interface_every as u64 - 1
+                {
+                    // The generator names a small project's interfaces
+                    // `{Name}Lib0..`; editing the first one invalidates
+                    // the whole project in the cache.
+                    EditOp::Interface {
+                        def: format!("{}Lib0", module.name),
+                        tag: edits_done,
+                    }
+                } else {
+                    EditOp::ProcBody {
+                        index: rng.gen_range(0..module.params.procedures.max(1)),
+                        seed: params.seed ^ edits_done,
+                    }
+                };
+                let mut next = apply_edits(module, &[edit]);
+                if next.source == module.source
+                    && next.defs.all_definitions() == module.defs.all_definitions()
+                {
+                    // The random anchor missed (e.g. the index named a
+                    // nested procedure); Proc0 always exists, and a body
+                    // edit always inserts, so the revision really changes.
+                    next = apply_edits(
+                        module,
+                        &[EditOp::ProcBody {
+                            index: 0,
+                            seed: params.seed ^ edits_done.wrapping_mul(0x9e37),
+                        }],
+                    );
+                }
+                *module = next;
+                *rev += 1;
+                edits_done += 1;
+            }
+            let p = rng.gen_range(0..projects);
+            let (revision, module) = &current[p];
+            ServeEvent {
+                seq,
+                client: rng.gen_range(0..clients) as u64,
+                project: p,
+                revision: *revision,
+                module: module.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_deterministic() {
+        let p = ServeLoadParams::default();
+        let a = serve_load(&p);
+        let b = serve_load(&p);
+        assert_eq!(a.len(), p.events);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.client, y.client);
+            assert_eq!((x.project, x.revision), (y.project, y.revision));
+            assert_eq!(x.module.source, y.module.source);
+        }
+    }
+
+    #[test]
+    fn same_revision_means_identical_sources() {
+        let events = serve_load(&ServeLoadParams::default());
+        for a in &events {
+            for b in &events {
+                if a.project == b.project && a.revision == b.revision {
+                    assert_eq!(a.module.source, b.module.source);
+                    assert_eq!(
+                        a.module.defs.all_definitions(),
+                        b.module.defs.all_definitions()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edits_advance_revisions_and_change_sources() {
+        let events = serve_load(&ServeLoadParams::default());
+        let max_rev = events.iter().map(|e| e.revision).max().unwrap_or(0);
+        assert!(max_rev > 0, "some project got edited");
+        // Different revisions of one project differ in content.
+        for a in &events {
+            for b in &events {
+                if a.project == b.project && a.revision != b.revision {
+                    let differs = a.module.source != b.module.source
+                        || a.module.defs.all_definitions() != b.module.defs.all_definitions();
+                    assert!(differs, "revision bump without content change");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interface_edits_occur() {
+        let events = serve_load(&ServeLoadParams {
+            events: 120,
+            ..ServeLoadParams::default()
+        });
+        assert!(
+            events.iter().any(|e| e
+                .module
+                .defs
+                .all_definitions()
+                .iter()
+                .flatten()
+                .any(|(_, text)| text.contains("CONST EditN"))),
+            "at least one interface edit landed"
+        );
+    }
+}

@@ -224,3 +224,127 @@ fn disk_store_survives_a_process_restart() {
     assert_eq!(comparable(&cold), comparable(&warm));
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+#[test]
+fn unrelated_interface_edit_keeps_every_module_warm() {
+    // Per-import environment precision: the digest covers only the
+    // interfaces a module transitively imports, so touching a definition
+    // module nothing reaches must not invalidate anything.
+    let mut m = generate(&GenParams::small("Precise", 61));
+    m.defs.insert(
+        "LonelyLib",
+        "DEFINITION MODULE LonelyLib; CONST Version = 1; END LonelyLib.",
+    );
+    let store = Arc::new(MemStore::new());
+    let cold = compile(&m, Some(store.clone()), false, 2);
+    assert!(
+        cold.is_ok(),
+        "{:?}",
+        &cold.diagnostics[..3.min(cold.diagnostics.len())]
+    );
+    let cold_cmp = comparable(&cold);
+
+    let mut edited = m.clone();
+    edited.defs.insert(
+        "LonelyLib",
+        "DEFINITION MODULE LonelyLib; CONST Version = 2; END LonelyLib.",
+    );
+    let warm = compile(&edited, Some(store.clone()), false, 2);
+    assert!(warm.is_ok());
+    let stats = warm.incr.expect("incremental was active");
+    assert_eq!(
+        stats.recompiled, 0,
+        "unreachable interface edit must not invalidate: {stats:?}"
+    );
+    assert_eq!(stats.spliced, stats.units);
+    assert_eq!(comparable(&warm), cold_cmp);
+
+    // Control: the same kind of edit to a *reachable* interface still
+    // invalidates everything.
+    let (lib, _) = {
+        let mut names: Vec<&str> = m.defs.iter().map(|(n, _)| n).collect();
+        names.sort();
+        (
+            names
+                .into_iter()
+                .find(|n| *n != "LonelyLib")
+                .expect("has a real interface")
+                .to_string(),
+            (),
+        )
+    };
+    let touched = apply_edits(&m, &[ccm2_workload::EditOp::Interface { def: lib, tag: 3 }]);
+    let invalidated = compile(&touched, Some(store.clone()), false, 2);
+    assert!(invalidated.is_ok());
+    let stats = invalidated.incr.expect("incremental was active");
+    assert_eq!(stats.spliced, 0, "reachable interface edits invalidate");
+}
+
+#[test]
+fn warm_splice_tasks_run_before_any_codegen_in_both_executors() {
+    // Cache-aware scheduling: CacheSplice outranks ProcParse/CodeGen in
+    // the 2.3.4 priority queue of *both* executors, so on a warm run
+    // every near-free splice lands before the first live codegen task —
+    // unblocking merges and DKY waits as early as possible. With one
+    // worker the pop order is exactly the priority order, so the trace
+    // ordering is deterministic.
+    use ccm2::Executor;
+    use ccm2_sched::{SimConfig, TaskKind};
+
+    let m = generate(&GenParams::small("SpliceRank", 77));
+    let edited = apply_edits(&m, &body_edits(1, 0x5AFE));
+    assert_ne!(m.source, edited.source);
+
+    for executor in [Executor::Sim(SimConfig::firefly(1)), Executor::Threads(1)] {
+        let store: Arc<dyn ArtifactStore> = Arc::new(MemStore::new());
+        let opts = |exec: Executor| ccm2::Options {
+            incremental: Some(Arc::clone(&store)),
+            executor: exec,
+            ..ccm2::Options::default()
+        };
+        let cold = ccm2::compile_concurrent(
+            &m.source,
+            Arc::new(m.defs.clone()),
+            Arc::new(Interner::new()),
+            opts(executor.clone()),
+        );
+        assert!(cold.is_ok());
+        let warm = ccm2::compile_concurrent(
+            &edited.source,
+            Arc::new(edited.defs.clone()),
+            Arc::new(Interner::new()),
+            opts(executor.clone()),
+        );
+        assert!(warm.is_ok());
+        let stats = warm.incr.expect("incremental active");
+        assert!(stats.spliced > 0, "warm run must splice ({executor:?})");
+        assert!(stats.recompiled > 0, "edited stream must recompile");
+
+        // Segments are recorded in execution order on the single worker.
+        let segs = &warm.report.trace.segments;
+        let splices: Vec<usize> = segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == TaskKind::CacheSplice)
+            .map(|(i, _)| i)
+            .collect();
+        let codegens: Vec<usize> = segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                matches!(s.kind, TaskKind::LongCodeGen | TaskKind::ShortCodeGen)
+                    || s.kind == TaskKind::ProcParse
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(splices.len(), stats.spliced, "one segment per splice");
+        assert!(!codegens.is_empty(), "edited stream compiles live");
+        let last_splice = *splices.last().expect("has splices");
+        let first_codegen = *codegens.first().expect("has codegen");
+        assert!(
+            last_splice < first_codegen,
+            "{executor:?}: splice at segment {last_splice} ran after \
+             codegen/procparse at {first_codegen}"
+        );
+    }
+}
