@@ -28,6 +28,14 @@ echo "== compile service: bounded soak (seeded, zero lost, dedup floor) =="
 cargo test -q -p ccm2-serve --test soak
 cargo test -q -p ccm2-serve --test stress
 
+echo "== fault injection: survival matrix smoke =="
+# Every injected fault must degrade exactly one stream: the property
+# tests sample the site x strategy x executor matrix, and the reproduce
+# driver runs the full 56-cell matrix (zero hangs, zero aborts,
+# non-faulted streams byte-identical to the fault-free run).
+cargo test -q --test faults
+cargo run -q --release -p ccm2-bench --bin reproduce -- faults
+
 echo "== incremental cache: format-version bump guard =="
 # Any change to the on-disk entry encoding must bump FORMAT_VERSION, and
 # every bump must come with a mismatch-invalidation test for the new

@@ -9,6 +9,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- analyze
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
+//! cargo run --release -p ccm2-bench --bin reproduce -- faults
 //! ```
 
 use ccm2_bench as bench;
@@ -79,5 +80,8 @@ fn main() {
     }
     if want("serve") {
         println!("{}\n", bench::serve());
+    }
+    if want("faults") {
+        println!("{}\n", bench::faults());
     }
 }

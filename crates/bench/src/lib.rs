@@ -950,6 +950,7 @@ pub fn serve() -> String {
             queue_capacity: 16,
             store_budget: 8 * 1024,
             paused: false,
+            ..ccm2_serve::ServeConfig::default()
         },
     )
 }
@@ -992,6 +993,8 @@ pub fn serve_with(
                 strategy,
                 exec,
                 analyze: false,
+                faults: None,
+                task_deadline: None,
             };
             let served = svc.submit(req.clone()).ticket().expect("admitted").wait();
             let standalone = standalone_compile(&req);
@@ -1024,6 +1027,8 @@ pub fn serve_with(
         strategy: DkyStrategy::Skeptical,
         exec: ExecChoice::Sim(4),
         analyze: false,
+        faults: None,
+        task_deadline: None,
     };
 
     // Expected bytes per unique (project, revision), from standalone
@@ -1123,6 +1128,313 @@ fn standalone_compile(req: &ccm2_serve::CompileRequest) -> (Option<Vec<u8>>, Vec
     )
 }
 
+// ---- fault-injection survival matrix ------------------------------------
+
+/// An interner-independent rendering of one code unit, so units from
+/// different compiles (different interners, different symbol indices)
+/// can be compared byte for byte.
+fn render_unit(u: &ccm2_codegen::ir::CodeUnit, interner: &Interner) -> String {
+    use ccm2_codegen::ir::Instr;
+    let mut s = format!(
+        "{} level={} params={} frame={:?} shapes={:?}\n",
+        interner.resolve(u.name),
+        u.level,
+        u.param_count,
+        u.frame,
+        u.shapes
+    );
+    for ins in &u.code {
+        match ins {
+            Instr::PushStr(sym) => s.push_str(&format!("PushStr({})\n", interner.resolve(*sym))),
+            Instr::PushProc(sym) => s.push_str(&format!("PushProc({})\n", interner.resolve(*sym))),
+            Instr::PushGlobalAddr { module, slot } => s.push_str(&format!(
+                "PushGlobalAddr({}, {slot})\n",
+                interner.resolve(*module)
+            )),
+            Instr::Call {
+                target,
+                argc,
+                link_up,
+            } => s.push_str(&format!(
+                "Call({}, {argc}, {link_up})\n",
+                interner.resolve(*target)
+            )),
+            other => s.push_str(&format!("{other:?}\n")),
+        }
+    }
+    s
+}
+
+/// The `reproduce -- faults` experiment: a survival matrix over fault
+/// site × DKY strategy × executor. Every faulted compile must terminate
+/// (no hang, no unwinding out of the executor), surface at least one
+/// error naming the faulted stream, and leave every *non-faulted*
+/// stream's object code byte-identical to the fault-free baseline.
+/// Asserts internally; the returned table is the human-readable proof.
+pub fn faults() -> String {
+    // Injected panics are *caught* (that is the point of the drill);
+    // keep the default hook from spraying backtraces over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(faults_inner);
+    std::panic::set_hook(hook);
+    match result {
+        Ok(report) => report,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn faults_inner() -> String {
+    use ccm2_faults::{FaultKind, FaultPlan};
+    use std::collections::HashMap;
+
+    let m = ccm2_workload::generate(&ccm2_workload::GenParams {
+        fault_seeds: true,
+        ..ccm2_workload::GenParams::small("Mx", 0xFA)
+    });
+
+    // Each scenario: display name, the fault plan (parameterized on the
+    // executor because stalls are virtual units on the simulator and
+    // real milliseconds on threads), an optional per-task deadline per
+    // executor, and the streams the fault is allowed to touch.
+    type PlanFn = fn(bool) -> (FaultPlan, Option<u64>);
+    let scenarios: Vec<(&str, PlanFn, &[&str])> = vec![
+        (
+            "panic  task:procparse(FaultShort)",
+            |_| {
+                (
+                    FaultPlan::single("task:procparse(FaultShort)", FaultKind::Panic),
+                    None,
+                )
+            },
+            &["FaultShort"],
+        ),
+        (
+            "panic  task:procparse(FaultNest)",
+            |_| {
+                (
+                    FaultPlan::single("task:procparse(FaultNest)", FaultKind::Panic),
+                    None,
+                )
+            },
+            &["FaultNest"],
+        ),
+        (
+            "panic  task:analyze(*FaultLong)",
+            |_| {
+                (
+                    FaultPlan::single("task:analyze(*FaultLong)", FaultKind::Panic),
+                    None,
+                )
+            },
+            &["FaultLong"],
+        ),
+        (
+            "panic  task:codegen(*FaultLong)",
+            |_| {
+                (
+                    FaultPlan::single("task:codegen(*FaultLong)", FaultKind::Panic),
+                    None,
+                )
+            },
+            &["FaultLong"],
+        ),
+        (
+            "panic  task:codegen(*FaultShort)",
+            |_| {
+                (
+                    FaultPlan::single("task:codegen(*FaultShort)", FaultKind::Panic),
+                    None,
+                )
+            },
+            &["FaultShort"],
+        ),
+        (
+            "lost   signal:heading(FaultShort)",
+            |_| {
+                (
+                    FaultPlan::single("signal:heading(FaultShort)", FaultKind::LoseSignal),
+                    None,
+                )
+            },
+            &["FaultShort"],
+        ),
+        (
+            "stall  task:procparse(FaultLong)",
+            |sim| {
+                if sim {
+                    (
+                        FaultPlan::single(
+                            "task:procparse(FaultLong)",
+                            FaultKind::Stall { units: 5_000 },
+                        ),
+                        Some(1_000),
+                    )
+                } else {
+                    (
+                        FaultPlan::single(
+                            "task:procparse(FaultLong)",
+                            FaultKind::Stall { units: 50 },
+                        ),
+                        Some(10_000),
+                    )
+                }
+            },
+            &["FaultLong"],
+        ),
+    ];
+
+    let compile = |plan: Option<Arc<ccm2_faults::FaultPlan>>,
+                   deadline: Option<u64>,
+                   strategy: DkyStrategy,
+                   sim: bool| {
+        let executor = if sim {
+            Executor::Sim(SimConfig::firefly(4))
+        } else {
+            Executor::Threads(2)
+        };
+        compile_concurrent(
+            &m.source,
+            Arc::new(m.defs.clone()),
+            Arc::new(Interner::new()),
+            Options {
+                strategy,
+                executor,
+                analyze: true,
+                faults: plan,
+                task_deadline: deadline,
+                ..Options::default()
+            },
+        )
+    };
+
+    let mut out = String::from(
+        "Fault-injection survival matrix: site x 4 DKY strategies x {sim(4), threads(2)}\n\
+         (each cell: compile terminates, >=1 error names the faulted stream,\n\
+         non-faulted streams byte-identical to the fault-free baseline)\n\n",
+    );
+    let mut total = 0usize;
+
+    // Fault-free baselines, one per strategy x executor: a map from
+    // resolved unit name to its interner-independent rendering.
+    let mut baselines: HashMap<(u32, bool), HashMap<String, String>> = HashMap::new();
+    for (si, &strategy) in DkyStrategy::ALL.iter().enumerate() {
+        for sim in [true, false] {
+            let base = compile(None, None, strategy, sim);
+            assert!(
+                base.errors.is_empty() && base.image.is_some(),
+                "fault-free baseline must be clean"
+            );
+            let units: HashMap<String, String> = base
+                .image
+                .as_ref()
+                .expect("clean baseline")
+                .units
+                .iter()
+                .map(|u| {
+                    (
+                        base.interner.resolve(u.name),
+                        render_unit(u, &base.interner),
+                    )
+                })
+                .collect();
+            baselines.insert((si as u32, sim), units);
+        }
+    }
+
+    for (label, mk_plan, touched) in &scenarios {
+        let mut cells = 0usize;
+        let mut degraded = 0usize;
+        let mut stalled = 0usize;
+        for (si, &strategy) in DkyStrategy::ALL.iter().enumerate() {
+            for sim in [true, false] {
+                let (plan, deadline) = mk_plan(sim);
+                let plan = Arc::new(plan);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    compile(Some(Arc::clone(&plan)), deadline, strategy, sim)
+                }));
+                let run = run.unwrap_or_else(|_| {
+                    panic!("{label} [{strategy:?}/{}]: compile aborted", exec_name(sim))
+                });
+                assert!(plan.any_fired(), "{label}: the fault site never fired");
+                assert!(
+                    !run.errors.is_empty(),
+                    "{label} [{strategy:?}/{}]: no degradation error surfaced",
+                    exec_name(sim)
+                );
+                let named = run
+                    .diagnostics
+                    .iter()
+                    .any(|d| touched.iter().any(|t| d.message.contains(t)));
+                assert!(
+                    named,
+                    "{label} [{strategy:?}/{}]: no diagnostic names the faulted stream: {:#?}",
+                    exec_name(sim),
+                    run.diagnostics
+                );
+                degraded += usize::from(
+                    run.errors
+                        .iter()
+                        .any(|e| matches!(e, ccm2::CompileError::StreamFault { .. })),
+                );
+                stalled += usize::from(
+                    run.errors
+                        .iter()
+                        .any(|e| matches!(e, ccm2::CompileError::Stalled { .. })),
+                );
+                // Byte-equivalence of every non-faulted stream.
+                let base_units = &baselines[&(si as u32, sim)];
+                let image = run.image.as_ref().unwrap_or_else(|| {
+                    panic!("{label} [{strategy:?}/{}]: no image", exec_name(sim))
+                });
+                let is_touched = |name: &str| touched.iter().any(|t| name.contains(t));
+                for u in &image.units {
+                    let name = run.interner.resolve(u.name);
+                    if is_touched(&name) {
+                        continue;
+                    }
+                    let rendered = render_unit(u, &run.interner);
+                    assert_eq!(
+                        Some(&rendered),
+                        base_units.get(&name),
+                        "{label} [{strategy:?}/{}]: non-faulted unit `{name}` diverged",
+                        exec_name(sim)
+                    );
+                }
+                for name in base_units.keys() {
+                    if !is_touched(name) {
+                        assert!(
+                            image
+                                .units
+                                .iter()
+                                .any(|u| run.interner.resolve(u.name) == *name),
+                            "{label} [{strategy:?}/{}]: non-faulted unit `{name}` missing",
+                            exec_name(sim)
+                        );
+                    }
+                }
+                cells += 1;
+            }
+        }
+        total += cells;
+        out.push_str(&format!(
+            "  {label:<38} {cells}/8 survived  (degraded in {degraded}, stall-diagnosed in {stalled})\n"
+        ));
+    }
+    out.push_str(&format!(
+        "\n{total} faulted compiles: 0 hangs, 0 aborts, non-faulted streams byte-identical\n"
+    ));
+    out
+}
+
+fn exec_name(sim: bool) -> &'static str {
+    if sim {
+        "sim(4)"
+    } else {
+        "threads(2)"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1179,6 +1491,7 @@ mod tests {
                 queue_capacity: 8,
                 store_budget: 8 * 1024,
                 paused: false,
+                ..ccm2_serve::ServeConfig::default()
             },
         );
         assert!(report.contains("dedup ratio"));

@@ -26,14 +26,15 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
+use ccm2_codegen::ir::{CodeUnit, Instr};
 use ccm2_codegen::merge::{Merger, ModuleImage};
 use ccm2_incr::{
     decode_entry, encode_entry, environment_fp, fingerprint_streams, import_closure, ArtifactStore,
     CacheEntryData, CachedDiag, Carve, IncrStats, StreamNode, FORMAT_VERSION,
 };
 use ccm2_sched::{
-    run_sim, run_threaded, EnvMeter, EventClass, ExecEnv, RunReport, SimConfig, TaskDesc, TaskKind,
-    WaitSet,
+    run_sim_with, run_threaded_with, EnvMeter, EventClass, ExecEnv, Robustness, RunReport,
+    SimConfig, TaskDesc, TaskKind, WaitSet,
 };
 use ccm2_sema::declare::{bind_imports, declare_own_params, DeclareHooks, Declarer, HeadingMode};
 use ccm2_sema::stats::LookupStats;
@@ -100,6 +101,19 @@ pub struct Options {
     /// environment fingerprint must cover every interface); otherwise
     /// the compile silently runs cold.
     pub incremental: Option<Arc<dyn ArtifactStore>>,
+    /// Deterministic fault plan. When set, the executors query it at
+    /// `task:{name}` / `signal:{event}` sites and the compile runs in
+    /// *degraded mode*: a faulted stream's panic is caught, its object
+    /// unit is replaced by an error unit carrying rendered diagnostics,
+    /// and downstream events are force-signaled so the merge never
+    /// hangs. Non-faulted streams are byte-identical to a fault-free
+    /// run.
+    pub faults: Option<Arc<ccm2_faults::FaultPlan>>,
+    /// Per-task deadline in executor-native units (virtual time units
+    /// on the simulator, microseconds of wall time on threads). When
+    /// set, tasks that silently stall past the deadline are diagnosed
+    /// as [`CompileError::Stalled`] instead of hanging the compile.
+    pub task_deadline: Option<u64>,
 }
 
 impl Default for Options {
@@ -112,6 +126,8 @@ impl Default for Options {
             early_split: true,
             analyze: false,
             incremental: None,
+            faults: None,
+            task_deadline: None,
         }
     }
 }
@@ -133,6 +149,30 @@ impl Options {
             ..Options::default()
         }
     }
+}
+
+/// A degradation event surfaced by a compile running with
+/// [`Options::faults`] or [`Options::task_deadline`]: structured
+/// companions to the error diagnostics, for harnesses that classify
+/// failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A task body panicked (organic or injected); its stream degraded
+    /// to an error unit.
+    StreamFault {
+        /// The faulted task's name (contains the stream name, e.g.
+        /// `codegen(M.P)`).
+        task: String,
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// A silent stall converted into a diagnosis: a wait-for cycle or
+    /// wedge the watchdog force-released, or a task that overran the
+    /// configured deadline.
+    Stalled {
+        /// The watchdog's rendering of the cycle or the overdue task.
+        cycle_or_task: String,
+    },
 }
 
 /// The result of a concurrent compilation.
@@ -162,6 +202,9 @@ pub struct ConcurrentOutput {
     /// Incremental-cache counters; `Some` iff the compile ran with an
     /// active [`Options::incremental`] store.
     pub incr: Option<IncrStats>,
+    /// Degradation events (empty for a fault-free run). Each also has a
+    /// corresponding error [`Diagnostic`] in `diagnostics`.
+    pub errors: Vec<CompileError>,
 }
 
 impl ConcurrentOutput {
@@ -190,14 +233,23 @@ pub fn compile_concurrent(
     let interner_out = Arc::clone(&interner);
     let driver_cell: Arc<Mutex<Option<Arc<Driver>>>> = Arc::new(Mutex::new(None));
     let dc = Arc::clone(&driver_cell);
+    let robustness = Robustness {
+        recover: options.faults.is_some() || options.task_deadline.is_some(),
+        plan: options.faults.clone(),
+        deadline: options.task_deadline,
+    };
     let mk = move |env: Arc<dyn ExecEnv>| {
         let d = Driver::create(env, Arc::clone(&interner), defs, options.clone());
         d.start(source);
         *dc.lock() = Some(d);
     };
     let report = match executor {
-        Executor::Threads(n) => run_threaded(n, move |sup| mk(Arc::clone(sup) as Arc<dyn ExecEnv>)),
-        Executor::Sim(cfg) => run_sim(cfg, move |env| mk(Arc::clone(env) as Arc<dyn ExecEnv>)),
+        Executor::Threads(n) => run_threaded_with(n, robustness, move |sup| {
+            mk(Arc::clone(sup) as Arc<dyn ExecEnv>)
+        }),
+        Executor::Sim(cfg) => run_sim_with(cfg, robustness, move |env| {
+            mk(Arc::clone(env) as Arc<dyn ExecEnv>)
+        }),
     };
     let taken = driver_cell.lock().take();
     match taken {
@@ -221,6 +273,7 @@ pub fn compile_concurrent(
             imported_interfaces: 0,
             import_nesting_depth: 0,
             incr: None,
+            errors: Vec::new(),
         },
     }
 }
@@ -1102,6 +1155,7 @@ impl Driver {
                 Ok(entry) => Some(Arc::new(entry)),
                 Err(e) => {
                     stats.bad_entries += 1;
+                    incr.store.quarantine(fp);
                     self.sink.report(Diagnostic {
                         severity: Severity::Note,
                         file: FileId(0),
@@ -1374,13 +1428,71 @@ impl Driver {
                 );
             }
         }
-        let image: Option<ModuleImage> = main_name.map(|name| {
+        let mut image: Option<ModuleImage> = main_name.map(|name| {
             let mut image = self.merger.finish();
             image.name = name;
             image.entry = name;
             image
         });
-        let diagnostics = self.sink.take();
+        // Graceful degradation: a caught task panic degrades only its own
+        // stream (the merged object gets a deterministic error unit below);
+        // a watchdog report converts a silent stall into a diagnosis. Both
+        // become error diagnostics, so degraded compiles are never cached.
+        let mut errors: Vec<CompileError> = Vec::new();
+        let mut degraded_diags: Vec<Diagnostic> = Vec::new();
+        for (task, message) in &report.task_panics {
+            errors.push(CompileError::StreamFault {
+                task: task.clone(),
+                message: message.clone(),
+            });
+            degraded_diags.push(Diagnostic {
+                severity: Severity::Error,
+                file: FileId(0),
+                span: Span { lo: 0, hi: 0 },
+                message: format!("stream degraded: task `{task}` panicked: {message}"),
+            });
+        }
+        for stall in &report.stalls {
+            errors.push(CompileError::Stalled {
+                cycle_or_task: stall.clone(),
+            });
+            degraded_diags.push(Diagnostic {
+                severity: Severity::Error,
+                file: FileId(0),
+                span: Span { lo: 0, hi: 0 },
+                message: format!("stall diagnosed: {stall}"),
+            });
+        }
+        // Executors report panics/stalls in completion order, which varies
+        // run to run on the threaded executor; sort for determinism.
+        degraded_diags.sort_by(|a, b| a.message.cmp(&b.message));
+        errors.sort_by_key(|e| match e {
+            CompileError::StreamFault { task, message } => (0u8, task.clone(), message.clone()),
+            CompileError::Stalled { cycle_or_task } => (1u8, cycle_or_task.clone(), String::new()),
+        });
+        if !report.task_panics.is_empty() {
+            if let Some(image) = image.as_mut() {
+                let mut expected: Vec<Symbol> = code_names.values().copied().collect();
+                expected.extend(main_name);
+                for name in expected {
+                    if image.unit(name).is_some() {
+                        continue;
+                    }
+                    let name_str = self.interner.resolve(name);
+                    let level = if main_name == Some(name) { 0 } else { 1 };
+                    let mut unit = CodeUnit::new(name, level);
+                    let msg = self.interner.intern(&format!(
+                        "degraded: stream `{name_str}` replaced after fault"
+                    ));
+                    unit.code = vec![Instr::PushStr(msg), Instr::Return];
+                    image.units.push(unit);
+                }
+                let interner = &self.interner;
+                image.units.sort_by_key(|a| interner.resolve(a.name));
+            }
+        }
+        let mut diagnostics = self.sink.take();
+        diagnostics.extend(degraded_diags);
         // Record cache entries for the units that compiled live — but
         // only from an error-free compile, so a hit never replays the
         // artifacts of a failed one.
@@ -1411,6 +1523,7 @@ impl Driver {
             imported_interfaces,
             import_nesting_depth,
             incr: self.incr.as_ref().map(|_| incr_stats),
+            errors,
         }
     }
 }

@@ -258,6 +258,7 @@ fn reconstructs_generated_modules() {
             stmts_per_proc: 14,
             nested_ratio: 0.3,
             lint_seeds: false,
+            fault_seeds: false,
         });
         assert_reconstructs(&m.source);
     }
@@ -274,6 +275,7 @@ fn reconstructs_large_generated_module() {
         stmts_per_proc: 25,
         nested_ratio: 0.2,
         lint_seeds: false,
+        fault_seeds: false,
     });
     assert_reconstructs(&m.source);
 }

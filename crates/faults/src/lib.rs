@@ -1,0 +1,264 @@
+//! Deterministic fault-injection plane.
+//!
+//! A [`FaultPlan`] decides, for every *named site* the runtime passes
+//! through, whether a fault fires there and which kind. The decision is
+//! a **pure function of the site name** (explicit overrides first, then
+//! a seeded hash), so it is independent of scheduling order: the same
+//! plan injects the same faults whether the compile runs on the
+//! virtual-time simulator or on real threads, with any worker count.
+//! That is what makes the survival matrix (`reproduce -- faults`) and
+//! the degradation property tests reproducible.
+//!
+//! # Site naming
+//!
+//! | prefix      | queried by                  | kinds that apply          |
+//! |-------------|-----------------------------|---------------------------|
+//! | `task:{name}`   | both executors, at dispatch | [`FaultKind::Panic`], [`FaultKind::Stall`] |
+//! | `signal:{event}`| both executors, per signal  | [`FaultKind::LoseSignal`] |
+//! | `store:{fp hex}`| artifact stores, at `store` | [`FaultKind::Corrupt`]    |
+//!
+//! Task and event names are the scheduler's own labels (`codegen(M.P)`,
+//! `heading(P)`, …), so a plan can target one stream of one compile.
+//! Patterns may contain `*` wildcards (`task:codegen(*FaultShort*)`).
+//!
+//! Sites that fire are logged; [`FaultPlan::fired`] returns the sorted,
+//! deduplicated list so harnesses can assert an injection actually
+//! happened (a plan targeting a misspelled site would otherwise pass
+//! vacuously).
+
+use parking_lot::Mutex;
+
+use ccm2_support::hash::StableHasher;
+
+/// What happens at a site the plan selects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The task body panics at dispatch, before running any compiler
+    /// code (the executor catches it and degrades the stream).
+    Panic,
+    /// Every signal of the event is dropped: the event is never marked
+    /// signaled, so waiters wedge until the watchdog force-releases.
+    LoseSignal,
+    /// The task stalls at dispatch: `units` virtual time units on the
+    /// simulator, `units` milliseconds of real sleep on threads.
+    Stall {
+        /// Stall length in executor-native units (see above).
+        units: u64,
+    },
+    /// The artifact bytes are corrupted before they are persisted:
+    /// the byte at `byte % len` is flipped (XOR 0x55). A `byte` of
+    /// `usize::MAX` truncates the entry to half length instead.
+    Corrupt {
+        /// Which byte to flip, or `usize::MAX` to truncate.
+        byte: usize,
+    },
+}
+
+/// A deterministic fault plan: explicit site overrides plus an optional
+/// seeded background rate.
+pub struct FaultPlan {
+    overrides: Vec<(String, FaultKind)>,
+    seed: u64,
+    /// Probability (parts per million) that any `task:` site panics
+    /// under the seeded mode. 0 disables it.
+    rate_ppm: u32,
+    fired: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("overrides", &self.overrides)
+            .field("seed", &self.seed)
+            .field("rate_ppm", &self.rate_ppm)
+            .finish()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: no site ever fires.
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            overrides: Vec::new(),
+            seed: 0,
+            rate_ppm: 0,
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A plan injecting exactly one fault.
+    pub fn single(pattern: impl Into<String>, kind: FaultKind) -> FaultPlan {
+        FaultPlan::new().with_fault(pattern, kind)
+    }
+
+    /// Adds an explicit override: any site matching `pattern` (literal,
+    /// or a glob with `*` wildcards) fires `kind`. First match wins.
+    pub fn with_fault(mut self, pattern: impl Into<String>, kind: FaultKind) -> FaultPlan {
+        self.overrides.push((pattern.into(), kind));
+        self
+    }
+
+    /// A seeded random plan: each `task:` site independently panics
+    /// with probability `rate_ppm` / 1e6, decided by hashing
+    /// (seed, site) — stable across executors and runs.
+    pub fn seeded(seed: u64, rate_ppm: u32) -> FaultPlan {
+        FaultPlan {
+            overrides: Vec::new(),
+            seed,
+            rate_ppm,
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The fault at `site`, if any. Pure in the site name; firing sites
+    /// are logged for [`FaultPlan::fired`].
+    pub fn at(&self, site: &str) -> Option<FaultKind> {
+        let hit = self
+            .overrides
+            .iter()
+            .find(|(p, _)| glob_match(p, site))
+            .map(|(_, k)| *k)
+            .or_else(|| self.seeded_hit(site));
+        if let Some(kind) = hit {
+            let entry = format!("{site} -> {kind:?}");
+            let mut log = self.fired.lock();
+            if !log.contains(&entry) {
+                log.push(entry);
+            }
+        }
+        hit
+    }
+
+    fn seeded_hit(&self, site: &str) -> Option<FaultKind> {
+        if self.rate_ppm == 0 || !site.starts_with("task:") {
+            return None;
+        }
+        let mut h = StableHasher::new();
+        h.write_str("ccm2-faults/v1");
+        h.write_u64(self.seed);
+        h.write_str(site);
+        let draw = h.finish().lo % 1_000_000;
+        (draw < u64::from(self.rate_ppm)).then_some(FaultKind::Panic)
+    }
+
+    /// Sorted, deduplicated `site -> kind` log of every site that fired.
+    pub fn fired(&self) -> Vec<String> {
+        let mut v = self.fired.lock().clone();
+        v.sort();
+        v
+    }
+
+    /// Whether any site fired.
+    pub fn any_fired(&self) -> bool {
+        !self.fired.lock().is_empty()
+    }
+}
+
+/// Glob-lite matching: `*` matches any (possibly empty) substring; all
+/// other characters are literal.
+fn glob_match(pattern: &str, site: &str) -> bool {
+    if !pattern.contains('*') {
+        return pattern == site;
+    }
+    let parts: Vec<&str> = pattern.split('*').collect();
+    let mut pos = 0usize;
+    let last = parts.len() - 1;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !site.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == last {
+            let rest = &site[pos..];
+            if !rest.ends_with(part) {
+                return false;
+            }
+        } else {
+            match site[pos..].find(part) {
+                Some(off) => pos += off + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::new();
+        assert_eq!(p.at("task:codegen(M.P)"), None);
+        assert!(!p.any_fired());
+    }
+
+    #[test]
+    fn exact_override_fires_and_logs() {
+        let p = FaultPlan::single("task:codegen(M.P)", FaultKind::Panic);
+        assert_eq!(p.at("task:codegen(M.P)"), Some(FaultKind::Panic));
+        assert_eq!(p.at("task:codegen(M.Q)"), None);
+        assert_eq!(p.fired(), vec!["task:codegen(M.P) -> Panic".to_string()]);
+    }
+
+    #[test]
+    fn glob_patterns_match_substrings() {
+        let p = FaultPlan::single("task:codegen(*FaultShort*)", FaultKind::Panic);
+        assert_eq!(p.at("task:codegen(Mod.FaultShort)"), Some(FaultKind::Panic));
+        assert_eq!(p.at("task:codegen(Mod.Other)"), None);
+        assert_eq!(p.at("task:analyze(Mod.FaultShort)"), None);
+        assert!(glob_match("signal:heading(*)", "signal:heading(P)"));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("task:a*b", "task:b-then-a"));
+        assert!(glob_match("a*b*c", "a--b--c"));
+        assert!(!glob_match("a*b*c", "a--c--b"));
+    }
+
+    #[test]
+    fn first_matching_override_wins() {
+        let p = FaultPlan::new()
+            .with_fault("task:*", FaultKind::Stall { units: 7 })
+            .with_fault("task:lex(Main)", FaultKind::Panic);
+        assert_eq!(p.at("task:lex(Main)"), Some(FaultKind::Stall { units: 7 }));
+    }
+
+    #[test]
+    fn seeded_mode_is_deterministic_and_task_only() {
+        let a = FaultPlan::seeded(42, 500_000);
+        let b = FaultPlan::seeded(42, 500_000);
+        let sites = [
+            "task:codegen(M.A)",
+            "task:codegen(M.B)",
+            "task:procparse(C)",
+            "task:analyze(M.D)",
+            "signal:heading(A)",
+        ];
+        let da: Vec<_> = sites.iter().map(|s| a.at(s)).collect();
+        let db: Vec<_> = sites.iter().map(|s| b.at(s)).collect();
+        assert_eq!(da, db);
+        assert_eq!(da[4], None, "seeded mode only panics task sites");
+        // At 50% some of these four task sites fire and some do not.
+        assert!(da[..4].iter().any(|k| k.is_some()));
+        assert!(da[..4].iter().any(|k| k.is_none()));
+    }
+
+    #[test]
+    fn fired_log_dedups_repeat_queries() {
+        let p = FaultPlan::single("signal:e", FaultKind::LoseSignal);
+        p.at("signal:e");
+        p.at("signal:e");
+        p.at("signal:e");
+        assert_eq!(p.fired().len(), 1);
+    }
+}

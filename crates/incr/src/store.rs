@@ -20,6 +20,13 @@ pub trait ArtifactStore: Send + Sync + std::fmt::Debug {
     fn load(&self, fp: Fp128) -> Option<Vec<u8>>;
     /// Stores (or replaces) the entry under `fp`. Best-effort.
     fn store(&self, fp: Fp128, bytes: &[u8]);
+    /// Sets aside the entry under `fp` after it failed validation
+    /// (checksum/version mismatch), so a corrupted blob is never served
+    /// again and remains available for inspection. Best-effort; the
+    /// default discards nothing.
+    fn quarantine(&self, fp: Fp128) {
+        let _ = fp;
+    }
 }
 
 /// A byte-budgeted least-recently-used index over fingerprinted entries.
@@ -160,6 +167,7 @@ pub struct MemStore {
     map: Mutex<HashMap<Fp128, Vec<u8>>>,
     loads: AtomicU64,
     stores: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl MemStore {
@@ -200,6 +208,11 @@ impl MemStore {
         v.sort();
         v
     }
+
+    /// Entries quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
 }
 
 impl ArtifactStore for MemStore {
@@ -211,6 +224,12 @@ impl ArtifactStore for MemStore {
     fn store(&self, fp: Fp128, bytes: &[u8]) {
         self.stores.fetch_add(1, Ordering::Relaxed);
         self.map.lock().insert(fp, bytes.to_vec());
+    }
+
+    fn quarantine(&self, fp: Fp128) {
+        if self.map.lock().remove(&fp).is_some() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -234,6 +253,11 @@ pub struct DiskStore {
     tmp_seq: AtomicU64,
     /// `None` = unbounded (explicitly requested).
     lru: Option<Mutex<ByteBudgetLru>>,
+    /// Entries moved to `quarantine/` after failing validation.
+    quarantined: AtomicU64,
+    /// Fault plan queried at `store:{fp hex}` sites: entries are
+    /// corrupted *before* they are persisted (fault injection).
+    faults: Option<std::sync::Arc<ccm2_faults::FaultPlan>>,
 }
 
 impl DiskStore {
@@ -271,7 +295,61 @@ impl DiskStore {
             dir,
             tmp_seq: AtomicU64::new(0),
             lru: budget.map(|b| Mutex::new(ByteBudgetLru::new(b))),
+            quarantined: AtomicU64::new(0),
+            faults: None,
         })
+    }
+
+    /// Attaches a fault plan: every subsequent `store` queries
+    /// `store:{fp hex}` and applies any [`ccm2_faults::FaultKind::Corrupt`]
+    /// decision to the bytes before persisting them.
+    pub fn set_faults(&mut self, plan: std::sync::Arc<ccm2_faults::FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Entries moved to quarantine by this handle.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// How many quarantined entries are kept before the oldest are
+    /// dropped (bounded forensic buffer, not a second cache).
+    pub const QUARANTINE_CAP: usize = 16;
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Number of files currently held in `quarantine/`.
+    pub fn quarantine_count(&self) -> usize {
+        std::fs::read_dir(self.quarantine_dir())
+            .map(|it| it.filter_map(|e| e.ok()).count())
+            .unwrap_or(0)
+    }
+
+    /// Drops the oldest quarantined files until at most
+    /// [`DiskStore::QUARANTINE_CAP`] remain.
+    fn trim_quarantine(&self) {
+        let Ok(rd) = std::fs::read_dir(self.quarantine_dir()) else {
+            return;
+        };
+        let mut found: Vec<(std::time::SystemTime, PathBuf)> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| {
+                let mtime = e
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (mtime, e.path())
+            })
+            .collect();
+        if found.len() <= DiskStore::QUARANTINE_CAP {
+            return;
+        }
+        found.sort();
+        for (_, path) in &found[..found.len() - DiskStore::QUARANTINE_CAP] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Indexes pre-existing entries into the LRU, oldest first, evicting
@@ -371,6 +449,23 @@ impl ArtifactStore for DiskStore {
     }
 
     fn store(&self, fp: Fp128, bytes: &[u8]) {
+        // Fault injection: corrupt the payload before persisting it.
+        let mut corrupted: Vec<u8>;
+        let mut bytes = bytes;
+        if let Some(plan) = &self.faults {
+            if let Some(ccm2_faults::FaultKind::Corrupt { byte }) =
+                plan.at(&format!("store:{}", fp.to_hex()))
+            {
+                corrupted = bytes.to_vec();
+                if byte == usize::MAX {
+                    corrupted.truncate(corrupted.len() / 2);
+                } else if !corrupted.is_empty() {
+                    let ix = byte % corrupted.len();
+                    corrupted[ix] ^= 0x55;
+                }
+                bytes = &corrupted;
+            }
+        }
         // Decide admission before touching the filesystem so the
         // directory never transiently exceeds the budget.
         if let Some(lru) = &self.lru {
@@ -398,6 +493,25 @@ impl ArtifactStore for DiskStore {
             if let Some(lru) = &self.lru {
                 lru.lock().remove(fp);
             }
+        }
+    }
+
+    fn quarantine(&self, fp: Fp128) {
+        let src = self.entry_path(fp);
+        if !src.exists() {
+            return;
+        }
+        let qdir = self.quarantine_dir();
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return;
+        }
+        let dst = qdir.join(format!("{}.bin", fp.to_hex()));
+        if std::fs::rename(&src, &dst).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            if let Some(lru) = &self.lru {
+                lru.lock().remove(fp);
+            }
+            self.trim_quarantine();
         }
     }
 }
@@ -501,6 +615,85 @@ mod tests {
         assert!(s.entry_count() <= 2, "seeded index evicted the overflow");
         assert!(s.bytes_in_use().expect("bounded") <= 250);
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn disk_store_quarantines_bit_flipped_entry() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-incr-quarantine-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskStore::new(&dir).expect("create");
+        s.store(fp(1), b"good bytes with a checksum");
+        // Bit-flip the on-disk entry (simulated disk corruption).
+        let path = s.entry_path(fp(1));
+        let mut bytes = std::fs::read(&path).expect("entry on disk");
+        bytes[3] ^= 0x55;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        // A loader that notices the mismatch quarantines the entry:
+        // it moves aside, is no longer served, and is counted.
+        s.quarantine(fp(1));
+        assert_eq!(s.quarantined(), 1);
+        assert_eq!(s.quarantine_count(), 1);
+        assert!(s.load(fp(1)).is_none(), "quarantined entry never served");
+        assert!(
+            dir.join("quarantine")
+                .join(format!("{}.bin", fp(1).to_hex()))
+                .exists(),
+            "blob preserved for inspection"
+        );
+        // Quarantining a missing entry is a no-op.
+        s.quarantine(fp(2));
+        assert_eq!(s.quarantined(), 1);
+        // The quarantine buffer is bounded.
+        for i in 10..(12 + DiskStore::QUARANTINE_CAP as u64) {
+            s.store(fp(i), b"x");
+            s.quarantine(fp(i));
+        }
+        assert!(s.quarantine_count() <= DiskStore::QUARANTINE_CAP);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn disk_store_fault_plan_corrupts_before_persist() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-incr-faultstore-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DiskStore::new(&dir).expect("create");
+        s.set_faults(std::sync::Arc::new(ccm2_faults::FaultPlan::single(
+            format!("store:{}", fp(1).to_hex()),
+            ccm2_faults::FaultKind::Corrupt { byte: 2 },
+        )));
+        s.store(fp(1), b"payload");
+        let mut want = b"payload".to_vec();
+        want[2] ^= 0x55;
+        assert_eq!(s.load(fp(1)).as_deref(), Some(&want[..]));
+        // Untargeted entries are untouched; truncation mode halves.
+        s.store(fp(2), b"payload");
+        assert_eq!(s.load(fp(2)).as_deref(), Some(&b"payload"[..]));
+        s.set_faults(std::sync::Arc::new(ccm2_faults::FaultPlan::single(
+            format!("store:{}", fp(3).to_hex()),
+            ccm2_faults::FaultKind::Corrupt { byte: usize::MAX },
+        )));
+        s.store(fp(3), b"12345678");
+        assert_eq!(s.load(fp(3)).as_deref(), Some(&b"1234"[..]));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn mem_store_quarantine_removes_and_counts() {
+        let s = MemStore::new();
+        s.store(fp(1), b"abc");
+        s.quarantine(fp(1));
+        assert_eq!(s.quarantined(), 1);
+        assert!(s.load(fp(1)).is_none());
+        s.quarantine(fp(1));
+        assert_eq!(s.quarantined(), 1, "missing entry not double-counted");
     }
 
     #[test]

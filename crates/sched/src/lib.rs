@@ -42,11 +42,74 @@ pub mod wfg;
 use ccm2_support::ids::EventId;
 use ccm2_support::work::{Work, WorkMeter};
 
-pub use sim::{run_sim, SimConfig, SimEnv};
+pub use sim::{run_sim, run_sim_with, SimConfig, SimEnv};
 pub use task::{TaskDesc, TaskKind, WaitSet};
-pub use threaded::{run_threaded, ThreadedSupervisor};
+pub use threaded::{run_threaded, run_threaded_with, ThreadedSupervisor};
 pub use trace::{render_watchtool, Segment, Trace};
 pub use wfg::WaitForGraph;
+
+/// Fault-injection and degradation configuration for a run
+/// ([`run_threaded_with`] / [`run_sim_with`]).
+///
+/// With `recover` set, both executors change failure handling from
+/// *abort* to *diagnose and continue*:
+///
+/// * a panicking task body is caught; its name and payload are recorded
+///   in [`RunReport::task_panics`], its declared signals are still
+///   backstop-signaled (so dependents and the merge never hang), and
+///   the run completes;
+/// * a wedge (every worker blocked or idle with tasks outstanding) is
+///   not a panic but a watchdog action: the wait-for-graph diagnosis is
+///   recorded in [`RunReport::stalls`] and the blocking events are
+///   force-signaled so the run drains;
+/// * a task overrunning `deadline` is recorded in
+///   [`RunReport::stalls`] (virtual busy time on the simulator, wall
+///   time on threads).
+///
+/// Without `recover` (the default), behavior is the historical one:
+/// deadlocks and panics unwind with a diagnosis in the payload.
+#[derive(Clone, Default)]
+pub struct Robustness {
+    /// Fault plan queried at `task:`/`signal:` sites; `None` injects
+    /// nothing.
+    pub plan: Option<std::sync::Arc<ccm2_faults::FaultPlan>>,
+    /// Per-task deadline in executor-native units: virtual time units
+    /// on the simulator, microseconds of wall time on threads.
+    pub deadline: Option<u64>,
+    /// Catch task panics and recover wedges instead of unwinding.
+    pub recover: bool,
+}
+
+impl Robustness {
+    /// No injection, no watchdog, historical panic behavior.
+    pub fn none() -> Robustness {
+        Robustness::default()
+    }
+
+    /// Degraded-mode configuration: inject per `plan`, watch per-task
+    /// `deadline`, and recover instead of panicking.
+    pub fn degrading(
+        plan: Option<std::sync::Arc<ccm2_faults::FaultPlan>>,
+        deadline: Option<u64>,
+    ) -> Robustness {
+        Robustness {
+            plan,
+            deadline,
+            recover: true,
+        }
+    }
+}
+
+/// Renders a caught panic payload for reports.
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// The three event categories of paper §2.3.3.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -129,6 +192,12 @@ pub struct RunReport {
     pub tasks_run: usize,
     /// Total units charged per [`Work`] kind.
     pub charges: [u64; Work::COUNT],
+    /// Task bodies that panicked and were caught under
+    /// [`Robustness::recover`], as `(task name, panic message)`.
+    pub task_panics: Vec<(String, String)>,
+    /// Watchdog diagnoses: wedges force-released and tasks that
+    /// overran the configured deadline.
+    pub stalls: Vec<String>,
 }
 
 impl RunReport {
@@ -165,6 +234,8 @@ mod tests {
             trace: Trace::default(),
             tasks_run: 0,
             charges: [0; Work::COUNT],
+            task_panics: Vec::new(),
+            stalls: Vec::new(),
         };
         assert_eq!(r.duration(), 42);
     }

@@ -24,12 +24,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use ccm2_faults::{FaultKind, FaultPlan};
 use ccm2_support::ids::EventId;
 use ccm2_support::work::Work;
 
 use crate::task::{priority_key, TaskDesc, TaskKind, WaitSet};
 use crate::trace::{Segment, Trace};
-use crate::{EventClass, ExecEnv, RunReport};
+use crate::{payload_message, EventClass, ExecEnv, Robustness, RunReport};
 
 /// Configuration for a simulated run.
 #[derive(Clone, Debug)]
@@ -102,7 +103,9 @@ enum Action {
     /// Wait on an event, with an optional co-signaler hint (see
     /// [`crate::ExecEnv::wait_hinted`]).
     Wait(EventId, Option<EventId>),
-    Finish,
+    /// Task body finished; carries the caught panic message when the
+    /// body panicked under recover mode.
+    Finish(Option<String>),
 }
 
 struct YieldMsg {
@@ -150,6 +153,21 @@ struct SharedState {
 /// The simulated execution environment handed to compiler tasks.
 pub struct SimEnv {
     shared: Mutex<SharedState>,
+    /// Fault plan queried at `signal:` sites (lost-signal injection).
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl SimEnv {
+    /// Whether the fault plan drops every signal of this event.
+    fn is_lost(&self, event: EventId) -> bool {
+        match &self.faults {
+            Some(plan) => {
+                let name = self.shared.lock().events[event.index()].name.clone();
+                plan.at(&format!("signal:{name}")) == Some(FaultKind::LoseSignal)
+            }
+            None => false,
+        }
+    }
 }
 
 thread_local! {
@@ -204,6 +222,12 @@ impl ExecEnv for SimEnv {
     }
 
     fn signal(&self, event: EventId) {
+        if self.is_lost(event) {
+            // Injected lost signal: never marked signaled, never
+            // published to the controller. The watchdog force-releases
+            // any waiter it wedges.
+            return;
+        }
         self.shared.lock().events[event.index()].signaled = true;
         let in_task = SIM_TASK.with(|t| {
             let mut b = t.borrow_mut();
@@ -305,6 +329,19 @@ struct PendingEntry {
 /// Panics if the task graph deadlocks (nothing runnable while tasks
 /// remain), mirroring the threaded executor's detector.
 pub fn run_sim(config: SimConfig, setup: impl FnOnce(&Arc<SimEnv>)) -> RunReport {
+    run_sim_with(config, Robustness::default(), setup)
+}
+
+/// [`run_sim`] with a [`Robustness`] configuration: fault injection,
+/// per-task virtual-time deadlines, and — when `recover` is set —
+/// catch-and-degrade instead of unwinding on task panics and wedges.
+/// Caught panics and watchdog diagnoses come back in
+/// [`RunReport::task_panics`] / [`RunReport::stalls`].
+pub fn run_sim_with(
+    config: SimConfig,
+    robustness: Robustness,
+    setup: impl FnOnce(&Arc<SimEnv>),
+) -> RunReport {
     assert!(config.procs >= 1, "need at least one processor");
     let env = Arc::new(SimEnv {
         shared: Mutex::new(SharedState {
@@ -312,9 +349,10 @@ pub fn run_sim(config: SimConfig, setup: impl FnOnce(&Arc<SimEnv>)) -> RunReport
             prestart_spawns: Vec::new(),
             prestart_signals: Vec::new(),
         }),
+        faults: robustness.plan.clone(),
     });
     setup(&env);
-    Controller::new(Arc::clone(&env), config).run()
+    Controller::new(Arc::clone(&env), config, robustness).run()
 }
 
 /// Spawns a task from outside the simulation (setup phase).
@@ -339,10 +377,16 @@ struct Controller {
     charges: [u64; Work::COUNT],
     tasks_run: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
+    robustness: Robustness,
+    /// Virtual busy time accumulated per task (deadline watchdog).
+    busy: Vec<u64>,
+    panics: Vec<(String, String)>,
+    stalls: Vec<String>,
+    stall_keys: std::collections::HashSet<String>,
 }
 
 impl Controller {
-    fn new(env: Arc<SimEnv>, config: SimConfig) -> Controller {
+    fn new(env: Arc<SimEnv>, config: SimConfig, robustness: Robustness) -> Controller {
         let procs = (0..config.procs)
             .map(|_| Proc {
                 clock: 0,
@@ -364,7 +408,80 @@ impl Controller {
             charges: [0; Work::COUNT],
             tasks_run: 0,
             handles: Vec::new(),
+            robustness,
+            busy: Vec::new(),
+            panics: Vec::new(),
+            stalls: Vec::new(),
+            stall_keys: std::collections::HashSet::new(),
         }
+    }
+
+    /// Records a watchdog diagnosis once per dedup key.
+    fn record_stall(&mut self, key: String, msg: String) {
+        if self.stall_keys.insert(key) {
+            self.stalls.push(msg);
+        }
+    }
+
+    /// Diagnoses the task if its accumulated virtual busy time exceeds
+    /// the configured deadline.
+    fn check_deadline(&mut self, task_ix: usize) {
+        let Some(deadline) = self.robustness.deadline else {
+            return;
+        };
+        let busy = self.busy[task_ix];
+        if busy > deadline {
+            let name = self.tasks[task_ix].name.clone();
+            self.record_stall(
+                format!("deadline:{name}"),
+                format!(
+                    "task `{name}` exceeded the {deadline}-unit virtual \
+                     deadline ({busy} units charged)"
+                ),
+            );
+        }
+    }
+
+    /// Whether the fault plan drops every signal of this event.
+    fn lost_event(&self, event: EventId) -> bool {
+        let Some(plan) = &self.robustness.plan else {
+            return false;
+        };
+        let name = self.env.shared.lock().events[event.index()].name.clone();
+        plan.at(&format!("signal:{name}")) == Some(FaultKind::LoseSignal)
+    }
+
+    /// Recover-mode wedge release: records the wait-for diagnosis and
+    /// force-signals every unsignaled event the wedge is waiting on so
+    /// the run drains instead of aborting. Returns false when there is
+    /// nothing to release (the caller then panics as before).
+    fn release_wedge(&mut self) -> bool {
+        self.ensure_wake_len();
+        let mut events: Vec<EventId> = Vec::new();
+        for proc in &self.procs {
+            for &(_, e, _) in &proc.stack {
+                events.push(e);
+            }
+        }
+        for p in &self.pending {
+            events.extend_from_slice(&p.prereqs);
+        }
+        events.sort_by_key(|e| e.index());
+        events.dedup();
+        events.retain(|e| self.wake_time[e.index()].is_none());
+        if events.is_empty() {
+            return false;
+        }
+        let report = self.deadlock_report();
+        self.record_stall(report.clone(), format!("watchdog released wedge: {report}"));
+        // Each release wakes at least one previously-unsignaled event
+        // and events are finite, so recovery rounds terminate.
+        let at = self.procs.iter().map(|p| p.clock).max().unwrap_or(0);
+        for e in events {
+            self.env.shared.lock().events[e.index()].signaled = true;
+            self.process_signal(e, at);
+        }
+        true
     }
 
     fn ensure_wake_len(&mut self) {
@@ -388,6 +505,7 @@ impl Controller {
             may_wait: desc.may_wait,
             state: TaskState::NotStarted(desc.body),
         });
+        self.busy.push(0);
         self.outstanding += 1;
         let unsatisfied: Vec<EventId> = desc
             .prereqs
@@ -442,9 +560,17 @@ impl Controller {
                 TaskState::NotStarted(b) => b,
                 _ => unreachable!(),
             };
+            let name = self.tasks[task_ix].name.clone();
+            let inject = self
+                .robustness
+                .plan
+                .as_ref()
+                .and_then(|plan| plan.at(&format!("task:{name}")));
+            let inject_panic = matches!(inject, Some(FaultKind::Panic));
+            let recover = self.robustness.recover;
             let (resume_tx, resume_rx) = std::sync::mpsc::sync_channel::<()>(0);
             let (yield_tx, yield_rx) = std::sync::mpsc::sync_channel::<YieldMsg>(0);
-            let name = self.tasks[task_ix].name.clone();
+            let task_name = name.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
                 .stack_size(8 * 1024 * 1024)
@@ -463,7 +589,19 @@ impl Controller {
                             pending_total: 0,
                         })
                     });
-                    body();
+                    let caught: Option<String> = if recover {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            if inject_panic {
+                                panic!("injected fault: task `{task_name}` panicked");
+                            }
+                            body();
+                        }))
+                        .err()
+                        .map(|p| payload_message(p.as_ref()))
+                    } else {
+                        body();
+                        None
+                    };
                     // Final yields: flush buffered work, then Finish.
                     SIM_TASK.with(|t| {
                         let mut b = t.borrow_mut();
@@ -472,7 +610,7 @@ impl Controller {
                         let msg = YieldMsg {
                             signals: std::mem::take(&mut ctx.pending_signals),
                             spawns: std::mem::take(&mut ctx.pending_spawns),
-                            action: Action::Finish,
+                            action: Action::Finish(caught),
                         };
                         ctx.yield_tx.send(msg).ok();
                         *b = None;
@@ -484,8 +622,13 @@ impl Controller {
                 resume_tx,
                 yield_rx,
             });
-            // Dispatch overhead.
+            // Dispatch overhead, plus any injected stall (virtual time).
             self.procs[p].clock += self.config.dispatch_cost;
+            if let Some(FaultKind::Stall { units }) = inject {
+                self.procs[p].clock += units;
+                self.busy[task_ix] += units;
+                self.check_deadline(task_ix);
+            }
         }
         let TaskState::Running(ch) = &self.tasks[task_ix].state else {
             panic!("stepping non-running task");
@@ -611,6 +754,9 @@ impl Controller {
                 if self.outstanding == 0 {
                     break;
                 }
+                if self.robustness.recover && self.release_wedge() {
+                    continue;
+                }
                 panic!("virtual-time deadlock: {}", self.deadlock_report());
             };
 
@@ -632,6 +778,8 @@ impl Controller {
                     }
                     let advance = (scaled * factor).ceil() as u64;
                     self.procs[p].clock += advance.max(1);
+                    self.busy[task_ix] += advance.max(1);
+                    self.check_deadline(task_ix);
                     self.record_segment(p, task_ix, slice_start);
                 }
                 Action::Wait(e, hint) => {
@@ -648,15 +796,25 @@ impl Controller {
                         self.procs[p].current = None;
                     }
                 }
-                Action::Finish => {
+                Action::Finish(caught) => {
                     self.record_segment(p, task_ix, slice_start);
                     self.tasks[task_ix].state = TaskState::Done;
                     self.tasks_run += 1;
                     self.outstanding -= 1;
-                    // Backstop-signal the task's declared signals.
+                    if let Some(msg) = caught {
+                        let name = self.tasks[task_ix].name.clone();
+                        self.panics.push((name, msg));
+                    }
+                    // Backstop-signal the task's declared signals (also
+                    // for caught-panicked tasks — that is what keeps
+                    // their dependents and the merge runnable); injected
+                    // lost signals are dropped here too.
                     let at = self.procs[p].clock;
                     let sigs = self.tasks[task_ix].signals.clone();
                     for e in sigs {
+                        if self.lost_event(e) {
+                            continue;
+                        }
                         let already = self.env.shared.lock().events[e.index()].signaled;
                         if !already {
                             self.env.shared.lock().events[e.index()].signaled = true;
@@ -688,6 +846,8 @@ impl Controller {
             trace: self.trace,
             tasks_run: self.tasks_run,
             charges: self.charges,
+            task_panics: self.panics,
+            stalls: self.stalls,
         }
     }
 
@@ -1209,6 +1369,123 @@ mod ablation_tests {
             t.prereqs = vec![gate];
             spawn_prestart(env, t);
         });
+    }
+
+    /// Recover mode: an injected task panic is caught, its declared
+    /// signals still fire, and the run completes with the panic in the
+    /// report.
+    #[test]
+    fn sim_recovered_panic_completes_run() {
+        let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let report = run_sim_with(
+            SimConfig::new(2),
+            Robustness::degrading(Some(plan), None),
+            |env| {
+                let done = env.new_event_named(EventClass::Avoided, "victim-done");
+                let mut victim = TaskDesc::new(
+                    "victim",
+                    TaskKind::ProcParse,
+                    Box::new(|| unreachable!("injection fires before the body")),
+                );
+                victim.signals = vec![done];
+                spawn_prestart(env, victim);
+                let r = Arc::clone(&ran);
+                let mut dep = TaskDesc::new(
+                    "dependent",
+                    TaskKind::ShortCodeGen,
+                    Box::new(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                dep.prereqs = vec![done];
+                spawn_prestart(env, dep);
+            },
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "dependent ran");
+        assert_eq!(report.task_panics.len(), 1);
+        assert_eq!(report.task_panics[0].0, "victim");
+        assert!(report.task_panics[0].1.contains("injected fault"));
+    }
+
+    /// Recover mode: a lost signal wedges the waiter; the watchdog
+    /// force-releases it and records the diagnosis instead of panicking.
+    #[test]
+    fn sim_lost_signal_is_force_released() {
+        let plan = Arc::new(FaultPlan::single("signal:gate", FaultKind::LoseSignal));
+        let post = Arc::new(AtomicUsize::new(0));
+        let report = run_sim_with(
+            SimConfig::new(2),
+            Robustness::degrading(Some(plan), None),
+            |env| {
+                let gate = env.new_event_named(EventClass::Handled, "gate");
+                let env1 = Arc::clone(env);
+                let p = Arc::clone(&post);
+                let mut waiter = TaskDesc::new(
+                    "waiter",
+                    TaskKind::ProcParse,
+                    Box::new(move || {
+                        env1.wait(gate);
+                        p.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                waiter.may_wait = WaitSet {
+                    events: vec![gate],
+                    all_def_scopes: false,
+                    any_barrier: false,
+                };
+                spawn_prestart(env, waiter);
+                let env2 = Arc::clone(env);
+                let mut signaler = TaskDesc::new(
+                    "signaler",
+                    TaskKind::ShortCodeGen,
+                    Box::new(move || env2.signal(gate)),
+                );
+                signaler.signals = vec![gate];
+                spawn_prestart(env, signaler);
+            },
+        );
+        assert_eq!(post.load(Ordering::Relaxed), 1, "waiter released");
+        assert!(
+            report.stalls.iter().any(|s| s.contains("released wedge")),
+            "wedge release must be diagnosed; got: {:?}",
+            report.stalls
+        );
+    }
+
+    /// An injected stall advances virtual time and trips the virtual
+    /// deadline watchdog deterministically.
+    #[test]
+    fn sim_injected_stall_trips_virtual_deadline() {
+        let plan = Arc::new(FaultPlan::single(
+            "task:stalling",
+            FaultKind::Stall { units: 5_000 },
+        ));
+        let report = run_sim_with(
+            SimConfig::new(1),
+            Robustness::degrading(Some(plan), Some(1_000)),
+            |env| {
+                let env1 = Arc::clone(env);
+                spawn_prestart(
+                    env,
+                    TaskDesc::new(
+                        "stalling",
+                        TaskKind::ProcParse,
+                        Box::new(move || env1.charge(Work::Parse, 10)),
+                    ),
+                );
+            },
+        );
+        assert_eq!(report.tasks_run, 1);
+        assert_eq!(report.virtual_time, Some(5_010));
+        assert!(
+            report
+                .stalls
+                .iter()
+                .any(|s| s.contains("stalling") && s.contains("deadline")),
+            "stall diagnosis expected; got: {:?}",
+            report.stalls
+        );
     }
 
     /// The hint mechanism works in the simulator too.

@@ -25,12 +25,13 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use ccm2_faults::FaultKind;
 use ccm2_support::ids::EventId;
 use ccm2_support::work::Work;
 
 use crate::task::{priority_key, TaskDesc, TaskKind, WaitSet};
 use crate::trace::{Segment, Trace};
-use crate::{EventClass, ExecEnv, RunReport};
+use crate::{payload_message, EventClass, ExecEnv, Robustness, RunReport};
 
 type PrioKey = (usize, std::cmp::Reverse<u64>, u64);
 
@@ -81,6 +82,15 @@ struct SupState {
     /// worker index -> every wait() the worker currently has open
     /// (bottom to top: nested tasks stack further frames).
     wait_frames: std::collections::HashMap<u32, Vec<WaitFrame>>,
+    /// Task bodies caught panicking under recover mode.
+    panics: Vec<(String, String)>,
+    /// Watchdog diagnoses (wedge releases and deadline overruns).
+    stalls: Vec<String>,
+    /// Dedup keys for `stalls` (task names / wedge reports).
+    stall_reported: std::collections::HashSet<String>,
+    /// Start times of tasks currently executing, for the deadline
+    /// watchdog (only populated when a deadline is configured).
+    running: std::collections::HashMap<String, Instant>,
 }
 
 /// The threaded Supervisors executor.
@@ -92,6 +102,7 @@ pub struct ThreadedSupervisor {
     trace: Mutex<Trace>,
     charges: [AtomicU64; Work::COUNT],
     tasks_run: AtomicU64,
+    robustness: Robustness,
 }
 
 thread_local! {
@@ -109,7 +120,7 @@ struct WorkerCtx {
 }
 
 impl ThreadedSupervisor {
-    fn new(workers: usize) -> ThreadedSupervisor {
+    fn new(workers: usize, robustness: Robustness) -> ThreadedSupervisor {
         ThreadedSupervisor {
             state: Mutex::new(SupState {
                 ready: BTreeMap::new(),
@@ -122,6 +133,10 @@ impl ThreadedSupervisor {
                 deadlocked: false,
                 blocked: std::collections::HashMap::new(),
                 wait_frames: std::collections::HashMap::new(),
+                panics: Vec::new(),
+                stalls: Vec::new(),
+                stall_reported: std::collections::HashSet::new(),
+                running: std::collections::HashMap::new(),
             }),
             cv: Condvar::new(),
             workers,
@@ -129,6 +144,7 @@ impl ThreadedSupervisor {
             trace: Mutex::new(Trace::default()),
             charges: Default::default(),
             tasks_run: AtomicU64::new(0),
+            robustness,
         }
     }
 
@@ -163,6 +179,11 @@ impl ThreadedSupervisor {
                     // other worker is parked too, this would previously
                     // hang silently (only the wait() park path checked).
                     if let Some(report) = self.check_deadlock_locked(&st) {
+                        if self.robustness.recover && self.release_wedge_locked(&mut st, &report) {
+                            st.parked -= 1;
+                            self.cv.notify_all();
+                            continue;
+                        }
                         st.deadlocked = true;
                         st.parked -= 1;
                         let outstanding = st.outstanding;
@@ -174,7 +195,7 @@ impl ThreadedSupervisor {
                              {report}"
                         );
                     }
-                    self.cv.wait(&mut st);
+                    self.park_watched(&mut st);
                     st.parked -= 1;
                 }
             };
@@ -187,13 +208,42 @@ impl ThreadedSupervisor {
         let signals = task.signals.clone();
         let sds = task.signals_def_scope;
         let sbar = task.signals_barriers;
+        let inject = self
+            .robustness
+            .plan
+            .as_ref()
+            .and_then(|p| p.at(&format!("task:{name}")));
         WORKER.with(|w| {
             if let Some(ctx) = w.borrow_mut().as_mut() {
                 ctx.stack.push((name.clone(), signals.clone(), sds, sbar));
             }
         });
+        let started = Instant::now();
+        if self.robustness.deadline.is_some() {
+            self.state.lock().running.insert(name.clone(), started);
+        }
+        if let Some(FaultKind::Stall { units }) = inject {
+            std::thread::sleep(std::time::Duration::from_millis(units));
+        }
         let seg_start = self.now();
-        (task.body)();
+        let caught: Option<String> = if self.robustness.recover {
+            let body = task.body;
+            let task_name = name.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                if matches!(inject, Some(FaultKind::Panic)) {
+                    panic!("injected fault: task `{task_name}` panicked");
+                }
+                body();
+            }))
+            .err()
+            .map(|p| payload_message(p.as_ref()))
+        } else {
+            if matches!(inject, Some(FaultKind::Panic)) {
+                panic!("injected fault: task `{name}` panicked");
+            }
+            (task.body)();
+            None
+        };
         let seg_end = self.now();
         let proc = WORKER.with(|w| {
             let mut b = w.borrow_mut();
@@ -204,16 +254,37 @@ impl ThreadedSupervisor {
         self.trace.lock().segments.push(Segment {
             proc,
             kind,
-            name,
+            name: name.clone(),
             start: seg_start,
             end: seg_end,
         });
         self.tasks_run.fetch_add(1, Ordering::Relaxed);
         // Backstop: auto-signal the task's declared signals so a forgotten
-        // explicit signal cannot deadlock the run.
+        // explicit signal cannot deadlock the run. Panicked tasks reach
+        // this too — that is what keeps their dependents and the merge
+        // runnable in degraded mode.
         let mut st = self.state.lock();
+        if self.robustness.deadline.is_some() {
+            st.running.remove(&name);
+            if let Some(deadline) = self.robustness.deadline {
+                let elapsed = started.elapsed().as_micros() as u64;
+                if elapsed > deadline {
+                    Self::record_stall(
+                        &mut st,
+                        format!("deadline:{name}"),
+                        format!(
+                            "task `{name}` exceeded the {deadline}us deadline \
+                             ({elapsed}us elapsed)"
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(msg) = caught {
+            st.panics.push((name.clone(), msg));
+        }
         for e in &signals {
-            if !st.events[e.index()].signaled {
+            if !st.events[e.index()].signaled && !self.is_lost(&st, *e) {
                 Self::signal_locked(&mut st, *e);
             }
         }
@@ -239,6 +310,91 @@ impl ThreadedSupervisor {
         st.pending = keep;
         for p in moved {
             st.ready.insert(p.key, p.task);
+        }
+    }
+
+    /// Whether the fault plan drops every signal of this event
+    /// (`signal:{name}` site with [`FaultKind::LoseSignal`]).
+    fn is_lost(&self, st: &SupState, event: EventId) -> bool {
+        match &self.robustness.plan {
+            Some(plan) => {
+                let name = &st.events[event.index()].name;
+                plan.at(&format!("signal:{name}")) == Some(FaultKind::LoseSignal)
+            }
+            None => false,
+        }
+    }
+
+    /// Records a watchdog diagnosis once per dedup key.
+    fn record_stall(st: &mut SupState, key: String, msg: String) {
+        if st.stall_reported.insert(key) {
+            st.stalls.push(msg);
+        }
+    }
+
+    /// Recover-mode wedge release: records the wait-for diagnosis and
+    /// force-signals every unsignaled event the wedge is waiting on so
+    /// the run drains (with degraded streams) instead of aborting.
+    /// Returns false when there is nothing to release — the caller then
+    /// falls through to the historical deadlock panic.
+    fn release_wedge_locked(&self, st: &mut SupState, report: &str) -> bool {
+        let mut events: Vec<EventId> = st.blocked.values().copied().collect();
+        for frames in st.wait_frames.values() {
+            for f in frames {
+                events.push(f.awaited);
+            }
+        }
+        for p in &st.pending {
+            events.extend_from_slice(&p.prereqs);
+        }
+        events.sort_by_key(|e| e.index());
+        events.dedup();
+        events.retain(|e| !st.events[e.index()].signaled);
+        if events.is_empty() {
+            return false;
+        }
+        Self::record_stall(
+            st,
+            report.to_string(),
+            format!("watchdog released wedge: {report}"),
+        );
+        // Each release signals at least one previously-unsignaled event
+        // and events are finite, so recovery rounds terminate.
+        for e in events {
+            Self::signal_locked(st, e);
+        }
+        true
+    }
+
+    /// Parks on the condvar; with a deadline configured the park is
+    /// timed so the watchdog can diagnose tasks that stall while
+    /// *running* (a stalled task occupies its worker, so the wedge
+    /// detector never sees all workers parked).
+    fn park_watched(&self, st: &mut parking_lot::MutexGuard<'_, SupState>) {
+        match self.robustness.deadline {
+            Some(deadline) if self.robustness.recover => {
+                let timeout = std::time::Duration::from_micros((deadline / 2).max(5_000));
+                let _ = self.cv.wait_for(st, timeout);
+                let overdue: Vec<(String, u64)> = st
+                    .running
+                    .iter()
+                    .filter_map(|(name, started)| {
+                        let elapsed = started.elapsed().as_micros() as u64;
+                        (elapsed > deadline).then(|| (name.clone(), elapsed))
+                    })
+                    .collect();
+                for (name, elapsed) in overdue {
+                    Self::record_stall(
+                        st,
+                        format!("deadline:{name}"),
+                        format!(
+                            "task `{name}` exceeded the {deadline}us deadline \
+                             ({elapsed}us elapsed)"
+                        ),
+                    );
+                }
+            }
+            _ => self.cv.wait(st),
         }
     }
 
@@ -366,6 +522,12 @@ impl ExecEnv for ThreadedSupervisor {
 
     fn signal(&self, event: EventId) {
         let mut st = self.state.lock();
+        if self.is_lost(&st, event) {
+            // Injected lost signal: drop it on the floor. The backstop
+            // drops it too; the watchdog eventually force-releases any
+            // waiter it wedges.
+            return;
+        }
         if !st.events[event.index()].signaled {
             Self::signal_locked(&mut st, event);
         }
@@ -445,6 +607,12 @@ impl ExecEnv for ThreadedSupervisor {
                     st.blocked.insert(wix, event);
                     st.parked += 1;
                     if let Some(report) = self.check_deadlock_locked(&st) {
+                        if self.robustness.recover && self.release_wedge_locked(&mut st, &report) {
+                            st.parked -= 1;
+                            st.blocked.remove(&wix);
+                            self.cv.notify_all();
+                            continue;
+                        }
                         // Every worker is parked with nothing runnable:
                         // a genuine scheduling deadlock. Surface loudly.
                         st.deadlocked = true;
@@ -459,7 +627,7 @@ impl ExecEnv for ThreadedSupervisor {
                              outstanding; {report}"
                         );
                     }
-                    self.cv.wait(&mut st);
+                    self.park_watched(&mut st);
                     st.parked -= 1;
                     st.blocked.remove(&wix);
                 }
@@ -528,8 +696,21 @@ thread_local! {
 /// graphs never deadlock; the scheduler tests exercise the detector
 /// directly.
 pub fn run_threaded(workers: usize, setup: impl FnOnce(&Arc<ThreadedSupervisor>)) -> RunReport {
+    run_threaded_with(workers, Robustness::default(), setup)
+}
+
+/// [`run_threaded`] with a [`Robustness`] configuration: fault
+/// injection, per-task wall-clock deadlines (microseconds), and — when
+/// `recover` is set — catch-and-degrade instead of unwinding on task
+/// panics and wedges. Caught panics and watchdog diagnoses come back in
+/// [`RunReport::task_panics`] / [`RunReport::stalls`].
+pub fn run_threaded_with(
+    workers: usize,
+    robustness: Robustness,
+    setup: impl FnOnce(&Arc<ThreadedSupervisor>),
+) -> RunReport {
     assert!(workers >= 1, "need at least one worker");
-    let sup = Arc::new(ThreadedSupervisor::new(workers));
+    let sup = Arc::new(ThreadedSupervisor::new(workers, robustness));
     setup(&sup);
     let mut handles = Vec::new();
     for ix in 0..workers {
@@ -546,28 +727,50 @@ pub fn run_threaded(workers: usize, setup: impl FnOnce(&Arc<ThreadedSupervisor>)
                 .expect("spawn worker"),
         );
     }
-    let mut panic_payload = None;
+    // Join every worker before re-raising anything: no thread may be
+    // leaked, and every panic payload must be accounted for (not just
+    // the first joiner's).
+    let mut payloads = Vec::new();
     for h in handles {
         if let Err(payload) = h.join() {
-            panic_payload.get_or_insert(payload);
+            payloads.push(payload);
         }
     }
-    if let Some(payload) = panic_payload {
-        // Re-raise with the worker's own payload so the deadlock
-        // diagnosis (or compiler bug) reaches the caller verbatim.
-        std::panic::resume_unwind(payload);
+    match payloads.len() {
+        0 => {}
+        1 => {
+            // Re-raise with the worker's own payload so the deadlock
+            // diagnosis (or compiler bug) reaches the caller verbatim.
+            std::panic::resume_unwind(payloads.pop().expect("len checked"));
+        }
+        n => {
+            let msgs: Vec<String> = payloads
+                .iter()
+                .map(|p| payload_message(p.as_ref()))
+                .collect();
+            panic!("{n} workers panicked: {}", msgs.join("; "));
+        }
     }
     let trace = sup.trace.lock().clone();
     let mut charges = [0u64; Work::COUNT];
     for (ix, c) in sup.charges.iter().enumerate() {
         charges[ix] = c.load(Ordering::Relaxed);
     }
+    let (task_panics, stalls) = {
+        let mut st = sup.state.lock();
+        (
+            std::mem::take(&mut st.panics),
+            std::mem::take(&mut st.stalls),
+        )
+    };
     RunReport {
         virtual_time: None,
         wall_micros: sup.now(),
         trace,
         tasks_run: sup.tasks_run.load(Ordering::Relaxed) as usize,
         charges,
+        task_panics,
+        stalls,
     }
 }
 
@@ -955,5 +1158,160 @@ mod hint_tests {
             sup.signal(e);
             assert!(sup.is_signaled(e));
         });
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use ccm2_faults::FaultPlan;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn recovered_panic_completes_run_and_signals_dependents() {
+        let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let report = run_threaded_with(
+            2,
+            Robustness::degrading(Some(Arc::clone(&plan)), None),
+            |sup| {
+                let done = sup.new_event_named(EventClass::Avoided, "victim-done");
+                let mut victim = TaskDesc::new(
+                    "victim",
+                    TaskKind::ProcParse,
+                    Box::new(|| unreachable!("injection fires before the body")),
+                );
+                victim.signals = vec![done];
+                sup.spawn(victim);
+                let r = Arc::clone(&ran);
+                let mut dep = TaskDesc::new(
+                    "dependent",
+                    TaskKind::ShortCodeGen,
+                    Box::new(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                dep.prereqs = vec![done];
+                sup.spawn(dep);
+                for i in 0..4 {
+                    let r = Arc::clone(&ran);
+                    sup.spawn(TaskDesc::new(
+                        format!("ok{i}"),
+                        TaskKind::ShortCodeGen,
+                        Box::new(move || {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    ));
+                }
+            },
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 5, "dependent + 4 ok tasks ran");
+        assert_eq!(report.task_panics.len(), 1);
+        assert_eq!(report.task_panics[0].0, "victim");
+        assert!(report.task_panics[0].1.contains("injected fault"));
+        assert!(plan.any_fired());
+    }
+
+    #[test]
+    fn lost_signal_is_force_released_by_watchdog() {
+        let plan = Arc::new(FaultPlan::single("signal:gate", FaultKind::LoseSignal));
+        let post = Arc::new(AtomicUsize::new(0));
+        let report = run_threaded_with(2, Robustness::degrading(Some(plan), None), |sup| {
+            let gate = sup.new_event_named(EventClass::Handled, "gate");
+            let p = Arc::clone(&post);
+            let sup1 = Arc::clone(sup);
+            let mut waiter = TaskDesc::new(
+                "waiter",
+                TaskKind::ProcParse,
+                Box::new(move || {
+                    sup1.wait(gate);
+                    p.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            waiter.may_wait = WaitSet {
+                events: vec![gate],
+                all_def_scopes: false,
+                any_barrier: false,
+            };
+            sup.spawn(waiter);
+            let sup2 = Arc::clone(sup);
+            let mut signaler = TaskDesc::new(
+                "signaler",
+                TaskKind::ShortCodeGen,
+                Box::new(move || sup2.signal(gate)),
+            );
+            signaler.signals = vec![gate];
+            sup.spawn(signaler);
+        });
+        assert_eq!(post.load(Ordering::Relaxed), 1, "waiter released");
+        assert!(
+            !report.stalls.is_empty(),
+            "wedge release must be diagnosed; got: {:?}",
+            report.stalls
+        );
+    }
+
+    #[test]
+    fn injected_stall_is_diagnosed_within_deadline() {
+        let plan = Arc::new(FaultPlan::single(
+            "task:stalling",
+            FaultKind::Stall { units: 60 },
+        ));
+        // Deadline 10ms, stall 60ms: the parked second worker's timed
+        // wait must diagnose the overrun while the task is still asleep.
+        let report = run_threaded_with(2, Robustness::degrading(Some(plan), Some(10_000)), |sup| {
+            sup.spawn(TaskDesc::new(
+                "stalling",
+                TaskKind::ProcParse,
+                Box::new(|| {}),
+            ));
+        });
+        assert_eq!(report.tasks_run, 1);
+        assert!(
+            report
+                .stalls
+                .iter()
+                .any(|s| s.contains("stalling") && s.contains("deadline")),
+            "stall diagnosis expected; got: {:?}",
+            report.stalls
+        );
+    }
+
+    #[test]
+    fn multiple_worker_panics_are_aggregated() {
+        // Without recover mode two organic panics on two workers must
+        // both be accounted for in the re-raised payload.
+        let res = std::panic::catch_unwind(|| {
+            run_threaded(2, |sup| {
+                for i in 0..2 {
+                    sup.spawn(TaskDesc::new(
+                        format!("boom{i}"),
+                        TaskKind::ProcParse,
+                        Box::new(move || panic!("organic panic {i}")),
+                    ));
+                }
+            });
+        });
+        let payload = res.expect_err("run must panic");
+        let msg = payload_message(payload.as_ref());
+        assert!(
+            msg.contains("2 workers panicked") || msg.contains("organic panic"),
+            "unexpected payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn plain_run_unaffected_by_default_robustness() {
+        let report = run_threaded(2, |sup| {
+            for i in 0..8 {
+                sup.spawn(TaskDesc::new(
+                    format!("t{i}"),
+                    TaskKind::ShortCodeGen,
+                    Box::new(|| {}),
+                ));
+            }
+        });
+        assert!(report.task_panics.is_empty());
+        assert!(report.stalls.is_empty());
     }
 }

@@ -86,6 +86,12 @@ pub struct CompileRequest {
     pub exec: ExecChoice,
     /// Run the dataflow lints as `Analyze` tasks.
     pub analyze: bool,
+    /// Fault-injection plan for this compile (tests and chaos drills;
+    /// `None` in production use).
+    pub faults: Option<Arc<ccm2_faults::FaultPlan>>,
+    /// Per-task watchdog deadline forwarded to the executor
+    /// (virtual units on the simulator, microseconds on threads).
+    pub task_deadline: Option<u64>,
 }
 
 impl CompileRequest {
@@ -105,6 +111,8 @@ impl CompileRequest {
             strategy: DkyStrategy::Skeptical,
             exec: ExecChoice::Threads(2),
             analyze: false,
+            faults: None,
+            task_deadline: None,
         }
     }
 
@@ -131,6 +139,15 @@ impl CompileRequest {
         });
         self.exec.hash_into(&mut h);
         h.write_u32(u32::from(self.analyze));
+        // Fault plans are deterministic, so two requests with the same
+        // plan config really do produce identical outcomes and may share
+        // a compile; `Debug` renders the full config (overrides, seed,
+        // rate) and omits the runtime fired-log.
+        match &self.faults {
+            Some(plan) => h.write_str(&format!("{plan:?}")),
+            None => h.write_u32(0),
+        }
+        h.write_u64(self.task_deadline.map_or(0, |d| d + 1));
         h.finish()
     }
 
@@ -142,6 +159,8 @@ impl CompileRequest {
             executor: self.exec.to_executor(),
             analyze: self.analyze,
             incremental: Some(store),
+            faults: self.faults.clone(),
+            task_deadline: self.task_deadline,
             ..Options::default()
         }
     }
@@ -169,6 +188,13 @@ pub struct CompileOutcome {
     pub wall_micros: u64,
     /// Streams compiled (main + interfaces + procedures).
     pub streams: usize,
+    /// One or more streams degraded to error units after a caught task
+    /// fault (the compile still terminated and merged).
+    pub degraded: bool,
+    /// A watchdog diagnosis fired: a stalled task or released wedge, or
+    /// — for a synthesized deadline-miss outcome — the request itself
+    /// overran its service deadline.
+    pub stalled: bool,
 }
 
 /// The service's answer to one submitted request.

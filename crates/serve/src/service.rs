@@ -56,6 +56,17 @@ pub struct ServeConfig {
     pub store_budget: u64,
     /// Start with the workers paused (deterministic tests).
     pub paused: bool,
+    /// Per-request deadline for [`serve_batch`](CompileService::serve_batch):
+    /// a ticket not fulfilled within this many milliseconds yields a
+    /// synthesized stalled outcome instead of blocking forever.
+    pub request_deadline_ms: Option<u64>,
+    /// First backoff delay after a shed submission, doubled per attempt.
+    pub retry_backoff_base_ms: u64,
+    /// Ceiling for the exponential backoff delay.
+    pub retry_backoff_cap_ms: u64,
+    /// Resubmission attempts for a shed request before giving up with
+    /// [`Response::Retry`].
+    pub retry_attempts: u32,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +76,10 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             store_budget: 8 * 1024 * 1024,
             paused: false,
+            request_deadline_ms: None,
+            retry_backoff_base_ms: 1,
+            retry_backoff_cap_ms: 64,
+            retry_attempts: 0,
         }
     }
 }
@@ -86,6 +101,15 @@ pub struct ServiceStats {
     pub compiled: u64,
     /// Compiles that panicked (outcome degraded to an error report).
     pub panicked: u64,
+    /// Compiles that finished with at least one stream degraded to an
+    /// error unit (caught task fault).
+    pub degraded: u64,
+    /// Compiles with a watchdog stall diagnosis, plus batch requests
+    /// that missed their service deadline.
+    pub stalled: u64,
+    /// Artifact-store entries quarantined after validation failures
+    /// (mirrors the shared store's counter).
+    pub quarantined: u64,
 }
 
 impl ServiceStats {
@@ -136,6 +160,24 @@ impl Ticket {
     pub fn try_get(&self) -> Option<Arc<CompileOutcome>> {
         self.shared.slot.lock().clone()
     }
+
+    /// Blocks until the outcome lands or `deadline` elapses.
+    pub fn wait_deadline(&self, deadline: std::time::Duration) -> Option<Arc<CompileOutcome>> {
+        let limit = std::time::Instant::now() + deadline;
+        let mut slot = self.shared.slot.lock();
+        while slot.is_none() {
+            let now = std::time::Instant::now();
+            if now >= limit {
+                return None;
+            }
+            if self.shared.done.wait_for(&mut slot, limit - now) && slot.is_none() {
+                return None;
+            }
+        }
+        Some(Arc::clone(
+            slot.as_ref().expect("loop exits only when filled"),
+        ))
+    }
 }
 
 /// What [`CompileService::submit`] did with a request.
@@ -182,6 +224,7 @@ struct Shared {
     work: Condvar,
     store: Arc<SharedStore>,
     queue_capacity: usize,
+    config: ServeConfig,
 }
 
 /// A long-lived compile service; see the module docs for the request
@@ -195,6 +238,12 @@ pub struct CompileService {
 impl CompileService {
     /// Starts the worker pool.
     pub fn start(config: ServeConfig) -> CompileService {
+        CompileService::start_with_store(config, Arc::new(SharedStore::new(config.store_budget)))
+    }
+
+    /// Starts the worker pool against a caller-supplied store — e.g. a
+    /// [`SharedStore::with_faults`] one for corruption drills.
+    pub fn start_with_store(config: ServeConfig, store: Arc<SharedStore>) -> CompileService {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -204,8 +253,9 @@ impl CompileService {
                 stats: ServiceStats::default(),
             }),
             work: Condvar::new(),
-            store: Arc::new(SharedStore::new(config.store_budget)),
+            store,
             queue_capacity: config.queue_capacity.max(1),
+            config,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -224,9 +274,12 @@ impl CompileService {
         &self.shared.store
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters. `quarantined` is read through from the shared
+    /// store, where the validation failures are actually detected.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.state.lock().stats
+        let mut stats = self.shared.state.lock().stats;
+        stats.quarantined = self.shared.store.stats().quarantined;
+        stats
     }
 
     /// Submits one request; never blocks on compilation.
@@ -260,14 +313,49 @@ impl CompileService {
     }
 
     /// Submits a whole batch first (maximizing single-flight overlap),
-    /// then waits for every non-shed outcome. Shed requests come back
-    /// as [`Response::Retry`] in their original positions.
+    /// then waits for every non-shed outcome. Shed requests are
+    /// resubmitted under capped exponential backoff
+    /// ([`ServeConfig::retry_attempts`]); ones still shed after the last
+    /// attempt come back as [`Response::Retry`] in their original
+    /// positions. With a [`ServeConfig::request_deadline_ms`], a ticket
+    /// that does not land in time yields a synthesized stalled outcome
+    /// instead of blocking the batch forever.
     pub fn serve_batch(&self, requests: Vec<CompileRequest>) -> Vec<Response> {
-        let submissions: Vec<Submission> = requests.into_iter().map(|r| self.submit(r)).collect();
+        let cfg = self.shared.config;
+        let mut submissions: Vec<Submission> =
+            requests.iter().map(|r| self.submit(r.clone())).collect();
+        for (i, sub) in submissions.iter_mut().enumerate() {
+            if !sub.is_shed() {
+                continue;
+            }
+            for attempt in 0..cfg.retry_attempts {
+                let delay = cfg
+                    .retry_backoff_base_ms
+                    .checked_shl(attempt.min(16))
+                    .unwrap_or(u64::MAX)
+                    .min(cfg.retry_backoff_cap_ms);
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                let again = self.submit(requests[i].clone());
+                if !again.is_shed() {
+                    *sub = again;
+                    break;
+                }
+            }
+        }
         submissions
             .iter()
-            .map(|s| match s.ticket() {
-                Some(t) => Response::Done(t.wait()),
+            .zip(&requests)
+            .map(|(s, req)| match s.ticket() {
+                Some(t) => match cfg.request_deadline_ms {
+                    Some(ms) => match t.wait_deadline(std::time::Duration::from_millis(ms)) {
+                        Some(out) => Response::Done(out),
+                        None => {
+                            self.shared.state.lock().stats.stalled += 1;
+                            Response::Done(Arc::new(deadline_outcome(req, ms)))
+                        }
+                    },
+                    None => Response::Done(t.wait()),
+                },
                 None => Response::Retry,
             })
             .collect()
@@ -340,6 +428,12 @@ fn worker_loop(shared: &Shared) {
             if panicked {
                 state.stats.panicked += 1;
             }
+            if outcome.degraded {
+                state.stats.degraded += 1;
+            }
+            if outcome.stalled {
+                state.stats.stalled += 1;
+            }
             state
                 .inflight
                 .remove(&fp)
@@ -366,6 +460,14 @@ fn run_one(fp: Fp128, req: &CompileRequest, store: Arc<dyn ArtifactStore>) -> Co
         &out.sources,
         &out.interner,
     );
+    let degraded = out
+        .errors
+        .iter()
+        .any(|e| matches!(e, ccm2::CompileError::StreamFault { .. }));
+    let stalled = out
+        .errors
+        .iter()
+        .any(|e| matches!(e, ccm2::CompileError::Stalled { .. }));
     CompileOutcome {
         request_fp: fp,
         ok: out.is_ok(),
@@ -375,6 +477,26 @@ fn run_one(fp: Fp128, req: &CompileRequest, store: Arc<dyn ArtifactStore>) -> Co
         virtual_cost: out.report.virtual_time,
         wall_micros: out.report.wall_micros,
         streams: out.streams,
+        degraded,
+        stalled,
+    }
+}
+
+fn deadline_outcome(req: &CompileRequest, ms: u64) -> CompileOutcome {
+    CompileOutcome {
+        request_fp: req.fingerprint(),
+        ok: false,
+        object: None,
+        diagnostics: vec![format!(
+            "request for `{}` exceeded the {ms}ms service deadline",
+            req.module
+        )],
+        incr: None,
+        virtual_cost: None,
+        wall_micros: 0,
+        streams: 0,
+        degraded: false,
+        stalled: true,
     }
 }
 
@@ -393,6 +515,8 @@ fn panic_outcome(fp: Fp128, payload: &(dyn std::any::Any + Send)) -> CompileOutc
         virtual_cost: None,
         wall_micros: 0,
         streams: 0,
+        degraded: false,
+        stalled: false,
     }
 }
 
@@ -526,6 +650,59 @@ mod tests {
         drop(svc); // never resumed — Drop must drain anyway
         assert!(t1.wait().ok);
         assert!(t2.wait().ok);
+    }
+
+    #[test]
+    fn missed_request_deadline_yields_stalled_outcome() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true, // never resumed during the batch: guaranteed miss
+            request_deadline_ms: Some(20),
+            ..ServeConfig::default()
+        });
+        let responses = svc.serve_batch(vec![req(1, "Late", "BEGIN")]);
+        let out = responses[0].outcome().expect("synthesized outcome");
+        assert!(!out.ok);
+        assert!(out.stalled);
+        assert!(
+            out.diagnostics[0].contains("service deadline"),
+            "{:?}",
+            out.diagnostics
+        );
+        assert_eq!(svc.stats().stalled, 1);
+    }
+
+    #[test]
+    fn shed_requests_are_retried_with_backoff() {
+        let svc = Arc::new(CompileService::start(ServeConfig {
+            paused: true,
+            queue_capacity: 1,
+            workers: 1,
+            retry_attempts: 12,
+            retry_backoff_base_ms: 1,
+            retry_backoff_cap_ms: 16,
+            ..ServeConfig::default()
+        }));
+        let resumer = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                svc.resume();
+            })
+        };
+        // Capacity 1 with paused workers: the second and third distinct
+        // requests shed at first submission and only land via backoff
+        // retries once the worker starts draining.
+        let responses = svc.serve_batch(vec![
+            req(1, "BackA", "BEGIN"),
+            req(2, "BackB", "BEGIN"),
+            req(3, "BackC", "BEGIN"),
+        ]);
+        resumer.join().expect("resumer");
+        assert!(
+            responses.iter().all(|r| r.outcome().is_some()),
+            "backoff retries landed every shed request"
+        );
+        assert!(svc.stats().shed >= 2, "initial submissions were shed");
     }
 
     #[test]

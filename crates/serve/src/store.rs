@@ -42,6 +42,9 @@ pub struct StoreStats {
     pub evictions: u64,
     /// `store` calls rejected because the entry alone exceeds the budget.
     pub oversize_rejections: u64,
+    /// Entries removed after a consumer reported them invalid
+    /// (checksum/version mismatch at decode time).
+    pub quarantined: u64,
 }
 
 impl StoreStats {
@@ -65,6 +68,7 @@ struct Inner {
     misses: u64,
     insertions: u64,
     oversize_rejections: u64,
+    quarantined: u64,
 }
 
 /// A byte-budgeted, LRU-evicting, instrumented [`ArtifactStore`] meant
@@ -77,6 +81,7 @@ struct Inner {
 #[derive(Debug)]
 pub struct SharedStore {
     inner: Mutex<Inner>,
+    faults: Option<std::sync::Arc<ccm2_faults::FaultPlan>>,
 }
 
 impl SharedStore {
@@ -91,7 +96,19 @@ impl SharedStore {
                 misses: 0,
                 insertions: 0,
                 oversize_rejections: 0,
+                quarantined: 0,
             }),
+            faults: None,
+        }
+    }
+
+    /// A store that corrupts entries whose `store:{fp}` site fires in
+    /// `plan` before admitting them — the decode-validation path then
+    /// quarantines them on the next load.
+    pub fn with_faults(budget: u64, plan: std::sync::Arc<ccm2_faults::FaultPlan>) -> SharedStore {
+        SharedStore {
+            faults: Some(plan),
+            ..SharedStore::new(budget)
         }
     }
 
@@ -108,6 +125,7 @@ impl SharedStore {
             insertions: inner.insertions,
             evictions: inner.lru.evictions(),
             oversize_rejections: inner.oversize_rejections,
+            quarantined: inner.quarantined,
         }
     }
 }
@@ -129,6 +147,25 @@ impl ArtifactStore for SharedStore {
     }
 
     fn store(&self, fp: Fp128, bytes: &[u8]) {
+        // Fault injection: damage the entry before admission, the same
+        // way `DiskStore` does, so decode-side validation and the
+        // quarantine path get exercised end to end.
+        let mut corrupted: Vec<u8>;
+        let mut bytes = bytes;
+        if let Some(plan) = &self.faults {
+            if let Some(ccm2_faults::FaultKind::Corrupt { byte }) =
+                plan.at(&format!("store:{}", fp.to_hex()))
+            {
+                corrupted = bytes.to_vec();
+                if byte == usize::MAX {
+                    corrupted.truncate(corrupted.len() / 2);
+                } else if !corrupted.is_empty() {
+                    let ix = byte % corrupted.len();
+                    corrupted[ix] ^= 0x55;
+                }
+                bytes = &corrupted;
+            }
+        }
         let mut inner = self.inner.lock();
         let admission = inner.lru.admit(fp, bytes.len() as u64);
         for victim in &admission.evict {
@@ -143,6 +180,14 @@ impl ArtifactStore for SharedStore {
         inner.peak_bytes = inner.peak_bytes.max(inner.lru.total());
         debug_assert_eq!(inner.map.len(), inner.lru.len());
         debug_assert!(inner.peak_bytes <= inner.lru.budget());
+    }
+
+    fn quarantine(&self, fp: Fp128) {
+        let mut inner = self.inner.lock();
+        if inner.map.remove(&fp).is_some() {
+            inner.lru.remove(fp);
+            inner.quarantined += 1;
+        }
     }
 }
 
@@ -188,6 +233,36 @@ mod tests {
         assert_eq!(st.oversize_rejections, 1);
         assert_eq!(st.bytes_in_use, 0);
         assert!(s.load(fp(7)).is_none());
+    }
+
+    #[test]
+    fn fault_plan_corrupts_entry_and_quarantine_removes_it() {
+        use ccm2_incr::ArtifactStore as _;
+        let target = fp(3);
+        let plan = ccm2_faults::FaultPlan::single(
+            format!("store:{}", target.to_hex()),
+            ccm2_faults::FaultKind::Corrupt { byte: 1 },
+        );
+        let s = SharedStore::with_faults(1024, std::sync::Arc::new(plan));
+        s.store(target, b"abcd");
+        s.store(fp(4), b"abcd");
+        assert_eq!(
+            s.load(target).as_deref(),
+            Some(&b"a\x37cd"[..]),
+            "byte 1 XOR 0x55"
+        );
+        assert_eq!(
+            s.load(fp(4)).as_deref(),
+            Some(&b"abcd"[..]),
+            "other entries untouched"
+        );
+        s.quarantine(target);
+        assert!(s.load(target).is_none());
+        s.quarantine(target); // second call is a no-op
+        let st = s.stats();
+        assert_eq!(st.quarantined, 1);
+        assert_eq!(st.entries, 1);
+        assert_eq!(st.bytes_in_use, 4, "LRU re-accounted after quarantine");
     }
 
     #[test]

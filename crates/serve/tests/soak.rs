@@ -19,6 +19,8 @@ fn request(e: &ServeEvent) -> CompileRequest {
         strategy: DkyStrategy::Skeptical,
         exec: ExecChoice::Sim(4),
         analyze: false,
+        faults: None,
+        task_deadline: None,
     }
 }
 
@@ -42,6 +44,7 @@ fn seeded_soak_loses_nothing_and_dedupes_above_floor() {
         queue_capacity: 4,
         store_budget: 16 * 1024,
         paused: false,
+        ..ServeConfig::default()
     });
 
     let mut pending: Vec<CompileRequest> = events.iter().map(request).collect();

@@ -34,6 +34,8 @@ fn request(
         strategy,
         exec,
         analyze: false,
+        faults: None,
+        task_deadline: None,
     }
 }
 
@@ -74,6 +76,7 @@ fn many_threads_under_eviction_pressure_serve_exact_bytes() {
         queue_capacity: 64,
         store_budget: 4 * 1024, // far below 6 modules' worth of units
         paused: false,
+        ..ServeConfig::default()
     }));
 
     let submitters: Vec<_> = (0..8u64)

@@ -86,6 +86,7 @@ fn modules_under_test() -> Vec<(String, DefLibrary)> {
         stmts_per_proc: 18,
         nested_ratio: 0.25,
         lint_seeds: false,
+        fault_seeds: false,
     });
     out.push((big.source, big.defs));
     out

@@ -1,0 +1,281 @@
+//! Fault-injection properties: any single injected fault degrades only
+//! its own stream.
+//!
+//! For every fault site × DKY strategy × executor drawn by proptest, a
+//! compile with one injected fault must
+//!
+//! * terminate (no hang — the wedge-release watchdog guarantees this —
+//!   and no unwinding out of the executor),
+//! * surface at least one error diagnostic naming the faulted stream,
+//! * leave every non-faulted stream's object code byte-identical to the
+//!   fault-free compile of the same module.
+//!
+//! Separate deterministic tests audit the threaded executor's cleanup:
+//! a degraded run leaves no extra OS threads behind and does not poison
+//! the process for subsequent clean compiles.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ccm2::{compile_concurrent, CompileError, Executor, Options};
+use ccm2_codegen::ir::{CodeUnit, Instr};
+use ccm2_faults::{FaultKind, FaultPlan};
+use ccm2_sched::SimConfig;
+use ccm2_sema::symtab::DkyStrategy;
+use ccm2_support::Interner;
+use ccm2_workload::{generate, GenParams, GeneratedModule};
+
+fn module() -> GeneratedModule {
+    generate(&GenParams {
+        fault_seeds: true,
+        ..GenParams::small("Px", 0xF0)
+    })
+}
+
+/// Interner-independent rendering of one unit, comparable across
+/// compiles with different interners.
+fn render_unit(u: &CodeUnit, interner: &Interner) -> String {
+    let mut s = format!(
+        "{} level={} params={} frame={:?} shapes={:?}\n",
+        interner.resolve(u.name),
+        u.level,
+        u.param_count,
+        u.frame,
+        u.shapes
+    );
+    for ins in &u.code {
+        match ins {
+            Instr::PushStr(sym) => s.push_str(&format!("PushStr({})\n", interner.resolve(*sym))),
+            Instr::PushProc(sym) => s.push_str(&format!("PushProc({})\n", interner.resolve(*sym))),
+            Instr::PushGlobalAddr { module, slot } => s.push_str(&format!(
+                "PushGlobalAddr({}, {slot})\n",
+                interner.resolve(*module)
+            )),
+            Instr::Call {
+                target,
+                argc,
+                link_up,
+            } => s.push_str(&format!(
+                "Call({}, {argc}, {link_up})\n",
+                interner.resolve(*target)
+            )),
+            other => s.push_str(&format!("{other:?}\n")),
+        }
+    }
+    s
+}
+
+/// (site pattern, fault kind, streams the fault may legitimately touch).
+fn site(index: usize) -> (&'static str, FaultKind, &'static [&'static str]) {
+    match index {
+        0 => (
+            "task:procparse(FaultShort)",
+            FaultKind::Panic,
+            &["FaultShort"],
+        ),
+        1 => (
+            "task:procparse(FaultNest)",
+            FaultKind::Panic,
+            &["FaultNest"],
+        ),
+        2 => ("task:analyze(*FaultLong)", FaultKind::Panic, &["FaultLong"]),
+        3 => ("task:codegen(*FaultLong)", FaultKind::Panic, &["FaultLong"]),
+        4 => (
+            "task:codegen(*FaultShort)",
+            FaultKind::Panic,
+            &["FaultShort"],
+        ),
+        _ => (
+            "signal:heading(FaultShort)",
+            FaultKind::LoseSignal,
+            &["FaultShort"],
+        ),
+    }
+}
+
+fn compile(
+    m: &GeneratedModule,
+    strategy: DkyStrategy,
+    sim: bool,
+    faults: Option<Arc<FaultPlan>>,
+) -> ccm2::ConcurrentOutput {
+    let executor = if sim {
+        Executor::Sim(SimConfig::firefly(4))
+    } else {
+        Executor::Threads(2)
+    };
+    compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(Interner::new()),
+        Options {
+            strategy,
+            executor,
+            analyze: true,
+            faults,
+            task_deadline: None,
+            ..Options::default()
+        },
+    )
+}
+
+fn unit_map(out: &ccm2::ConcurrentOutput) -> std::collections::HashMap<String, String> {
+    out.image
+        .as_ref()
+        .expect("image")
+        .units
+        .iter()
+        .map(|u| (out.interner.resolve(u.name), render_unit(u, &out.interner)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_single_fault_degrades_only_its_own_stream(
+        site_ix in 0usize..6,
+        strategy_ix in 0usize..4,
+        exec_ix in 0usize..2,
+    ) {
+        let sim = exec_ix == 0;
+        let (pattern, kind, touched) = site(site_ix);
+        let strategy = DkyStrategy::ALL[strategy_ix];
+        let m = module();
+
+        let baseline = compile(&m, strategy, sim, None);
+        prop_assert!(baseline.errors.is_empty(), "baseline not clean: {:?}", baseline.errors);
+        let base_units = unit_map(&baseline);
+
+        let plan = Arc::new(FaultPlan::single(pattern, kind));
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compile(&m, strategy, sim, Some(Arc::clone(&plan)))
+        }));
+        let run = match run {
+            Ok(out) => out,
+            Err(_) => return Err(TestCaseError::fail(format!(
+                "{pattern} [{strategy:?}, sim={sim}]: compile unwound instead of degrading"
+            ))),
+        };
+
+        prop_assert!(plan.any_fired(), "{pattern}: fault site never fired");
+        prop_assert!(!run.errors.is_empty(), "{pattern}: no degradation error");
+        let named = run
+            .diagnostics
+            .iter()
+            .any(|d| touched.iter().any(|t| d.message.contains(t)));
+        prop_assert!(
+            named,
+            "{pattern}: no diagnostic names the faulted stream: {:#?}",
+            run.diagnostics
+        );
+
+        let is_touched = |name: &str| touched.iter().any(|t| name.contains(t));
+        let faulted_units = unit_map(&run);
+        for (name, rendered) in &faulted_units {
+            if is_touched(name) {
+                continue;
+            }
+            prop_assert_eq!(
+                Some(rendered),
+                base_units.get(name),
+                "{} [{:?}, sim={}]: non-faulted unit `{}` diverged",
+                pattern, strategy, sim, name
+            );
+        }
+        for name in base_units.keys() {
+            if !is_touched(name) {
+                prop_assert!(
+                    faulted_units.contains_key(name),
+                    "{}: non-faulted unit `{}` missing from degraded image",
+                    pattern, name
+                );
+            }
+        }
+    }
+}
+
+/// Same fault plan, same executor → byte-identical degraded output (the
+/// injection decision is a pure function of the site name, and all
+/// degradation artifacts are sorted deterministically).
+#[test]
+fn degraded_runs_are_deterministic_on_the_simulator() {
+    let m = module();
+    let run = |_: u32| {
+        compile(
+            &m,
+            DkyStrategy::Skeptical,
+            true,
+            Some(Arc::new(FaultPlan::single(
+                "task:codegen(*FaultLong)",
+                FaultKind::Panic,
+            ))),
+        )
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(
+        a.diagnostics.iter().map(|d| &d.message).collect::<Vec<_>>(),
+        b.diagnostics.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+    assert_eq!(unit_map(&a), unit_map(&b));
+}
+
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("procfs")
+        .count()
+}
+
+/// A degraded threaded run must join every worker it spawned: no leaked
+/// OS threads, and the process stays healthy for later clean compiles
+/// (`parking_lot`-style locks — no mutex poisoning to trip over).
+#[cfg(target_os = "linux")]
+#[test]
+fn degraded_threaded_run_joins_all_workers_and_does_not_poison() {
+    let m = module();
+    // Warm-up so lazily spawned runtime threads don't skew the count.
+    let warm = compile(&m, DkyStrategy::Skeptical, false, None);
+    assert!(warm.errors.is_empty());
+    let before = os_thread_count();
+
+    let degraded = compile(
+        &m,
+        DkyStrategy::Skeptical,
+        false,
+        Some(Arc::new(FaultPlan::single(
+            "task:procparse(FaultShort)",
+            FaultKind::Panic,
+        ))),
+    );
+    assert!(!degraded.errors.is_empty());
+    assert!(degraded.errors.iter().any(
+        |e| matches!(e, CompileError::StreamFault { task, .. } if task.contains("FaultShort"))
+    ));
+
+    // Workers are joined before run_threaded_with returns; give the OS a
+    // moment to reap just in case, then audit.
+    for _ in 0..50 {
+        if os_thread_count() <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        os_thread_count() <= before,
+        "degraded run leaked OS threads: {} -> {}",
+        before,
+        os_thread_count()
+    );
+
+    // And the process is not poisoned: a clean compile still succeeds.
+    let clean = compile(&m, DkyStrategy::Skeptical, false, None);
+    assert!(clean.errors.is_empty(), "{:?}", clean.errors);
+    assert!(clean.image.is_some());
+}

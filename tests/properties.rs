@@ -81,6 +81,7 @@ proptest! {
             stmts_per_proc: stmts,
             nested_ratio: nested as f64 / 100.0,
             lint_seeds: false,
+        fault_seeds: false,
         };
         let m = generate(&params);
         let interner = Arc::new(Interner::new());
@@ -271,6 +272,7 @@ proptest! {
             stmts_per_proc: 8,
             nested_ratio: 0.2,
             lint_seeds: true,
+        fault_seeds: false,
         });
         let run_seq = || {
             ccm2_seq::compile_full(
@@ -333,6 +335,7 @@ proptest! {
             stmts_per_proc: stmts,
             nested_ratio: 0.2,
             lint_seeds: false,
+        fault_seeds: false,
         });
         let interner = Interner::new();
         let map = ccm2_support::SourceMap::new();
@@ -393,6 +396,7 @@ proptest! {
             stmts_per_proc: 10,
             nested_ratio: 0.2,
             lint_seeds: true,
+        fault_seeds: false,
         });
         let edited = apply_edits(&base, &body_edits(edit_count, seed ^ 0xE11));
         let store: Arc<dyn ArtifactStore> = Arc::new(MemStore::new());

@@ -91,6 +91,7 @@ fn single_worker_handles_deep_nesting_chains() {
         stmts_per_proc: 10,
         nested_ratio: 0.2,
         lint_seeds: false,
+        fault_seeds: false,
     });
     let out = compile_concurrent(
         &m.source,
