@@ -36,6 +36,17 @@ echo "== fault injection: survival matrix smoke =="
 cargo test -q --test faults
 cargo run -q --release -p ccm2-bench --bin reproduce -- faults
 
+echo "== self-healing recovery: retry, watchdog edges, kill/restart =="
+# Supervised stream retry must converge transient faults to the
+# fault-free bytes and degrade persistent ones; watchdog edges (exact
+# deadline, wedge-release vs late-signal race) must hold on both
+# executors; the service must survive kill/restart with its snapshot
+# journal (no lost requests, LRU order intact, torn images quarantined).
+cargo test -q --test recover
+cargo test -q --test watchdog
+cargo test -q -p ccm2-serve --test restart
+cargo run -q --release -p ccm2-bench --bin reproduce -- recover
+
 echo "== incremental cache: format-version bump guard =="
 # Any change to the on-disk entry encoding must bump FORMAT_VERSION, and
 # every bump must come with a mismatch-invalidation test for the new

@@ -10,6 +10,9 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults
+//! cargo run --release -p ccm2-bench --bin reproduce -- faults --list-sites
+//! cargo run --release -p ccm2-bench --bin reproduce -- recover
+//! cargo run --release -p ccm2-bench --bin reproduce -- sites
 //! ```
 
 use ccm2_bench as bench;
@@ -81,7 +84,13 @@ fn main() {
     if want("serve") {
         println!("{}\n", bench::serve());
     }
-    if want("faults") {
+    if want("faults") && !args.contains(&"--list-sites") {
         println!("{}\n", bench::faults());
+    }
+    if want("recover") {
+        println!("{}\n", bench::recover());
+    }
+    if want("sites") || args.contains(&"--list-sites") {
+        println!("{}\n", bench::fault_sites());
     }
 }

@@ -14,17 +14,26 @@
 //! | prefix      | queried by                  | kinds that apply          |
 //! |-------------|-----------------------------|---------------------------|
 //! | `task:{name}`   | both executors, at dispatch | [`FaultKind::Panic`], [`FaultKind::Stall`] |
+//! | `task:{name}#r{k}` | dispatch of retry attempt `k >= 1` under supervised recovery | same as `task:` |
 //! | `signal:{event}`| both executors, per signal  | [`FaultKind::LoseSignal`] |
 //! | `store:{fp hex}`| artifact stores, at `store` | [`FaultKind::Corrupt`]    |
 //!
 //! Task and event names are the scheduler's own labels (`codegen(M.P)`,
 //! `heading(P)`, …), so a plan can target one stream of one compile.
 //! Patterns may contain `*` wildcards (`task:codegen(*FaultShort*)`).
+//! The retry suffix makes fault *persistence* expressible: an exact
+//! `task:{name}` override models a transient fault (it matches attempt
+//! 0 only, so a supervised retry recovers), while `task:{name}*` also
+//! matches every `#r{k}` site and models a persistent fault that
+//! exhausts the retry budget.
 //!
 //! Sites that fire are logged; [`FaultPlan::fired`] returns the sorted,
 //! deduplicated list so harnesses can assert an injection actually
 //! happened (a plan targeting a misspelled site would otherwise pass
-//! vacuously).
+//! vacuously). A plan built with [`FaultPlan::with_probe_recording`]
+//! additionally logs every site *queried* — fired or not — which is how
+//! `reproduce -- sites` enumerates the site namespace of a real compile
+//! so chaos plans can be authored without grepping source.
 
 use parking_lot::Mutex;
 
@@ -63,6 +72,10 @@ pub struct FaultPlan {
     /// under the seeded mode. 0 disables it.
     rate_ppm: u32,
     fired: Mutex<Vec<String>>,
+    /// When true, every queried site is recorded in `probed` (site
+    /// enumeration for `reproduce -- sites`).
+    record_probes: bool,
+    probed: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -89,6 +102,8 @@ impl FaultPlan {
             seed: 0,
             rate_ppm: 0,
             fired: Mutex::new(Vec::new()),
+            record_probes: false,
+            probed: Mutex::new(Vec::new()),
         }
     }
 
@@ -109,16 +124,30 @@ impl FaultPlan {
     /// (seed, site) — stable across executors and runs.
     pub fn seeded(seed: u64, rate_ppm: u32) -> FaultPlan {
         FaultPlan {
-            overrides: Vec::new(),
             seed,
             rate_ppm,
-            fired: Mutex::new(Vec::new()),
+            ..FaultPlan::new()
         }
+    }
+
+    /// Turns on probe recording: every site the runtime queries — fired
+    /// or not — is logged for [`FaultPlan::probed`]. An empty plan with
+    /// probe recording is the site-namespace enumerator behind
+    /// `reproduce -- sites`.
+    pub fn with_probe_recording(mut self) -> FaultPlan {
+        self.record_probes = true;
+        self
     }
 
     /// The fault at `site`, if any. Pure in the site name; firing sites
     /// are logged for [`FaultPlan::fired`].
     pub fn at(&self, site: &str) -> Option<FaultKind> {
+        if self.record_probes {
+            let mut probed = self.probed.lock();
+            if !probed.iter().any(|s| s == site) {
+                probed.push(site.to_string());
+            }
+        }
         let hit = self
             .overrides
             .iter()
@@ -157,6 +186,15 @@ impl FaultPlan {
     /// Whether any site fired.
     pub fn any_fired(&self) -> bool {
         !self.fired.lock().is_empty()
+    }
+
+    /// Sorted, deduplicated list of every site queried so far. Empty
+    /// unless the plan was built with
+    /// [`FaultPlan::with_probe_recording`].
+    pub fn probed(&self) -> Vec<String> {
+        let mut v = self.probed.lock().clone();
+        v.sort();
+        v
     }
 }
 
@@ -251,6 +289,44 @@ mod tests {
         // At 50% some of these four task sites fire and some do not.
         assert!(da[..4].iter().any(|k| k.is_some()));
         assert!(da[..4].iter().any(|k| k.is_none()));
+    }
+
+    #[test]
+    fn probe_recording_logs_every_queried_site() {
+        let p = FaultPlan::new().with_probe_recording();
+        assert_eq!(p.at("task:codegen(M.P)"), None);
+        p.at("task:codegen(M.P)");
+        p.at("signal:heading(P)");
+        assert_eq!(
+            p.probed(),
+            vec![
+                "signal:heading(P)".to_string(),
+                "task:codegen(M.P)".to_string()
+            ]
+        );
+        assert!(!p.any_fired(), "probing never injects");
+        let silent = FaultPlan::new();
+        silent.at("task:codegen(M.P)");
+        assert!(silent.probed().is_empty(), "recording is opt-in");
+    }
+
+    #[test]
+    fn retry_suffix_distinguishes_transient_from_persistent() {
+        // Exact match = transient: fires on attempt 0 only.
+        let transient = FaultPlan::single("task:codegen(M.P)", FaultKind::Panic);
+        assert_eq!(transient.at("task:codegen(M.P)"), Some(FaultKind::Panic));
+        assert_eq!(transient.at("task:codegen(M.P)#r1"), None);
+        // Trailing glob = persistent: matches every retry attempt.
+        let persistent = FaultPlan::single("task:codegen(M.P)*", FaultKind::Panic);
+        assert_eq!(persistent.at("task:codegen(M.P)"), Some(FaultKind::Panic));
+        assert_eq!(
+            persistent.at("task:codegen(M.P)#r1"),
+            Some(FaultKind::Panic)
+        );
+        assert_eq!(
+            persistent.at("task:codegen(M.P)#r2"),
+            Some(FaultKind::Panic)
+        );
     }
 
     #[test]

@@ -150,6 +150,20 @@ impl ByteBudgetLru {
             self.total -= bytes;
         }
     }
+
+    /// Live entries in recency order, least recently used first. A
+    /// consumer that replays `admit`/`store` calls in this order
+    /// rebuilds an index with the same eviction order — this is how a
+    /// service snapshot preserves LRU behavior across a restart.
+    pub fn entries_by_recency(&self) -> Vec<Fp128> {
+        let mut v: Vec<(u64, Fp128)> = self
+            .entries
+            .iter()
+            .map(|(fp, &(_, tick))| (tick, *fp))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, fp)| fp).collect()
+    }
 }
 
 /// The outcome of [`ByteBudgetLru::admit`].
@@ -555,6 +569,22 @@ mod tests {
         // Replacing an entry re-accounts its size instead of leaking it.
         assert!(lru.admit(fp(1), 60).accepted);
         assert!(lru.total() <= 100);
+    }
+
+    #[test]
+    fn lru_recency_order_survives_replay() {
+        let mut lru = ByteBudgetLru::new(100);
+        lru.admit(fp(1), 10);
+        lru.admit(fp(2), 10);
+        lru.admit(fp(3), 10);
+        lru.touch(fp(1)); // order is now 2, 3, 1 (oldest first)
+        assert_eq!(lru.entries_by_recency(), vec![fp(2), fp(3), fp(1)]);
+        // Re-admitting in that order rebuilds the same recency order.
+        let mut rebuilt = ByteBudgetLru::new(100);
+        for f in lru.entries_by_recency() {
+            rebuilt.admit(f, 10);
+        }
+        assert_eq!(rebuilt.entries_by_recency(), lru.entries_by_recency());
     }
 
     #[test]

@@ -78,6 +78,18 @@ pub struct Robustness {
     pub deadline: Option<u64>,
     /// Catch task panics and recover wedges instead of unwinding.
     pub recover: bool,
+    /// How many times a fatally faulted per-stream task
+    /// ([`TaskKind::stream_retryable`]) may be re-enqueued before it is
+    /// allowed to degrade. A fault is *fatal* when it is a panic, or a
+    /// stall long enough to blow the configured `deadline`; because both
+    /// executors inject at task dispatch — before the body runs, before
+    /// any event is signaled — a retried attempt needs no rollback.
+    /// Attempt `k >= 1` queries the suffixed site `task:{name}#r{k}`, so
+    /// an exact-match plan models a transient fault (fires on attempt 0
+    /// only) and a `task:{name}*` glob models a persistent one. Requires
+    /// `recover`; the default of 0 keeps the historical degrade-only
+    /// behavior.
+    pub max_retries: u32,
 }
 
 impl Robustness {
@@ -96,7 +108,34 @@ impl Robustness {
             plan,
             deadline,
             recover: true,
+            max_retries: 0,
         }
+    }
+
+    /// Same as [`Robustness::degrading`], but supervised: fatally
+    /// faulted per-stream tasks are retried up to `max_retries` times
+    /// before degrading.
+    pub fn supervised(
+        plan: Option<std::sync::Arc<ccm2_faults::FaultPlan>>,
+        deadline: Option<u64>,
+        max_retries: u32,
+    ) -> Robustness {
+        Robustness {
+            max_retries,
+            ..Robustness::degrading(plan, deadline)
+        }
+    }
+}
+
+/// The fault-plan site a task dispatch queries: bare `task:{name}` for
+/// the first attempt, `task:{name}#r{attempt}` for retries — so plans
+/// can distinguish transient faults (exact match, attempt 0 only) from
+/// persistent ones (`task:{name}*` glob).
+pub(crate) fn dispatch_site(name: &str, attempt: u32) -> String {
+    if attempt == 0 {
+        format!("task:{name}")
+    } else {
+        format!("task:{name}#r{attempt}")
     }
 }
 
@@ -198,6 +237,12 @@ pub struct RunReport {
     /// Watchdog diagnoses: wedges force-released and tasks that
     /// overran the configured deadline.
     pub stalls: Vec<String>,
+    /// Supervised recoveries: tasks whose faulted dispatches were
+    /// retried under [`Robustness::max_retries`] and then completed
+    /// cleanly, as `(task name, attempts that faulted)`. A recovered
+    /// task contributes nothing to `task_panics`/`stalls` — its output
+    /// is byte-identical to a fault-free run.
+    pub recoveries: Vec<(String, u32)>,
 }
 
 impl RunReport {
@@ -236,6 +281,7 @@ mod tests {
             charges: [0; Work::COUNT],
             task_panics: Vec::new(),
             stalls: Vec::new(),
+            recoveries: Vec::new(),
         };
         assert_eq!(r.duration(), 42);
     }

@@ -132,6 +132,7 @@ struct SimTask {
     signals_def_scope: bool,
     signals_barriers: bool,
     may_wait: WaitSet,
+    weight: u64,
     state: TaskState,
 }
 
@@ -380,9 +381,14 @@ struct Controller {
     robustness: Robustness,
     /// Virtual busy time accumulated per task (deadline watchdog).
     busy: Vec<u64>,
+    /// Faulted dispatches retried per task under supervised recovery.
+    attempts: Vec<u32>,
+    /// Whether the task's final (executed) dispatch was fault-free.
+    clean_final: Vec<bool>,
     panics: Vec<(String, String)>,
     stalls: Vec<String>,
     stall_keys: std::collections::HashSet<String>,
+    recoveries: Vec<(String, u32)>,
 }
 
 impl Controller {
@@ -410,9 +416,12 @@ impl Controller {
             handles: Vec::new(),
             robustness,
             busy: Vec::new(),
+            attempts: Vec::new(),
+            clean_final: Vec::new(),
             panics: Vec::new(),
             stalls: Vec::new(),
             stall_keys: std::collections::HashSet::new(),
+            recoveries: Vec::new(),
         }
     }
 
@@ -503,9 +512,12 @@ impl Controller {
             signals_def_scope: desc.signals_def_scope,
             signals_barriers: desc.signals_barriers,
             may_wait: desc.may_wait,
+            weight: desc.weight,
             state: TaskState::NotStarted(desc.body),
         });
         self.busy.push(0);
+        self.attempts.push(0);
+        self.clean_final.push(true);
         self.outstanding += 1;
         let unsatisfied: Vec<EventId> = desc
             .prereqs
@@ -552,8 +564,11 @@ impl Controller {
         }
     }
 
-    /// Starts or resumes the given task on proc `p`, returning the yield.
-    fn step_task(&mut self, p: usize, task_ix: usize) -> YieldMsg {
+    /// Starts or resumes the given task on proc `p`, returning the
+    /// yield. `inject` is the fault (already looked up by the run loop,
+    /// which may instead have retried the dispatch) to apply when the
+    /// task is launched; resumes ignore it.
+    fn step_task(&mut self, p: usize, task_ix: usize, inject: Option<FaultKind>) -> YieldMsg {
         // Transition NotStarted → Running by launching its thread.
         if matches!(self.tasks[task_ix].state, TaskState::NotStarted(_)) {
             let body = match std::mem::replace(&mut self.tasks[task_ix].state, TaskState::Done) {
@@ -561,11 +576,6 @@ impl Controller {
                 _ => unreachable!(),
             };
             let name = self.tasks[task_ix].name.clone();
-            let inject = self
-                .robustness
-                .plan
-                .as_ref()
-                .and_then(|plan| plan.at(&format!("task:{name}")));
             let inject_panic = matches!(inject, Some(FaultKind::Panic));
             let recover = self.robustness.recover;
             let (resume_tx, resume_rx) = std::sync::mpsc::sync_channel::<()>(0);
@@ -760,10 +770,57 @@ impl Controller {
                 panic!("virtual-time deadlock: {}", self.deadlock_report());
             };
 
-            // 3. Step it.
+            // 3. Step it — but first, if the dispatch is about to hit a
+            // fatal injected fault and the task is a supervised stream
+            // task with retries left, abandon this dispatch (it has run
+            // nothing and signaled nothing yet) and re-enqueue a fresh
+            // attempt under the `#r{attempt}` fault site.
             let task_ix = self.procs[p].current.expect("runnable");
+            let mut inject: Option<FaultKind> = None;
+            if matches!(self.tasks[task_ix].state, TaskState::NotStarted(_)) {
+                let site = crate::dispatch_site(&self.tasks[task_ix].name, self.attempts[task_ix]);
+                inject = self
+                    .robustness
+                    .plan
+                    .as_ref()
+                    .and_then(|plan| plan.at(&site));
+                let fatal = match inject {
+                    Some(FaultKind::Panic) => true,
+                    Some(FaultKind::Stall { units }) => {
+                        self.robustness.deadline.is_some_and(|d| units > d)
+                    }
+                    _ => false,
+                };
+                if fatal
+                    && self.robustness.recover
+                    && self.tasks[task_ix].kind.stream_retryable()
+                    && self.attempts[task_ix] < self.robustness.max_retries
+                {
+                    // Charge the wasted dispatch (a fatal stall is cut
+                    // off at the deadline by the watchdog) and requeue.
+                    let penalty = match inject {
+                        Some(FaultKind::Stall { units }) => {
+                            self.robustness.deadline.map_or(units, |d| d.min(units))
+                        }
+                        _ => 0,
+                    };
+                    self.procs[p].clock += self.config.dispatch_cost + penalty;
+                    self.attempts[task_ix] += 1;
+                    self.seq += 1;
+                    let key = priority_key(
+                        self.tasks[task_ix].kind,
+                        self.tasks[task_ix].weight,
+                        self.seq,
+                    );
+                    let at = self.procs[p].clock;
+                    self.ready.insert(key, (task_ix, at));
+                    self.procs[p].current = None;
+                    continue;
+                }
+                self.clean_final[task_ix] = !fatal;
+            }
             let slice_start = self.procs[p].clock;
-            let msg = self.step_task(p, task_ix);
+            let msg = self.step_task(p, task_ix, inject);
 
             // 4. Apply the action.
             match msg.action {
@@ -804,6 +861,9 @@ impl Controller {
                     if let Some(msg) = caught {
                         let name = self.tasks[task_ix].name.clone();
                         self.panics.push((name, msg));
+                    } else if self.attempts[task_ix] > 0 && self.clean_final[task_ix] {
+                        let name = self.tasks[task_ix].name.clone();
+                        self.recoveries.push((name, self.attempts[task_ix]));
                     }
                     // Backstop-signal the task's declared signals (also
                     // for caught-panicked tasks — that is what keeps
@@ -848,6 +908,7 @@ impl Controller {
             charges: self.charges,
             task_panics: self.panics,
             stalls: self.stalls,
+            recoveries: self.recoveries,
         }
     }
 
@@ -1486,6 +1547,138 @@ mod ablation_tests {
             "stall diagnosis expected; got: {:?}",
             report.stalls
         );
+    }
+
+    /// Supervised recovery: a transient fault (exact-match site, so it
+    /// fires on attempt 0 only) is retried; the retried attempt runs
+    /// the body, signals dependents, and leaves no degradation record.
+    #[test]
+    fn sim_transient_fault_is_retried_and_recovers() {
+        let run = || {
+            let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+            let ran = Arc::new(AtomicUsize::new(0));
+            let dep_ran = Arc::new(AtomicUsize::new(0));
+            let report = run_sim_with(
+                SimConfig::new(2),
+                Robustness::supervised(Some(Arc::clone(&plan)), None, 2),
+                |env| {
+                    let done = env.new_event_named(EventClass::Avoided, "victim-done");
+                    let r = Arc::clone(&ran);
+                    let env1 = Arc::clone(env);
+                    let mut victim = TaskDesc::new(
+                        "victim",
+                        TaskKind::ProcParse,
+                        Box::new(move || {
+                            env1.charge(Work::Parse, 10);
+                            r.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                    victim.signals = vec![done];
+                    spawn_prestart(env, victim);
+                    let d = Arc::clone(&dep_ran);
+                    let mut dep = TaskDesc::new(
+                        "dependent",
+                        TaskKind::ShortCodeGen,
+                        Box::new(move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                    dep.prereqs = vec![done];
+                    spawn_prestart(env, dep);
+                },
+            );
+            assert_eq!(ran.load(Ordering::Relaxed), 1, "body ran exactly once");
+            assert_eq!(dep_ran.load(Ordering::Relaxed), 1, "dependent ran");
+            assert!(report.task_panics.is_empty(), "{:?}", report.task_panics);
+            assert!(report.stalls.is_empty(), "{:?}", report.stalls);
+            assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+            assert!(plan.fired().iter().any(|f| f.contains("task:victim")));
+            report.virtual_time
+        };
+        assert_eq!(run(), run(), "recovery is virtual-time deterministic");
+    }
+
+    /// A persistent fault (trailing glob matches every `#r{k}` retry
+    /// site) exhausts the retry budget and then degrades exactly as an
+    /// unsupervised fault would.
+    #[test]
+    fn sim_persistent_fault_exhausts_retries_and_degrades() {
+        let plan = Arc::new(FaultPlan::single("task:victim*", FaultKind::Panic));
+        let report = run_sim_with(
+            SimConfig::new(1),
+            Robustness::supervised(Some(Arc::clone(&plan)), None, 2),
+            |env| {
+                spawn_prestart(
+                    env,
+                    TaskDesc::new(
+                        "victim",
+                        TaskKind::ProcParse,
+                        Box::new(|| unreachable!("every attempt faults")),
+                    ),
+                );
+            },
+        );
+        assert_eq!(report.task_panics.len(), 1);
+        assert_eq!(report.task_panics[0].0, "victim");
+        assert!(report.recoveries.is_empty());
+        let fired = plan.fired();
+        assert!(
+            fired.iter().any(|f| f.contains("task:victim#r2")),
+            "all retry attempts were dispatched: {fired:?}"
+        );
+    }
+
+    /// A stall long enough to blow the virtual deadline is fatal and
+    /// retried; the wasted dispatch is charged (cut off at the
+    /// deadline) and no stall is diagnosed.
+    #[test]
+    fn sim_fatal_stall_is_retried_and_charged_up_to_deadline() {
+        let plan = Arc::new(FaultPlan::single(
+            "task:victim",
+            FaultKind::Stall { units: 5_000 },
+        ));
+        let report = run_sim_with(
+            SimConfig::new(1),
+            Robustness::supervised(Some(plan), Some(1_000), 1),
+            |env| {
+                let env1 = Arc::clone(env);
+                spawn_prestart(
+                    env,
+                    TaskDesc::new(
+                        "victim",
+                        TaskKind::ProcParse,
+                        Box::new(move || env1.charge(Work::Parse, 10)),
+                    ),
+                );
+            },
+        );
+        assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+        assert!(report.stalls.is_empty(), "{:?}", report.stalls);
+        assert_eq!(
+            report.virtual_time,
+            Some(1_010),
+            "deadline-truncated stall penalty + clean attempt's work"
+        );
+    }
+
+    /// Structural tasks (not stream-retryable) degrade immediately even
+    /// with a retry budget: re-running them would replay spawns already
+    /// observed by the rest of the run.
+    #[test]
+    fn sim_structural_tasks_are_not_retried() {
+        let plan = Arc::new(FaultPlan::single("task:lexor", FaultKind::Panic));
+        let report = run_sim_with(
+            SimConfig::new(1),
+            Robustness::supervised(Some(plan), None, 3),
+            |env| {
+                spawn_prestart(
+                    env,
+                    TaskDesc::new("lexor", TaskKind::Lexor, Box::new(|| {})),
+                );
+            },
+        );
+        assert_eq!(report.task_panics.len(), 1);
+        assert!(report.recoveries.is_empty());
     }
 
     /// The hint mechanism works in the simulator too.

@@ -71,6 +71,24 @@ impl TaskKind {
             .expect("known kind")
     }
 
+    /// Whether a fatally faulted dispatch of this kind may be retried
+    /// by the supervised-recovery plane. Per-stream tasks qualify: they
+    /// are independent of sibling streams and — because faults fire at
+    /// dispatch, before the body runs — a fresh attempt restarts the
+    /// stream from scratch with no partial state to discard. Structural
+    /// tasks (Lexor, Splitter, Importer, parsers of whole modules, the
+    /// Merge) do not: re-running them would replay spawns and signals
+    /// already observed by the rest of the run.
+    pub fn stream_retryable(&self) -> bool {
+        matches!(
+            self,
+            TaskKind::ProcParse
+                | TaskKind::Analyze
+                | TaskKind::LongCodeGen
+                | TaskKind::ShortCodeGen
+        )
+    }
+
     /// Short label for traces (WatchTool rendering).
     pub fn label(&self) -> &'static str {
         match self {

@@ -42,6 +42,9 @@ struct ReadyTask {
     signals_def_scope: bool,
     signals_barriers: bool,
     may_wait: WaitSet,
+    weight: u64,
+    /// Dispatch attempt under supervised recovery (0 = first).
+    attempt: u32,
     body: crate::task::TaskBody,
 }
 
@@ -88,6 +91,8 @@ struct SupState {
     stalls: Vec<String>,
     /// Dedup keys for `stalls` (task names / wedge reports).
     stall_reported: std::collections::HashSet<String>,
+    /// Supervised recoveries: `(task, faulted attempts retried)`.
+    recoveries: Vec<(String, u32)>,
     /// Start times of tasks currently executing, for the deadline
     /// watchdog (only populated when a deadline is configured).
     running: std::collections::HashMap<String, Instant>,
@@ -136,6 +141,7 @@ impl ThreadedSupervisor {
                 panics: Vec::new(),
                 stalls: Vec::new(),
                 stall_reported: std::collections::HashSet::new(),
+                recoveries: Vec::new(),
                 running: std::collections::HashMap::new(),
             }),
             cv: Condvar::new(),
@@ -212,7 +218,36 @@ impl ThreadedSupervisor {
             .robustness
             .plan
             .as_ref()
-            .and_then(|p| p.at(&format!("task:{name}")));
+            .and_then(|p| p.at(&crate::dispatch_site(&name, task.attempt)));
+        // Supervised retry: a dispatch about to hit a fatal fault (panic,
+        // or a stall that would blow the wall-clock deadline — stall
+        // units are ms, deadlines us) on a per-stream task is abandoned
+        // before anything runs and re-enqueued under the next attempt's
+        // fault site. The task stays `outstanding` throughout.
+        let fatal = match inject {
+            Some(FaultKind::Panic) => true,
+            Some(FaultKind::Stall { units }) => self
+                .robustness
+                .deadline
+                .is_some_and(|d| units.saturating_mul(1000) > d),
+            _ => false,
+        };
+        if fatal
+            && self.robustness.recover
+            && kind.stream_retryable()
+            && task.attempt < self.robustness.max_retries
+        {
+            let mut task = task;
+            task.attempt += 1;
+            let mut st = self.state.lock();
+            st.seq += 1;
+            let key = priority_key(task.kind, task.weight, st.seq);
+            st.ready.insert(key, task);
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        let attempt = task.attempt;
         WORKER.with(|w| {
             if let Some(ctx) = w.borrow_mut().as_mut() {
                 ctx.stack.push((name.clone(), signals.clone(), sds, sbar));
@@ -282,6 +317,8 @@ impl ThreadedSupervisor {
         }
         if let Some(msg) = caught {
             st.panics.push((name.clone(), msg));
+        } else if attempt > 0 && !fatal {
+            st.recoveries.push((name.clone(), attempt));
         }
         for e in &signals {
             if !st.events[e.index()].signaled && !self.is_lost(&st, *e) {
@@ -647,6 +684,8 @@ impl ExecEnv for ThreadedSupervisor {
             signals_def_scope: task.signals_def_scope,
             signals_barriers: task.signals_barriers,
             may_wait: task.may_wait,
+            weight: task.weight,
+            attempt: 0,
             body: task.body,
         };
         let unsatisfied: Vec<EventId> = task
@@ -756,11 +795,12 @@ pub fn run_threaded_with(
     for (ix, c) in sup.charges.iter().enumerate() {
         charges[ix] = c.load(Ordering::Relaxed);
     }
-    let (task_panics, stalls) = {
+    let (task_panics, stalls, recoveries) = {
         let mut st = sup.state.lock();
         (
             std::mem::take(&mut st.panics),
             std::mem::take(&mut st.stalls),
+            std::mem::take(&mut st.recoveries),
         )
     };
     RunReport {
@@ -771,6 +811,7 @@ pub fn run_threaded_with(
         charges,
         task_panics,
         stalls,
+        recoveries,
     }
 }
 
@@ -1275,6 +1316,101 @@ mod fault_tests {
             "stall diagnosis expected; got: {:?}",
             report.stalls
         );
+    }
+
+    /// Supervised recovery: a transient fault (exact-match site) is
+    /// retried on a fresh dispatch; the body runs, dependents run, and
+    /// nothing degrades.
+    #[test]
+    fn transient_fault_is_retried_and_recovers() {
+        let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let report = run_threaded_with(
+            2,
+            Robustness::supervised(Some(Arc::clone(&plan)), None, 2),
+            |sup| {
+                let done = sup.new_event_named(EventClass::Avoided, "victim-done");
+                let r = Arc::clone(&ran);
+                let mut victim = TaskDesc::new(
+                    "victim",
+                    TaskKind::ProcParse,
+                    Box::new(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                victim.signals = vec![done];
+                sup.spawn(victim);
+                let r = Arc::clone(&ran);
+                let mut dep = TaskDesc::new(
+                    "dependent",
+                    TaskKind::ShortCodeGen,
+                    Box::new(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                dep.prereqs = vec![done];
+                sup.spawn(dep);
+            },
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "victim + dependent ran");
+        assert!(report.task_panics.is_empty(), "{:?}", report.task_panics);
+        assert!(report.stalls.is_empty(), "{:?}", report.stalls);
+        assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+    }
+
+    /// A persistent fault (`task:{name}*` glob) exhausts retries and
+    /// then degrades; a fatal stall never sleeps on retried attempts.
+    #[test]
+    fn persistent_fault_exhausts_retries_and_degrades() {
+        let plan = Arc::new(FaultPlan::single("task:victim*", FaultKind::Panic));
+        let report = run_threaded_with(
+            1,
+            Robustness::supervised(Some(Arc::clone(&plan)), None, 2),
+            |sup| {
+                sup.spawn(TaskDesc::new(
+                    "victim",
+                    TaskKind::ProcParse,
+                    Box::new(|| unreachable!("every attempt faults")),
+                ));
+            },
+        );
+        assert_eq!(report.task_panics.len(), 1);
+        assert_eq!(report.task_panics[0].0, "victim");
+        assert!(report.recoveries.is_empty());
+        assert!(
+            plan.fired().iter().any(|f| f.contains("task:victim#r2")),
+            "all retry attempts were dispatched: {:?}",
+            plan.fired()
+        );
+    }
+
+    /// A stall that would blow the wall-clock deadline (units are ms,
+    /// deadline us) is fatal: the retried dispatch skips the sleep
+    /// entirely and no stall is diagnosed.
+    #[test]
+    fn fatal_stall_is_retried_without_sleeping() {
+        let plan = Arc::new(FaultPlan::single(
+            "task:victim",
+            FaultKind::Stall { units: 60_000 },
+        ));
+        let started = std::time::Instant::now();
+        let report = run_threaded_with(
+            2,
+            Robustness::supervised(Some(plan), Some(10_000), 1),
+            |sup| {
+                sup.spawn(TaskDesc::new(
+                    "victim",
+                    TaskKind::ProcParse,
+                    Box::new(|| {}),
+                ));
+            },
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "retried stall must not serve the 60s sleep"
+        );
+        assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+        assert!(report.stalls.is_empty(), "{:?}", report.stalls);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   single-flight deduplication (identical in-flight requests compile
 //!   once and fan out), a batch API, and pause/resume hooks for
 //!   deterministic tests.
+//! * [`SnapshotStore`] — crash-safe restart: checksummed, versioned
+//!   images of the shared store written with temp-file + atomic-rename,
+//!   so [`CompileService::restore`] can bring a new service up with the
+//!   cache (and its LRU order) of a killed one; torn images are
+//!   quarantined and recovery falls back to the last good image.
 //!
 //! # Examples
 //!
@@ -51,8 +56,10 @@
 
 pub mod request;
 pub mod service;
+pub mod snapshot;
 pub mod store;
 
 pub use request::{CompileOutcome, CompileRequest, ExecChoice, Response};
-pub use service::{CompileService, ServeConfig, ServiceStats, Submission, Ticket};
+pub use service::{ClientStats, CompileService, ServeConfig, ServiceStats, Submission, Ticket};
+pub use snapshot::{LoadedSnapshot, SnapshotStore};
 pub use store::{SharedStore, StoreStats};

@@ -92,6 +92,11 @@ pub struct CompileRequest {
     /// Per-task watchdog deadline forwarded to the executor
     /// (virtual units on the simulator, microseconds on threads).
     pub task_deadline: Option<u64>,
+    /// Supervised-retry budget per stream task: a fatally faulted
+    /// `ProcParse`/`Analyze`/`CodeGen` task is re-enqueued up to this
+    /// many times before its stream degrades. 0 keeps the historical
+    /// degrade-immediately behavior.
+    pub max_stream_retries: u32,
 }
 
 impl CompileRequest {
@@ -113,6 +118,7 @@ impl CompileRequest {
             analyze: false,
             faults: None,
             task_deadline: None,
+            max_stream_retries: 0,
         }
     }
 
@@ -148,6 +154,10 @@ impl CompileRequest {
             None => h.write_u32(0),
         }
         h.write_u64(self.task_deadline.map_or(0, |d| d + 1));
+        // The retry budget changes reports (recovery diagnostics and
+        // degradation) even though recovered object bytes are identical,
+        // so it is part of the single-flight key.
+        h.write_u32(self.max_stream_retries);
         h.finish()
     }
 
@@ -161,6 +171,7 @@ impl CompileRequest {
             incremental: Some(store),
             faults: self.faults.clone(),
             task_deadline: self.task_deadline,
+            max_stream_retries: self.max_stream_retries,
             ..Options::default()
         }
     }

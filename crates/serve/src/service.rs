@@ -65,7 +65,10 @@ pub struct ServeConfig {
     /// Ceiling for the exponential backoff delay.
     pub retry_backoff_cap_ms: u64,
     /// Resubmission attempts for a shed request before giving up with
-    /// [`Response::Retry`].
+    /// [`Response::Retry`]. Defaults to 3 — a briefly full queue is the
+    /// common case and a couple of backoffs almost always clear it. Set
+    /// 0 to opt out: every shed submission then surfaces immediately as
+    /// [`Response::Retry`] and the caller owns the retry policy.
     pub retry_attempts: u32,
 }
 
@@ -79,7 +82,7 @@ impl Default for ServeConfig {
             request_deadline_ms: None,
             retry_backoff_base_ms: 1,
             retry_backoff_cap_ms: 64,
-            retry_attempts: 0,
+            retry_attempts: 3,
         }
     }
 }
@@ -123,6 +126,22 @@ impl ServiceStats {
             self.joined as f64 / served as f64
         }
     }
+}
+
+/// Per-client admission counters ([`CompileService::client_stats`]) —
+/// the observability groundwork for the ROADMAP's fairness/quota item:
+/// a quota policy needs to know who is consuming queue slots and who is
+/// being shed before it can act on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests this client submitted.
+    pub submitted: u64,
+    /// Requests admitted to the queue for this client.
+    pub admitted: u64,
+    /// Requests that joined an identical in-flight compile.
+    pub joined: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
 }
 
 /// A claim on a future [`CompileOutcome`].
@@ -217,6 +236,8 @@ struct State {
     paused: bool,
     shutdown: bool,
     stats: ServiceStats,
+    /// Admission counters per client id (BTreeMap for sorted readout).
+    client_stats: std::collections::BTreeMap<u64, ClientStats>,
 }
 
 struct Shared {
@@ -251,6 +272,7 @@ impl CompileService {
                 paused: config.paused,
                 shutdown: false,
                 stats: ServiceStats::default(),
+                client_stats: std::collections::BTreeMap::new(),
             }),
             work: Condvar::new(),
             store,
@@ -282,21 +304,37 @@ impl CompileService {
         stats
     }
 
+    /// Per-client admission counters, sorted by client id.
+    pub fn client_stats(&self) -> Vec<(u64, ClientStats)> {
+        let state = self.shared.state.lock();
+        state
+            .client_stats
+            .iter()
+            .map(|(id, cs)| (*id, *cs))
+            .collect()
+    }
+
     /// Submits one request; never blocks on compilation.
     pub fn submit(&self, req: CompileRequest) -> Submission {
         let fp = req.fingerprint();
+        let client = req.client;
         let mut state = self.shared.state.lock();
         state.stats.submitted += 1;
+        let cs = state.client_stats.entry(client).or_default();
+        cs.submitted += 1;
         if let Some(fl) = state.inflight.get_mut(&fp) {
             let ticket = Ticket::new();
             fl.tickets.push(Arc::clone(&ticket.shared));
             state.stats.joined += 1;
+            state.client_stats.entry(client).or_default().joined += 1;
             return Submission::Joined(ticket);
         }
         if state.queue.len() >= self.shared.queue_capacity {
             state.stats.shed += 1;
+            state.client_stats.entry(client).or_default().shed += 1;
             return Submission::Shed;
         }
+        state.client_stats.entry(client).or_default().admitted += 1;
         let ticket = Ticket::new();
         state.inflight.insert(
             fp,
@@ -604,6 +642,9 @@ mod tests {
         let svc = CompileService::start(ServeConfig {
             paused: true,
             queue_capacity: 2,
+            // Opt out of automatic resubmission: this test asserts the
+            // raw shed surfaces as Response::Retry in its position.
+            retry_attempts: 0,
             ..ServeConfig::default()
         });
         let batch = vec![

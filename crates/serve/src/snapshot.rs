@@ -1,0 +1,317 @@
+//! Crash-safe [`SharedStore`] snapshots: the service-restart half of
+//! the self-healing recovery plane.
+//!
+//! A snapshot is a single checksummed, versioned image of the shared
+//! artifact store, written with the same temp-file + atomic-rename
+//! journal discipline as [`ccm2_incr`]'s `DiskStore`: the bytes are
+//! fully written and flushed to a hidden temp file, then `rename`d into
+//! place, so a crash at any point leaves either the previous image set
+//! or the complete new one — never a half-written current image.
+//!
+//! # Image format (version 1)
+//!
+//! ```text
+//! magic      8 bytes   b"CCM2SNAP"
+//! version    u32 LE    1
+//! count      u32 LE    number of entries
+//! entry*     hi u64 LE, lo u64 LE, len u32 LE, bytes   (count times)
+//! checksum   hi u64 LE, lo u64 LE   Fp128 of everything above
+//! ```
+//!
+//! Entries are stored **in LRU recency order, least recently used
+//! first** ([`SharedStore::export`]), so replaying them in file order
+//! on restore rebuilds the same eviction order — LRU behavior survives
+//! the restart.
+//!
+//! Images are named `snap-{seq:08}.img` with a monotonically increasing
+//! sequence. [`SnapshotStore::load_latest`] walks them newest-first:
+//! an image that fails validation (truncated, bit-flipped, wrong
+//! version — anything that breaks the trailer checksum) is moved into
+//! a `quarantine/` subdirectory for post-mortem and recovery falls
+//! back to the next older image, exactly like the per-entry quarantine
+//! protocol of the incremental cache.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ccm2_support::hash::{Fp128, StableHasher};
+
+use crate::store::SharedStore;
+
+const MAGIC: &[u8; 8] = b"CCM2SNAP";
+const VERSION: u32 = 1;
+
+/// A directory of store snapshot images plus their quarantine.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+/// What [`SnapshotStore::load_latest`] found.
+#[derive(Debug, Default)]
+pub struct LoadedSnapshot {
+    /// Entries of the newest valid image, oldest-recency first; `None`
+    /// when no valid image exists.
+    pub entries: Option<Vec<(Fp128, Vec<u8>)>>,
+    /// Images that failed validation and were quarantined by this call.
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        SnapshotStore::from_existing(dir)
+    }
+
+    fn from_existing(dir: PathBuf) -> io::Result<SnapshotStore> {
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `(sequence, path)` of every `snap-*.img` present, ascending.
+    fn images(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut v = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = name
+                .strip_prefix("snap-")
+                .and_then(|r| r.strip_suffix(".img"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                v.push((seq, entry.path()));
+            }
+        }
+        v.sort();
+        Ok(v)
+    }
+
+    /// Writes a new image of `store` and returns its path. The write is
+    /// crash-atomic: temp file in the same directory, flush, rename.
+    pub fn save(&self, store: &SharedStore) -> io::Result<PathBuf> {
+        let seq = self.images()?.last().map_or(1, |(s, _)| s + 1);
+        let bytes = encode(&store.export());
+        let path = self.dir.join(format!("snap-{seq:08}.img"));
+        let tmp = self
+            .dir
+            .join(format!(".snap-{seq:08}.{}.tmp", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the newest valid image, quarantining any torn/corrupt ones
+    /// encountered on the way down. `entries` is `None` when no image
+    /// validates (fresh directory, or every image damaged).
+    pub fn load_latest(&self) -> io::Result<LoadedSnapshot> {
+        let mut loaded = LoadedSnapshot::default();
+        for (_, path) in self.images()?.into_iter().rev() {
+            let bytes = fs::read(&path)?;
+            if let Some(entries) = decode(&bytes) {
+                loaded.entries = Some(entries);
+                return Ok(loaded);
+            }
+            let qdir = self.dir.join("quarantine");
+            fs::create_dir_all(&qdir)?;
+            let dest = qdir.join(path.file_name().expect("image file name"));
+            fs::rename(&path, &dest)?;
+            loaded.quarantined.push(dest);
+        }
+        Ok(loaded)
+    }
+
+    /// Number of quarantined images currently on disk.
+    pub fn quarantined_count(&self) -> usize {
+        fs::read_dir(self.dir.join("quarantine"))
+            .map(|rd| rd.count())
+            .unwrap_or(0)
+    }
+}
+
+fn encode(entries: &[(Fp128, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (fp, bytes) in entries {
+        buf.extend_from_slice(&fp.hi.to_le_bytes());
+        buf.extend_from_slice(&fp.lo.to_le_bytes());
+        buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.hi.to_le_bytes());
+    buf.extend_from_slice(&sum.lo.to_le_bytes());
+    buf
+}
+
+/// Strict validation: magic, version, exact length accounting and the
+/// trailer checksum must all hold. Anything else — a torn tail, a
+/// flipped byte, a future version — is `None` and the image is
+/// quarantined by the caller.
+fn decode(buf: &[u8]) -> Option<Vec<(Fp128, Vec<u8>)>> {
+    if buf.len() < MAGIC.len() + 4 + 4 + 16 || &buf[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let body = &buf[..buf.len() - 16];
+    let trailer = &buf[buf.len() - 16..];
+    let sum = checksum(body);
+    if trailer[..8] != sum.hi.to_le_bytes() || trailer[8..] != sum.lo.to_le_bytes() {
+        return None;
+    }
+    let mut pos = MAGIC.len();
+    let version = u32::from_le_bytes(body[pos..pos + 4].try_into().ok()?);
+    pos += 4;
+    if version != VERSION {
+        return None;
+    }
+    let count = u32::from_le_bytes(body[pos..pos + 4].try_into().ok()?) as usize;
+    pos += 4;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        if body.len() < pos + 20 {
+            return None;
+        }
+        let hi = u64::from_le_bytes(body[pos..pos + 8].try_into().ok()?);
+        let lo = u64::from_le_bytes(body[pos + 8..pos + 16].try_into().ok()?);
+        let len = u32::from_le_bytes(body[pos + 16..pos + 20].try_into().ok()?) as usize;
+        pos += 20;
+        if body.len() < pos + len {
+            return None;
+        }
+        entries.push((Fp128 { hi, lo }, body[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    (pos == body.len()).then_some(entries)
+}
+
+fn checksum(bytes: &[u8]) -> Fp128 {
+    let mut h = StableHasher::new();
+    h.write_str("ccm2-snapshot/v1");
+    h.write(bytes);
+    h.finish()
+}
+
+impl crate::service::CompileService {
+    /// Persists the shared store into a new snapshot image (crash-atomic
+    /// write); returns the image path. Call at any point — the store
+    /// mutex makes the export a consistent cut.
+    pub fn snapshot(&self, snaps: &SnapshotStore) -> io::Result<PathBuf> {
+        snaps.save(self.store())
+    }
+
+    /// Starts a service whose store is restored from the newest valid
+    /// snapshot in `snaps` (torn images are quarantined, recovery falls
+    /// back to the last good one; a fresh directory starts cold). LRU
+    /// recency order is preserved across the restart.
+    pub fn restore(
+        config: crate::service::ServeConfig,
+        snaps: &SnapshotStore,
+    ) -> io::Result<crate::service::CompileService> {
+        let store = SharedStore::new(config.store_budget);
+        if let Some(entries) = snaps.load_latest()?.entries {
+            store.import(&entries);
+        }
+        Ok(crate::service::CompileService::start_with_store(
+            config,
+            std::sync::Arc::new(store),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fp128 {
+        Fp128 { hi: n, lo: !n }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_entries_and_order() {
+        let dir = tmp_dir("rt");
+        let snaps = SnapshotStore::new(&dir).unwrap();
+        let store = SharedStore::new(1024);
+        use ccm2_incr::ArtifactStore as _;
+        store.store(fp(1), b"one");
+        store.store(fp(2), b"two");
+        store.load(fp(1)); // recency order now 2, 1
+        let path = snaps.save(&store).unwrap();
+        assert!(path.ends_with("snap-00000001.img"));
+        let loaded = snaps.load_latest().unwrap();
+        assert!(loaded.quarantined.is_empty());
+        assert_eq!(
+            loaded.entries.unwrap(),
+            vec![(fp(2), b"two".to_vec()), (fp(1), b"one".to_vec())]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_image_is_quarantined_and_older_good_image_wins() {
+        let dir = tmp_dir("torn");
+        let snaps = SnapshotStore::new(&dir).unwrap();
+        let store = SharedStore::new(1024);
+        use ccm2_incr::ArtifactStore as _;
+        store.store(fp(7), b"good");
+        snaps.save(&store).unwrap();
+        // A newer image, torn mid-write (no atomic rename would ever
+        // produce this; simulate external damage / partial disk).
+        let good = encode(&store.export());
+        fs::write(dir.join("snap-00000002.img"), &good[..good.len() / 2]).unwrap();
+        let loaded = snaps.load_latest().unwrap();
+        assert_eq!(loaded.quarantined.len(), 1);
+        assert_eq!(snaps.quarantined_count(), 1);
+        assert_eq!(loaded.entries.unwrap(), vec![(fp(7), b"good".to_vec())]);
+        // The torn image is gone from the active set: a second load
+        // does not re-quarantine.
+        assert!(snaps.load_latest().unwrap().quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_and_version_skew_fail_validation() {
+        let store = SharedStore::new(1024);
+        use ccm2_incr::ArtifactStore as _;
+        store.store(fp(3), b"payload");
+        let good = encode(&store.export());
+        assert!(decode(&good).is_some());
+        let mut flipped = good.clone();
+        flipped[MAGIC.len() + 9] ^= 0x01;
+        assert!(decode(&flipped).is_none(), "bit flip detected");
+        let mut vskew = good.clone();
+        vskew[MAGIC.len()] = 99; // version byte
+        assert!(decode(&vskew).is_none(), "future version rejected");
+        assert!(decode(&good[..10]).is_none(), "truncation detected");
+        assert!(decode(b"").is_none());
+        let _ = &good;
+    }
+
+    #[test]
+    fn empty_dir_restores_cold() {
+        let dir = tmp_dir("cold");
+        let snaps = SnapshotStore::new(&dir).unwrap();
+        let loaded = snaps.load_latest().unwrap();
+        assert!(loaded.entries.is_none());
+        assert!(loaded.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -112,6 +112,39 @@ impl SharedStore {
         }
     }
 
+    /// Every live entry in recency order, least recently used first —
+    /// the snapshot wire order: replaying [`SharedStore::import`] (or
+    /// `store`) in this order rebuilds the same LRU eviction order.
+    pub fn export(&self) -> Vec<(Fp128, Vec<u8>)> {
+        let inner = self.inner.lock();
+        inner
+            .lru
+            .entries_by_recency()
+            .into_iter()
+            .map(|fp| (fp, inner.map.get(&fp).cloned().expect("lru/map in sync")))
+            .collect()
+    }
+
+    /// Replays restored entries into the store, preserving the order
+    /// given (oldest first). Unlike `store`, this bypasses fault
+    /// injection and the insertion counter: a restore is not workload,
+    /// and it must not re-corrupt entries that were corrupted (and
+    /// possibly quarantined) in their first life.
+    pub fn import(&self, entries: &[(Fp128, Vec<u8>)]) {
+        let mut inner = self.inner.lock();
+        for (fp, bytes) in entries {
+            let admission = inner.lru.admit(*fp, bytes.len() as u64);
+            for victim in &admission.evict {
+                inner.map.remove(victim);
+            }
+            if admission.accepted {
+                inner.map.insert(*fp, bytes.clone());
+            }
+        }
+        inner.peak_bytes = inner.peak_bytes.max(inner.lru.total());
+        debug_assert_eq!(inner.map.len(), inner.lru.len());
+    }
+
     /// Snapshot of counters and occupancy.
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.lock();
@@ -263,6 +296,30 @@ mod tests {
         assert_eq!(st.quarantined, 1);
         assert_eq!(st.entries, 1);
         assert_eq!(st.bytes_in_use, 4, "LRU re-accounted after quarantine");
+    }
+
+    #[test]
+    fn export_import_preserves_entries_and_lru_order() {
+        let s = SharedStore::new(100);
+        s.store(fp(1), b"one");
+        s.store(fp(2), b"two");
+        s.store(fp(3), b"three");
+        s.load(fp(1)); // order: 2, 3, 1 (oldest first)
+        let exported = s.export();
+        assert_eq!(
+            exported.iter().map(|(f, _)| *f).collect::<Vec<_>>(),
+            vec![fp(2), fp(3), fp(1)]
+        );
+        let restored = SharedStore::new(100);
+        restored.import(&exported);
+        assert_eq!(restored.export(), exported);
+        // LRU behavior survives: the pre-restart victim is still first.
+        let taken = 3 + 3 + 5;
+        restored.store(fp(4), &vec![9u8; 100 - taken + 1]);
+        assert!(restored.load(fp(2)).is_none(), "old LRU victim evicted");
+        assert!(restored.load(fp(1)).is_some());
+        let st = restored.stats();
+        assert_eq!(st.insertions, 1, "imports are not counted as insertions");
     }
 
     #[test]

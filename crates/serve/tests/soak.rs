@@ -21,6 +21,7 @@ fn request(e: &ServeEvent) -> CompileRequest {
         analyze: false,
         faults: None,
         task_deadline: None,
+        max_stream_retries: 0,
     }
 }
 

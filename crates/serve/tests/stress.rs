@@ -36,6 +36,7 @@ fn request(
         analyze: false,
         faults: None,
         task_deadline: None,
+        max_stream_retries: 0,
     }
 }
 

@@ -146,6 +146,25 @@ pub fn serve_load(params: &ServeLoadParams) -> Vec<ServeEvent> {
         .collect()
 }
 
+/// Seeded kill points for crash/restart drills over a serve load: `n`
+/// distinct event indices in `1..params.events`, sorted ascending, so a
+/// drill always kills with at least one request served and at least one
+/// still to come. Derived from the master seed on a *different* stream
+/// than the load itself, so asking for kill points never perturbs the
+/// generated events.
+pub fn kill_points(params: &ServeLoadParams, n: usize) -> Vec<usize> {
+    if params.events < 2 || n == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x4b11_1bd5);
+    let mut points = std::collections::BTreeSet::new();
+    let want = n.min(params.events - 1);
+    while points.len() < want {
+        points.insert(rng.gen_range(1..params.events));
+    }
+    points.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +214,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn kill_points_are_deterministic_sorted_and_interior() {
+        let p = ServeLoadParams::default();
+        let a = kill_points(&p, 3);
+        assert_eq!(a, kill_points(&p, 3), "same seed, same points");
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct: {a:?}");
+        assert!(
+            a.iter().all(|&k| k >= 1 && k < p.events),
+            "interior points only: {a:?}"
+        );
+        // The points ride their own seed stream: asking for them does
+        // not change the load, and a different seed moves them.
+        let with = serve_load(&p);
+        let without = serve_load(&p);
+        assert_eq!(with.len(), without.len());
+        let b = kill_points(&ServeLoadParams { seed: 0x1234, ..p }, 3);
+        assert_ne!(a, b, "seed-sensitive");
+        // Degenerate loads have no interior index to kill at.
+        let tiny = ServeLoadParams {
+            events: 1,
+            ..ServeLoadParams::default()
+        };
+        assert!(kill_points(&tiny, 3).is_empty());
+        // More points than interior indices clamps instead of spinning.
+        let short = ServeLoadParams {
+            events: 4,
+            ..ServeLoadParams::default()
+        };
+        assert_eq!(kill_points(&short, 10).len(), 3);
     }
 
     #[test]
