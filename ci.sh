@@ -47,6 +47,15 @@ cargo test -q --test watchdog
 cargo test -q -p ccm2-serve --test restart
 cargo run -q --release -p ccm2-bench --bin reproduce -- recover
 
+echo "== interprocedural lock-order analysis: static deadlock prediction =="
+# Cross-procedure re-LOCK and lock-order-cycle predictions must be
+# byte-identical to the sequential reference under every DKY strategy and
+# both executors, survive warm re-analysis from the summary cache, and
+# the reproduce driver must show zero static false negatives against the
+# runtime wait-for-graph drills.
+cargo test -q --test lockorder
+cargo run -q --release -p ccm2-bench --bin reproduce -- locks
+
 echo "== incremental cache: format-version bump guard =="
 # Any change to the on-disk entry encoding must bump FORMAT_VERSION, and
 # every bump must come with a mismatch-invalidation test for the new
@@ -55,6 +64,17 @@ ver=$(grep -o 'FORMAT_VERSION: u32 = [0-9]*' crates/incr/src/entry.rs | grep -o 
 if ! grep -q "version_${ver}_mismatch_invalidates" crates/incr/src/entry.rs; then
   echo "FORMAT_VERSION is ${ver} but crates/incr/src/entry.rs has no" >&2
   echo "version_${ver}_mismatch_invalidates test — add one for the new version." >&2
+  exit 1
+fi
+
+echo "== lock summaries: format-version bump guard =="
+# Same rule for the interprocedural lock-summary wire format: bumping
+# SUMMARY_FORMAT_VERSION requires a matching mismatch-invalidation test
+# (forged future-version blobs must read as cache misses).
+sver=$(grep -o 'SUMMARY_FORMAT_VERSION: u32 = [0-9]*' crates/analysis/src/summary.rs | grep -o '[0-9]*$')
+if ! grep -q "summary_version_${sver}_mismatch_invalidates" crates/analysis/src/summary.rs; then
+  echo "SUMMARY_FORMAT_VERSION is ${sver} but crates/analysis/src/summary.rs has no" >&2
+  echo "summary_version_${sver}_mismatch_invalidates test — add one for the new version." >&2
   exit 1
 fi
 

@@ -41,8 +41,14 @@
 //! * **LOCK discipline** — re-`LOCK` of a mutex designator already held,
 //!   and a call into module `M` while holding a mutex `M.…` (the
 //!   Modula-2+ self-deadlock pattern).
+//!
+//! On top of the per-unit lints, the walk records each unit's lock/call
+//! events as a [`UnitSummary`] ([`callgraph`]); the drivers collect the
+//! summaries through the [`AnalysisHub`] and run the interprocedural
+//! lock-order pass ([`lockorder`]) once, after every unit. Summaries
+//! cache through `ccm2-incr` in the [`summary`] wire format.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use parking_lot::Mutex;
 
@@ -53,6 +59,14 @@ use ccm2_syntax::ast::{
     CaseLabel, Decl, Expr, ExprKind, Import, ProcHeading, SetElem, Stmt, StmtKind, TypeExpr,
     TypeExprKind,
 };
+
+pub mod callgraph;
+pub mod lockorder;
+pub mod summary;
+
+pub use callgraph::{CallSite, LockAcquire, UnitSummary};
+pub use lockorder::{lock_order_pass, LockStats};
+pub use summary::{decode_summary, encode_summary, SummaryDecodeError, SUMMARY_FORMAT_VERSION};
 
 /// What kind of compilation unit a lint pass covers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,18 +85,23 @@ pub struct UnitAnalysis {
     /// Every name mentioned in the unit (for the unused-import union and
     /// the unused-local check).
     pub used: HashSet<Symbol>,
+    /// The unit's lock/call events for the interprocedural pass.
+    pub summary: UnitSummary,
     /// Diagnostics reported.
     pub findings: usize,
     /// AST nodes visited (the `Work::Analyze` charge).
     pub work: u64,
 }
 
-/// Order-independent accumulator for the per-unit used-name sets; the
-/// concurrent driver's `Analyze` tasks absorb into it in whatever order
-/// they finish, and set union is commutative.
+/// Order-independent accumulator for the per-unit used-name sets and
+/// unit summaries; the concurrent driver's `Analyze` tasks absorb into
+/// it in whatever order they finish. Set union is commutative, and the
+/// lock-order pass sorts the summaries by unit name before use, so the
+/// absorption order never shows in the output.
 #[derive(Debug, Default)]
 pub struct AnalysisHub {
     used: Mutex<HashSet<Symbol>>,
+    summaries: Mutex<Vec<UnitSummary>>,
 }
 
 impl AnalysisHub {
@@ -100,15 +119,29 @@ impl AnalysisHub {
     pub fn take_used(&self) -> HashSet<Symbol> {
         std::mem::take(&mut self.used.lock())
     }
+
+    /// Deposits one unit's lock/call summary (live or cache-replayed).
+    pub fn absorb_summary(&self, summary: UnitSummary) {
+        self.summaries.lock().push(summary);
+    }
+
+    /// Takes every deposited summary (call once, for the lock-order
+    /// pass). Order is absorption order; the pass sorts internally.
+    pub fn take_summaries(&self) -> Vec<UnitSummary> {
+        std::mem::take(&mut self.summaries.lock())
+    }
 }
 
 /// Runs every per-unit lint over one unit and reports findings to
 /// `sink`. `decls` and `body` are the unit's *own* declarations and
 /// statement list; nested procedures among `decls` are analyzed as
-/// separate units by the caller and treated as opaque here.
+/// separate units by the caller and treated as opaque here. `unit` is
+/// the unit's dotted code name (`M`, `M.P.Q`), recorded on the summary
+/// for the interprocedural lock-order pass.
 pub fn analyze_unit(
     interner: &Interner,
     file: FileId,
+    unit: &str,
     kind: UnitKind,
     decls: &[Decl],
     body: &[Stmt],
@@ -124,6 +157,8 @@ pub fn analyze_unit(
         tracked: HashMap::new(),
         reported_uninit: HashSet::new(),
         locks: Vec::new(),
+        lock_reports: BTreeSet::new(),
+        summary: UnitSummary::new(unit),
     };
     // Track the unit's own scalar VAR locals for use-before-init.
     for d in decls {
@@ -150,8 +185,16 @@ pub fn analyze_unit(
             }
         }
     }
+    // Lock-discipline findings flush once, deduplicated and sorted by
+    // (span, message): a site reached twice by the walk (branch arms are
+    // walked in cloned states) still reports exactly once.
+    let lock_reports = std::mem::take(&mut l.lock_reports);
+    for (lo, hi, message) in lock_reports {
+        l.report(ccm2_support::source::Span::new(lo, hi), message);
+    }
     UnitAnalysis {
         used: l.used,
+        summary: l.summary,
         findings: l.findings,
         work: l.work,
     }
@@ -215,6 +258,11 @@ struct Linter<'a> {
     reported_uninit: HashSet<Symbol>,
     /// Stack of held mutex designators (canonical strings).
     locks: Vec<String>,
+    /// Lock-discipline findings, deduplicated and sorted by
+    /// `(span.lo, span.hi, message)`; flushed once at end of unit.
+    lock_reports: BTreeSet<(u32, u32, String)>,
+    /// Lock/call events recorded for the interprocedural pass.
+    summary: UnitSummary,
 }
 
 impl Linter<'_> {
@@ -485,11 +533,17 @@ impl Linter<'_> {
     ) {
         let canon = self.canonical(designator);
         if self.locks.contains(&canon) {
-            self.report(
-                stmt.span,
+            self.lock_reports.insert((
+                stmt.span.lo,
+                stmt.span.hi,
                 format!("LOCK of `{canon}` while it is already held (nested re-LOCK)"),
-            );
+            ));
         }
+        self.summary.acquires.push(callgraph::LockAcquire {
+            held: self.locks.clone(),
+            lock: canon.clone(),
+            span: stmt.span,
+        });
         self.locks.push(canon);
         // The body runs exactly once: assignments propagate.
         self.walk_stmts(body, assigned);
@@ -548,6 +602,7 @@ impl Linter<'_> {
         if let ExprKind::Call { callee, args } = &call.kind {
             self.walk_expr(callee, assigned);
             self.check_lock_reentry(callee);
+            self.record_call(callee);
             let mut out_params: Vec<Symbol> = Vec::new();
             for arg in args {
                 if let ExprKind::Name(id) = &arg.kind {
@@ -585,12 +640,23 @@ impl Linter<'_> {
             return;
         };
         let proc = self.interner.resolve(field.name);
-        self.report(
-            callee.span,
+        self.lock_reports.insert((
+            callee.span.lo,
+            callee.span.hi,
             format!(
                 "call to `{module_str}.{proc}` while holding `{held}` may re-enter the locking module"
             ),
-        );
+        ));
+    }
+
+    /// Records a call site (callee designator + held locks) on the
+    /// unit's summary for the interprocedural pass.
+    fn record_call(&mut self, callee: &Expr) {
+        self.summary.calls.push(callgraph::CallSite {
+            held: self.locks.clone(),
+            callee: self.canonical(callee),
+            span: callee.span,
+        });
     }
 
     fn walk_expr(&mut self, expr: &Expr, assigned: &HashSet<Symbol>) {
@@ -619,6 +685,7 @@ impl Linter<'_> {
                 // here; out-name arguments are simply not init-checked.
                 self.walk_expr(callee, assigned);
                 self.check_lock_reentry(callee);
+                self.record_call(callee);
                 for arg in args {
                     if let ExprKind::Name(id) = &arg.kind {
                         self.work += 1;
@@ -660,7 +727,8 @@ mod tests {
     use ccm2_syntax::parser::parse_implementation;
 
     /// Parses a module and runs the module-unit lints plus one
-    /// procedure unit per Local procedure, mirroring the drivers.
+    /// procedure unit per Local procedure, then the interprocedural
+    /// lock-order pass — mirroring the drivers.
     fn lint(source: &str) -> (Vec<String>, usize) {
         let interner = Interner::new();
         let sources = SourceMap::new();
@@ -669,11 +737,14 @@ mod tests {
         let tokens: Vec<_> = Lexer::new(&file, &interner, &sink).collect();
         let module = parse_implementation(&tokens, &interner, &sink).expect("test module parses");
         assert!(!sink.has_errors(), "test module must be clean Modula-2+");
+        let module_name = interner.resolve(module.name.name);
         let mut used = HashSet::new();
         let mut findings = 0;
+        let mut summaries = Vec::new();
         let ua = analyze_unit(
             &interner,
             file.id(),
+            &module_name,
             UnitKind::Module,
             &module.decls,
             &module.body,
@@ -681,14 +752,21 @@ mod tests {
         );
         findings += ua.findings;
         used.extend(ua.used);
+        summaries.push(ua.summary);
         // Walk procedures (recursively) as separate units.
-        let mut queue: Vec<&Decl> = module.decls.iter().collect();
-        while let Some(d) = queue.pop() {
+        let mut queue: Vec<(String, &Decl)> = module
+            .decls
+            .iter()
+            .map(|d| (module_name.clone(), d))
+            .collect();
+        while let Some((prefix, d)) = queue.pop() {
             if let Decl::Procedure(p) = d {
                 if let ccm2_syntax::ast::ProcBody::Local(local) = &p.body {
+                    let name = format!("{prefix}.{}", interner.resolve(p.heading.name.name));
                     let ua = analyze_unit(
                         &interner,
                         file.id(),
+                        &name,
                         UnitKind::Procedure,
                         &local.decls,
                         &local.body,
@@ -696,11 +774,16 @@ mod tests {
                     );
                     findings += ua.findings;
                     used.extend(ua.used);
-                    queue.extend(local.decls.iter());
+                    summaries.push(ua.summary);
+                    queue.extend(local.decls.iter().map(|d| (name.clone(), d)));
                 }
             }
         }
         findings += check_unused_imports(&interner, file.id(), &module.imports, &used, &sink);
+        let (lock_diags, _) = lock_order_pass(&summaries, file.id());
+        for d in lock_diags {
+            sink.report(d);
+        }
         let msgs = sink
             .take()
             .into_iter()
@@ -958,6 +1041,143 @@ mod tests {
         );
         assert!(
             msgs.iter().all(|m| !m.contains("before initialization")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn relock_through_else_arm_reported() {
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR gR: INTEGER;
+             PROCEDURE P(c: INTEGER);
+             VAR x: INTEGER;
+             BEGIN
+               LOCK gR DO
+                 IF c > 0 THEN x := 1
+                 ELSE LOCK gR DO x := 2 END
+                 END
+               END
+             END P;
+             BEGIN gR := 0 END T.",
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("LOCK of `gR` while it is already held")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn relock_through_loop_arm_reported() {
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR gR: INTEGER;
+             PROCEDURE P(c: INTEGER);
+             VAR x: INTEGER;
+             BEGIN
+               LOCK gR DO
+                 WHILE c > 0 DO LOCK gR DO x := 1 END END
+               END
+             END P;
+             BEGIN gR := 0 END T.",
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("LOCK of `gR` while it is already held")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn lock_diagnostics_report_once_per_site() {
+        // Two distinct re-LOCK sites under the same outer LOCK: one
+        // report each, and the dedupe set must not merge them.
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR gR: INTEGER;
+             PROCEDURE P(c: INTEGER);
+             VAR x: INTEGER;
+             BEGIN
+               LOCK gR DO
+                 IF c > 0 THEN LOCK gR DO x := 1 END
+                 ELSE LOCK gR DO x := 2 END
+                 END
+               END
+             END P;
+             BEGIN gR := 0 END T.",
+        );
+        assert_eq!(
+            msgs.iter()
+                .filter(|m| m.contains("LOCK of `gR` while it is already held"))
+                .count(),
+            2,
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn cross_procedure_relock_detected_from_source() {
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR mu: INTEGER;
+             PROCEDURE Grab();
+             BEGIN
+               LOCK mu DO mu := mu + 1 END
+             END Grab;
+             PROCEDURE P();
+             BEGIN
+               LOCK mu DO Grab() END
+             END P;
+             BEGIN END T.",
+        );
+        assert!(
+            msgs.iter().any(
+                |m| m.contains("call to `T.Grab` while holding `mu` may re-LOCK it")
+                    && m.contains("chain: T.P -> T.Grab, LOCK `mu` in T.Grab")
+            ),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn lock_order_cycle_detected_from_source() {
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR a, b: INTEGER;
+             PROCEDURE GrabA();
+             BEGIN LOCK a DO a := 1 END END GrabA;
+             PROCEDURE GrabB();
+             BEGIN LOCK b DO b := 1 END END GrabB;
+             PROCEDURE P();
+             BEGIN LOCK a DO GrabB() END END P;
+             PROCEDURE Q();
+             BEGIN LOCK b DO GrabA() END END Q;
+             BEGIN P(); Q() END T.",
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("potential deadlock: lock-order cycle among `a`, `b`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_lock_order_from_source_is_silent() {
+        let (msgs, _) = lint(
+            "IMPLEMENTATION MODULE T;
+             VAR a, b: INTEGER;
+             PROCEDURE GrabB();
+             BEGIN LOCK b DO b := 1 END END GrabB;
+             PROCEDURE P();
+             BEGIN LOCK a DO GrabB() END END P;
+             PROCEDURE Q();
+             BEGIN LOCK a DO LOCK b DO b := 2 END END END Q;
+             BEGIN P(); Q() END T.",
+        );
+        assert!(
+            msgs.iter()
+                .all(|m| !m.contains("deadlock") && !m.contains("re-LOCK")),
             "{msgs:?}"
         );
     }

@@ -7,6 +7,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- fig4 fig5 fig7
 //! cargo run --release -p ccm2-bench --bin reproduce -- overhead dky headings workcrews
 //! cargo run --release -p ccm2-bench --bin reproduce -- analyze
+//! cargo run --release -p ccm2-bench --bin reproduce -- locks
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults
@@ -77,6 +78,9 @@ fn main() {
     }
     if want("analyze") {
         println!("{}\n", bench::analyze());
+    }
+    if want("locks") {
+        println!("{}\n", bench::locks());
     }
     if want("incr") {
         println!("{}\n", bench::incr());

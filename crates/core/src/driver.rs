@@ -224,6 +224,9 @@ pub struct ConcurrentOutput {
     /// Incremental-cache counters; `Some` iff the compile ran with an
     /// active [`Options::incremental`] store.
     pub incr: Option<IncrStats>,
+    /// Interprocedural lock-order statistics; `Some` iff the compile ran
+    /// with [`Options::analyze`] and reached the whole-program lock pass.
+    pub locks: Option<ccm2_analysis::LockStats>,
     /// Degradation events (empty for a fault-free run). Each also has a
     /// corresponding error [`Diagnostic`] in `diagnostics`.
     pub errors: Vec<CompileError>,
@@ -298,6 +301,7 @@ pub fn compile_concurrent(
             imported_interfaces: 0,
             import_nesting_depth: 0,
             incr: None,
+            locks: None,
             errors: Vec::new(),
         },
     }
@@ -367,6 +371,9 @@ struct DriverState {
     /// Per-scope used-name sets captured from `Analyze` tasks, for
     /// recording cache entries.
     used_sets: HashMap<ScopeId, HashSet<Symbol>>,
+    /// Per-scope lock summaries captured from `Analyze` tasks, encoded
+    /// into cache entries (carve-relative) when recording.
+    summaries: HashMap<ScopeId, ccm2_analysis::UnitSummary>,
     incr_stats: IncrStats,
 }
 
@@ -448,6 +455,7 @@ impl Driver {
                 pending_procs: Vec::new(),
                 decisions: None,
                 used_sets: HashMap::new(),
+                summaries: HashMap::new(),
                 incr_stats: IncrStats::default(),
             }),
         });
@@ -691,9 +699,11 @@ impl Driver {
     /// statement analysis, before code generation). Analysis tasks are
     /// pure AST walks: no prereqs and an empty wait-set, so they are
     /// always stack-eligible for blocked workers.
+    #[allow(clippy::too_many_arguments)] // one spawn site per stream kind
     fn spawn_analyze(
         self: &Arc<Self>,
         label: String,
+        unit: String,
         file: FileId,
         kind: ccm2_analysis::UnitKind,
         decls: Vec<Decl>,
@@ -710,6 +720,7 @@ impl Driver {
                 let ua = ccm2_analysis::analyze_unit(
                     &sema.interner,
                     file,
+                    &unit,
                     kind,
                     &decls,
                     &stmts,
@@ -719,11 +730,15 @@ impl Driver {
                 if let Some(scope) = scope {
                     if this.incr.is_some() {
                         // Cache entries must carry the per-unit used-name
-                        // set (a spliced unit can't re-run its analysis).
-                        this.st.lock().used_sets.insert(scope, ua.used.clone());
+                        // set and lock summary (a spliced unit can't
+                        // re-run its analysis).
+                        let mut st = this.st.lock();
+                        st.used_sets.insert(scope, ua.used.clone());
+                        st.summaries.insert(scope, ua.summary.clone());
                     }
                 }
                 this.hub.absorb(ua.used);
+                this.hub.absorb_summary(ua.summary);
             }),
         );
         t.weight = weight;
@@ -855,8 +870,10 @@ impl Driver {
         if self.analyze {
             let file = self.tables().scope(scope).file();
             self.st.lock().main_imports = Some((file, imports.clone()));
+            let module_str = self.interner.resolve(module_name);
             self.spawn_analyze(
-                format!("analyze({})", self.interner.resolve(module_name)),
+                format!("analyze({module_str})"),
+                module_str,
                 file,
                 ccm2_analysis::UnitKind::Module,
                 unit_decls,
@@ -951,8 +968,10 @@ impl Driver {
             let stmts = local.body.clone();
             if self.analyze {
                 let file = self.tables().scope(p.scope).file();
+                let unit_str = self.interner.resolve(p.code_name);
                 self.spawn_analyze(
-                    format!("analyze({})", self.interner.resolve(p.code_name)),
+                    format!("analyze({unit_str})"),
+                    unit_str,
                     file,
                     ccm2_analysis::UnitKind::Procedure,
                     local.decls.clone(),
@@ -1051,6 +1070,7 @@ impl Driver {
             let file = self.tables().scope(scope).file();
             self.spawn_analyze(
                 format!("analyze({name_str})"),
+                name_str.clone(),
                 file,
                 ccm2_analysis::UnitKind::Procedure,
                 unit_decls,
@@ -1177,7 +1197,28 @@ impl Driver {
             }
             let bytes = incr.store.load(fp)?;
             match decode_entry(&bytes, &self.interner) {
-                Ok(entry) => Some(Arc::new(entry)),
+                // A proc entry recorded under analysis carries a lock
+                // summary; an undecodable one (format bump, corruption)
+                // makes the whole entry a miss — the stream recompiles
+                // and re-derives its summary live.
+                Ok(entry) => {
+                    if self.analyze && !entry.summary.is_empty() {
+                        if let Err(e) = ccm2_analysis::decode_summary(&entry.summary, 0) {
+                            stats.bad_entries += 1;
+                            incr.store.quarantine(fp);
+                            self.sink.report(Diagnostic {
+                                severity: Severity::Note,
+                                file: FileId(0),
+                                span: Span { lo: 0, hi: 0 },
+                                message: format!(
+                                    "incremental cache entry for `{what}` ignored: {e}"
+                                ),
+                            });
+                            return None;
+                        }
+                    }
+                    Some(Arc::new(entry))
+                }
                 Err(e) => {
                     stats.bad_entries += 1;
                     incr.store.quarantine(fp);
@@ -1336,6 +1377,13 @@ impl Driver {
             let used: HashSet<Symbol> =
                 entry.used.iter().map(|u| sema.interner.intern(u)).collect();
             self.hub.absorb(used);
+            // Rebase the cached lock summary onto this run's carve, the
+            // same way the replayed diagnostics above are rebased. Load
+            // already validated the blob; a failure here is defensive.
+            if let Ok(mut summary) = ccm2_analysis::decode_summary(&entry.summary, carve.lo) {
+                summary.from_cache = true;
+                self.hub.absorb_summary(summary);
+            }
         }
         self.merger
             .add_unit(entry.unit.clone(), sema.meter.as_ref());
@@ -1356,11 +1404,20 @@ impl Driver {
         diagnostics: &[Diagnostic],
         code_names: &HashMap<ScopeId, Symbol>,
         used_sets: &HashMap<ScopeId, HashSet<Symbol>>,
+        summaries: &HashMap<ScopeId, ccm2_analysis::UnitSummary>,
+        lock_keys: &HashSet<(u32, u32, String)>,
         main_name: Option<Symbol>,
     ) {
         let mut per_scope: HashMap<ScopeId, Vec<CachedDiag>> = HashMap::new();
         for d in diagnostics {
             if d.file != FileId(0) {
+                continue;
+            }
+            // Whole-program lock-pass diagnostics are derived in `finish`
+            // from every unit's summary; a warm run re-derives them from
+            // cached summaries, so caching them per-stream would replay
+            // them twice.
+            if lock_keys.contains(&(d.span.lo, d.span.hi, d.message.clone())) {
                 continue;
             }
             let owner = dec
@@ -1396,24 +1453,33 @@ impl Driver {
                 .unwrap_or_default();
             used.sort();
             used.dedup();
+            // Summary spans are stored carve-relative, like the cached
+            // diagnostics: a splice into a shifted file rebases both.
+            let summary = summaries
+                .get(scope)
+                .map(|s| ccm2_analysis::encode_summary(s, pd.carve.lo))
+                .unwrap_or_default();
             let data = CacheEntryData {
                 unit: unit.clone(),
                 diags,
                 used,
                 findings,
+                summary,
             };
             incr.store
                 .store(pd.fp, &encode_entry(&data, &self.interner));
         }
         if dec.module_entry.is_none() {
             if let Some(unit) = main_name.and_then(|m| image.unit(m)) {
-                // The module unit carries no diagnostics: everything at
-                // module level is re-emitted by the live module parse.
+                // The module unit carries no diagnostics and no summary:
+                // everything at module level is re-derived by the live
+                // module parse (its Analyze task always runs).
                 let data = CacheEntryData {
                     unit: unit.clone(),
                     diags: vec![],
                     used: vec![],
                     findings: 0,
+                    summary: vec![],
                 };
                 incr.store
                     .store(dec.module_fp, &encode_entry(&data, &self.interner));
@@ -1437,10 +1503,14 @@ impl Driver {
             .map(|(s, (name, _))| (*s, *name))
             .collect();
         let used_sets = std::mem::take(&mut st.used_sets);
+        let summaries = std::mem::take(&mut st.summaries);
         let incr_stats = st.incr_stats;
         drop(st);
-        // Unused-import lint: every Analyze task has completed (the run
-        // is over), so the hub holds the full used-name union.
+        // Unused-import lint and the whole-program lock-order pass: every
+        // Analyze (and splice) task has completed — the run is over — so
+        // the hub holds the full used-name union and one summary per unit.
+        let mut locks: Option<ccm2_analysis::LockStats> = None;
+        let mut lock_keys: HashSet<(u32, u32, String)> = HashSet::new();
         if self.analyze {
             if let Some((file, imports)) = main_imports {
                 let used = self.hub.take_used();
@@ -1451,6 +1521,14 @@ impl Driver {
                     &used,
                     &self.sink,
                 );
+                let unit_summaries = self.hub.take_summaries();
+                let (lock_diags, lock_stats) =
+                    ccm2_analysis::lock_order_pass(&unit_summaries, file);
+                for d in lock_diags {
+                    lock_keys.insert((d.span.lo, d.span.hi, d.message.clone()));
+                    self.sink.report(d);
+                }
+                locks = Some(lock_stats);
             }
         }
         let mut image: Option<ModuleImage> = main_name.map(|name| {
@@ -1551,6 +1629,8 @@ impl Driver {
                     &diagnostics,
                     &code_names,
                     &used_sets,
+                    &summaries,
+                    &lock_keys,
                     main_name,
                 );
             }
@@ -1568,6 +1648,7 @@ impl Driver {
             imported_interfaces,
             import_nesting_depth,
             incr: self.incr.as_ref().map(|_| incr_stats),
+            locks,
             errors,
         }
     }

@@ -259,6 +259,7 @@ fn reconstructs_generated_modules() {
             nested_ratio: 0.3,
             lint_seeds: false,
             fault_seeds: false,
+            lock_seeds: false,
         });
         assert_reconstructs(&m.source);
     }
@@ -276,6 +277,7 @@ fn reconstructs_large_generated_module() {
         nested_ratio: 0.2,
         lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
     });
     assert_reconstructs(&m.source);
 }

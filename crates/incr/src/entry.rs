@@ -24,7 +24,8 @@ use ccm2_support::hash::Fp128;
 use ccm2_support::{Interner, Severity, Symbol};
 
 /// On-disk format version. See the module docs before touching this.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: added the opaque interprocedural lock-summary blob (`summary`).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"CCM2INCR";
 
@@ -56,6 +57,11 @@ pub struct CacheEntryData {
     pub used: Vec<String>,
     /// Lint findings the unit's analysis reported.
     pub findings: u32,
+    /// The unit's interprocedural lock summary, in the self-validating
+    /// `ccm2-analysis` wire format (`summary::encode_summary`, spans
+    /// carve-relative). Opaque here: this crate never interprets it, the
+    /// driver decodes it at splice time. Empty when analysis was off.
+    pub summary: Vec<u8>,
 }
 
 /// Why an entry failed to decode. All variants are handled identically by
@@ -487,6 +493,8 @@ pub fn encode_entry(entry: &CacheEntryData, interner: &Interner) -> Vec<u8> {
         w.str(name);
     }
     w.u32(entry.findings);
+    w.u32(entry.summary.len() as u32);
+    w.buf.extend_from_slice(&entry.summary);
     let checksum = Fp128::of(&w.buf);
     w.u64(checksum.hi);
     w.u64(checksum.lo);
@@ -541,6 +549,8 @@ pub fn decode_entry(bytes: &[u8], interner: &Interner) -> Result<CacheEntryData,
         used.push(r.str()?);
     }
     let findings = r.u32()?;
+    let n = r.u32()? as usize;
+    let summary = r.take(n)?.to_vec();
     if !r.done() {
         return Err(DecodeError::Malformed("trailing bytes"));
     }
@@ -549,6 +559,7 @@ pub fn decode_entry(bytes: &[u8], interner: &Interner) -> Result<CacheEntryData,
         diags,
         used,
         findings,
+        summary,
     })
 }
 
@@ -623,6 +634,8 @@ mod tests {
             }],
             used: vec!["Lib0".into(), "Q".into()],
             findings: 1,
+            // Opaque to this crate; any bytes round-trip.
+            summary: vec![0xCC, 0x4D, 0x32, 0x4C],
         }
     }
 
@@ -640,6 +653,7 @@ mod tests {
         assert_eq!(back.diags, entry.diags);
         assert_eq!(back.used, entry.used);
         assert_eq!(back.findings, entry.findings);
+        assert_eq!(back.summary, entry.summary);
         assert_eq!(b.resolve(back.unit.name), "M.P");
         assert_eq!(back.unit.frame, entry.unit.frame);
         assert_eq!(back.unit.code.len(), entry.unit.code.len());
@@ -680,13 +694,13 @@ mod tests {
     }
 
     #[test]
-    fn version_1_mismatch_invalidates_entry() {
+    fn version_2_mismatch_invalidates_entry() {
         // Forge an otherwise-valid entry claiming a future format version:
         // the checksum is recomputed so only the version check can reject
         // it. This test's name is pinned to FORMAT_VERSION by ci.sh —
         // bumping the constant without writing the new version's
         // invalidation/migration test fails CI.
-        assert_eq!(FORMAT_VERSION, 1, "rename this test when bumping");
+        assert_eq!(FORMAT_VERSION, 2, "rename this test when bumping");
         let interner = Interner::new();
         let bytes = encode_entry(&sample_entry(&interner), &interner);
         let mut forged = bytes[..bytes.len() - 16].to_vec();

@@ -68,6 +68,9 @@ pub struct CompileOutput {
     pub import_nesting_depth: usize,
     /// Number of procedures compiled.
     pub procedures: usize,
+    /// What the interprocedural lock-order pass did (`None` unless the
+    /// analysis phase ran).
+    pub locks: Option<ccm2_analysis::LockStats>,
 }
 
 impl CompileOutput {
@@ -148,6 +151,7 @@ pub fn compile_full(
             imported_interfaces: 0,
             import_nesting_depth: 0,
             procedures: 0,
+            locks: None,
         };
     };
 
@@ -201,10 +205,12 @@ pub fn compile_full(
     }
 
     // ---- analysis phase (opt-in dataflow lints) --------------------------
+    let mut locks = None;
     if analyze {
         let ua = ccm2_analysis::analyze_unit(
             &interner,
             main_file.id(),
+            &interner.resolve(module.name.name),
             ccm2_analysis::UnitKind::Module,
             &module.decls,
             &module.body,
@@ -212,11 +218,13 @@ pub fn compile_full(
         );
         meter.charge(Work::Analyze, ua.work);
         let mut used = ua.used;
+        let mut summaries = vec![ua.summary];
         for p in &all_procs {
             if let ProcBody::Local(local) = &p.body {
                 let ua = ccm2_analysis::analyze_unit(
                     &interner,
                     main_file.id(),
+                    &interner.resolve(p.code_name),
                     ccm2_analysis::UnitKind::Procedure,
                     &local.decls,
                     &local.body,
@@ -224,6 +232,7 @@ pub fn compile_full(
                 );
                 meter.charge(Work::Analyze, ua.work);
                 used.extend(ua.used);
+                summaries.push(ua.summary);
             }
         }
         ccm2_analysis::check_unused_imports(
@@ -233,6 +242,15 @@ pub fn compile_full(
             &used,
             &sink,
         );
+        // Interprocedural lock-order pass: summaries in phase order here;
+        // the concurrent driver collects the identical set through its
+        // AnalysisHub, and the pass sorts internally, so the diagnostics
+        // match byte for byte.
+        let (lock_diags, lock_stats) = ccm2_analysis::lock_order_pass(&summaries, main_file.id());
+        for d in lock_diags {
+            sink.report(d);
+        }
+        locks = Some(lock_stats);
     }
 
     // ---- code generation + merge -----------------------------------------
@@ -261,6 +279,7 @@ pub fn compile_full(
         imported_interfaces,
         import_nesting_depth,
         procedures,
+        locks,
     }
 }
 

@@ -45,6 +45,14 @@ pub struct GenParams {
     /// fault-injection tests target by site name. RNG-independent: the
     /// rest of the module is byte-identical with the flag off.
     pub fault_seeds: bool,
+    /// Append fixed-text procedures with known interprocedural lock
+    /// shapes: `LockGrabX` acquires module lock `lkX`, `LockEdgeXY`
+    /// acquires `lkX` and calls `LockGrabY` (a lock-order edge — AB, BC
+    /// and CA close a cycle, DE is the acyclic control), and `LockReent`
+    /// calls `LockGrabA` while already holding `lkA`. RNG-independent,
+    /// like `fault_seeds`. [`lock_seed_scenarios`] describes the runtime
+    /// drills these shapes support.
+    pub lock_seeds: bool,
 }
 
 impl GenParams {
@@ -60,8 +68,66 @@ impl GenParams {
             nested_ratio: 0.15,
             lint_seeds: false,
             fault_seeds: false,
+            lock_seeds: false,
         }
     }
+}
+
+/// One runtime deadlock drill over the [`GenParams::lock_seeds`]
+/// procedures: each simulated thread enters one seeded entry point,
+/// holds its outer lock and waits for the lock its callee acquires.
+/// The wait-for-graph tests build exactly this shape and check the
+/// runtime verdict against the static prediction.
+#[derive(Clone, Debug)]
+pub struct LockScenario {
+    /// Scenario name (test labels).
+    pub name: &'static str,
+    /// `(entry procedure, lock held, lock waited for)` per thread.
+    pub threads: Vec<(&'static str, &'static str, &'static str)>,
+    /// Whether this schedule deadlocks at runtime (wait-for cycle).
+    pub deadlocks: bool,
+    /// Locks on the runtime cycle (sorted), empty when `!deadlocks`.
+    pub cycle: Vec<&'static str>,
+}
+
+/// The drill set over the seeded lock procedures. Every scenario that
+/// deadlocks at runtime is also statically predicted (zero false
+/// negatives): `abc-cycle` by the lock-order-cycle diagnostic,
+/// `self-relock` by the cross-procedure re-LOCK diagnostic. The
+/// non-deadlocking schedules are controls — `ab-bc-chain` runs two
+/// thirds of a cycle the static pass still (soundly) warns about, and
+/// `de-acyclic` is warning-free.
+pub fn lock_seed_scenarios() -> Vec<LockScenario> {
+    vec![
+        LockScenario {
+            name: "abc-cycle",
+            threads: vec![
+                ("LockEdgeAB", "lkA", "lkB"),
+                ("LockEdgeBC", "lkB", "lkC"),
+                ("LockEdgeCA", "lkC", "lkA"),
+            ],
+            deadlocks: true,
+            cycle: vec!["lkA", "lkB", "lkC"],
+        },
+        LockScenario {
+            name: "ab-bc-chain",
+            threads: vec![("LockEdgeAB", "lkA", "lkB"), ("LockEdgeBC", "lkB", "lkC")],
+            deadlocks: false,
+            cycle: vec![],
+        },
+        LockScenario {
+            name: "de-acyclic",
+            threads: vec![("LockEdgeDE", "lkD", "lkE")],
+            deadlocks: false,
+            cycle: vec![],
+        },
+        LockScenario {
+            name: "self-relock",
+            threads: vec![("LockReent", "lkA", "lkA")],
+            deadlocks: true,
+            cycle: vec!["lkA"],
+        },
+    ]
 }
 
 /// A generated compilation unit: main source plus its interface library.
@@ -332,6 +398,32 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
         );
     }
 
+    // Lock-seed procedures: fixed text like the fault seeds, appended
+    // after every RNG-driven declaration so the rest of the module is
+    // unchanged by the flag. Grabbers precede the edge procedures, so
+    // every call site targets an already-declared procedure.
+    if params.lock_seeds {
+        src.push_str("VAR lkA, lkB, lkC, lkD, lkE : Rec;\n");
+        for l in ["A", "B", "C", "E"] {
+            src.push_str(&format!(
+                "PROCEDURE LockGrab{l}(p0, p1 : INTEGER) : INTEGER;\nVAR l0 : INTEGER;\nBEGIN\n  LOCK lk{l} DO l0 := p0 + p1 END;\n  RETURN l0\nEND LockGrab{l};\n\n"
+            ));
+        }
+        for (edge, held, grab) in [
+            ("AB", "A", "B"),
+            ("BC", "B", "C"),
+            ("CA", "C", "A"),
+            ("DE", "D", "E"),
+        ] {
+            src.push_str(&format!(
+                "PROCEDURE LockEdge{edge}(p0, p1 : INTEGER) : INTEGER;\nVAR l0 : INTEGER;\nBEGIN\n  LOCK lk{held} DO l0 := LockGrab{grab}(p0, p1) END;\n  RETURN l0\nEND LockEdge{edge};\n\n"
+            ));
+        }
+        src.push_str(
+            "PROCEDURE LockReent(p0, p1 : INTEGER) : INTEGER;\nVAR l0 : INTEGER;\nBEGIN\n  LOCK lkA DO l0 := LockGrabA(p0, p1) END;\n  RETURN l0\nEND LockReent;\n\n",
+        );
+    }
+
     // Module body: one statement-analysis/code-generation task at the
     // very end of the compilation — the paper's sequential tail. Its
     // volume scales with program size.
@@ -343,6 +435,11 @@ pub fn generate(params: &GenParams) -> GeneratedModule {
     if params.fault_seeds {
         src.push_str(
             "  gTotal := gTotal + FaultShort(gCount, 1) + FaultLong(gCount, 2) + FaultNest(gCount, 3);\n",
+        );
+    }
+    if params.lock_seeds {
+        src.push_str(
+            "  gTotal := gTotal + LockEdgeAB(gCount, 1) + LockEdgeBC(gCount, 2) + LockEdgeCA(gCount, 3) + LockEdgeDE(gCount, 4) + LockReent(gCount, 5);\n",
         );
     }
     let body_stmts = params.procedures * 2;
@@ -681,6 +778,7 @@ mod tests {
             nested_ratio: 0.0,
             lint_seeds: false,
             fault_seeds: false,
+            lock_seeds: false,
         };
         let m = generate(&params);
         let out = compile(&m.source, &m.defs);
@@ -705,6 +803,7 @@ mod tests {
             nested_ratio: 0.4,
             lint_seeds: false,
             fault_seeds: false,
+            lock_seeds: false,
         };
         let m = generate(&params);
         assert!(m.source.contains("N0("), "has nested procedures");
@@ -774,6 +873,55 @@ mod tests {
             .find("PROCEDURE FaultShort")
             .expect("seeds appended");
         assert_eq!(&m.source[..split], &plain.source[..split]);
+    }
+
+    #[test]
+    fn lock_seeded_modules_compile_and_are_statically_predicted() {
+        let base = GenParams::small("LockSeed", 91);
+        let seeded = GenParams {
+            lock_seeds: true,
+            ..base.clone()
+        };
+        let plain = generate(&base);
+        let m = generate(&seeded);
+        for needle in ["LockGrabA", "LockEdgeCA", "LockReent"] {
+            assert!(m.source.contains(needle), "missing `{needle}`");
+        }
+        // Byte-identical prefix: the seeds only append, never perturb the
+        // RNG-driven part of the module.
+        let split = m.source.find("VAR lkA").expect("seeds appended");
+        assert_eq!(&m.source[..split], &plain.source[..split]);
+        let out = ccm2_seq::compile_full(
+            &m.source,
+            &m.defs,
+            std::sync::Arc::new(ccm2_support::Interner::new()),
+            std::sync::Arc::new(ccm2_support::work::NullMeter),
+            ccm2_sema::declare::HeadingMode::CopyToChild,
+            true,
+        );
+        assert!(out.is_ok(), "{:#?}", out.diagnostics);
+        let msgs: Vec<String> = out.diagnostics.iter().map(|d| d.message.clone()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m
+                    .contains("potential deadlock: lock-order cycle among `lkA`, `lkB`, `lkC`")),
+            "no cycle prediction among {msgs:#?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m
+                    .contains("call to `LockSeed.LockGrabA` while holding `lkA` may re-LOCK it")),
+            "no re-LOCK prediction among {msgs:#?}"
+        );
+        // The acyclic control contributes an edge but no finding about
+        // its locks.
+        assert!(
+            !msgs.iter().any(|m| m.contains("`lkD`")),
+            "acyclic control flagged: {msgs:#?}"
+        );
+        let stats = out.locks.expect("lock stats under analyze");
+        assert!(stats.cycles >= 1);
+        assert!(stats.edges >= 4, "edges {}", stats.edges);
     }
 
     #[test]

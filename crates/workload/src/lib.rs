@@ -32,7 +32,7 @@ pub mod suite;
 pub mod synth;
 
 pub use edit::{apply_edits, body_edits, EditOp};
-pub use gen::{generate, GenParams, GeneratedModule};
+pub use gen::{generate, lock_seed_scenarios, GenParams, GeneratedModule, LockScenario};
 pub use serve_load::{kill_points, serve_load, ServeEvent, ServeLoadParams};
 pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};
 pub use synth::{synth_module, SynthParams};

@@ -46,6 +46,7 @@ pub fn suite_params(i: usize) -> GenParams {
         nested_ratio: 0.12,
         lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
     }
 }
 

@@ -87,6 +87,7 @@ fn modules_under_test() -> Vec<(String, DefLibrary)> {
         nested_ratio: 0.25,
         lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
     });
     out.push((big.source, big.defs));
     out

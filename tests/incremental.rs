@@ -78,6 +78,7 @@ fn procedure_body_edit_recompiles_only_the_touched_stream() {
         nested_ratio: 0.0, // flat: the edited stream has no children
         lint_seeds: true,
         fault_seeds: false,
+        lock_seeds: false,
     });
     let store = Arc::new(MemStore::new());
     let cold = compile(&m, Some(store.clone()), true, 4);

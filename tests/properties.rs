@@ -82,6 +82,7 @@ proptest! {
             nested_ratio: nested as f64 / 100.0,
             lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
         };
         let m = generate(&params);
         let interner = Arc::new(Interner::new());
@@ -273,6 +274,7 @@ proptest! {
             nested_ratio: 0.2,
             lint_seeds: true,
         fault_seeds: false,
+        lock_seeds: false,
         });
         let run_seq = || {
             ccm2_seq::compile_full(
@@ -336,6 +338,7 @@ proptest! {
             nested_ratio: 0.2,
             lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
         });
         let interner = Interner::new();
         let map = ccm2_support::SourceMap::new();
@@ -397,6 +400,7 @@ proptest! {
             nested_ratio: 0.2,
             lint_seeds: true,
         fault_seeds: false,
+        lock_seeds: false,
         });
         let edited = apply_edits(&base, &body_edits(edit_count, seed ^ 0xE11));
         let store: Arc<dyn ArtifactStore> = Arc::new(MemStore::new());
@@ -467,6 +471,96 @@ proptest! {
                     want_diags.clone(),
                     "{} diagnostics diverged",
                     label
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lock_predictions_byte_identical_across_strategies_and_executors(
+        seed in 0u64..2000,
+        procedures in 2usize..8,
+        stmts in 4usize..12,
+    ) {
+        use ccm2::Executor;
+        use ccm2_sched::SimConfig;
+        use ccm2_sema::symtab::DkyStrategy;
+
+        let m = generate(&GenParams {
+            name: "PropLk".into(),
+            seed,
+            procedures,
+            interfaces: 1,
+            import_depth: 1,
+            stmts_per_proc: stmts,
+            nested_ratio: 0.2,
+            lint_seeds: false,
+            fault_seeds: false,
+            lock_seeds: true,
+        });
+        let seq = ccm2_seq::compile_full(
+            &m.source,
+            &m.defs,
+            Arc::new(Interner::new()),
+            Arc::new(NullMeter),
+            ccm2_sema::declare::HeadingMode::CopyToChild,
+            true,
+        );
+        prop_assert!(seq.is_ok(), "{:?}", seq.diagnostics);
+        let reference = normalize_diags(&seq.diagnostics, &seq.sources);
+        // Every seeded module embeds the three-lock cycle and the
+        // reentrant grab; the interprocedural pass must always see both.
+        prop_assert!(
+            reference.iter().any(|(_, _, _, msg)| msg.contains(
+                "lock-order cycle among `lkA`, `lkB`, `lkC`"
+            )),
+            "seeded cycle not predicted: {reference:#?}"
+        );
+        prop_assert!(
+            reference
+                .iter()
+                .any(|(_, _, _, msg)| msg.contains("may re-LOCK it")),
+            "seeded re-LOCK not predicted: {reference:#?}"
+        );
+        let s = seq.locks.clone().expect("analysis ran");
+        for strategy in DkyStrategy::ALL {
+            for executor in [
+                Executor::Sim(SimConfig::firefly(3)),
+                Executor::Threads(2),
+            ] {
+                let which = format!("{executor:?}");
+                let conc = compile_concurrent(
+                    &m.source,
+                    Arc::new(m.defs.clone()),
+                    Arc::new(Interner::new()),
+                    Options {
+                        strategy,
+                        analyze: true,
+                        executor,
+                        ..Options::default()
+                    },
+                );
+                prop_assert_eq!(
+                    &reference,
+                    &normalize_diags(&conc.diagnostics, &conc.sources),
+                    "strategy {} on {}",
+                    strategy.name(),
+                    which
+                );
+                let c = conc.locks.expect("analysis ran");
+                prop_assert_eq!(
+                    (c.units, c.edges, c.cycles, c.findings),
+                    (s.units, s.edges, s.cycles, s.findings),
+                    "lock stats diverged under {} on {}",
+                    strategy.name(),
+                    which
                 );
             }
         }

@@ -92,6 +92,7 @@ fn single_worker_handles_deep_nesting_chains() {
         nested_ratio: 0.2,
         lint_seeds: false,
         fault_seeds: false,
+        lock_seeds: false,
     });
     let out = compile_concurrent(
         &m.source,
