@@ -47,6 +47,26 @@ cargo test -q --test watchdog
 cargo test -q -p ccm2-serve --test restart
 cargo run -q --release -p ccm2-bench --bin reproduce -- recover
 
+echo "== compile fabric: fleet equivalence, failover, delta restart =="
+# The sharded fleet must be observationally identical to one standalone
+# service (byte-identical objects, same diagnostics) across every shard
+# width AND across a seeded mid-stream shard kill; the reproduce driver
+# additionally pins the failover drill (zero lost admitted requests)
+# and the delta restart economics (journal tail < full CCM2SNAP image).
+cargo test -q -p ccm2-fabric
+cargo test -q --test fabric
+cargo run -q --release -p ccm2-bench --bin reproduce -- fabric
+
+echo "== wire protocol: format-version bump guard =="
+# Bumping WIRE_FORMAT_VERSION requires a matching cross-version
+# rejection test (skewed frames must be refused, not misdecoded).
+wver=$(grep -o 'WIRE_FORMAT_VERSION: u32 = [0-9]*' crates/fabric/src/wire.rs | grep -o '[0-9]*$')
+if ! grep -q "wire_version_${wver}_mismatch_rejected" crates/fabric/src/wire.rs; then
+  echo "WIRE_FORMAT_VERSION is ${wver} but crates/fabric/src/wire.rs has no" >&2
+  echo "wire_version_${wver}_mismatch_rejected test — add one for the new version." >&2
+  exit 1
+fi
+
 echo "== interprocedural lock-order analysis: static deadlock prediction =="
 # Cross-procedure re-LOCK and lock-order-cycle predictions must be
 # byte-identical to the sequential reference under every DKY strategy and

@@ -10,6 +10,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- locks
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
+//! cargo run --release -p ccm2-bench --bin reproduce -- fabric
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults --list-sites
 //! cargo run --release -p ccm2-bench --bin reproduce -- recover
@@ -87,6 +88,9 @@ fn main() {
     }
     if want("serve") {
         println!("{}\n", bench::serve());
+    }
+    if want("fabric") {
+        println!("{}\n", bench::fabric());
     }
     if want("faults") && !args.contains(&"--list-sites") {
         println!("{}\n", bench::faults());

@@ -1359,6 +1359,286 @@ fn standalone_compile(req: &ccm2_serve::CompileRequest) -> (Option<Vec<u8>>, Vec
     )
 }
 
+// ---- fabric fleet drill --------------------------------------------------
+
+/// The `reproduce -- fabric` drill: a shard-count sweep of the loopback
+/// fleet (byte-identical to standalone at every width), a seeded
+/// mid-stream shard-kill failover with zero lost admitted requests, and
+/// the snapshot + delta-journal restart path (fewer journal bytes than
+/// a full `CCM2SNAP` image). Writes the machine-readable
+/// `BENCH_fabric.json` into the working directory — the start of the
+/// perf trajectory the ROADMAP asks for.
+pub fn fabric() -> String {
+    fabric_with(
+        &ccm2_workload::ServeLoadParams {
+            seed: 0xFAB,
+            projects: 3,
+            clients: 6,
+            events: 48,
+            edit_every: 6,
+            interface_every: 3,
+        },
+        &[1, 2, 3, 4],
+        Some(std::path::Path::new("BENCH_fabric.json")),
+    )
+}
+
+/// [`fabric`] with explicit load, shard sweep and JSON destination
+/// (tests use a smaller load and skip the JSON).
+pub fn fabric_with(
+    load: &ccm2_workload::ServeLoadParams,
+    sweep: &[usize],
+    json_path: Option<&std::path::Path>,
+) -> String {
+    use ccm2_fabric::{Fabric, FabricResponse};
+    use ccm2_serve::{
+        CompileRequest, CompileService, DeltaJournal, ExecChoice, Response, ServeConfig,
+        SnapshotStore,
+    };
+    use ccm2_workload::{serve_load, shard_kill_schedule};
+    use std::collections::HashMap;
+
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        store_budget: 64 * 1024,
+        ..ServeConfig::default()
+    };
+
+    let mut out =
+        String::from("Compile fabric (ccm2-fabric): sharded fleet over CCM2WIRE loopback\n");
+    out.push_str(&format!(
+        "  load: projects={} clients={} events={} edit every {} (interface every {}th edit), seed {:#x}\n",
+        load.projects, load.clients, load.events, load.edit_every, load.interface_every, load.seed
+    ));
+    out.push_str(&format!(
+        "  per-shard service: workers={} queue_capacity={} store_budget={} B\n\n",
+        config.workers, config.queue_capacity, config.store_budget
+    ));
+
+    let events = serve_load(load);
+    let mk_request = |e: &ccm2_workload::ServeEvent| CompileRequest {
+        client: e.client,
+        module: e.module.name.clone(),
+        source: e.module.source.clone(),
+        defs: Arc::new(e.module.defs.clone()),
+        strategy: DkyStrategy::Skeptical,
+        exec: ExecChoice::Sim(4),
+        analyze: false,
+        faults: None,
+        task_deadline: None,
+        max_stream_retries: 0,
+    };
+
+    // Ground truth: standalone compiles per unique fingerprint. Every
+    // routed response in every part below must match these bytes.
+    let mut expected: HashMap<ccm2_support::hash::Fp128, (Option<Vec<u8>>, Vec<String>)> =
+        HashMap::new();
+    for e in &events {
+        let req = mk_request(e);
+        expected
+            .entry(req.fingerprint())
+            .or_insert_with(|| standalone_compile(&req));
+    }
+
+    // Drives `reqs` through the fleet with the wave/back-off protocol;
+    // asserts zero lost and byte-identical to standalone. Returns waves.
+    let drive = |fabric: &Fabric, reqs: &[CompileRequest]| -> usize {
+        let mut pending: Vec<CompileRequest> = reqs.to_vec();
+        let mut waves = 0usize;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(waves <= 1 + reqs.len(), "fabric retry protocol must drain");
+            let batch = std::mem::take(&mut pending);
+            let resubmit = batch.clone();
+            for (req, resp) in resubmit
+                .into_iter()
+                .zip(fabric.router().serve_batch(&batch))
+            {
+                match resp {
+                    FabricResponse::Done(o) => {
+                        assert!(o.ok, "{:?}", o.diagnostics);
+                        let want = &expected[&req.fingerprint()];
+                        assert!(
+                            (o.object.clone(), o.diagnostics.clone()) == *want,
+                            "routed bytes diverged from standalone for {}",
+                            req.module
+                        );
+                    }
+                    FabricResponse::Retry => pending.push(req),
+                }
+            }
+        }
+        waves
+    };
+
+    // Part 1 — shard-count sweep.
+    out.push_str("shard sweep: every width byte-identical to standalone\n");
+    out.push_str(
+        "  shards | waves | wall ms | req/s | router joins | fleet compiles | delta ships\n",
+    );
+    out.push_str(
+        "  -------+-------+---------+-------+--------------+----------------+------------\n",
+    );
+    let mut sweep_json = String::new();
+    for &n in sweep {
+        let fabric = Fabric::start(n, config);
+        let requests: Vec<CompileRequest> = events.iter().map(&mk_request).collect();
+        let started = std::time::Instant::now();
+        let waves = drive(&fabric, &requests);
+        let elapsed = started.elapsed();
+        let rstats = fabric.router().stats();
+        let compiles = fabric.total_compiles();
+        let rps = events.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        out.push_str(&format!(
+            "  {:>6} | {:>5} | {:>7} | {:>5.0} | {:>12} | {:>14} | {:>11}\n",
+            n,
+            waves,
+            elapsed.as_millis(),
+            rps,
+            rstats.joined,
+            compiles,
+            rstats.ships
+        ));
+        if !sweep_json.is_empty() {
+            sweep_json.push(',');
+        }
+        sweep_json.push_str(&format!(
+            "{{\"shards\":{n},\"events\":{},\"waves\":{waves},\"wall_micros\":{},\"throughput_rps\":{rps:.1},\"router_joined\":{},\"fleet_compiles\":{compiles},\"delta_ships\":{}}}",
+            events.len(),
+            elapsed.as_micros(),
+            rstats.joined,
+            rstats.ships
+        ));
+    }
+
+    // Part 2 — seeded mid-stream shard kill at 3 shards.
+    let shards = 3usize;
+    let (kill_at, victim) = shard_kill_schedule(load, shards as u32, 1)
+        .first()
+        .copied()
+        .unwrap_or((events.len() / 2, 0));
+    let fabric = Fabric::start(shards, config);
+    let head: Vec<CompileRequest> = events[..kill_at].iter().map(&mk_request).collect();
+    let tail: Vec<CompileRequest> = events[kill_at..].iter().map(&mk_request).collect();
+    drive(&fabric, &head);
+    let t0 = std::time::Instant::now();
+    fabric.router().kill_shard(victim);
+    let failover = t0.elapsed();
+    drive(&fabric, &tail);
+    let live = fabric.router().live_shards();
+    assert!(!live.contains(&victim), "victim must leave the ring");
+    assert_eq!(live.len(), shards - 1);
+    let absorbed: u64 = fabric
+        .nodes()
+        .iter()
+        .filter(|node| node.id() != victim)
+        .map(|node| node.stats().absorbed_ops)
+        .sum();
+    let rstats = fabric.router().stats();
+    out.push_str(&format!(
+        "\nkill drill ({} shards): shard {} killed before event {} (seeded schedule)\n",
+        shards, victim, kill_at
+    ));
+    out.push_str(&format!(
+        "  failover: ring rebalance + {} survivor absorbs in {} us; {} replicated ops warmed survivors\n",
+        rstats.absorbs,
+        failover.as_micros(),
+        absorbed
+    ));
+    out.push_str(&format!(
+        "  served {}+{} events across the kill: 0 lost, 0 mismatched vs standalone\n",
+        kill_at,
+        events.len() - kill_at
+    ));
+
+    // Part 3 — restart from snapshot + delta replay, cheaper than a
+    // fresh full image.
+    let dir = std::env::temp_dir().join(format!("ccm2-fabric-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snaps = SnapshotStore::new(dir.join("snap")).expect("snapshot dir");
+    let journal = DeltaJournal::new(dir.join("delta")).expect("journal dir");
+    let svc = CompileService::start(config);
+    let serve_half = |svc: &CompileService, half: &[ccm2_workload::ServeEvent]| {
+        let mut pending: Vec<CompileRequest> = half.iter().map(&mk_request).collect();
+        let mut waves = 0usize;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(waves <= 1 + half.len(), "restart drill must drain");
+            let batch = std::mem::take(&mut pending);
+            let resubmit = batch.clone();
+            for (req, resp) in resubmit.into_iter().zip(svc.serve_batch(batch)) {
+                match resp {
+                    Response::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
+                    Response::Retry => pending.push(req),
+                }
+            }
+        }
+    };
+    // The production cadence: the journal ships continuously, snapshots
+    // cut occasionally. A restart reads the newest snapshot plus only
+    // the journal tail past its cut — so the tail, not the whole
+    // journal, is the incremental restart cost.
+    let cut = events.len() * 3 / 4;
+    serve_half(&svc, &events[..cut]);
+    svc.journal_deltas(&journal, &snaps)
+        .expect("journal the head");
+    snaps.save(svc.store()).expect("snapshot at the cut");
+    let journal_bytes_at_cut = journal.total_bytes().expect("journal size at cut");
+    serve_half(&svc, &events[cut..]);
+    let shipped = svc
+        .journal_deltas(&journal, &snaps)
+        .expect("journal the tail");
+    let delta_bytes = journal.total_bytes().expect("journal size") - journal_bytes_at_cut;
+    let full_snaps = SnapshotStore::new(dir.join("full")).expect("comparison dir");
+    let full_path = full_snaps.save(svc.store()).expect("full image");
+    let full_bytes = std::fs::metadata(&full_path).expect("image size").len();
+    let restored = CompileService::restore_with_deltas(config, &snaps, &journal).expect("restart");
+    let canon = |svc: &CompileService| {
+        let mut entries = svc.store().export();
+        entries.sort();
+        entries
+    };
+    assert_eq!(
+        canon(&restored),
+        canon(&svc),
+        "snapshot + delta replay must rebuild the exact store"
+    );
+    assert!(
+        shipped > 0 && delta_bytes < full_bytes,
+        "delta restart must beat the full image ({delta_bytes} B vs {full_bytes} B, {shipped} ops)"
+    );
+    let restored_entries = restored.store().export().len();
+    drop(restored);
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+    out.push_str(&format!(
+        "\ndelta restart: snapshot at event {} + {} journaled ops replay the tail\n",
+        cut, shipped
+    ));
+    out.push_str(&format!(
+        "  journal tail {} B vs full CCM2SNAP image {} B ({:.1}% of full); {} entries rebuilt bit-identically\n",
+        delta_bytes,
+        full_bytes,
+        100.0 * delta_bytes as f64 / full_bytes as f64,
+        restored_entries
+    ));
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\"schema\":\"ccm2-bench/fabric/v1\",\"load\":{{\"seed\":{},\"projects\":{},\"clients\":{},\"events\":{}}},\"sweep\":[{sweep_json}],\"kill_drill\":{{\"shards\":{shards},\"victim\":{victim},\"kill_at_event\":{kill_at},\"failover_micros\":{},\"absorbed_ops\":{absorbed},\"lost\":0,\"mismatched\":0}},\"delta_restart\":{{\"journaled_ops\":{shipped},\"journal_bytes\":{delta_bytes},\"full_image_bytes\":{full_bytes},\"restored_entries\":{restored_entries}}}}}\n",
+            load.seed,
+            load.projects,
+            load.clients,
+            load.events,
+            failover.as_micros(),
+        );
+        std::fs::write(path, json).expect("write BENCH_fabric.json");
+        out.push_str(&format!("\nwrote {}\n", path.display()));
+    }
+    out
+}
+
 // ---- fault-injection survival matrix ------------------------------------
 
 /// An interner-independent rendering of one code unit, so units from
@@ -2155,6 +2435,30 @@ mod tests {
         assert!(report.contains("dedup ratio"));
         assert!(report.contains("never exceeded"));
         assert!(report.contains("0 lost, 0 mismatched"));
+    }
+
+    #[test]
+    fn fabric_drill_holds_its_invariants() {
+        // fabric_with asserts internally: byte-equivalence with
+        // standalone compiles at every shard width and across the kill,
+        // zero lost requests, store rebuilt bit-identically from
+        // snapshot + delta replay with fewer bytes than a full image.
+        let report = fabric_with(
+            &ccm2_workload::ServeLoadParams {
+                seed: 0xFAB5,
+                projects: 2,
+                clients: 4,
+                events: 16,
+                edit_every: 5,
+                interface_every: 2,
+            },
+            &[1, 3],
+            None,
+        );
+        assert!(report.contains("byte-identical to standalone"));
+        assert!(report.contains("0 lost, 0 mismatched"));
+        assert!(report.contains("delta restart"));
+        assert!(!report.contains("wrote "), "no JSON without a path");
     }
 
     #[test]

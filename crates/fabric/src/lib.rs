@@ -1,0 +1,297 @@
+//! `ccm2-fabric` — a sharded compile fleet over `ccm2-serve`.
+//!
+//! One [`CompileService`](ccm2_serve::CompileService) scales to one
+//! machine's worker pool; the fabric scales *out*: N shards, each a
+//! full service with its own bounded store, behind a router that
+//! places requests with a consistent-hash ring and survives shard
+//! death without losing an admitted request. The pieces:
+//!
+//! * [`wire`] — `CCM2WIRE`: versioned, length-prefixed, checksummed
+//!   frames for the compile plane (request/outcome/reject) and the
+//!   replication plane (sync/delta-ship/absorb). Damage anywhere is a
+//!   decode failure, never misdecoded data.
+//! * [`ring`] — the consistent-hash ring over request fingerprints:
+//!   stable across processes, minimal key movement on shard
+//!   join/leave.
+//! * [`transport`] — the byte conduit: a deterministic, seedable
+//!   in-process loopback (drills, proptests) and a real TCP transport
+//!   (one frame per connection), interchangeable behind one trait.
+//! * [`shard`] — a service wrapped as a passive frame handler, plus
+//!   the replica logs it keeps for its peers' `CCM2DELT` streams.
+//! * [`router`] — routing, router-level single-flight, failover
+//!   (ring removal + replica absorption), and replication epochs.
+//!
+//! The fleet invariant the drills pin: for any seeded workload, an
+//! N-shard fabric returns byte-identical objects and diagnostics to a
+//! standalone service — including across a mid-stream shard kill.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ccm2_fabric::Fabric;
+//! use ccm2_serve::{CompileRequest, ServeConfig};
+//! use ccm2_support::defs::DefLibrary;
+//!
+//! let fabric = Fabric::start(3, ServeConfig::default());
+//! let req = CompileRequest::new(
+//!     1,
+//!     "Hello",
+//!     "MODULE Hello; BEGIN WriteLn END Hello.",
+//!     Arc::new(DefLibrary::new()),
+//! );
+//! let resp = fabric.router().serve(&req);
+//! assert!(resp.outcome().expect("served").ok);
+//! assert_eq!(fabric.router().live_shards(), vec![0, 1, 2]);
+//! ```
+
+pub mod ring;
+pub mod router;
+pub mod shard;
+pub mod transport;
+pub mod wire;
+
+use std::sync::Arc;
+
+use ccm2_serve::ServeConfig;
+
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{FabricResponse, FabricRouter, FabricStats};
+pub use shard::{ReplicaLog, ShardNode, ShardStats, REPLICA_LOG_CAP};
+pub use transport::{
+    read_frame, FrameHandler, LoopbackTransport, TcpShardServer, TcpTransport, Transport,
+    MAX_PAYLOAD,
+};
+pub use wire::{
+    decode_frame, encode_frame, frame_len, Message, WireOutcome, WireRequest, FRAME_OVERHEAD,
+    WIRE_FORMAT_VERSION, WIRE_MAGIC,
+};
+
+/// A whole loopback fleet in one value: N shards, the transport, and
+/// the router. The unit the drills and equivalence tests spin up.
+pub struct Fabric {
+    transport: Arc<LoopbackTransport>,
+    router: FabricRouter,
+    nodes: Vec<Arc<ShardNode>>,
+}
+
+impl Fabric {
+    /// Starts `shards` fresh shards (ids `0..shards`) with identical
+    /// configs on a clean loopback transport.
+    pub fn start(shards: usize, config: ServeConfig) -> Fabric {
+        Fabric::start_on(
+            Arc::new(LoopbackTransport::new()),
+            (0..shards as u32)
+                .map(|id| Arc::new(ShardNode::start(id, config)))
+                .collect(),
+        )
+    }
+
+    /// Assembles a fleet from pre-built nodes on a caller-provided
+    /// loopback (seeded corruption, restored shards, odd ids — the
+    /// drills' entry point).
+    pub fn start_on(transport: Arc<LoopbackTransport>, nodes: Vec<Arc<ShardNode>>) -> Fabric {
+        for node in &nodes {
+            transport.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+        }
+        let router = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>);
+        Fabric {
+            transport,
+            router,
+            nodes,
+        }
+    }
+
+    /// The router (serve requests through this).
+    pub fn router(&self) -> &FabricRouter {
+        &self.router
+    }
+
+    /// Arms the router with a fault plan (`shard:{id}#d{n}` sites).
+    pub fn with_faults(mut self, plan: Arc<ccm2_faults::FaultPlan>) -> Fabric {
+        self.router = self.router.with_faults(plan);
+        self
+    }
+
+    /// The loopback transport (corruption counters, manual kills).
+    pub fn transport(&self) -> &Arc<LoopbackTransport> {
+        &self.transport
+    }
+
+    /// The shard nodes, in id order (drill assertions; node `i` may be
+    /// dead — check [`FabricRouter::live_shards`]).
+    pub fn nodes(&self) -> &[Arc<ShardNode>] {
+        &self.nodes
+    }
+
+    /// Total compiles executed across all shards (dedup denominator).
+    pub fn total_compiles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stats().compiles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_serve::{CompileRequest, ExecChoice};
+    use ccm2_support::defs::DefLibrary;
+
+    fn request(client: u64, name: &str) -> CompileRequest {
+        let mut req = CompileRequest::new(
+            client,
+            name,
+            format!("MODULE {name}; VAR x: INTEGER; BEGIN x := 3; END {name}."),
+            Arc::new(DefLibrary::new()),
+        );
+        req.exec = ExecChoice::Sim(2);
+        req
+    }
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            store_budget: 256 * 1024,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_serves_and_dedups_identical_requests() {
+        let fabric = Fabric::start(3, small_config());
+        let reqs: Vec<CompileRequest> = (0..4)
+            .flat_map(|client| (0..3).map(move |m| request(client, &format!("Mod{m}"))))
+            .collect();
+        let responses = fabric.router().serve_batch(&reqs);
+        for resp in &responses {
+            assert!(resp.outcome().expect("served").ok);
+        }
+        // 12 requests, 3 distinct modules: single-flight at the router
+        // and on the shards keeps actual compiles at the distinct
+        // count (identical fingerprints route to one shard, so no
+        // duplicate can slip through on a second shard; stragglers
+        // arriving after completion re-compile warm at worst).
+        let stats = fabric.router().stats();
+        assert_eq!(stats.dispatched, 12);
+        assert_eq!(stats.failovers, 0);
+        assert!(
+            fabric.total_compiles() >= 3,
+            "all three modules must compile somewhere"
+        );
+        assert!(
+            stats.joined + stats.routed_calls >= 12,
+            "every request either joined or crossed the wire"
+        );
+        // Replication ran: every served compile triggers an epoch, and
+        // fresh stores definitely had insertions to ship.
+        assert!(stats.ships > 0, "no delta batch ever shipped: {stats:?}");
+    }
+
+    #[test]
+    fn killed_shard_fails_over_and_survivors_absorb_its_deltas() {
+        let fabric = Fabric::start(3, small_config());
+        // Find a module routed to shard 1 so the kill actually matters.
+        let victim_req = (0..64)
+            .map(|i| request(7, &format!("Pick{i}")))
+            .find(|r| HashRing::new(&[0, 1, 2], DEFAULT_VNODES).route(r.fingerprint()) == Some(1));
+        let victim_req = victim_req.expect("some module routes to shard 1");
+        assert!(fabric.router().serve(&victim_req).outcome().is_some());
+
+        // The compile's artifacts were replicated to the peers' logs.
+        let parked: usize = fabric.nodes()[0].replica_len(1) + fabric.nodes()[2].replica_len(1);
+        assert!(parked > 0, "peers hold no replicas for shard 1");
+
+        fabric.router().kill_shard(1);
+        fabric.router().kill_shard(1); // idempotent
+        assert_eq!(fabric.router().live_shards(), vec![0, 2]);
+        let stats = fabric.router().stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.absorbs, 2, "both survivors absorbed");
+        let absorbed: u64 =
+            fabric.nodes()[0].stats().absorbed_ops + fabric.nodes()[2].stats().absorbed_ops;
+        assert!(absorbed > 0, "absorb applied nothing");
+
+        // The same request now serves from a survivor — and its
+        // artifacts are already warm there thanks to the absorbed log.
+        let resp = fabric.router().serve(&victim_req);
+        assert!(resp.outcome().expect("served by a survivor").ok);
+    }
+
+    #[test]
+    fn injected_shard_death_mid_batch_loses_nothing() {
+        let plan = Arc::new(ccm2_faults::FaultPlan::single(
+            "shard:1#d*",
+            ccm2_faults::FaultKind::Panic,
+        ));
+        let fabric = Fabric::start(3, small_config()).with_faults(plan);
+        let reqs: Vec<CompileRequest> = (0..12).map(|m| request(1, &format!("Batch{m}"))).collect();
+        let responses = fabric.router().serve_batch(&reqs);
+        for (req, resp) in reqs.iter().zip(&responses) {
+            let out = resp.outcome().expect("failover must not lose requests");
+            assert!(out.ok, "{}: {:?}", req.module, out.diagnostics);
+        }
+        let stats = fabric.router().stats();
+        assert_eq!(stats.failovers, 1, "shard 1 died exactly once: {stats:?}");
+        assert_eq!(fabric.router().live_shards(), vec![0, 2]);
+    }
+
+    #[test]
+    fn corrupted_frames_are_retried_not_trusted() {
+        // ~25% of frames damaged: plenty of rejects, still converges.
+        let transport = Arc::new(LoopbackTransport::with_corruption(0x5EED, 250_000));
+        let nodes = (0..3u32)
+            .map(|id| Arc::new(ShardNode::start(id, small_config())))
+            .collect();
+        let fabric = Fabric::start_on(transport, nodes);
+        let reqs: Vec<CompileRequest> = (0..8).map(|m| request(2, &format!("Noise{m}"))).collect();
+        let responses = fabric.router().serve_batch(&reqs);
+        let served = responses.iter().filter(|r| r.outcome().is_some()).count();
+        assert!(
+            served >= 6,
+            "checksum retries should serve nearly everything ({served}/8)"
+        );
+        for resp in &responses {
+            if let Some(out) = resp.outcome() {
+                assert!(out.ok, "{:?}", out.diagnostics);
+            }
+        }
+        assert!(
+            fabric.transport().corrupted() > 0,
+            "corruption never fired — the test is vacuous"
+        );
+        assert!(
+            fabric.router().stats().checksum_rejects > 0
+                || fabric.nodes().iter().all(|n| n.stats().bad_frames == 0),
+            "damage was observed but never counted"
+        );
+        assert_eq!(
+            fabric.router().stats().failovers,
+            0,
+            "corruption must not be misdiagnosed as shard death"
+        );
+    }
+
+    #[test]
+    fn fleet_over_tcp_matches_the_loopback_contract() {
+        let nodes: Vec<Arc<ShardNode>> = (0..3u32)
+            .map(|id| Arc::new(ShardNode::start(id, small_config())))
+            .collect();
+        let mut servers: Vec<TcpShardServer> = Vec::new();
+        let transport = Arc::new(TcpTransport::new());
+        for node in &nodes {
+            let server = TcpShardServer::serve(Arc::clone(node) as Arc<dyn FrameHandler>).unwrap();
+            transport.register(node.id(), server.addr());
+            servers.push(server);
+        }
+        let router = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>);
+        let reqs: Vec<CompileRequest> = (0..6).map(|m| request(5, &format!("Tcp{m}"))).collect();
+        let responses = router.serve_batch(&reqs);
+        for resp in &responses {
+            assert!(resp.outcome().expect("served over sockets").ok);
+        }
+        assert!(router.stats().ships > 0, "replication runs over TCP too");
+        for server in &mut servers {
+            server.stop();
+        }
+    }
+}

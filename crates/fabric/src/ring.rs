@@ -1,0 +1,201 @@
+//! Consistent-hash placement of request fingerprints on shards.
+//!
+//! Each shard contributes `vnodes` points to a ring of `u64` positions;
+//! a request fingerprint lands at [`Fp128::fold64`] and is owned by the
+//! first shard point at or clockwise-after it. The properties the
+//! fabric relies on:
+//!
+//! * **Stability** — points are a pure function of `(shard id, vnode
+//!   index)` through [`StableHasher`], so every router instance (and
+//!   every restart) computes the identical ring. No coordination
+//!   service needed.
+//! * **Minimal disruption** — removing a shard reassigns *only* the
+//!   keys it owned (to the next point clockwise, i.e. spread over the
+//!   survivors); adding a shard only steals keys, never shuffles them
+//!   between incumbents. [`HashRing::remove`] is the failover
+//!   primitive; the rebalance test pins both properties.
+//! * **Spread** — vnodes smooth the per-shard share; with the default
+//!   [`DEFAULT_VNODES`] the max/min key-share ratio over a seeded key
+//!   population stays within small constant factors.
+
+use ccm2_support::hash::{Fp128, StableHasher};
+
+/// Default virtual nodes per shard; enough to keep shares even at the
+/// fleet sizes the drills run (3–8 shards), small enough that ring
+/// rebuilds are free.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// The stable position of one `(shard, vnode)` pair on the ring.
+fn point(shard: u32, vnode: u32) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("ccm2-fabric/ring/v1");
+    h.write_u32(shard);
+    h.write_u32(vnode);
+    h.finish().fold64()
+}
+
+/// A consistent-hash ring over shard ids. Cheap to clone and rebuild;
+/// the router holds it under its own lock.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(position, shard)` sorted by position; ties broken by shard id
+    /// (deterministic whatever the insertion order).
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring with `vnodes` points for each of `shards`.
+    pub fn new(shards: &[u32], vnodes: usize) -> HashRing {
+        let mut ring = HashRing {
+            points: Vec::with_capacity(shards.len() * vnodes),
+            vnodes,
+        };
+        for &s in shards {
+            ring.add(s);
+        }
+        ring
+    }
+
+    /// Adds a shard's points (idempotent).
+    pub fn add(&mut self, shard: u32) {
+        if self.contains(shard) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.push((point(shard, v as u32), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard's points; keys it owned fall through to the next
+    /// point clockwise. Returns whether the shard was present.
+    pub fn remove(&mut self, shard: u32) -> bool {
+        let before = self.points.len();
+        self.points.retain(|&(_, s)| s != shard);
+        self.points.len() != before
+    }
+
+    /// Whether the shard is on the ring.
+    pub fn contains(&self, shard: u32) -> bool {
+        self.points.iter().any(|&(_, s)| s == shard)
+    }
+
+    /// The live shard ids, ascending.
+    pub fn shards(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.points.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.shards().len()
+    }
+
+    /// Whether the ring has no shards (all dead: nothing to route to).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shard owning `key`: first point at or clockwise-after
+    /// `key.fold64()`, wrapping at the top. `None` on an empty ring.
+    pub fn route(&self, key: Fp128) -> Option<u32> {
+        self.route_u64(key.fold64())
+    }
+
+    fn route_u64(&self, pos: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < pos);
+        let (_, shard) = self.points[idx % self.points.len()];
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<Fp128> {
+        (0..n)
+            .map(|i| Fp128::of(format!("key-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_insertion_order_independent() {
+        let a = HashRing::new(&[1, 2, 3], DEFAULT_VNODES);
+        let b = HashRing::new(&[3, 1, 2], DEFAULT_VNODES);
+        for k in keys(256) {
+            assert_eq!(a.route(k), b.route(k));
+        }
+        assert_eq!(a.shards(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_shard_gets_a_reasonable_share() {
+        let ring = HashRing::new(&[0, 1, 2, 3], DEFAULT_VNODES);
+        let mut counts = [0usize; 4];
+        for k in keys(4000) {
+            counts[ring.route(k).unwrap() as usize] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (400..=2000).contains(&c),
+                "shard {shard} owns {c}/4000 keys — spread degenerated: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let full = HashRing::new(&[1, 2, 3, 4], DEFAULT_VNODES);
+        let mut survivors = full.clone();
+        assert!(survivors.remove(3));
+        assert!(!survivors.remove(3), "already gone");
+        let mut moved = 0usize;
+        for k in keys(2000) {
+            let before = full.route(k).unwrap();
+            let after = survivors.route(k).unwrap();
+            if before == 3 {
+                assert_ne!(after, 3, "key still routed to the dead shard");
+                moved += 1;
+            } else {
+                assert_eq!(before, after, "a survivor's key moved on failover");
+            }
+        }
+        assert!(moved > 0, "the dead shard owned no keys — test is vacuous");
+    }
+
+    #[test]
+    fn adding_a_shard_only_steals_keys() {
+        let small = HashRing::new(&[1, 2, 3], DEFAULT_VNODES);
+        let mut grown = small.clone();
+        grown.add(9);
+        grown.add(9); // idempotent
+        assert_eq!(grown.len(), 4);
+        let mut stolen = 0usize;
+        for k in keys(2000) {
+            let before = small.route(k).unwrap();
+            let after = grown.route(k).unwrap();
+            if after == 9 {
+                stolen += 1;
+            } else {
+                assert_eq!(before, after, "a key moved between incumbents");
+            }
+        }
+        assert!(stolen > 0, "the new shard took nothing");
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let mut ring = HashRing::new(&[5], 8);
+        assert!(!ring.is_empty());
+        assert!(ring.remove(5));
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(Fp128::of(b"x")), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! The fleet's front door: consistent-hash routing, router-level
+//! single-flight, and failover.
+//!
+//! [`FabricRouter::serve`] takes an ordinary [`CompileRequest`] and
+//! returns a [`FabricResponse`]:
+//!
+//! 1. **Route** — the request fingerprint (the same single-flight key
+//!    the standalone service uses) lands on a shard via the
+//!    [`HashRing`]. Identical requests therefore always hit the same
+//!    shard, so the shard-level single-flight keeps deduplicating
+//!    across clients even in a fleet.
+//! 2. **Single-flight at the router** — concurrent identical requests
+//!    don't even cross the wire twice: later arrivals park on the
+//!    in-flight entry and share the leader's response.
+//! 3. **Dispatch** — one `CCM2WIRE` compile frame. A response that
+//!    fails frame validation is retried against the *same* shard (the
+//!    checksum plane caught damage in transit; the shard is fine). A
+//!    transport error is shard death.
+//! 4. **Failover** — the dead shard leaves the ring (its key range
+//!    spreads over the survivors — see the ring's minimal-disruption
+//!    guarantee), every survivor is told to [`absorb`](crate::wire::Message::Absorb)
+//!    the replica log it holds for the dead shard, and the dispatch
+//!    loop re-routes. An admitted request is therefore never lost to a
+//!    shard death: it either completes on a survivor or (all shards
+//!    dead / shed at admission) surfaces as [`FabricResponse::Retry`],
+//!    the same back-off contract as [`ccm2_serve::Response::Retry`].
+//! 5. **Replicate** — after a served compile the router syncs the
+//!    owning shard and fans the returned `CCM2DELT` batch to the
+//!    surviving peers (see `crate::shard`).
+//!
+//! Shard deaths can also be *injected* deterministically: give the
+//! router a [`FaultPlan`] and it queries site `shard:{id}#d{n}` before
+//! dispatch `n` to shard `id`; a [`FaultKind::Panic`] there kills the
+//! shard at exactly that dispatch — the chaos-drill analog of the
+//! `task:`/`store:` sites inside a single compile.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccm2_faults::{FaultKind, FaultPlan};
+use ccm2_serve::CompileRequest;
+use ccm2_support::hash::Fp128;
+use parking_lot::{Condvar, Mutex};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::transport::Transport;
+use crate::wire::{decode_frame, encode_frame, Message, WireOutcome, WireRequest};
+
+/// Give up re-sending after this many consecutive invalid responses
+/// from one shard and shed to the client's back-off protocol instead;
+/// persistent damage at this density means the conduit is sick, not
+/// unlucky.
+const MAX_CHECKSUM_RETRIES: u32 = 8;
+
+/// The fabric's answer to one request. Mirrors
+/// [`ccm2_serve::Response`], carrying the wire outcome.
+#[derive(Clone, Debug)]
+pub enum FabricResponse {
+    /// Served (possibly by a survivor after failover, possibly joined
+    /// onto an identical in-flight request).
+    Done(WireOutcome),
+    /// Shed — queue full, over quota, no live shards, or a conduit too
+    /// damaged to trust. Back off and resubmit.
+    Retry,
+}
+
+impl FabricResponse {
+    /// The outcome, if served.
+    pub fn outcome(&self) -> Option<&WireOutcome> {
+        match self {
+            FabricResponse::Done(out) => Some(out),
+            FabricResponse::Retry => None,
+        }
+    }
+}
+
+/// Router counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// `serve` calls.
+    pub dispatched: u64,
+    /// Requests that joined an identical in-flight one at the router
+    /// (never crossed the wire).
+    pub joined: u64,
+    /// Compile frames actually sent.
+    pub routed_calls: u64,
+    /// Admission rejections relayed from shards (queue full / quota).
+    pub rejected: u64,
+    /// Responses that failed frame validation, or shard-side reports of
+    /// a damaged request frame; retried against the same shard.
+    pub checksum_rejects: u64,
+    /// Shards declared dead and removed from the ring.
+    pub failovers: u64,
+    /// Survivors that acknowledged an `Absorb` at failover.
+    pub absorbs: u64,
+    /// Non-empty delta batches fanned out to peers.
+    pub ships: u64,
+    /// Delta ops contained in those batches.
+    pub shipped_ops: u64,
+}
+
+type Flight = Arc<(Mutex<Option<FabricResponse>>, Condvar)>;
+
+/// See the module docs.
+pub struct FabricRouter {
+    transport: Arc<dyn Transport>,
+    ring: Mutex<HashRing>,
+    inflight: Mutex<HashMap<Fp128, Flight>>,
+    stats: Mutex<FabricStats>,
+    faults: Option<Arc<FaultPlan>>,
+    dispatch_seq: AtomicU64,
+}
+
+impl FabricRouter {
+    /// A router over every shard `transport` can currently reach, with
+    /// the default vnode count.
+    pub fn new(transport: Arc<dyn Transport>) -> FabricRouter {
+        let ring = HashRing::new(&transport.shards(), DEFAULT_VNODES);
+        FabricRouter {
+            transport,
+            ring: Mutex::new(ring),
+            inflight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FabricStats::default()),
+            faults: None,
+            dispatch_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms deterministic shard-death injection (site
+    /// `shard:{id}#d{n}`, kind [`FaultKind::Panic`]).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> FabricRouter {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> FabricStats {
+        *self.stats.lock()
+    }
+
+    /// Live shards on the ring, ascending.
+    pub fn live_shards(&self) -> Vec<u32> {
+        self.ring.lock().shards()
+    }
+
+    /// Adds a shard to the ring (it must already be reachable through
+    /// the transport). Keys move only *to* the newcomer.
+    pub fn admit_shard(&self, shard: u32) {
+        self.ring.lock().add(shard);
+    }
+
+    /// Drill hook: kill `shard` now — drop its transport endpoint,
+    /// remove it from the ring, and have the survivors absorb its
+    /// replica logs. Idempotent.
+    pub fn kill_shard(&self, shard: u32) {
+        self.transport.kill(shard);
+        self.fail_over(shard);
+    }
+
+    /// Serves one request through the fleet. Blocks until served, shed,
+    /// or joined onto an identical in-flight request.
+    pub fn serve(&self, req: &CompileRequest) -> FabricResponse {
+        self.stats.lock().dispatched += 1;
+        let fp = req.fingerprint();
+        let flight: Flight = {
+            let mut map = self.inflight.lock();
+            if let Some(existing) = map.get(&fp) {
+                let flight = Arc::clone(existing);
+                drop(map);
+                self.stats.lock().joined += 1;
+                let mut slot = flight.0.lock();
+                while slot.is_none() {
+                    flight.1.wait(&mut slot);
+                }
+                return slot.clone().expect("flight published");
+            }
+            let flight: Flight = Arc::new((Mutex::new(None), Condvar::new()));
+            map.insert(fp, Arc::clone(&flight));
+            flight
+        };
+
+        let resp = self.dispatch(req, fp);
+        // A `Retry` fans out to the joiners too: they are copies of the
+        // same request, so whatever made the leader back off (shed,
+        // fleet-wide death) applies to every one of them.
+        *flight.0.lock() = Some(resp.clone());
+        flight.1.notify_all();
+        self.inflight.lock().remove(&fp);
+        resp
+    }
+
+    /// Serves a whole batch concurrently (one thread per request, the
+    /// drill/test harness path) and returns responses in order.
+    pub fn serve_batch(&self, requests: &[CompileRequest]) -> Vec<FabricResponse> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|req| scope.spawn(move || self.serve(req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve thread panicked"))
+                .collect()
+        })
+    }
+
+    fn dispatch(&self, req: &CompileRequest, fp: Fp128) -> FabricResponse {
+        let frame = encode_frame(&Message::Compile(WireRequest::from_request(req)));
+        let mut checksum_retries = 0u32;
+        loop {
+            let Some(shard) = self.ring.lock().route(fp) else {
+                return FabricResponse::Retry; // fleet-wide death
+            };
+            let n = self.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+            if let Some(plan) = &self.faults {
+                if matches!(
+                    plan.at(&format!("shard:{shard}#d{n}")),
+                    Some(FaultKind::Panic)
+                ) {
+                    self.transport.kill(shard);
+                    self.fail_over(shard);
+                    continue;
+                }
+            }
+            self.stats.lock().routed_calls += 1;
+            let bytes = match self.transport.call(shard, &frame) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    self.fail_over(shard);
+                    continue;
+                }
+            };
+            match decode_frame(&bytes) {
+                Some(Message::Outcome(out)) => {
+                    self.replicate_from(shard);
+                    return FabricResponse::Done(out);
+                }
+                Some(Message::Reject(reason)) if reason.starts_with("bad") => {
+                    // The shard saw a damaged request frame; transit
+                    // damage, not shard damage — same shard, try again.
+                    self.stats.lock().checksum_rejects += 1;
+                    checksum_retries += 1;
+                    if checksum_retries > MAX_CHECKSUM_RETRIES {
+                        return FabricResponse::Retry;
+                    }
+                }
+                Some(Message::Reject(_)) => {
+                    self.stats.lock().rejected += 1;
+                    return FabricResponse::Retry;
+                }
+                Some(_) | None => {
+                    // Damaged or nonsensical response frame.
+                    self.stats.lock().checksum_rejects += 1;
+                    checksum_retries += 1;
+                    if checksum_retries > MAX_CHECKSUM_RETRIES {
+                        return FabricResponse::Retry;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One replication epoch: sync `shard` for its pending deltas and
+    /// fan the batch to every surviving peer. Best-effort — replication
+    /// is warmth (see `crate::shard`), so errors are swallowed and cost
+    /// at most a recompile after a later failover.
+    fn replicate_from(&self, shard: u32) {
+        let sync = encode_frame(&Message::Sync);
+        let Ok(bytes) = self.transport.call(shard, &sync) else {
+            return;
+        };
+        let Some(Message::DeltaShip { from_shard, batch }) = decode_frame(&bytes) else {
+            return;
+        };
+        let Some((_base, ops)) = ccm2_incr::decode_delta(&batch) else {
+            return;
+        };
+        if ops.is_empty() {
+            return;
+        }
+        let peers: Vec<u32> = self
+            .ring
+            .lock()
+            .shards()
+            .into_iter()
+            .filter(|&s| s != shard)
+            .collect();
+        let ship = encode_frame(&Message::DeltaShip { from_shard, batch });
+        for peer in peers {
+            let _ = self.transport.call(peer, &ship);
+        }
+        let mut stats = self.stats.lock();
+        stats.ships += 1;
+        stats.shipped_ops += ops.len() as u64;
+    }
+
+    /// Declares `shard` dead: off the ring, survivors absorb their
+    /// replica logs for it. Idempotent under races — only the caller
+    /// that actually removes the shard runs the absorb fan-out.
+    fn fail_over(&self, shard: u32) {
+        let survivors = {
+            let mut ring = self.ring.lock();
+            if !ring.remove(shard) {
+                return;
+            }
+            ring.shards()
+        };
+        self.stats.lock().failovers += 1;
+        let absorb = encode_frame(&Message::Absorb { dead_shard: shard });
+        for s in survivors {
+            if let Ok(bytes) = self.transport.call(s, &absorb) {
+                if decode_frame(&bytes) == Some(Message::Ack) {
+                    self.stats.lock().absorbs += 1;
+                }
+            }
+        }
+    }
+}

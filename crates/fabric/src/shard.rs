@@ -1,0 +1,231 @@
+//! A shard: one [`CompileService`] behind a `CCM2WIRE` frame handler,
+//! plus the replica logs it holds for its peers.
+//!
+//! A shard is deliberately passive — it answers frames and never
+//! initiates traffic. The router drives both planes: it forwards
+//! compile requests, and after each served compile it [`Message::Sync`]s
+//! the owning shard (which hands back the store deltas accumulated
+//! since the previous sync as one `CCM2DELT` batch) and fans that batch
+//! out to the surviving peers as [`Message::DeltaShip`] frames. Each
+//! peer parks the ops in a per-origin [`ReplicaLog`]; the log is pure
+//! potential energy until the origin dies, at which point
+//! [`Message::Absorb`] replays it into the survivor's own store
+//! ([`SharedStore::apply_delta`](ccm2_serve::SharedStore)) so re-routed
+//! requests warm-hit instead of recompiling.
+//!
+//! Replication is warmth, not truth: the store is content-addressed, so
+//! replaying an insert can never corrupt an entry (same fingerprint ⇒
+//! same bytes), and a lost batch merely costs a recompile. That is why
+//! a sequence gap in the incoming stream is counted and *tolerated*
+//! (the log keeps absorbing) instead of wedging the replica.
+
+use std::collections::HashMap;
+
+use ccm2_incr::{decode_delta, encode_delta, DeltaOp};
+use ccm2_serve::{CompileService, ServeConfig};
+use parking_lot::Mutex;
+
+use crate::wire::{decode_frame, encode_frame, Message, WireOutcome};
+
+/// Per-origin replica logs keep at most this many ops; beyond it the
+/// oldest are dropped (they are the most likely to have been evicted at
+/// the origin anyway). Matches the store's own in-memory delta cap.
+pub const REPLICA_LOG_CAP: usize = 8192;
+
+/// Deltas replicated from one peer, in arrival order.
+#[derive(Debug, Default)]
+pub struct ReplicaLog {
+    /// Sequence number after the last op (origin numbering).
+    pub last_seq: u64,
+    /// The ops, oldest first, capped at [`REPLICA_LOG_CAP`].
+    pub ops: Vec<DeltaOp>,
+    /// Batches that arrived with a sequence gap (tolerated; counted so
+    /// the drills can assert the happy path is actually gap-free).
+    pub gaps: u64,
+}
+
+/// Counters for one shard's frame traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Compile frames answered with an outcome.
+    pub compiles: u64,
+    /// Compile frames rejected at admission (queue full / over quota).
+    pub rejects: u64,
+    /// Frames (or delta batches) that failed checksum/format validation.
+    pub bad_frames: u64,
+    /// Sync frames answered with a non-empty delta batch.
+    pub ships: u64,
+    /// Syncs that found the store's delta history trimmed and had to
+    /// reset the cursor (the peers silently miss those ops).
+    pub sync_resets: u64,
+    /// Ops currently parked across all replica logs.
+    pub replica_ops: u64,
+    /// Ops replayed into the local store by `Absorb` frames.
+    pub absorbed_ops: u64,
+}
+
+struct ShardState {
+    /// Store delta sequence number up to which peers have been shipped.
+    ship_cursor: u64,
+    replicas: HashMap<u32, ReplicaLog>,
+    stats: ShardStats,
+}
+
+/// One fleet member: a shard id, its compile service, and the
+/// replication state described in the module docs.
+pub struct ShardNode {
+    id: u32,
+    svc: CompileService,
+    state: Mutex<ShardState>,
+}
+
+impl ShardNode {
+    /// Starts a fresh shard with its own service.
+    pub fn start(id: u32, config: ServeConfig) -> ShardNode {
+        ShardNode::from_service(id, CompileService::start(config))
+    }
+
+    /// Wraps an existing service (e.g. one restored from snapshot +
+    /// delta replay) as shard `id`. The ship cursor starts at the
+    /// store's current delta sequence: history from before the wrap is
+    /// the snapshot's business, not replication's.
+    pub fn from_service(id: u32, svc: CompileService) -> ShardNode {
+        let ship_cursor = svc.store().delta_seq();
+        ShardNode {
+            id,
+            svc,
+            state: Mutex::new(ShardState {
+                ship_cursor,
+                replicas: HashMap::new(),
+                stats: ShardStats::default(),
+            }),
+        }
+    }
+
+    /// This shard's fleet id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The underlying service (drills journal / snapshot through this).
+    pub fn service(&self) -> &CompileService {
+        &self.svc
+    }
+
+    /// Frame-traffic counters.
+    pub fn stats(&self) -> ShardStats {
+        let state = self.state.lock();
+        let mut stats = state.stats;
+        stats.replica_ops = state.replicas.values().map(|l| l.ops.len() as u64).sum();
+        stats
+    }
+
+    /// The ops currently parked for peer `origin` (drill assertions).
+    pub fn replica_len(&self, origin: u32) -> usize {
+        self.state
+            .lock()
+            .replicas
+            .get(&origin)
+            .map_or(0, |l| l.ops.len())
+    }
+
+    /// Handles one frame and returns the response frame. Never panics
+    /// on wire input: anything malformed is answered with a
+    /// [`Message::Reject`] so the router can retry or fail over.
+    pub fn handle(&self, frame: &[u8]) -> Vec<u8> {
+        let Some(msg) = decode_frame(frame) else {
+            self.state.lock().stats.bad_frames += 1;
+            return encode_frame(&Message::Reject("bad frame".into()));
+        };
+        let reply = match msg {
+            Message::Compile(wire_req) => self.compile(wire_req),
+            Message::Sync => self.sync(),
+            Message::DeltaShip { from_shard, batch } => self.receive_ship(from_shard, &batch),
+            Message::Absorb { dead_shard } => self.absorb(dead_shard),
+            Message::Outcome(_) | Message::Reject(_) | Message::Ack => {
+                Message::Reject("unexpected message kind".into())
+            }
+        };
+        encode_frame(&reply)
+    }
+
+    fn compile(&self, wire_req: crate::wire::WireRequest) -> Message {
+        let req = wire_req.to_request();
+        let sub = self.svc.submit(req);
+        match sub.ticket() {
+            Some(ticket) => {
+                // Wait outside the shard lock: compiles run for a
+                // while and other frames must keep flowing.
+                let out = ticket.wait();
+                self.state.lock().stats.compiles += 1;
+                Message::Outcome(WireOutcome::from_outcome(&out))
+            }
+            None => {
+                self.state.lock().stats.rejects += 1;
+                Message::Reject("not admitted: queue full or over quota".into())
+            }
+        }
+    }
+
+    fn sync(&self) -> Message {
+        let store = self.svc.store();
+        let mut state = self.state.lock();
+        let base = state.ship_cursor;
+        let batch = match store.deltas_since(base) {
+            Some(ops) => {
+                state.ship_cursor = base + ops.len() as u64;
+                if !ops.is_empty() {
+                    state.stats.ships += 1;
+                }
+                encode_delta(base, &ops)
+            }
+            None => {
+                // The store trimmed past our cursor (journal truncation
+                // or log overflow). Peers miss those ops — warmth, not
+                // truth — and the cursor rejoins the live edge.
+                state.stats.sync_resets += 1;
+                state.ship_cursor = store.delta_seq();
+                encode_delta(state.ship_cursor, &[])
+            }
+        };
+        Message::DeltaShip {
+            from_shard: self.id,
+            batch,
+        }
+    }
+
+    fn receive_ship(&self, from_shard: u32, batch: &[u8]) -> Message {
+        let Some((base, ops)) = decode_delta(batch) else {
+            self.state.lock().stats.bad_frames += 1;
+            return Message::Reject("bad delta batch".into());
+        };
+        let batch_end = base.saturating_add(ops.len() as u64);
+        let mut state = self.state.lock();
+        let log = state.replicas.entry(from_shard).or_default();
+        if base > log.last_seq && !log.ops.is_empty() {
+            log.gaps += 1;
+        }
+        // Overlap (a re-shipped prefix) is skipped; fresh ops append.
+        let skip = (log.last_seq.saturating_sub(base)) as usize;
+        if skip < ops.len() {
+            log.ops.extend(ops.into_iter().skip(skip));
+        }
+        log.last_seq = log.last_seq.max(batch_end);
+        if log.ops.len() > REPLICA_LOG_CAP {
+            let excess = log.ops.len() - REPLICA_LOG_CAP;
+            log.ops.drain(..excess);
+        }
+        Message::Ack
+    }
+
+    fn absorb(&self, dead_shard: u32) -> Message {
+        let log = self.state.lock().replicas.remove(&dead_shard);
+        if let Some(log) = log {
+            // Replay outside the shard lock; apply_delta takes the
+            // store's own lock.
+            self.svc.store().apply_delta(&log.ops);
+            self.state.lock().stats.absorbed_ops += log.ops.len() as u64;
+        }
+        Message::Ack
+    }
+}

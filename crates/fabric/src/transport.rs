@@ -1,0 +1,387 @@
+//! How frames move: the [`Transport`] trait and its two
+//! implementations.
+//!
+//! * [`LoopbackTransport`] — in-process, deterministic, seedable. The
+//!   fleet drills and the equivalence proptests run on it: a call is a
+//!   direct `handle()` on the target shard, an optional seeded
+//!   corruptor flips one byte in a reproducible subset of frames (to
+//!   prove the `CCM2WIRE` checksum actually gates), and
+//!   [`LoopbackTransport::kill`] makes a shard vanish mid-fleet the
+//!   way a crashed process would: every later call fails with an I/O
+//!   error.
+//! * [`TcpTransport`] / [`TcpShardServer`] — real sockets on
+//!   `127.0.0.1` with ephemeral ports, one frame per connection. The
+//!   integration test runs the same router code over TCP to show the
+//!   loopback results are not an artifact of skipping serialization.
+//!
+//! Both speak the exact same frames; the router cannot tell them
+//! apart. That symmetry is the point: everything proven on the
+//! deterministic transport holds on the socket one because the only
+//! difference is the byte conduit.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ccm2_support::hash::StableHasher;
+use parking_lot::Mutex;
+
+use crate::shard::ShardNode;
+use crate::wire::{frame_len, FRAME_OVERHEAD};
+
+/// Largest payload a reader will allocate for (64 MiB — comfortably
+/// above any compile outcome, far below a garbage length prefix).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Anything that can answer one `CCM2WIRE` frame with another.
+pub trait FrameHandler: Send + Sync {
+    /// Handles one request frame, returning the response frame.
+    fn handle(&self, frame: &[u8]) -> Vec<u8>;
+}
+
+impl FrameHandler for ShardNode {
+    fn handle(&self, frame: &[u8]) -> Vec<u8> {
+        ShardNode::handle(self, frame)
+    }
+}
+
+/// A way to deliver one frame to a shard and get its answer.
+///
+/// `call` is synchronous request/response; an `Err` means the shard is
+/// unreachable (dead, refused, or the conduit broke) and the router
+/// treats it as shard death. A *successful* call whose response fails
+/// frame validation is **not** a transport error — that is the
+/// checksum plane's business and the router retries.
+pub trait Transport: Send + Sync {
+    /// Delivers `frame` to `shard`, returning the response frame.
+    fn call(&self, shard: u32, frame: &[u8]) -> io::Result<Vec<u8>>;
+
+    /// Shards this transport can currently reach, ascending.
+    fn shards(&self) -> Vec<u32>;
+
+    /// Makes `shard` unreachable (test/drill hook). Returns whether it
+    /// was reachable before. Transports that cannot kill return false.
+    fn kill(&self, _shard: u32) -> bool {
+        false
+    }
+}
+
+/// In-process transport: shard id → handler, with optional seeded
+/// frame corruption. See the module docs.
+#[derive(Default)]
+pub struct LoopbackTransport {
+    endpoints: Mutex<HashMap<u32, Arc<dyn FrameHandler>>>,
+    /// `(seed, rate_ppm)`: frame `n` is corrupted iff the stable hash
+    /// of `(seed, n)` lands under `rate_ppm` parts per million —
+    /// deterministic for a given seed and call order.
+    corrupt: Option<(u64, u32)>,
+    calls: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl LoopbackTransport {
+    /// A clean loopback: no corruption, no endpoints.
+    pub fn new() -> LoopbackTransport {
+        LoopbackTransport::default()
+    }
+
+    /// A loopback that flips one byte in a seeded `rate_ppm` fraction
+    /// of request frames before delivery.
+    pub fn with_corruption(seed: u64, rate_ppm: u32) -> LoopbackTransport {
+        LoopbackTransport {
+            corrupt: Some((seed, rate_ppm)),
+            ..LoopbackTransport::default()
+        }
+    }
+
+    /// Registers (or replaces) the handler for `shard`.
+    pub fn register(&self, shard: u32, handler: Arc<dyn FrameHandler>) {
+        self.endpoints.lock().insert(shard, handler);
+    }
+
+    /// Total calls attempted (including to dead shards).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Frames the corruptor actually damaged.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn call(&self, shard: u32, frame: &[u8]) -> io::Result<Vec<u8>> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let handler = self.endpoints.lock().get(&shard).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("shard {shard} is down"),
+            )
+        })?;
+        if let Some((seed, rate_ppm)) = self.corrupt {
+            let mut h = StableHasher::new();
+            h.write_str("ccm2-fabric/loopback-corrupt");
+            h.write_u64(seed);
+            h.write_u64(n);
+            let roll = h.finish().fold64();
+            if !frame.is_empty() && roll % 1_000_000 < u64::from(rate_ppm) {
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
+                let mut bad = frame.to_vec();
+                let at = (roll / 1_000_000) as usize % bad.len();
+                bad[at] ^= 0x55;
+                return Ok(handler.handle(&bad));
+            }
+        }
+        Ok(handler.handle(frame))
+    }
+
+    fn shards(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.endpoints.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn kill(&self, shard: u32) -> bool {
+        self.endpoints.lock().remove(&shard).is_some()
+    }
+}
+
+/// Reads one complete frame off `r`: 16 header bytes, then exactly the
+/// length the (not-yet-trusted) header announces. Validation of the
+/// checksum happens later in `decode_frame`; this only bounds the read.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)?;
+    let total = frame_len(&header, max_payload).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad frame header (magic/version/length)",
+        )
+    })?;
+    let mut frame = vec![0u8; total];
+    frame[..16].copy_from_slice(&header);
+    r.read_exact(&mut frame[16..])?;
+    Ok(frame)
+}
+
+/// Socket transport: shard id → `127.0.0.1` address, one frame per
+/// connection.
+#[derive(Default)]
+pub struct TcpTransport {
+    peers: Mutex<HashMap<u32, SocketAddr>>,
+}
+
+impl TcpTransport {
+    /// An empty peer table.
+    pub fn new() -> TcpTransport {
+        TcpTransport::default()
+    }
+
+    /// Registers shard `id` at `addr` (a [`TcpShardServer::addr`]).
+    pub fn register(&self, shard: u32, addr: SocketAddr) {
+        self.peers.lock().insert(shard, addr);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, shard: u32, frame: &[u8]) -> io::Result<Vec<u8>> {
+        let addr = self.peers.lock().get(&shard).copied().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("shard {shard} is down"),
+            )
+        })?;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(frame)?;
+        stream.flush()?;
+        read_frame(&mut stream, MAX_PAYLOAD)
+    }
+
+    fn shards(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.peers.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Forgets the peer (later calls fail). The server process itself
+    /// is stopped by whoever owns it — see [`TcpShardServer::stop`].
+    fn kill(&self, shard: u32) -> bool {
+        self.peers.lock().remove(&shard).is_some()
+    }
+}
+
+/// An accept loop serving one [`FrameHandler`] on an ephemeral
+/// `127.0.0.1` port; each connection is one frame in, one frame out,
+/// handled on its own thread so slow compiles do not serialize the
+/// fleet.
+pub struct TcpShardServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpShardServer {
+    /// Binds an ephemeral port and starts accepting.
+    pub fn serve(handler: Arc<dyn FrameHandler>) -> io::Result<TcpShardServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let handler = Arc::clone(&handler);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &*handler);
+                }));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(TcpShardServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address, for [`TcpTransport::register`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop (a self-connection
+    /// unblocks the blocking `accept`). In-flight connections finish.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpShardServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handler: &dyn FrameHandler) {
+    let Ok(frame) = read_frame(&mut stream, MAX_PAYLOAD) else {
+        return;
+    };
+    let response = handler.handle(&frame);
+    let _ = stream.write_all(&response);
+    let _ = stream.flush();
+}
+
+/// Frame overhead re-exported for size accounting in the drills.
+pub const fn frame_overhead() -> usize {
+    FRAME_OVERHEAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_frame, encode_frame, Message};
+
+    /// Echoes `Ack` for any valid frame, `Reject` otherwise.
+    struct AckHandler;
+
+    impl FrameHandler for AckHandler {
+        fn handle(&self, frame: &[u8]) -> Vec<u8> {
+            match decode_frame(frame) {
+                Some(_) => encode_frame(&Message::Ack),
+                None => encode_frame(&Message::Reject("bad frame".into())),
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_routes_kills_and_refuses_dead_shards() {
+        let t = LoopbackTransport::new();
+        t.register(1, Arc::new(AckHandler));
+        t.register(2, Arc::new(AckHandler));
+        assert_eq!(t.shards(), vec![1, 2]);
+
+        let frame = encode_frame(&Message::Sync);
+        let resp = t.call(1, &frame).unwrap();
+        assert_eq!(decode_frame(&resp), Some(Message::Ack));
+
+        assert!(t.kill(1));
+        assert!(!t.kill(1), "already dead");
+        let err = t.call(1, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(t.shards(), vec![2]);
+        assert_eq!(t.calls(), 2);
+    }
+
+    #[test]
+    fn seeded_corruption_is_deterministic_and_caught_by_the_checksum() {
+        // A high rate so a small call count definitely hits corruption.
+        let make = || {
+            let t = LoopbackTransport::with_corruption(0xC0FF, 400_000);
+            t.register(7, Arc::new(AckHandler));
+            t
+        };
+        let frame = encode_frame(&Message::Sync);
+        let observe = |t: &LoopbackTransport| {
+            (0..64)
+                .map(|_| {
+                    let resp = t.call(7, &frame).unwrap();
+                    matches!(decode_frame(&resp), Some(Message::Ack))
+                })
+                .collect::<Vec<bool>>()
+        };
+        let (a, b) = (make(), make());
+        let (run_a, run_b) = (observe(&a), observe(&b));
+        assert_eq!(run_a, run_b, "same seed, same call order, same damage");
+        assert!(a.corrupted() > 0, "rate 40% never fired in 64 calls");
+        assert!(
+            run_a.iter().any(|ok| !ok),
+            "every corrupted frame still decoded — checksum is dead"
+        );
+        assert!(run_a.iter().any(|ok| *ok), "every frame was corrupted");
+    }
+
+    #[test]
+    fn tcp_round_trips_frames_and_stops_cleanly() {
+        let mut server = TcpShardServer::serve(Arc::new(AckHandler)).unwrap();
+        let t = TcpTransport::new();
+        t.register(3, server.addr());
+        assert_eq!(t.shards(), vec![3]);
+
+        let frame = encode_frame(&Message::Sync);
+        for _ in 0..4 {
+            let resp = t.call(3, &frame).unwrap();
+            assert_eq!(decode_frame(&resp), Some(Message::Ack));
+        }
+
+        server.stop();
+        server.stop(); // idempotent
+        assert!(t.kill(3));
+        assert!(t.call(3, &frame).is_err(), "dead peer refuses");
+    }
+
+    #[test]
+    fn read_frame_rejects_garbage_headers_before_allocating() {
+        let mut garbage: &[u8] = &[0xFFu8; 64];
+        let err = read_frame(&mut garbage, MAX_PAYLOAD).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut short: &[u8] = &[0u8; 3];
+        assert!(read_frame(&mut short, MAX_PAYLOAD).is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //! | `task:{name}#r{k}` | dispatch of retry attempt `k >= 1` under supervised recovery | same as `task:` |
 //! | `signal:{event}`| both executors, per signal  | [`FaultKind::LoseSignal`] |
 //! | `store:{fp hex}`| artifact stores, at `store` | [`FaultKind::Corrupt`]    |
+//! | `shard:{id}#d{n}` | the fabric router, before dispatch `n` to shard `id` | [`FaultKind::Panic`] (shard death) |
 //!
 //! Task and event names are the scheduler's own labels (`codegen(M.P)`,
 //! `heading(P)`, …), so a plan can target one stream of one compile.
@@ -25,7 +26,11 @@
 //! `task:{name}` override models a transient fault (it matches attempt
 //! 0 only, so a supervised retry recovers), while `task:{name}*` also
 //! matches every `#r{k}` site and models a persistent fault that
-//! exhausts the retry budget.
+//! exhausts the retry budget. `shard:` sites carry the router's global
+//! dispatch counter, so `shard:2#d17` kills shard 2 at exactly dispatch
+//! 17 while `shard:2#d*` kills it at its first routed dispatch — death
+//! is permanent either way (the shard leaves the ring and its keys fail
+//! over).
 //!
 //! Sites that fire are logged; [`FaultPlan::fired`] returns the sorted,
 //! deduplicated list so harnesses can assert an injection actually
@@ -261,6 +266,21 @@ mod tests {
         assert!(!glob_match("task:a*b", "task:b-then-a"));
         assert!(glob_match("a*b*c", "a--b--c"));
         assert!(!glob_match("a*b*c", "a--c--b"));
+    }
+
+    #[test]
+    fn shard_sites_support_exact_and_first_dispatch_kills() {
+        // The fabric router queries `shard:{id}#d{n}` per dispatch.
+        let exact = FaultPlan::single("shard:2#d17", FaultKind::Panic);
+        assert_eq!(exact.at("shard:2#d17"), Some(FaultKind::Panic));
+        assert_eq!(exact.at("shard:2#d18"), None);
+        assert_eq!(exact.at("shard:21#d7"), None, "id is not a prefix match");
+        let first = FaultPlan::single("shard:2#d*", FaultKind::Panic);
+        assert_eq!(first.at("shard:2#d0"), Some(FaultKind::Panic));
+        assert_eq!(first.at("shard:2#d430"), Some(FaultKind::Panic));
+        assert_eq!(first.at("shard:0#d0"), None);
+        // Seeded task-rate plans never touch shard sites.
+        assert_eq!(FaultPlan::seeded(9, 1_000_000).at("shard:1#d0"), None);
     }
 
     #[test]

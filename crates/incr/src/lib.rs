@@ -29,12 +29,14 @@
 //!   implementation for tests/simulation and a file-per-entry on-disk
 //!   implementation for real warm starts.
 
+pub mod delta;
 pub mod entry;
 pub mod fingerprint;
 pub mod store;
 
 use ccm2_support::{Diagnostic, Interner, SourceMap};
 
+pub use delta::{decode_delta, encode_delta, DeltaOp, DELTA_FORMAT_VERSION, DELTA_MAGIC};
 pub use entry::{
     decode_entry, encode_entry, encode_image, CacheEntryData, CachedDiag, DecodeError,
     FORMAT_VERSION,

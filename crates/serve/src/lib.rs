@@ -54,11 +54,13 @@
 //! assert_eq!(svc.stats().joined, 1);
 //! ```
 
+pub mod delta;
 pub mod request;
 pub mod service;
 pub mod snapshot;
 pub mod store;
 
+pub use delta::{DeltaJournal, DeltaReplay};
 pub use request::{CompileOutcome, CompileRequest, ExecChoice, Response};
 pub use service::{ClientStats, CompileService, ServeConfig, ServiceStats, Submission, Ticket};
 pub use snapshot::{LoadedSnapshot, SnapshotStore};

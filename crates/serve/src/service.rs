@@ -69,7 +69,20 @@ pub struct ServeConfig {
     /// common case and a couple of backoffs almost always clear it. Set
     /// 0 to opt out: every shed submission then surfaces immediately as
     /// [`Response::Retry`] and the caller owns the retry policy.
+    /// Deadline-aware: a request whose
+    /// [`request_deadline_ms`](ServeConfig::request_deadline_ms) has
+    /// already expired consumes none of these attempts — it sheds
+    /// immediately instead of sleeping through backoffs it cannot use.
     pub retry_attempts: u32,
+    /// Per-client admission quota: the maximum *outstanding* admitted
+    /// requests (queued or compiling) any one client may hold. A client
+    /// at its quota has further distinct requests shed with
+    /// [`Submission::OverQuota`] until one of its compiles lands —
+    /// back-pressure, not denial. Joining an in-flight compile is exempt
+    /// (a join consumes no queue slot and no worker), so under-quota
+    /// clients are never displaced by a flooding one. `None` disables
+    /// the quota.
+    pub per_client_quota: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +96,7 @@ impl Default for ServeConfig {
             retry_backoff_base_ms: 1,
             retry_backoff_cap_ms: 64,
             retry_attempts: 3,
+            per_client_quota: None,
         }
     }
 }
@@ -98,6 +112,11 @@ pub struct ServiceStats {
     pub joined: u64,
     /// Requests shed because the queue was full.
     pub shed: u64,
+    /// Requests shed because the client was at its admission quota.
+    pub quota_shed: u64,
+    /// Shed requests whose batch deadline had already expired when a
+    /// retry would have run: they consumed no retry attempts.
+    pub deadline_shed: u64,
     /// Compiles actually run (the single-flight invariant:
     /// `compiled == accepted` once the queue drains, regardless of how
     /// many requests joined).
@@ -140,8 +159,12 @@ pub struct ClientStats {
     pub admitted: u64,
     /// Requests that joined an identical in-flight compile.
     pub joined: u64,
-    /// Requests shed at admission.
+    /// Requests shed at admission (queue full).
     pub shed: u64,
+    /// Requests shed because this client was at its admission quota.
+    pub quota_shed: u64,
+    /// Admitted requests currently outstanding (queued or compiling).
+    pub outstanding: u32,
 }
 
 /// A claim on a future [`CompileOutcome`].
@@ -208,6 +231,10 @@ pub enum Submission {
     Joined(Ticket),
     /// Shed: the queue was full. Back off and resubmit.
     Shed,
+    /// Shed: this client is at its
+    /// [`per_client_quota`](ServeConfig::per_client_quota). Back off
+    /// until one of the client's outstanding compiles lands.
+    OverQuota,
 }
 
 impl Submission {
@@ -215,18 +242,21 @@ impl Submission {
     pub fn ticket(&self) -> Option<&Ticket> {
         match self {
             Submission::Queued(t) | Submission::Joined(t) => Some(t),
-            Submission::Shed => None,
+            Submission::Shed | Submission::OverQuota => None,
         }
     }
 
-    /// Whether the request was shed at admission.
+    /// Whether the request was shed at admission (queue full or client
+    /// over quota) — in both cases the remedy is back off and resubmit.
     pub fn is_shed(&self) -> bool {
-        matches!(self, Submission::Shed)
+        matches!(self, Submission::Shed | Submission::OverQuota)
     }
 }
 
 struct InFlight {
     req: CompileRequest,
+    /// The admitting client — the one whose quota this compile holds.
+    leader: u64,
     tickets: Vec<Arc<TicketShared>>,
 }
 
@@ -329,17 +359,29 @@ impl CompileService {
             state.client_stats.entry(client).or_default().joined += 1;
             return Submission::Joined(ticket);
         }
+        if let Some(quota) = self.shared.config.per_client_quota {
+            if state.client_stats.entry(client).or_default().outstanding >= quota {
+                state.stats.quota_shed += 1;
+                state.client_stats.entry(client).or_default().quota_shed += 1;
+                return Submission::OverQuota;
+            }
+        }
         if state.queue.len() >= self.shared.queue_capacity {
             state.stats.shed += 1;
             state.client_stats.entry(client).or_default().shed += 1;
             return Submission::Shed;
         }
-        state.client_stats.entry(client).or_default().admitted += 1;
+        {
+            let cs = state.client_stats.entry(client).or_default();
+            cs.admitted += 1;
+            cs.outstanding += 1;
+        }
         let ticket = Ticket::new();
         state.inflight.insert(
             fp,
             InFlight {
                 req,
+                leader: client,
                 tickets: vec![Arc::clone(&ticket.shared)],
             },
         );
@@ -360,6 +402,11 @@ impl CompileService {
     /// instead of blocking the batch forever.
     pub fn serve_batch(&self, requests: Vec<CompileRequest>) -> Vec<Response> {
         let cfg = self.shared.config;
+        // The deadline is measured from batch admission, so time burned
+        // in backoff retries is charged against it.
+        let deadline_at = cfg
+            .request_deadline_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         let mut submissions: Vec<Submission> =
             requests.iter().map(|r| self.submit(r.clone())).collect();
         for (i, sub) in submissions.iter_mut().enumerate() {
@@ -367,6 +414,13 @@ impl CompileService {
                 continue;
             }
             for attempt in 0..cfg.retry_attempts {
+                // Deadline-aware budget: an expired request sheds
+                // immediately instead of drawing attempts (and backoff
+                // sleeps) it can no longer use.
+                if deadline_at.is_some_and(|d| std::time::Instant::now() >= d) {
+                    self.shared.state.lock().stats.deadline_shed += 1;
+                    break;
+                }
                 let delay = cfg
                     .retry_backoff_base_ms
                     .checked_shl(attempt.min(16))
@@ -384,15 +438,18 @@ impl CompileService {
             .iter()
             .zip(&requests)
             .map(|(s, req)| match s.ticket() {
-                Some(t) => match cfg.request_deadline_ms {
-                    Some(ms) => match t.wait_deadline(std::time::Duration::from_millis(ms)) {
-                        Some(out) => Response::Done(out),
-                        None => {
-                            self.shared.state.lock().stats.stalled += 1;
-                            Response::Done(Arc::new(deadline_outcome(req, ms)))
+                Some(t) => match (deadline_at, cfg.request_deadline_ms) {
+                    (Some(d), Some(ms)) => {
+                        let remaining = d.saturating_duration_since(std::time::Instant::now());
+                        match t.wait_deadline(remaining) {
+                            Some(out) => Response::Done(out),
+                            None => {
+                                self.shared.state.lock().stats.stalled += 1;
+                                Response::Done(Arc::new(deadline_outcome(req, ms)))
+                            }
                         }
-                    },
-                    None => Response::Done(t.wait()),
+                    }
+                    _ => Response::Done(t.wait()),
                 },
                 None => Response::Retry,
             })
@@ -472,11 +529,10 @@ fn worker_loop(shared: &Shared) {
             if outcome.stalled {
                 state.stats.stalled += 1;
             }
-            state
-                .inflight
-                .remove(&fp)
-                .expect("fulfilled exactly once")
-                .tickets
+            let fl = state.inflight.remove(&fp).expect("fulfilled exactly once");
+            let cs = state.client_stats.entry(fl.leader).or_default();
+            cs.outstanding = cs.outstanding.saturating_sub(1);
+            fl.tickets
         };
         for ticket in tickets {
             *ticket.slot.lock() = Some(Arc::clone(&outcome));
@@ -744,6 +800,90 @@ mod tests {
             "backoff retries landed every shed request"
         );
         assert!(svc.stats().shed >= 2, "initial submissions were shed");
+    }
+
+    #[test]
+    fn per_client_quota_sheds_flooder_but_not_joins() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            per_client_quota: Some(2),
+            ..ServeConfig::default()
+        });
+        // Client 1 floods four distinct requests: two admitted, two
+        // shed over quota.
+        let subs: Vec<Submission> = (0..4)
+            .map(|i| svc.submit(req(1, &format!("Q{i}"), "BEGIN")))
+            .collect();
+        assert!(matches!(subs[0], Submission::Queued(_)));
+        assert!(matches!(subs[1], Submission::Queued(_)));
+        assert!(matches!(subs[2], Submission::OverQuota));
+        assert!(matches!(subs[3], Submission::OverQuota));
+        assert!(subs[2].is_shed() && subs[2].ticket().is_none());
+        // Joining an in-flight compile is exempt: it costs no slot.
+        assert!(matches!(
+            svc.submit(req(1, "Q0", "BEGIN")),
+            Submission::Joined(_)
+        ));
+        // A different client is unaffected by the flooder's quota.
+        assert!(matches!(
+            svc.submit(req(2, "R", "BEGIN")),
+            Submission::Queued(_)
+        ));
+        let stats = svc.stats();
+        assert_eq!(stats.quota_shed, 2);
+        assert_eq!(stats.shed, 0, "queue-full and quota sheds are distinct");
+        let cs: std::collections::HashMap<u64, ClientStats> =
+            svc.client_stats().into_iter().collect();
+        assert_eq!(cs[&1].quota_shed, 2);
+        assert_eq!(cs[&1].outstanding, 2);
+        assert_eq!(cs[&2].quota_shed, 0);
+        // Quota is back-pressure, not denial: once the outstanding
+        // compiles land, the client may admit again.
+        svc.resume();
+        for s in &subs {
+            if let Some(t) = s.ticket() {
+                t.wait();
+            }
+        }
+        let again = svc.submit(req(1, "Q9", "BEGIN"));
+        assert!(matches!(again, Submission::Queued(_)));
+        again.ticket().expect("admitted").wait();
+        let cs: std::collections::HashMap<u64, ClientStats> =
+            svc.client_stats().into_iter().collect();
+        assert_eq!(cs[&1].outstanding, 0, "fulfillment releases the quota");
+    }
+
+    #[test]
+    fn expired_deadline_consumes_no_retry_attempts() {
+        // Paused workers, capacity 1: the second request sheds. With a
+        // 1ms deadline and 50ms backoff steps, a deadline-unaware retry
+        // loop would sleep ~500ms; the deadline-aware one must return
+        // almost immediately, charging zero attempts.
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            workers: 1,
+            queue_capacity: 1,
+            request_deadline_ms: Some(1),
+            retry_attempts: 10,
+            retry_backoff_base_ms: 50,
+            retry_backoff_cap_ms: 50,
+            ..ServeConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let responses = svc.serve_batch(vec![req(1, "DlA", "BEGIN"), req(2, "DlB", "BEGIN")]);
+        let elapsed = started.elapsed();
+        // First request was admitted but the paused worker missed the
+        // deadline; second was shed and its expired deadline short-
+        // circuited the retry budget.
+        let out = responses[0].outcome().expect("synthesized outcome");
+        assert!(out.stalled && !out.ok);
+        assert!(matches!(responses[1], Response::Retry));
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "retry backoff ran despite expired deadline ({elapsed:?})"
+        );
+        assert!(svc.stats().deadline_shed >= 1);
+        svc.resume();
     }
 
     #[test]

@@ -8,15 +8,23 @@
 //! place, so a crash at any point leaves either the previous image set
 //! or the complete new one — never a half-written current image.
 //!
-//! # Image format (version 1)
+//! # Image format (version 2)
 //!
 //! ```text
 //! magic      8 bytes   b"CCM2SNAP"
-//! version    u32 LE    1
+//! version    u32 LE    2
+//! delta_seq  u64 LE    store delta sequence number at the cut
 //! count      u32 LE    number of entries
 //! entry*     hi u64 LE, lo u64 LE, len u32 LE, bytes   (count times)
 //! checksum   hi u64 LE, lo u64 LE   Fp128 of everything above
 //! ```
+//!
+//! Version 1 images (no `delta_seq` field) still decode, with a delta
+//! sequence of 0. The sequence number is the seam between full images
+//! and the incremental [`DeltaJournal`](crate::DeltaJournal): a restart
+//! loads the newest valid image and replays only the journaled delta
+//! ops with higher sequence numbers — usually far fewer bytes than a
+//! fresh full image.
 //!
 //! Entries are stored **in LRU recency order, least recently used
 //! first** ([`SharedStore::export`]), so replaying them in file order
@@ -40,7 +48,7 @@ use ccm2_support::hash::{Fp128, StableHasher};
 use crate::store::SharedStore;
 
 const MAGIC: &[u8; 8] = b"CCM2SNAP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A directory of store snapshot images plus their quarantine.
 #[derive(Debug)]
@@ -54,6 +62,10 @@ pub struct LoadedSnapshot {
     /// Entries of the newest valid image, oldest-recency first; `None`
     /// when no valid image exists.
     pub entries: Option<Vec<(Fp128, Vec<u8>)>>,
+    /// Store delta sequence number recorded at the image's cut (0 for
+    /// version-1 images and when no image exists). Delta replay resumes
+    /// after this sequence number.
+    pub delta_seq: u64,
     /// Images that failed validation and were quarantined by this call.
     pub quarantined: Vec<PathBuf>,
 }
@@ -98,7 +110,7 @@ impl SnapshotStore {
     /// crash-atomic: temp file in the same directory, flush, rename.
     pub fn save(&self, store: &SharedStore) -> io::Result<PathBuf> {
         let seq = self.images()?.last().map_or(1, |(s, _)| s + 1);
-        let bytes = encode(&store.export());
+        let bytes = encode(&store.export(), store.delta_seq());
         let path = self.dir.join(format!("snap-{seq:08}.img"));
         let tmp = self
             .dir
@@ -115,8 +127,9 @@ impl SnapshotStore {
         let mut loaded = LoadedSnapshot::default();
         for (_, path) in self.images()?.into_iter().rev() {
             let bytes = fs::read(&path)?;
-            if let Some(entries) = decode(&bytes) {
+            if let Some((entries, delta_seq)) = decode(&bytes) {
                 loaded.entries = Some(entries);
+                loaded.delta_seq = delta_seq;
                 return Ok(loaded);
             }
             let qdir = self.dir.join("quarantine");
@@ -136,10 +149,11 @@ impl SnapshotStore {
     }
 }
 
-fn encode(entries: &[(Fp128, Vec<u8>)]) -> Vec<u8> {
+fn encode(entries: &[(Fp128, Vec<u8>)], delta_seq: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&delta_seq.to_le_bytes());
     buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (fp, bytes) in entries {
         buf.extend_from_slice(&fp.hi.to_le_bytes());
@@ -153,11 +167,15 @@ fn encode(entries: &[(Fp128, Vec<u8>)]) -> Vec<u8> {
     buf
 }
 
+/// Decoded image body: entries in LRU order plus the recorded delta
+/// sequence number (0 for version-1 images).
+type DecodedImage = (Vec<(Fp128, Vec<u8>)>, u64);
+
 /// Strict validation: magic, version, exact length accounting and the
 /// trailer checksum must all hold. Anything else — a torn tail, a
 /// flipped byte, a future version — is `None` and the image is
 /// quarantined by the caller.
-fn decode(buf: &[u8]) -> Option<Vec<(Fp128, Vec<u8>)>> {
+fn decode(buf: &[u8]) -> Option<DecodedImage> {
     if buf.len() < MAGIC.len() + 4 + 4 + 16 || &buf[..MAGIC.len()] != MAGIC {
         return None;
     }
@@ -170,10 +188,17 @@ fn decode(buf: &[u8]) -> Option<Vec<(Fp128, Vec<u8>)>> {
     let mut pos = MAGIC.len();
     let version = u32::from_le_bytes(body[pos..pos + 4].try_into().ok()?);
     pos += 4;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return None;
     }
-    let count = u32::from_le_bytes(body[pos..pos + 4].try_into().ok()?) as usize;
+    let delta_seq = if version >= 2 {
+        let seq = u64::from_le_bytes(body.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        seq
+    } else {
+        0
+    };
+    let count = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
     pos += 4;
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
@@ -190,7 +215,7 @@ fn decode(buf: &[u8]) -> Option<Vec<(Fp128, Vec<u8>)>> {
         entries.push((Fp128 { hi, lo }, body[pos..pos + len].to_vec()));
         pos += len;
     }
-    (pos == body.len()).then_some(entries)
+    (pos == body.len()).then_some((entries, delta_seq))
 }
 
 fn checksum(bytes: &[u8]) -> Fp128 {
@@ -217,8 +242,10 @@ impl crate::service::CompileService {
         snaps: &SnapshotStore,
     ) -> io::Result<crate::service::CompileService> {
         let store = SharedStore::new(config.store_budget);
-        if let Some(entries) = snaps.load_latest()?.entries {
+        let loaded = snaps.load_latest()?;
+        if let Some(entries) = loaded.entries {
             store.import(&entries);
+            store.resume_delta_seq(loaded.delta_seq);
         }
         Ok(crate::service::CompileService::start_with_store(
             config,
@@ -262,6 +289,7 @@ mod tests {
             loaded.entries.unwrap(),
             vec![(fp(2), b"two".to_vec()), (fp(1), b"one".to_vec())]
         );
+        assert_eq!(loaded.delta_seq, 2, "two logged insertions at the cut");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -275,7 +303,7 @@ mod tests {
         snaps.save(&store).unwrap();
         // A newer image, torn mid-write (no atomic rename would ever
         // produce this; simulate external damage / partial disk).
-        let good = encode(&store.export());
+        let good = encode(&store.export(), store.delta_seq());
         fs::write(dir.join("snap-00000002.img"), &good[..good.len() / 2]).unwrap();
         let loaded = snaps.load_latest().unwrap();
         assert_eq!(loaded.quarantined.len(), 1);
@@ -292,7 +320,7 @@ mod tests {
         let store = SharedStore::new(1024);
         use ccm2_incr::ArtifactStore as _;
         store.store(fp(3), b"payload");
-        let good = encode(&store.export());
+        let good = encode(&store.export(), store.delta_seq());
         assert!(decode(&good).is_some());
         let mut flipped = good.clone();
         flipped[MAGIC.len() + 9] ^= 0x01;
@@ -303,6 +331,36 @@ mod tests {
         assert!(decode(&good[..10]).is_none(), "truncation detected");
         assert!(decode(b"").is_none());
         let _ = &good;
+    }
+
+    #[test]
+    fn version_1_images_still_decode_with_zero_delta_seq() {
+        // Hand-build a v1 image (no delta_seq field) with the v1 layout.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // count
+        buf.extend_from_slice(&fp(5).hi.to_le_bytes());
+        buf.extend_from_slice(&fp(5).lo.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(b"old");
+        let sum = checksum(&buf);
+        buf.extend_from_slice(&sum.hi.to_le_bytes());
+        buf.extend_from_slice(&sum.lo.to_le_bytes());
+        let (entries, delta_seq) = decode(&buf).expect("v1 accepted");
+        assert_eq!(entries, vec![(fp(5), b"old".to_vec())]);
+        assert_eq!(delta_seq, 0, "v1 predates the delta journal");
+    }
+
+    #[test]
+    fn delta_seq_survives_the_snapshot_round_trip() {
+        let store = SharedStore::new(1024);
+        use ccm2_incr::ArtifactStore as _;
+        store.store(fp(1), b"a");
+        store.store(fp(2), b"b");
+        let img = encode(&store.export(), store.delta_seq());
+        let (_, seq) = decode(&img).unwrap();
+        assert_eq!(seq, store.delta_seq());
     }
 
     #[test]

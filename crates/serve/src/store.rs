@@ -15,10 +15,18 @@
 //! can report cache behaviour per batch.
 
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
-use ccm2_incr::{ArtifactStore, ByteBudgetLru};
+use ccm2_incr::{ArtifactStore, ByteBudgetLru, DeltaOp};
 use ccm2_support::hash::Fp128;
 use parking_lot::Mutex;
+
+/// Upper bound on retained delta-log ops. When the log overflows, the
+/// oldest ops are dropped and the retained history no longer reaches
+/// back to every consumer's cursor — [`SharedStore::deltas_since`] then
+/// returns `None` and the consumer falls back to a full snapshot. This
+/// bounds the log's memory no matter how rarely deltas are shipped.
+const DELTA_LOG_CAP: usize = 8192;
 
 /// A snapshot of a [`SharedStore`]'s counters and occupancy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +77,21 @@ struct Inner {
     insertions: u64,
     oversize_rejections: u64,
     quarantined: u64,
+    /// Sequence-numbered mutation log: `delta[i]` has sequence number
+    /// `delta_base + i + 1`. Imports and replays are *not* logged — they
+    /// are history, not new workload.
+    delta: VecDeque<DeltaOp>,
+    delta_base: u64,
+}
+
+impl Inner {
+    fn log_delta(&mut self, op: DeltaOp) {
+        self.delta.push_back(op);
+        while self.delta.len() > DELTA_LOG_CAP {
+            self.delta.pop_front();
+            self.delta_base += 1;
+        }
+    }
 }
 
 /// A byte-budgeted, LRU-evicting, instrumented [`ArtifactStore`] meant
@@ -97,6 +120,8 @@ impl SharedStore {
                 insertions: 0,
                 oversize_rejections: 0,
                 quarantined: 0,
+                delta: VecDeque::new(),
+                delta_base: 0,
             }),
             faults: None,
         }
@@ -139,6 +164,79 @@ impl SharedStore {
             }
             if admission.accepted {
                 inner.map.insert(*fp, bytes.clone());
+            }
+        }
+        inner.peak_bytes = inner.peak_bytes.max(inner.lru.total());
+        debug_assert_eq!(inner.map.len(), inner.lru.len());
+    }
+
+    /// The sequence number of the newest logged mutation (0 before any).
+    /// The snapshot journal records this so a restart knows where delta
+    /// replay must pick up.
+    pub fn delta_seq(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.delta_base + inner.delta.len() as u64
+    }
+
+    /// Every logged mutation with sequence number greater than `seq`,
+    /// in replay order. `None` when the retained history no longer
+    /// reaches back to `seq` (the bounded log dropped older ops) — the
+    /// caller must fall back to a full snapshot/export instead.
+    pub fn deltas_since(&self, seq: u64) -> Option<Vec<DeltaOp>> {
+        let inner = self.inner.lock();
+        if seq < inner.delta_base {
+            return None;
+        }
+        let skip = (seq - inner.delta_base) as usize;
+        if skip > inner.delta.len() {
+            return None;
+        }
+        Some(inner.delta.iter().skip(skip).cloned().collect())
+    }
+
+    /// Drops logged ops with sequence number `<= seq` — call after the
+    /// ops are durably journaled so the in-memory log stays small.
+    pub fn truncate_deltas(&self, seq: u64) {
+        let mut inner = self.inner.lock();
+        while inner.delta_base < seq.min(inner.delta_base + inner.delta.len() as u64) {
+            inner.delta.pop_front();
+            inner.delta_base += 1;
+        }
+    }
+
+    /// Re-anchors the delta sequence counter after a restore: the next
+    /// logged mutation gets sequence number `seq + 1`. Requires an empty
+    /// log (restores happen before the store takes traffic).
+    pub fn resume_delta_seq(&self, seq: u64) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.delta.is_empty(), "resume on a store with history");
+        inner.delta.clear();
+        inner.delta_base = seq;
+    }
+
+    /// Replays delta ops — the restart path (snapshot + delta replay)
+    /// and the fabric's replica-absorb path. Like [`SharedStore::import`]
+    /// this bypasses fault injection, the insertion counter and the
+    /// delta log itself: replayed history must not be re-journaled or
+    /// re-corrupted. Budget and LRU admission still apply.
+    pub fn apply_delta(&self, ops: &[DeltaOp]) {
+        let mut inner = self.inner.lock();
+        for op in ops {
+            match op {
+                DeltaOp::Insert { fp, bytes } => {
+                    let admission = inner.lru.admit(*fp, bytes.len() as u64);
+                    for victim in &admission.evict {
+                        inner.map.remove(victim);
+                    }
+                    if admission.accepted {
+                        inner.map.insert(*fp, bytes.clone());
+                    }
+                }
+                DeltaOp::Evict { fp } => {
+                    if inner.map.remove(fp).is_some() {
+                        inner.lru.remove(*fp);
+                    }
+                }
             }
         }
         inner.peak_bytes = inner.peak_bytes.max(inner.lru.total());
@@ -204,9 +302,18 @@ impl ArtifactStore for SharedStore {
         for victim in &admission.evict {
             inner.map.remove(victim);
         }
+        // Log victims before the insert so replaying the ops in order
+        // reproduces the same occupancy trajectory under the budget.
+        for victim in &admission.evict {
+            inner.log_delta(DeltaOp::Evict { fp: *victim });
+        }
         if admission.accepted {
             inner.map.insert(fp, bytes.to_vec());
             inner.insertions += 1;
+            inner.log_delta(DeltaOp::Insert {
+                fp,
+                bytes: bytes.to_vec(),
+            });
         } else {
             inner.oversize_rejections += 1;
         }
@@ -220,6 +327,7 @@ impl ArtifactStore for SharedStore {
         if inner.map.remove(&fp).is_some() {
             inner.lru.remove(fp);
             inner.quarantined += 1;
+            inner.log_delta(DeltaOp::Evict { fp });
         }
     }
 }
@@ -320,6 +428,76 @@ mod tests {
         assert!(restored.load(fp(1)).is_some());
         let st = restored.stats();
         assert_eq!(st.insertions, 1, "imports are not counted as insertions");
+    }
+
+    #[test]
+    fn delta_log_records_inserts_evictions_and_quarantines() {
+        let s = SharedStore::new(10);
+        assert_eq!(s.delta_seq(), 0);
+        s.store(fp(1), &[1; 4]);
+        s.store(fp(2), &[2; 4]);
+        s.store(fp(3), &[3; 4]); // evicts fp(1)
+        s.quarantine(fp(2));
+        let ops = s.deltas_since(0).expect("full history retained");
+        assert_eq!(
+            ops,
+            vec![
+                DeltaOp::Insert {
+                    fp: fp(1),
+                    bytes: vec![1; 4]
+                },
+                DeltaOp::Insert {
+                    fp: fp(2),
+                    bytes: vec![2; 4]
+                },
+                DeltaOp::Evict { fp: fp(1) },
+                DeltaOp::Insert {
+                    fp: fp(3),
+                    bytes: vec![3; 4]
+                },
+                DeltaOp::Evict { fp: fp(2) },
+            ]
+        );
+        assert_eq!(s.delta_seq(), 5);
+        // Replaying the ops rebuilds the same content.
+        let replica = SharedStore::new(10);
+        replica.apply_delta(&ops);
+        assert_eq!(
+            replica.export().iter().map(|(f, _)| *f).collect::<Vec<_>>(),
+            vec![fp(3)]
+        );
+        let st = replica.stats();
+        assert_eq!(st.insertions, 0, "replays are not workload");
+        assert_eq!(st.entries, 1);
+    }
+
+    #[test]
+    fn deltas_since_cursor_and_truncation() {
+        let s = SharedStore::new(1024);
+        s.store(fp(1), b"a");
+        s.store(fp(2), b"b");
+        assert_eq!(s.deltas_since(1).unwrap().len(), 1);
+        assert_eq!(s.deltas_since(2).unwrap().len(), 0);
+        s.truncate_deltas(1);
+        assert!(s.deltas_since(0).is_none(), "history trimmed below cursor");
+        assert_eq!(s.deltas_since(1).unwrap().len(), 1);
+        // Resume re-anchors the counter on a drained log.
+        s.truncate_deltas(2);
+        s.resume_delta_seq(40);
+        s.store(fp(3), b"c");
+        assert_eq!(s.delta_seq(), 41);
+        assert_eq!(s.deltas_since(40).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn overflowing_delta_log_drops_oldest_history() {
+        let s = SharedStore::new(u64::MAX);
+        for i in 0..(super::DELTA_LOG_CAP as u64 + 10) {
+            s.store(fp(i), b"x");
+        }
+        assert!(s.deltas_since(0).is_none(), "oldest ops dropped");
+        let newest = s.delta_seq();
+        assert_eq!(s.deltas_since(newest - 1).unwrap().len(), 1);
     }
 
     #[test]

@@ -47,6 +47,14 @@ impl Fp128 {
         format!("{:016x}{:016x}", self.hi, self.lo)
     }
 
+    /// Folds the fingerprint into a single stable `u64` — the placement
+    /// key for consistent-hash rings (`ccm2-fabric`). The rotation mixes
+    /// both lanes so the fold keeps their independence instead of
+    /// degenerating to one lane.
+    pub fn fold64(self) -> u64 {
+        self.hi ^ self.lo.rotate_left(32)
+    }
+
     /// Parses the output of [`Fp128::to_hex`].
     pub fn from_hex(s: &str) -> Option<Fp128> {
         if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
@@ -178,6 +186,22 @@ mod tests {
         assert_eq!(Fp128::from_hex(&hex), Some(fp));
         assert_eq!(Fp128::from_hex("zz"), None);
         assert_eq!(Fp128::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn fold64_is_stable_and_lane_sensitive() {
+        let fp = Fp128::of(b"ring point");
+        assert_eq!(fp.fold64(), fp.fold64(), "pure function");
+        let hi_only = Fp128 {
+            hi: fp.hi ^ 1,
+            lo: fp.lo,
+        };
+        let lo_only = Fp128 {
+            hi: fp.hi,
+            lo: fp.lo ^ 1,
+        };
+        assert_ne!(fp.fold64(), hi_only.fold64());
+        assert_ne!(fp.fold64(), lo_only.fold64());
     }
 
     #[test]

@@ -165,6 +165,30 @@ pub fn kill_points(params: &ServeLoadParams, n: usize) -> Vec<usize> {
     points.into_iter().collect()
 }
 
+/// Seeded shard-kill schedule for fleet failover drills: `n` distinct
+/// interior event indices, each paired with a shard id in `0..shards`,
+/// sorted by index. The fabric drill kills the named shard just before
+/// serving the event at that index. Like [`kill_points`], the schedule
+/// rides its own seed stream so asking for it never perturbs the load,
+/// and the same `(params, shards, n)` always yields the same schedule.
+pub fn shard_kill_schedule(params: &ServeLoadParams, shards: u32, n: usize) -> Vec<(usize, u32)> {
+    if params.events < 2 || n == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xfab1_c417);
+    let mut points = std::collections::BTreeSet::new();
+    let want = n.min(params.events - 1);
+    while points.len() < want {
+        points.insert(rng.gen_range(1..params.events));
+    }
+    // Shard ids draw after the indices settle, so the count of rejected
+    // duplicate indices above cannot shift which shard dies.
+    points
+        .into_iter()
+        .map(|at| (at, rng.gen_range(0..shards)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +270,28 @@ mod tests {
             ..ServeLoadParams::default()
         };
         assert_eq!(kill_points(&short, 10).len(), 3);
+    }
+
+    #[test]
+    fn shard_kill_schedule_is_deterministic_interior_and_in_range() {
+        let p = ServeLoadParams::default();
+        let a = shard_kill_schedule(&p, 3, 2);
+        assert_eq!(a, shard_kill_schedule(&p, 3, 2), "same seed, same plan");
+        assert_eq!(a.len(), 2);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "sorted: {a:?}");
+        assert!(
+            a.iter().all(|&(at, s)| at >= 1 && at < p.events && s < 3),
+            "interior indices, valid shards: {a:?}"
+        );
+        let b = shard_kill_schedule(&ServeLoadParams { seed: 0x77, ..p }, 3, 2);
+        assert_ne!(a, b, "seed-sensitive");
+        assert!(shard_kill_schedule(&p, 0, 2).is_empty(), "no shards");
+        assert!(shard_kill_schedule(&p, 3, 0).is_empty(), "no kills");
+        let tiny = ServeLoadParams {
+            events: 1,
+            ..ServeLoadParams::default()
+        };
+        assert!(shard_kill_schedule(&tiny, 3, 2).is_empty());
     }
 
     #[test]

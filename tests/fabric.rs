@@ -1,0 +1,173 @@
+//! Fleet-equivalence properties: an N-shard loopback fabric is
+//! observationally identical to one standalone [`CompileService`] —
+//! byte-identical objects (in the interner-independent
+//! `ccm2_incr::encode_image` encoding) and identical rendered
+//! diagnostics for every event of a seeded serve load. The property is
+//! also checked **across a mid-stream shard kill**: the seeded
+//! failover (`ccm2_workload::shard_kill_schedule`) must change
+//! *nothing* a client can observe — zero admitted requests lost, same
+//! bytes, same diagnostics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ccm2_fabric::Fabric;
+use ccm2_sema::symtab::DkyStrategy;
+use ccm2_serve::{CompileRequest, CompileService, ExecChoice, Response, ServeConfig};
+use ccm2_workload::{serve_load, shard_kill_schedule, ServeEvent, ServeLoadParams};
+
+fn request(e: &ServeEvent) -> CompileRequest {
+    CompileRequest {
+        client: e.client,
+        module: e.module.name.clone(),
+        source: e.module.source.clone(),
+        defs: Arc::new(e.module.defs.clone()),
+        strategy: DkyStrategy::Skeptical,
+        exec: ExecChoice::Sim(2),
+        analyze: false,
+        faults: None,
+        task_deadline: None,
+        max_stream_retries: 0,
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        store_budget: 64 * 1024,
+        ..ServeConfig::default()
+    }
+}
+
+/// What a client can observe of one served event.
+type Observed = (bool, Option<Vec<u8>>, Vec<String>);
+
+/// Serves every event on one standalone service (the reference),
+/// driving the documented back-off protocol until all are done.
+fn serve_standalone(events: &[ServeEvent]) -> Vec<Observed> {
+    let svc = CompileService::start(config());
+    let mut out: Vec<Option<Observed>> = vec![None; events.len()];
+    let mut pending: Vec<usize> = (0..events.len()).collect();
+    let mut waves = 0;
+    while !pending.is_empty() {
+        waves += 1;
+        assert!(waves <= 100, "standalone retry protocol failed to drain");
+        let batch: Vec<CompileRequest> = pending.iter().map(|&i| request(&events[i])).collect();
+        let indexes = std::mem::take(&mut pending);
+        for (i, resp) in indexes.into_iter().zip(svc.serve_batch(batch)) {
+            match resp {
+                Response::Done(o) => {
+                    out[i] = Some((o.ok, o.object.clone(), o.diagnostics.clone()));
+                }
+                Response::Retry => pending.push(i),
+            }
+        }
+    }
+    out.into_iter().map(|o| o.expect("served")).collect()
+}
+
+/// Serves every event on an N-shard loopback fabric, optionally
+/// killing one shard after `at` events have been served.
+fn serve_fabric(events: &[ServeEvent], shards: usize, kill: Option<(usize, u32)>) -> Vec<Observed> {
+    let fabric = Fabric::start(shards, config());
+    let mut out: Vec<Option<Observed>> = vec![None; events.len()];
+    let phases: Vec<(usize, usize)> = match kill {
+        Some((at, _)) if at < events.len() => vec![(0, at), (at, events.len())],
+        _ => vec![(0, events.len())],
+    };
+    for (phase_idx, &(lo, hi)) in phases.iter().enumerate() {
+        if phase_idx == 1 {
+            let (_, victim) = kill.expect("second phase implies a kill");
+            fabric.router().kill_shard(victim);
+        }
+        let mut pending: Vec<usize> = (lo..hi).collect();
+        let mut waves = 0;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(waves <= 100, "fabric retry protocol failed to drain");
+            let batch: Vec<CompileRequest> = pending.iter().map(|&i| request(&events[i])).collect();
+            let indexes = std::mem::take(&mut pending);
+            for (i, resp) in indexes.into_iter().zip(fabric.router().serve_batch(&batch)) {
+                match resp {
+                    ccm2_fabric::FabricResponse::Done(o) => {
+                        out[i] = Some((o.ok, o.object.clone(), o.diagnostics.clone()));
+                    }
+                    ccm2_fabric::FabricResponse::Retry => pending.push(i),
+                }
+            }
+        }
+    }
+    if let Some((_, victim)) = kill {
+        let live = fabric.router().live_shards();
+        assert!(
+            !live.contains(&victim),
+            "killed shard {victim} still live: {live:?}"
+        );
+        assert_eq!(live.len(), shards - 1, "exactly one shard died");
+    }
+    out.into_iter().map(|o| o.expect("served")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    // N shards, no deaths: byte-identical to standalone.
+    #[test]
+    fn fabric_matches_standalone(
+        seed in 0u64..1_000_000,
+        shards in 3usize..6,
+        events in 8usize..20,
+        edit_every in 0usize..6,
+    ) {
+        let params = ServeLoadParams {
+            seed,
+            projects: 2,
+            clients: 3,
+            events,
+            edit_every,
+            interface_every: 2,
+        };
+        let load = serve_load(&params);
+        let reference = serve_standalone(&load);
+        let fleet = serve_fabric(&load, shards, None);
+        for (i, (r, f)) in reference.iter().zip(&fleet).enumerate() {
+            prop_assert!(r.0 && f.0, "event {i} failed somewhere");
+            prop_assert_eq!(&r.1, &f.1, "object bytes diverge at event {}", i);
+            prop_assert_eq!(&r.2, &f.2, "diagnostics diverge at event {}", i);
+        }
+    }
+
+    // One seeded mid-stream shard kill: still byte-identical,
+    // zero admitted requests lost.
+    #[test]
+    fn fabric_survives_a_seeded_shard_kill_byte_identically(
+        seed in 0u64..1_000_000,
+        shards in 3usize..5,
+        events in 10usize..18,
+    ) {
+        let params = ServeLoadParams {
+            seed,
+            projects: 2,
+            clients: 3,
+            events,
+            edit_every: 4,
+            interface_every: 3,
+        };
+        let load = serve_load(&params);
+        let schedule = shard_kill_schedule(&params, shards as u32, 1);
+        prop_assert_eq!(schedule.len(), 1);
+        let (at, victim) = schedule[0];
+        let reference = serve_standalone(&load);
+        let fleet = serve_fabric(&load, shards, Some((at, victim)));
+        for (i, (r, f)) in reference.iter().zip(&fleet).enumerate() {
+            prop_assert!(r.0 && f.0, "event {i} failed somewhere");
+            prop_assert_eq!(&r.1, &f.1, "object bytes diverge at event {} (kill at {})", i, at);
+            prop_assert_eq!(&r.2, &f.2, "diagnostics diverge at event {}", i);
+        }
+    }
+}
