@@ -57,6 +57,19 @@ cargo test -q -p ccm2-fabric
 cargo test -q --test fabric
 cargo run -q --release -p ccm2-bench --bin reproduce -- fabric
 
+echo "== editor sessions: convergence, coalescing, error-unit determinism =="
+# The watch loop must converge every seeded edit session — broken
+# intermediates included — to the byte-identical output of a cold
+# compile of the final sources, and a syntax error must degrade exactly
+# the edited stream. The determinism guard pins the degraded output
+# across the sequential compiler, all four DKY strategies, and both
+# executors; the reproduce driver gates the seeded 100-edit session
+# (warm-hit ratio >= 90%, aggregate check time below aggregate cold).
+cargo test -q -p ccm2-watch
+cargo test -q --test watch
+cargo test -q --test watch error_unit_is_byte_identical_across_seq_dky_and_executors
+cargo run -q --release -p ccm2-bench --bin reproduce -- watch
+
 echo "== wire protocol: format-version bump guard =="
 # Bumping WIRE_FORMAT_VERSION requires a matching cross-version
 # rejection test (skewed frames must be refused, not misdecoded).

@@ -11,6 +11,7 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
 //! cargo run --release -p ccm2-bench --bin reproduce -- fabric
+//! cargo run --release -p ccm2-bench --bin reproduce -- watch
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults --list-sites
 //! cargo run --release -p ccm2-bench --bin reproduce -- recover
@@ -91,6 +92,9 @@ fn main() {
     }
     if want("fabric") {
         println!("{}\n", bench::fabric());
+    }
+    if want("watch") {
+        println!("{}\n", bench::watch());
     }
     if want("faults") && !args.contains(&"--list-sites") {
         println!("{}\n", bench::faults());

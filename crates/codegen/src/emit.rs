@@ -72,6 +72,34 @@ pub fn gen_module_body(
     e.finish()
 }
 
+/// Generates the deterministic *error unit* standing in for a stream
+/// whose body the parser had to recover (a poisoned body): same shape as
+/// the fault-degradation stub, so downstream merge/splice treat it like
+/// any other unit. Never cached — the clean-compile gate keeps error
+/// diagnostics (and therefore these units) out of the incremental store.
+pub fn gen_error_unit(
+    interner: &ccm2_support::intern::Interner,
+    code_name: Symbol,
+    level: u32,
+) -> CodeUnit {
+    let mut unit = CodeUnit::new(code_name, level);
+    let msg = interner.intern(&format!(
+        "degraded: unit `{}` has syntax errors",
+        interner.resolve(code_name)
+    ));
+    unit.code = vec![Instr::PushStr(msg), Instr::Return];
+    unit
+}
+
+/// Whether `unit` is an error unit produced by [`gen_error_unit`].
+pub fn is_error_unit(unit: &CodeUnit, interner: &ccm2_support::intern::Interner) -> bool {
+    matches!(
+        unit.code.as_slice(),
+        [Instr::PushStr(msg), Instr::Return]
+            if interner.resolve(*msg).starts_with("degraded: unit `")
+    )
+}
+
 /// The shapes of a module scope's global-variable area, in slot order
 /// (input to [`crate::merge::Merger::add_globals`]).
 pub fn global_shapes(sema: &Sema, scope: ScopeId) -> Vec<Shape> {

@@ -25,7 +25,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
+use ccm2_codegen::emit::{gen_error_unit, gen_module_body, gen_procedure, global_shapes};
 use ccm2_codegen::ir::{CodeUnit, Instr};
 use ccm2_codegen::merge::{Merger, ModuleImage};
 use ccm2_incr::{
@@ -36,7 +36,9 @@ use ccm2_sched::{
     run_sim_with, run_threaded_with, EnvMeter, EventClass, ExecEnv, Robustness, RunReport,
     SimConfig, TaskDesc, TaskKind, WaitSet,
 };
-use ccm2_sema::declare::{bind_imports, declare_own_params, DeclareHooks, Declarer, HeadingMode};
+use ccm2_sema::declare::{
+    bind_imports, declare_own_params, verify_heading, DeclareHooks, Declarer, HeadingMode,
+};
 use ccm2_sema::stats::LookupStats;
 use ccm2_sema::symtab::{DkyStrategy, DkyWaiter, ProcSig, ScopeKind, SymbolTables, TableNotifier};
 use ccm2_sema::Sema;
@@ -124,6 +126,13 @@ pub struct Options {
     /// `task:{name}*` glob models a persistent one (degrades after
     /// retries exhaust). 0 (the default) disables retries.
     pub max_stream_retries: u32,
+    /// Per-*task* retry budgets: `(task name, budget)` pairs matched
+    /// exactly against stream-task names (`procparse(M.P)`,
+    /// `codegen(M.P)`, `analyze(M.P)` …). A matching task's budget
+    /// overrides [`Options::max_stream_retries`] — including budget 0,
+    /// which pins the task to a single attempt while the rest of the
+    /// compile keeps the global budget.
+    pub task_retry_budgets: Vec<(String, u32)>,
 }
 
 impl Default for Options {
@@ -139,6 +148,7 @@ impl Default for Options {
             faults: None,
             task_deadline: None,
             max_stream_retries: 0,
+            task_retry_budgets: Vec::new(),
         }
     }
 }
@@ -261,7 +271,8 @@ pub fn compile_concurrent(
     let robustness = Robustness {
         recover: options.faults.is_some()
             || options.task_deadline.is_some()
-            || options.max_stream_retries > 0,
+            || options.max_stream_retries > 0
+            || !options.task_retry_budgets.is_empty(),
         plan: options.faults.clone(),
         deadline: options.task_deadline,
         max_retries: options.max_stream_retries,
@@ -390,6 +401,7 @@ struct Driver {
     long_threshold: usize,
     early_split: bool,
     analyze: bool,
+    task_retry_budgets: Vec<(String, u32)>,
     hub: ccm2_analysis::AnalysisHub,
     main_scope_event: EventId,
     incr: Option<IncrInner>,
@@ -406,12 +418,15 @@ impl Driver {
         let sink = Arc::new(DiagnosticSink::new());
         let main_scope_event = env.new_event_named(EventClass::Handled, "scope(Main)");
         let placeholder = interner.intern("");
-        // Incremental gating: carves come from the splitter, fingerprints
-        // assume heading tokens are copied to the child (not re-elaborated
-        // into different diagnostics), and the environment digest must see
-        // the whole interface library.
+        // Incremental gating: carves come from the splitter (so early
+        // splitting is required), and the environment digest must see the
+        // whole interface library. All heading modes are cache-safe: the
+        // mode's tag is mixed into the environment digest, so entries
+        // recorded under one mode never splice into another, and the
+        // child-side work the modes differ in (none / re-declare /
+        // verify) is skipped identically on every warm hit.
         let incr = options.incremental.as_ref().and_then(|store| {
-            if !options.early_split || options.heading_mode != HeadingMode::CopyToChild {
+            if !options.early_split {
                 return None;
             }
             let library = defs.all_definitions()?;
@@ -435,6 +450,7 @@ impl Driver {
             long_threshold: options.long_proc_threshold,
             early_split: options.early_split,
             analyze: options.analyze,
+            task_retry_budgets: options.task_retry_budgets.clone(),
             hub: ccm2_analysis::AnalysisHub::new(),
             main_scope_event,
             incr,
@@ -477,6 +493,19 @@ impl Driver {
         self.sema.get().expect("sema initialized")
     }
 
+    /// Spawns a task, first applying any per-task retry budget whose
+    /// configured name matches the task's exactly. Budgets only take
+    /// effect on stream-retryable kinds (the executors ignore them
+    /// elsewhere).
+    fn spawn_task(&self, mut t: TaskDesc) {
+        if !self.task_retry_budgets.is_empty() {
+            if let Some((_, b)) = self.task_retry_budgets.iter().find(|(n, _)| *n == t.name) {
+                t.retry_budget = Some(*b);
+            }
+        }
+        self.env.spawn(t);
+    }
+
     fn tables(&self) -> &Arc<SymbolTables> {
         &self.sema().tables
     }
@@ -512,8 +541,12 @@ impl Driver {
         // any task is spawned — `incr_split_eof` runs on a worker.
         if let Some(incr) = &self.incr {
             let reachable = import_closure(&source, &incr.library);
-            // Heading-mode tag 0 = CopyToChild, the only mode gated in.
-            let env_fp = environment_fp(FORMAT_VERSION, self.analyze, 0, &reachable);
+            let env_fp = environment_fp(
+                FORMAT_VERSION,
+                self.analyze,
+                self.heading_mode.cache_tag(),
+                &reachable,
+            );
             incr.env_fp.set(env_fp).expect("start runs once");
         }
         let file = self.sources.add("Main.mod", source);
@@ -536,7 +569,7 @@ impl Driver {
                 }),
             );
             t.signals_barriers = true;
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
         // Importer(main): anticipates interfaces (§3).
         {
@@ -555,7 +588,7 @@ impl Driver {
                 all_def_scopes: false,
                 any_barrier: true,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
         // Splitter + main module parser. Under the no-early-split
         // ablation the parser reads the raw token stream directly
@@ -580,7 +613,7 @@ impl Driver {
                 all_def_scopes: false,
                 any_barrier: true,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
             parse_q
         } else {
             Arc::clone(&lex_q)
@@ -605,7 +638,7 @@ impl Driver {
                 all_def_scopes: true,
                 any_barrier: true,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
     }
 
@@ -656,7 +689,7 @@ impl Driver {
                 }),
             );
             t.signals_barriers = true;
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
         {
             let this = Arc::clone(self);
@@ -674,7 +707,7 @@ impl Driver {
                 all_def_scopes: false,
                 any_barrier: true,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
         {
             let this = Arc::clone(self);
@@ -690,7 +723,7 @@ impl Driver {
                 all_def_scopes: true,
                 any_barrier: true,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
         Some(scope)
     }
@@ -742,7 +775,7 @@ impl Driver {
             }),
         );
         t.weight = weight;
-        self.env.spawn(t);
+        self.spawn_task(t);
     }
 
     // ---- task bodies ------------------------------------------------------
@@ -864,7 +897,7 @@ impl Driver {
         self.merger
             .add_globals(streaming.name().name, global_shapes(&sema, scope));
         let module_name = streaming.name().name;
-        let stmts = streaming.finish();
+        let (stmts, body_poisoned) = streaming.finish();
         // Analysis of the module unit (its own decls + body); the
         // unused-import check runs in `finish`, over every unit's union.
         if self.analyze {
@@ -909,7 +942,7 @@ impl Driver {
                 }),
             );
             t.weight = weight;
-            self.env.spawn(t);
+            self.spawn_task(t);
             return;
         }
         let kind = if weight as usize >= self.long_threshold {
@@ -922,7 +955,11 @@ impl Driver {
             kind,
             Box::new(move || {
                 let sema = this.sema();
-                let unit = gen_module_body(sema, scope, module_name, &stmts);
+                let unit = if body_poisoned {
+                    gen_error_unit(&this.interner, module_name, 0)
+                } else {
+                    gen_module_body(sema, scope, module_name, &stmts)
+                };
                 this.merger.add_unit(unit, sema.meter.as_ref());
             }),
         );
@@ -932,7 +969,7 @@ impl Driver {
             all_def_scopes: true,
             any_barrier: false,
         };
-        self.env.spawn(t);
+        self.spawn_task(t);
     }
 
     /// Recursively declares Local-bodied procedures (no-early-split
@@ -954,8 +991,14 @@ impl Driver {
                     )
                 });
             }
-            if self.heading_mode == HeadingMode::Reprocess {
-                declare_own_params(&sema, p.scope, &p.heading);
+            match self.heading_mode {
+                HeadingMode::Reprocess => {
+                    declare_own_params(&sema, p.scope, &p.heading);
+                }
+                HeadingMode::Dual => {
+                    verify_heading(&sema, p.scope, &p.heading);
+                }
+                HeadingMode::CopyToChild => {}
             }
             let hooks = DriverHooks { driver: self };
             let mut declarer = Declarer::new(&sema, p.scope, self.heading_mode, &hooks);
@@ -996,12 +1039,18 @@ impl Driver {
             let scope = p.scope;
             let code_name = p.code_name;
             let sig = p.sig.clone();
+            let poisoned = local.poisoned;
             let mut t = TaskDesc::new(
                 format!("codegen({})", self.interner.resolve(code_name)),
                 kind,
                 Box::new(move || {
                     let sema = this.sema();
-                    let unit = gen_procedure(sema, scope, code_name, &sig, &stmts);
+                    let unit = if poisoned {
+                        let level = sema.tables.scope(scope).level();
+                        gen_error_unit(&this.interner, code_name, level)
+                    } else {
+                        gen_procedure(sema, scope, code_name, &sig, &stmts)
+                    };
                     this.merger.add_unit(unit, sema.meter.as_ref());
                 }),
             );
@@ -1011,7 +1060,7 @@ impl Driver {
                 all_def_scopes: true,
                 any_barrier: false,
             };
-            self.env.spawn(t);
+            self.spawn_task(t);
         }
     }
 
@@ -1029,9 +1078,17 @@ impl Driver {
             sema.tables.mark_complete(scope);
             return;
         };
-        if self.heading_mode == HeadingMode::Reprocess {
-            // §2.4 alternative 3: the child re-elaborates its own heading.
-            declare_own_params(&sema, scope, streaming.heading());
+        match self.heading_mode {
+            HeadingMode::Reprocess => {
+                // §2.4 alternative 3: the child re-elaborates its heading.
+                declare_own_params(&sema, scope, streaming.heading());
+            }
+            HeadingMode::Dual => {
+                // Both flows: entries were copied in by the parent; the
+                // child cross-checks the heading through its own chain.
+                verify_heading(&sema, scope, streaming.heading());
+            }
+            HeadingMode::CopyToChild => {}
         }
         // Local declarations are analyzed as parsed (nested procedure
         // headings fire immediately); the table completes before the
@@ -1049,7 +1106,7 @@ impl Driver {
         }
         declarer.finish();
         sema.tables.mark_complete(scope);
-        let stmts = streaming.finish();
+        let (stmts, poisoned) = streaming.finish();
         // Statement analysis + code generation task: long before short.
         let weight = stmt_count(&stmts) as u64;
         let kind = if weight as usize >= self.long_threshold {
@@ -1083,7 +1140,12 @@ impl Driver {
             kind,
             Box::new(move || {
                 let sema = this.sema();
-                let unit = gen_procedure(sema, scope, code_name, &sig, &stmts);
+                let unit = if poisoned {
+                    let level = sema.tables.scope(scope).level();
+                    gen_error_unit(&this.interner, code_name, level)
+                } else {
+                    gen_procedure(sema, scope, code_name, &sig, &stmts)
+                };
                 this.merger.add_unit(unit, sema.meter.as_ref());
             }),
         );
@@ -1093,7 +1155,7 @@ impl Driver {
             all_def_scopes: true,
             any_barrier: false,
         };
-        self.env.spawn(t);
+        self.spawn_task(t);
         let _ = stream;
     }
 
@@ -1143,7 +1205,7 @@ impl Driver {
             all_def_scopes: true,
             any_barrier: true,
         };
-        self.env.spawn(t);
+        self.spawn_task(t);
     }
 
     /// The splitter carved every stream: fingerprint them, decide hit or
@@ -1334,7 +1396,7 @@ impl Driver {
         t.weight = weight;
         t.prereqs = heading_ev.into_iter().collect();
         t.signals = scope_ev.into_iter().chain(child_evs).collect();
-        self.env.spawn(t);
+        self.spawn_task(t);
     }
 
     /// Task body of a procedure-stream splice: completes the (empty)

@@ -133,6 +133,8 @@ struct SimTask {
     signals_barriers: bool,
     may_wait: WaitSet,
     weight: u64,
+    /// Per-task retry cap overriding the global `max_retries`.
+    retry_budget: Option<u32>,
     state: TaskState,
 }
 
@@ -513,6 +515,7 @@ impl Controller {
             signals_barriers: desc.signals_barriers,
             may_wait: desc.may_wait,
             weight: desc.weight,
+            retry_budget: desc.retry_budget,
             state: TaskState::NotStarted(desc.body),
         });
         self.busy.push(0);
@@ -794,7 +797,10 @@ impl Controller {
                 if fatal
                     && self.robustness.recover
                     && self.tasks[task_ix].kind.stream_retryable()
-                    && self.attempts[task_ix] < self.robustness.max_retries
+                    && self.attempts[task_ix]
+                        < self.tasks[task_ix]
+                            .retry_budget
+                            .unwrap_or(self.robustness.max_retries)
                 {
                     // Charge the wasted dispatch (a fatal stall is cut
                     // off at the deadline by the watchdog) and requeue.

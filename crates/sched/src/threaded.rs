@@ -45,6 +45,8 @@ struct ReadyTask {
     weight: u64,
     /// Dispatch attempt under supervised recovery (0 = first).
     attempt: u32,
+    /// Per-task retry cap overriding the global `max_retries`.
+    retry_budget: Option<u32>,
     body: crate::task::TaskBody,
 }
 
@@ -235,7 +237,7 @@ impl ThreadedSupervisor {
         if fatal
             && self.robustness.recover
             && kind.stream_retryable()
-            && task.attempt < self.robustness.max_retries
+            && task.attempt < task.retry_budget.unwrap_or(self.robustness.max_retries)
         {
             let mut task = task;
             task.attempt += 1;
@@ -686,6 +688,7 @@ impl ExecEnv for ThreadedSupervisor {
             may_wait: task.may_wait,
             weight: task.weight,
             attempt: 0,
+            retry_budget: task.retry_budget,
             body: task.body,
         };
         let unsatisfied: Vec<EventId> = task

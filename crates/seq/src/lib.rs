@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 pub use ccm2_support::defs::{DefLibrary, DefProvider};
 
-use ccm2_codegen::emit::{gen_module_body, gen_procedure, global_shapes};
+use ccm2_codegen::emit::{gen_error_unit, gen_module_body, gen_procedure, global_shapes};
 use ccm2_codegen::merge::{Merger, ModuleImage};
 use ccm2_sema::declare::{bind_imports, declare_decls, DeclareHooks, HeadingMode, PendingProc};
 use ccm2_sema::stats::LookupStats;
@@ -194,8 +194,14 @@ pub fn compile_full(
     let mut queue = pending;
     while let Some(p) = queue.pop() {
         if let ProcBody::Local(local) = &p.body {
-            if heading_mode == HeadingMode::Reprocess {
-                ccm2_sema::declare::declare_own_params(&sema, p.scope, &p.heading);
+            match heading_mode {
+                HeadingMode::Reprocess => {
+                    ccm2_sema::declare::declare_own_params(&sema, p.scope, &p.heading);
+                }
+                HeadingMode::Dual => {
+                    ccm2_sema::declare::verify_heading(&sema, p.scope, &p.heading);
+                }
+                HeadingMode::CopyToChild => {}
             }
             let nested = declare_decls(&sema, p.scope, &local.decls, heading_mode, &hooks);
             sema.tables.mark_complete(p.scope);
@@ -262,12 +268,21 @@ pub fn compile_full(
     let mut procedures = 0usize;
     for p in &all_procs {
         if let ProcBody::Local(local) = &p.body {
-            let unit = gen_procedure(&sema, p.scope, p.code_name, &p.sig, &local.body);
+            let unit = if local.poisoned {
+                let level = sema.tables.scope(p.scope).level();
+                gen_error_unit(&interner, p.code_name, level)
+            } else {
+                gen_procedure(&sema, p.scope, p.code_name, &p.sig, &local.body)
+            };
             merger.add_unit(unit, meter.as_ref());
             procedures += 1;
         }
     }
-    let body_unit = gen_module_body(&sema, main_scope, module.name.name, &module.body);
+    let body_unit = if module.body_poisoned {
+        gen_error_unit(&interner, module.name.name, 0)
+    } else {
+        gen_module_body(&sema, main_scope, module.name.name, &module.body)
+    };
     merger.add_unit(body_unit, meter.as_ref());
 
     CompileOutput {

@@ -76,6 +76,10 @@ pub struct ImplementationModule {
     pub decls: Vec<Decl>,
     /// Module body statements (may be empty).
     pub body: Vec<Stmt>,
+    /// `true` when the parser recovered from a syntax error inside the
+    /// module body: the statements are structurally sound but must not
+    /// be fed to code generation (emit an error unit instead).
+    pub body_poisoned: bool,
     /// Span of the whole module.
     pub span: Span,
 }
@@ -175,6 +179,10 @@ pub struct ProcLocal {
     pub decls: Vec<Decl>,
     /// Body statements.
     pub body: Vec<Stmt>,
+    /// `true` when the parser recovered from a syntax error inside this
+    /// body (not in nested procedures): statements are structurally
+    /// sound but must not be fed to code generation.
+    pub poisoned: bool,
 }
 
 /// A full procedure declaration.

@@ -132,6 +132,10 @@ struct Parser<'a> {
     sink: &'a DiagnosticSink,
     file: FileId,
     file_known: bool,
+    /// Syntax errors reported through [`Parser::error`]/[`Parser::expect`].
+    /// Deltas around a body region decide whether that unit is *poisoned*
+    /// — structurally parsed but not trustworthy for code generation.
+    errors: std::cell::Cell<u32>,
 }
 
 impl<'a> Parser<'a> {
@@ -147,6 +151,7 @@ impl<'a> Parser<'a> {
             sink,
             file: FileId(0),
             file_known: false,
+            errors: std::cell::Cell::new(0),
         }
     }
 
@@ -213,6 +218,7 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) {
+        self.errors.set(self.errors.get() + 1);
         self.sink
             .report(Diagnostic::error(self.file, self.span(), msg));
     }
@@ -351,9 +357,11 @@ impl<'a> Parser<'a> {
         let mut decls = Vec::new();
         self.declarations(&mut decls);
         let mut body = Vec::new();
+        let errs_before = self.errors.get();
         if self.eat(TokenKind::Begin) {
             body = self.statement_sequence(&[TokenKind::End]);
         }
+        let body_poisoned = self.errors.get() > errs_before;
         self.expect(TokenKind::End);
         if let Some(end_name) = self.ident() {
             if end_name.name != name.name {
@@ -375,6 +383,7 @@ impl<'a> Parser<'a> {
             imports,
             decls,
             body,
+            body_poisoned,
             span,
         })
     }
@@ -532,9 +541,11 @@ impl<'a> Parser<'a> {
         let mut decls = Vec::new();
         self.declarations(&mut decls);
         let mut body = Vec::new();
+        let errs_before = self.errors.get();
         if self.eat(TokenKind::Begin) {
             body = self.statement_sequence(&[TokenKind::End]);
         }
+        let poisoned = self.errors.get() > errs_before;
         self.expect(TokenKind::End)?;
         if let Some(end_name) = self.ident() {
             if end_name.name != heading.name.name {
@@ -552,7 +563,11 @@ impl<'a> Parser<'a> {
         self.expect(TokenKind::Semi);
         Some(ProcDecl {
             heading,
-            body: ProcBody::Local(Box::new(ProcLocal { decls, body })),
+            body: ProcBody::Local(Box::new(ProcLocal {
+                decls,
+                body,
+                poisoned,
+            })),
         })
     }
 
@@ -702,21 +717,33 @@ impl<'a> Parser<'a> {
                 continue; // empty statement
             }
             let before = self.pos;
-            if let Some(s) = self.statement() {
-                stmts.push(s);
-            }
-            if self.pos == before {
-                let found = self.peek();
-                self.error(format!("unexpected `{found}` in statement sequence"));
-                self.bump();
-            }
-            if !self.eat(TokenKind::Semi) {
-                if self.at(TokenKind::Eof) || terminators.contains(&self.peek()) {
-                    break;
+            match self.statement() {
+                Some(s) => {
+                    stmts.push(s);
+                    if !self.eat(TokenKind::Semi) {
+                        if self.at(TokenKind::Eof) || terminators.contains(&self.peek()) {
+                            break;
+                        }
+                        // Missing semicolon: report and continue (recovery).
+                        let found = self.peek();
+                        self.error(format!("expected `;`, found `{found}`"));
+                    }
                 }
-                // Missing semicolon: report and continue (recovery).
-                let found = self.peek();
-                self.error(format!("expected `;`, found `{found}`"));
+                None => {
+                    if self.pos == before {
+                        let found = self.peek();
+                        self.error(format!("unexpected `{found}` in statement sequence"));
+                        self.bump();
+                    }
+                    // Skip to the next statement boundary: the failure is
+                    // already reported; resuming at the next `;` (or this
+                    // sequence's terminator) keeps one broken statement
+                    // from cascading into errors for its siblings.
+                    let mut sync = vec![TokenKind::Semi];
+                    sync.extend_from_slice(terminators);
+                    self.synchronize(&sync);
+                    self.eat(TokenKind::Semi);
+                }
             }
         }
         stmts
@@ -1278,11 +1305,15 @@ impl<'a> StreamingImpl<'a> {
     }
 
     /// Parses the optional module body and the `END name .` trailer.
-    pub fn finish(mut self) -> Vec<Stmt> {
+    /// Returns the statements plus whether the body was *poisoned* —
+    /// syntactically recovered but untrustworthy for code generation.
+    pub fn finish(mut self) -> (Vec<Stmt>, bool) {
         let mut body = Vec::new();
+        let errs_before = self.p.errors.get();
         if self.p.eat(TokenKind::Begin) {
             body = self.p.statement_sequence(&[TokenKind::End]);
         }
+        let poisoned = self.p.errors.get() > errs_before;
         self.p.expect(TokenKind::End);
         if let Some(end_name) = self.p.ident() {
             if end_name.name != self.name.name {
@@ -1298,7 +1329,7 @@ impl<'a> StreamingImpl<'a> {
             }
         }
         self.p.expect(TokenKind::Dot);
-        body
+        (body, poisoned)
     }
 }
 
@@ -1352,12 +1383,15 @@ impl<'a> StreamingProc<'a> {
     }
 
     /// Parses the body and the `END name ;` trailer; returns the
-    /// statements.
-    pub fn finish(mut self) -> Vec<Stmt> {
+    /// statements plus whether the body was poisoned (recovered from a
+    /// syntax error and untrustworthy for code generation).
+    pub fn finish(mut self) -> (Vec<Stmt>, bool) {
         let mut body = Vec::new();
+        let errs_before = self.p.errors.get();
         if self.p.eat(TokenKind::Begin) {
             body = self.p.statement_sequence(&[TokenKind::End]);
         }
+        let poisoned = self.p.errors.get() > errs_before;
         if self.p.expect(TokenKind::End).is_some() {
             if let Some(end_name) = self.p.ident() {
                 if end_name.name != self.heading.name.name {
@@ -1374,7 +1408,7 @@ impl<'a> StreamingProc<'a> {
             }
             self.p.eat(TokenKind::Semi);
         }
-        body
+        (body, poisoned)
     }
 }
 
@@ -1736,8 +1770,9 @@ mod streaming_tests {
         assert_eq!(g3.len(), 1);
         assert!(matches!(g3[0], Decl::Procedure(_)));
         assert!(s.next_decls().is_none(), "BEGIN reached");
-        let body = s.finish();
+        let (body, poisoned) = s.finish();
         assert_eq!(body.len(), 1);
+        assert!(!poisoned);
         assert!(!sink.has_errors(), "{:?}", sink.snapshot());
     }
 
@@ -1748,7 +1783,7 @@ mod streaming_tests {
         let mut s = StreamingImpl::begin(&src, &interner, &sink).expect("begins");
         assert!(s.next_decls().is_some());
         assert!(s.next_decls().is_none());
-        assert!(s.finish().is_empty());
+        assert!(s.finish().0.is_empty());
         assert!(!sink.has_errors());
     }
 
@@ -1766,8 +1801,9 @@ mod streaming_tests {
         assert!(s.heading().ret.is_some());
         assert!(s.next_decls().is_some(), "VAR t");
         assert!(s.next_decls().is_none());
-        let body = s.finish();
+        let (body, poisoned) = s.finish();
         assert_eq!(body.len(), 2);
+        assert!(!poisoned);
         assert!(!sink.has_errors(), "{:?}", sink.snapshot());
     }
 
@@ -1800,7 +1836,8 @@ mod streaming_tests {
         while let Some(g) = s.next_decls() {
             decls.extend(g);
         }
-        let body = s.finish();
+        let (body, poisoned) = s.finish();
+        assert!(!poisoned);
         assert!(!sink.has_errors(), "{:?}", sink.snapshot());
         assert_eq!(decls, batch.decls);
         assert_eq!(body, batch.body);

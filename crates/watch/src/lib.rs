@@ -1,0 +1,720 @@
+//! ccm2-watch: always-on editor sessions over the concurrent compiler.
+//!
+//! A batch compiler answers "compile this module"; an editor loop asks
+//! a different question — "I changed three lines, what is broken *now*?"
+//! — hundreds of times an hour, and wants each answer in the time it
+//! takes to glance at a diagnostics pane. This crate keeps a
+//! [`Session`] alive per project: the last good parse, a warm
+//! incremental-artifact store, and a bounded inbox of [`EditOp`]s.
+//! Edits accumulate between checks (the in-process debounce window) and
+//! are coalesced **newest-wins per target** — two edits to the same
+//! procedure body collapse to the latest, exactly as a real editor's
+//! buffer state supersedes its history. Each [`Session::check`] applies
+//! the survivors, re-runs the concurrent driver against the warm store,
+//! and returns a [`CheckReport`]: the diagnostics *delta*, which units
+//! changed or degraded, warm/cold stream counts, and wall time.
+//!
+//! Two pieces are deliberately reused from `ccm2-serve` rather than
+//! reinvented:
+//!
+//! * **admission** — the artifact store is serve's [`SharedStore`], the
+//!   byte-budgeted LRU with single-flight admission, so a fleet of
+//!   sessions shares one bounded cache exactly like a fleet of compile
+//!   requests does;
+//! * **dedup** — a revision's no-op key is serve's
+//!   [`CompileRequest::fingerprint`], the same single-flight digest the
+//!   service uses to join identical requests. If coalescing leaves the
+//!   sources byte-identical to the previous revision, the compile is
+//!   skipped outright and the report says [`CheckReport::deduped`].
+//!
+//! Unlike serve (which returns interner-independent object *bytes*),
+//! sessions call [`compile_concurrent`] directly and keep the
+//! [`ModuleImage`]: per-unit identity is what makes the editor-loop
+//! guarantees checkable — a broken revision must degrade *only* the
+//! edited procedure's unit (to the deterministic error unit the
+//! recovering parser produces) while every sibling stays byte-identical
+//! and warm.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccm2::{compile_concurrent, Options};
+use ccm2_codegen::emit::is_error_unit;
+use ccm2_codegen::ir::CodeUnit;
+use ccm2_incr::{comparable_output, ArtifactStore};
+use ccm2_serve::{CompileRequest, SharedStore, StoreStats};
+use ccm2_support::hash::Fp128;
+use ccm2_support::intern::Interner;
+use ccm2_workload::{apply_edits, EditOp, GeneratedModule};
+
+/// Errors surfaced by [`WatchService`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WatchError {
+    /// No session is open under that project name.
+    UnknownProject(String),
+    /// The session's edit inbox is full; `check` the session to drain
+    /// it before submitting more edits.
+    InboxFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for WatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchError::UnknownProject(p) => write!(f, "no open session for project `{p}`"),
+            WatchError::InboxFull { capacity } => {
+                write!(
+                    f,
+                    "edit inbox full ({capacity} pending); run check to drain"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatchError {}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct WatchConfig {
+    /// Byte budget of the shared artifact store (serve's LRU admission
+    /// discipline; all sessions of one service share it).
+    pub store_budget: u64,
+    /// Maximum queued edits per session between checks.
+    pub inbox_capacity: usize,
+    /// Driver options template for every check. The `incremental` field
+    /// is ignored — each check runs against the service's shared store.
+    pub options: Options,
+}
+
+impl Default for WatchConfig {
+    fn default() -> WatchConfig {
+        WatchConfig {
+            store_budget: 32 << 20,
+            inbox_capacity: 256,
+            // One worker thread: the editor loop's latency target is
+            // "faster than a cold compile at P=1", so the default
+            // measures exactly that configuration.
+            options: Options::threads(1),
+        }
+    }
+}
+
+/// What one revision's re-check found, phrased as a delta against the
+/// previous revision (an editor overlay wants "what changed", not the
+/// full diagnostic set again).
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The session's project name.
+    pub project: String,
+    /// Revision number this report answers (the initial `open` check is
+    /// revision 0).
+    pub revision: u64,
+    /// Edits applied this revision, after coalescing.
+    pub edits_applied: usize,
+    /// Edits superseded by newer edits to the same target within this
+    /// revision's debounce window.
+    pub edits_coalesced: usize,
+    /// The sources were byte-identical to the previous revision
+    /// (serve-fingerprint match), so no compile ran.
+    pub deduped: bool,
+    /// Whether the revision compiled without errors.
+    pub clean: bool,
+    /// Units that are deterministic error units this revision (sorted
+    /// dotted code names) — the streams the recovering parser degraded.
+    pub degraded_units: Vec<String>,
+    /// Units added, removed, or different from the previous revision
+    /// (sorted dotted code names).
+    pub changed_units: Vec<String>,
+    /// Rendered diagnostics present now but not in the previous
+    /// revision.
+    pub diags_added: Vec<String>,
+    /// Rendered diagnostics from the previous revision that are gone.
+    pub diags_removed: Vec<String>,
+    /// Streams spliced from the warm artifact store.
+    pub warm_streams: usize,
+    /// Streams compiled live.
+    pub cold_streams: usize,
+    /// Edit-to-report wall time for this check.
+    pub wall: Duration,
+}
+
+/// A resolved unit snapshot: dotted code name plus the unit itself.
+type UnitSnapshot = Vec<(String, CodeUnit)>;
+
+/// One always-on project session.
+pub struct Session {
+    project: String,
+    module: GeneratedModule,
+    // `module.defs` behind an `Arc`, rebuilt only when an interface
+    // edit lands: the fingerprint and the compile both want shared
+    // ownership every check, and cloning the full library per
+    // keystroke would dominate small-project checks.
+    defs: Arc<ccm2_support::defs::DefLibrary>,
+    interner: Arc<Interner>,
+    store: Arc<SharedStore>,
+    options: Options,
+    inbox_capacity: usize,
+    inbox: Vec<EditOp>,
+    rejected_edits: u64,
+    revision: u64,
+    last_fp: Option<Fp128>,
+    units: UnitSnapshot,
+    diagnostics: Vec<String>,
+    object: Option<Vec<u8>>,
+}
+
+impl Session {
+    fn new(
+        project: String,
+        module: GeneratedModule,
+        store: Arc<SharedStore>,
+        options: Options,
+        inbox_capacity: usize,
+    ) -> Session {
+        let defs = Arc::new(module.defs.clone());
+        Session {
+            project,
+            module,
+            defs,
+            // One interner for the session's whole lifetime: symbols
+            // stay stable across revisions, so units of revision N can
+            // be compared to revision N-1 directly.
+            interner: Arc::new(Interner::new()),
+            store,
+            options,
+            inbox_capacity,
+            inbox: Vec::new(),
+            rejected_edits: 0,
+            revision: 0,
+            last_fp: None,
+            units: Vec::new(),
+            diagnostics: Vec::new(),
+            object: None,
+        }
+    }
+
+    /// The project name.
+    pub fn project(&self) -> &str {
+        &self.project
+    }
+
+    /// Revisions checked so far (0 before the initial check completes).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The session's current sources (all applied edits included).
+    pub fn module(&self) -> &GeneratedModule {
+        &self.module
+    }
+
+    /// Last revision's units as (dotted code name, unit) pairs, sorted
+    /// by name.
+    pub fn units(&self) -> &[(String, CodeUnit)] {
+        &self.units
+    }
+
+    /// Last revision's rendered diagnostics.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
+    }
+
+    /// Last revision's object image in the interner-independent
+    /// encoding (comparable across sessions and to cold compiles).
+    pub fn object(&self) -> Option<&[u8]> {
+        self.object.as_deref()
+    }
+
+    /// Edits rejected because the inbox was full.
+    pub fn rejected_edits(&self) -> u64 {
+        self.rejected_edits
+    }
+
+    /// Edits currently queued.
+    pub fn pending_edits(&self) -> usize {
+        self.inbox.len()
+    }
+
+    fn submit(&mut self, op: EditOp) -> Result<(), WatchError> {
+        if self.inbox.len() >= self.inbox_capacity {
+            self.rejected_edits += 1;
+            return Err(WatchError::InboxFull {
+                capacity: self.inbox_capacity,
+            });
+        }
+        self.inbox.push(op);
+        Ok(())
+    }
+
+    fn check(&mut self) -> CheckReport {
+        let start = Instant::now();
+        let drained = std::mem::take(&mut self.inbox);
+        let ops = coalesce(drained);
+        let edits_coalesced = ops.superseded;
+        let edits_applied = ops.survivors.len();
+        if edits_applied > 0 {
+            let defs_touched = ops
+                .survivors
+                .iter()
+                .any(|op| matches!(op, EditOp::Interface { .. }));
+            self.module = apply_edits(&self.module, &ops.survivors);
+            if defs_touched {
+                self.defs = Arc::new(self.module.defs.clone());
+            }
+        }
+
+        // Serve's single-flight key doubles as the no-op detector: if
+        // the coalesced edits left the sources byte-identical (or there
+        // were none), skip the compile and answer from the snapshot.
+        let fp = CompileRequest::new(
+            0,
+            self.module.name.clone(),
+            self.module.source.clone(),
+            Arc::clone(&self.defs),
+        )
+        .fingerprint();
+        if self.last_fp == Some(fp) {
+            self.revision += 1;
+            return CheckReport {
+                project: self.project.clone(),
+                revision: self.revision,
+                edits_applied,
+                edits_coalesced,
+                deduped: true,
+                clean: self.diagnostics.is_empty() && self.object.is_some(),
+                degraded_units: Vec::new(),
+                changed_units: Vec::new(),
+                diags_added: Vec::new(),
+                diags_removed: Vec::new(),
+                warm_streams: 0,
+                cold_streams: 0,
+                wall: start.elapsed(),
+            };
+        }
+
+        let options = Options {
+            incremental: Some(Arc::clone(&self.store) as Arc<dyn ArtifactStore>),
+            ..self.options.clone()
+        };
+        let out = compile_concurrent(
+            &self.module.source,
+            Arc::clone(&self.defs) as Arc<dyn ccm2_support::defs::DefProvider>,
+            Arc::clone(&self.interner),
+            options,
+        );
+        let (object, diagnostics) = comparable_output(
+            out.image.as_ref(),
+            &out.diagnostics,
+            &out.sources,
+            &out.interner,
+        );
+        let units: UnitSnapshot = out
+            .image
+            .as_ref()
+            .map(|im| {
+                im.units
+                    .iter()
+                    .map(|u| (self.interner.resolve(u.name), u.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut degraded_units: Vec<String> = units
+            .iter()
+            .filter(|(_, u)| is_error_unit(u, &self.interner))
+            .map(|(n, _)| n.clone())
+            .collect();
+        degraded_units.sort();
+        let changed_units = changed_units(&self.units, &units);
+        let (diags_added, diags_removed) = sorted_diff(&self.diagnostics, &diagnostics);
+        let (warm_streams, cold_streams) = out
+            .incr
+            .as_ref()
+            .map(|s| (s.spliced, s.recompiled))
+            .unwrap_or((0, 0));
+        let clean = out.is_ok();
+
+        self.revision += 1;
+        self.last_fp = Some(fp);
+        self.units = units;
+        self.diagnostics = diagnostics;
+        self.object = object;
+
+        CheckReport {
+            project: self.project.clone(),
+            revision: self.revision,
+            edits_applied,
+            edits_coalesced,
+            deduped: false,
+            clean,
+            degraded_units,
+            changed_units,
+            diags_added,
+            diags_removed,
+            warm_streams,
+            cold_streams,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// The watch service: long-lived sessions keyed by project name,
+/// sharing one byte-budgeted artifact store.
+pub struct WatchService {
+    config: WatchConfig,
+    store: Arc<SharedStore>,
+    sessions: HashMap<String, Session>,
+}
+
+impl Default for WatchService {
+    fn default() -> WatchService {
+        WatchService::new(WatchConfig::default())
+    }
+}
+
+impl WatchService {
+    /// Creates a service with its own shared store.
+    pub fn new(config: WatchConfig) -> WatchService {
+        let store = Arc::new(SharedStore::new(config.store_budget));
+        WatchService {
+            config,
+            store,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Opens (or replaces) the session for `project` and runs its
+    /// initial revision-0 check, cold against the shared store.
+    pub fn open(&mut self, project: impl Into<String>, module: GeneratedModule) -> CheckReport {
+        let project = project.into();
+        let mut session = Session::new(
+            project.clone(),
+            module,
+            Arc::clone(&self.store),
+            self.config.options.clone(),
+            self.config.inbox_capacity,
+        );
+        let report = session.check();
+        self.sessions.insert(project, session);
+        report
+    }
+
+    /// Queues one edit into `project`'s inbox (bounded; see
+    /// [`WatchError::InboxFull`]).
+    pub fn submit(&mut self, project: &str, op: EditOp) -> Result<(), WatchError> {
+        self.sessions
+            .get_mut(project)
+            .ok_or_else(|| WatchError::UnknownProject(project.to_string()))?
+            .submit(op)
+    }
+
+    /// Drains `project`'s inbox, coalesces, applies, re-checks, and
+    /// reports the delta.
+    pub fn check(&mut self, project: &str) -> Result<CheckReport, WatchError> {
+        Ok(self
+            .sessions
+            .get_mut(project)
+            .ok_or_else(|| WatchError::UnknownProject(project.to_string()))?
+            .check())
+    }
+
+    /// Read access to an open session.
+    pub fn session(&self, project: &str) -> Option<&Session> {
+        self.sessions.get(project)
+    }
+
+    /// Open session count.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Counters of the shared artifact store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+}
+
+/// Coalescing result: the surviving ops in arrival order of each
+/// target's *last* edit, plus how many were superseded.
+struct Coalesced {
+    survivors: Vec<EditOp>,
+    superseded: usize,
+}
+
+/// The coalescing target of an edit: body edits key on the procedure
+/// index, interface edits on the definition-module name.
+#[derive(PartialEq, Eq, Hash)]
+enum Target {
+    Proc(usize),
+    Def(String),
+}
+
+fn target(op: &EditOp) -> Target {
+    match op {
+        EditOp::ProcBody { index, .. }
+        | EditOp::BreakBody { index, .. }
+        | EditOp::FixBody { index } => Target::Proc(*index),
+        EditOp::Interface { def, .. } => Target::Def(def.clone()),
+    }
+}
+
+/// Newest-wins per target: for each target, only its last queued edit
+/// survives; survivors keep their relative arrival order.
+fn coalesce(ops: Vec<EditOp>) -> Coalesced {
+    let mut last: HashMap<Target, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        last.insert(target(op), i);
+    }
+    let total = ops.len();
+    let survivors: Vec<EditOp> = ops
+        .into_iter()
+        .enumerate()
+        .filter(|(i, op)| last.get(&target(op)) == Some(i))
+        .map(|(_, op)| op)
+        .collect();
+    let superseded = total - survivors.len();
+    Coalesced {
+        survivors,
+        superseded,
+    }
+}
+
+/// Merge-walk two name-sorted unit snapshots; a unit counts as changed
+/// if it is only present on one side or compares unequal.
+fn changed_units(old: &UnitSnapshot, new: &UnitSnapshot) -> Vec<String> {
+    let mut changed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some((a, ua)), Some((b, ub))) => match a.cmp(b) {
+                std::cmp::Ordering::Equal => {
+                    if ua != ub {
+                        changed.push(a.clone());
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    changed.push(a.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    changed.push(b.clone());
+                    j += 1;
+                }
+            },
+            (Some((a, _)), None) => {
+                changed.push(a.clone());
+                i += 1;
+            }
+            (None, Some((b, _))) => {
+                changed.push(b.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    changed
+}
+
+/// Multiset difference of two sorted string lists: (in `new` only, in
+/// `old` only).
+fn sorted_diff(old: &[String], new: &[String]) -> (Vec<String>, Vec<String>) {
+    let (mut added, mut removed) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    removed.push(a.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    added.push(b.clone());
+                    j += 1;
+                }
+            },
+            (Some(a), None) => {
+                removed.push(a.clone());
+                i += 1;
+            }
+            (None, Some(b)) => {
+                added.push(b.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_workload::{generate, GenParams};
+
+    fn service() -> WatchService {
+        WatchService::new(WatchConfig::default())
+    }
+
+    fn small(name: &str, seed: u64) -> GeneratedModule {
+        generate(&GenParams::small(name, seed))
+    }
+
+    #[test]
+    fn open_runs_a_cold_clean_check() {
+        let mut svc = service();
+        let r = svc.open("p", small("WatchA", 1));
+        assert_eq!(r.revision, 1);
+        assert!(r.clean, "{:#?}", r.diags_added);
+        assert!(r.degraded_units.is_empty());
+        assert_eq!(r.warm_streams, 0, "store starts cold");
+        assert!(r.cold_streams > 0);
+        assert!(!r.changed_units.is_empty(), "all units new at revision 1");
+        assert!(svc.session("p").unwrap().object().is_some());
+    }
+
+    #[test]
+    fn benign_edit_is_warm_and_changes_one_unit() {
+        let mut svc = service();
+        svc.open("p", small("WatchB", 2));
+        svc.submit("p", EditOp::ProcBody { index: 1, seed: 7 })
+            .unwrap();
+        let r = svc.check("p").unwrap();
+        assert!(r.clean);
+        assert_eq!(r.edits_applied, 1);
+        assert_eq!(r.changed_units, vec!["WatchB.Proc1".to_string()]);
+        assert!(r.warm_streams > 0, "siblings splice from the warm store");
+        assert!(r.warm_streams > r.cold_streams);
+    }
+
+    #[test]
+    fn broken_revision_degrades_only_the_edited_stream() {
+        let mut svc = service();
+        svc.open("p", small("WatchC", 3));
+        let clean_units: Vec<_> = svc.session("p").unwrap().units().to_vec();
+        svc.submit("p", EditOp::BreakBody { index: 2, seed: 9 })
+            .unwrap();
+        let r = svc.check("p").unwrap();
+        assert!(!r.clean);
+        assert!(!r.diags_added.is_empty(), "syntax errors reported");
+        assert_eq!(r.degraded_units, vec!["WatchC.Proc2".to_string()]);
+        assert_eq!(r.changed_units, vec!["WatchC.Proc2".to_string()]);
+        // Every sibling unit is byte-identical to the fault-free
+        // revision.
+        for (name, unit) in svc.session("p").unwrap().units() {
+            if name != "WatchC.Proc2" {
+                let prev = clean_units
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("sibling");
+                assert_eq!(&prev.1, unit, "{name} unchanged");
+            }
+        }
+        // Fixing restores the clean outputs exactly.
+        svc.submit("p", EditOp::FixBody { index: 2 }).unwrap();
+        let r = svc.check("p").unwrap();
+        assert!(r.clean);
+        assert!(r.degraded_units.is_empty());
+        assert_eq!(r.diags_removed.len(), 1, "the syntax error is gone");
+        assert_eq!(svc.session("p").unwrap().units(), &clean_units[..]);
+    }
+
+    #[test]
+    fn coalescing_is_newest_wins_per_target() {
+        let mut svc = service();
+        svc.open("p", small("WatchD", 4));
+        // Three edits to Proc0 (only the last survives), one to Proc1.
+        svc.submit("p", EditOp::ProcBody { index: 0, seed: 1 })
+            .unwrap();
+        svc.submit("p", EditOp::BreakBody { index: 0, seed: 2 })
+            .unwrap();
+        svc.submit("p", EditOp::ProcBody { index: 0, seed: 3 })
+            .unwrap();
+        svc.submit("p", EditOp::ProcBody { index: 1, seed: 4 })
+            .unwrap();
+        let r = svc.check("p").unwrap();
+        assert_eq!(r.edits_applied, 2);
+        assert_eq!(r.edits_coalesced, 2);
+        assert!(r.clean, "the superseded break never applied");
+        assert_eq!(
+            r.changed_units,
+            vec!["WatchD.Proc0".to_string(), "WatchD.Proc1".to_string()]
+        );
+    }
+
+    #[test]
+    fn empty_check_dedups_without_compiling() {
+        let mut svc = service();
+        svc.open("p", small("WatchE", 5));
+        let misses_before = svc.store_stats().misses;
+        let r = svc.check("p").unwrap();
+        assert!(r.deduped);
+        assert!(r.clean);
+        assert_eq!(r.edits_applied, 0);
+        assert_eq!(r.warm_streams + r.cold_streams, 0);
+        assert_eq!(r.changed_units, Vec::<String>::new());
+        assert_eq!(
+            svc.store_stats().misses,
+            misses_before,
+            "no store traffic on a deduped revision"
+        );
+        assert_eq!(svc.session("p").unwrap().revision(), 2);
+    }
+
+    #[test]
+    fn inbox_is_bounded() {
+        let mut svc = WatchService::new(WatchConfig {
+            inbox_capacity: 2,
+            ..WatchConfig::default()
+        });
+        svc.open("p", small("WatchF", 6));
+        svc.submit("p", EditOp::ProcBody { index: 0, seed: 1 })
+            .unwrap();
+        svc.submit("p", EditOp::ProcBody { index: 1, seed: 1 })
+            .unwrap();
+        let err = svc
+            .submit("p", EditOp::ProcBody { index: 2, seed: 1 })
+            .unwrap_err();
+        assert_eq!(err, WatchError::InboxFull { capacity: 2 });
+        assert_eq!(svc.session("p").unwrap().rejected_edits(), 1);
+        // Draining reopens the inbox.
+        svc.check("p").unwrap();
+        svc.submit("p", EditOp::ProcBody { index: 2, seed: 1 })
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_project_is_an_error() {
+        let mut svc = service();
+        assert_eq!(
+            svc.check("nope").unwrap_err(),
+            WatchError::UnknownProject("nope".into())
+        );
+        assert!(matches!(
+            svc.submit("nope", EditOp::FixBody { index: 0 }),
+            Err(WatchError::UnknownProject(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_share_one_store() {
+        let mut svc = service();
+        svc.open("a", small("Shared", 7));
+        let a_insertions = svc.store_stats().insertions;
+        assert!(a_insertions > 0);
+        // Same sources under a different project: every unit splices
+        // from the store the first session warmed.
+        let r = svc.open("b", small("Shared", 7));
+        assert!(r.warm_streams > 0);
+        assert_eq!(r.cold_streams, 0, "fully warm across sessions");
+        assert_eq!(svc.sessions(), 2);
+    }
+}

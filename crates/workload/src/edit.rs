@@ -40,6 +40,26 @@ pub enum EditOp {
         /// Distinguishes repeated edits to the same interface.
         tag: u64,
     },
+    /// Insert a *syntactically broken* statement at the top of
+    /// `Proc{index}`'s body: `l0 := N + ;` — an expression cut off
+    /// mid-operator. Statement-local on purpose: it contains no
+    /// `BEGIN`/`END` tokens, so the splitter's stream carving is
+    /// untouched and only this procedure's stream degrades (to a
+    /// deterministic error unit) while siblings still parse, hit cache,
+    /// and codegen.
+    BreakBody {
+        /// The `Proc{index}` to break.
+        index: usize,
+        /// Folded into the broken statement.
+        seed: u64,
+    },
+    /// Remove every broken statement previously inserted by
+    /// [`EditOp::BreakBody`] into `Proc{index}`'s body. A no-op if the
+    /// procedure has none.
+    FixBody {
+        /// The `Proc{index}` to fix.
+        index: usize,
+    },
 }
 
 /// Applies `edits` to a copy of `module`, returning the edited module.
@@ -54,6 +74,12 @@ pub fn apply_edits(module: &GeneratedModule, edits: &[EditOp]) -> GeneratedModul
             }
             EditOp::Interface { def, tag } => {
                 out.defs = edit_interface(&out.defs, def, *tag);
+            }
+            EditOp::BreakBody { index, seed } => {
+                out.source = break_proc_body(&out.source, *index, *seed);
+            }
+            EditOp::FixBody { index } => {
+                out.source = fix_proc_body(&out.source, *index);
             }
         }
     }
@@ -73,18 +99,74 @@ pub fn body_edits(k: usize, seed: u64) -> Vec<EditOp> {
 const BODY_ANCHOR: &str = "BEGIN\n  l0 := p0 + p1; l1 := 1; l2 := 0;\n";
 
 fn edit_proc_body(source: &str, index: usize, seed: u64) -> String {
-    let heading = format!("PROCEDURE Proc{index}(");
-    let Some(at) = source.find(&heading) else {
-        return source.to_string();
-    };
     // The first body prologue after the heading belongs to this procedure
     // (nested procedures use a differently indented prologue).
-    let Some(body) = source[at..].find(BODY_ANCHOR) else {
+    let Some(insert_at) = body_insert_point(source, index) else {
         return source.to_string();
     };
-    let insert_at = at + body + BODY_ANCHOR.len();
     let mut edited = source.to_string();
     edited.insert_str(insert_at, &format!("  l0 := l0 + {};\n", seed % 9973));
+    edited
+}
+
+/// Finds the byte offset just past `Proc{index}`'s body prologue, or
+/// `None` if the procedure (or its prologue) is absent.
+fn body_insert_point(source: &str, index: usize) -> Option<usize> {
+    let heading = format!("PROCEDURE Proc{index}(");
+    let at = source.find(&heading)?;
+    let body = source[at..].find(BODY_ANCHOR)?;
+    Some(at + body + BODY_ANCHOR.len())
+}
+
+fn break_proc_body(source: &str, index: usize, seed: u64) -> String {
+    let Some(insert_at) = body_insert_point(source, index) else {
+        return source.to_string();
+    };
+    let mut edited = source.to_string();
+    edited.insert_str(insert_at, &format!("  l0 := {} + ;\n", seed % 9973));
+    edited
+}
+
+/// A line is a break-marker iff it has exactly the shape
+/// [`break_proc_body`] inserts: `  l0 := <digits> + ;`.
+fn is_broken_line(line: &str) -> bool {
+    line.strip_prefix("  l0 := ")
+        .and_then(|rest| rest.strip_suffix(" + ;"))
+        .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// A line matching the shape benign [`EditOp::ProcBody`] edits insert
+/// (`  l0 := l0 + <digits>;`). Used only to extend the fix scan window;
+/// an organic statement that happens to match is kept either way.
+fn is_benign_inserted(line: &str) -> bool {
+    line.strip_prefix("  l0 := l0 + ")
+        .and_then(|rest| rest.strip_suffix(';'))
+        .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn fix_proc_body(source: &str, index: usize) -> String {
+    // Every edit (benign or breaking) inserts at the top-of-body insert
+    // point, so broken lines always live in the contiguous run of
+    // edit-shaped lines right after the prologue. Scan that run, drop
+    // the broken lines, keep everything else byte-for-byte.
+    let Some(start) = body_insert_point(source, index) else {
+        return source.to_string();
+    };
+    let rest = &source[start..];
+    let mut edited = source[..start].to_string();
+    let mut scanned = 0usize;
+    for line in rest.split_inclusive('\n') {
+        let trimmed = line.trim_end_matches('\n');
+        if is_broken_line(trimmed) {
+            scanned += line.len();
+        } else if is_benign_inserted(trimmed) {
+            edited.push_str(line);
+            scanned += line.len();
+        } else {
+            break;
+        }
+    }
+    edited.push_str(&rest[scanned..]);
     edited
 }
 
@@ -190,6 +272,39 @@ mod tests {
             e.defs.all_definitions(),
             "untouched library"
         );
+    }
+
+    #[test]
+    fn break_then_fix_roundtrips_exactly() {
+        let m = generate(&GenParams::small("BrkFix", 13));
+        let broken = apply_edits(&m, &[EditOp::BreakBody { index: 1, seed: 77 }]);
+        assert_ne!(m.source, broken.source);
+        assert!(broken.source.contains(" + ;"));
+        // The broken module still parses (error recovery) but reports
+        // syntax errors.
+        let out = compile(&broken.source, &broken.defs);
+        assert!(!out.is_ok());
+        assert!(out.image.is_some(), "recovered parse still yields an image");
+        // Fixing removes exactly the inserted line — byte-identical to
+        // the pre-break text.
+        let fixed = apply_edits(&broken, &[EditOp::FixBody { index: 1 }]);
+        assert_eq!(m.source, fixed.source);
+    }
+
+    #[test]
+    fn fix_only_touches_the_named_procedure() {
+        let m = generate(&GenParams::small("FixScope", 14));
+        let broken = apply_edits(
+            &m,
+            &[
+                EditOp::BreakBody { index: 0, seed: 3 },
+                EditOp::BreakBody { index: 2, seed: 4 },
+            ],
+        );
+        let fixed = apply_edits(&broken, &[EditOp::FixBody { index: 0 }]);
+        // Proc0's break is gone, Proc2's remains.
+        let expect = apply_edits(&m, &[EditOp::BreakBody { index: 2, seed: 4 }]);
+        assert_eq!(fixed.source, expect.source);
     }
 
     #[test]

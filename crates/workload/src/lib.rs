@@ -13,7 +13,9 @@
 //! * [`edit`] — mechanical edit scenarios (k procedure bodies, one
 //!   interface) for evaluating the incremental compilation cache;
 //! * [`serve_load`] — a seeded many-client event stream (projects,
-//!   revisions, edits) for driving the `ccm2-serve` compile service.
+//!   revisions, edits) for driving the `ccm2-serve` compile service;
+//! * [`session`] — seeded editor-session edit streams (benign, breaking
+//!   and fixing edits) for driving `ccm2-watch`.
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@
 pub mod edit;
 pub mod gen;
 pub mod serve_load;
+pub mod session;
 pub mod suite;
 pub mod synth;
 
 pub use edit::{apply_edits, body_edits, EditOp};
 pub use gen::{generate, lock_seed_scenarios, GenParams, GeneratedModule, LockScenario};
 pub use serve_load::{kill_points, serve_load, shard_kill_schedule, ServeEvent, ServeLoadParams};
+pub use session::{edit_session_seeds, SessionEdit, SessionParams};
 pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};
 pub use synth::{synth_module, SynthParams};

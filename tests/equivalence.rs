@@ -44,10 +44,7 @@ fn assert_equivalent(source: &str, defs: &DefLibrary, options: Options, what: &s
         defs,
         Arc::clone(&interner),
         Arc::new(NullMeter),
-        match options.heading_mode {
-            HeadingMode::CopyToChild => HeadingMode::CopyToChild,
-            HeadingMode::Reprocess => HeadingMode::Reprocess,
-        },
+        options.heading_mode,
     );
     let conc = compile_concurrent(
         source,

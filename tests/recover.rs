@@ -263,3 +263,130 @@ fn recovered_runs_are_deterministic_on_the_simulator() {
     assert_eq!(unit_map(&a), unit_map(&b));
     assert_eq!(a.report.virtual_time, b.report.virtual_time);
 }
+
+/// Builds options like [`compile`] but with per-task retry budgets.
+fn compile_budgeted(
+    m: &GeneratedModule,
+    sim: bool,
+    faults: Option<Arc<FaultPlan>>,
+    retries: u32,
+    budgets: &[(&str, u32)],
+) -> ccm2::ConcurrentOutput {
+    let executor = if sim {
+        Executor::Sim(SimConfig::firefly(4))
+    } else {
+        Executor::Threads(2)
+    };
+    compile_concurrent(
+        &m.source,
+        Arc::new(m.defs.clone()),
+        Arc::new(Interner::new()),
+        Options {
+            strategy: DkyStrategy::Skeptical,
+            executor,
+            analyze: true,
+            faults,
+            max_stream_retries: retries,
+            task_retry_budgets: budgets.iter().map(|(n, b)| (n.to_string(), *b)).collect(),
+            ..Options::default()
+        },
+    )
+}
+
+/// A per-task budget of 0 pins that task to a single attempt even when
+/// the global budget would retry it: the stream degrades immediately,
+/// no retry site is queried, and no recovery is reported — while the
+/// rest of the compile still runs under the global budget.
+#[test]
+fn per_task_budget_zero_overrides_global_retries() {
+    let m = module();
+    for sim in [true, false] {
+        let plan = Arc::new(
+            FaultPlan::single("task:procparse(FaultShort)", FaultKind::Panic)
+                .with_probe_recording(),
+        );
+        let run = compile_budgeted(
+            &m,
+            sim,
+            Some(Arc::clone(&plan)),
+            2,
+            &[("procparse(FaultShort)", 0)],
+        );
+        assert!(
+            run.errors
+                .iter()
+                .any(|e| matches!(e, CompileError::StreamFault { .. })),
+            "sim={sim}: pinned task must degrade on first fault"
+        );
+        assert!(
+            !run.errors
+                .iter()
+                .any(|e| matches!(e, CompileError::Recovered { .. })),
+            "sim={sim}: a zero budget must not recover"
+        );
+        assert!(
+            plan.probed().iter().all(|s| !s.contains("#r")),
+            "sim={sim}: no retry site may be queried for the pinned task"
+        );
+    }
+}
+
+/// A per-task budget grants retries to one task with the global budget
+/// at zero: the named task recovers to the byte-identical fault-free
+/// output, and a budget naming a nonexistent task changes nothing.
+#[test]
+fn per_task_budget_enables_retries_with_global_zero() {
+    let m = module();
+    for sim in [true, false] {
+        let baseline = compile(&m, DkyStrategy::Skeptical, sim, None, 0);
+        let base_units = unit_map(&baseline);
+
+        let plan = Arc::new(FaultPlan::single(
+            "task:procparse(FaultShort)",
+            FaultKind::Panic,
+        ));
+        let run = compile_budgeted(
+            &m,
+            sim,
+            Some(Arc::clone(&plan)),
+            0,
+            &[("procparse(FaultShort)", 2)],
+        );
+        assert!(plan.any_fired(), "sim={sim}: fault never fired");
+        assert!(
+            !run.errors.is_empty()
+                && run
+                    .errors
+                    .iter()
+                    .all(|e| matches!(e, CompileError::Recovered { .. })),
+            "sim={sim}: expected only Recovered, got {:?}",
+            run.errors
+        );
+        assert!(run.is_ok(), "sim={sim}: recovery must not fail the compile");
+        assert_eq!(
+            unit_map(&run),
+            base_units,
+            "sim={sim}: recovered output must match the fault-free compile"
+        );
+
+        // A budget naming a task that never exists must not leak retries
+        // to anything else: the faulted stream still degrades.
+        let plan = Arc::new(FaultPlan::single(
+            "task:procparse(FaultShort)",
+            FaultKind::Panic,
+        ));
+        let run = compile_budgeted(
+            &m,
+            sim,
+            Some(Arc::clone(&plan)),
+            0,
+            &[("procparse(NoSuchProc)", 2)],
+        );
+        assert!(
+            run.errors
+                .iter()
+                .any(|e| matches!(e, CompileError::StreamFault { .. })),
+            "sim={sim}: unrelated budget must not grant retries"
+        );
+    }
+}
