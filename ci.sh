@@ -57,6 +57,20 @@ cargo test -q -p ccm2-fabric
 cargo test -q --test fabric
 cargo run -q --release -p ccm2-bench --bin reproduce -- fabric
 
+echo "== chaosnet: seeded network-fault drill matrix =="
+# The hardened control plane must survive the full chaos lifecycle on
+# three seeds x both transports: partition -> heartbeat eviction ->
+# serve through the hole -> heal -> warm rejoin -> cold join (>= 50%
+# warm hits on the first post-join batch) -> crash-restart from durable
+# CCM2RLOG replica logs -> failover absorb of the restored parked ops.
+# Zero lost admitted requests, zero hangs, byte-identity to standalone.
+cargo test -q --test chaosnet
+cargo run -q --release -p ccm2-bench --bin reproduce -- chaosnet
+grep -q '"schema":"ccm2-bench/chaosnet/v1"' BENCH_chaosnet.json
+grep -q '"lost":0' BENCH_chaosnet.json
+grep -q '"mismatched":0' BENCH_chaosnet.json
+grep -q '"hangs":0' BENCH_chaosnet.json
+
 echo "== editor sessions: convergence, coalescing, error-unit determinism =="
 # The watch loop must converge every seeded edit session — broken
 # intermediates included — to the byte-identical output of a cold
@@ -77,6 +91,17 @@ wver=$(grep -o 'WIRE_FORMAT_VERSION: u32 = [0-9]*' crates/fabric/src/wire.rs | g
 if ! grep -q "wire_version_${wver}_mismatch_rejected" crates/fabric/src/wire.rs; then
   echo "WIRE_FORMAT_VERSION is ${wver} but crates/fabric/src/wire.rs has no" >&2
   echo "wire_version_${wver}_mismatch_rejected test — add one for the new version." >&2
+  exit 1
+fi
+
+echo "== replica logs: format-version bump guard =="
+# Same rule for the persisted CCM2RLOG replica-log images: bumping
+# RLOG_FORMAT_VERSION requires a matching quarantine test (foreign
+# versions must be quarantined and fall back, never misdecoded).
+rver=$(grep -o 'RLOG_FORMAT_VERSION: u32 = [0-9]*' crates/fabric/src/durable.rs | grep -o '[0-9]*$')
+if ! grep -q "rlog_version_${rver}_mismatch_quarantined" crates/fabric/src/durable.rs; then
+  echo "RLOG_FORMAT_VERSION is ${rver} but crates/fabric/src/durable.rs has no" >&2
+  echo "rlog_version_${rver}_mismatch_quarantined test — add one for the new version." >&2
   exit 1
 fi
 

@@ -11,6 +11,8 @@
 //! cargo run --release -p ccm2-bench --bin reproduce -- incr
 //! cargo run --release -p ccm2-bench --bin reproduce -- serve
 //! cargo run --release -p ccm2-bench --bin reproduce -- fabric
+//! cargo run --release -p ccm2-bench --bin reproduce -- chaosnet
+//! cargo run --release -p ccm2-bench --bin reproduce -- chaosnet --heartbeat-ms=10
 //! cargo run --release -p ccm2-bench --bin reproduce -- watch
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults
 //! cargo run --release -p ccm2-bench --bin reproduce -- faults --list-sites
@@ -92,6 +94,22 @@ fn main() {
     }
     if want("fabric") {
         println!("{}\n", bench::fabric());
+    }
+    if want("chaosnet") {
+        // --heartbeat-ms=N tunes the wall-clock detector leg's period.
+        let heartbeat_ms = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--heartbeat-ms="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25);
+        println!(
+            "{}\n",
+            bench::chaosnet_with(
+                &[0xC4A0, 0xC4A1, 0xC4A2],
+                heartbeat_ms,
+                Some(std::path::Path::new("BENCH_chaosnet.json")),
+            )
+        );
     }
     if want("watch") {
         println!("{}\n", bench::watch());

@@ -1647,6 +1647,524 @@ pub fn fabric_with(
     out
 }
 
+// ---- chaosnet: seeded network-fault drill matrix -------------------------
+
+/// Either side of the chaosnet matrix: the deterministic loopback (link
+/// faults via `ccm2-faults` sites) or real TCP sockets (explicit
+/// partition switches). One enum so each drill cell runs the identical
+/// script on both.
+enum ChaosNet {
+    Loopback(Arc<ccm2_fabric::LoopbackTransport>),
+    Tcp {
+        transport: Arc<ccm2_fabric::TcpTransport>,
+        servers: Vec<ccm2_fabric::TcpShardServer>,
+    },
+}
+
+impl ChaosNet {
+    fn new(tcp: bool) -> ChaosNet {
+        if tcp {
+            ChaosNet::Tcp {
+                transport: Arc::new(ccm2_fabric::TcpTransport::new()),
+                servers: Vec::new(),
+            }
+        } else {
+            ChaosNet::Loopback(Arc::new(ccm2_fabric::LoopbackTransport::new()))
+        }
+    }
+
+    fn register(&mut self, node: &Arc<ccm2_fabric::ShardNode>) {
+        let handler = Arc::clone(node) as Arc<dyn ccm2_fabric::FrameHandler>;
+        match self {
+            ChaosNet::Loopback(t) => t.register(node.id(), handler),
+            ChaosNet::Tcp { transport, servers } => {
+                let server = ccm2_fabric::TcpShardServer::serve(handler).expect("tcp shard server");
+                transport.register(node.id(), server.addr());
+                servers.push(server);
+            }
+        }
+    }
+
+    fn transport(&self) -> Arc<dyn ccm2_fabric::Transport> {
+        match self {
+            ChaosNet::Loopback(t) => Arc::clone(t) as Arc<dyn ccm2_fabric::Transport>,
+            ChaosNet::Tcp { transport, .. } => {
+                Arc::clone(transport) as Arc<dyn ccm2_fabric::Transport>
+            }
+        }
+    }
+
+    /// Opens (`true`) or heals (`false`) a standing partition of the
+    /// link to `shard`.
+    fn cut(&self, shard: u32, on: bool) {
+        match self {
+            ChaosNet::Loopback(t) => t.set_link_faults(on.then(|| {
+                Arc::new(ccm2_faults::FaultPlan::single(
+                    format!("link:{shard}#c*"),
+                    ccm2_faults::FaultKind::Panic,
+                ))
+            })),
+            ChaosNet::Tcp { transport, .. } => transport.set_partitioned(shard, on),
+        }
+    }
+}
+
+/// One cell of the chaosnet matrix (a seed on a transport), reduced to
+/// the numbers the report and `BENCH_chaosnet.json` carry. Every cell
+/// also carries the hard assertions — zero lost admitted requests, zero
+/// hangs, byte-identity to standalone, the warm-hit floor — so a
+/// regression fails the drill instead of skewing a number.
+struct ChaosCell {
+    seed: u64,
+    transport: &'static str,
+    events: usize,
+    victim: u32,
+    ticks_to_evict: usize,
+    warm_hits: u64,
+    warm_lookups: u64,
+    restored_parked_ops: usize,
+    absorbed_after_restart: u64,
+    rlog_writes: u64,
+}
+
+/// The `reproduce -- chaosnet` drill: a seeded network-fault matrix
+/// (three seeds x both transports) over the hardened fabric control
+/// plane. Each cell runs one full lifecycle — partition opens on the
+/// seeded schedule, the heartbeat detector suspects then evicts the
+/// victim, the fleet serves through the hole, the partition heals and
+/// the victim warm-rejoins, a cold shard joins through the warm-up path
+/// (>= 50% warm hits on its first post-join batch), and finally the
+/// whole fleet is crash-restarted from its durable `CCM2RLOG` replica
+/// logs and a failover absorbs the restored parked ops. Zero lost
+/// admitted requests, zero hangs, byte-identity to a standalone
+/// service, everywhere. Writes `BENCH_chaosnet.json`.
+pub fn chaosnet() -> String {
+    chaosnet_with(
+        &[0xC4A0, 0xC4A1, 0xC4A2],
+        25,
+        Some(std::path::Path::new("BENCH_chaosnet.json")),
+    )
+}
+
+/// [`chaosnet`] with explicit seeds, wall-clock heartbeat period (ms,
+/// the `--heartbeat-ms` flag) and JSON destination.
+pub fn chaosnet_with(
+    seeds: &[u64],
+    heartbeat_ms: u64,
+    json_path: Option<&std::path::Path>,
+) -> String {
+    let mut out = String::from(
+        "Chaosnet: seeded network-fault drills over the fabric control plane\n\
+           each cell: partition -> heartbeat eviction -> serve through the hole -> heal\n\
+           -> warm rejoin -> cold join (warm-hit floor) -> CCM2RLOG crash-restart -> absorb\n\n",
+    );
+    out.push_str(
+        "  seed   | transport | evict ticks | warm hits | restored ops | absorbed | events\n",
+    );
+    out.push_str(
+        "  -------+-----------+-------------+-----------+--------------+----------+-------\n",
+    );
+    let mut cells = Vec::new();
+    for &seed in seeds {
+        for tcp in [false, true] {
+            let cell = chaosnet_cell(seed, tcp);
+            out.push_str(&format!(
+                "  {:#6x} | {:>9} | {:>11} | {:>4}/{:<4} | {:>12} | {:>8} | {:>6}\n",
+                cell.seed,
+                cell.transport,
+                cell.ticks_to_evict,
+                cell.warm_hits,
+                cell.warm_lookups,
+                cell.restored_parked_ops,
+                cell.absorbed_after_restart,
+                cell.events,
+            ));
+            cells.push(cell);
+        }
+    }
+    out.push_str(&format!(
+        "  {} cells: 0 lost admitted requests, 0 hangs, 0 mismatched vs standalone\n",
+        cells.len()
+    ));
+
+    // Wall-clock detector smoke: the same eviction on real sockets and
+    // real time, driven by `start_heartbeats` at --heartbeat-ms.
+    let wall = chaosnet_wall_clock(heartbeat_ms);
+    out.push_str(&format!(
+        "\nwall-clock detector (tcp, --heartbeat-ms={}): partitioned shard evicted in {} ms\n",
+        heartbeat_ms,
+        wall.as_millis()
+    ));
+
+    if let Some(path) = json_path {
+        let mut cell_json = String::new();
+        for c in &cells {
+            if !cell_json.is_empty() {
+                cell_json.push(',');
+            }
+            cell_json.push_str(&format!(
+                "{{\"seed\":{},\"transport\":\"{}\",\"events\":{},\"victim\":{},\"ticks_to_evict\":{},\"warm_hits\":{},\"warm_lookups\":{},\"restored_parked_ops\":{},\"absorbed_after_restart\":{},\"rlog_writes\":{},\"lost\":0,\"mismatched\":0,\"hangs\":0}}",
+                c.seed,
+                c.transport,
+                c.events,
+                c.victim,
+                c.ticks_to_evict,
+                c.warm_hits,
+                c.warm_lookups,
+                c.restored_parked_ops,
+                c.absorbed_after_restart,
+                c.rlog_writes,
+            ));
+        }
+        let json = format!(
+            "{{\"schema\":\"ccm2-bench/chaosnet/v1\",\"cells\":[{cell_json}],\"wall_clock\":{{\"heartbeat_ms\":{heartbeat_ms},\"evicted_in_micros\":{}}},\"lost\":0,\"mismatched\":0,\"hangs\":0}}\n",
+            wall.as_micros()
+        );
+        std::fs::write(path, json).expect("write BENCH_chaosnet.json");
+        out.push_str(&format!("\nwrote {}\n", path.display()));
+    }
+    out
+}
+
+/// One chaosnet cell; see [`chaosnet`] for the script it runs.
+fn chaosnet_cell(seed: u64, tcp: bool) -> ChaosCell {
+    use ccm2_fabric::{
+        FabricResponse, FabricRouter, HealthState, HeartbeatConfig, ReplicaLogStore, ShardNode,
+    };
+    use ccm2_serve::{CompileRequest, ExecChoice, ServeConfig};
+    use ccm2_workload::{serve_load, shard_partition_schedule, ServeLoadParams};
+    use std::collections::HashMap;
+
+    const SHARDS: u32 = 3;
+    const JOINER: u32 = 9;
+    let params = ServeLoadParams {
+        seed,
+        projects: 3,
+        clients: 4,
+        events: 60,
+        edit_every: 12,
+        interface_every: 3,
+    };
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        store_budget: 128 * 1024,
+        ..ServeConfig::default()
+    };
+    let events = serve_load(&params);
+    let mk_request = |e: &ccm2_workload::ServeEvent| CompileRequest {
+        client: e.client,
+        module: e.module.name.clone(),
+        source: e.module.source.clone(),
+        defs: Arc::new(e.module.defs.clone()),
+        strategy: DkyStrategy::Skeptical,
+        exec: ExecChoice::Sim(4),
+        analyze: false,
+        faults: None,
+        task_deadline: None,
+        max_stream_retries: 0,
+    };
+    let mut expected: HashMap<ccm2_support::hash::Fp128, (Option<Vec<u8>>, Vec<String>)> =
+        HashMap::new();
+    for e in &events {
+        let req = mk_request(e);
+        expected
+            .entry(req.fingerprint())
+            .or_insert_with(|| standalone_compile(&req));
+    }
+    // The drive protocol with the hang guard and byte-identity check:
+    // every admitted request must come back `Done` with the standalone
+    // bytes within a bounded number of retry waves.
+    let drive = |router: &FabricRouter, slice: &[ccm2_workload::ServeEvent]| {
+        let mut pending: Vec<CompileRequest> = slice.iter().map(&mk_request).collect();
+        let mut waves = 0usize;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(waves <= 1 + slice.len(), "chaosnet drive must drain (hang)");
+            let batch = std::mem::take(&mut pending);
+            let resubmit = batch.clone();
+            for (req, resp) in resubmit.into_iter().zip(router.serve_batch(&batch)) {
+                match resp {
+                    FabricResponse::Done(o) => {
+                        assert!(o.ok, "{:?}", o.diagnostics);
+                        let want = &expected[&req.fingerprint()];
+                        assert!(
+                            (o.object.clone(), o.diagnostics.clone()) == *want,
+                            "chaosnet bytes diverged from standalone for {}",
+                            req.module
+                        );
+                    }
+                    FabricResponse::Retry => pending.push(req),
+                }
+            }
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!(
+        "ccm2-chaosnet-{}-{seed:x}-{}",
+        std::process::id(),
+        if tcp { "tcp" } else { "loop" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mk_node = |id: u32| -> Arc<ShardNode> {
+        let rlogs = ReplicaLogStore::new(dir.join(format!("rlog-{id}"))).expect("rlog dir");
+        Arc::new(
+            ShardNode::start(id, config)
+                .with_durable_log(rlogs)
+                .expect("durable replica logs"),
+        )
+    };
+    let nodes: Vec<Arc<ShardNode>> = (0..SHARDS).map(mk_node).collect();
+    let mut net = ChaosNet::new(tcp);
+    for node in &nodes {
+        net.register(node);
+    }
+    let heartbeat = HeartbeatConfig {
+        suspect_misses: 1,
+        evict_misses: 2,
+    };
+    let router = FabricRouter::new(net.transport()).with_heartbeat(heartbeat);
+
+    // The partition window is drawn over the first two-thirds of the
+    // load so the final third is always the cold joiner's first batch.
+    let sched_params = ServeLoadParams {
+        events: params.events * 2 / 3,
+        ..params
+    };
+    let window = shard_partition_schedule(&sched_params, SHARDS, 1)[0];
+    let victim = window.shard;
+
+    // Phase 1 — healthy fleet up to the partition point.
+    drive(&router, &events[..window.from]);
+
+    // Phase 2 — the link to the victim drops; the detector suspects,
+    // then evicts, in a deterministic number of virtual-time ticks.
+    net.cut(victim, true);
+    let mut ticks = 0usize;
+    while router.health(victim) != HealthState::Evicted {
+        ticks += 1;
+        assert!(ticks <= 4, "failure detector hung past its miss budget");
+        router.heartbeat_tick();
+    }
+    assert_eq!(
+        ticks, heartbeat.evict_misses as usize,
+        "deterministic clock"
+    );
+    assert!(
+        !router.live_shards().contains(&victim),
+        "evicted shard still owns keys"
+    );
+    drive(&router, &events[window.from..window.until]);
+
+    // Phase 3 — heal and warm-rejoin the victim through admit_shard.
+    net.cut(victim, false);
+    router.admit_shard(victim);
+    assert_eq!(router.health(victim), HealthState::Alive);
+    drive(&router, &events[window.until..params.events * 2 / 3]);
+
+    // Warm probes: the seeded load reuses a handful of fingerprints, so
+    // on an unlucky seed the consistent-hash ring may hand the joiner
+    // none of them. Synthesize modules the post-join ring provably
+    // routes to the joiner and serve them now, pre-join, so they land
+    // warm in a current member's store (and thus in the head-ship
+    // image). Their post-join replay is guaranteed joiner traffic.
+    let post_join_ring =
+        ccm2_fabric::HashRing::new(&[0, 1, 2, JOINER], ccm2_fabric::DEFAULT_VNODES);
+    let mk_probe = |n: u32| {
+        let mut req = CompileRequest::new(
+            u64::from(n),
+            format!("ChaosProbe{n}"),
+            format!("MODULE ChaosProbe{n}; VAR x: INTEGER; BEGIN x := {n}; END ChaosProbe{n}."),
+            Arc::new(ccm2_support::defs::DefLibrary::new()),
+        );
+        req.exec = ExecChoice::Sim(4);
+        req
+    };
+    let probes: Vec<CompileRequest> = (0..200u32)
+        .map(mk_probe)
+        .filter(|req| post_join_ring.route(req.fingerprint()) == Some(JOINER))
+        .take(6)
+        .collect();
+    assert!(!probes.is_empty(), "no probe routed to the joiner");
+    for resp in router.serve_batch(&probes) {
+        match resp {
+            FabricResponse::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
+            FabricResponse::Retry => panic!("probe shed by an idle fleet"),
+        }
+    }
+
+    // Phase 4 — cold join: the joiner is warmed (head-ship from every
+    // member + delta catch-up) before the ring hands it keys, so its
+    // first post-join batch — the final third of the load plus the
+    // probe replays — must hit at least half the time.
+    let joiner = mk_node(JOINER);
+    net.register(&joiner);
+    router.admit_shard(JOINER);
+    let before = joiner.service().store().stats();
+    drive(&router, &events[params.events * 2 / 3..]);
+    for resp in router.serve_batch(&probes) {
+        match resp {
+            FabricResponse::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
+            FabricResponse::Retry => panic!("probe replay shed by an idle fleet"),
+        }
+    }
+    let after = joiner.service().store().stats();
+    let warm_hits = after.hits - before.hits;
+    let warm_lookups = warm_hits + (after.misses - before.misses);
+    assert!(warm_lookups > 0, "the joiner saw no post-join traffic");
+    assert!(
+        warm_hits * 2 >= warm_lookups,
+        "cold joiner served too cold: {warm_hits}/{warm_lookups} warm"
+    );
+
+    // Phase 5 — crash-restart: drop the whole fleet (routers, sockets,
+    // nodes) and rebuild the original shards from their durable
+    // CCM2RLOG stores. Every parked replica op must come back.
+    let parked = |nodes: &[Arc<ShardNode>]| -> Vec<Vec<usize>> {
+        nodes
+            .iter()
+            .map(|n| {
+                [0, 1, 2, JOINER]
+                    .iter()
+                    .map(|&o| n.replica_len(o))
+                    .collect()
+            })
+            .collect()
+    };
+    let parked_before = parked(&nodes);
+    let rlog_writes: u64 = nodes.iter().map(|n| n.stats().rlog_writes).sum();
+    let restored_parked_ops: usize = parked_before.iter().flatten().sum();
+    assert!(
+        restored_parked_ops > 0,
+        "no parked replica ops to survive the crash — the drill is vacuous"
+    );
+    drop(router);
+    drop(net);
+    drop(nodes);
+    drop(joiner);
+    let nodes: Vec<Arc<ShardNode>> = (0..SHARDS).map(mk_node).collect();
+    assert_eq!(
+        parked(&nodes),
+        parked_before,
+        "restart lost or invented parked replica ops"
+    );
+    let mut net = ChaosNet::new(tcp);
+    for node in &nodes {
+        net.register(node);
+    }
+    let router = FabricRouter::new(net.transport());
+    // Kill the origin with the most ops parked on its peers: the
+    // failover absorb must replay the restored logs into live stores.
+    let origin = (0..SHARDS)
+        .max_by_key(|&o| {
+            nodes
+                .iter()
+                .filter(|n| n.id() != o)
+                .map(|n| n.replica_len(o))
+                .sum::<usize>()
+        })
+        .expect("three shards");
+    router.kill_shard(origin);
+    let absorbed_after_restart: u64 = nodes
+        .iter()
+        .filter(|n| n.id() != origin)
+        .map(|n| n.stats().absorbed_ops)
+        .sum();
+    assert!(
+        absorbed_after_restart > 0,
+        "failover after restart absorbed nothing from the durable logs"
+    );
+    // The restarted, post-failover fleet still serves standalone bytes.
+    drive(&router, &events[..6]);
+    drop(router);
+    drop(net);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ChaosCell {
+        seed,
+        transport: if tcp { "tcp" } else { "loopback" },
+        events: params.events,
+        victim,
+        ticks_to_evict: ticks,
+        warm_hits,
+        warm_lookups,
+        restored_parked_ops,
+        absorbed_after_restart,
+        rlog_writes,
+    }
+}
+
+/// Wall-clock leg of the chaosnet drill: a TCP fleet under
+/// [`ccm2_fabric::start_heartbeats`] at `heartbeat_ms` must evict a
+/// partitioned shard on real time, within a generous bounded deadline
+/// (the zero-hangs guarantee on the non-virtual clock). Returns the
+/// observed partition-to-eviction latency.
+fn chaosnet_wall_clock(heartbeat_ms: u64) -> std::time::Duration {
+    use ccm2_fabric::{
+        start_heartbeats, FabricRouter, FrameHandler, HealthState, HeartbeatConfig, ShardNode,
+        TcpShardServer, TcpTransport, Transport,
+    };
+    use ccm2_serve::{CompileRequest, ExecChoice, ServeConfig};
+    use ccm2_support::defs::DefLibrary;
+
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        store_budget: 64 * 1024,
+        ..ServeConfig::default()
+    };
+    let nodes: Vec<Arc<ShardNode>> = (0..3u32)
+        .map(|id| Arc::new(ShardNode::start(id, config)))
+        .collect();
+    let transport = Arc::new(TcpTransport::new());
+    let mut servers: Vec<TcpShardServer> = Vec::new();
+    for node in &nodes {
+        let server =
+            TcpShardServer::serve(Arc::clone(node) as Arc<dyn FrameHandler>).expect("tcp server");
+        transport.register(node.id(), server.addr());
+        servers.push(server);
+    }
+    let router = Arc::new(
+        FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>).with_heartbeat(
+            HeartbeatConfig {
+                suspect_misses: 1,
+                evict_misses: 2,
+            },
+        ),
+    );
+    let handle = start_heartbeats(
+        Arc::clone(&router),
+        std::time::Duration::from_millis(heartbeat_ms),
+    );
+    for m in 0..4 {
+        let mut req = CompileRequest::new(
+            m,
+            format!("Wall{m}"),
+            format!("MODULE Wall{m}; VAR x: INTEGER; BEGIN x := 3; END Wall{m}."),
+            Arc::new(DefLibrary::new()),
+        );
+        req.exec = ExecChoice::Sim(2);
+        let resp = router.serve(&req);
+        assert!(resp.outcome().expect("served under heartbeats").ok);
+    }
+    transport.set_partitioned(1, true);
+    let started = std::time::Instant::now();
+    let deadline = std::time::Duration::from_millis(200 * heartbeat_ms.max(5));
+    while router.health(1) != HealthState::Evicted {
+        assert!(
+            started.elapsed() < deadline,
+            "wall-clock detector hung: shard 1 not evicted within {deadline:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let elapsed = started.elapsed();
+    drop(handle);
+    for server in &mut servers {
+        server.stop();
+    }
+    elapsed
+}
+
 // ---- always-on editor sessions (ccm2-watch) -----------------------------
 
 /// Nearest-rank percentile of an ascending-sorted sample.

@@ -45,6 +45,7 @@
 //! assert_eq!(fabric.router().live_shards(), vec![0, 1, 2]);
 //! ```
 
+pub mod durable;
 pub mod ring;
 pub mod router;
 pub mod shard;
@@ -55,8 +56,12 @@ use std::sync::Arc;
 
 use ccm2_serve::ServeConfig;
 
+pub use durable::{LoadedReplicaLogs, ReplicaLogStore, RLOG_FORMAT_VERSION};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use router::{FabricResponse, FabricRouter, FabricStats};
+pub use router::{
+    start_heartbeats, FabricResponse, FabricRouter, FabricStats, HealthState, HeartbeatConfig,
+    HeartbeatHandle,
+};
 pub use shard::{ReplicaLog, ShardNode, ShardStats, REPLICA_LOG_CAP};
 pub use transport::{
     read_frame, FrameHandler, LoopbackTransport, TcpShardServer, TcpTransport, Transport,
@@ -110,6 +115,12 @@ impl Fabric {
     /// Arms the router with a fault plan (`shard:{id}#d{n}` sites).
     pub fn with_faults(mut self, plan: Arc<ccm2_faults::FaultPlan>) -> Fabric {
         self.router = self.router.with_faults(plan);
+        self
+    }
+
+    /// Overrides the router's failure-detector thresholds.
+    pub fn with_heartbeat(mut self, config: HeartbeatConfig) -> Fabric {
+        self.router = self.router.with_heartbeat(config);
         self
     }
 
@@ -269,6 +280,133 @@ mod tests {
             0,
             "corruption must not be misdiagnosed as shard death"
         );
+    }
+
+    #[test]
+    fn heartbeat_detector_suspects_then_evicts_a_partitioned_shard() {
+        let fabric = Fabric::start(3, small_config()).with_heartbeat(HeartbeatConfig {
+            suspect_misses: 1,
+            evict_misses: 3,
+        });
+        // Standing partition of the link to shard 1: every delivery on
+        // it is dropped. Shards 0 and 2 keep answering.
+        fabric
+            .transport()
+            .set_link_faults(Some(Arc::new(ccm2_faults::FaultPlan::single(
+                "link:1#c*",
+                ccm2_faults::FaultKind::Panic,
+            ))));
+
+        assert!(fabric.router().heartbeat_tick().is_empty());
+        assert_eq!(fabric.router().health(1), HealthState::Suspect);
+        assert_eq!(fabric.router().health(0), HealthState::Alive);
+        assert_eq!(
+            fabric.router().live_shards(),
+            vec![0, 1, 2],
+            "a suspect keeps its keys"
+        );
+
+        assert!(fabric.router().heartbeat_tick().is_empty());
+        assert_eq!(fabric.router().heartbeat_tick(), vec![1], "third miss");
+        assert_eq!(fabric.router().health(1), HealthState::Evicted);
+        assert_eq!(fabric.router().live_shards(), vec![0, 2]);
+        let stats = fabric.router().stats();
+        assert_eq!(stats.heartbeat_evictions, 1);
+        assert_eq!(stats.failovers, 1, "eviction is a real failover");
+        assert_eq!(stats.suspects, 1, "one transition into suspicion");
+        assert_eq!(stats.pings, 3 + 3 + 3);
+        assert_eq!(stats.pongs, 2 + 2 + 2, "shards 0 and 2 kept answering");
+        assert!(fabric.transport().link_faults_fired() >= 3);
+
+        // Healing the partition does not resurrect the shard — only an
+        // explicit re-admission does, through the warm-up path.
+        fabric.transport().set_link_faults(None);
+        assert!(fabric.router().heartbeat_tick().is_empty());
+        assert_eq!(fabric.router().health(1), HealthState::Evicted);
+        fabric.router().admit_shard(1);
+        assert_eq!(fabric.router().health(1), HealthState::Alive);
+        assert_eq!(fabric.router().live_shards(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn admit_shard_warms_the_joiner_before_ring_ownership() {
+        let fabric = Fabric::start(2, small_config());
+        let reqs: Vec<CompileRequest> = (0..4).map(|m| request(3, &format!("Warm{m}"))).collect();
+        for resp in fabric.router().serve_batch(&reqs) {
+            assert!(resp.outcome().expect("served").ok);
+        }
+        let fleet_entries: usize = fabric.nodes()[0].service().store().export().len()
+            + fabric.nodes()[1].service().store().export().len();
+        assert!(fleet_entries > 0, "serving warmed nobody");
+
+        let joiner = Arc::new(ShardNode::start(7, small_config()));
+        fabric
+            .transport()
+            .register(7, Arc::clone(&joiner) as Arc<dyn FrameHandler>);
+        fabric.router().admit_shard(7);
+        assert_eq!(fabric.router().live_shards(), vec![0, 1, 7]);
+        let stats = fabric.router().stats();
+        assert_eq!(stats.warm_joins, 1);
+        assert!(stats.warmup_entries > 0, "head-ship carried no entries");
+        assert!(
+            joiner.stats().imported_entries > 0,
+            "the joiner imported nothing"
+        );
+        assert!(
+            !joiner.service().store().export().is_empty(),
+            "the joiner's store is still cold"
+        );
+        // Admitting an already-ringed shard is a no-op.
+        fabric.router().admit_shard(7);
+        assert_eq!(fabric.router().stats().warm_joins, 1);
+    }
+
+    #[test]
+    fn gapped_survivor_is_reconciled_with_a_full_image_at_failover() {
+        let fabric = Fabric::start(3, small_config());
+        // Warm shard 1 so the peers hold a (clean) replica log for it
+        // and shard 0 / 2 have authoritative bytes to reconcile from.
+        let victim_req = (0..64)
+            .map(|i| request(7, &format!("Gap{i}")))
+            .find(|r| HashRing::new(&[0, 1, 2], DEFAULT_VNODES).route(r.fingerprint()) == Some(1))
+            .expect("some module routes to shard 1");
+        assert!(fabric.router().serve(&victim_req).outcome().is_some());
+
+        // Poison shard 2's log for origin 1 with a far-future batch:
+        // sequence gap ⇒ gapped ⇒ absorb must discard it.
+        let poison = encode_frame(&Message::DeltaShip {
+            from_shard: 1,
+            batch: ccm2_incr::encode_delta(
+                10_000,
+                &[ccm2_incr::DeltaOp::Evict {
+                    fp: ccm2_support::hash::Fp128 { hi: 1, lo: 1 },
+                }],
+            ),
+        });
+        assert_eq!(
+            decode_frame(&fabric.nodes()[2].handle(&poison)),
+            Some(Message::Ack)
+        );
+
+        fabric.router().kill_shard(1);
+        let stats = fabric.router().stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.absorbs, 2, "both survivors answered the absorb");
+        assert_eq!(
+            stats.gapped_reconciliations, 1,
+            "the gapped survivor got a full image: {stats:?}"
+        );
+        let n2 = fabric.nodes()[2].stats();
+        assert_eq!(n2.gapped_discards, 1);
+        assert!(n2.imported_entries > 0, "reconciliation shipped entries");
+        assert!(
+            !fabric.nodes()[2].service().store().export().is_empty(),
+            "shard 2 should hold the reconciled bytes"
+        );
+        // The victim's artifacts survived somewhere: the re-routed
+        // request serves identically.
+        let resp = fabric.router().serve(&victim_req);
+        assert!(resp.outcome().expect("served by a survivor").ok);
     }
 
     #[test]

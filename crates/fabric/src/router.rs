@@ -33,9 +33,28 @@
 //! dispatch `n` to shard `id`; a [`FaultKind::Panic`] there kills the
 //! shard at exactly that dispatch — the chaos-drill analog of the
 //! `task:`/`store:` sites inside a single compile.
+//!
+//! # The failure detector
+//!
+//! Waiting for a blocking round-trip error is a *reactive* detector: a
+//! partitioned shard is only discovered when a request happens to route
+//! to it. The router also runs a **proactive** suspicion clock:
+//! [`FabricRouter::heartbeat_tick`] probes every ring member with a
+//! [`Message::Ping`] and tracks consecutive misses per shard. Misses at
+//! or past [`HeartbeatConfig::suspect_misses`] mark the shard
+//! [`HealthState::Suspect`]; at [`HeartbeatConfig::evict_misses`] the
+//! shard is evicted — the same [`fail_over`](FabricRouter::kill_shard)
+//! path as a detected death, so its replica logs are absorbed and its
+//! key range moves *before* a client request has to eat the error. A
+//! later [`FabricRouter::admit_shard`] moves it through
+//! [`HealthState::Rejoining`] (warm-up) back to [`HealthState::Alive`].
+//!
+//! Ticks are driven two ways: drills call `heartbeat_tick()` directly
+//! (virtual time — deterministic), while a TCP deployment runs
+//! [`start_heartbeats`] for a wall-clock cadence.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ccm2_faults::{FaultKind, FaultPlan};
@@ -46,6 +65,10 @@ use parking_lot::{Condvar, Mutex};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::transport::Transport;
 use crate::wire::{decode_frame, encode_frame, Message, WireOutcome, WireRequest};
+
+/// A full store image on the move: the delta cursor at the cut plus the
+/// entries, coldest first (the payload of [`Message::Image`]).
+type StoreImage = (u64, Vec<(Fp128, Vec<u8>)>);
 
 /// Give up re-sending after this many consecutive invalid responses
 /// from one shard and shed to the client's back-off protocol instead;
@@ -98,6 +121,66 @@ pub struct FabricStats {
     pub ships: u64,
     /// Delta ops contained in those batches.
     pub shipped_ops: u64,
+    /// Heartbeat probes sent.
+    pub pings: u64,
+    /// Valid heartbeat answers received.
+    pub pongs: u64,
+    /// Transitions into [`HealthState::Suspect`].
+    pub suspects: u64,
+    /// Shards evicted by the failure detector (subset of `failovers`).
+    pub heartbeat_evictions: u64,
+    /// Survivors whose gapped replica log was discarded at absorb and
+    /// reconciled with a full store image from a healthy peer.
+    pub gapped_reconciliations: u64,
+    /// Shards admitted through the join warm-up (image head-ship +
+    /// delta catch-up before ring ownership).
+    pub warm_joins: u64,
+    /// Store entries shipped to joiners during warm-up.
+    pub warmup_entries: u64,
+}
+
+/// Failure-detector tuning: consecutive heartbeat misses before a shard
+/// is suspected, and before it is evicted from the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Misses at which the shard turns [`HealthState::Suspect`].
+    pub suspect_misses: u32,
+    /// Misses at which the shard is evicted (ring removal + absorb).
+    /// Clamped to at least `suspect_misses`.
+    pub evict_misses: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> HeartbeatConfig {
+        HeartbeatConfig {
+            suspect_misses: 1,
+            evict_misses: 3,
+        }
+    }
+}
+
+/// A shard's position in the failure-detector state machine
+/// (alive → suspect → evicted → rejoining → alive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HealthState {
+    /// Answering probes (or not yet probed).
+    #[default]
+    Alive,
+    /// Missed probes, but below the eviction threshold; still on the
+    /// ring and still serving whatever reaches it.
+    Suspect,
+    /// Evicted from the ring (by the detector, a transport error, or a
+    /// drill kill). Not probed again until re-admitted.
+    Evicted,
+    /// Inside [`FabricRouter::admit_shard`]'s warm-up: reachable and
+    /// catching up, but not yet owning keys.
+    Rejoining,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Health {
+    state: HealthState,
+    misses: u32,
 }
 
 type Flight = Arc<(Mutex<Option<FabricResponse>>, Condvar)>;
@@ -110,6 +193,9 @@ pub struct FabricRouter {
     stats: Mutex<FabricStats>,
     faults: Option<Arc<FaultPlan>>,
     dispatch_seq: AtomicU64,
+    heartbeat: HeartbeatConfig,
+    health: Mutex<HashMap<u32, Health>>,
+    probe_seq: AtomicU64,
 }
 
 impl FabricRouter {
@@ -124,6 +210,9 @@ impl FabricRouter {
             stats: Mutex::new(FabricStats::default()),
             faults: None,
             dispatch_seq: AtomicU64::new(0),
+            heartbeat: HeartbeatConfig::default(),
+            health: Mutex::new(HashMap::new()),
+            probe_seq: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +220,15 @@ impl FabricRouter {
     /// `shard:{id}#d{n}`, kind [`FaultKind::Panic`]).
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> FabricRouter {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the failure-detector thresholds.
+    pub fn with_heartbeat(mut self, config: HeartbeatConfig) -> FabricRouter {
+        self.heartbeat = HeartbeatConfig {
+            suspect_misses: config.suspect_misses,
+            evict_misses: config.evict_misses.max(config.suspect_misses),
+        };
         self
     }
 
@@ -144,10 +242,118 @@ impl FabricRouter {
         self.ring.lock().shards()
     }
 
+    /// The failure detector's current verdict on `shard`.
+    pub fn health(&self, shard: u32) -> HealthState {
+        self.health
+            .lock()
+            .get(&shard)
+            .copied()
+            .unwrap_or_default()
+            .state
+    }
+
+    /// One failure-detector round: probe every ring member with a
+    /// nonce'd [`Message::Ping`] and advance the suspicion clock on the
+    /// answers. Shards whose consecutive misses reach
+    /// [`HeartbeatConfig::evict_misses`] are evicted (ring removal +
+    /// replica absorption, the same path as a detected death); the ids
+    /// evicted this round are returned. Deterministic: drills drive it
+    /// in virtual time, [`start_heartbeats`] drives it on the wall
+    /// clock over TCP.
+    pub fn heartbeat_tick(&self) -> Vec<u32> {
+        let members = self.ring.lock().shards();
+        let mut evicted = Vec::new();
+        for shard in members {
+            let nonce = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+            self.stats.lock().pings += 1;
+            let ping = encode_frame(&Message::Ping { nonce });
+            let answered = match self.transport.call(shard, &ping) {
+                Ok(bytes) => matches!(
+                    decode_frame(&bytes),
+                    Some(Message::Pong { shard: s, nonce: n }) if s == shard && n == nonce
+                ),
+                Err(_) => false,
+            };
+            if answered {
+                self.stats.lock().pongs += 1;
+                let mut health = self.health.lock();
+                let h = health.entry(shard).or_default();
+                h.misses = 0;
+                h.state = HealthState::Alive;
+                continue;
+            }
+            let (suspect_transition, evict) = {
+                let mut health = self.health.lock();
+                let h = health.entry(shard).or_default();
+                h.misses += 1;
+                let evict = h.misses >= self.heartbeat.evict_misses;
+                let suspect =
+                    h.misses >= self.heartbeat.suspect_misses && h.state == HealthState::Alive;
+                if suspect {
+                    h.state = HealthState::Suspect;
+                }
+                (suspect, evict)
+            };
+            if suspect_transition {
+                self.stats.lock().suspects += 1;
+            }
+            if evict {
+                self.stats.lock().heartbeat_evictions += 1;
+                self.fail_over(shard);
+                evicted.push(shard);
+            }
+        }
+        evicted
+    }
+
     /// Adds a shard to the ring (it must already be reachable through
-    /// the transport). Keys move only *to* the newcomer.
+    /// the transport), warming it up first so its earliest requests hit
+    /// instead of recompiling:
+    ///
+    /// 1. **Head-ship** — a full store image is pulled from *every*
+    ///    ring member that answers [`Message::FetchImage`] and pushed
+    ///    to the joiner (`SharedStore::import` merges, preserving LRU
+    ///    order). The ring hands the joiner keys from all members, so
+    ///    a single member's image would leave most of them cold.
+    /// 2. **Catch-up** — every ring member is synced; the resulting
+    ///    `CCM2DELT` batches fan out to the ordinary peers *and* the
+    ///    joiner, so deltas pending since the last replication epoch
+    ///    reach it too (parked in its replica logs, per origin).
+    /// 3. Only then does the ring take the joiner — keys move to a
+    ///    shard that can already serve them warm.
     pub fn admit_shard(&self, shard: u32) {
+        let sources: Vec<u32> = {
+            let ring = self.ring.lock();
+            if ring.contains(shard) {
+                return;
+            }
+            ring.shards()
+        };
+        if !sources.is_empty() {
+            self.health.lock().entry(shard).or_default().state = HealthState::Rejoining;
+            let mut shipped = None;
+            for &src in &sources {
+                if let Some((delta_seq, entries)) = self.fetch_image(src) {
+                    let n = entries.len() as u64;
+                    if self.push_image(shard, delta_seq, entries) {
+                        shipped = Some(shipped.unwrap_or(0) + n);
+                    }
+                }
+            }
+            for &src in &sources {
+                self.replication_epoch(src, Some(shard));
+            }
+            if let Some(n) = shipped {
+                let mut stats = self.stats.lock();
+                stats.warm_joins += 1;
+                stats.warmup_entries += n;
+            }
+        }
         self.ring.lock().add(shard);
+        let mut health = self.health.lock();
+        let h = health.entry(shard).or_default();
+        h.state = HealthState::Alive;
+        h.misses = 0;
     }
 
     /// Drill hook: kill `shard` now — drop its transport endpoint,
@@ -266,6 +472,12 @@ impl FabricRouter {
     /// is warmth (see `crate::shard`), so errors are swallowed and cost
     /// at most a recompile after a later failover.
     fn replicate_from(&self, shard: u32) {
+        self.replication_epoch(shard, None);
+    }
+
+    /// The epoch body: `extra_peer` (a joiner mid-warm-up, not yet on
+    /// the ring) receives the fan-out alongside the ring peers.
+    fn replication_epoch(&self, shard: u32, extra_peer: Option<u32>) {
         let sync = encode_frame(&Message::Sync);
         let Ok(bytes) = self.transport.call(shard, &sync) else {
             return;
@@ -279,13 +491,18 @@ impl FabricRouter {
         if ops.is_empty() {
             return;
         }
-        let peers: Vec<u32> = self
+        let mut peers: Vec<u32> = self
             .ring
             .lock()
             .shards()
             .into_iter()
             .filter(|&s| s != shard)
             .collect();
+        if let Some(extra) = extra_peer {
+            if extra != shard && !peers.contains(&extra) {
+                peers.push(extra);
+            }
+        }
         let ship = encode_frame(&Message::DeltaShip { from_shard, batch });
         for peer in peers {
             let _ = self.transport.call(peer, &ship);
@@ -295,9 +512,32 @@ impl FabricRouter {
         stats.shipped_ops += ops.len() as u64;
     }
 
+    /// Pulls a full store image from `shard`.
+    fn fetch_image(&self, shard: u32) -> Option<StoreImage> {
+        let fetch = encode_frame(&Message::FetchImage);
+        let bytes = self.transport.call(shard, &fetch).ok()?;
+        match decode_frame(&bytes) {
+            Some(Message::Image { delta_seq, entries }) => Some((delta_seq, entries)),
+            _ => None,
+        }
+    }
+
+    /// Pushes a full store image to `shard`; `true` on its `Ack`.
+    fn push_image(&self, shard: u32, delta_seq: u64, entries: Vec<(Fp128, Vec<u8>)>) -> bool {
+        let image = encode_frame(&Message::Image { delta_seq, entries });
+        matches!(
+            self.transport.call(shard, &image).map(|b| decode_frame(&b)),
+            Ok(Some(Message::Ack))
+        )
+    }
+
     /// Declares `shard` dead: off the ring, survivors absorb their
-    /// replica logs for it. Idempotent under races — only the caller
-    /// that actually removes the shard runs the absorb fan-out.
+    /// replica logs for it. A survivor that reports its log *gapped*
+    /// ([`Message::AbsorbDone`]) discarded it rather than replay a
+    /// hole; the router reconciles it with a full store image pulled
+    /// from a survivor that absorbed cleanly. Idempotent under races —
+    /// only the caller that actually removes the shard runs the absorb
+    /// fan-out.
     fn fail_over(&self, shard: u32) {
         let survivors = {
             let mut ring = self.ring.lock();
@@ -307,13 +547,89 @@ impl FabricRouter {
             ring.shards()
         };
         self.stats.lock().failovers += 1;
+        self.health.lock().entry(shard).or_default().state = HealthState::Evicted;
         let absorb = encode_frame(&Message::Absorb { dead_shard: shard });
-        for s in survivors {
+        let mut gapped_survivors = Vec::new();
+        for &s in &survivors {
             if let Ok(bytes) = self.transport.call(s, &absorb) {
-                if decode_frame(&bytes) == Some(Message::Ack) {
-                    self.stats.lock().absorbs += 1;
+                match decode_frame(&bytes) {
+                    Some(Message::AbsorbDone { gapped, .. }) => {
+                        self.stats.lock().absorbs += 1;
+                        if gapped {
+                            gapped_survivors.push(s);
+                        }
+                    }
+                    // Pre-v2 shards answered a bare Ack; still a
+                    // completed absorb.
+                    Some(Message::Ack) => self.stats.lock().absorbs += 1,
+                    _ => {}
                 }
             }
         }
+        if gapped_survivors.is_empty() {
+            return;
+        }
+        // Full-image reconciliation: a healthy survivor's store covers
+        // everything the gapped logs lost (and more).
+        let image = survivors
+            .iter()
+            .filter(|s| !gapped_survivors.contains(s))
+            .find_map(|&s| self.fetch_image(s));
+        let Some((delta_seq, entries)) = image else {
+            return; // every survivor gapped: nothing authoritative left
+        };
+        for g in gapped_survivors {
+            if self.push_image(g, delta_seq, entries.clone()) {
+                self.stats.lock().gapped_reconciliations += 1;
+            }
+        }
+    }
+}
+
+/// A running wall-clock heartbeat driver (TCP deployments). Stops on
+/// [`HeartbeatHandle::stop`] or drop.
+pub struct HeartbeatHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatHandle {
+    /// Signals the driver thread and joins it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Runs [`FabricRouter::heartbeat_tick`] every `period` on a background
+/// thread until the handle is stopped or dropped. The wall-clock
+/// counterpart of a drill's virtual-time tick loop.
+pub fn start_heartbeats(router: Arc<FabricRouter>, period: std::time::Duration) -> HeartbeatHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        while !flag.load(Ordering::Relaxed) {
+            router.heartbeat_tick();
+            // Sleep in small slices so stop() never waits a full period.
+            let mut left = period;
+            let slice = std::time::Duration::from_millis(5);
+            while !left.is_zero() && !flag.load(Ordering::Relaxed) {
+                let d = left.min(slice);
+                std::thread::sleep(d);
+                left -= d;
+            }
+        }
+    });
+    HeartbeatHandle {
+        stop,
+        thread: Some(thread),
     }
 }

@@ -15,9 +15,19 @@
 //!
 //! Replication is warmth, not truth: the store is content-addressed, so
 //! replaying an insert can never corrupt an entry (same fingerprint ⇒
-//! same bytes), and a lost batch merely costs a recompile. That is why
-//! a sequence gap in the incoming stream is counted and *tolerated*
-//! (the log keeps absorbing) instead of wedging the replica.
+//! same bytes), and a lost batch merely costs a recompile. But a *hole*
+//! in the log must not be replayed silently: a sequence gap in the
+//! incoming stream, or an overflow past [`REPLICA_LOG_CAP`], marks the
+//! log **gapped**. A gapped log keeps accepting ops (it is still the
+//! warmest thing available) but [`Message::Absorb`] refuses to replay
+//! it — the shard answers `AbsorbDone { gapped: true }` and the router
+//! reconciles with a full-image ship ([`Message::FetchImage`] /
+//! [`Message::Image`]) from a healthy peer instead.
+//!
+//! With a [`ReplicaLogStore`] attached ([`ShardNode::with_durable_log`])
+//! every replica-map mutation is persisted through the checksummed
+//! `CCM2RLOG` image path, so a crash between ship and absorb loses
+//! zero parked ops.
 
 use std::collections::HashMap;
 
@@ -25,6 +35,7 @@ use ccm2_incr::{decode_delta, encode_delta, DeltaOp};
 use ccm2_serve::{CompileService, ServeConfig};
 use parking_lot::Mutex;
 
+use crate::durable::ReplicaLogStore;
 use crate::wire::{decode_frame, encode_frame, Message, WireOutcome};
 
 /// Per-origin replica logs keep at most this many ops; beyond it the
@@ -33,15 +44,20 @@ use crate::wire::{decode_frame, encode_frame, Message, WireOutcome};
 pub const REPLICA_LOG_CAP: usize = 8192;
 
 /// Deltas replicated from one peer, in arrival order.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ReplicaLog {
     /// Sequence number after the last op (origin numbering).
     pub last_seq: u64,
     /// The ops, oldest first, capped at [`REPLICA_LOG_CAP`].
     pub ops: Vec<DeltaOp>,
-    /// Batches that arrived with a sequence gap (tolerated; counted so
-    /// the drills can assert the happy path is actually gap-free).
+    /// Batches that arrived with a sequence gap (counted so the drills
+    /// can assert the happy path is actually gap-free).
     pub gaps: u64,
+    /// The log has lost ops — a sequence gap or a cap overflow dropped
+    /// part of the stream. A gapped log must not be replayed at
+    /// failover: absorb discards it and reports `gapped` so the router
+    /// reconciles with a full store image instead of a silent hole.
+    pub gapped: bool,
 }
 
 /// Counters for one shard's frame traffic.
@@ -62,6 +78,17 @@ pub struct ShardStats {
     pub replica_ops: u64,
     /// Ops replayed into the local store by `Absorb` frames.
     pub absorbed_ops: u64,
+    /// Gapped replica logs discarded (not replayed) at absorb.
+    pub gapped_discards: u64,
+    /// Heartbeat probes answered.
+    pub pings: u64,
+    /// `FetchImage` frames answered with a full store image.
+    pub images_served: u64,
+    /// Entries imported from pushed `Image` frames (join warm-up /
+    /// gapped-log reconciliation).
+    pub imported_entries: u64,
+    /// Replica-log images persisted to the attached durable store.
+    pub rlog_writes: u64,
 }
 
 struct ShardState {
@@ -77,6 +104,12 @@ pub struct ShardNode {
     id: u32,
     svc: CompileService,
     state: Mutex<ShardState>,
+    durable: Option<ReplicaLogStore>,
+    /// Serialises persist snapshots: without it two concurrent ships
+    /// could clone the replica map in one order and write their
+    /// `rlog-{seq}` images in the other, leaving the *older* snapshot
+    /// as the newest file on disk.
+    persist_gate: Mutex<()>,
 }
 
 impl ShardNode {
@@ -99,6 +132,43 @@ impl ShardNode {
                 replicas: HashMap::new(),
                 stats: ShardStats::default(),
             }),
+            durable: None,
+            persist_gate: Mutex::new(()),
+        }
+    }
+
+    /// Attaches a durable replica-log store: the current replica map is
+    /// replaced with the newest valid persisted image (so a restarted
+    /// shard comes back holding everything it had parked for its
+    /// peers), and every subsequent replica mutation is persisted
+    /// through the crash-atomic `CCM2RLOG` path.
+    pub fn with_durable_log(mut self, rlogs: ReplicaLogStore) -> std::io::Result<ShardNode> {
+        let loaded = rlogs.load_latest()?;
+        if let Some(logs) = loaded.logs {
+            self.state.get_mut().replicas = logs;
+        }
+        self.durable = Some(rlogs);
+        Ok(self)
+    }
+
+    /// Persists the replica map if a durable store is attached. The map
+    /// is cloned under the shard lock; the disk write happens outside
+    /// it so frame traffic keeps flowing. The persist gate is held
+    /// across clone *and* save so image sequence order matches snapshot
+    /// order — concurrent ships stay crash-consistent.
+    fn persist_replicas(&self) {
+        let Some(rlogs) = &self.durable else { return };
+        let _gate = self.persist_gate.lock();
+        let logs: HashMap<u32, ReplicaLog> = {
+            let state = self.state.lock();
+            state
+                .replicas
+                .iter()
+                .map(|(origin, log)| (*origin, log.clone()))
+                .collect()
+        };
+        if rlogs.save(&logs).is_ok() {
+            self.state.lock().stats.rlog_writes += 1;
         }
     }
 
@@ -142,9 +212,20 @@ impl ShardNode {
             Message::Sync => self.sync(),
             Message::DeltaShip { from_shard, batch } => self.receive_ship(from_shard, &batch),
             Message::Absorb { dead_shard } => self.absorb(dead_shard),
-            Message::Outcome(_) | Message::Reject(_) | Message::Ack => {
-                Message::Reject("unexpected message kind".into())
+            Message::Ping { nonce } => {
+                self.state.lock().stats.pings += 1;
+                Message::Pong {
+                    shard: self.id,
+                    nonce,
+                }
             }
+            Message::FetchImage => self.serve_image(),
+            Message::Image { entries, .. } => self.import_image(&entries),
+            Message::Outcome(_)
+            | Message::Reject(_)
+            | Message::Ack
+            | Message::Pong { .. }
+            | Message::AbsorbDone { .. } => Message::Reject("unexpected message kind".into()),
         };
         encode_frame(&reply)
     }
@@ -200,32 +281,309 @@ impl ShardNode {
             return Message::Reject("bad delta batch".into());
         };
         let batch_end = base.saturating_add(ops.len() as u64);
-        let mut state = self.state.lock();
-        let log = state.replicas.entry(from_shard).or_default();
-        if base > log.last_seq && !log.ops.is_empty() {
-            log.gaps += 1;
+        {
+            let mut state = self.state.lock();
+            let log = state.replicas.entry(from_shard).or_default();
+            if base > log.last_seq && !log.ops.is_empty() {
+                log.gaps += 1;
+                log.gapped = true;
+            }
+            // Overlap (a re-shipped prefix) is skipped; fresh ops append.
+            let skip = (log.last_seq.saturating_sub(base)) as usize;
+            if skip < ops.len() {
+                log.ops.extend(ops.into_iter().skip(skip));
+            }
+            log.last_seq = log.last_seq.max(batch_end);
+            if log.ops.len() > REPLICA_LOG_CAP {
+                let excess = log.ops.len() - REPLICA_LOG_CAP;
+                log.ops.drain(..excess);
+                // The oldest ops are gone: replaying the remainder at
+                // failover would absorb a hole as if it were the whole
+                // stream. Poison the log instead.
+                log.gapped = true;
+            }
         }
-        // Overlap (a re-shipped prefix) is skipped; fresh ops append.
-        let skip = (log.last_seq.saturating_sub(base)) as usize;
-        if skip < ops.len() {
-            log.ops.extend(ops.into_iter().skip(skip));
-        }
-        log.last_seq = log.last_seq.max(batch_end);
-        if log.ops.len() > REPLICA_LOG_CAP {
-            let excess = log.ops.len() - REPLICA_LOG_CAP;
-            log.ops.drain(..excess);
-        }
+        self.persist_replicas();
         Message::Ack
     }
 
     fn absorb(&self, dead_shard: u32) -> Message {
         let log = self.state.lock().replicas.remove(&dead_shard);
-        if let Some(log) = log {
-            // Replay outside the shard lock; apply_delta takes the
-            // store's own lock.
-            self.svc.store().apply_delta(&log.ops);
-            self.state.lock().stats.absorbed_ops += log.ops.len() as u64;
-        }
+        let reply = match log {
+            Some(log) if log.gapped => {
+                // The log lost ops; replaying the survivors would
+                // present a hole as the full stream. Discard and tell
+                // the router, which reconciles with a full image.
+                self.state.lock().stats.gapped_discards += 1;
+                Message::AbsorbDone {
+                    applied_ops: 0,
+                    gapped: true,
+                }
+            }
+            Some(log) => {
+                // Replay outside the shard lock; apply_delta takes the
+                // store's own lock.
+                self.svc.store().apply_delta(&log.ops);
+                self.state.lock().stats.absorbed_ops += log.ops.len() as u64;
+                Message::AbsorbDone {
+                    applied_ops: log.ops.len() as u64,
+                    gapped: false,
+                }
+            }
+            None => Message::AbsorbDone {
+                applied_ops: 0,
+                gapped: false,
+            },
+        };
+        self.persist_replicas();
+        reply
+    }
+
+    fn serve_image(&self) -> Message {
+        let store = self.svc.store();
+        // Export under the store's own lock: a consistent cut of the
+        // entries (coldest first) and the delta cursor at the cut.
+        let entries = store.export();
+        let delta_seq = store.delta_seq();
+        self.state.lock().stats.images_served += 1;
+        Message::Image { delta_seq, entries }
+    }
+
+    fn import_image(&self, entries: &[(ccm2_support::hash::Fp128, Vec<u8>)]) -> Message {
+        self.svc.store().import(entries);
+        self.state.lock().stats.imported_entries += entries.len() as u64;
         Message::Ack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccm2_support::hash::Fp128;
+
+    fn fp(n: u64) -> Fp128 {
+        Fp128 { hi: n, lo: !n }
+    }
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            store_budget: 64 * 1024,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn ship_frame(from_shard: u32, base: u64, ops: &[DeltaOp]) -> Vec<u8> {
+        encode_frame(&Message::DeltaShip {
+            from_shard,
+            batch: encode_delta(base, ops),
+        })
+    }
+
+    fn inserts(range: std::ops::Range<u64>) -> Vec<DeltaOp> {
+        range
+            .map(|i| DeltaOp::Insert {
+                fp: fp(i),
+                bytes: vec![i as u8; 4],
+            })
+            .collect()
+    }
+
+    fn reply(node: &ShardNode, frame: &[u8]) -> Message {
+        decode_frame(&node.handle(frame)).expect("shard replies validly")
+    }
+
+    #[test]
+    fn ping_answers_pong_with_id_and_nonce() {
+        let node = ShardNode::start(4, tiny_config());
+        let reply = reply(&node, &encode_frame(&Message::Ping { nonce: 99 }));
+        assert_eq!(
+            reply,
+            Message::Pong {
+                shard: 4,
+                nonce: 99
+            }
+        );
+        assert_eq!(node.stats().pings, 1);
+    }
+
+    // Satellite of the version-skew suite: a *well-formed* frame from a
+    // newer protocol generation (valid checksum, future version) must
+    // yield a clean Reject — the version guard, not a decode panic.
+    #[test]
+    fn future_version_ping_yields_clean_reject() {
+        let node = ShardNode::start(1, tiny_config());
+        let mut payload = vec![8u8]; // Ping tag
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        let future = crate::wire::versioned_frame(crate::wire::WIRE_FORMAT_VERSION + 1, &payload);
+        let reply = reply(&node, &future);
+        assert_eq!(reply, Message::Reject("bad frame".into()));
+        assert_eq!(node.stats().bad_frames, 1);
+    }
+
+    #[test]
+    fn truncated_and_flipped_pings_answered_with_reject_not_panic() {
+        let node = ShardNode::start(2, tiny_config());
+        let frame = encode_frame(&Message::Ping { nonce: 0xDEAD });
+        let mut damaged = 0u64;
+        for cut in 0..frame.len() {
+            assert_eq!(
+                reply(&node, &frame[..cut]),
+                Message::Reject("bad frame".into()),
+                "torn at {cut}"
+            );
+            damaged += 1;
+        }
+        for at in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[at] ^= 0x80;
+            assert_eq!(
+                reply(&node, &bad),
+                Message::Reject("bad frame".into()),
+                "flip at {at}"
+            );
+            damaged += 1;
+        }
+        assert_eq!(node.stats().bad_frames, damaged);
+    }
+
+    #[test]
+    fn sequence_gap_marks_log_gapped_and_absorb_discards_it() {
+        let node = ShardNode::start(3, tiny_config());
+        assert_eq!(
+            reply(&node, &ship_frame(7, 0, &inserts(0..4))),
+            Message::Ack
+        );
+        // Sequence jumps from 4 to 50: ops 4..50 are missing.
+        assert_eq!(
+            reply(&node, &ship_frame(7, 50, &inserts(50..52))),
+            Message::Ack
+        );
+        assert_eq!(node.replica_len(7), 6, "a gapped log still parks ops");
+        assert_eq!(
+            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 7 })),
+            Message::AbsorbDone {
+                applied_ops: 0,
+                gapped: true,
+            },
+            "a holey log must not replay"
+        );
+        let stats = node.stats();
+        assert_eq!(stats.gapped_discards, 1);
+        assert_eq!(stats.absorbed_ops, 0);
+        assert!(
+            node.service().store().export().is_empty(),
+            "nothing was applied"
+        );
+    }
+
+    // Regression: before the `gapped` flag, overflowing REPLICA_LOG_CAP
+    // silently dropped the oldest ops and a later absorb replayed the
+    // remainder as if it were the whole stream.
+    #[test]
+    fn cap_overflow_poisons_the_log_instead_of_absorbing_a_hole() {
+        let node = ShardNode::start(5, tiny_config());
+        let n = (REPLICA_LOG_CAP + 16) as u64;
+        assert_eq!(
+            reply(&node, &ship_frame(9, 0, &inserts(0..n))),
+            Message::Ack
+        );
+        assert_eq!(node.replica_len(9), REPLICA_LOG_CAP, "capped");
+        assert_eq!(
+            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 9 })),
+            Message::AbsorbDone {
+                applied_ops: 0,
+                gapped: true,
+            }
+        );
+        assert_eq!(node.stats().gapped_discards, 1);
+        assert!(node.service().store().export().is_empty());
+    }
+
+    #[test]
+    fn clean_log_absorbs_and_reports_applied_ops() {
+        let node = ShardNode::start(6, tiny_config());
+        assert_eq!(
+            reply(&node, &ship_frame(2, 0, &inserts(0..3))),
+            Message::Ack
+        );
+        assert_eq!(
+            reply(&node, &ship_frame(2, 3, &inserts(3..5))),
+            Message::Ack
+        );
+        assert_eq!(
+            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 2 })),
+            Message::AbsorbDone {
+                applied_ops: 5,
+                gapped: false,
+            }
+        );
+        assert_eq!(node.stats().absorbed_ops, 5);
+        assert_eq!(node.service().store().export().len(), 5);
+    }
+
+    #[test]
+    fn fetch_image_and_import_round_trip_between_nodes() {
+        let source = ShardNode::start(1, tiny_config());
+        use ccm2_incr::ArtifactStore as _;
+        source.service().store().store(fp(1), b"alpha");
+        source.service().store().store(fp(2), b"beta");
+        let Message::Image { delta_seq, entries } =
+            reply(&source, &encode_frame(&Message::FetchImage))
+        else {
+            panic!("FetchImage must answer Image");
+        };
+        assert_eq!(delta_seq, source.service().store().delta_seq());
+        assert_eq!(entries.len(), 2);
+        let joiner = ShardNode::start(2, tiny_config());
+        assert_eq!(
+            reply(
+                &joiner,
+                &encode_frame(&Message::Image { delta_seq, entries })
+            ),
+            Message::Ack
+        );
+        assert_eq!(joiner.stats().imported_entries, 2);
+        assert_eq!(
+            joiner.service().store().export(),
+            source.service().store().export(),
+            "byte-identical stores after the image ship"
+        );
+    }
+
+    #[test]
+    fn durable_log_survives_a_node_restart_and_still_absorbs() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-shard-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let node = ShardNode::start(1, tiny_config())
+            .with_durable_log(ReplicaLogStore::new(&dir).unwrap())
+            .unwrap();
+        assert_eq!(
+            reply(&node, &ship_frame(0, 0, &inserts(0..4))),
+            Message::Ack
+        );
+        assert!(node.stats().rlog_writes >= 1, "ship persisted the log");
+        assert_eq!(node.replica_len(0), 4);
+        drop(node); // crash: the parked ops exist only on disk now
+
+        let revived = ShardNode::start(1, tiny_config())
+            .with_durable_log(ReplicaLogStore::new(&dir).unwrap())
+            .unwrap();
+        assert_eq!(revived.replica_len(0), 4, "restart reloads the log");
+        assert_eq!(
+            reply(&revived, &encode_frame(&Message::Absorb { dead_shard: 0 })),
+            Message::AbsorbDone {
+                applied_ops: 4,
+                gapped: false,
+            },
+            "a restarted shard still covers its dead peer"
+        );
+        assert_eq!(revived.service().store().export().len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

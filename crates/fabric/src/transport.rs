@@ -9,6 +9,22 @@
 //!   [`LoopbackTransport::kill`] makes a shard vanish mid-fleet the
 //!   way a crashed process would: every later call fails with an I/O
 //!   error.
+//!
+//!   On top of that sits a per-link **fault plan**
+//!   ([`LoopbackTransport::set_link_faults`]): before call `n` on the
+//!   link to shard `id`, the plan is queried at site `link:{id}#c{n}`
+//!   — the same named-site idiom as `ccm2-faults`' `task:`/`store:`
+//!   sites, so one seeded plan drives compiler-level and network-level
+//!   chaos. The kinds map to network faults: `Panic` drops the frame
+//!   (caller sees an I/O error, shard sees nothing), `LoseSignal` is a
+//!   one-way partition (the shard handles the frame but the response
+//!   is lost), `Stall { units }` defers delivery until `units` later
+//!   calls on that link have passed (delay/reorder; the caller still
+//!   errors, modeling a client timeout before the late arrival),
+//!   `Duplicate` delivers the frame twice (at-least-once conduits),
+//!   and `Corrupt { byte }` flips one byte. An exact site
+//!   (`link:2#c17`) is a transient hiccup; a glob (`link:2#c*`) is a
+//!   standing partition of that link.
 //! * [`TcpTransport`] / [`TcpShardServer`] — real sockets on
 //!   `127.0.0.1` with ephemeral ports, one frame per connection. The
 //!   integration test runs the same router code over TCP to show the
@@ -31,6 +47,9 @@ use parking_lot::Mutex;
 
 use crate::shard::ShardNode;
 use crate::wire::{frame_len, FRAME_OVERHEAD};
+
+/// Stall-deferred frames per link: `(due link-call number, frame)`.
+type DeferredFrames = HashMap<u32, Vec<(u64, Vec<u8>)>>;
 
 /// Largest payload a reader will allocate for (64 MiB — comfortably
 /// above any compile outcome, far below a garbage length prefix).
@@ -80,6 +99,16 @@ pub struct LoopbackTransport {
     corrupt: Option<(u64, u32)>,
     calls: AtomicU64,
     corrupted: AtomicU64,
+    /// Per-link fault plan (`link:{id}#c{n}` sites) — swappable
+    /// mid-run so drills can open and heal partitions.
+    link_faults: Mutex<Option<Arc<ccm2_faults::FaultPlan>>>,
+    /// Per-link call counters: the `n` in `link:{id}#c{n}`.
+    link_calls: Mutex<HashMap<u32, u64>>,
+    /// Frames whose delivery a `Stall` deferred: per link, `(due
+    /// link-call number, frame)`. Delivered (response discarded) when
+    /// the link's counter passes `due`.
+    deferred: Mutex<DeferredFrames>,
+    link_faults_fired: AtomicU64,
 }
 
 impl LoopbackTransport {
@@ -111,6 +140,46 @@ impl LoopbackTransport {
     pub fn corrupted(&self) -> u64 {
         self.corrupted.load(Ordering::Relaxed)
     }
+
+    /// Installs (or with `None`, heals) the per-link fault plan. Takes
+    /// effect on the next call; drills flip this mid-run to open and
+    /// close partitions. See the module docs for the site namespace
+    /// (`link:{id}#c{n}`) and the kind → network-fault mapping.
+    pub fn set_link_faults(&self, plan: Option<Arc<ccm2_faults::FaultPlan>>) {
+        *self.link_faults.lock() = plan;
+    }
+
+    /// Link faults that actually fired (dropped, one-way'd, deferred,
+    /// duplicated, or corrupted a delivery).
+    pub fn link_faults_fired(&self) -> u64 {
+        self.link_faults_fired.load(Ordering::Relaxed)
+    }
+
+    /// Delivers frames a `Stall` parked on this link whose due call
+    /// number has passed; their responses are discarded (the callers
+    /// that sent them already saw an error — late arrival after a
+    /// client timeout).
+    fn flush_deferred(&self, shard: u32, now: u64, handler: &Arc<dyn FrameHandler>) {
+        let due: Vec<Vec<u8>> = {
+            let mut deferred = self.deferred.lock();
+            let Some(queue) = deferred.get_mut(&shard) else {
+                return;
+            };
+            let mut ready = Vec::new();
+            queue.retain(|(at, frame)| {
+                if *at <= now {
+                    ready.push(frame.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for frame in due {
+            let _ = handler.handle(&frame);
+        }
+    }
 }
 
 impl Transport for LoopbackTransport {
@@ -122,6 +191,69 @@ impl Transport for LoopbackTransport {
                 format!("shard {shard} is down"),
             )
         })?;
+        let link_n = {
+            let mut counts = self.link_calls.lock();
+            let c = counts.entry(shard).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        // Anything a Stall parked earlier on this link arrives now,
+        // before the current frame — late delivery reorders the link.
+        self.flush_deferred(shard, link_n, &handler);
+        let link_fault = self
+            .link_faults
+            .lock()
+            .as_ref()
+            .and_then(|plan| plan.at(&format!("link:{shard}#c{link_n}")));
+        let mut frame = std::borrow::Cow::Borrowed(frame);
+        if let Some(kind) = link_fault {
+            self.link_faults_fired.fetch_add(1, Ordering::Relaxed);
+            match kind {
+                ccm2_faults::FaultKind::Panic => {
+                    // Dropped on the floor: the shard never sees it.
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        format!("link to shard {shard} dropped the frame"),
+                    ));
+                }
+                ccm2_faults::FaultKind::LoseSignal => {
+                    // One-way partition: delivered, answer lost.
+                    let _ = handler.handle(&frame);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("response from shard {shard} lost"),
+                    ));
+                }
+                ccm2_faults::FaultKind::Stall { units } => {
+                    // Deferred delivery: the frame arrives `units`
+                    // link-calls from now; the caller times out today.
+                    self.deferred
+                        .lock()
+                        .entry(shard)
+                        .or_default()
+                        .push((link_n.saturating_add(units.max(1)), frame.into_owned()));
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("delivery to shard {shard} delayed past the call"),
+                    ));
+                }
+                ccm2_faults::FaultKind::Duplicate => {
+                    // At-least-once conduit: same frame, twice. The
+                    // first response is discarded (the duplicate's
+                    // answer is the one "this" call observes).
+                    let _ = handler.handle(&frame);
+                }
+                ccm2_faults::FaultKind::Corrupt { byte } => {
+                    if !frame.is_empty() {
+                        let mut bad = frame.into_owned();
+                        let at = byte % bad.len();
+                        bad[at] ^= 0x55;
+                        frame = std::borrow::Cow::Owned(bad);
+                    }
+                }
+            }
+        }
         if let Some((seed, rate_ppm)) = self.corrupt {
             let mut h = StableHasher::new();
             h.write_str("ccm2-fabric/loopback-corrupt");
@@ -130,13 +262,13 @@ impl Transport for LoopbackTransport {
             let roll = h.finish().fold64();
             if !frame.is_empty() && roll % 1_000_000 < u64::from(rate_ppm) {
                 self.corrupted.fetch_add(1, Ordering::Relaxed);
-                let mut bad = frame.to_vec();
+                let mut bad = frame.into_owned();
                 let at = (roll / 1_000_000) as usize % bad.len();
                 bad[at] ^= 0x55;
                 return Ok(handler.handle(&bad));
             }
         }
-        Ok(handler.handle(frame))
+        Ok(handler.handle(&frame))
     }
 
     fn shards(&self) -> Vec<u32> {
@@ -169,10 +301,15 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> io::Result<Vec<u8>> 
 }
 
 /// Socket transport: shard id → `127.0.0.1` address, one frame per
-/// connection.
+/// connection. Drill hooks mirror the loopback's link faults at the
+/// granularity sockets allow: a **full partition** fails the call
+/// before connecting (the shard sees nothing), a **one-way partition**
+/// delivers the frame but abandons the response.
 #[derive(Default)]
 pub struct TcpTransport {
     peers: Mutex<HashMap<u32, SocketAddr>>,
+    partitioned: Mutex<std::collections::HashSet<u32>>,
+    one_way: Mutex<std::collections::HashSet<u32>>,
 }
 
 impl TcpTransport {
@@ -185,10 +322,39 @@ impl TcpTransport {
     pub fn register(&self, shard: u32, addr: SocketAddr) {
         self.peers.lock().insert(shard, addr);
     }
+
+    /// Opens (`true`) or heals (`false`) a full partition of the link
+    /// to `shard`: calls fail without touching the socket.
+    pub fn set_partitioned(&self, shard: u32, cut: bool) {
+        let mut p = self.partitioned.lock();
+        if cut {
+            p.insert(shard);
+        } else {
+            p.remove(&shard);
+        }
+    }
+
+    /// Opens (`true`) or heals (`false`) a one-way partition: the
+    /// frame is written and the shard handles it, but the caller
+    /// abandons the connection instead of reading the answer.
+    pub fn set_one_way(&self, shard: u32, cut: bool) {
+        let mut p = self.one_way.lock();
+        if cut {
+            p.insert(shard);
+        } else {
+            p.remove(&shard);
+        }
+    }
 }
 
 impl Transport for TcpTransport {
     fn call(&self, shard: u32, frame: &[u8]) -> io::Result<Vec<u8>> {
+        if self.partitioned.lock().contains(&shard) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("link to shard {shard} partitioned"),
+            ));
+        }
         let addr = self.peers.lock().get(&shard).copied().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::ConnectionRefused,
@@ -198,6 +364,12 @@ impl Transport for TcpTransport {
         let mut stream = TcpStream::connect(addr)?;
         stream.write_all(frame)?;
         stream.flush()?;
+        if self.one_way.lock().contains(&shard) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("response from shard {shard} lost"),
+            ));
+        }
         read_frame(&mut stream, MAX_PAYLOAD)
     }
 

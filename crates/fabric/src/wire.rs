@@ -7,24 +7,29 @@
 //! fails *any* of those checks decodes to `None` and the caller treats
 //! the call as a transport fault (retry / failover) — never as data.
 //!
-//! # Frame format (version 1)
+//! # Frame format (version 2)
 //!
 //! ```text
 //! magic        8 bytes   b"CCM2WIRE"
-//! version      u32 LE    1
+//! version      u32 LE    2
 //! payload_len  u32 LE    length of payload
 //! payload      bytes     kind tag (u8) + kind-specific body
 //! checksum     hi u64 LE, lo u64 LE   Fp128 of everything above
 //! ```
 //!
-//! The payload kinds mirror the fabric's three planes:
+//! The payload kinds mirror the fabric's planes:
 //!
 //! * compile plane — [`Message::Compile`] / [`Message::Outcome`] /
 //!   [`Message::Reject`];
 //! * replication plane — [`Message::Sync`] (router asks the owning
 //!   shard for its pending deltas), [`Message::DeltaShip`] (an encoded
 //!   `CCM2DELT` batch on its way to a peer), [`Message::Absorb`]
-//!   (failover: apply the replica log of a dead shard);
+//!   (failover: apply the replica log of a dead shard, answered by
+//!   [`Message::AbsorbDone`]);
+//! * control plane (version 2) — [`Message::Ping`] /
+//!   [`Message::Pong`] heartbeats for the router's failure detector,
+//!   and [`Message::FetchImage`] / [`Message::Image`] full-store
+//!   shipment for join warm-up and gapped-log reconciliation;
 //! * plain [`Message::Ack`].
 //!
 //! Fault plans are deliberately **not** wire-encodable: a
@@ -47,7 +52,7 @@ pub const WIRE_MAGIC: &[u8; 8] = b"CCM2WIRE";
 /// Bump on any change to the frame or payload encodings; mixed-version
 /// fleets must fail closed (decode failure ⇒ retry elsewhere), never
 /// misdecode.
-pub const WIRE_FORMAT_VERSION: u32 = 1;
+pub const WIRE_FORMAT_VERSION: u32 = 2;
 /// Frame overhead outside the payload: magic + version + length prefix
 /// + checksum trailer.
 pub const FRAME_OVERHEAD: usize = 8 + 4 + 4 + 16;
@@ -190,6 +195,47 @@ pub enum Message {
     },
     /// Generic success reply for replication-plane messages.
     Ack,
+    /// Router → shard: heartbeat probe from the failure detector. The
+    /// nonce ties the reply to the probe — a stale or duplicated
+    /// [`Message::Pong`] (delayed delivery, at-least-once links) must
+    /// not clear a newer suspicion.
+    Ping {
+        /// Echo-me token chosen by the router per probe round.
+        nonce: u64,
+    },
+    /// Shard → router: heartbeat answer, echoing the probe nonce.
+    Pong {
+        /// The responding shard's id (guards cross-wired transports).
+        shard: u32,
+        /// The nonce of the [`Message::Ping`] being answered.
+        nonce: u64,
+    },
+    /// Router → shard: export your full store image (join warm-up and
+    /// gapped-log reconciliation; answered by [`Message::Image`]).
+    FetchImage,
+    /// A full store image in LRU order (coldest first, so importing in
+    /// order reproduces the source's eviction order). Travels in both
+    /// directions: a shard answers [`Message::FetchImage`] with it, and
+    /// the router pushes one to a joiner or a gapped survivor (which
+    /// imports it and answers [`Message::Ack`]).
+    Image {
+        /// The source store's delta cursor at export time.
+        delta_seq: u64,
+        /// `(fingerprint, encoded unit)` pairs, coldest first.
+        entries: Vec<(Fp128, Vec<u8>)>,
+    },
+    /// Shard → router: the answer to [`Message::Absorb`] (version 2;
+    /// replaces the bare [`Message::Ack`] so the router can see whether
+    /// the replica log replayed cleanly or had been *gapped* by cap
+    /// overflow and discarded — the trigger for a full-image
+    /// reconciliation instead of a silent hole).
+    AbsorbDone {
+        /// Delta ops actually replayed into the survivor's store.
+        applied_ops: u64,
+        /// The log had lost ops (cap overflow / sequence gap) and was
+        /// discarded without replay.
+        gapped: bool,
+    },
 }
 
 /// Encodes a message as one checksummed frame.
@@ -248,11 +294,28 @@ pub fn frame_len(header: &[u8; 16], max_payload: usize) -> Option<usize> {
     (len <= max_payload).then_some(FRAME_OVERHEAD + len)
 }
 
-fn checksum(bytes: &[u8]) -> Fp128 {
+pub(crate) fn checksum(bytes: &[u8]) -> Fp128 {
     let mut h = StableHasher::new();
     h.write_str("ccm2-wire/v1");
     h.write(bytes);
     h.finish()
+}
+
+/// Assembles a frame claiming `version` around `payload`, with a
+/// *valid* trailer checksum — the shape a well-behaved peer from a
+/// different protocol generation would send. Test-only: version-skew
+/// coverage must exercise the version guard, not the integrity check.
+#[cfg(test)]
+pub(crate) fn versioned_frame(version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.extend_from_slice(WIRE_MAGIC);
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.hi.to_le_bytes());
+    buf.extend_from_slice(&sum.lo.to_le_bytes());
+    buf
 }
 
 fn encode_payload(msg: &Message) -> Vec<u8> {
@@ -325,6 +388,33 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             put_u32(&mut buf, *dead_shard);
         }
         Message::Ack => buf.push(7),
+        Message::Ping { nonce } => {
+            buf.push(8);
+            put_u64(&mut buf, *nonce);
+        }
+        Message::Pong { shard, nonce } => {
+            buf.push(9);
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *nonce);
+        }
+        Message::FetchImage => buf.push(10),
+        Message::Image { delta_seq, entries } => {
+            buf.push(11);
+            put_u64(&mut buf, *delta_seq);
+            put_u32(&mut buf, entries.len() as u32);
+            for (fp, bytes) in entries {
+                put_fp(&mut buf, *fp);
+                put_bytes(&mut buf, bytes);
+            }
+        }
+        Message::AbsorbDone {
+            applied_ops,
+            gapped,
+        } => {
+            buf.push(12);
+            put_u64(&mut buf, *applied_ops);
+            buf.push(u8::from(*gapped));
+        }
     }
     buf
 }
@@ -412,6 +502,25 @@ fn decode_payload(payload: &[u8]) -> Option<Message> {
             dead_shard: r.u32()?,
         },
         7 => Message::Ack,
+        8 => Message::Ping { nonce: r.u64()? },
+        9 => Message::Pong {
+            shard: r.u32()?,
+            nonce: r.u64()?,
+        },
+        10 => Message::FetchImage,
+        11 => {
+            let delta_seq = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                entries.push((r.fp()?, r.bytes()?));
+            }
+            Message::Image { delta_seq, entries }
+        }
+        12 => Message::AbsorbDone {
+            applied_ops: r.u64()?,
+            gapped: r.bool()?,
+        },
         _ => return None,
     };
     // Exact length accounting: trailing garbage means a framing bug or
@@ -541,6 +650,31 @@ mod tests {
             },
             Message::Absorb { dead_shard: 1 },
             Message::Ack,
+            Message::Ping { nonce: 0xC0FFEE },
+            Message::Pong {
+                shard: 3,
+                nonce: 0xC0FFEE,
+            },
+            Message::FetchImage,
+            Message::Image {
+                delta_seq: 42,
+                entries: vec![
+                    (Fp128 { hi: 5, lo: 6 }, b"cold".to_vec()),
+                    (Fp128 { hi: 7, lo: 8 }, b"warm".to_vec()),
+                ],
+            },
+            Message::Image {
+                delta_seq: 0,
+                entries: Vec::new(),
+            },
+            Message::AbsorbDone {
+                applied_ops: 17,
+                gapped: false,
+            },
+            Message::AbsorbDone {
+                applied_ops: 0,
+                gapped: true,
+            },
         ]
     }
 
@@ -593,16 +727,55 @@ mod tests {
     // the current WIRE_FORMAT_VERSION: bumping the constant without a
     // fresh cross-version rejection test fails the gate (ci.sh).
     #[test]
-    fn wire_version_1_mismatch_rejected() {
-        assert_eq!(WIRE_FORMAT_VERSION, 1);
+    fn wire_version_2_mismatch_rejected() {
+        assert_eq!(WIRE_FORMAT_VERSION, 2);
         let frame = encode_frame(&Message::Sync);
-        for other in [0u32, 2, u32::MAX] {
+        for other in [0u32, 1, 3, u32::MAX] {
             let mut skew = frame.clone();
             skew[8..12].copy_from_slice(&other.to_le_bytes());
             assert!(
                 decode_frame(&skew).is_none(),
-                "a v{other} frame must not decode on a v1 peer"
+                "a v{other} frame must not decode on a v2 peer"
             );
+        }
+        // A peer one version *ahead* with a well-formed (valid-checksum)
+        // frame — the realistic skew during a rolling upgrade — is
+        // rejected by the version check, not the checksum.
+        let future = versioned_frame(3, &[8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(decode_frame(&future).is_none(), "future Ping rejected");
+    }
+
+    // Any truncation or byte-damage of a heartbeat frame decodes to
+    // `None` (never panics, never misdecodes): the failure detector's
+    // suspicion clock only ever advances on genuine silence or genuine
+    // answers.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 64,
+            ..proptest::ProptestConfig::default()
+        })]
+
+        #[test]
+        fn damaged_heartbeat_frames_never_decode(
+            nonce in 0u64..=u64::MAX,
+            shard in 0u32..=u32::MAX,
+            cut in 0usize..64,
+            at in 0usize..64,
+            mask in 1u8..=255,
+        ) {
+            for msg in [
+                Message::Ping { nonce },
+                Message::Pong { shard, nonce },
+            ] {
+                let frame = encode_frame(&msg);
+                proptest::prop_assert_eq!(decode_frame(&frame).as_ref(), Some(&msg));
+                let cut = cut.min(frame.len() - 1);
+                proptest::prop_assert!(decode_frame(&frame[..cut]).is_none(), "torn at {}", cut);
+                let mut flipped = frame.clone();
+                let at = at % flipped.len();
+                flipped[at] ^= mask;
+                proptest::prop_assert!(decode_frame(&flipped).is_none(), "flip at {}", at);
+            }
         }
     }
 

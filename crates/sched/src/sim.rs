@@ -813,10 +813,18 @@ impl Controller {
                     self.procs[p].clock += self.config.dispatch_cost + penalty;
                     self.attempts[task_ix] += 1;
                     self.seq += 1;
-                    let key = priority_key(
+                    // Budget-aware requeue: the closer the task is to
+                    // exhausting its retry budget, the higher it jumps,
+                    // so near-budget retries aren't starved behind
+                    // fresh same-class work.
+                    let key = crate::task::retry_priority_key(
                         self.tasks[task_ix].kind,
                         self.tasks[task_ix].weight,
                         self.seq,
+                        self.attempts[task_ix],
+                        self.tasks[task_ix]
+                            .retry_budget
+                            .unwrap_or(self.robustness.max_retries),
                     );
                     let at = self.procs[p].clock;
                     self.ready.insert(key, (task_ix, at));
@@ -1685,6 +1693,63 @@ mod ablation_tests {
         );
         assert_eq!(report.task_panics.len(), 1);
         assert!(report.recoveries.is_empty());
+    }
+
+    /// Budget-aware retry scheduling: a retried stream requeues with a
+    /// rank boost, so a near-budget retry runs ahead of fresh same-class
+    /// work instead of going to the back of its class. The trace pins
+    /// the order: the victim's (successful) retry attempt runs before
+    /// every competitor spawned after it — with the original-priority
+    /// requeue it would run last.
+    #[test]
+    fn sim_near_budget_retry_jumps_ahead_of_fresh_same_class_work() {
+        let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+        let report = run_sim_with(
+            SimConfig::new(1),
+            Robustness::supervised(Some(plan), None, 1),
+            |env| {
+                let env1 = Arc::clone(env);
+                spawn_prestart(
+                    env,
+                    TaskDesc::new(
+                        "victim",
+                        TaskKind::ShortCodeGen,
+                        Box::new(move || env1.charge(Work::CodeGen, 10)),
+                    ),
+                );
+                for i in 0..3 {
+                    let envc = Arc::clone(env);
+                    spawn_prestart(
+                        env,
+                        TaskDesc::new(
+                            format!("comp{i}"),
+                            TaskKind::ShortCodeGen,
+                            Box::new(move || envc.charge(Work::CodeGen, 10)),
+                        ),
+                    );
+                }
+            },
+        );
+        assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+        let seg = |name: &str| {
+            report
+                .trace
+                .segments
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no segment for {name}"))
+        };
+        let victim = seg("victim");
+        for i in 0..3 {
+            let comp = seg(&format!("comp{i}"));
+            assert!(
+                victim.start < comp.start,
+                "boosted retry must run before comp{i} \
+                 (victim at {}, comp{i} at {})",
+                victim.start,
+                comp.start
+            );
+        }
     }
 
     /// The hint mechanism works in the simulator too.

@@ -243,7 +243,16 @@ impl ThreadedSupervisor {
             task.attempt += 1;
             let mut st = self.state.lock();
             st.seq += 1;
-            let key = priority_key(task.kind, task.weight, st.seq);
+            // Budget-aware requeue: consumed attempts lift the task's
+            // rank so a near-budget retry isn't starved behind fresh
+            // same-class work (see `retry_priority_key`).
+            let key = crate::task::retry_priority_key(
+                task.kind,
+                task.weight,
+                st.seq,
+                task.attempt,
+                task.retry_budget.unwrap_or(self.robustness.max_retries),
+            );
             st.ready.insert(key, task);
             drop(st);
             self.cv.notify_all();
@@ -1414,6 +1423,49 @@ mod fault_tests {
         );
         assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
         assert!(report.stalls.is_empty(), "{:?}", report.stalls);
+    }
+
+    /// Budget-aware retry scheduling on real threads: with one worker
+    /// the dispatch order is the queue order, so the trace shows whether
+    /// the retried victim ran before or after the competitors spawned
+    /// after it. The boosted requeue must put its (successful) retry
+    /// ahead of every fresh same-class task; the original-priority
+    /// requeue would run it last.
+    #[test]
+    fn near_budget_retry_jumps_ahead_of_fresh_same_class_work() {
+        let plan = Arc::new(FaultPlan::single("task:victim", FaultKind::Panic));
+        let report = run_threaded_with(1, Robustness::supervised(Some(plan), None, 1), |sup| {
+            sup.spawn(TaskDesc::new(
+                "victim",
+                TaskKind::ShortCodeGen,
+                Box::new(|| {}),
+            ));
+            for i in 0..3 {
+                sup.spawn(TaskDesc::new(
+                    format!("comp{i}"),
+                    TaskKind::ShortCodeGen,
+                    Box::new(|| {}),
+                ));
+            }
+        });
+        assert_eq!(report.recoveries, vec![("victim".to_string(), 1)]);
+        let pos = |name: &str| {
+            report
+                .trace
+                .segments
+                .iter()
+                .position(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no segment for {name}"))
+        };
+        let victim = pos("victim");
+        for i in 0..3 {
+            let comp = pos(&format!("comp{i}"));
+            assert!(
+                victim < comp,
+                "boosted retry must run before comp{i} \
+                 (victim segment #{victim}, comp segment #{comp})"
+            );
+        }
     }
 
     #[test]

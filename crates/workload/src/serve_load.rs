@@ -189,6 +189,52 @@ pub fn shard_kill_schedule(params: &ServeLoadParams, shards: u32, n: usize) -> V
         .collect()
 }
 
+/// One window of a seeded partition schedule: the link to `shard` is
+/// cut just before serving event `from` and healed just before serving
+/// event `until` (`from < until`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Event index at which the partition opens.
+    pub from: usize,
+    /// Event index at which the link heals (exclusive).
+    pub until: usize,
+    /// The shard whose link is cut.
+    pub shard: u32,
+}
+
+/// Seeded network-partition schedule for chaos drills: `n`
+/// non-overlapping interior windows, each cutting one shard's link for
+/// at least one event, sorted by start. Rides its own seed stream (like
+/// [`kill_points`] / [`shard_kill_schedule`]) so asking for it never
+/// perturbs the load, and the same `(params, shards, n)` always yields
+/// the same windows.
+pub fn shard_partition_schedule(
+    params: &ServeLoadParams,
+    shards: u32,
+    n: usize,
+) -> Vec<PartitionWindow> {
+    if params.events < 3 || n == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x9a27_7717);
+    // Draw distinct interior indices, pair them up as window edges:
+    // 2k sorted points make k disjoint (start, end) windows.
+    let want = n.min((params.events - 1) / 2);
+    let mut points = std::collections::BTreeSet::new();
+    while points.len() < want * 2 {
+        points.insert(rng.gen_range(1..params.events));
+    }
+    let points: Vec<usize> = points.into_iter().collect();
+    points
+        .chunks_exact(2)
+        .map(|edge| PartitionWindow {
+            from: edge[0],
+            until: edge[1],
+            shard: rng.gen_range(0..shards),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +338,52 @@ mod tests {
             ..ServeLoadParams::default()
         };
         assert!(shard_kill_schedule(&tiny, 3, 2).is_empty());
+    }
+
+    #[test]
+    fn partition_schedule_windows_are_disjoint_interior_and_seeded() {
+        let p = ServeLoadParams::default();
+        let a = shard_partition_schedule(&p, 3, 2);
+        assert_eq!(
+            a,
+            shard_partition_schedule(&p, 3, 2),
+            "same seed, same plan"
+        );
+        assert_eq!(a.len(), 2);
+        for w in &a {
+            assert!(w.from >= 1 && w.until < p.events, "interior window: {w:?}");
+            assert!(w.from < w.until, "window spans at least one event: {w:?}");
+            assert!(w.shard < 3, "valid shard: {w:?}");
+        }
+        // Windows never overlap: a drill heals one partition before
+        // opening the next, so the plan must keep them disjoint.
+        assert!(
+            a.windows(2).all(|pair| pair[0].until <= pair[1].from),
+            "sorted, disjoint: {a:?}"
+        );
+        let b = shard_partition_schedule(&ServeLoadParams { seed: 0x77, ..p }, 3, 2);
+        assert_ne!(a, b, "seed-sensitive");
+        // The schedule rides its own seed stream, distinct from the
+        // kill schedule's, so the two drills do not mirror each other.
+        let kills = shard_kill_schedule(&p, 3, 2);
+        assert_ne!(
+            a.iter().map(|w| w.from).collect::<Vec<_>>(),
+            kills.iter().map(|&(at, _)| at).collect::<Vec<_>>(),
+            "independent of the kill stream"
+        );
+        assert!(shard_partition_schedule(&p, 0, 2).is_empty(), "no shards");
+        assert!(shard_partition_schedule(&p, 3, 0).is_empty(), "no windows");
+        let tiny = ServeLoadParams {
+            events: 2,
+            ..ServeLoadParams::default()
+        };
+        assert!(shard_partition_schedule(&tiny, 3, 2).is_empty());
+        // More windows than index pairs clamps instead of spinning.
+        let short = ServeLoadParams {
+            events: 6,
+            ..ServeLoadParams::default()
+        };
+        assert!(shard_partition_schedule(&short, 3, 10).len() <= 2);
     }
 
     #[test]
