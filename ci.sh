@@ -64,12 +64,19 @@ echo "== chaosnet: seeded network-fault drill matrix =="
 # warm hits on the first post-join batch) -> crash-restart from durable
 # CCM2RLOG replica logs -> failover absorb of the restored parked ops.
 # Zero lost admitted requests, zero hangs, byte-identity to standalone.
+# The split-brain drills add router-loss cells on the same seed x
+# transport grid: router kill, router partition, and dueling routers.
+# No epoch may ever see two live leaders and the fleet's durable
+# membership must converge to one image.
 cargo test -q --test chaosnet
 cargo run -q --release -p ccm2-bench --bin reproduce -- chaosnet
-grep -q '"schema":"ccm2-bench/chaosnet/v1"' BENCH_chaosnet.json
+grep -q '"schema":"ccm2-bench/chaosnet/v2"' BENCH_chaosnet.json
 grep -q '"lost":0' BENCH_chaosnet.json
 grep -q '"mismatched":0' BENCH_chaosnet.json
 grep -q '"hangs":0' BENCH_chaosnet.json
+grep -q '"split_brain"' BENCH_chaosnet.json
+grep -q '"two_leader_epochs":0' BENCH_chaosnet.json
+grep -q '"divergent_membership":0' BENCH_chaosnet.json
 
 echo "== editor sessions: convergence, coalescing, error-unit determinism =="
 # The watch loop must converge every seeded edit session — broken
@@ -102,6 +109,17 @@ rver=$(grep -o 'RLOG_FORMAT_VERSION: u32 = [0-9]*' crates/fabric/src/durable.rs 
 if ! grep -q "rlog_version_${rver}_mismatch_quarantined" crates/fabric/src/durable.rs; then
   echo "RLOG_FORMAT_VERSION is ${rver} but crates/fabric/src/durable.rs has no" >&2
   echo "rlog_version_${rver}_mismatch_quarantined test — add one for the new version." >&2
+  exit 1
+fi
+
+echo "== membership images: format-version bump guard =="
+# And for the persisted CCM2MBRS membership images that routers use to
+# mirror the ring and fail over: bumping MBRS_FORMAT_VERSION requires a
+# matching quarantine test.
+mver=$(grep -o 'MBRS_FORMAT_VERSION: u32 = [0-9]*' crates/fabric/src/durable.rs | grep -o '[0-9]*$')
+if ! grep -q "mbrs_version_${mver}_mismatch_quarantined" crates/fabric/src/durable.rs; then
+  echo "MBRS_FORMAT_VERSION is ${mver} but crates/fabric/src/durable.rs has no" >&2
+  echo "mbrs_version_${mver}_mismatch_quarantined test — add one for the new version." >&2
   exit 1
 fi
 

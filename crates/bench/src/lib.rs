@@ -1473,7 +1473,7 @@ pub fn fabric_with(
                             req.module
                         );
                     }
-                    FabricResponse::Retry => pending.push(req),
+                    FabricResponse::Retry { .. } => pending.push(req),
                 }
             }
         }
@@ -1787,6 +1787,46 @@ pub fn chaosnet_with(
         cells.len()
     ));
 
+    // Split-brain matrix: the same seeds on both transports, each
+    // running all three router disturbances (kill / partition / duel)
+    // against a two-router fleet with the epoch lease.
+    out.push_str(
+        "\nsplit-brain drills: two routers, epoch-leased eviction authority, client failover\n",
+    );
+    out.push_str(
+        "  seed   | transport | drill     | epoch | promote ticks | rotations | epoch rejects\n",
+    );
+    out.push_str(
+        "  -------+-----------+-----------+-------+---------------+-----------+--------------\n",
+    );
+    let mut sb_cells = Vec::new();
+    for &seed in seeds {
+        for tcp in [false, true] {
+            for kind in [
+                ccm2_workload::RouterDrillKind::Kill,
+                ccm2_workload::RouterDrillKind::Partition,
+                ccm2_workload::RouterDrillKind::Duel,
+            ] {
+                let cell = split_brain_cell(seed, tcp, kind);
+                out.push_str(&format!(
+                    "  {:#6x} | {:>9} | {:>9} | {:>5} | {:>13} | {:>9} | {:>13}\n",
+                    cell.seed,
+                    cell.transport,
+                    cell.kind,
+                    cell.promoted_epoch,
+                    cell.promote_ticks,
+                    cell.client_rotations,
+                    cell.epoch_rejects,
+                ));
+                sb_cells.push(cell);
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  {} cells: 0 lost, 0 hangs, no epoch with two leaders, membership converged\n",
+        sb_cells.len()
+    ));
+
     // Wall-clock detector smoke: the same eviction on real sockets and
     // real time, driven by `start_heartbeats` at --heartbeat-ms.
     let wall = chaosnet_wall_clock(heartbeat_ms);
@@ -1816,8 +1856,27 @@ pub fn chaosnet_with(
                 c.rlog_writes,
             ));
         }
+        let mut sb_json = String::new();
+        for c in &sb_cells {
+            if !sb_json.is_empty() {
+                sb_json.push(',');
+            }
+            sb_json.push_str(&format!(
+                "{{\"seed\":{},\"transport\":\"{}\",\"drill\":\"{}\",\"events\":{},\"promoted_epoch\":{},\"promote_ticks\":{},\"demotions\":{},\"epoch_rejects\":{},\"client_rotations\":{},\"transcript_lines\":{},\"two_leader_epochs\":0,\"divergent_membership\":0,\"lost\":0,\"hangs\":0}}",
+                c.seed,
+                c.transport,
+                c.kind,
+                c.events,
+                c.promoted_epoch,
+                c.promote_ticks,
+                c.a_demotions,
+                c.epoch_rejects,
+                c.client_rotations,
+                c.transcript.len(),
+            ));
+        }
         let json = format!(
-            "{{\"schema\":\"ccm2-bench/chaosnet/v1\",\"cells\":[{cell_json}],\"wall_clock\":{{\"heartbeat_ms\":{heartbeat_ms},\"evicted_in_micros\":{}}},\"lost\":0,\"mismatched\":0,\"hangs\":0}}\n",
+            "{{\"schema\":\"ccm2-bench/chaosnet/v2\",\"cells\":[{cell_json}],\"split_brain\":{{\"cells\":[{sb_json}],\"two_leader_epochs\":0,\"divergent_membership\":0}},\"wall_clock\":{{\"heartbeat_ms\":{heartbeat_ms},\"evicted_in_micros\":{}}},\"lost\":0,\"mismatched\":0,\"hangs\":0}}\n",
             wall.as_micros()
         );
         std::fs::write(path, json).expect("write BENCH_chaosnet.json");
@@ -1894,7 +1953,7 @@ fn chaosnet_cell(seed: u64, tcp: bool) -> ChaosCell {
                             req.module
                         );
                     }
-                    FabricResponse::Retry => pending.push(req),
+                    FabricResponse::Retry { .. } => pending.push(req),
                 }
             }
         }
@@ -1989,7 +2048,7 @@ fn chaosnet_cell(seed: u64, tcp: bool) -> ChaosCell {
     for resp in router.serve_batch(&probes) {
         match resp {
             FabricResponse::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
-            FabricResponse::Retry => panic!("probe shed by an idle fleet"),
+            FabricResponse::Retry { .. } => panic!("probe shed by an idle fleet"),
         }
     }
 
@@ -2005,7 +2064,7 @@ fn chaosnet_cell(seed: u64, tcp: bool) -> ChaosCell {
     for resp in router.serve_batch(&probes) {
         match resp {
             FabricResponse::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
-            FabricResponse::Retry => panic!("probe replay shed by an idle fleet"),
+            FabricResponse::Retry { .. } => panic!("probe replay shed by an idle fleet"),
         }
     }
     let after = joiner.service().store().stats();
@@ -2163,6 +2222,366 @@ fn chaosnet_wall_clock(heartbeat_ms: u64) -> std::time::Duration {
         server.stop();
     }
     elapsed
+}
+
+// ---- split-brain drills: router loss without divergent membership -------
+
+/// One split-brain cell, reduced to the numbers the report and the
+/// `split_brain` section of `BENCH_chaosnet.json` carry, plus the
+/// deterministic transcript the determinism test replays. The hard
+/// invariants — 0 lost admitted requests, 0 hangs, no epoch with two
+/// leaders, converged membership, byte-identity to standalone — are
+/// asserted inside the cell, so a split-brain regression fails the
+/// drill instead of skewing a number.
+struct SplitBrainCell {
+    seed: u64,
+    transport: &'static str,
+    kind: &'static str,
+    events: usize,
+    promoted_epoch: u64,
+    promote_ticks: usize,
+    a_demotions: u64,
+    epoch_rejects: u64,
+    client_rotations: u64,
+    transcript: Vec<String>,
+}
+
+/// One split-brain drill cell: a 3-shard fleet behind two routers
+/// (A leads, B stands by) on *independent* conduits over the same
+/// shards, a shared durable membership store, and a client that fails
+/// over between them. The seeded disturbance hits router A mid-load:
+///
+/// - **Kill** — A is shut down; B promotes on lease expiry and the
+///   client rotates.
+/// - **Partition** — A is cut from every shard (its churn while cut
+///   must not reach the durable membership); B promotes; on heal A
+///   demotes on its first observed newer epoch.
+/// - **Duel** — A is silenced but not told: after B promotes, both
+///   believe they lead until A's next stamped frame draws an
+///   `EpochReject` and it stands down.
+///
+/// Every admitted request across the disturbance is served with bytes
+/// identical to a standalone service. The transcript records phases,
+/// roles, epochs and per-shard grant histories — and no wall-clock
+/// values, so the same seed always replays the same transcript.
+fn split_brain_cell(seed: u64, tcp: bool, kind: ccm2_workload::RouterDrillKind) -> SplitBrainCell {
+    use ccm2_fabric::{
+        FabricClient, FabricResponse, FabricRouter, FrameHandler, HeartbeatConfig, LeaseConfig,
+        LoopbackTransport, MembershipStore, RouterRole, ShardNode, TcpShardServer, TcpTransport,
+        Transport,
+    };
+    use ccm2_serve::{CompileRequest, ExecChoice, ServeConfig};
+    use ccm2_workload::{serve_load, RouterDrillKind, ServeLoadParams};
+    use std::collections::HashMap;
+
+    const SHARDS: u32 = 3;
+    let params = ServeLoadParams {
+        seed,
+        projects: 3,
+        clients: 4,
+        events: 24,
+        edit_every: 8,
+        interface_every: 3,
+    };
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        store_budget: 128 * 1024,
+        ..ServeConfig::default()
+    };
+    let events = serve_load(&params);
+    let mk_request = |e: &ccm2_workload::ServeEvent| CompileRequest {
+        client: e.client,
+        module: e.module.name.clone(),
+        source: e.module.source.clone(),
+        defs: Arc::new(e.module.defs.clone()),
+        strategy: DkyStrategy::Skeptical,
+        exec: ExecChoice::Sim(4),
+        analyze: false,
+        faults: None,
+        task_deadline: None,
+        max_stream_retries: 0,
+    };
+    let mut expected: HashMap<ccm2_support::hash::Fp128, (Option<Vec<u8>>, Vec<String>)> =
+        HashMap::new();
+    for e in &events {
+        let req = mk_request(e);
+        expected
+            .entry(req.fingerprint())
+            .or_insert_with(|| standalone_compile(&req));
+    }
+
+    // Two independent conduits over the same shards: cutting router A's
+    // network must not touch router B's.
+    let nodes: Vec<Arc<ShardNode>> = (0..SHARDS)
+        .map(|id| Arc::new(ShardNode::start(id, config)))
+        .collect();
+    let mut servers: Vec<TcpShardServer> = Vec::new();
+    type Conduits = (Arc<dyn Transport>, Arc<dyn Transport>, Box<dyn Fn(bool)>);
+    let (ta, tb, cut_a): Conduits = if tcp {
+        let ta = Arc::new(TcpTransport::new());
+        let tb = Arc::new(TcpTransport::new());
+        for node in &nodes {
+            let server = TcpShardServer::serve(Arc::clone(node) as Arc<dyn FrameHandler>)
+                .expect("tcp shard server");
+            ta.register(node.id(), server.addr());
+            tb.register(node.id(), server.addr());
+            servers.push(server);
+        }
+        let knife = Arc::clone(&ta);
+        (
+            ta as Arc<dyn Transport>,
+            tb as Arc<dyn Transport>,
+            Box::new(move |on| {
+                for s in 0..SHARDS {
+                    knife.set_partitioned(s, on);
+                }
+            }),
+        )
+    } else {
+        let ta = Arc::new(LoopbackTransport::new());
+        let tb = Arc::new(LoopbackTransport::new());
+        for node in &nodes {
+            ta.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+            tb.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+        }
+        let knife = Arc::clone(&ta);
+        (
+            ta as Arc<dyn Transport>,
+            tb as Arc<dyn Transport>,
+            Box::new(move |on| {
+                knife.set_link_faults(on.then(|| {
+                    let mut plan = ccm2_faults::FaultPlan::new();
+                    for s in 0..SHARDS {
+                        plan =
+                            plan.with_fault(format!("link:{s}#c*"), ccm2_faults::FaultKind::Panic);
+                    }
+                    Arc::new(plan)
+                }));
+            }),
+        )
+    };
+
+    let dir = std::env::temp_dir().join(format!(
+        "ccm2-splitbrain-{}-{seed:x}-{}-{kind:?}",
+        std::process::id(),
+        if tcp { "tcp" } else { "loop" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(MembershipStore::new(dir.join("mbrs")).expect("membership dir"));
+    let heartbeat = HeartbeatConfig {
+        suspect_misses: 1,
+        evict_misses: 2,
+    };
+    let lease = LeaseConfig { expiry_ticks: 2 };
+    let a = Arc::new(
+        FabricRouter::new(ta)
+            .with_identity(1)
+            .with_heartbeat(heartbeat)
+            .with_lease(lease)
+            .with_membership_store(Arc::clone(&store)),
+    );
+    let b = Arc::new(
+        FabricRouter::new(tb)
+            .with_identity(2)
+            .as_standby()
+            .with_heartbeat(heartbeat)
+            .with_lease(lease)
+            .with_membership_store(Arc::clone(&store)),
+    );
+    assert!(a.acquire_lease(), "uncontested initial grant");
+    let client = FabricClient::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+
+    let mut transcript: Vec<String> = Vec::new();
+    let roles = |a: &FabricRouter, b: &FabricRouter| {
+        format!(
+            "a={:?}@{} b={:?}@{}",
+            a.role(),
+            a.epoch(),
+            b.role(),
+            b.epoch()
+        )
+    };
+    let drive = |slice: &[ccm2_workload::ServeEvent]| {
+        let mut pending: Vec<CompileRequest> = slice.iter().map(&mk_request).collect();
+        let mut waves = 0usize;
+        while !pending.is_empty() {
+            waves += 1;
+            assert!(
+                waves <= 1 + slice.len(),
+                "split-brain drive must drain (hang)"
+            );
+            let batch = std::mem::take(&mut pending);
+            let resubmit = batch.clone();
+            for (req, resp) in resubmit.into_iter().zip(client.serve_batch(&batch)) {
+                match resp {
+                    FabricResponse::Done(o) => {
+                        assert!(o.ok, "{:?}", o.diagnostics);
+                        let want = &expected[&req.fingerprint()];
+                        assert!(
+                            (o.object.clone(), o.diagnostics.clone()) == *want,
+                            "split-brain bytes diverged from standalone for {}",
+                            req.module
+                        );
+                    }
+                    FabricResponse::Retry { .. } => pending.push(req),
+                }
+            }
+        }
+    };
+
+    let kind_name = match kind {
+        RouterDrillKind::Kill => "kill",
+        RouterDrillKind::Partition => "partition",
+        RouterDrillKind::Duel => "duel",
+    };
+    let third = params.events / 3;
+    transcript.push(format!(
+        "setup seed={seed:#x} kind={kind_name} shards={SHARDS} {}",
+        roles(&a, &b)
+    ));
+
+    // Phase 1 — healthy fleet: A leads, renews, serves the head.
+    drive(&events[..third]);
+    assert!(a.heartbeat_tick().is_empty(), "healthy fleet, no evictions");
+    transcript.push(format!("head served={third} {}", roles(&a, &b)));
+
+    // Phase 2 — the disturbance hits router A.
+    match kind {
+        RouterDrillKind::Kill => {
+            a.shutdown();
+            transcript.push("disturb: router A shut down".into());
+        }
+        RouterDrillKind::Partition => {
+            cut_a(true);
+            // A churns against its dead network: it may evict its whole
+            // local view, but with zero shards witnessing, none of it
+            // may reach the durable membership image.
+            a.heartbeat_tick();
+            a.heartbeat_tick();
+            transcript.push(format!(
+                "disturb: router A cut from every shard; churned to live={:?}",
+                a.live_shards()
+            ));
+        }
+        RouterDrillKind::Duel => {
+            transcript.push("disturb: router A silenced (no ticks), not told".into());
+        }
+    }
+
+    // Phase 3 — the standby watches the lease age out on the shards'
+    // own probe clocks, then claims the next epoch.
+    let mut promote_ticks = 0usize;
+    while b.role() != RouterRole::Leader {
+        promote_ticks += 1;
+        assert!(promote_ticks <= 6, "standby never promoted (hang)");
+        b.heartbeat_tick();
+    }
+    let promoted_epoch = b.epoch();
+    assert!(promoted_epoch >= 2, "promotion claims a fresh epoch");
+    transcript.push(format!(
+        "promoted after {promote_ticks} standby ticks {}",
+        roles(&a, &b)
+    ));
+
+    // Phase 4 — serve the middle through the client: it rotates away
+    // from the dead/cut router; in the duel, A still serves and its
+    // stale replication stamp draws the EpochReject that demotes it.
+    drive(&events[third..2 * third]);
+    assert!(b.heartbeat_tick().is_empty(), "leader B sees a live fleet");
+    transcript.push(format!(
+        "mid served={third} rotations={} {}",
+        client.stats().router_rotations,
+        roles(&a, &b)
+    ));
+
+    // Phase 5 — heal: the ex-leader must converge, not split-brain.
+    match kind {
+        RouterDrillKind::Kill => {}
+        RouterDrillKind::Partition | RouterDrillKind::Duel => {
+            if kind == RouterDrillKind::Partition {
+                cut_a(false);
+            }
+            a.heartbeat_tick();
+            assert_eq!(
+                a.role(),
+                RouterRole::Standby,
+                "healed ex-leader must stand down"
+            );
+            assert_eq!(a.epoch(), 1, "A never claims an epoch it wasn't granted");
+            transcript.push(format!("healed {}", roles(&a, &b)));
+        }
+    }
+
+    // Phase 6 — tail through the converged fleet.
+    drive(&events[2 * third..]);
+    transcript.push(format!("tail served={}", events.len() - 2 * third));
+
+    // Invariants. Leadership epochs are disjoint across routers — no
+    // epoch ever had two leaders…
+    let ea = a.leadership_epochs();
+    let eb = b.leadership_epochs();
+    for e in &ea {
+        assert!(!eb.contains(e), "epoch {e} observed two leaders");
+    }
+    // …and the shards' own grant histories agree: every epoch a router
+    // led was granted to that router alone, wherever it was granted.
+    let leaders: HashMap<u64, u32> = ea
+        .iter()
+        .map(|&e| (e, a.router_id()))
+        .chain(eb.iter().map(|&e| (e, b.router_id())))
+        .collect();
+    for node in &nodes {
+        let grants = node.lease_grants();
+        for w in grants.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "a shard granted an epoch twice: {grants:?}"
+            );
+        }
+        for &(epoch, router) in &grants {
+            if let Some(&led) = leaders.get(&epoch) {
+                assert_eq!(router, led, "epoch {epoch} granted away from its leader");
+            }
+        }
+        transcript.push(format!("grants shard{}={:?}", node.id(), grants));
+    }
+    // Membership converged: both live routers agree with the durable
+    // image (a killed router keeps its stale view; it is dead).
+    let image = store
+        .load_latest()
+        .expect("membership readable")
+        .image
+        .expect("membership persisted");
+    assert_eq!(image.leader, b.router_id());
+    assert_eq!(image.epoch, promoted_epoch);
+    assert_eq!(b.live_shards(), image.members, "leader B diverged");
+    if kind != RouterDrillKind::Kill {
+        a.resync_membership();
+        assert_eq!(a.live_shards(), image.members, "standby A diverged");
+    }
+    transcript.push(format!(
+        "converged members={:?} epoch={} leader={}",
+        image.members, image.epoch, image.leader
+    ));
+
+    let cell = SplitBrainCell {
+        seed,
+        transport: if tcp { "tcp" } else { "loopback" },
+        kind: kind_name,
+        events: params.events,
+        promoted_epoch,
+        promote_ticks,
+        a_demotions: a.stats().demotions,
+        epoch_rejects: a.stats().epoch_rejects + b.stats().epoch_rejects,
+        client_rotations: client.stats().router_rotations,
+        transcript,
+    };
+    for server in &mut servers {
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
 }
 
 // ---- always-on editor sessions (ccm2-watch) -----------------------------
@@ -3187,6 +3606,46 @@ mod tests {
         assert!(report.contains("0 lost, 0 mismatched"));
         assert!(report.contains("delta restart"));
         assert!(!report.contains("wrote "), "no JSON without a path");
+    }
+
+    #[test]
+    fn split_brain_cell_holds_its_invariants() {
+        // The cell asserts internally: 0 lost, 0 hangs, byte-identity
+        // to standalone, no epoch with two leaders, membership
+        // converged on the durable image. One loopback cell per drill
+        // kind keeps the unit suite fast; the full seeded matrix runs
+        // under `reproduce -- chaosnet`.
+        for kind in [
+            ccm2_workload::RouterDrillKind::Kill,
+            ccm2_workload::RouterDrillKind::Partition,
+            ccm2_workload::RouterDrillKind::Duel,
+        ] {
+            let cell = split_brain_cell(0xD1CE, false, kind);
+            assert!(cell.promoted_epoch >= 2, "standby claimed a fresh epoch");
+            assert!(cell.promote_ticks >= 1);
+            if kind != ccm2_workload::RouterDrillKind::Kill {
+                assert!(
+                    cell.a_demotions >= 1,
+                    "the surviving ex-leader must demote ({:?}): {:?}",
+                    kind,
+                    cell.transcript
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_brain_transcripts_are_deterministic() {
+        // Same seed, same drill → identical transcripts, line for line.
+        // The transcript carries phases, roles, epochs, grant histories
+        // and memberships — and no wall-clock values — so this is the
+        // replayability guarantee for split-brain investigations.
+        let kind = ccm2_workload::RouterDrillKind::Duel;
+        let first = split_brain_cell(0x5EED, false, kind).transcript;
+        let second = split_brain_cell(0x5EED, false, kind).transcript;
+        assert_eq!(first, second, "same seed must replay identically");
+        let other = split_brain_cell(0x5EED + 1, false, kind).transcript;
+        assert_ne!(first, other, "different seed takes a different path");
     }
 
     #[test]

@@ -235,6 +235,186 @@ fn checksum(bytes: &[u8]) -> Fp128 {
     h.finish()
 }
 
+// ---- CCM2MBRS: durable membership images ------------------------------
+
+const MBRS_MAGIC: &[u8; 8] = b"CCM2MBRS";
+/// Bump on any change to the persisted membership encoding; ci.sh greps
+/// for a matching `mbrs_version_{N}_mismatch_quarantined` test.
+pub const MBRS_FORMAT_VERSION: u32 = 1;
+
+/// One durable membership record: the lease epoch it was written under,
+/// the router that wrote it, and the ring membership at that moment.
+/// This is the state a standby router mirrors and a freshly promoted
+/// leader restores — the durable half of router failover, sharing the
+/// `CCM2RLOG` directory discipline (crash-atomic temp+rename, Fp128
+/// trailer, quarantine + newest-fallback, prune to newest+1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MembershipImage {
+    /// Lease epoch the writer held.
+    pub epoch: u64,
+    /// The writing router's id.
+    pub leader: u32,
+    /// Ring members at write time, ascending.
+    pub members: Vec<u32>,
+}
+
+/// A directory of membership images plus their quarantine.
+#[derive(Debug)]
+pub struct MembershipStore {
+    dir: PathBuf,
+}
+
+/// What [`MembershipStore::load_latest`] found.
+#[derive(Debug, Default)]
+pub struct LoadedMembership {
+    /// The newest valid image; `None` when no valid image exists.
+    pub image: Option<MembershipImage>,
+    /// Images that failed validation and were quarantined by this call.
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl MembershipStore {
+    /// Opens (creating if needed) a membership directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<MembershipStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(MembershipStore { dir })
+    }
+
+    /// The image directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `(sequence, path)` of every `mbrs-*.img` present, ascending.
+    fn images(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut v = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = name
+                .strip_prefix("mbrs-")
+                .and_then(|r| r.strip_suffix(".img"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                v.push((seq, entry.path()));
+            }
+        }
+        v.sort();
+        Ok(v)
+    }
+
+    /// Writes a new membership image (crash-atomic) and prunes images
+    /// older than the previous one.
+    pub fn save(&self, image: &MembershipImage) -> io::Result<PathBuf> {
+        let existing = self.images()?;
+        let seq = existing.last().map_or(1, |(s, _)| s + 1);
+        let bytes = encode_membership(image);
+        let path = self.dir.join(format!("mbrs-{seq:08}.img"));
+        let tmp = self
+            .dir
+            .join(format!(".mbrs-{seq:08}.{}.tmp", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        for (_, old) in existing.iter().rev().skip(1) {
+            let _ = fs::remove_file(old);
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest valid image, quarantining torn/corrupt/skewed
+    /// ones encountered on the way down.
+    pub fn load_latest(&self) -> io::Result<LoadedMembership> {
+        let mut loaded = LoadedMembership::default();
+        for (_, path) in self.images()?.into_iter().rev() {
+            let bytes = fs::read(&path)?;
+            if let Some(image) = decode_membership(&bytes) {
+                loaded.image = Some(image);
+                return Ok(loaded);
+            }
+            let qdir = self.dir.join("quarantine");
+            fs::create_dir_all(&qdir)?;
+            let dest = qdir.join(path.file_name().expect("image file name"));
+            fs::rename(&path, &dest)?;
+            loaded.quarantined.push(dest);
+        }
+        Ok(loaded)
+    }
+
+    /// Number of quarantined images currently on disk.
+    pub fn quarantined_count(&self) -> usize {
+        fs::read_dir(self.dir.join("quarantine"))
+            .map(|rd| rd.count())
+            .unwrap_or(0)
+    }
+}
+
+fn encode_membership(image: &MembershipImage) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MBRS_MAGIC);
+    buf.extend_from_slice(&MBRS_FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&image.epoch.to_le_bytes());
+    buf.extend_from_slice(&image.leader.to_le_bytes());
+    // Deterministic image bytes: members in ascending order.
+    let mut members = image.members.clone();
+    members.sort_unstable();
+    buf.extend_from_slice(&(members.len() as u32).to_le_bytes());
+    for m in members {
+        buf.extend_from_slice(&m.to_le_bytes());
+    }
+    let sum = membership_checksum(&buf);
+    buf.extend_from_slice(&sum.hi.to_le_bytes());
+    buf.extend_from_slice(&sum.lo.to_le_bytes());
+    buf
+}
+
+/// Strict validation, mirroring the replica-log decoder: magic,
+/// version, exact length accounting and the trailer checksum.
+fn decode_membership(buf: &[u8]) -> Option<MembershipImage> {
+    if buf.len() < MBRS_MAGIC.len() + 4 + 8 + 4 + 4 + 16 || &buf[..MBRS_MAGIC.len()] != MBRS_MAGIC {
+        return None;
+    }
+    let body = &buf[..buf.len() - 16];
+    let trailer = &buf[buf.len() - 16..];
+    let sum = membership_checksum(body);
+    if trailer[..8] != sum.hi.to_le_bytes() || trailer[8..] != sum.lo.to_le_bytes() {
+        return None;
+    }
+    let mut pos = MBRS_MAGIC.len();
+    let version = u32::from_le_bytes(body[pos..pos + 4].try_into().ok()?);
+    pos += 4;
+    if version != MBRS_FORMAT_VERSION {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(body.get(pos..pos + 8)?.try_into().ok()?);
+    pos += 8;
+    let leader = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?);
+    pos += 4;
+    let count = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    pos += 4;
+    let mut members = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        members.push(u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?));
+        pos += 4;
+    }
+    if members.windows(2).any(|w| w[0] >= w[1]) {
+        return None; // unsorted or duplicated members: tampering
+    }
+    (pos == body.len()).then_some(MembershipImage {
+        epoch,
+        leader,
+        members,
+    })
+}
+
+fn membership_checksum(bytes: &[u8]) -> Fp128 {
+    let mut h = StableHasher::new();
+    h.write_str("ccm2-mbrs/v1");
+    h.write(bytes);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +568,77 @@ mod tests {
         let loaded = store.load_latest().unwrap();
         assert!(loaded.logs.is_none());
         assert!(loaded.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn sample_membership() -> MembershipImage {
+        MembershipImage {
+            epoch: 7,
+            leader: 2,
+            members: vec![0, 1, 4],
+        }
+    }
+
+    #[test]
+    fn membership_round_trips_and_prunes() {
+        let dir = tmp_dir("mbrs-rt");
+        let store = MembershipStore::new(&dir).unwrap();
+        assert!(store.load_latest().unwrap().image.is_none(), "cold start");
+        for _ in 0..4 {
+            store.save(&sample_membership()).unwrap();
+        }
+        let loaded = store.load_latest().unwrap();
+        assert!(loaded.quarantined.is_empty());
+        assert_eq!(loaded.image, Some(sample_membership()));
+        assert_eq!(
+            store.images().unwrap().len(),
+            2,
+            "pruned to newest + fallback"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_membership_quarantined_and_fallback_wins() {
+        let dir = tmp_dir("mbrs-torn");
+        let store = MembershipStore::new(&dir).unwrap();
+        store.save(&sample_membership()).unwrap();
+        let good = encode_membership(&sample_membership());
+        fs::write(dir.join("mbrs-00000002.img"), &good[..good.len() / 2]).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.quarantined.len(), 1);
+        assert_eq!(store.quarantined_count(), 1);
+        assert_eq!(loaded.image, Some(sample_membership()));
+        for i in (0..good.len()).step_by(5) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                decode_membership(&bad).is_none(),
+                "flip at byte {i} undetected"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // CI greps for an `mbrs_version_{N}_mismatch_quarantined` test
+    // matching the current MBRS_FORMAT_VERSION: bumping the constant
+    // without a fresh cross-version test fails the gate (ci.sh).
+    #[test]
+    fn mbrs_version_1_mismatch_quarantined() {
+        assert_eq!(MBRS_FORMAT_VERSION, 1);
+        let dir = tmp_dir("mbrs-vskew");
+        let store = MembershipStore::new(&dir).unwrap();
+        let mut img = encode_membership(&sample_membership());
+        img.truncate(img.len() - 16);
+        img[MBRS_MAGIC.len()..MBRS_MAGIC.len() + 4].copy_from_slice(&2u32.to_le_bytes());
+        let sum = membership_checksum(&img);
+        img.extend_from_slice(&sum.hi.to_le_bytes());
+        img.extend_from_slice(&sum.lo.to_le_bytes());
+        assert!(decode_membership(&img).is_none(), "future version rejected");
+        fs::write(dir.join("mbrs-00000001.img"), &img).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert!(loaded.image.is_none());
+        assert_eq!(loaded.quarantined.len(), 1, "skewed image quarantined");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,14 @@
 //! * [`shard`] — a service wrapped as a passive frame handler, plus
 //!   the replica logs it keeps for its peers' `CCM2DELT` streams.
 //! * [`router`] — routing, router-level single-flight, failover
-//!   (ring removal + replica absorption), and replication epochs.
+//!   (ring removal + replica absorption), replication epochs, and the
+//!   epoch-numbered eviction lease that keeps membership authority
+//!   exclusive when several routers run at once.
+//! * [`client`] — the fleet's client side: sticky router preference,
+//!   router-failover retry, and honored `Retry-After` back-off hints.
+//! * [`durable`] — crash-atomic persistence: `CCM2RLOG` replica-log
+//!   images and `CCM2MBRS` membership images (what standby routers
+//!   mirror and promoted leaders restore).
 //!
 //! The fleet invariant the drills pin: for any seeded workload, an
 //! N-shard fabric returns byte-identical objects and diagnostics to a
@@ -45,6 +52,7 @@
 //! assert_eq!(fabric.router().live_shards(), vec![0, 1, 2]);
 //! ```
 
+pub mod client;
 pub mod durable;
 pub mod ring;
 pub mod router;
@@ -56,20 +64,25 @@ use std::sync::Arc;
 
 use ccm2_serve::ServeConfig;
 
-pub use durable::{LoadedReplicaLogs, ReplicaLogStore, RLOG_FORMAT_VERSION};
+pub use client::{ClientRetryStats, FabricClient, CLIENT_MAX_ATTEMPTS, CLIENT_MAX_SLEEP_MS};
+pub use durable::{
+    LoadedMembership, LoadedReplicaLogs, MembershipImage, MembershipStore, ReplicaLogStore,
+    MBRS_FORMAT_VERSION, RLOG_FORMAT_VERSION,
+};
 pub use ring::{HashRing, DEFAULT_VNODES};
 pub use router::{
-    start_heartbeats, FabricResponse, FabricRouter, FabricStats, HealthState, HeartbeatConfig,
-    HeartbeatHandle,
+    start_heartbeats, AdaptiveCadence, FabricResponse, FabricRouter, FabricStats, FleetRetryBurn,
+    HealthState, HeartbeatConfig, HeartbeatHandle, LeaseConfig, RouterRole, ShardRetryBurn,
+    DEFAULT_RETRY_AFTER_MS,
 };
-pub use shard::{ReplicaLog, ShardNode, ShardStats, REPLICA_LOG_CAP};
+pub use shard::{LeaseView, ReplicaLog, ShardNode, ShardStats, REPLICA_LOG_CAP};
 pub use transport::{
     read_frame, FrameHandler, LoopbackTransport, TcpShardServer, TcpTransport, Transport,
     MAX_PAYLOAD,
 };
 pub use wire::{
     decode_frame, encode_frame, frame_len, Message, WireOutcome, WireRequest, FRAME_OVERHEAD,
-    WIRE_FORMAT_VERSION, WIRE_MAGIC,
+    NO_ROUTER, WIRE_FORMAT_VERSION, WIRE_MAGIC,
 };
 
 /// A whole loopback fleet in one value: N shards, the transport, and
@@ -121,6 +134,13 @@ impl Fabric {
     /// Overrides the router's failure-detector thresholds.
     pub fn with_heartbeat(mut self, config: HeartbeatConfig) -> Fabric {
         self.router = self.router.with_heartbeat(config);
+        self
+    }
+
+    /// Lets the router's failure detector scale its miss budget with
+    /// observed RTT percentiles (see [`FabricRouter::with_adaptive_heartbeat`]).
+    pub fn with_adaptive_heartbeat(mut self, cadence: AdaptiveCadence) -> Fabric {
+        self.router = self.router.with_adaptive_heartbeat(cadence);
         self
     }
 
@@ -382,6 +402,8 @@ mod tests {
                     fp: ccm2_support::hash::Fp128 { hi: 1, lo: 1 },
                 }],
             ),
+            router: 0,
+            epoch: 0,
         });
         assert_eq!(
             decode_frame(&fabric.nodes()[2].handle(&poison)),
@@ -407,6 +429,181 @@ mod tests {
         // request serves identically.
         let resp = fabric.router().serve(&victim_req);
         assert!(resp.outcome().expect("served by a survivor").ok);
+    }
+
+    fn temp_store(tag: &str) -> Arc<MembershipStore> {
+        let dir = std::env::temp_dir().join(format!(
+            "ccm2-mbrs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(MembershipStore::new(dir).expect("membership dir"))
+    }
+
+    #[test]
+    fn standby_promotes_on_lease_expiry_and_stale_leader_demotes() {
+        let transport = Arc::new(LoopbackTransport::new());
+        let nodes: Vec<Arc<ShardNode>> = (0..3u32)
+            .map(|id| Arc::new(ShardNode::start(id, small_config())))
+            .collect();
+        for node in &nodes {
+            transport.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+        }
+        let store = temp_store("promote");
+        let a = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+            .with_identity(1)
+            .with_membership_store(Arc::clone(&store));
+        let b = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+            .with_identity(2)
+            .as_standby()
+            .with_lease(LeaseConfig { expiry_ticks: 2 })
+            .with_membership_store(Arc::clone(&store));
+
+        assert!(a.acquire_lease(), "uncontested majority grant");
+        assert_eq!(a.role(), RouterRole::Leader);
+        assert_eq!(a.epoch(), 1);
+        assert!(a.heartbeat_tick().is_empty(), "healthy fleet, no evictions");
+
+        // A goes silent (crash, GC pause, partition — the standby can't
+        // tell and doesn't need to). B watches the lease age out on the
+        // shards' own probe clocks, then claims the next epoch.
+        assert!(b.heartbeat_tick().is_empty());
+        assert_eq!(b.role(), RouterRole::Standby, "lease still fresh");
+        assert!(b.heartbeat_tick().is_empty());
+        assert_eq!(b.role(), RouterRole::Leader, "expired lease claimed");
+        assert_eq!(b.epoch(), 2);
+        assert_eq!(b.stats().promotions, 1);
+
+        // The ex-leader wakes up, hears the newer epoch on its first
+        // answered probe, and stands down before touching membership.
+        assert!(a.heartbeat_tick().is_empty());
+        assert_eq!(a.role(), RouterRole::Standby);
+        assert_eq!(a.stats().demotions, 1);
+        assert_eq!(a.leadership_epochs(), vec![1]);
+        assert_eq!(b.leadership_epochs(), vec![2]);
+
+        // The durable image records the new leader.
+        let image = store.load_latest().unwrap().image.expect("image persisted");
+        assert_eq!(image.epoch, 2);
+        assert_eq!(image.leader, 2);
+        assert_eq!(image.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn client_fails_over_to_the_standby_when_its_router_dies() {
+        let transport = Arc::new(LoopbackTransport::new());
+        let nodes: Vec<Arc<ShardNode>> = (0..3u32)
+            .map(|id| Arc::new(ShardNode::start(id, small_config())))
+            .collect();
+        for node in &nodes {
+            transport.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+        }
+        let store = temp_store("client");
+        let a = Arc::new(
+            FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+                .with_identity(1)
+                .with_membership_store(Arc::clone(&store)),
+        );
+        let b = Arc::new(
+            FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+                .with_identity(2)
+                .as_standby()
+                .with_membership_store(Arc::clone(&store)),
+        );
+        assert!(a.acquire_lease());
+        let client = FabricClient::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+
+        let resp = client.serve(&request(1, "Sticky"));
+        assert!(resp.outcome().expect("served via preferred router").ok);
+        assert_eq!(client.preferred(), 0, "healthy preferred router sticks");
+
+        a.shutdown();
+        let resp = client.serve(&request(1, "Moved"));
+        assert!(resp.outcome().expect("served via the standby").ok);
+        assert_eq!(client.preferred(), 1, "client rotated to the standby");
+        let stats = client.stats();
+        assert_eq!(stats.served, 2);
+        assert!(stats.router_rotations >= 1);
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn client_exhausts_its_budget_against_a_dead_fleet() {
+        let transport = Arc::new(LoopbackTransport::new());
+        let router = Arc::new(FabricRouter::new(
+            Arc::clone(&transport) as Arc<dyn Transport>
+        ));
+        let client = FabricClient::new(vec![router]).with_max_attempts(2);
+        let resp = client.serve(&request(1, "Nobody"));
+        assert!(matches!(resp, FabricResponse::Retry { after_ms } if after_ms >= 1));
+        let stats = client.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn adaptive_cadence_stretches_the_miss_budget_with_rtt_spread() {
+        let transport = Arc::new(LoopbackTransport::new());
+        let router = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+            .with_adaptive_heartbeat(AdaptiveCadence::default());
+        let fixed = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>);
+
+        // Below min_samples the static config rules.
+        for _ in 0..8 {
+            router.record_rtt(100);
+        }
+        assert_eq!(router.effective_heartbeat(), HeartbeatConfig::default());
+
+        // A tight distribution keeps the tight budget.
+        for _ in 0..24 {
+            router.record_rtt(100);
+        }
+        assert_eq!(router.effective_heartbeat(), HeartbeatConfig::default());
+
+        // A long tail (p95 ≫ p50) stretches suspicion, clamped by caps.
+        for _ in 0..24 {
+            router.record_rtt(100);
+            router.record_rtt(2_000);
+        }
+        let adapted = router.effective_heartbeat();
+        assert!(
+            adapted.suspect_misses > HeartbeatConfig::default().suspect_misses,
+            "long tail should earn a longer rope: {adapted:?}"
+        );
+        assert!(adapted.suspect_misses <= AdaptiveCadence::default().max_suspect);
+        assert!(adapted.evict_misses > adapted.suspect_misses);
+        assert!(adapted.evict_misses <= AdaptiveCadence::default().max_evict);
+
+        // Fixed cadence (the default) never adapts — the deterministic
+        // opt-out the drills rely on.
+        for _ in 0..64 {
+            fixed.record_rtt(100);
+            fixed.record_rtt(9_000);
+        }
+        assert_eq!(fixed.effective_heartbeat(), HeartbeatConfig::default());
+    }
+
+    #[test]
+    fn retry_burn_aggregates_shard_reports() {
+        let fabric = Fabric::start(2, small_config());
+        let reqs: Vec<CompileRequest> = (0..4).map(|m| request(9, &format!("Burn{m}"))).collect();
+        for resp in fabric.router().serve_batch(&reqs) {
+            assert!(resp.outcome().expect("served").ok);
+        }
+        let burn = fabric.router().retry_burn();
+        assert_eq!(burn.shards.len(), 2, "every live shard reports");
+        assert_eq!(
+            burn.shards.iter().map(|s| s.compiles).sum::<u64>(),
+            fabric.total_compiles()
+        );
+        for shard in &burn.shards {
+            assert_eq!(shard.retry_budget, small_config().retry_attempts);
+            assert_eq!(shard.queue_len, 0, "drained fleet reports empty queues");
+            assert_eq!(shard.budget_remaining(), shard.retry_budget);
+        }
+        assert_eq!(burn.attempts_used(), 0, "healthy fleet burns no retries");
     }
 
     #[test]

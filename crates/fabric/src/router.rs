@@ -1,5 +1,6 @@
 //! The fleet's front door: consistent-hash routing, router-level
-//! single-flight, and failover.
+//! single-flight, failover, and (since wire v3) the epoch lease that
+//! makes eviction authority exclusive.
 //!
 //! [`FabricRouter::serve`] takes an ordinary [`CompileRequest`] and
 //! returns a [`FabricResponse`]:
@@ -22,8 +23,9 @@
 //!    the replica log it holds for the dead shard, and the dispatch
 //!    loop re-routes. An admitted request is therefore never lost to a
 //!    shard death: it either completes on a survivor or (all shards
-//!    dead / shed at admission) surfaces as [`FabricResponse::Retry`],
-//!    the same back-off contract as [`ccm2_serve::Response::Retry`].
+//!    dead / shed at admission) surfaces as [`FabricResponse::Retry`]
+//!    with a back-off hint, the same contract as
+//!    [`ccm2_serve::Response::Retry`].
 //! 5. **Replicate** — after a served compile the router syncs the
 //!    owning shard and fans the returned `CCM2DELT` batch to the
 //!    surviving peers (see `crate::shard`).
@@ -49,9 +51,48 @@
 //! later [`FabricRouter::admit_shard`] moves it through
 //! [`HealthState::Rejoining`] (warm-up) back to [`HealthState::Alive`].
 //!
+//! The thresholds can also *adapt*: arm
+//! [`FabricRouter::with_adaptive_heartbeat`] and the detector derives
+//! the miss budget from observed Ping/Pong round-trip percentiles — a
+//! fleet whose p95 RTT is far above its median gets a proportionally
+//! longer rope before suspicion, because slow-but-alive is the expected
+//! failure mode there. The static [`HeartbeatConfig`] stays the floor
+//! (and the default: fixed cadence is the deterministic-test opt-out).
+//!
 //! Ticks are driven two ways: drills call `heartbeat_tick()` directly
 //! (virtual time — deterministic), while a TCP deployment runs
 //! [`start_heartbeats`] for a wall-clock cadence.
+//!
+//! # The eviction lease: who may run a failover
+//!
+//! With one router, eviction authority is implicit. With standbys (this
+//! is what makes router loss survivable) it must be *exclusive*, or a
+//! partitioned ex-leader can resurrect an evicted shard or double-
+//! absorb a replica log — split-brain. Authority is an **epoch lease**:
+//!
+//! - [`FabricRouter::acquire_lease`] fans [`Message::LeaseGrant`] at
+//!   `max(known epoch) + 1` to every member. A shard grants each epoch
+//!   at most once; the router leads only with a **majority** of grants.
+//!   Two leaders in one epoch would need two disjoint majorities —
+//!   impossible — so every epoch has at most one leader.
+//! - A leading router renews per heartbeat tick ([`Message::LeaseRenew`]);
+//!   shards age the lease in *probe rounds answered* (deterministic
+//!   virtual time, no wall clock). Control frames (`Absorb`,
+//!   `DeltaShip` fan-out, pushed `Image`) carry the `(router, epoch)`
+//!   stamp and shards refuse stale stamps with
+//!   [`Message::EpochReject`] — the moment a partitioned ex-leader
+//!   hears one it [demotes](RouterRole::Standby) and resyncs.
+//! - A **standby** mirrors state instead of driving it: each tick it
+//!   reloads the durable membership image (see
+//!   `crate::durable::MembershipStore`), pings members (which also
+//!   mirrors the lease view carried on [`Message::Pong`]) and promotes
+//!   itself — one `acquire_lease` round — once a majority of answering
+//!   shards report the lease older than [`LeaseConfig::expiry_ticks`].
+//!
+//! A single router with the default identity (`router 0`, epoch 0)
+//! needs none of this machinery: shards start with a vacant lease and
+//! adopt the first claimant, so the legacy standalone fabric works
+//! unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -62,9 +103,10 @@ use ccm2_serve::CompileRequest;
 use ccm2_support::hash::Fp128;
 use parking_lot::{Condvar, Mutex};
 
+use crate::durable::{MembershipImage, MembershipStore};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::transport::Transport;
-use crate::wire::{decode_frame, encode_frame, Message, WireOutcome, WireRequest};
+use crate::wire::{decode_frame, encode_frame, Message, WireOutcome, WireRequest, NO_ROUTER};
 
 /// A full store image on the move: the delta cursor at the cut plus the
 /// entries, coldest first (the payload of [`Message::Image`]).
@@ -76,6 +118,11 @@ type StoreImage = (u64, Vec<(Fp128, Vec<u8>)>);
 /// unlucky.
 const MAX_CHECKSUM_RETRIES: u32 = 8;
 
+/// Back-off hint attached to a [`FabricResponse::Retry`] when no shard
+/// supplied a better one (fleet-wide death, damaged conduit, router
+/// shut down).
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 2;
+
 /// The fabric's answer to one request. Mirrors
 /// [`ccm2_serve::Response`], carrying the wire outcome.
 #[derive(Clone, Debug)]
@@ -84,8 +131,14 @@ pub enum FabricResponse {
     /// onto an identical in-flight request).
     Done(WireOutcome),
     /// Shed — queue full, over quota, no live shards, or a conduit too
-    /// damaged to trust. Back off and resubmit.
-    Retry,
+    /// damaged to trust. Back off for roughly `after_ms` and resubmit;
+    /// the hint scales with the owning shard's queue depth, so a
+    /// loaded fleet tells its clients to slow down instead of having
+    /// them hammer the admission gate.
+    Retry {
+        /// Suggested back-off before resubmitting, in milliseconds.
+        after_ms: u64,
+    },
 }
 
 impl FabricResponse {
@@ -93,7 +146,7 @@ impl FabricResponse {
     pub fn outcome(&self) -> Option<&WireOutcome> {
         match self {
             FabricResponse::Done(out) => Some(out),
-            FabricResponse::Retry => None,
+            FabricResponse::Retry { .. } => None,
         }
     }
 }
@@ -137,6 +190,20 @@ pub struct FabricStats {
     pub warm_joins: u64,
     /// Store entries shipped to joiners during warm-up.
     pub warmup_entries: u64,
+    /// Lease grants acknowledged by shards during `acquire_lease`.
+    pub lease_grants: u64,
+    /// Lease renewals acknowledged by shards.
+    pub lease_renews: u64,
+    /// `EpochReject` answers received — evidence this router's
+    /// authority is (or was) stale.
+    pub epoch_rejects: u64,
+    /// Successful `acquire_lease` rounds (promotions to leader).
+    pub promotions: u64,
+    /// Demotions to standby after an `EpochReject` or an observed
+    /// newer epoch.
+    pub demotions: u64,
+    /// Membership reloads from the durable store.
+    pub membership_resyncs: u64,
 }
 
 /// Failure-detector tuning: consecutive heartbeat misses before a shard
@@ -156,6 +223,65 @@ impl Default for HeartbeatConfig {
             suspect_misses: 1,
             evict_misses: 3,
         }
+    }
+}
+
+/// Adaptive-cadence tuning (see [`FabricRouter::with_adaptive_heartbeat`]).
+/// The derived thresholds scale the static [`HeartbeatConfig`] floor by
+/// the observed p95/p50 Ping/Pong RTT ratio, clamped to the caps here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveCadence {
+    /// RTT samples required before the detector adapts at all; below
+    /// this it runs the static config verbatim.
+    pub min_samples: usize,
+    /// Upper clamp for the derived `suspect_misses`.
+    pub max_suspect: u32,
+    /// Upper clamp for the derived `evict_misses`.
+    pub max_evict: u32,
+}
+
+impl Default for AdaptiveCadence {
+    fn default() -> AdaptiveCadence {
+        AdaptiveCadence {
+            min_samples: 16,
+            max_suspect: 4,
+            max_evict: 8,
+        }
+    }
+}
+
+/// How many Ping/Pong RTT samples the adaptive detector retains
+/// (oldest evicted first).
+const RTT_WINDOW: usize = 256;
+
+/// Which side of the lease a router is on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouterRole {
+    /// Holds (or, for the legacy single-router fabric, assumes) the
+    /// eviction lease: runs the failure detector, evicts, admits,
+    /// absorbs, fans out replication.
+    #[default]
+    Leader,
+    /// Mirrors membership and the lease view; promotes itself when the
+    /// lease expires. Serves client traffic (routing and dispatch need
+    /// no authority) but never changes membership.
+    Standby,
+}
+
+/// Lease tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// Probe rounds a shard may answer without seeing a renewal before
+    /// a standby counts its lease as expired. Expiry is measured in
+    /// the *shard's* virtual clock (its `lease_age` as mirrored on
+    /// [`Message::Pong`]), so drills in virtual time and TCP
+    /// deployments on the wall clock expire identically.
+    pub expiry_ticks: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig { expiry_ticks: 3 }
     }
 }
 
@@ -183,6 +309,67 @@ struct Health {
     misses: u32,
 }
 
+/// One shard's retry burn, as reported over [`Message::FetchStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRetryBurn {
+    /// Reporting shard.
+    pub shard: u32,
+    /// Compiles it has served.
+    pub compiles: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests shed by the fairness quota.
+    pub quota_shed: u64,
+    /// Admission-retry attempts its serve loop has burned.
+    pub retry_attempts_used: u64,
+    /// Requests that recovered within the budget.
+    pub retry_recovered: u64,
+    /// Requests that exhausted the budget.
+    pub retry_exhausted: u64,
+    /// The configured per-request retry budget.
+    pub retry_budget: u32,
+    /// Queue depth at report time.
+    pub queue_len: u32,
+}
+
+impl ShardRetryBurn {
+    /// Budget left for the *average* in-flight request: the configured
+    /// per-request budget minus the mean attempts burned per request
+    /// that needed any. Saturates at zero.
+    pub fn budget_remaining(&self) -> u32 {
+        let strained = self.retry_recovered + self.retry_exhausted;
+        if strained == 0 {
+            return self.retry_budget;
+        }
+        let mean = (self.retry_attempts_used / strained).min(u64::from(u32::MAX)) as u32;
+        self.retry_budget.saturating_sub(mean)
+    }
+}
+
+/// Fleet-level retry-burn view (see [`FabricRouter::retry_burn`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetRetryBurn {
+    /// Per-shard reports, ascending by shard id.
+    pub shards: Vec<ShardRetryBurn>,
+}
+
+impl FleetRetryBurn {
+    /// Total admission-retry attempts burned across the fleet.
+    pub fn attempts_used(&self) -> u64 {
+        self.shards.iter().map(|s| s.retry_attempts_used).sum()
+    }
+
+    /// Total requests that recovered within their budget.
+    pub fn recovered(&self) -> u64 {
+        self.shards.iter().map(|s| s.retry_recovered).sum()
+    }
+
+    /// Total requests that exhausted their budget.
+    pub fn exhausted(&self) -> u64 {
+        self.shards.iter().map(|s| s.retry_exhausted).sum()
+    }
+}
+
 type Flight = Arc<(Mutex<Option<FabricResponse>>, Condvar)>;
 
 /// See the module docs.
@@ -196,11 +383,23 @@ pub struct FabricRouter {
     heartbeat: HeartbeatConfig,
     health: Mutex<HashMap<u32, Health>>,
     probe_seq: AtomicU64,
+    router_id: u32,
+    role: Mutex<RouterRole>,
+    epoch: AtomicU64,
+    known_epoch: AtomicU64,
+    leadership_epochs: Mutex<Vec<u64>>,
+    lease: LeaseConfig,
+    membership: Option<Arc<MembershipStore>>,
+    adaptive: Option<AdaptiveCadence>,
+    rtt_samples: Mutex<Vec<u64>>,
+    down: AtomicBool,
 }
 
 impl FabricRouter {
     /// A router over every shard `transport` can currently reach, with
-    /// the default vnode count.
+    /// the default vnode count. Identity defaults to router 0, leading
+    /// at epoch 0 — the legacy single-router configuration, which
+    /// shards accept without any lease ceremony.
     pub fn new(transport: Arc<dyn Transport>) -> FabricRouter {
         let ring = HashRing::new(&transport.shards(), DEFAULT_VNODES);
         FabricRouter {
@@ -213,6 +412,16 @@ impl FabricRouter {
             heartbeat: HeartbeatConfig::default(),
             health: Mutex::new(HashMap::new()),
             probe_seq: AtomicU64::new(0),
+            router_id: 0,
+            role: Mutex::new(RouterRole::Leader),
+            epoch: AtomicU64::new(0),
+            known_epoch: AtomicU64::new(0),
+            leadership_epochs: Mutex::new(Vec::new()),
+            lease: LeaseConfig::default(),
+            membership: None,
+            adaptive: None,
+            rtt_samples: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
         }
     }
 
@@ -232,6 +441,49 @@ impl FabricRouter {
         self
     }
 
+    /// Lets the detector scale its miss budget with observed Ping/Pong
+    /// RTT percentiles (see the module docs). The static config from
+    /// [`with_heartbeat`](FabricRouter::with_heartbeat) stays the
+    /// floor; fixed cadence (the default) is the opt-out deterministic
+    /// tests rely on.
+    pub fn with_adaptive_heartbeat(mut self, cadence: AdaptiveCadence) -> FabricRouter {
+        self.adaptive = Some(cadence);
+        self
+    }
+
+    /// Names this router on the control plane. Stamps travel on every
+    /// membership-changing frame, so two routers in one fleet must use
+    /// distinct ids.
+    pub fn with_identity(mut self, router_id: u32) -> FabricRouter {
+        assert!(router_id != NO_ROUTER, "NO_ROUTER is reserved");
+        self.router_id = router_id;
+        self
+    }
+
+    /// Starts this router as a standby: it mirrors membership and the
+    /// lease, serves traffic, and promotes itself only when the lease
+    /// expires.
+    pub fn as_standby(self) -> FabricRouter {
+        *self.role.lock() = RouterRole::Standby;
+        self
+    }
+
+    /// Overrides the lease tuning.
+    pub fn with_lease(mut self, lease: LeaseConfig) -> FabricRouter {
+        self.lease = LeaseConfig {
+            expiry_ticks: lease.expiry_ticks.max(1),
+        };
+        self
+    }
+
+    /// Attaches the durable membership store every router of a fleet
+    /// shares: leaders persist membership changes into it, standbys
+    /// mirror from it each tick and promoted leaders restore from it.
+    pub fn with_membership_store(mut self, store: Arc<MembershipStore>) -> FabricRouter {
+        self.membership = Some(store);
+        self
+    }
+
     /// Router counters.
     pub fn stats(&self) -> FabricStats {
         *self.stats.lock()
@@ -240,6 +492,40 @@ impl FabricRouter {
     /// Live shards on the ring, ascending.
     pub fn live_shards(&self) -> Vec<u32> {
         self.ring.lock().shards()
+    }
+
+    /// This router's control-plane identity.
+    pub fn router_id(&self) -> u32 {
+        self.router_id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> RouterRole {
+        *self.role.lock()
+    }
+
+    /// The epoch this router last led under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Every epoch this router has ever acquired leadership for, in
+    /// acquisition order. Drills assert these sets are disjoint across
+    /// routers — the no-two-leaders-per-epoch invariant.
+    pub fn leadership_epochs(&self) -> Vec<u64> {
+        self.leadership_epochs.lock().clone()
+    }
+
+    /// Models router death for drills: a shut-down router answers every
+    /// `serve` with an immediate [`FabricResponse::Retry`] (clients
+    /// fail over to another router) and its ticks are no-ops.
+    pub fn shutdown(&self) {
+        self.down.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`shutdown`](FabricRouter::shutdown) was called.
+    pub fn is_shutdown(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
     }
 
     /// The failure detector's current verdict on `shard`.
@@ -252,43 +538,249 @@ impl FabricRouter {
             .state
     }
 
-    /// One failure-detector round: probe every ring member with a
-    /// nonce'd [`Message::Ping`] and advance the suspicion clock on the
-    /// answers. Shards whose consecutive misses reach
-    /// [`HeartbeatConfig::evict_misses`] are evicted (ring removal +
-    /// replica absorption, the same path as a detected death); the ids
-    /// evicted this round are returned. Deterministic: drills drive it
-    /// in virtual time, [`start_heartbeats`] drives it on the wall
-    /// clock over TCP.
-    pub fn heartbeat_tick(&self) -> Vec<u32> {
+    /// Records one observed Ping/Pong round trip (microseconds) for
+    /// the adaptive detector. Public so transports and drills can feed
+    /// synthetic RTT distributions.
+    pub fn record_rtt(&self, micros: u64) {
+        let mut samples = self.rtt_samples.lock();
+        if samples.len() >= RTT_WINDOW {
+            samples.remove(0);
+        }
+        samples.push(micros);
+    }
+
+    /// The thresholds the detector will use this tick: the static
+    /// config unless adaptive cadence is armed *and* warmed up, in
+    /// which case the miss budget stretches by the p95/p50 RTT ratio
+    /// (clamped to the [`AdaptiveCadence`] caps).
+    pub fn effective_heartbeat(&self) -> HeartbeatConfig {
+        let Some(cadence) = self.adaptive else {
+            return self.heartbeat;
+        };
+        let mut samples = self.rtt_samples.lock().clone();
+        if samples.len() < cadence.min_samples.max(2) {
+            return self.heartbeat;
+        }
+        samples.sort_unstable();
+        let p50 = samples[samples.len() / 2].max(1);
+        let p95 = samples[(samples.len() * 95) / 100].max(1);
+        let ratio = p95.div_ceil(p50).min(u64::from(cadence.max_suspect)) as u32;
+        let suspect = ratio
+            .max(self.heartbeat.suspect_misses)
+            .min(cadence.max_suspect.max(self.heartbeat.suspect_misses));
+        let evict = (suspect + 1)
+            .max(self.heartbeat.evict_misses)
+            .min(cadence.max_evict.max(self.heartbeat.evict_misses));
+        HeartbeatConfig {
+            suspect_misses: suspect,
+            evict_misses: evict,
+        }
+    }
+
+    fn note_epoch(&self, seen: u64) {
+        self.known_epoch.fetch_max(seen, Ordering::Relaxed);
+    }
+
+    /// Claims leadership: fans [`Message::LeaseGrant`] at one past the
+    /// highest epoch this router has seen, and promotes itself iff a
+    /// **majority** of the membership grants. Quorum intersection makes
+    /// two leaders in one epoch impossible. Returns whether leadership
+    /// was acquired.
+    pub fn acquire_lease(&self) -> bool {
+        if self.is_shutdown() {
+            return false;
+        }
+        self.resync_membership();
         let members = self.ring.lock().shards();
+        if members.is_empty() {
+            return false;
+        }
+        let epoch = self
+            .known_epoch
+            .load(Ordering::Relaxed)
+            .max(self.epoch.load(Ordering::Relaxed))
+            + 1;
+        let grant = encode_frame(&Message::LeaseGrant {
+            router: self.router_id,
+            epoch,
+        });
+        let mut granted = 0usize;
+        for &shard in &members {
+            match self.transport.call(shard, &grant).map(|b| decode_frame(&b)) {
+                Ok(Some(Message::Ack)) => {
+                    granted += 1;
+                    self.stats.lock().lease_grants += 1;
+                }
+                Ok(Some(Message::EpochReject { epoch: seen, .. })) => {
+                    self.note_epoch(seen);
+                    self.stats.lock().epoch_rejects += 1;
+                }
+                _ => {}
+            }
+        }
+        self.note_epoch(epoch);
+        if granted * 2 > members.len() {
+            self.epoch.store(epoch, Ordering::Relaxed);
+            *self.role.lock() = RouterRole::Leader;
+            self.leadership_epochs.lock().push(epoch);
+            self.stats.lock().promotions += 1;
+            self.persist_membership();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Demotes to standby (after an `EpochReject` or an observed newer
+    /// epoch) and resyncs membership from the durable store — the
+    /// ex-leader's local ring may carry unauthorized evictions.
+    fn demote(&self) {
+        *self.role.lock() = RouterRole::Standby;
+        self.stats.lock().demotions += 1;
+        self.resync_membership();
+    }
+
+    /// Reloads ring membership from the shared durable store, if one is
+    /// attached and holds a valid image. Public so drills can force a
+    /// healed router to converge without waiting for its next tick.
+    pub fn resync_membership(&self) {
+        let Some(store) = &self.membership else {
+            return;
+        };
+        let Ok(loaded) = store.load_latest() else {
+            return;
+        };
+        let Some(image) = loaded.image else {
+            return;
+        };
+        self.note_epoch(image.epoch);
+        *self.ring.lock() = HashRing::new(&image.members, DEFAULT_VNODES);
+        let mut health = self.health.lock();
+        for &m in &image.members {
+            let h = health.entry(m).or_default();
+            if h.state == HealthState::Evicted {
+                h.state = HealthState::Alive;
+                h.misses = 0;
+            }
+        }
+        self.stats.lock().membership_resyncs += 1;
+    }
+
+    /// Persists the current membership under this router's epoch.
+    fn persist_membership(&self) {
+        let Some(store) = &self.membership else {
+            return;
+        };
+        let image = MembershipImage {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            leader: self.router_id,
+            members: self.ring.lock().shards(),
+        };
+        let _ = store.save(&image);
+    }
+
+    /// Renew-barrier: confirms this router still holds the lease by
+    /// renewing against every member *before* a membership change. Any
+    /// `EpochReject` demotes and returns `false` — closing the window
+    /// where a partitioned ex-leader with no pending traffic would
+    /// otherwise admit or evict on stale authority.
+    fn confirm_lease(&self) -> bool {
+        let members = self.ring.lock().shards();
+        let renew = encode_frame(&Message::LeaseRenew {
+            router: self.router_id,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
+        for &shard in &members {
+            match self.transport.call(shard, &renew).map(|b| decode_frame(&b)) {
+                Ok(Some(Message::Ack)) => self.stats.lock().lease_renews += 1,
+                Ok(Some(Message::EpochReject { epoch: seen, .. })) => {
+                    self.note_epoch(seen);
+                    self.stats.lock().epoch_rejects += 1;
+                    self.demote();
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// One failure-detector round, dispatched by role. Leaders probe,
+    /// renew the lease, and evict (ids evicted this round are
+    /// returned); standbys probe to mirror the lease view and promote
+    /// themselves when it expires. Deterministic: drills drive it in
+    /// virtual time, [`start_heartbeats`] drives it on the wall clock
+    /// over TCP.
+    pub fn heartbeat_tick(&self) -> Vec<u32> {
+        if self.is_shutdown() {
+            return Vec::new();
+        }
+        match self.role() {
+            RouterRole::Leader => self.leader_tick(),
+            RouterRole::Standby => {
+                self.standby_tick();
+                Vec::new()
+            }
+        }
+    }
+
+    /// The leading router's round: nonce'd pings advance the suspicion
+    /// clock, renewals keep the lease fresh, and any `EpochReject`
+    /// demotes *before* an eviction can run on stale authority.
+    fn leader_tick(&self) -> Vec<u32> {
+        if self.ring.lock().is_empty() {
+            // A partitioned ex-leader can evict its whole view; the
+            // durable image is the way back.
+            self.resync_membership();
+        }
+        let members = self.ring.lock().shards();
+        let cadence = self.effective_heartbeat();
         let mut evicted = Vec::new();
+        let mut answered = Vec::new();
+        let mut to_evict = Vec::new();
         for shard in members {
             let nonce = self.probe_seq.fetch_add(1, Ordering::Relaxed);
             self.stats.lock().pings += 1;
             let ping = encode_frame(&Message::Ping { nonce });
-            let answered = match self.transport.call(shard, &ping) {
-                Ok(bytes) => matches!(
-                    decode_frame(&bytes),
-                    Some(Message::Pong { shard: s, nonce: n }) if s == shard && n == nonce
-                ),
-                Err(_) => false,
+            let sent = std::time::Instant::now();
+            let pong = match self.transport.call(shard, &ping) {
+                Ok(bytes) => match decode_frame(&bytes) {
+                    Some(Message::Pong {
+                        shard: s,
+                        nonce: n,
+                        lease_epoch,
+                        lease_router,
+                        lease_age: _,
+                    }) if s == shard && n == nonce => Some((lease_epoch, lease_router)),
+                    _ => None,
+                },
+                Err(_) => None,
             };
-            if answered {
+            if let Some((lease_epoch, lease_router)) = pong {
+                self.record_rtt(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 self.stats.lock().pongs += 1;
+                self.note_epoch(lease_epoch);
+                if lease_epoch > self.epoch.load(Ordering::Relaxed)
+                    && lease_router != self.router_id
+                {
+                    // Someone newer leads; stand down before touching
+                    // membership.
+                    self.demote();
+                    return Vec::new();
+                }
                 let mut health = self.health.lock();
                 let h = health.entry(shard).or_default();
                 h.misses = 0;
                 h.state = HealthState::Alive;
+                answered.push(shard);
                 continue;
             }
             let (suspect_transition, evict) = {
                 let mut health = self.health.lock();
                 let h = health.entry(shard).or_default();
                 h.misses += 1;
-                let evict = h.misses >= self.heartbeat.evict_misses;
-                let suspect =
-                    h.misses >= self.heartbeat.suspect_misses && h.state == HealthState::Alive;
+                let evict = h.misses >= cadence.evict_misses;
+                let suspect = h.misses >= cadence.suspect_misses && h.state == HealthState::Alive;
                 if suspect {
                     h.state = HealthState::Suspect;
                 }
@@ -298,37 +790,107 @@ impl FabricRouter {
                 self.stats.lock().suspects += 1;
             }
             if evict {
-                self.stats.lock().heartbeat_evictions += 1;
-                self.fail_over(shard);
-                evicted.push(shard);
+                to_evict.push(shard);
             }
         }
+        // Renew on every member that answered; a single EpochReject
+        // means the lease moved on and the pending evictions are not
+        // ours to run.
+        let renew = encode_frame(&Message::LeaseRenew {
+            router: self.router_id,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
+        for &shard in &answered {
+            match self.transport.call(shard, &renew).map(|b| decode_frame(&b)) {
+                Ok(Some(Message::Ack)) => self.stats.lock().lease_renews += 1,
+                Ok(Some(Message::EpochReject { epoch: seen, .. })) => {
+                    self.note_epoch(seen);
+                    self.stats.lock().epoch_rejects += 1;
+                    self.demote();
+                    return Vec::new();
+                }
+                _ => {}
+            }
+        }
+        for shard in to_evict {
+            self.stats.lock().heartbeat_evictions += 1;
+            self.fail_over(shard);
+            evicted.push(shard);
+        }
         evicted
+    }
+
+    /// A standby's round: mirror the durable membership, ping members
+    /// to mirror the lease view, and promote once a majority of the
+    /// answering shards report the lease expired.
+    fn standby_tick(&self) {
+        self.resync_membership();
+        let members = self.ring.lock().shards();
+        let mut answered = 0usize;
+        let mut expired = 0usize;
+        for &shard in &members {
+            let nonce = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+            self.stats.lock().pings += 1;
+            let ping = encode_frame(&Message::Ping { nonce });
+            let sent = std::time::Instant::now();
+            if let Ok(bytes) = self.transport.call(shard, &ping) {
+                if let Some(Message::Pong {
+                    shard: s,
+                    nonce: n,
+                    lease_epoch,
+                    lease_router: _,
+                    lease_age,
+                }) = decode_frame(&bytes)
+                {
+                    if s == shard && n == nonce {
+                        self.record_rtt(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        self.stats.lock().pongs += 1;
+                        self.note_epoch(lease_epoch);
+                        answered += 1;
+                        if lease_age >= self.lease.expiry_ticks {
+                            expired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if answered > 0 && expired * 2 > members.len() {
+            self.acquire_lease();
+        }
     }
 
     /// Adds a shard to the ring (it must already be reachable through
     /// the transport), warming it up first so its earliest requests hit
     /// instead of recompiling:
     ///
-    /// 1. **Head-ship** — a full store image is pulled from *every*
+    /// 1. **Renew-barrier** — the lease is confirmed against every
+    ///    member first; a stale router aborts (returns `false`) instead
+    ///    of resurrecting a shard the live leader evicted.
+    /// 2. **Head-ship** — a full store image is pulled from *every*
     ///    ring member that answers [`Message::FetchImage`] and pushed
     ///    to the joiner (`SharedStore::import` merges, preserving LRU
     ///    order). The ring hands the joiner keys from all members, so
     ///    a single member's image would leave most of them cold.
-    /// 2. **Catch-up** — every ring member is synced; the resulting
+    /// 3. **Catch-up** — every ring member is synced; the resulting
     ///    `CCM2DELT` batches fan out to the ordinary peers *and* the
     ///    joiner, so deltas pending since the last replication epoch
     ///    reach it too (parked in its replica logs, per origin).
-    /// 3. Only then does the ring take the joiner — keys move to a
+    /// 4. Only then does the ring take the joiner — keys move to a
     ///    shard that can already serve them warm.
-    pub fn admit_shard(&self, shard: u32) {
+    pub fn admit_shard(&self, shard: u32) -> bool {
+        if self.is_shutdown() {
+            return false;
+        }
         let sources: Vec<u32> = {
             let ring = self.ring.lock();
             if ring.contains(shard) {
-                return;
+                return true;
             }
             ring.shards()
         };
+        if !self.confirm_lease() {
+            return false;
+        }
         if !sources.is_empty() {
             self.health.lock().entry(shard).or_default().state = HealthState::Rejoining;
             let mut shipped = None;
@@ -350,10 +912,14 @@ impl FabricRouter {
             }
         }
         self.ring.lock().add(shard);
-        let mut health = self.health.lock();
-        let h = health.entry(shard).or_default();
-        h.state = HealthState::Alive;
-        h.misses = 0;
+        {
+            let mut health = self.health.lock();
+            let h = health.entry(shard).or_default();
+            h.state = HealthState::Alive;
+            h.misses = 0;
+        }
+        self.persist_membership();
+        true
     }
 
     /// Drill hook: kill `shard` now — drop its transport endpoint,
@@ -368,6 +934,11 @@ impl FabricRouter {
     /// or joined onto an identical in-flight request.
     pub fn serve(&self, req: &CompileRequest) -> FabricResponse {
         self.stats.lock().dispatched += 1;
+        if self.is_shutdown() {
+            return FabricResponse::Retry {
+                after_ms: DEFAULT_RETRY_AFTER_MS,
+            };
+        }
         let fp = req.fingerprint();
         let flight: Flight = {
             let mut map = self.inflight.lock();
@@ -416,7 +987,9 @@ impl FabricRouter {
         let mut checksum_retries = 0u32;
         loop {
             let Some(shard) = self.ring.lock().route(fp) else {
-                return FabricResponse::Retry; // fleet-wide death
+                return FabricResponse::Retry {
+                    after_ms: DEFAULT_RETRY_AFTER_MS,
+                }; // fleet-wide death
             };
             let n = self.dispatch_seq.fetch_add(1, Ordering::Relaxed);
             if let Some(plan) = &self.faults {
@@ -442,25 +1015,31 @@ impl FabricRouter {
                     self.replicate_from(shard);
                     return FabricResponse::Done(out);
                 }
-                Some(Message::Reject(reason)) if reason.starts_with("bad") => {
+                Some(Message::Reject { reason, .. }) if reason.starts_with("bad") => {
                     // The shard saw a damaged request frame; transit
                     // damage, not shard damage — same shard, try again.
                     self.stats.lock().checksum_rejects += 1;
                     checksum_retries += 1;
                     if checksum_retries > MAX_CHECKSUM_RETRIES {
-                        return FabricResponse::Retry;
+                        return FabricResponse::Retry {
+                            after_ms: DEFAULT_RETRY_AFTER_MS,
+                        };
                     }
                 }
-                Some(Message::Reject(_)) => {
+                Some(Message::Reject { retry_after_ms, .. }) => {
                     self.stats.lock().rejected += 1;
-                    return FabricResponse::Retry;
+                    return FabricResponse::Retry {
+                        after_ms: retry_after_ms.max(1),
+                    };
                 }
                 Some(_) | None => {
                     // Damaged or nonsensical response frame.
                     self.stats.lock().checksum_rejects += 1;
                     checksum_retries += 1;
                     if checksum_retries > MAX_CHECKSUM_RETRIES {
-                        return FabricResponse::Retry;
+                        return FabricResponse::Retry {
+                            after_ms: DEFAULT_RETRY_AFTER_MS,
+                        };
                     }
                 }
             }
@@ -476,13 +1055,20 @@ impl FabricRouter {
     }
 
     /// The epoch body: `extra_peer` (a joiner mid-warm-up, not yet on
-    /// the ring) receives the fan-out alongside the ring peers.
+    /// the ring) receives the fan-out alongside the ring peers. The
+    /// fan-out carries this router's `(router, epoch)` stamp — a peer
+    /// holding a newer lease answers `EpochReject`, which demotes this
+    /// router on the spot (replication is how a partitioned dueling
+    /// leader usually learns it lost).
     fn replication_epoch(&self, shard: u32, extra_peer: Option<u32>) {
         let sync = encode_frame(&Message::Sync);
         let Ok(bytes) = self.transport.call(shard, &sync) else {
             return;
         };
-        let Some(Message::DeltaShip { from_shard, batch }) = decode_frame(&bytes) else {
+        let Some(Message::DeltaShip {
+            from_shard, batch, ..
+        }) = decode_frame(&bytes)
+        else {
             return;
         };
         let Some((_base, ops)) = ccm2_incr::decode_delta(&batch) else {
@@ -503,9 +1089,21 @@ impl FabricRouter {
                 peers.push(extra);
             }
         }
-        let ship = encode_frame(&Message::DeltaShip { from_shard, batch });
+        let ship = encode_frame(&Message::DeltaShip {
+            from_shard,
+            batch,
+            router: self.router_id,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
         for peer in peers {
-            let _ = self.transport.call(peer, &ship);
+            if let Ok(bytes) = self.transport.call(peer, &ship) {
+                if let Some(Message::EpochReject { epoch: seen, .. }) = decode_frame(&bytes) {
+                    self.note_epoch(seen);
+                    self.stats.lock().epoch_rejects += 1;
+                    self.demote();
+                    return;
+                }
+            }
         }
         let mut stats = self.stats.lock();
         stats.ships += 1;
@@ -517,18 +1115,70 @@ impl FabricRouter {
         let fetch = encode_frame(&Message::FetchImage);
         let bytes = self.transport.call(shard, &fetch).ok()?;
         match decode_frame(&bytes) {
-            Some(Message::Image { delta_seq, entries }) => Some((delta_seq, entries)),
+            Some(Message::Image {
+                delta_seq, entries, ..
+            }) => Some((delta_seq, entries)),
             _ => None,
         }
     }
 
-    /// Pushes a full store image to `shard`; `true` on its `Ack`.
+    /// Pushes a full store image to `shard` under this router's stamp;
+    /// `true` on its `Ack`.
     fn push_image(&self, shard: u32, delta_seq: u64, entries: Vec<(Fp128, Vec<u8>)>) -> bool {
-        let image = encode_frame(&Message::Image { delta_seq, entries });
-        matches!(
-            self.transport.call(shard, &image).map(|b| decode_frame(&b)),
-            Ok(Some(Message::Ack))
-        )
+        let image = encode_frame(&Message::Image {
+            delta_seq,
+            entries,
+            router: self.router_id,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
+        match self.transport.call(shard, &image).map(|b| decode_frame(&b)) {
+            Ok(Some(Message::Ack)) => true,
+            Ok(Some(Message::EpochReject { epoch: seen, .. })) => {
+                self.note_epoch(seen);
+                self.stats.lock().epoch_rejects += 1;
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Aggregates the fleet's retry burn: every ring member answers
+    /// [`Message::FetchStats`] with its serve-loop retry counters and
+    /// queue depth. Shards that fail to answer are simply absent.
+    pub fn retry_burn(&self) -> FleetRetryBurn {
+        let fetch = encode_frame(&Message::FetchStats);
+        let mut shards = Vec::new();
+        for shard in self.ring.lock().shards() {
+            let Ok(bytes) = self.transport.call(shard, &fetch) else {
+                continue;
+            };
+            if let Some(Message::StatsReport {
+                shard: s,
+                compiles,
+                shed,
+                quota_shed,
+                retry_attempts_used,
+                retry_recovered,
+                retry_exhausted,
+                retry_budget,
+                queue_len,
+            }) = decode_frame(&bytes)
+            {
+                shards.push(ShardRetryBurn {
+                    shard: s,
+                    compiles,
+                    shed,
+                    quota_shed,
+                    retry_attempts_used,
+                    retry_recovered,
+                    retry_exhausted,
+                    retry_budget,
+                    queue_len,
+                });
+            }
+        }
+        shards.sort_by_key(|s| s.shard);
+        FleetRetryBurn { shards }
     }
 
     /// Declares `shard` dead: off the ring, survivors absorb their
@@ -538,6 +1188,12 @@ impl FabricRouter {
     /// from a survivor that absorbed cleanly. Idempotent under races —
     /// only the caller that actually removes the shard runs the absorb
     /// fan-out.
+    ///
+    /// Lease rules: the absorb fan-out is a membership change, so it
+    /// carries this router's stamp and any `EpochReject` demotes and
+    /// aborts. A **standby** never fans out at all — it only routes
+    /// around the unreachable shard locally (its next tick resyncs the
+    /// membership the leader vouches for).
     fn fail_over(&self, shard: u32) {
         let survivors = {
             let mut ring = self.ring.lock();
@@ -548,23 +1204,52 @@ impl FabricRouter {
         };
         self.stats.lock().failovers += 1;
         self.health.lock().entry(shard).or_default().state = HealthState::Evicted;
-        let absorb = encode_frame(&Message::Absorb { dead_shard: shard });
+        if self.role() == RouterRole::Standby {
+            return;
+        }
+        let absorb = encode_frame(&Message::Absorb {
+            dead_shard: shard,
+            router: self.router_id,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
         let mut gapped_survivors = Vec::new();
+        let mut witnessed = 0usize;
         for &s in &survivors {
             if let Ok(bytes) = self.transport.call(s, &absorb) {
                 match decode_frame(&bytes) {
                     Some(Message::AbsorbDone { gapped, .. }) => {
                         self.stats.lock().absorbs += 1;
+                        witnessed += 1;
                         if gapped {
                             gapped_survivors.push(s);
                         }
                     }
                     // Pre-v2 shards answered a bare Ack; still a
                     // completed absorb.
-                    Some(Message::Ack) => self.stats.lock().absorbs += 1,
+                    Some(Message::Ack) => {
+                        self.stats.lock().absorbs += 1;
+                        witnessed += 1;
+                    }
+                    Some(Message::EpochReject { epoch: seen, .. }) => {
+                        // Our authority is stale: this eviction was
+                        // never ours to run. Stand down and converge
+                        // on the durable membership.
+                        self.note_epoch(seen);
+                        self.stats.lock().epoch_rejects += 1;
+                        self.demote();
+                        return;
+                    }
                     _ => {}
                 }
             }
+        }
+        // An eviction becomes durable only when a surviving shard
+        // witnessed it. A fully partitioned ex-leader evicting its
+        // whole (unreachable) view gets zero acknowledgements and must
+        // not clobber the shared membership image the standby and the
+        // next leader converge on.
+        if witnessed > 0 {
+            self.persist_membership();
         }
         if gapped_survivors.is_empty() {
             return;

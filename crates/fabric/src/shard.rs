@@ -28,6 +28,36 @@
 //! every replica-map mutation is persisted through the checksummed
 //! `CCM2RLOG` image path, so a crash between ship and absorb loses
 //! zero parked ops.
+//!
+//! # The eviction lease (wire version 3)
+//!
+//! A shard tracks exactly one lease: the highest epoch it has ever
+//! granted, the router holding it, and an **age** — probe rounds
+//! answered since the holder last renewed. The rules are few and
+//! strict:
+//!
+//! * [`Message::LeaseGrant`] is honored only for a *strictly higher*
+//!   epoch than any granted before. Each epoch number is therefore
+//!   granted at most once per shard — with routers requiring a
+//!   majority of grants to lead, two leaders for one epoch would need
+//!   two disjoint majorities, which cannot exist.
+//! * [`Message::LeaseRenew`] from the current holder (or for a newer
+//!   epoch — the catch-up path for a shard partitioned during the
+//!   grant round) resets the age to zero. Anyone else draws
+//!   [`Message::EpochReject`].
+//! * Every membership-changing frame — `Absorb`, a pushed `Image`, a
+//!   `DeltaShip` fan-out — carries a `(router, epoch)` stamp and is
+//!   validated the same way before it takes effect. A partitioned
+//!   ex-leader's absorb or resurrect attempt bounces off the fleet
+//!   with `EpochReject` instead of corrupting membership.
+//! * [`Message::Sync`] stays unleased: it only *exports* deltas, and
+//!   replication is warmth, not truth — a stale router syncing costs
+//!   at most one batch of warmth (its fan-out of that batch is then
+//!   epoch-rejected anyway, which is how it learns to demote).
+//!
+//! The age advances on answered [`Message::Ping`]s, not on wall time,
+//! so lease expiry is deterministic under the drills' virtual-clock
+//! ticks and still works under wall-clock heartbeat drivers.
 
 use std::collections::HashMap;
 
@@ -36,7 +66,7 @@ use ccm2_serve::{CompileService, ServeConfig};
 use parking_lot::Mutex;
 
 use crate::durable::ReplicaLogStore;
-use crate::wire::{decode_frame, encode_frame, Message, WireOutcome};
+use crate::wire::{decode_frame, encode_frame, Message, WireOutcome, NO_ROUTER};
 
 /// Per-origin replica logs keep at most this many ops; beyond it the
 /// oldest are dropped (they are the most likely to have been evicted at
@@ -89,6 +119,37 @@ pub struct ShardStats {
     pub imported_entries: u64,
     /// Replica-log images persisted to the attached durable store.
     pub rlog_writes: u64,
+    /// Lease grants honored ([`Message::LeaseGrant`] at a new epoch).
+    pub lease_grants: u64,
+    /// Lease renewals honored (age reset to zero).
+    pub lease_renews: u64,
+    /// Stale-stamped frames refused with [`Message::EpochReject`]
+    /// (grants, renews, and membership-changing control frames).
+    pub epoch_rejects: u64,
+    /// `FetchStats` frames answered with a [`Message::StatsReport`].
+    pub stats_served: u64,
+}
+
+/// A shard's lease view: highest granted epoch, its holder, and the
+/// probe-round age since the holder's last renewal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseView {
+    /// Highest epoch this shard has granted (or adopted).
+    pub epoch: u64,
+    /// The router holding it ([`NO_ROUTER`] = none yet).
+    pub holder: u32,
+    /// Probe rounds answered since the last renewal.
+    pub age: u32,
+}
+
+impl Default for LeaseView {
+    fn default() -> LeaseView {
+        LeaseView {
+            epoch: 0,
+            holder: NO_ROUTER,
+            age: 0,
+        }
+    }
 }
 
 struct ShardState {
@@ -96,6 +157,11 @@ struct ShardState {
     ship_cursor: u64,
     replicas: HashMap<u32, ReplicaLog>,
     stats: ShardStats,
+    /// The eviction lease this shard honors (see the module docs).
+    lease: LeaseView,
+    /// Every `(epoch, router)` pair actually *granted* (not adopted) —
+    /// the drills assert no epoch appears twice.
+    grants: Vec<(u64, u32)>,
 }
 
 /// One fleet member: a shard id, its compile service, and the
@@ -131,6 +197,8 @@ impl ShardNode {
                 ship_cursor,
                 replicas: HashMap::new(),
                 stats: ShardStats::default(),
+                lease: LeaseView::default(),
+                grants: Vec::new(),
             }),
             durable: None,
             persist_gate: Mutex::new(()),
@@ -199,52 +267,192 @@ impl ShardNode {
             .map_or(0, |l| l.ops.len())
     }
 
+    /// This shard's current lease view.
+    pub fn lease(&self) -> LeaseView {
+        self.state.lock().lease
+    }
+
+    /// Every `(epoch, router)` lease actually granted, in grant order.
+    /// The split-brain drills assert no epoch appears twice.
+    pub fn lease_grants(&self) -> Vec<(u64, u32)> {
+        self.state.lock().grants.clone()
+    }
+
+    /// Validates a membership-changing frame's `(router, epoch)` stamp
+    /// against the lease. Acceptance *adopts*: a newer epoch (or the
+    /// first claimant of the current one) becomes the recorded holder
+    /// and the age resets — accepted control traffic is proof the
+    /// leader is alive. Returns the `EpochReject` to answer with when
+    /// the stamp is stale.
+    fn lease_check(&self, router: u32, epoch: u64) -> Option<Message> {
+        let mut state = self.state.lock();
+        let l = state.lease;
+        if epoch > l.epoch || (epoch == l.epoch && (l.holder == router || l.holder == NO_ROUTER)) {
+            state.lease = LeaseView {
+                epoch,
+                holder: router,
+                age: 0,
+            };
+            None
+        } else {
+            state.stats.epoch_rejects += 1;
+            Some(Message::EpochReject {
+                epoch: l.epoch,
+                router: l.holder,
+            })
+        }
+    }
+
     /// Handles one frame and returns the response frame. Never panics
     /// on wire input: anything malformed is answered with a
     /// [`Message::Reject`] so the router can retry or fail over.
     pub fn handle(&self, frame: &[u8]) -> Vec<u8> {
         let Some(msg) = decode_frame(frame) else {
             self.state.lock().stats.bad_frames += 1;
-            return encode_frame(&Message::Reject("bad frame".into()));
+            return encode_frame(&Message::Reject {
+                reason: "bad frame".into(),
+                retry_after_ms: 0,
+            });
         };
         let reply = match msg {
             Message::Compile(wire_req) => self.compile(wire_req),
             Message::Sync => self.sync(),
-            Message::DeltaShip { from_shard, batch } => self.receive_ship(from_shard, &batch),
-            Message::Absorb { dead_shard } => self.absorb(dead_shard),
+            Message::DeltaShip {
+                from_shard,
+                batch,
+                router,
+                epoch,
+            } => match self.lease_check(router, epoch) {
+                Some(reject) => reject,
+                None => self.receive_ship(from_shard, &batch),
+            },
+            Message::Absorb {
+                dead_shard,
+                router,
+                epoch,
+            } => match self.lease_check(router, epoch) {
+                Some(reject) => reject,
+                None => self.absorb(dead_shard),
+            },
             Message::Ping { nonce } => {
-                self.state.lock().stats.pings += 1;
+                let mut state = self.state.lock();
+                state.stats.pings += 1;
+                // The expiry clock: probe rounds since the last renewal.
+                state.lease.age = state.lease.age.saturating_add(1);
                 Message::Pong {
                     shard: self.id,
                     nonce,
+                    lease_epoch: state.lease.epoch,
+                    lease_router: state.lease.holder,
+                    lease_age: state.lease.age,
+                }
+            }
+            Message::LeaseGrant { router, epoch } => {
+                let mut state = self.state.lock();
+                if epoch > state.lease.epoch {
+                    state.lease = LeaseView {
+                        epoch,
+                        holder: router,
+                        age: 0,
+                    };
+                    state.grants.push((epoch, router));
+                    state.stats.lease_grants += 1;
+                    Message::Ack
+                } else {
+                    state.stats.epoch_rejects += 1;
+                    Message::EpochReject {
+                        epoch: state.lease.epoch,
+                        router: state.lease.holder,
+                    }
+                }
+            }
+            Message::LeaseRenew { router, epoch } => {
+                let mut state = self.state.lock();
+                let l = state.lease;
+                if epoch > l.epoch
+                    || (epoch == l.epoch && (l.holder == router || l.holder == NO_ROUTER))
+                {
+                    state.lease = LeaseView {
+                        epoch,
+                        holder: router,
+                        age: 0,
+                    };
+                    state.stats.lease_renews += 1;
+                    Message::Ack
+                } else {
+                    state.stats.epoch_rejects += 1;
+                    Message::EpochReject {
+                        epoch: l.epoch,
+                        router: l.holder,
+                    }
                 }
             }
             Message::FetchImage => self.serve_image(),
-            Message::Image { entries, .. } => self.import_image(&entries),
+            Message::Image {
+                entries,
+                router,
+                epoch,
+                ..
+            } => match self.lease_check(router, epoch) {
+                Some(reject) => reject,
+                None => self.import_image(&entries),
+            },
+            Message::FetchStats => self.serve_stats(),
             Message::Outcome(_)
-            | Message::Reject(_)
+            | Message::Reject { .. }
             | Message::Ack
             | Message::Pong { .. }
-            | Message::AbsorbDone { .. } => Message::Reject("unexpected message kind".into()),
+            | Message::AbsorbDone { .. }
+            | Message::EpochReject { .. }
+            | Message::StatsReport { .. } => Message::Reject {
+                reason: "unexpected message kind".into(),
+                retry_after_ms: 0,
+            },
         };
         encode_frame(&reply)
     }
 
     fn compile(&self, wire_req: crate::wire::WireRequest) -> Message {
         let req = wire_req.to_request();
-        let sub = self.svc.submit(req);
-        match sub.ticket() {
-            Some(ticket) => {
-                // Wait outside the shard lock: compiles run for a
-                // while and other frames must keep flowing.
-                let out = ticket.wait();
+        // Through the report path (not bare submit): shard-side
+        // admission retries draw from the configured budget and feed
+        // the retry-burn counters the router aggregates via FetchStats.
+        let report = self.svc.serve_batch_report(vec![req]);
+        let answer = report
+            .requests
+            .into_iter()
+            .next()
+            .expect("one-request batch reports one response");
+        match answer.response {
+            ccm2_serve::Response::Done(out) => {
                 self.state.lock().stats.compiles += 1;
                 Message::Outcome(WireOutcome::from_outcome(&out))
             }
-            None => {
+            ccm2_serve::Response::Retry => {
                 self.state.lock().stats.rejects += 1;
-                Message::Reject("not admitted: queue full or over quota".into())
+                Message::Reject {
+                    reason: "not admitted: queue full or over quota".into(),
+                    retry_after_ms: self.svc.shed_hint_ms(),
+                }
             }
+        }
+    }
+
+    fn serve_stats(&self) -> Message {
+        let svc_stats = self.svc.stats();
+        let mut state = self.state.lock();
+        state.stats.stats_served += 1;
+        drop(state);
+        Message::StatsReport {
+            shard: self.id,
+            compiles: svc_stats.compiled,
+            shed: svc_stats.shed,
+            quota_shed: svc_stats.quota_shed,
+            retry_attempts_used: svc_stats.retry_attempts_used,
+            retry_recovered: svc_stats.retry_recovered,
+            retry_exhausted: svc_stats.retry_exhausted,
+            retry_budget: self.svc.config().retry_attempts,
+            queue_len: self.svc.queue_len().min(u32::MAX as usize) as u32,
         }
     }
 
@@ -269,16 +477,23 @@ impl ShardNode {
                 encode_delta(state.ship_cursor, &[])
             }
         };
+        // A sync *answer* carries no authority: the router re-stamps
+        // the batch with its own lease before fanning it out.
         Message::DeltaShip {
             from_shard: self.id,
             batch,
+            router: NO_ROUTER,
+            epoch: 0,
         }
     }
 
     fn receive_ship(&self, from_shard: u32, batch: &[u8]) -> Message {
         let Some((base, ops)) = decode_delta(batch) else {
             self.state.lock().stats.bad_frames += 1;
-            return Message::Reject("bad delta batch".into());
+            return Message::Reject {
+                reason: "bad delta batch".into(),
+                retry_after_ms: 0,
+            };
         };
         let batch_end = base.saturating_add(ops.len() as u64);
         {
@@ -346,7 +561,13 @@ impl ShardNode {
         let entries = store.export();
         let delta_seq = store.delta_seq();
         self.state.lock().stats.images_served += 1;
-        Message::Image { delta_seq, entries }
+        // An image *answer* is data, not authority (cf. sync answers).
+        Message::Image {
+            delta_seq,
+            entries,
+            router: NO_ROUTER,
+            epoch: 0,
+        }
     }
 
     fn import_image(&self, entries: &[(ccm2_support::hash::Fp128, Vec<u8>)]) -> Message {
@@ -378,7 +599,24 @@ mod tests {
         encode_frame(&Message::DeltaShip {
             from_shard,
             batch: encode_delta(base, ops),
+            router: 0,
+            epoch: 0,
         })
+    }
+
+    fn absorb_frame(dead_shard: u32) -> Vec<u8> {
+        encode_frame(&Message::Absorb {
+            dead_shard,
+            router: 0,
+            epoch: 0,
+        })
+    }
+
+    fn bad_frame_reject() -> Message {
+        Message::Reject {
+            reason: "bad frame".into(),
+            retry_after_ms: 0,
+        }
     }
 
     fn inserts(range: std::ops::Range<u64>) -> Vec<DeltaOp> {
@@ -395,17 +633,214 @@ mod tests {
     }
 
     #[test]
-    fn ping_answers_pong_with_id_and_nonce() {
+    fn ping_answers_pong_with_id_nonce_and_lease_view() {
         let node = ShardNode::start(4, tiny_config());
         let reply = reply(&node, &encode_frame(&Message::Ping { nonce: 99 }));
         assert_eq!(
             reply,
             Message::Pong {
                 shard: 4,
-                nonce: 99
+                nonce: 99,
+                lease_epoch: 0,
+                lease_router: NO_ROUTER,
+                lease_age: 1,
             }
         );
         assert_eq!(node.stats().pings, 1);
+    }
+
+    #[test]
+    fn lease_grant_renew_and_stale_epoch_rejection() {
+        let node = ShardNode::start(1, tiny_config());
+        // First grant at epoch 1 from router 0.
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseGrant {
+                    router: 0,
+                    epoch: 1
+                })
+            ),
+            Message::Ack
+        );
+        assert_eq!(
+            node.lease(),
+            LeaseView {
+                epoch: 1,
+                holder: 0,
+                age: 0
+            }
+        );
+        // Re-granting the *same* epoch — even by the holder — is
+        // refused: an epoch number is granted at most once.
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseGrant {
+                    router: 0,
+                    epoch: 1
+                })
+            ),
+            Message::EpochReject {
+                epoch: 1,
+                router: 0
+            }
+        );
+        // Pings age the lease; the holder's renew resets it.
+        for _ in 0..3 {
+            reply(&node, &encode_frame(&Message::Ping { nonce: 5 }));
+        }
+        assert_eq!(node.lease().age, 3);
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseRenew {
+                    router: 0,
+                    epoch: 1
+                })
+            ),
+            Message::Ack
+        );
+        assert_eq!(node.lease().age, 0);
+        // A stranger's renew at the current epoch bounces.
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseRenew {
+                    router: 9,
+                    epoch: 1
+                })
+            ),
+            Message::EpochReject {
+                epoch: 1,
+                router: 0
+            }
+        );
+        // A newer epoch takes over (router 1 won a later election).
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseGrant {
+                    router: 1,
+                    epoch: 2
+                })
+            ),
+            Message::Ack
+        );
+        assert_eq!(node.lease().holder, 1);
+        assert_eq!(node.lease_grants(), vec![(1, 0), (2, 1)]);
+        let stats = node.stats();
+        assert_eq!(stats.lease_grants, 2);
+        assert_eq!(stats.lease_renews, 1);
+        assert_eq!(stats.epoch_rejects, 2);
+    }
+
+    #[test]
+    fn stale_epoch_control_frames_are_refused_without_effect() {
+        let node = ShardNode::start(2, tiny_config());
+        // Router 1 holds epoch 2.
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::LeaseGrant {
+                    router: 1,
+                    epoch: 2
+                })
+            ),
+            Message::Ack
+        );
+        // Park some ops under the live leader so a double-absorb would
+        // have something to steal.
+        let live_ship = encode_frame(&Message::DeltaShip {
+            from_shard: 7,
+            batch: encode_delta(0, &inserts(0..4)),
+            router: 1,
+            epoch: 2,
+        });
+        assert_eq!(reply(&node, &live_ship), Message::Ack);
+        assert_eq!(node.replica_len(7), 4);
+
+        // The partitioned ex-leader (router 0, epoch 1) tries every
+        // membership-changing frame it has. All bounce, nothing moves.
+        let reject = Message::EpochReject {
+            epoch: 2,
+            router: 1,
+        };
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::Absorb {
+                    dead_shard: 7,
+                    router: 0,
+                    epoch: 1
+                })
+            ),
+            reject,
+            "stale absorb must not replay the log"
+        );
+        assert_eq!(node.replica_len(7), 4, "the log is untouched");
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::DeltaShip {
+                    from_shard: 9,
+                    batch: encode_delta(0, &inserts(0..2)),
+                    router: 0,
+                    epoch: 1,
+                })
+            ),
+            reject,
+            "stale fan-out must not park ops"
+        );
+        assert_eq!(node.replica_len(9), 0);
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::Image {
+                    delta_seq: 0,
+                    entries: vec![(fp(1), b"zombie".to_vec())],
+                    router: 0,
+                    epoch: 1,
+                })
+            ),
+            reject,
+            "stale image push must not resurrect store bytes"
+        );
+        assert!(node.service().store().export().is_empty());
+        assert_eq!(node.stats().epoch_rejects, 3);
+        // The live leader still works.
+        assert_eq!(
+            reply(
+                &node,
+                &encode_frame(&Message::Absorb {
+                    dead_shard: 7,
+                    router: 1,
+                    epoch: 2
+                })
+            ),
+            Message::AbsorbDone {
+                applied_ops: 4,
+                gapped: false
+            }
+        );
+    }
+
+    #[test]
+    fn fetch_stats_reports_retry_burn_counters() {
+        let node = ShardNode::start(3, tiny_config());
+        let Message::StatsReport {
+            shard,
+            retry_budget,
+            queue_len,
+            ..
+        } = reply(&node, &encode_frame(&Message::FetchStats))
+        else {
+            panic!("FetchStats must answer StatsReport");
+        };
+        assert_eq!(shard, 3);
+        assert_eq!(retry_budget, ServeConfig::default().retry_attempts);
+        assert_eq!(queue_len, 0);
+        assert_eq!(node.stats().stats_served, 1);
     }
 
     // Satellite of the version-skew suite: a *well-formed* frame from a
@@ -418,7 +853,7 @@ mod tests {
         payload.extend_from_slice(&7u64.to_le_bytes());
         let future = crate::wire::versioned_frame(crate::wire::WIRE_FORMAT_VERSION + 1, &payload);
         let reply = reply(&node, &future);
-        assert_eq!(reply, Message::Reject("bad frame".into()));
+        assert_eq!(reply, bad_frame_reject());
         assert_eq!(node.stats().bad_frames, 1);
     }
 
@@ -430,7 +865,7 @@ mod tests {
         for cut in 0..frame.len() {
             assert_eq!(
                 reply(&node, &frame[..cut]),
-                Message::Reject("bad frame".into()),
+                bad_frame_reject(),
                 "torn at {cut}"
             );
             damaged += 1;
@@ -438,11 +873,7 @@ mod tests {
         for at in 0..frame.len() {
             let mut bad = frame.clone();
             bad[at] ^= 0x80;
-            assert_eq!(
-                reply(&node, &bad),
-                Message::Reject("bad frame".into()),
-                "flip at {at}"
-            );
+            assert_eq!(reply(&node, &bad), bad_frame_reject(), "flip at {at}");
             damaged += 1;
         }
         assert_eq!(node.stats().bad_frames, damaged);
@@ -462,7 +893,7 @@ mod tests {
         );
         assert_eq!(node.replica_len(7), 6, "a gapped log still parks ops");
         assert_eq!(
-            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 7 })),
+            reply(&node, &absorb_frame(7)),
             Message::AbsorbDone {
                 applied_ops: 0,
                 gapped: true,
@@ -491,7 +922,7 @@ mod tests {
         );
         assert_eq!(node.replica_len(9), REPLICA_LOG_CAP, "capped");
         assert_eq!(
-            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 9 })),
+            reply(&node, &absorb_frame(9)),
             Message::AbsorbDone {
                 applied_ops: 0,
                 gapped: true,
@@ -513,7 +944,7 @@ mod tests {
             Message::Ack
         );
         assert_eq!(
-            reply(&node, &encode_frame(&Message::Absorb { dead_shard: 2 })),
+            reply(&node, &absorb_frame(2)),
             Message::AbsorbDone {
                 applied_ops: 5,
                 gapped: false,
@@ -529,8 +960,9 @@ mod tests {
         use ccm2_incr::ArtifactStore as _;
         source.service().store().store(fp(1), b"alpha");
         source.service().store().store(fp(2), b"beta");
-        let Message::Image { delta_seq, entries } =
-            reply(&source, &encode_frame(&Message::FetchImage))
+        let Message::Image {
+            delta_seq, entries, ..
+        } = reply(&source, &encode_frame(&Message::FetchImage))
         else {
             panic!("FetchImage must answer Image");
         };
@@ -540,7 +972,12 @@ mod tests {
         assert_eq!(
             reply(
                 &joiner,
-                &encode_frame(&Message::Image { delta_seq, entries })
+                &encode_frame(&Message::Image {
+                    delta_seq,
+                    entries,
+                    router: 0,
+                    epoch: 0,
+                })
             ),
             Message::Ack
         );
@@ -576,7 +1013,7 @@ mod tests {
             .unwrap();
         assert_eq!(revived.replica_len(0), 4, "restart reloads the log");
         assert_eq!(
-            reply(&revived, &encode_frame(&Message::Absorb { dead_shard: 0 })),
+            reply(&revived, &absorb_frame(0)),
             Message::AbsorbDone {
                 applied_ops: 4,
                 gapped: false,

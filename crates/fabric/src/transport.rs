@@ -476,7 +476,10 @@ mod tests {
         fn handle(&self, frame: &[u8]) -> Vec<u8> {
             match decode_frame(frame) {
                 Some(_) => encode_frame(&Message::Ack),
-                None => encode_frame(&Message::Reject("bad frame".into())),
+                None => encode_frame(&Message::Reject {
+                    reason: "bad frame".into(),
+                    retry_after_ms: 0,
+                }),
             }
         }
     }

@@ -7,11 +7,11 @@
 //! fails *any* of those checks decodes to `None` and the caller treats
 //! the call as a transport fault (retry / failover) — never as data.
 //!
-//! # Frame format (version 2)
+//! # Frame format (version 3)
 //!
 //! ```text
 //! magic        8 bytes   b"CCM2WIRE"
-//! version      u32 LE    2
+//! version      u32 LE    3
 //! payload_len  u32 LE    length of payload
 //! payload      bytes     kind tag (u8) + kind-specific body
 //! checksum     hi u64 LE, lo u64 LE   Fp128 of everything above
@@ -20,7 +20,8 @@
 //! The payload kinds mirror the fabric's planes:
 //!
 //! * compile plane — [`Message::Compile`] / [`Message::Outcome`] /
-//!   [`Message::Reject`];
+//!   [`Message::Reject`] (v3: carries a `Retry-After`-style backoff
+//!   hint in milliseconds, derived from the shard's queue pressure);
 //! * replication plane — [`Message::Sync`] (router asks the owning
 //!   shard for its pending deltas), [`Message::DeltaShip`] (an encoded
 //!   `CCM2DELT` batch on its way to a peer), [`Message::Absorb`]
@@ -30,6 +31,17 @@
 //!   [`Message::Pong`] heartbeats for the router's failure detector,
 //!   and [`Message::FetchImage`] / [`Message::Image`] full-store
 //!   shipment for join warm-up and gapped-log reconciliation;
+//! * lease plane (version 3) — [`Message::LeaseGrant`] /
+//!   [`Message::LeaseRenew`] carry the **epoch-numbered eviction
+//!   lease**: every membership-changing message (`Absorb`, pushed
+//!   `Image`s, `DeltaShip` fan-out) is stamped with the sending
+//!   router's id and lease epoch, and a shard that has granted a newer
+//!   epoch answers [`Message::EpochReject`] naming the current holder
+//!   instead of obeying — a partitioned ex-leader cannot resurrect an
+//!   evicted shard or double-absorb a replica log;
+//! * stats plane (version 3) — [`Message::FetchStats`] /
+//!   [`Message::StatsReport`] surface per-shard retry-burn counters to
+//!   the router's fleet view;
 //! * plain [`Message::Ack`].
 //!
 //! Fault plans are deliberately **not** wire-encodable: a
@@ -52,7 +64,10 @@ pub const WIRE_MAGIC: &[u8; 8] = b"CCM2WIRE";
 /// Bump on any change to the frame or payload encodings; mixed-version
 /// fleets must fail closed (decode failure ⇒ retry elsewhere), never
 /// misdecode.
-pub const WIRE_FORMAT_VERSION: u32 = 2;
+pub const WIRE_FORMAT_VERSION: u32 = 3;
+/// The "no router" sentinel for lease-holder fields: a shard that has
+/// not yet granted any lease reports this as the holder.
+pub const NO_ROUTER: u32 = u32::MAX;
 /// Frame overhead outside the payload: magic + version + length prefix
 /// + checksum trailer.
 pub const FRAME_OVERHEAD: usize = 8 + 4 + 4 + 16;
@@ -173,25 +188,44 @@ pub enum Message {
     /// Shard → router: the request was not admitted (queue full /
     /// over quota). The router backs off and resubmits — same protocol
     /// as [`ccm2_serve::Response::Retry`], with the reason attached for
-    /// the stats log.
-    Reject(String),
+    /// the stats log and a `Retry-After`-style hint (milliseconds the
+    /// shard suggests waiting before resubmitting, from its queue
+    /// pressure; `0` = no hint).
+    Reject {
+        /// Human-readable rejection reason (stats log only).
+        reason: String,
+        /// Suggested client backoff in milliseconds (0 = no hint).
+        retry_after_ms: u64,
+    },
     /// Router → shard: hand over the store deltas accumulated since the
     /// last sync (the shard answers [`Message::DeltaShip`], possibly
     /// with an empty batch).
     Sync,
     /// An encoded `CCM2DELT` batch from `from_shard`, forwarded by the
-    /// router to each surviving peer (which answers [`Message::Ack`]).
+    /// router to each surviving peer (which answers [`Message::Ack`] —
+    /// or [`Message::EpochReject`] when the stamp is stale).
     DeltaShip {
         /// Shard the deltas originate from.
         from_shard: u32,
         /// `ccm2_incr::encode_delta` output, validated on receipt.
         batch: Vec<u8>,
+        /// Sending router (lease stamp; [`NO_ROUTER`] on shard→router
+        /// sync answers, which carry no authority).
+        router: u32,
+        /// The sender's lease epoch at send time.
+        epoch: u64,
     },
     /// Router → shard at failover: apply the replica log you hold for
-    /// `dead_shard` into your own store, then discard it.
+    /// `dead_shard` into your own store, then discard it. Stamped with
+    /// the router's lease epoch: a stale-epoch absorb is refused with
+    /// [`Message::EpochReject`], so an ex-leader cannot double-absorb.
     Absorb {
         /// The shard that died.
         dead_shard: u32,
+        /// Sending router (lease stamp).
+        router: u32,
+        /// The sender's lease epoch at send time.
+        epoch: u64,
     },
     /// Generic success reply for replication-plane messages.
     Ack,
@@ -203,12 +237,23 @@ pub enum Message {
         /// Echo-me token chosen by the router per probe round.
         nonce: u64,
     },
-    /// Shard → router: heartbeat answer, echoing the probe nonce.
+    /// Shard → router: heartbeat answer, echoing the probe nonce. In
+    /// version 3 the pong also reports the shard's lease view, which is
+    /// how standby routers observe leadership and its expiry without a
+    /// dedicated polling plane.
     Pong {
         /// The responding shard's id (guards cross-wired transports).
         shard: u32,
         /// The nonce of the [`Message::Ping`] being answered.
         nonce: u64,
+        /// The highest lease epoch this shard has granted.
+        lease_epoch: u64,
+        /// The router holding that epoch ([`NO_ROUTER`] = none yet).
+        lease_router: u32,
+        /// Probe rounds answered since the holder last renewed — the
+        /// shard-side expiry clock (deterministic: it advances on pings,
+        /// not on wall time).
+        lease_age: u32,
     },
     /// Router → shard: export your full store image (join warm-up and
     /// gapped-log reconciliation; answered by [`Message::Image`]).
@@ -223,6 +268,13 @@ pub enum Message {
         delta_seq: u64,
         /// `(fingerprint, encoded unit)` pairs, coldest first.
         entries: Vec<(Fp128, Vec<u8>)>,
+        /// Sending router (lease stamp; [`NO_ROUTER`] on shard→router
+        /// answers, which carry no authority).
+        router: u32,
+        /// The sender's lease epoch at send time. Only checked on
+        /// *pushed* images — an `Image` answering a fetch is data, not
+        /// a membership action.
+        epoch: u64,
     },
     /// Shard → router: the answer to [`Message::Absorb`] (version 2;
     /// replaces the bare [`Message::Ack`] so the router can see whether
@@ -235,6 +287,63 @@ pub enum Message {
         /// The log had lost ops (cap overflow / sequence gap) and was
         /// discarded without replay.
         gapped: bool,
+    },
+    /// Router → shard (version 3): claim the eviction lease at `epoch`.
+    /// The shard grants each epoch number at most once (strictly
+    /// increasing), answering [`Message::Ack`]; a router that gathers
+    /// grants from a *majority* of the membership is the unique leader
+    /// for that epoch — two routers can never both win one.
+    LeaseGrant {
+        /// The claiming router's id.
+        router: u32,
+        /// The epoch being claimed (must exceed every epoch the shard
+        /// has granted).
+        epoch: u64,
+    },
+    /// Router → shard (version 3): the current holder refreshing its
+    /// lease; resets the shard's expiry clock ([`Message::Pong`]'s
+    /// `lease_age`). From anyone else: [`Message::EpochReject`].
+    LeaseRenew {
+        /// The renewing router's id.
+        router: u32,
+        /// The epoch being renewed.
+        epoch: u64,
+    },
+    /// Shard → router (version 3): the message's lease stamp was stale.
+    /// Carries the shard's current lease view so the rejected router
+    /// can catch up (demote, resync membership) instead of retrying
+    /// blind.
+    EpochReject {
+        /// The highest epoch this shard has granted.
+        epoch: u64,
+        /// The holder of that epoch ([`NO_ROUTER`] = none).
+        router: u32,
+    },
+    /// Router → shard (version 3): report your retry-burn counters
+    /// (answered by [`Message::StatsReport`]).
+    FetchStats,
+    /// Shard → router: the admission/retry counters behind the fleet's
+    /// retry-burn view ([`ccm2_serve::ServiceStats`] extract plus live
+    /// queue pressure).
+    StatsReport {
+        /// The reporting shard's id.
+        shard: u32,
+        /// Compile frames answered with an outcome.
+        compiles: u64,
+        /// Queue-full sheds at admission.
+        shed: u64,
+        /// Per-client quota sheds at admission.
+        quota_shed: u64,
+        /// Backoff retry attempts burned by shard-side admission.
+        retry_attempts_used: u64,
+        /// Requests admitted on a retry attempt.
+        retry_recovered: u64,
+        /// Requests still shed after the full retry budget.
+        retry_exhausted: u64,
+        /// The shard's configured per-request retry budget.
+        retry_budget: u32,
+        /// Requests waiting in the admission queue right now.
+        queue_len: u32,
     },
 }
 
@@ -373,32 +482,63 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             buf.push(u8::from(out.degraded));
             buf.push(u8::from(out.stalled));
         }
-        Message::Reject(reason) => {
+        Message::Reject {
+            reason,
+            retry_after_ms,
+        } => {
             buf.push(3);
             put_str(&mut buf, reason);
+            put_u64(&mut buf, *retry_after_ms);
         }
         Message::Sync => buf.push(4),
-        Message::DeltaShip { from_shard, batch } => {
+        Message::DeltaShip {
+            from_shard,
+            batch,
+            router,
+            epoch,
+        } => {
             buf.push(5);
             put_u32(&mut buf, *from_shard);
             put_bytes(&mut buf, batch);
+            put_u32(&mut buf, *router);
+            put_u64(&mut buf, *epoch);
         }
-        Message::Absorb { dead_shard } => {
+        Message::Absorb {
+            dead_shard,
+            router,
+            epoch,
+        } => {
             buf.push(6);
             put_u32(&mut buf, *dead_shard);
+            put_u32(&mut buf, *router);
+            put_u64(&mut buf, *epoch);
         }
         Message::Ack => buf.push(7),
         Message::Ping { nonce } => {
             buf.push(8);
             put_u64(&mut buf, *nonce);
         }
-        Message::Pong { shard, nonce } => {
+        Message::Pong {
+            shard,
+            nonce,
+            lease_epoch,
+            lease_router,
+            lease_age,
+        } => {
             buf.push(9);
             put_u32(&mut buf, *shard);
             put_u64(&mut buf, *nonce);
+            put_u64(&mut buf, *lease_epoch);
+            put_u32(&mut buf, *lease_router);
+            put_u32(&mut buf, *lease_age);
         }
         Message::FetchImage => buf.push(10),
-        Message::Image { delta_seq, entries } => {
+        Message::Image {
+            delta_seq,
+            entries,
+            router,
+            epoch,
+        } => {
             buf.push(11);
             put_u64(&mut buf, *delta_seq);
             put_u32(&mut buf, entries.len() as u32);
@@ -406,6 +546,8 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 put_fp(&mut buf, *fp);
                 put_bytes(&mut buf, bytes);
             }
+            put_u32(&mut buf, *router);
+            put_u64(&mut buf, *epoch);
         }
         Message::AbsorbDone {
             applied_ops,
@@ -414,6 +556,44 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             buf.push(12);
             put_u64(&mut buf, *applied_ops);
             buf.push(u8::from(*gapped));
+        }
+        Message::LeaseGrant { router, epoch } => {
+            buf.push(13);
+            put_u32(&mut buf, *router);
+            put_u64(&mut buf, *epoch);
+        }
+        Message::LeaseRenew { router, epoch } => {
+            buf.push(14);
+            put_u32(&mut buf, *router);
+            put_u64(&mut buf, *epoch);
+        }
+        Message::EpochReject { epoch, router } => {
+            buf.push(15);
+            put_u64(&mut buf, *epoch);
+            put_u32(&mut buf, *router);
+        }
+        Message::FetchStats => buf.push(16),
+        Message::StatsReport {
+            shard,
+            compiles,
+            shed,
+            quota_shed,
+            retry_attempts_used,
+            retry_recovered,
+            retry_exhausted,
+            retry_budget,
+            queue_len,
+        } => {
+            buf.push(17);
+            put_u32(&mut buf, *shard);
+            put_u64(&mut buf, *compiles);
+            put_u64(&mut buf, *shed);
+            put_u64(&mut buf, *quota_shed);
+            put_u64(&mut buf, *retry_attempts_used);
+            put_u64(&mut buf, *retry_recovered);
+            put_u64(&mut buf, *retry_exhausted);
+            put_u32(&mut buf, *retry_budget);
+            put_u32(&mut buf, *queue_len);
         }
     }
     buf
@@ -492,20 +672,30 @@ fn decode_payload(payload: &[u8]) -> Option<Message> {
                 stalled,
             })
         }
-        3 => Message::Reject(r.str()?),
+        3 => Message::Reject {
+            reason: r.str()?,
+            retry_after_ms: r.u64()?,
+        },
         4 => Message::Sync,
         5 => Message::DeltaShip {
             from_shard: r.u32()?,
             batch: r.bytes()?,
+            router: r.u32()?,
+            epoch: r.u64()?,
         },
         6 => Message::Absorb {
             dead_shard: r.u32()?,
+            router: r.u32()?,
+            epoch: r.u64()?,
         },
         7 => Message::Ack,
         8 => Message::Ping { nonce: r.u64()? },
         9 => Message::Pong {
             shard: r.u32()?,
             nonce: r.u64()?,
+            lease_epoch: r.u64()?,
+            lease_router: r.u32()?,
+            lease_age: r.u32()?,
         },
         10 => Message::FetchImage,
         11 => {
@@ -515,11 +705,40 @@ fn decode_payload(payload: &[u8]) -> Option<Message> {
             for _ in 0..n {
                 entries.push((r.fp()?, r.bytes()?));
             }
-            Message::Image { delta_seq, entries }
+            Message::Image {
+                delta_seq,
+                entries,
+                router: r.u32()?,
+                epoch: r.u64()?,
+            }
         }
         12 => Message::AbsorbDone {
             applied_ops: r.u64()?,
             gapped: r.bool()?,
+        },
+        13 => Message::LeaseGrant {
+            router: r.u32()?,
+            epoch: r.u64()?,
+        },
+        14 => Message::LeaseRenew {
+            router: r.u32()?,
+            epoch: r.u64()?,
+        },
+        15 => Message::EpochReject {
+            epoch: r.u64()?,
+            router: r.u32()?,
+        },
+        16 => Message::FetchStats,
+        17 => Message::StatsReport {
+            shard: r.u32()?,
+            compiles: r.u64()?,
+            shed: r.u64()?,
+            quota_shed: r.u64()?,
+            retry_attempts_used: r.u64()?,
+            retry_recovered: r.u64()?,
+            retry_exhausted: r.u64()?,
+            retry_budget: r.u32()?,
+            queue_len: r.u32()?,
         },
         _ => return None,
     };
@@ -642,18 +861,37 @@ mod tests {
                 degraded: true,
                 stalled: false,
             }),
-            Message::Reject("queue full".into()),
+            Message::Reject {
+                reason: "queue full".into(),
+                retry_after_ms: 12,
+            },
             Message::Sync,
             Message::DeltaShip {
                 from_shard: 2,
                 batch: ccm2_incr::encode_delta(9, &[]),
+                router: 0,
+                epoch: 4,
             },
-            Message::Absorb { dead_shard: 1 },
+            Message::Absorb {
+                dead_shard: 1,
+                router: 1,
+                epoch: 9,
+            },
             Message::Ack,
             Message::Ping { nonce: 0xC0FFEE },
             Message::Pong {
                 shard: 3,
                 nonce: 0xC0FFEE,
+                lease_epoch: 5,
+                lease_router: 1,
+                lease_age: 2,
+            },
+            Message::Pong {
+                shard: 0,
+                nonce: 1,
+                lease_epoch: 0,
+                lease_router: NO_ROUTER,
+                lease_age: 0,
             },
             Message::FetchImage,
             Message::Image {
@@ -662,10 +900,14 @@ mod tests {
                     (Fp128 { hi: 5, lo: 6 }, b"cold".to_vec()),
                     (Fp128 { hi: 7, lo: 8 }, b"warm".to_vec()),
                 ],
+                router: 0,
+                epoch: 3,
             },
             Message::Image {
                 delta_seq: 0,
                 entries: Vec::new(),
+                router: NO_ROUTER,
+                epoch: 0,
             },
             Message::AbsorbDone {
                 applied_ops: 17,
@@ -674,6 +916,30 @@ mod tests {
             Message::AbsorbDone {
                 applied_ops: 0,
                 gapped: true,
+            },
+            Message::LeaseGrant {
+                router: 2,
+                epoch: 11,
+            },
+            Message::LeaseRenew {
+                router: 2,
+                epoch: 11,
+            },
+            Message::EpochReject {
+                epoch: 11,
+                router: 2,
+            },
+            Message::FetchStats,
+            Message::StatsReport {
+                shard: 4,
+                compiles: 100,
+                shed: 3,
+                quota_shed: 1,
+                retry_attempts_used: 9,
+                retry_recovered: 2,
+                retry_exhausted: 1,
+                retry_budget: 3,
+                queue_len: 5,
             },
         ]
     }
@@ -727,22 +993,100 @@ mod tests {
     // the current WIRE_FORMAT_VERSION: bumping the constant without a
     // fresh cross-version rejection test fails the gate (ci.sh).
     #[test]
-    fn wire_version_2_mismatch_rejected() {
-        assert_eq!(WIRE_FORMAT_VERSION, 2);
+    fn wire_version_3_mismatch_rejected() {
+        assert_eq!(WIRE_FORMAT_VERSION, 3);
         let frame = encode_frame(&Message::Sync);
-        for other in [0u32, 1, 3, u32::MAX] {
+        for other in [0u32, 1, 2, 4, u32::MAX] {
             let mut skew = frame.clone();
             skew[8..12].copy_from_slice(&other.to_le_bytes());
             assert!(
                 decode_frame(&skew).is_none(),
-                "a v{other} frame must not decode on a v2 peer"
+                "a v{other} frame must not decode on a v3 peer"
             );
         }
         // A peer one version *ahead* with a well-formed (valid-checksum)
         // frame — the realistic skew during a rolling upgrade — is
         // rejected by the version check, not the checksum.
-        let future = versioned_frame(3, &[8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let future = versioned_frame(4, &[8, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(decode_frame(&future).is_none(), "future Ping rejected");
+    }
+
+    // The v2↔v3 skew matrix: every message kind either generation
+    // knows, encoded under either version number with a *valid*
+    // checksum, fails closed on a peer of the other generation. The
+    // rolling-upgrade rule "mixed fleets retry elsewhere, never
+    // misdecode" holds in both directions and for lease frames
+    // specifically.
+    #[test]
+    fn v2_v3_version_skew_matrix_fails_closed() {
+        for msg in sample_messages() {
+            let payload = encode_payload(&msg);
+            // A v3 payload wrapped in a v2 frame (old peer replaying
+            // captured bytes, or a half-upgraded proxy).
+            let old = versioned_frame(2, &payload);
+            assert!(decode_frame(&old).is_none(), "v2-wrapped {msg:?}");
+            // And in a far-future frame.
+            let future = versioned_frame(7, &payload);
+            assert!(decode_frame(&future).is_none(), "v7-wrapped {msg:?}");
+        }
+        // A genuine v2 `Pong { shard, nonce }` payload (no lease view)
+        // presented as v3: the v3 decoder wants 16 more bytes, so even
+        // with the version forged to match, length accounting kills it.
+        let mut v2_pong = vec![9u8];
+        v2_pong.extend_from_slice(&3u32.to_le_bytes());
+        v2_pong.extend_from_slice(&0xC0FFEEu64.to_le_bytes());
+        assert!(
+            decode_frame(&versioned_frame(WIRE_FORMAT_VERSION, &v2_pong)).is_none(),
+            "a short v2 Pong body must not decode as v3"
+        );
+        // Same for a v2 Absorb { dead_shard } with no lease stamp.
+        let mut v2_absorb = vec![6u8];
+        v2_absorb.extend_from_slice(&1u32.to_le_bytes());
+        assert!(
+            decode_frame(&versioned_frame(WIRE_FORMAT_VERSION, &v2_absorb)).is_none(),
+            "a stampless v2 Absorb must not decode as v3"
+        );
+    }
+
+    // Lease-plane damage: truncated or bit-flipped LeaseGrant /
+    // LeaseRenew / EpochReject frames never decode — a corrupted lease
+    // frame can neither grant, renew, nor revoke authority. Stale
+    // epochs are *valid* frames (the shard answers EpochReject at the
+    // protocol layer, exercised in the shard tests); here the claim is
+    // that damage is indistinguishable from silence.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 64,
+            ..proptest::ProptestConfig::default()
+        })]
+
+        #[test]
+        fn damaged_lease_frames_never_decode(
+            router in 0u32..=u32::MAX,
+            epoch in 0u64..=u64::MAX,
+            cut in 0usize..64,
+            at in 0usize..64,
+            mask in 1u8..=255,
+        ) {
+            for msg in [
+                Message::LeaseGrant { router, epoch },
+                Message::LeaseRenew { router, epoch },
+                Message::EpochReject { epoch, router },
+            ] {
+                let frame = encode_frame(&msg);
+                proptest::prop_assert_eq!(decode_frame(&frame).as_ref(), Some(&msg));
+                let cut = cut.min(frame.len() - 1);
+                proptest::prop_assert!(decode_frame(&frame[..cut]).is_none(), "torn at {}", cut);
+                let mut flipped = frame.clone();
+                let at = at % flipped.len();
+                flipped[at] ^= mask;
+                proptest::prop_assert!(decode_frame(&flipped).is_none(), "flip at {}", at);
+                // The same bytes under a v2 header (valid checksum) are
+                // version-skew, also rejected.
+                let skew = versioned_frame(2, &encode_payload(&msg));
+                proptest::prop_assert!(decode_frame(&skew).is_none(), "v2 skew decoded");
+            }
+        }
     }
 
     // Any truncation or byte-damage of a heartbeat frame decodes to
@@ -765,7 +1109,13 @@ mod tests {
         ) {
             for msg in [
                 Message::Ping { nonce },
-                Message::Pong { shard, nonce },
+                Message::Pong {
+                    shard,
+                    nonce,
+                    lease_epoch: nonce ^ 0x5EED,
+                    lease_router: shard.wrapping_add(1),
+                    lease_age: shard % 7,
+                },
             ] {
                 let frame = encode_frame(&msg);
                 proptest::prop_assert_eq!(decode_frame(&frame).as_ref(), Some(&msg));

@@ -365,12 +365,38 @@ impl CompileService {
         &self.shared.store
     }
 
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
     /// Lifetime counters. `quarantined` is read through from the shared
     /// store, where the validation failures are actually detected.
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.shared.state.lock().stats;
         stats.quarantined = self.shared.store.stats().quarantined;
         stats
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// A `Retry-After`-style hint in milliseconds: how long a shed
+    /// client should wait before resubmitting, derived from the live
+    /// queue depth scaled by the backoff base and capped at the backoff
+    /// cap. An empty queue still hints one base period (the shed was
+    /// momentary — quota, or a queue that just drained). The fabric
+    /// carries this on `Reject` frames and the fabric client's retry
+    /// loop honors it.
+    pub fn shed_hint_ms(&self) -> u64 {
+        let cfg = &self.shared.config;
+        let depth = self.shared.state.lock().queue.len() as u64;
+        cfg.retry_backoff_base_ms
+            .max(1)
+            .saturating_mul(depth + 1)
+            .min(cfg.retry_backoff_cap_ms.max(1))
     }
 
     /// Per-client admission counters, sorted by client id.
@@ -473,10 +499,14 @@ impl CompileService {
                     self.shared.state.lock().stats.deadline_shed += 1;
                     break;
                 }
+                // Exponential backoff, floored by the live queue-depth
+                // hint: when the queue is deep, early attempts wait as
+                // long as the shed hint tells external clients to.
                 let delay = cfg
                     .retry_backoff_base_ms
                     .checked_shl(attempt.min(16))
                     .unwrap_or(u64::MAX)
+                    .max(self.shed_hint_ms())
                     .min(cfg.retry_backoff_cap_ms);
                 std::thread::sleep(std::time::Duration::from_millis(delay));
                 attempts_used[i] = attempt + 1;
@@ -918,6 +948,33 @@ mod tests {
             "backoff retries landed every shed request"
         );
         assert!(svc.stats().shed >= 2, "initial submissions were shed");
+    }
+
+    #[test]
+    fn shed_hint_scales_with_queue_depth_and_caps() {
+        let svc = CompileService::start(ServeConfig {
+            paused: true,
+            workers: 1,
+            queue_capacity: 8,
+            retry_backoff_base_ms: 2,
+            retry_backoff_cap_ms: 10,
+            ..ServeConfig::default()
+        });
+        assert_eq!(svc.queue_len(), 0);
+        assert_eq!(svc.shed_hint_ms(), 2, "empty queue hints one base");
+        for i in 0..3 {
+            assert!(matches!(
+                svc.submit(req(1, &format!("Hint{i}"), "BEGIN")),
+                Submission::Queued(_)
+            ));
+        }
+        assert_eq!(svc.queue_len(), 3);
+        assert_eq!(svc.shed_hint_ms(), 8, "base * (depth + 1)");
+        for i in 3..8 {
+            svc.submit(req(1, &format!("Hint{i}"), "BEGIN"));
+        }
+        assert_eq!(svc.shed_hint_ms(), 10, "capped at retry_backoff_cap_ms");
+        svc.resume();
     }
 
     #[test]

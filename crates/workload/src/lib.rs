@@ -37,8 +37,8 @@ pub mod synth;
 pub use edit::{apply_edits, body_edits, EditOp};
 pub use gen::{generate, lock_seed_scenarios, GenParams, GeneratedModule, LockScenario};
 pub use serve_load::{
-    kill_points, serve_load, shard_kill_schedule, shard_partition_schedule, PartitionWindow,
-    ServeEvent, ServeLoadParams,
+    kill_points, router_drill_schedule, serve_load, shard_kill_schedule, shard_partition_schedule,
+    PartitionWindow, RouterDrillKind, RouterDrillWindow, ServeEvent, ServeLoadParams,
 };
 pub use session::{edit_session_seeds, SessionEdit, SessionParams};
 pub use suite::{generate_suite, suite_params, suite_stats, SuiteStats, SUITE_SIZE};

@@ -235,9 +235,102 @@ pub fn shard_partition_schedule(
         .collect()
 }
 
+/// What a router drill does to the fleet's control plane during one
+/// window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterDrillKind {
+    /// The leading router dies outright (no more ticks, clients fail
+    /// over); the standby must promote.
+    Kill,
+    /// The leading router is partitioned from every shard for the
+    /// window, then healed; the standby promotes meanwhile and the
+    /// healed ex-leader must demote instead of split-braining.
+    Partition,
+    /// The leading router is silenced (no ticks) but *not* told, so
+    /// after the standby promotes, both believe they lead until the
+    /// ex-leader's next stamped frame draws an `EpochReject`.
+    Duel,
+}
+
+/// One window of a seeded router drill: the disturbance opens just
+/// before serving event `from` and (for recoverable kinds) heals just
+/// before event `until`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterDrillWindow {
+    /// Event index at which the disturbance opens.
+    pub from: usize,
+    /// Event index at which it heals (exclusive). `Kill` never heals;
+    /// the field still bounds the window the drill asserts over.
+    pub until: usize,
+    /// What happens to the leading router.
+    pub kind: RouterDrillKind,
+}
+
+/// Seeded router-drill schedule for split-brain drills: `n` disjoint
+/// interior windows, each naming a [`RouterDrillKind`], sorted by
+/// start. Rides its own seed stream (like [`kill_points`] /
+/// [`shard_partition_schedule`]) so asking for it never perturbs the
+/// load, and the same `(params, n)` always yields the same windows.
+pub fn router_drill_schedule(params: &ServeLoadParams, n: usize) -> Vec<RouterDrillWindow> {
+    if params.events < 3 || n == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x5b1a_1274);
+    let want = n.min((params.events - 1) / 2);
+    let mut points = std::collections::BTreeSet::new();
+    while points.len() < want * 2 {
+        points.insert(rng.gen_range(1..params.events));
+    }
+    let points: Vec<usize> = points.into_iter().collect();
+    points
+        .chunks_exact(2)
+        .map(|edge| RouterDrillWindow {
+            from: edge[0],
+            until: edge[1],
+            kind: match rng.gen_range(0..3u32) {
+                0 => RouterDrillKind::Kill,
+                1 => RouterDrillKind::Partition,
+                _ => RouterDrillKind::Duel,
+            },
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn router_drill_schedule_is_deterministic_disjoint_and_seeded() {
+        let p = ServeLoadParams::default();
+        let a = router_drill_schedule(&p, 2);
+        assert_eq!(a, router_drill_schedule(&p, 2), "same seed, same plan");
+        assert_eq!(a.len(), 2);
+        assert!(
+            a.iter()
+                .all(|w| w.from >= 1 && w.from < w.until && w.until < p.events),
+            "interior, ordered windows: {a:?}"
+        );
+        assert!(
+            a.windows(2).all(|pair| pair[0].until <= pair[1].from),
+            "sorted, disjoint: {a:?}"
+        );
+        let b = router_drill_schedule(&ServeLoadParams { seed: 0x77, ..p }, 2);
+        assert_ne!(a, b, "seed-sensitive");
+        // Its own stream: independent of the shard-partition windows.
+        let parts = shard_partition_schedule(&p, 3, 2);
+        assert_ne!(
+            a.iter().map(|w| w.from).collect::<Vec<_>>(),
+            parts.iter().map(|w| w.from).collect::<Vec<_>>(),
+            "independent of the partition stream"
+        );
+        assert!(router_drill_schedule(&p, 0).is_empty(), "no windows");
+        let tiny = ServeLoadParams {
+            events: 2,
+            ..ServeLoadParams::default()
+        };
+        assert!(router_drill_schedule(&tiny, 2).is_empty());
+    }
 
     #[test]
     fn load_is_deterministic() {

@@ -182,7 +182,7 @@ fn serve_chaos(events: &[ServeEvent], params: &ServeLoadParams, tcp: bool) -> Ve
                     FabricResponse::Done(o) => {
                         out[i] = Some((o.ok, o.object.clone(), o.diagnostics.clone()));
                     }
-                    FabricResponse::Retry => pending.push(i),
+                    FabricResponse::Retry { .. } => pending.push(i),
                 }
             }
         }
@@ -296,7 +296,7 @@ fn fleet_restart_from_durable_logs_loses_no_parked_ops() {
         for (req, resp) in resubmit.into_iter().zip(router.serve_batch(&batch)) {
             match resp {
                 FabricResponse::Done(o) => assert!(o.ok, "{:?}", o.diagnostics),
-                FabricResponse::Retry => pending.push(req),
+                FabricResponse::Retry { .. } => pending.push(req),
             }
         }
     }

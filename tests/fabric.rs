@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use ccm2_fabric::Fabric;
+use ccm2_fabric::{
+    Fabric, FabricRouter, FrameHandler, LeaseConfig, LoopbackTransport, MembershipStore,
+    RouterRole, ShardNode, Transport,
+};
 use ccm2_sema::symtab::DkyStrategy;
 use ccm2_serve::{CompileRequest, CompileService, ExecChoice, Response, ServeConfig};
 use ccm2_workload::{serve_load, shard_kill_schedule, ServeEvent, ServeLoadParams};
@@ -94,7 +97,7 @@ fn serve_fabric(events: &[ServeEvent], shards: usize, kill: Option<(usize, u32)>
                     ccm2_fabric::FabricResponse::Done(o) => {
                         out[i] = Some((o.ok, o.object.clone(), o.diagnostics.clone()));
                     }
-                    ccm2_fabric::FabricResponse::Retry => pending.push(i),
+                    ccm2_fabric::FabricResponse::Retry { .. } => pending.push(i),
                 }
             }
         }
@@ -108,6 +111,73 @@ fn serve_fabric(events: &[ServeEvent], shards: usize, kill: Option<(usize, u32)>
         assert_eq!(live.len(), shards - 1, "exactly one shard died");
     }
     out.into_iter().map(|o| o.expect("served")).collect()
+}
+
+/// After the eviction lease moves to a new epoch, every
+/// membership-changing control message from the deposed router is
+/// refused fleet-wide, and the first refusal demotes it. The stale
+/// router cannot admit a shard, the new leader can, and each shard's
+/// grant history shows strictly increasing epochs with one holder per
+/// epoch.
+#[test]
+fn stale_router_control_refused_after_lease_moves() {
+    let transport = Arc::new(LoopbackTransport::new());
+    let nodes: Vec<Arc<ShardNode>> = (0..3u32)
+        .map(|id| Arc::new(ShardNode::start(id, config())))
+        .collect();
+    for node in &nodes {
+        transport.register(node.id(), Arc::clone(node) as Arc<dyn FrameHandler>);
+    }
+    let dir = std::env::temp_dir().join(format!("ccm2-stale-router-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(MembershipStore::new(&dir).expect("membership store opens"));
+    let a = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+        .with_identity(1)
+        .with_membership_store(Arc::clone(&store));
+    let b = FabricRouter::new(Arc::clone(&transport) as Arc<dyn Transport>)
+        .with_identity(2)
+        .as_standby()
+        .with_lease(LeaseConfig { expiry_ticks: 2 })
+        .with_membership_store(Arc::clone(&store));
+
+    assert!(a.acquire_lease(), "uncontested first grant");
+    assert_eq!(a.epoch(), 1);
+
+    // A goes silent; B watches the lease age out and claims epoch 2.
+    assert!(b.heartbeat_tick().is_empty());
+    assert!(b.heartbeat_tick().is_empty());
+    assert_eq!(b.role(), RouterRole::Leader, "standby promoted");
+    assert_eq!(b.epoch(), 2);
+
+    // The deposed leader tries a membership change: a warm join of a
+    // brand-new shard. Its epoch-1 stamp draws EpochReject on the
+    // lease barrier, the join is refused, and A stands down.
+    let joiner = Arc::new(ShardNode::start(3, config()));
+    transport.register(joiner.id(), Arc::clone(&joiner) as Arc<dyn FrameHandler>);
+    assert!(!a.admit_shard(3), "stale-epoch admit must be refused");
+    assert_eq!(
+        a.role(),
+        RouterRole::Standby,
+        "refusal demotes the ex-leader"
+    );
+    assert!(a.stats().epoch_rejects >= 1);
+    assert!(
+        !a.live_shards().contains(&3),
+        "refused joiner never entered the stale ring"
+    );
+
+    // The live leaseholder performs the same join without ceremony.
+    assert!(b.admit_shard(3), "current leader admits the joiner");
+    assert!(b.live_shards().contains(&3));
+
+    // Shard-side ledger: epochs granted strictly increase, one holder
+    // per epoch, and every original shard agrees on the live lease.
+    for node in &nodes {
+        assert_eq!(node.lease_grants(), vec![(1, 1), (2, 2)]);
+        let lease = node.lease();
+        assert_eq!((lease.epoch, lease.holder), (2, 2));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 proptest! {
